@@ -1,0 +1,261 @@
+//! Performance counter snapshots and deltas.
+//!
+//! EARL computes application signatures from counter *deltas* over a
+//! measurement window. The node exposes a snapshot API mirroring what EAR
+//! reads on real hardware through perf/PAPI and RAPL: instructions, cycles,
+//! APERF/MPERF, IMC CAS counts, AVX512 instruction counts, uncore clocks
+//! and the energy accumulators.
+
+use crate::time::SimTime;
+
+/// Monotonic counters of one socket.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SocketCounters {
+    /// Instructions retired (fixed counter 0).
+    pub instructions: u64,
+    /// Unhalted core cycles summed over cores (fixed counter 1).
+    pub core_cycles: u64,
+    /// APERF-style accumulator: Σ_cores delivered_freq · dt (kHz·s ≈ kcycles).
+    pub aperf_kcycles: u64,
+    /// MPERF-style accumulator: Σ_cores nominal_freq · dt (kHz·s).
+    pub mperf_kcycles: u64,
+    /// IMC CAS transactions (64 B lines, reads + writes).
+    pub cas_transactions: u64,
+    /// AVX512 instructions retired (FP_ARITH 512-bit events).
+    pub avx512_instructions: u64,
+    /// Uncore clock ticks (U-box fixed counter), in kcycles.
+    pub uclk_kcycles: u64,
+    /// Exact package energy in µJ (RAPL MSR holds the quantised view).
+    pub pkg_energy_uj: u64,
+    /// Exact DRAM energy in µJ.
+    pub dram_energy_uj: u64,
+}
+
+/// A point-in-time view of all node counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CounterSnapshot {
+    /// When the snapshot was taken.
+    pub time: SimTime,
+    /// Per-socket counters.
+    pub sockets: Vec<SocketCounters>,
+    /// INM DC energy counter (mJ, published value — 1 s granularity).
+    pub dc_energy_mj: u64,
+    /// Timestamp at which `dc_energy_mj` was published.
+    pub dc_energy_at: SimTime,
+    /// Exact DC energy (J) — simulator ground truth for accounting.
+    pub dc_energy_exact_j: f64,
+}
+
+/// Node-level metrics derived from two snapshots.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CounterDelta {
+    /// Window length (s).
+    pub seconds: f64,
+    /// Instructions retired, node total.
+    pub instructions: f64,
+    /// Core cycles, node total.
+    pub core_cycles: f64,
+    /// CAS transactions, node total.
+    pub cas_transactions: f64,
+    /// AVX512 instructions, node total.
+    pub avx512_instructions: f64,
+    /// Average delivered CPU frequency across all cores (kHz).
+    pub avg_cpu_khz: f64,
+    /// Average uncore frequency across sockets (kHz).
+    pub avg_imc_khz: f64,
+    /// Package energy over the window (J), node total.
+    pub pkg_energy_j: f64,
+    /// DRAM energy over the window (J), node total.
+    pub dram_energy_j: f64,
+    /// DC energy over the window (J), from the published INM counter.
+    pub dc_energy_j: f64,
+    /// Time between the INM publications backing `dc_energy_j` (s).
+    pub dc_window_s: f64,
+}
+
+impl CounterSnapshot {
+    /// Computes derived metrics for the window `earlier .. self`.
+    pub fn delta(&self, earlier: &CounterSnapshot) -> CounterDelta {
+        assert_eq!(
+            self.sockets.len(),
+            earlier.sockets.len(),
+            "socket count changed"
+        );
+        let seconds = self.time - earlier.time;
+        let mut d = CounterDelta {
+            seconds,
+            instructions: 0.0,
+            core_cycles: 0.0,
+            cas_transactions: 0.0,
+            avx512_instructions: 0.0,
+            avg_cpu_khz: 0.0,
+            avg_imc_khz: 0.0,
+            pkg_energy_j: 0.0,
+            dram_energy_j: 0.0,
+            dc_energy_j: (self.dc_energy_mj.saturating_sub(earlier.dc_energy_mj)) as f64 * 1e-3,
+            dc_window_s: self.dc_energy_at - earlier.dc_energy_at,
+        };
+        let mut aperf = 0.0;
+        let mut mperf = 0.0;
+        let mut uclk = 0.0;
+        for (now, was) in self.sockets.iter().zip(&earlier.sockets) {
+            d.instructions += (now.instructions - was.instructions) as f64;
+            d.core_cycles += (now.core_cycles - was.core_cycles) as f64;
+            d.cas_transactions += (now.cas_transactions - was.cas_transactions) as f64;
+            d.avx512_instructions += (now.avx512_instructions - was.avx512_instructions) as f64;
+            aperf += (now.aperf_kcycles - was.aperf_kcycles) as f64;
+            mperf += (now.mperf_kcycles - was.mperf_kcycles) as f64;
+            uclk += (now.uclk_kcycles - was.uclk_kcycles) as f64;
+            d.pkg_energy_j += (now.pkg_energy_uj - was.pkg_energy_uj) as f64 * 1e-6;
+            d.dram_energy_j += (now.dram_energy_uj - was.dram_energy_uj) as f64 * 1e-6;
+        }
+        if seconds > 0.0 {
+            // APERF accumulates Σ_cores delivered_khz·dt (idle cores count
+            // at their idle frequency, matching the paper's "average
+            // computed using all the cores"); MPERF accumulates
+            // Σ_cores SENTINEL·dt, a pure core-seconds base. The classic
+            // aperf/mperf·reference formula then needs no topology info.
+            if mperf > 0.0 {
+                d.avg_cpu_khz = aperf / mperf * MPERF_SENTINEL_KHZ;
+            }
+            d.avg_imc_khz = uclk / seconds / self.sockets.len() as f64;
+        }
+        d
+    }
+
+    /// Window CPI.
+    pub fn cpi(&self, earlier: &CounterSnapshot) -> f64 {
+        self.delta(earlier).cpi()
+    }
+}
+
+/// MPERF is accumulated by the node as `cores · dt · MPERF_SENTINEL_KHZ`
+/// *regardless of the platform's real nominal frequency*, purely as a
+/// core-seconds base for averaging (the real nominal lives in the pstate
+/// table). 1e6 kHz keeps the integer counters well-conditioned.
+pub const MPERF_SENTINEL_KHZ: f64 = 1_000_000.0;
+
+impl CounterDelta {
+    /// Cycles per instruction.
+    pub fn cpi(&self) -> f64 {
+        if self.instructions > 0.0 {
+            self.core_cycles / self.instructions
+        } else {
+            0.0
+        }
+    }
+
+    /// Main-memory bandwidth in GB/s.
+    pub fn gbs(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.cas_transactions * 64.0 / self.seconds / 1e9
+        } else {
+            0.0
+        }
+    }
+
+    /// Memory transactions per instruction.
+    pub fn tpi(&self) -> f64 {
+        if self.instructions > 0.0 {
+            self.cas_transactions / self.instructions
+        } else {
+            0.0
+        }
+    }
+
+    /// AVX512 instruction fraction.
+    pub fn vpi(&self) -> f64 {
+        if self.instructions > 0.0 {
+            self.avx512_instructions / self.instructions
+        } else {
+            0.0
+        }
+    }
+
+    /// Average DC node power (W) from the INM counter. Energy deltas are
+    /// divided by the span between the *publication* timestamps, exactly as
+    /// careful tooling does for a counter with 1 s update granularity.
+    pub fn dc_power_w(&self) -> f64 {
+        if self.dc_window_s > 0.0 {
+            self.dc_energy_j / self.dc_window_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Average RAPL package power (W), node total.
+    pub fn pkg_power_w(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.pkg_energy_j / self.seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Average CPU frequency in GHz.
+    pub fn avg_cpu_ghz(&self) -> f64 {
+        self.avg_cpu_khz * 1e-6
+    }
+
+    /// Average IMC (uncore) frequency in GHz.
+    pub fn avg_imc_ghz(&self) -> f64 {
+        self.avg_imc_khz * 1e-6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(t: f64, s: SocketCounters, dc_mj: u64) -> CounterSnapshot {
+        CounterSnapshot {
+            time: SimTime::from_secs(t),
+            sockets: vec![s],
+            dc_energy_mj: dc_mj,
+            dc_energy_at: SimTime::from_secs(t),
+            dc_energy_exact_j: dc_mj as f64 * 1e-3,
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let a = snap(0.0, SocketCounters::default(), 0);
+        let c = SocketCounters {
+            instructions: 2_000_000_000,
+            core_cycles: 1_000_000_000,
+            cas_transactions: 156_250_000, // 10 GB over 1 s
+            avx512_instructions: 500_000_000,
+            aperf_kcycles: (2.2e6f64 * 40.0) as u64, // 40 cores at 2.2 GHz, 1 s
+            mperf_kcycles: (MPERF_SENTINEL_KHZ * 40.0) as u64,
+            ..Default::default()
+        };
+        let mut c = c;
+        c.uclk_kcycles = 2_000_000; // 2.0 GHz for 1 s
+        c.pkg_energy_uj = 200_000_000; // 200 J
+        c.dram_energy_uj = 30_000_000;
+        let b = snap(1.0, c, 330_000);
+        let d = b.delta(&a);
+        assert!((d.cpi() - 0.5).abs() < 1e-9);
+        assert!((d.gbs() - 10.0).abs() < 1e-6);
+        assert!((d.vpi() - 0.25).abs() < 1e-9);
+        assert!((d.tpi() - 156_250_000.0 / 2e9).abs() < 1e-12);
+        assert!((d.dc_power_w() - 330.0).abs() < 1e-6);
+        assert!((d.pkg_power_w() - 200.0).abs() < 1e-6);
+        assert!(
+            (d.avg_cpu_ghz() - 2.2).abs() < 1e-6,
+            "avg {}",
+            d.avg_cpu_ghz()
+        );
+        assert!((d.avg_imc_ghz() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_window_is_safe() {
+        let a = snap(1.0, SocketCounters::default(), 0);
+        let d = a.delta(&a);
+        assert_eq!(d.seconds, 0.0);
+        assert_eq!(d.cpi(), 0.0);
+        assert_eq!(d.gbs(), 0.0);
+        assert_eq!(d.dc_power_w(), 0.0);
+    }
+}

@@ -1,0 +1,152 @@
+//! The demand a workload phase places on a node.
+//!
+//! The simulator is *demand-driven*: applications do not execute
+//! instructions, they present per-iteration resource demands (instructions,
+//! main-memory traffic, vector mix, waiting time) and the node's performance
+//! and power models turn those into durations, counter increments and energy.
+
+/// Resource demand of one outer-loop iteration (or phase slice) on one node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseDemand {
+    /// Instructions to retire across all active cores in the work portion.
+    pub instructions: f64,
+    /// Fraction of instructions that are AVX512 (the paper's VPI).
+    pub avx512_fraction: f64,
+    /// Main-memory traffic in bytes (read + write, cache-line granularity).
+    pub mem_bytes: f64,
+    /// Core cycles per instruction of the core-bound component (excludes
+    /// uncore latency and DRAM bandwidth stalls, which the model adds).
+    pub cpi_core: f64,
+    /// Uncore (mesh + LLC + IMC queue) cycles charged per 64 B memory
+    /// transaction; this is the component that scales with 1/f_uncore.
+    pub uncore_lat_cycles: f64,
+    /// Fraction of DRAM service time hidden under computation, in [0, 1].
+    pub mem_overlap: f64,
+    /// Cores actively executing the work portion.
+    pub active_cores: usize,
+    /// Average activity factor of the active cores (memory-stalled cores
+    /// draw less dynamic power than retiring cores).
+    pub activity: f64,
+    /// Time spent waiting (MPI, GPU) appended to the work portion, measured
+    /// at nominal frequency. Waiting does not retire workload instructions.
+    pub wait_seconds: f64,
+    /// Whether waiting is a busy-wait (spin: cores stay clocked and draw
+    /// power, e.g. MPI polling, CUDA synchronize) or an idle wait.
+    pub wait_busy: bool,
+    /// Average power drawn by accelerators during this phase (0 if none).
+    pub gpu_power_w: f64,
+    /// Calibration bias for the opaque firmware uncore heuristic (see
+    /// `hwufs`); 0 for a neutral workload.
+    pub hw_ufs_bias: f64,
+}
+
+impl Default for PhaseDemand {
+    fn default() -> Self {
+        Self {
+            instructions: 0.0,
+            avx512_fraction: 0.0,
+            mem_bytes: 0.0,
+            cpi_core: 1.0,
+            uncore_lat_cycles: 6.0,
+            mem_overlap: 0.5,
+            active_cores: 1,
+            activity: 1.0,
+            wait_seconds: 0.0,
+            wait_busy: true,
+            gpu_power_w: 0.0,
+            hw_ufs_bias: 0.0,
+        }
+    }
+}
+
+impl PhaseDemand {
+    /// 64 B memory transactions implied by `mem_bytes`.
+    pub fn mem_transactions(&self) -> f64 {
+        self.mem_bytes / 64.0
+    }
+
+    /// The paper's TPI metric: main-memory transactions per instruction.
+    pub fn tpi(&self) -> f64 {
+        if self.instructions > 0.0 {
+            self.mem_transactions() / self.instructions
+        } else {
+            0.0
+        }
+    }
+
+    /// Validates physical plausibility; used by tests and workload builders.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.instructions.is_nan() || self.instructions < 0.0 {
+            return Err(format!("negative instructions {}", self.instructions));
+        }
+        if !(0.0..=1.0).contains(&self.avx512_fraction) {
+            return Err(format!("vpi out of range: {}", self.avx512_fraction));
+        }
+        if self.mem_bytes.is_nan() || self.mem_bytes < 0.0 {
+            return Err(format!("negative mem bytes {}", self.mem_bytes));
+        }
+        if self.cpi_core <= 0.0 && self.instructions > 0.0 {
+            return Err(format!("non-positive cpi_core {}", self.cpi_core));
+        }
+        if !(0.0..=1.0).contains(&self.mem_overlap) {
+            return Err(format!("mem_overlap out of range: {}", self.mem_overlap));
+        }
+        if self.active_cores == 0 && self.instructions > 0.0 {
+            return Err("work with zero active cores".into());
+        }
+        if !(0.0..=1.0).contains(&self.activity) {
+            return Err(format!("activity out of range: {}", self.activity));
+        }
+        if self.wait_seconds.is_nan() || self.wait_seconds < 0.0 {
+            return Err(format!("negative wait {}", self.wait_seconds));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tpi_definition() {
+        let d = PhaseDemand {
+            instructions: 1e9,
+            mem_bytes: 64.0 * 2e7,
+            ..Default::default()
+        };
+        assert!((d.tpi() - 0.02).abs() < 1e-12);
+        assert!((d.mem_transactions() - 2e7).abs() < 1.0);
+    }
+
+    #[test]
+    fn tpi_zero_instructions() {
+        let d = PhaseDemand {
+            instructions: 0.0,
+            mem_bytes: 100.0,
+            ..Default::default()
+        };
+        assert_eq!(d.tpi(), 0.0);
+    }
+
+    #[test]
+    fn default_validates() {
+        assert!(PhaseDemand::default().validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_fields() {
+        let mut d = PhaseDemand {
+            instructions: 1e9,
+            ..Default::default()
+        };
+        d.avx512_fraction = 1.5;
+        assert!(d.validate().is_err());
+        d.avx512_fraction = 0.5;
+        d.mem_overlap = -0.1;
+        assert!(d.validate().is_err());
+        d.mem_overlap = 0.5;
+        d.active_cores = 0;
+        assert!(d.validate().is_err());
+    }
+}

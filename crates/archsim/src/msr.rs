@@ -1,0 +1,301 @@
+//! Model Specific Register (MSR) file.
+//!
+//! The simulated node exposes the same MSR interface the EAR library uses on
+//! real Skylake-SP hardware, with bit layouts taken from the Intel SDM
+//! (vol. 4) so that driver-level code (ratio packing, RAPL unit decoding,
+//! 32-bit energy counter wrap handling) is exercised for real.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// MSR addresses used by the simulator (Intel SDM vol. 4, Skylake-SP).
+pub mod addr {
+    /// `IA32_MPERF`: fixed-frequency reference cycle counter.
+    pub const IA32_MPERF: u32 = 0xE7;
+    /// `IA32_APERF`: actual-frequency cycle counter.
+    pub const IA32_APERF: u32 = 0xE8;
+    /// `IA32_PERF_STATUS`: current pstate ratio (bits 15:8).
+    pub const IA32_PERF_STATUS: u32 = 0x198;
+    /// `IA32_PERF_CTL`: requested pstate ratio (bits 15:8).
+    pub const IA32_PERF_CTL: u32 = 0x199;
+    /// `IA32_ENERGY_PERF_BIAS`: EPB hint, bits 3:0 (0 = performance,
+    /// 15 = power save).
+    pub const IA32_ENERGY_PERF_BIAS: u32 = 0x1B0;
+    /// `IA32_FIXED_CTR0`: instructions retired.
+    pub const IA32_FIXED_CTR0: u32 = 0x309;
+    /// `IA32_FIXED_CTR1`: core clock cycles (unhalted).
+    pub const IA32_FIXED_CTR1: u32 = 0x30A;
+    /// `IA32_FIXED_CTR2`: reference clock cycles (unhalted).
+    pub const IA32_FIXED_CTR2: u32 = 0x30B;
+    /// `MSR_RAPL_POWER_UNIT`: power/energy/time units (energy: bits 12:8).
+    pub const MSR_RAPL_POWER_UNIT: u32 = 0x606;
+    /// `MSR_PKG_ENERGY_STATUS`: package energy accumulator (32-bit, wraps).
+    pub const MSR_PKG_ENERGY_STATUS: u32 = 0x611;
+    /// `MSR_DRAM_ENERGY_STATUS`: DRAM energy accumulator (32-bit, wraps).
+    pub const MSR_DRAM_ENERGY_STATUS: u32 = 0x619;
+    /// `MSR_UNCORE_RATIO_LIMIT` (0x620): max ratio bits 6:0, min ratio bits
+    /// 14:8, in units of 100 MHz. Writing min == max pins the uncore.
+    pub const MSR_UNCORE_RATIO_LIMIT: u32 = 0x620;
+    /// `MSR_UNCORE_PERF_STATUS` (0x621): current uncore ratio, bits 6:0.
+    pub const MSR_UNCORE_PERF_STATUS: u32 = 0x621;
+    /// U-box fixed counter control (Skylake-SP uncore).
+    pub const MSR_U_PMON_UCLK_FIXED_CTL: u32 = 0x703;
+    /// U-box fixed counter: uncore clock ticks.
+    pub const MSR_U_PMON_UCLK_FIXED_CTR: u32 = 0x704;
+}
+
+/// Error type for MSR access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MsrError {
+    /// The register is not implemented by this model (a real RDMSR would #GP).
+    Unimplemented(u32),
+    /// The register exists but is read-only (a real WRMSR would #GP).
+    ReadOnly(u32),
+    /// A written value violates the register's constraints.
+    InvalidValue {
+        /// The register address.
+        msr: u32,
+        /// The offending value.
+        value: u64,
+    },
+}
+
+impl fmt::Display for MsrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MsrError::Unimplemented(a) => write!(f, "MSR {a:#x} not implemented"),
+            MsrError::ReadOnly(a) => write!(f, "MSR {a:#x} is read-only"),
+            MsrError::InvalidValue { msr, value } => {
+                write!(f, "invalid value {value:#x} for MSR {msr:#x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MsrError {}
+
+/// Default RAPL energy-status unit exponent on Skylake-SP: energy counts in
+/// units of 1 / 2^14 J ≈ 61 µJ.
+pub const DEFAULT_ENERGY_UNIT_EXP: u64 = 14;
+
+/// Per-socket MSR register file.
+///
+/// Read-only status registers are updated by the simulator through
+/// [`MsrFile::poke`]; software (EARL) uses [`MsrFile::read`] /
+/// [`MsrFile::write`], which enforce the same access rules as the hardware.
+#[derive(Debug, Clone)]
+pub struct MsrFile {
+    regs: HashMap<u32, u64>,
+}
+
+impl MsrFile {
+    /// Creates a register file with Skylake-SP reset values, given the
+    /// platform's uncore ratio range (in 100 MHz units).
+    pub fn new(uncore_min_ratio: u8, uncore_max_ratio: u8) -> Self {
+        let mut regs = HashMap::new();
+        regs.insert(addr::IA32_MPERF, 0);
+        regs.insert(addr::IA32_APERF, 0);
+        regs.insert(addr::IA32_PERF_STATUS, 0);
+        regs.insert(addr::IA32_PERF_CTL, 0);
+        // EPB resets to 6 ("balanced") on most shipped firmware.
+        regs.insert(addr::IA32_ENERGY_PERF_BIAS, 6);
+        regs.insert(addr::IA32_FIXED_CTR0, 0);
+        regs.insert(addr::IA32_FIXED_CTR1, 0);
+        regs.insert(addr::IA32_FIXED_CTR2, 0);
+        // Energy status unit in bits 12:8; power unit (bits 3:0) and time
+        // unit (bits 19:16) carry typical values but are unused here.
+        regs.insert(
+            addr::MSR_RAPL_POWER_UNIT,
+            (DEFAULT_ENERGY_UNIT_EXP << 8) | 0x3 | (0xA << 16),
+        );
+        regs.insert(addr::MSR_PKG_ENERGY_STATUS, 0);
+        regs.insert(addr::MSR_DRAM_ENERGY_STATUS, 0);
+        regs.insert(
+            addr::MSR_UNCORE_RATIO_LIMIT,
+            pack_uncore_ratio_limit(uncore_min_ratio, uncore_max_ratio),
+        );
+        regs.insert(addr::MSR_UNCORE_PERF_STATUS, uncore_max_ratio as u64);
+        regs.insert(addr::MSR_U_PMON_UCLK_FIXED_CTL, 0);
+        regs.insert(addr::MSR_U_PMON_UCLK_FIXED_CTR, 0);
+        Self { regs }
+    }
+
+    /// RDMSR. Errors on unimplemented registers like real hardware (#GP).
+    pub fn read(&self, msr: u32) -> Result<u64, MsrError> {
+        self.regs
+            .get(&msr)
+            .copied()
+            .ok_or(MsrError::Unimplemented(msr))
+    }
+
+    /// WRMSR with the access rules software sees: status registers are
+    /// read-only, the uncore ratio limit is validated.
+    pub fn write(&mut self, msr: u32, value: u64) -> Result<(), MsrError> {
+        match msr {
+            addr::IA32_PERF_STATUS
+            | addr::MSR_PKG_ENERGY_STATUS
+            | addr::MSR_DRAM_ENERGY_STATUS
+            | addr::MSR_RAPL_POWER_UNIT
+            | addr::MSR_UNCORE_PERF_STATUS => return Err(MsrError::ReadOnly(msr)),
+            addr::MSR_UNCORE_RATIO_LIMIT => {
+                let (min, max) = unpack_uncore_ratio_limit(value);
+                if min > max || max == 0 {
+                    return Err(MsrError::InvalidValue { msr, value });
+                }
+            }
+            addr::IA32_ENERGY_PERF_BIAS if value > 0xF => {
+                return Err(MsrError::InvalidValue { msr, value });
+            }
+            _ => {}
+        }
+        if !self.regs.contains_key(&msr) {
+            return Err(MsrError::Unimplemented(msr));
+        }
+        self.regs.insert(msr, value);
+        Ok(())
+    }
+
+    /// Simulator-side update of any register, bypassing software access
+    /// rules (this is "the hardware" mutating its own status registers).
+    pub fn poke(&mut self, msr: u32, value: u64) {
+        self.regs.insert(msr, value);
+    }
+
+    /// Simulator-side accumulate-with-wrap for a counter register. The RAPL
+    /// energy counters are 32 bits wide; the fixed counters are modelled at
+    /// their architectural 48-bit width.
+    pub fn accumulate(&mut self, msr: u32, delta: u64, width_bits: u32) {
+        let mask = if width_bits >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << width_bits) - 1
+        };
+        let cur = self.regs.get(&msr).copied().unwrap_or(0);
+        self.regs.insert(msr, cur.wrapping_add(delta) & mask);
+    }
+}
+
+/// Packs (min, max) 100 MHz ratios into the `MSR_UNCORE_RATIO_LIMIT` layout.
+pub fn pack_uncore_ratio_limit(min_ratio: u8, max_ratio: u8) -> u64 {
+    ((min_ratio as u64 & 0x7F) << 8) | (max_ratio as u64 & 0x7F)
+}
+
+/// Unpacks `MSR_UNCORE_RATIO_LIMIT` into (min, max) 100 MHz ratios.
+pub fn unpack_uncore_ratio_limit(value: u64) -> (u8, u8) {
+    let max = (value & 0x7F) as u8;
+    let min = ((value >> 8) & 0x7F) as u8;
+    (min, max)
+}
+
+/// Packs a CPU frequency ratio (100 MHz units) into `IA32_PERF_CTL`
+/// (bits 15:8).
+pub fn pack_perf_ctl(ratio: u8) -> u64 {
+    (ratio as u64) << 8
+}
+
+/// Extracts the CPU frequency ratio from `IA32_PERF_CTL`/`IA32_PERF_STATUS`.
+pub fn unpack_perf_ratio(value: u64) -> u8 {
+    ((value >> 8) & 0xFF) as u8
+}
+
+/// Decodes the RAPL energy unit (joules per count) from
+/// `MSR_RAPL_POWER_UNIT`.
+pub fn rapl_energy_unit_joules(power_unit_msr: u64) -> f64 {
+    let exp = (power_unit_msr >> 8) & 0x1F;
+    1.0 / (1u64 << exp) as f64
+}
+
+/// Computes the wrap-safe delta between two reads of a 32-bit RAPL energy
+/// counter.
+pub fn rapl_counter_delta(before: u64, after: u64) -> u64 {
+    const WIDTH: u64 = 1 << 32;
+    let b = before & (WIDTH - 1);
+    let a = after & (WIDTH - 1);
+    if a >= b {
+        a - b
+    } else {
+        a + WIDTH - b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uncore_ratio_limit_roundtrip() {
+        let v = pack_uncore_ratio_limit(12, 24);
+        assert_eq!(v, (12 << 8) | 24);
+        assert_eq!(unpack_uncore_ratio_limit(v), (12, 24));
+    }
+
+    #[test]
+    fn reset_values_match_skylake() {
+        let m = MsrFile::new(12, 24);
+        let (min, max) = unpack_uncore_ratio_limit(m.read(addr::MSR_UNCORE_RATIO_LIMIT).unwrap());
+        assert_eq!((min, max), (12, 24));
+        let unit = rapl_energy_unit_joules(m.read(addr::MSR_RAPL_POWER_UNIT).unwrap());
+        assert!((unit - 1.0 / 16384.0).abs() < 1e-12);
+        assert_eq!(m.read(addr::IA32_ENERGY_PERF_BIAS).unwrap(), 6);
+    }
+
+    #[test]
+    fn status_registers_are_read_only() {
+        let mut m = MsrFile::new(12, 24);
+        assert_eq!(
+            m.write(addr::MSR_PKG_ENERGY_STATUS, 1),
+            Err(MsrError::ReadOnly(addr::MSR_PKG_ENERGY_STATUS))
+        );
+        assert_eq!(
+            m.write(addr::IA32_PERF_STATUS, 1),
+            Err(MsrError::ReadOnly(addr::IA32_PERF_STATUS))
+        );
+    }
+
+    #[test]
+    fn invalid_uncore_limit_rejected() {
+        let mut m = MsrFile::new(12, 24);
+        // min > max is invalid.
+        let bad = pack_uncore_ratio_limit(20, 15);
+        assert!(matches!(
+            m.write(addr::MSR_UNCORE_RATIO_LIMIT, bad),
+            Err(MsrError::InvalidValue { .. })
+        ));
+        // Pinning min == max is explicitly allowed (paper §IV).
+        let pinned = pack_uncore_ratio_limit(18, 18);
+        assert!(m.write(addr::MSR_UNCORE_RATIO_LIMIT, pinned).is_ok());
+    }
+
+    #[test]
+    fn epb_range_checked() {
+        let mut m = MsrFile::new(12, 24);
+        assert!(m.write(addr::IA32_ENERGY_PERF_BIAS, 15).is_ok());
+        assert!(m.write(addr::IA32_ENERGY_PERF_BIAS, 16).is_err());
+    }
+
+    #[test]
+    fn unimplemented_msr_faults() {
+        let m = MsrFile::new(12, 24);
+        assert_eq!(m.read(0xDEAD), Err(MsrError::Unimplemented(0xDEAD)));
+    }
+
+    #[test]
+    fn accumulate_wraps_at_width() {
+        let mut m = MsrFile::new(12, 24);
+        m.poke(addr::MSR_PKG_ENERGY_STATUS, (1u64 << 32) - 10);
+        m.accumulate(addr::MSR_PKG_ENERGY_STATUS, 25, 32);
+        assert_eq!(m.read(addr::MSR_PKG_ENERGY_STATUS).unwrap(), 15);
+    }
+
+    #[test]
+    fn rapl_delta_handles_wrap() {
+        assert_eq!(rapl_counter_delta(100, 250), 150);
+        assert_eq!(rapl_counter_delta((1 << 32) - 5, 10), 15);
+    }
+
+    #[test]
+    fn perf_ctl_ratio_roundtrip() {
+        assert_eq!(unpack_perf_ratio(pack_perf_ctl(24)), 24);
+        assert_eq!(unpack_perf_ratio(pack_perf_ctl(10)), 10);
+    }
+}

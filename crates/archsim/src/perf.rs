@@ -1,0 +1,197 @@
+//! Analytic performance model.
+//!
+//! A leading-loads / roofline hybrid: iteration time decomposes into a
+//! core-frequency-scalable part, an uncore-frequency-scalable latency part,
+//! and a DRAM bandwidth part that only binds near saturation:
+//!
+//! ```text
+//! T_core(f_c) = I · cpi_core / (A · f_c_eff)
+//! T_unc(f_u)  = M · uncore_lat_cycles / (A · f_u)
+//! T_bw(f_u)   = B / BW(f_u),   BW(f_u) = bw_peak · min(1, f_u / f_sat)
+//! T_work      = max(T_core + T_unc + (1 − overlap) · T_bw,  T_bw)
+//! ```
+//!
+//! where `I` is instructions, `M` memory transactions, `B` bytes, `A` active
+//! cores and `f_c_eff` the AVX512-licence-blended core frequency. Observed
+//! CPI and GB/s are *derived* from `T_work`, which makes the motivating
+//! behaviour of the paper's Fig. 1 emergent: lowering the uncore frequency
+//! stretches `T_unc`/`T_bw`, which raises measured CPI and lowers measured
+//! GB/s — strongly for memory-bound workloads, negligibly for compute-bound
+//! ones.
+
+use crate::config::PerfParams;
+use crate::demand::PhaseDemand;
+
+/// Breakdown of a phase's work time at given frequencies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeBreakdown {
+    /// Core-scalable component (s).
+    pub core_s: f64,
+    /// Uncore-latency component (s).
+    pub uncore_s: f64,
+    /// Exposed DRAM bandwidth component (s).
+    pub bandwidth_s: f64,
+    /// Total work time (s), excluding waiting.
+    pub work_s: f64,
+}
+
+/// Achievable main-memory bandwidth (bytes/s) at an uncore frequency.
+pub fn achievable_bw(params: &PerfParams, f_uncore_ghz: f64) -> f64 {
+    let scale = (f_uncore_ghz / params.bw_sat_ghz).min(1.0);
+    params.bw_peak_bytes * scale.max(1e-3)
+}
+
+/// Computes the work-time breakdown for `demand` at the given effective core
+/// frequency (Hz, already AVX512-blended) and uncore frequency (GHz).
+pub fn work_time(
+    params: &PerfParams,
+    demand: &PhaseDemand,
+    f_core_eff_hz: f64,
+    f_uncore_ghz: f64,
+) -> TimeBreakdown {
+    if demand.instructions <= 0.0 && demand.mem_bytes <= 0.0 {
+        return TimeBreakdown {
+            core_s: 0.0,
+            uncore_s: 0.0,
+            bandwidth_s: 0.0,
+            work_s: 0.0,
+        };
+    }
+    let a = demand.active_cores.max(1) as f64;
+    let core_s = demand.instructions * demand.cpi_core / (a * f_core_eff_hz);
+    let uncore_s = demand.mem_transactions() * demand.uncore_lat_cycles / (a * f_uncore_ghz * 1e9);
+    let bw = achievable_bw(params, f_uncore_ghz);
+    let t_bw = demand.mem_bytes / bw;
+    let exposed_bw = (1.0 - demand.mem_overlap) * t_bw;
+    let serial_path = core_s + uncore_s + exposed_bw;
+    let work_s = serial_path.max(t_bw);
+    TimeBreakdown {
+        core_s,
+        uncore_s,
+        bandwidth_s: work_s - core_s - uncore_s,
+        work_s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn memory_bound_demand() -> PhaseDemand {
+        PhaseDemand {
+            instructions: 3e10,
+            mem_bytes: 170e9,
+            cpi_core: 2.0,
+            uncore_lat_cycles: 6.0,
+            mem_overlap: 0.85,
+            active_cores: 40,
+            ..Default::default()
+        }
+    }
+
+    fn compute_bound_demand() -> PhaseDemand {
+        PhaseDemand {
+            instructions: 2e11,
+            mem_bytes: 20e9,
+            cpi_core: 0.38,
+            uncore_lat_cycles: 4.0,
+            mem_overlap: 0.6,
+            active_cores: 40,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn bandwidth_saturates() {
+        let p = PerfParams::default();
+        assert!((achievable_bw(&p, 2.4) - p.bw_peak_bytes).abs() < 1.0);
+        assert!((achievable_bw(&p, 2.1) - p.bw_peak_bytes).abs() < 1.0);
+        // Below saturation it is linear.
+        let half = achievable_bw(&p, 1.05);
+        assert!((half - 0.5 * p.bw_peak_bytes).abs() / p.bw_peak_bytes < 1e-9);
+    }
+
+    #[test]
+    fn time_monotone_in_core_frequency() {
+        let p = PerfParams::default();
+        let d = compute_bound_demand();
+        let slow = work_time(&p, &d, 1.2e9, 2.4).work_s;
+        let fast = work_time(&p, &d, 2.4e9, 2.4).work_s;
+        assert!(slow > fast);
+        // Compute-bound: halving frequency nearly doubles time.
+        assert!(slow / fast > 1.8);
+    }
+
+    #[test]
+    fn time_monotone_in_uncore_frequency() {
+        let p = PerfParams::default();
+        let d = memory_bound_demand();
+        let slow = work_time(&p, &d, 2.4e9, 1.2).work_s;
+        let fast = work_time(&p, &d, 2.4e9, 2.4).work_s;
+        assert!(slow > fast);
+    }
+
+    #[test]
+    fn compute_bound_insensitive_to_uncore() {
+        let p = PerfParams::default();
+        let d = compute_bound_demand();
+        let t_hi = work_time(&p, &d, 2.4e9, 2.4).work_s;
+        let t_lo = work_time(&p, &d, 2.4e9, 1.8).work_s;
+        // < 3 % penalty for a 600 MHz uncore drop on a compute-bound kernel.
+        assert!(
+            (t_lo - t_hi) / t_hi < 0.03,
+            "penalty {}",
+            (t_lo - t_hi) / t_hi
+        );
+    }
+
+    #[test]
+    fn memory_bound_sensitive_to_uncore() {
+        let p = PerfParams::default();
+        let d = memory_bound_demand();
+        let t_hi = work_time(&p, &d, 2.4e9, 2.4).work_s;
+        let t_lo = work_time(&p, &d, 2.4e9, 1.4).work_s;
+        // Far below bandwidth saturation the penalty must be large.
+        assert!(
+            (t_lo - t_hi) / t_hi > 0.15,
+            "penalty {}",
+            (t_lo - t_hi) / t_hi
+        );
+    }
+
+    #[test]
+    fn bandwidth_floor_binds() {
+        let p = PerfParams::default();
+        // Pure streaming: negligible compute, lots of bytes.
+        let d = PhaseDemand {
+            instructions: 1e8,
+            mem_bytes: 205e9,
+            cpi_core: 0.5,
+            mem_overlap: 1.0,
+            active_cores: 40,
+            ..Default::default()
+        };
+        let t = work_time(&p, &d, 2.4e9, 2.4);
+        // Work time cannot beat the bandwidth bound.
+        assert!(t.work_s >= d.mem_bytes / p.bw_peak_bytes - 1e-9);
+    }
+
+    #[test]
+    fn empty_demand_is_instant() {
+        let p = PerfParams::default();
+        let d = PhaseDemand {
+            instructions: 0.0,
+            mem_bytes: 0.0,
+            ..Default::default()
+        };
+        assert_eq!(work_time(&p, &d, 2.4e9, 2.4).work_s, 0.0);
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let p = PerfParams::default();
+        let d = memory_bound_demand();
+        let t = work_time(&p, &d, 2.2e9, 2.0);
+        assert!((t.core_s + t.uncore_s + t.bandwidth_s - t.work_s).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,265 @@
+//! CPU pstate table and AVX licence frequency caps.
+//!
+//! EAR's convention (inherited from the ACPI frequency list exported by the
+//! `acpi-cpufreq`/`intel_pstate` drivers): pstate 0 is the turbo bucket,
+//! pstate 1 is the nominal frequency, and each subsequent pstate steps down
+//! 100 MHz. On the Xeon Gold 6148 used in the paper, nominal is 2.4 GHz and
+//! the all-core AVX512 licence caps the frequency at 2.2 GHz — i.e. pstate 3,
+//! exactly as §V-A of the paper describes.
+
+/// A pstate index. 0 = turbo, 1 = nominal, increasing = slower.
+pub type Pstate = usize;
+
+/// Frequency table of a processor model.
+#[derive(Debug, Clone)]
+pub struct PstateTable {
+    /// Frequencies in kHz, ordered from fastest (index 0, turbo) down.
+    freqs_khz: Vec<u64>,
+    /// Maximum frequency (kHz) sustainable when all cores run AVX512.
+    avx512_max_khz: u64,
+    /// Maximum frequency (kHz) sustainable when all cores run AVX2.
+    avx2_max_khz: u64,
+    /// All-core turbo (kHz): the turbo bucket delivers the single-core
+    /// bin only with one active core; with every core active it delivers
+    /// this (Skylake-SP turbo bins).
+    turbo_all_core_khz: u64,
+}
+
+impl PstateTable {
+    /// Builds a table for a part with the given turbo and nominal
+    /// frequencies, stepping down 100 MHz per pstate to `min_khz`.
+    pub fn new(
+        turbo_khz: u64,
+        nominal_khz: u64,
+        min_khz: u64,
+        avx512_max_khz: u64,
+        avx2_max_khz: u64,
+    ) -> Self {
+        assert!(turbo_khz >= nominal_khz && nominal_khz >= min_khz && min_khz > 0);
+        let mut freqs_khz = vec![turbo_khz];
+        let mut f = nominal_khz;
+        while f >= min_khz {
+            freqs_khz.push(f);
+            f -= 100_000;
+        }
+        // Default all-core turbo: midway between nominal and peak turbo,
+        // rounded down to a ratio step (overridable per part).
+        let turbo_all_core_khz = nominal_khz + (turbo_khz - nominal_khz) / 2 / 100_000 * 100_000;
+        Self {
+            freqs_khz,
+            avx512_max_khz,
+            avx2_max_khz,
+            turbo_all_core_khz,
+        }
+    }
+
+    /// Overrides the all-core turbo bin.
+    pub fn with_all_core_turbo(mut self, khz: u64) -> Self {
+        assert!(khz >= self.nominal_khz() && khz <= self.freqs_khz[0]);
+        self.turbo_all_core_khz = khz;
+        self
+    }
+
+    /// The Xeon Gold 6148 (Skylake-SP, 20 cores): turbo 3.7 GHz
+    /// single-core / 3.1 GHz all-core, nominal 2.4 GHz, min 1.0 GHz,
+    /// all-core AVX512 licence 2.2 GHz.
+    pub fn xeon_gold_6148() -> Self {
+        Self::new(3_700_000, 2_400_000, 1_000_000, 2_200_000, 2_600_000)
+            .with_all_core_turbo(3_100_000)
+    }
+
+    /// The Xeon Gold 6142M (GPU nodes in the paper): nominal 2.6 GHz,
+    /// 3.0 GHz all-core turbo.
+    pub fn xeon_gold_6142m() -> Self {
+        Self::new(3_700_000, 2_600_000, 1_000_000, 2_200_000, 2_600_000)
+            .with_all_core_turbo(3_000_000)
+    }
+
+    /// Number of pstates (including turbo).
+    pub fn len(&self) -> usize {
+        self.freqs_khz.len()
+    }
+
+    /// True if the table is empty (never the case for constructed tables).
+    pub fn is_empty(&self) -> bool {
+        self.freqs_khz.is_empty()
+    }
+
+    /// Frequency of `ps` in kHz. Panics if out of range.
+    pub fn khz(&self, ps: Pstate) -> u64 {
+        self.freqs_khz[ps]
+    }
+
+    /// Frequency of `ps` in GHz.
+    pub fn ghz(&self, ps: Pstate) -> f64 {
+        self.freqs_khz[ps] as f64 * 1e-6
+    }
+
+    /// The nominal pstate (1 by construction).
+    pub fn nominal(&self) -> Pstate {
+        1
+    }
+
+    /// Nominal frequency in kHz.
+    pub fn nominal_khz(&self) -> u64 {
+        self.freqs_khz[1]
+    }
+
+    /// The slowest pstate.
+    pub fn slowest(&self) -> Pstate {
+        self.freqs_khz.len() - 1
+    }
+
+    /// Maps a frequency to its pstate. Returns the pstate whose frequency is
+    /// closest to `khz` among non-turbo entries (turbo is matched exactly).
+    pub fn pstate_for_khz(&self, khz: u64) -> Pstate {
+        if khz >= self.freqs_khz[0] {
+            return 0;
+        }
+        let mut best = 1;
+        let mut best_d = u64::MAX;
+        for (i, &f) in self.freqs_khz.iter().enumerate().skip(1) {
+            let d = f.abs_diff(khz);
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Converts a 100 MHz ratio (as written to `IA32_PERF_CTL`) to a pstate.
+    pub fn pstate_for_ratio(&self, ratio: u8) -> Pstate {
+        self.pstate_for_khz(ratio as u64 * 100_000)
+    }
+
+    /// Converts a pstate to its 100 MHz ratio.
+    pub fn ratio_for(&self, ps: Pstate) -> u8 {
+        (self.freqs_khz[ps] / 100_000) as u8
+    }
+
+    /// The all-core AVX512 licence frequency cap in kHz (2.2 GHz on the
+    /// 6148, i.e. pstate 3 — the paper's §V-A example).
+    pub fn avx512_max_khz(&self) -> u64 {
+        self.avx512_max_khz
+    }
+
+    /// The pstate corresponding to the all-core AVX512 licence cap.
+    pub fn avx512_pstate(&self) -> Pstate {
+        self.pstate_for_khz(self.avx512_max_khz)
+    }
+
+    /// The all-core AVX2 licence frequency cap in kHz.
+    pub fn avx2_max_khz(&self) -> u64 {
+        self.avx2_max_khz
+    }
+
+    /// The all-core turbo bin (kHz).
+    pub fn turbo_all_core_khz(&self) -> u64 {
+        self.turbo_all_core_khz
+    }
+
+    /// The frequency (kHz) actually delivered when `requested` is the
+    /// requested pstate and the workload's AVX512 instruction fraction is
+    /// `vpi`: AVX512-heavy code cannot exceed the licence cap, and the
+    /// effective frequency blends linearly with the fraction of time spent
+    /// under the licence (the hardware switches licence levels per ~µs
+    /// epoch, which time-averages exactly this way).
+    pub fn effective_khz(&self, requested: Pstate, vpi: f64) -> f64 {
+        self.effective_khz_active(requested, vpi, 1)
+    }
+
+    /// [`PstateTable::effective_khz`] accounting for the turbo bins: with
+    /// many active cores the turbo bucket delivers the all-core bin, not
+    /// the single-core peak. Non-turbo pstates are unaffected.
+    pub fn effective_khz_active(&self, requested: Pstate, vpi: f64, active_cores: usize) -> f64 {
+        let mut f_req = self.freqs_khz[requested] as f64;
+        if requested == 0 && active_cores > 1 {
+            // Linear interpolation between the single-core and all-core
+            // bins by active-core fraction is a close fit to the published
+            // per-bin tables.
+            let span = (self.freqs_khz[0] - self.turbo_all_core_khz) as f64;
+            let frac = ((active_cores - 1) as f64 / 19.0).min(1.0);
+            f_req -= span * frac;
+        }
+        let f_cap = f_req.min(self.avx512_max_khz as f64);
+        f_req * (1.0 - vpi) + f_cap * vpi
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_layout_6148() {
+        let t = PstateTable::xeon_gold_6148();
+        assert_eq!(t.khz(0), 3_700_000); // turbo
+        assert_eq!(t.khz(1), 2_400_000); // nominal
+        assert_eq!(t.khz(2), 2_300_000);
+        assert_eq!(t.khz(3), 2_200_000); // AVX512 cap == pstate 3 (paper §V-A)
+        assert_eq!(t.avx512_pstate(), 3);
+        assert_eq!(t.khz(t.slowest()), 1_000_000);
+        assert_eq!(t.len(), 16);
+    }
+
+    #[test]
+    fn pstate_freq_roundtrip() {
+        let t = PstateTable::xeon_gold_6148();
+        for ps in 0..t.len() {
+            assert_eq!(t.pstate_for_khz(t.khz(ps)), ps);
+        }
+    }
+
+    #[test]
+    fn ratio_conversion() {
+        let t = PstateTable::xeon_gold_6148();
+        assert_eq!(t.ratio_for(1), 24);
+        assert_eq!(t.pstate_for_ratio(24), 1);
+        assert_eq!(t.pstate_for_ratio(22), 3);
+    }
+
+    #[test]
+    fn effective_frequency_blends_with_vpi() {
+        let t = PstateTable::xeon_gold_6148();
+        // Pure scalar at nominal: full 2.4 GHz.
+        assert!((t.effective_khz(1, 0.0) - 2_400_000.0).abs() < 1.0);
+        // Pure AVX512 at nominal: capped at 2.2 GHz.
+        assert!((t.effective_khz(1, 1.0) - 2_200_000.0).abs() < 1.0);
+        // Mixed: in between.
+        let half = t.effective_khz(1, 0.5);
+        assert!(half > 2_200_000.0 && half < 2_400_000.0);
+        // Below the cap the licence is irrelevant.
+        assert!((t.effective_khz(5, 1.0) - 2_000_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn pstate_for_khz_clamps_to_turbo() {
+        let t = PstateTable::xeon_gold_6148();
+        assert_eq!(t.pstate_for_khz(9_000_000), 0);
+    }
+
+    #[test]
+    fn turbo_bins_scale_with_active_cores() {
+        let t = PstateTable::xeon_gold_6148();
+        assert_eq!(t.turbo_all_core_khz(), 3_100_000);
+        // Single core gets the full bin.
+        assert!((t.effective_khz_active(0, 0.0, 1) - 3_700_000.0).abs() < 1.0);
+        // All cores get the all-core bin.
+        assert!((t.effective_khz_active(0, 0.0, 20) - 3_100_000.0).abs() < 1.0);
+        // In between: monotone decreasing.
+        let f8 = t.effective_khz_active(0, 0.0, 8);
+        assert!(f8 < 3_700_000.0 && f8 > 3_100_000.0);
+        // Non-turbo pstates ignore active-core count.
+        assert_eq!(
+            t.effective_khz_active(1, 0.0, 1),
+            t.effective_khz_active(1, 0.0, 40)
+        );
+    }
+
+    #[test]
+    fn gpu_node_nominal() {
+        let t = PstateTable::xeon_gold_6142m();
+        assert_eq!(t.nominal_khz(), 2_600_000);
+    }
+}

@@ -1,0 +1,166 @@
+//! Property-based tests for the hardware substrate.
+//!
+//! These pin the invariants the EAR policies rely on: monotonicity of the
+//! time/power surfaces, MSR bit-layout roundtrips, RAPL wrap safety and the
+//! firmware UFS respecting its programmed limits.
+
+use ear_archsim::config::{HwUfsParams, NodeConfig};
+use ear_archsim::hwufs::{HwUfsController, HwUfsInput};
+use ear_archsim::msr::{pack_uncore_ratio_limit, rapl_counter_delta, unpack_uncore_ratio_limit};
+use ear_archsim::perf::work_time;
+use ear_archsim::power::{pkg_power, SocketPowerInput};
+use ear_archsim::{Node, PerfParams, PhaseDemand, PowerParams};
+use proptest::prelude::*;
+
+fn arb_demand() -> impl Strategy<Value = PhaseDemand> {
+    (
+        1e9..1e12f64, // instructions
+        0.0..1.0f64,  // vpi
+        0.0..2e11f64, // mem bytes
+        0.2..4.0f64,  // cpi_core
+        1.0..12.0f64, // uncore lat cycles
+        0.0..1.0f64,  // overlap
+        1usize..=40,  // active cores
+        0.3..1.0f64,  // activity
+    )
+        .prop_map(|(inst, vpi, bytes, cpi, lat, ov, cores, act)| PhaseDemand {
+            instructions: inst,
+            avx512_fraction: vpi,
+            mem_bytes: bytes,
+            cpi_core: cpi,
+            uncore_lat_cycles: lat,
+            mem_overlap: ov,
+            active_cores: cores,
+            activity: act,
+            ..Default::default()
+        })
+}
+
+proptest! {
+    #[test]
+    fn uncore_ratio_limit_roundtrips(min in 0u8..=0x7F, max in 0u8..=0x7F) {
+        let packed = pack_uncore_ratio_limit(min, max);
+        prop_assert_eq!(unpack_uncore_ratio_limit(packed), (min, max));
+    }
+
+    #[test]
+    fn rapl_delta_never_negative_and_bounded(a in any::<u64>(), b in any::<u64>()) {
+        let d = rapl_counter_delta(a, b);
+        prop_assert!(d < (1u64 << 32));
+    }
+
+    #[test]
+    fn work_time_monotone_decreasing_in_core_freq(d in arb_demand(), f1 in 1.0..2.39f64) {
+        let p = PerfParams::default();
+        let f2 = f1 + 0.01;
+        let t1 = work_time(&p, &d, f1 * 1e9, 2.4).work_s;
+        let t2 = work_time(&p, &d, f2 * 1e9, 2.4).work_s;
+        prop_assert!(t2 <= t1 + 1e-12, "t({f1})={t1} < t({f2})={t2}");
+    }
+
+    #[test]
+    fn work_time_monotone_decreasing_in_uncore_freq(d in arb_demand(), u1 in 1.2..2.39f64) {
+        let p = PerfParams::default();
+        let u2 = u1 + 0.01;
+        let t1 = work_time(&p, &d, 2.4e9, u1).work_s;
+        let t2 = work_time(&p, &d, 2.4e9, u2).work_s;
+        prop_assert!(t2 <= t1 + 1e-12);
+    }
+
+    #[test]
+    fn work_time_positive_and_finite(d in arb_demand(), f in 1.0..2.4f64, u in 1.2..2.4f64) {
+        let p = PerfParams::default();
+        let t = work_time(&p, &d, f * 1e9, u).work_s;
+        prop_assert!(t.is_finite());
+        prop_assert!(t > 0.0);
+    }
+
+    #[test]
+    fn pkg_power_monotone_in_both_frequencies(
+        fc in 1.0..2.39f64,
+        fu in 1.2..2.39f64,
+        util in 0.0..1.0f64,
+        act in 0.1..1.0f64,
+    ) {
+        let p = PowerParams::default();
+        let mk = |fc: f64, fu: f64| SocketPowerInput {
+            active_cores: 20,
+            total_cores: 20,
+            f_core_ghz: fc,
+            activity: act,
+            avx512_fraction: 0.0,
+            f_uncore_ghz: fu,
+            mem_util: util,
+        };
+        let base = pkg_power(&p, &mk(fc, fu));
+        prop_assert!(base.is_finite() && base > 0.0);
+        prop_assert!(pkg_power(&p, &mk(fc + 0.01, fu)) >= base);
+        prop_assert!(pkg_power(&p, &mk(fc, fu + 0.01)) >= base);
+    }
+
+    #[test]
+    fn hwufs_never_escapes_limits(
+        min in 12u8..=24,
+        span in 0u8..=12,
+        mem in 0.0..1.0f64,
+        busy in 0.0..1.0f64,
+        fast in prop::sample::select(vec![0u64, 1_200_000, 2_000_000, 2_400_000, 2_600_000]),
+        steps in 1usize..200,
+    ) {
+        let max = (min + span).min(24);
+        let mut c = HwUfsController::new(HwUfsParams::default(), 24);
+        let input = HwUfsInput {
+            fastest_active_khz: fast,
+            nominal_khz: 2_400_000,
+            mem_util: mem,
+            busy_fraction: busy,
+            epb: 6,
+            bias: 0.0,
+        };
+        for _ in 0..steps {
+            let r = c.advance(0.01, &input, min, max);
+            prop_assert!(r >= min && r <= max, "ratio {r} outside [{min},{max}]");
+        }
+    }
+
+    #[test]
+    fn node_counters_are_monotonic(seed in any::<u64>(), n_phases in 1usize..4) {
+        let mut node = Node::new(NodeConfig::sd530_6148(), seed);
+        let d = PhaseDemand {
+            instructions: 5e10,
+            mem_bytes: 10e9,
+            active_cores: 40,
+            ..Default::default()
+        };
+        let mut prev = node.snapshot();
+        for _ in 0..n_phases {
+            node.run_phase(&d);
+            let now = node.snapshot();
+            for (a, b) in now.sockets.iter().zip(&prev.sockets) {
+                prop_assert!(a.instructions >= b.instructions);
+                prop_assert!(a.core_cycles >= b.core_cycles);
+                prop_assert!(a.pkg_energy_uj >= b.pkg_energy_uj);
+                prop_assert!(a.cas_transactions >= b.cas_transactions);
+            }
+            prop_assert!(now.time >= prev.time);
+            prop_assert!(now.dc_energy_exact_j >= prev.dc_energy_exact_j);
+            prev = now;
+        }
+    }
+
+    #[test]
+    fn energy_equals_integrated_power(seed in any::<u64>()) {
+        // DC energy must always exceed pkg energy (DC includes platform).
+        let mut node = Node::new(NodeConfig::sd530_6148(), seed);
+        let d = PhaseDemand {
+            instructions: 2e11,
+            mem_bytes: 30e9,
+            active_cores: 40,
+            ..Default::default()
+        };
+        node.run_phase(&d);
+        let snap = node.snapshot();
+        let pkg_j: f64 = snap.sockets.iter().map(|s| s.pkg_energy_uj as f64 * 1e-6).sum();
+        prop_assert!(snap.dc_energy_exact_j > pkg_j);
+    }
+}

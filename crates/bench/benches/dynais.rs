@@ -1,0 +1,64 @@
+//! DynAIS throughput benchmarks.
+//!
+//! EARL feeds DynAIS on *every* MPI call, so sample cost bounds the
+//! runtime's interception overhead (the paper calls EARL "lightweight").
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use ear_dynais::{DynAis, DynaisConfig, LevelDetector};
+use std::hint::black_box;
+
+fn bench_level_detector(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dynais/level");
+    g.throughput(Throughput::Elements(1));
+    for period in [4usize, 32, 100] {
+        g.bench_function(format!("periodic_p{period}"), |b| {
+            let pattern: Vec<u64> = (0..period as u64).map(|i| i * 7919 + 3).collect();
+            b.iter_batched(
+                || (LevelDetector::new(250, 2), 0usize),
+                |(mut det, i)| {
+                    let v = pattern[i % pattern.len()];
+                    black_box(det.sample(v));
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_stack(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dynais/stack");
+    g.throughput(Throughput::Elements(1000));
+    for levels in [1usize, 4, 10] {
+        g.bench_function(format!("levels_{levels}"), |b| {
+            let cfg = DynaisConfig {
+                levels,
+                window_size: 250,
+                min_period: 2,
+            };
+            let pattern: Vec<u64> = (0..6u64).map(|i| i * 31 + 5).collect();
+            b.iter(|| {
+                let mut d = DynAis::new(&cfg);
+                for i in 0..1000usize {
+                    black_box(d.sample(pattern[i % pattern.len()]));
+                }
+                d
+            });
+        });
+    }
+    // Worst case: an aperiodic stream never matches, every candidate run
+    // resets each sample.
+    g.bench_function("aperiodic_1000", |b| {
+        b.iter(|| {
+            let mut d = DynAis::with_defaults();
+            for i in 0..1000u64 {
+                black_box(d.sample(i.wrapping_mul(i).wrapping_add(17)));
+            }
+            d
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_level_detector, bench_stack);
+criterion_main!(benches);

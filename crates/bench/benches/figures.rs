@@ -1,0 +1,150 @@
+//! One benchmark per paper figure, plus the design-choice ablations called
+//! out in DESIGN.md: HW-guided vs linear IMC search and the AVX512 model
+//! vs the default model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ear_archsim::{NodeConfig, PstateTable};
+use ear_core::policy::api::{PolicyCtx, PolicySettings};
+use ear_core::policy::min_energy::select_min_energy_pstate;
+use ear_core::{Avx512Model, EnergyModel, ImcSearch, Signature};
+use ear_experiments::{run_cell, RunKind};
+use ear_workloads::by_name;
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+
+    // Fig 1: one point of the fixed-uncore sweep (BT-MZ at 1.8 GHz).
+    g.bench_function("fig1_sweep_point", |b| {
+        let t = by_name("BT-MZ.C (MPI)").unwrap();
+        b.iter(|| {
+            black_box(run_cell(
+                &t,
+                &RunKind::Fixed {
+                    cpu: 1,
+                    imc_ratio: Some(18),
+                },
+                "fixed",
+                1,
+                11,
+            ))
+        })
+    });
+
+    // Fig 3: BQCD under ME+eU (one threshold).
+    g.bench_function("fig3_cell", |b| {
+        let t = by_name("BQCD").unwrap();
+        b.iter(|| black_box(run_cell(&t, &RunKind::me_eufs(0.03, 0.02), "eu", 1, 13)))
+    });
+
+    // Fig 4: BT-MZ under ME+eU with a 0 % threshold (tightest search).
+    g.bench_function("fig4_cell", |b| {
+        let t = by_name("BT-MZ").unwrap();
+        b.iter(|| black_box(run_cell(&t, &RunKind::me_eufs(0.03, 0.0), "eu", 1, 14)))
+    });
+
+    // Fig 5: GROMACS(I) with the not-guided (linear) search.
+    g.bench_function("fig5_cell_ng_u", |b| {
+        let t = by_name("GROMACS (I)").unwrap();
+        b.iter(|| black_box(run_cell(&t, &RunKind::me_ng_u(0.05, 0.02), "ngu", 1, 15)))
+    });
+
+    // Fig 6: GROMACS(II) — the 16-node job.
+    g.bench_function("fig6_cell", |b| {
+        let t = by_name("GROMACS (II)").unwrap();
+        b.iter(|| black_box(run_cell(&t, &RunKind::me_eufs(0.05, 0.02), "eu", 1, 16)))
+    });
+
+    // Fig 7: HPCG under ME+eU (DVFS + uncore stages both active).
+    g.bench_function("fig7_cell", |b| {
+        let t = by_name("HPCG").unwrap();
+        b.iter(|| black_box(run_cell(&t, &RunKind::me_eufs(0.05, 0.02), "eu", 1, 17)))
+    });
+
+    // Fig 8: AFiD — 15 nodes, both stages.
+    g.bench_function("fig8_cell", |b| {
+        let t = by_name("AFiD").unwrap();
+        b.iter(|| black_box(run_cell(&t, &RunKind::me_eufs(0.05, 0.02), "eu", 1, 18)))
+    });
+
+    g.finish();
+}
+
+/// Ablation: HW-guided vs linear IMC search convergence (paper §V-B says
+/// guided "is faster"; DGEMM makes the difference visible because the
+/// firmware settles at 1.98 GHz, well below the 2.4 GHz linear start).
+fn bench_search_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/imc_search");
+    g.sample_size(10);
+    let t = by_name("DGEMM").unwrap();
+    for (label, search) in [
+        ("hw_guided", ImcSearch::HwGuided),
+        ("linear", ImcSearch::Linear),
+    ] {
+        g.bench_function(label, |b| {
+            let kind = RunKind::Policy {
+                name: "min_energy_eufs".into(),
+                settings: PolicySettings {
+                    imc_search: search,
+                    ..Default::default()
+                },
+            };
+            b.iter(|| black_box(run_cell(&t, &kind, label, 1, 21)))
+        });
+    }
+    g.finish();
+}
+
+/// Ablation: CPU selection with the AVX512 model vs the default model on a
+/// pure-AVX512 signature (the paper's §V-A motivation: the default model
+/// would chase frequencies AVX512 cannot reach).
+fn bench_model_ablation(c: &mut Criterion) {
+    let pstates = PstateTable::xeon_gold_6148();
+    let cfg = NodeConfig::sd530_6148();
+    let avx = Avx512Model::for_node(&cfg);
+    let sig = Signature {
+        window_s: 10.0,
+        iterations: 5,
+        cpi: 0.45,
+        tpi: 0.0078,
+        gbs: 98.0,
+        vpi: 1.0,
+        dc_power_w: 369.0,
+        pkg_power_w: 270.0,
+        avg_cpu_khz: 2.2e6,
+        avg_imc_khz: 2.0e6,
+    };
+    let settings = PolicySettings::default();
+    let mut g = c.benchmark_group("ablation/model");
+    g.bench_function("avx512_model_selection", |b| {
+        let ctx = PolicyCtx {
+            pstates: &pstates,
+            uncore_min_ratio: 12,
+            uncore_max_ratio: 24,
+            model: &avx,
+            settings: &settings,
+        };
+        b.iter(|| black_box(select_min_energy_pstate(&sig, 3, &ctx)))
+    });
+    g.bench_function("default_model_selection", |b| {
+        let inner: &dyn EnergyModel = avx.inner();
+        let ctx = PolicyCtx {
+            pstates: &pstates,
+            uncore_min_ratio: 12,
+            uncore_max_ratio: 24,
+            model: inner,
+            settings: &settings,
+        };
+        b.iter(|| black_box(select_min_energy_pstate(&sig, 3, &ctx)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_figures,
+    bench_search_ablation,
+    bench_model_ablation
+);
+criterion_main!(benches);

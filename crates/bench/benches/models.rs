@@ -1,0 +1,75 @@
+//! Energy-model benchmarks and the AVX512-model ablation.
+//!
+//! Policies project every candidate pstate on every signature; projection
+//! cost × pstate count bounds the per-signature policy latency. The
+//! ablation group quantifies what the paper's AVX512 blending costs over
+//! the default model.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use ear_archsim::{NodeConfig, PstateTable};
+use ear_core::{Avx512Model, DefaultModel, EnergyModel, Signature};
+use std::hint::black_box;
+
+fn sig(vpi: f64) -> Signature {
+    Signature {
+        window_s: 10.0,
+        iterations: 5,
+        cpi: 0.72,
+        tpi: 0.0124,
+        gbs: 100.7,
+        vpi,
+        dc_power_w: 347.0,
+        pkg_power_w: 250.0,
+        avg_cpu_khz: 2.4e6,
+        avg_imc_khz: 2.4e6,
+    }
+}
+
+fn bench_projection(c: &mut Criterion) {
+    let cfg = NodeConfig::sd530_6148();
+    let pstates = PstateTable::xeon_gold_6148();
+    let default = DefaultModel::for_node(&cfg);
+    let avx = Avx512Model::for_node(&cfg);
+
+    let mut g = c.benchmark_group("models/projection");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("default", |b| {
+        let s = sig(0.0);
+        b.iter(|| black_box(default.project(black_box(&s), 1, 5, &pstates)))
+    });
+    g.bench_function("avx512_scalar_sig", |b| {
+        // VPI = 0: the blend short-circuits.
+        let s = sig(0.0);
+        b.iter(|| black_box(avx.project(black_box(&s), 1, 5, &pstates)))
+    });
+    g.bench_function("avx512_vector_sig", |b| {
+        // VPI = 1: both inner projections run (the ablation cost).
+        let s = sig(1.0);
+        b.iter(|| black_box(avx.project(black_box(&s), 1, 5, &pstates)))
+    });
+    g.finish();
+}
+
+fn bench_full_search(c: &mut Criterion) {
+    // The min_energy linear search projects every non-turbo pstate.
+    let cfg = NodeConfig::sd530_6148();
+    let pstates = PstateTable::xeon_gold_6148();
+    let avx = Avx512Model::for_node(&cfg);
+    let mut g = c.benchmark_group("models/full_pstate_search");
+    g.throughput(Throughput::Elements(pstates.len() as u64 - 1));
+    g.bench_function("project_all_pstates", |b| {
+        let s = sig(0.3);
+        b.iter(|| {
+            let mut best = f64::INFINITY;
+            for ps in 1..pstates.len() {
+                let p = avx.project(&s, 1, ps, &pstates);
+                best = best.min(p.energy_j());
+            }
+            black_box(best)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_projection, bench_full_search);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Policy invocation benchmarks: the cost EARL pays per signature, per
+//! policy — plus plugin-registry instantiation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ear_archsim::{NodeConfig, PstateTable};
+use ear_core::policy::api::{PolicyCtx, PolicyRegistry, PolicySettings};
+use ear_core::{Avx512Model, Signature};
+use std::hint::black_box;
+
+fn sig() -> Signature {
+    Signature {
+        window_s: 10.0,
+        iterations: 5,
+        cpi: 0.68,
+        tpi: 0.002,
+        gbs: 11.0,
+        vpi: 0.05,
+        dc_power_w: 302.0,
+        pkg_power_w: 215.0,
+        avg_cpu_khz: 2.4e6,
+        avg_imc_khz: 2.4e6,
+    }
+}
+
+fn bench_node_policy(c: &mut Criterion) {
+    let pstates = PstateTable::xeon_gold_6148();
+    let model = Avx512Model::for_node(&NodeConfig::sd530_6148());
+    let settings = PolicySettings::default();
+    let registry = PolicyRegistry::with_builtins();
+
+    let mut g = c.benchmark_group("policies/node_policy");
+    for name in ["monitoring", "min_energy", "min_energy_eufs", "min_time"] {
+        g.bench_function(name, |b| {
+            let ctx = PolicyCtx {
+                pstates: &pstates,
+                uncore_min_ratio: 12,
+                uncore_max_ratio: 24,
+                model: &model,
+                settings: &settings,
+            };
+            let s = sig();
+            b.iter_batched(
+                || registry.create(name).expect("builtin"),
+                |mut policy| black_box(policy.node_policy(&s, &ctx)),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_imc_search_iteration(c: &mut Criterion) {
+    // One full eUFS convergence: CPU stage + N uncore steps until Ready.
+    let pstates = PstateTable::xeon_gold_6148();
+    let model = Avx512Model::for_node(&NodeConfig::sd530_6148());
+    let settings = PolicySettings::default();
+    let registry = PolicyRegistry::with_builtins();
+    c.bench_function("policies/eufs_full_convergence", |b| {
+        let ctx = PolicyCtx {
+            pstates: &pstates,
+            uncore_min_ratio: 12,
+            uncore_max_ratio: 24,
+            model: &model,
+            settings: &settings,
+        };
+        let s = sig();
+        b.iter_batched(
+            || registry.create("min_energy_eufs").expect("builtin"),
+            |mut policy| {
+                let mut steps = 0;
+                loop {
+                    let (f, state) = policy.node_policy(&s, &ctx);
+                    black_box(f);
+                    steps += 1;
+                    if state == ear_core::PolicyState::Ready || steps > 40 {
+                        break;
+                    }
+                }
+                steps
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_registry(c: &mut Criterion) {
+    c.bench_function("policies/registry_create", |b| {
+        let registry = PolicyRegistry::with_builtins();
+        b.iter(|| black_box(registry.create("min_energy_eufs")))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_node_policy,
+    bench_imc_search_iteration,
+    bench_registry
+);
+criterion_main!(benches);

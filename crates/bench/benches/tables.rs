@@ -1,0 +1,66 @@
+//! One benchmark per paper table: measures the cost of regenerating each
+//! table's unit of work (one representative cell, one run).
+//!
+//! The full regenerations — three runs per cell, every row — are the
+//! `ear-experiments` binaries (`cargo run --release -p ear-experiments
+//! --bin tableN`); Criterion here tracks the per-cell simulation cost so
+//! harness regressions show up without minute-long benchmark iterations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ear_experiments::{run_cell, RunKind};
+use ear_workloads::by_name;
+use std::hint::black_box;
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables");
+    g.sample_size(10);
+
+    // Table I: ME on the Table-I kernels (representative: BT-MZ.C MPI).
+    g.bench_function("table1_cell", |b| {
+        let t = by_name("BT-MZ.C (MPI)").unwrap();
+        b.iter(|| black_box(run_cell(&t, &RunKind::me(0.05), "ME", 1, 1)))
+    });
+
+    // Table II: characterisation run (representative: BT-MZ.C OpenMP).
+    g.bench_function("table2_cell", |b| {
+        let t = by_name("BT-MZ.C (OpenMP)").unwrap();
+        b.iter(|| black_box(run_cell(&t, &RunKind::NoPolicy, "No policy", 1, 2)))
+    });
+
+    // Table III: kernel evaluation (representative: SP-MZ under ME+eU).
+    g.bench_function("table3_cell", |b| {
+        let t = by_name("SP-MZ.C (OpenMP)").unwrap();
+        b.iter(|| black_box(run_cell(&t, &RunKind::me_eufs(0.05, 0.02), "ME+eU", 1, 3)))
+    });
+
+    // Table IV: frequency domains (representative: DGEMM, the AVX case).
+    g.bench_function("table4_cell", |b| {
+        let t = by_name("DGEMM").unwrap();
+        b.iter(|| black_box(run_cell(&t, &RunKind::me_eufs(0.05, 0.02), "ME+eU", 1, 4)))
+    });
+
+    // Table V: application characterisation (representative: BQCD).
+    g.bench_function("table5_cell", |b| {
+        let t = by_name("BQCD").unwrap();
+        b.iter(|| black_box(run_cell(&t, &RunKind::NoPolicy, "No policy", 1, 5)))
+    });
+
+    // Table VI: application frequency domains (representative: HPCG under
+    // ME — exercises the DVFS stage).
+    g.bench_function("table6_cell", |b| {
+        let t = by_name("HPCG").unwrap();
+        b.iter(|| black_box(run_cell(&t, &RunKind::me(0.05), "ME", 1, 6)))
+    });
+
+    // Table VII: DC vs PCK savings (representative: GROMACS (II) ME+eU —
+    // the largest job in the table).
+    g.bench_function("table7_cell", |b| {
+        let t = by_name("GROMACS (II)").unwrap();
+        b.iter(|| black_box(run_cell(&t, &RunKind::me_eufs(0.05, 0.02), "ME+eU", 1, 7)))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

@@ -1,0 +1,4 @@
+//! Benchmark-only crate: see the `benches/` directory.
+//!
+//! Groups: `dynais`, `models`, `policies`, `simulator`, `tables` (one per
+//! paper table), `figures` (one per paper figure + ablations).

@@ -1,0 +1,174 @@
+//! EAR's accounting service.
+//!
+//! EAR stores per-job energy records in a database queried with `eacct`.
+//! This module provides the in-memory equivalent: [`JobRecord`]s collected
+//! into an [`AccountingDb`] with per-application aggregation and an
+//! `eacct`-style text report.
+
+use parking_lot::Mutex;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// One job's accounting record (what `eacct` prints per job).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRecord {
+    /// Application name.
+    pub app: String,
+    /// Policy the job ran under.
+    pub policy: String,
+    /// Execution time (s).
+    pub seconds: f64,
+    /// DC energy (J).
+    pub dc_energy_j: f64,
+    /// Package energy (J).
+    pub pkg_energy_j: f64,
+    /// Average DC power (W).
+    pub avg_dc_power_w: f64,
+    /// Average CPU frequency (GHz).
+    pub avg_cpu_ghz: f64,
+    /// Average IMC frequency (GHz).
+    pub avg_imc_ghz: f64,
+    /// Job-average CPI.
+    pub cpi: f64,
+    /// Job-average memory bandwidth (GB/s).
+    pub gbs: f64,
+    /// Signatures computed by EARL.
+    pub signatures: u32,
+    /// Frequency changes applied by EARL.
+    pub freq_changes: u32,
+}
+
+/// The accounting database.
+#[derive(Debug, Default)]
+pub struct AccountingDb {
+    records: Vec<JobRecord>,
+}
+
+impl AccountingDb {
+    /// An empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a record.
+    pub fn insert(&mut self, record: JobRecord) {
+        self.records.push(record);
+    }
+
+    /// All records, insertion order.
+    pub fn records(&self) -> &[JobRecord] {
+        &self.records
+    }
+
+    /// Records for one application.
+    pub fn by_app<'a>(&'a self, app: &'a str) -> impl Iterator<Item = &'a JobRecord> {
+        self.records.iter().filter(move |r| r.app == app)
+    }
+
+    /// Total DC energy across all jobs (J).
+    pub fn total_energy_j(&self) -> f64 {
+        self.records.iter().map(|r| r.dc_energy_j).sum()
+    }
+
+    /// An `eacct`-style table of every job.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<22} {:<18} {:>9} {:>12} {:>9} {:>8} {:>8} {:>6} {:>8}",
+            "APP",
+            "POLICY",
+            "TIME(s)",
+            "ENERGY(J)",
+            "POWER(W)",
+            "CPU(GHz)",
+            "IMC(GHz)",
+            "CPI",
+            "GB/s"
+        );
+        for r in &self.records {
+            let _ = writeln!(
+                out,
+                "{:<22} {:<18} {:>9.1} {:>12.0} {:>9.1} {:>8.2} {:>8.2} {:>6.2} {:>8.2}",
+                r.app,
+                r.policy,
+                r.seconds,
+                r.dc_energy_j,
+                r.avg_dc_power_w,
+                r.avg_cpu_ghz,
+                r.avg_imc_ghz,
+                r.cpi,
+                r.gbs
+            );
+        }
+        out
+    }
+}
+
+/// A database shared across EARL instances and the harness.
+pub type SharedAccounting = Arc<Mutex<AccountingDb>>;
+
+/// Creates a shared database.
+pub fn shared() -> SharedAccounting {
+    Arc::new(Mutex::new(AccountingDb::new()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(app: &str, energy: f64) -> JobRecord {
+        JobRecord {
+            app: app.to_string(),
+            policy: "min_energy_eufs".to_string(),
+            seconds: 100.0,
+            dc_energy_j: energy,
+            pkg_energy_j: energy * 0.7,
+            avg_dc_power_w: energy / 100.0,
+            avg_cpu_ghz: 2.4,
+            avg_imc_ghz: 2.0,
+            cpi: 0.5,
+            gbs: 20.0,
+            signatures: 10,
+            freq_changes: 4,
+        }
+    }
+
+    #[test]
+    fn insert_and_aggregate() {
+        let mut db = AccountingDb::new();
+        db.insert(record("A", 30_000.0));
+        db.insert(record("B", 20_000.0));
+        db.insert(record("A", 31_000.0));
+        assert_eq!(db.records().len(), 3);
+        assert_eq!(db.by_app("A").count(), 2);
+        assert!((db.total_energy_j() - 81_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_contains_each_job() {
+        let mut db = AccountingDb::new();
+        db.insert(record("HPCG", 50_000.0));
+        let report = db.report();
+        assert!(report.contains("HPCG"));
+        assert!(report.contains("min_energy_eufs"));
+        assert!(report.lines().count() >= 2);
+    }
+
+    #[test]
+    fn shared_db_is_threadsafe() {
+        let db = shared();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let db = db.clone();
+                std::thread::spawn(move || {
+                    db.lock().insert(record(&format!("app{i}"), 1000.0));
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(db.lock().records().len(), 4);
+    }
+}

@@ -1,0 +1,195 @@
+//! EARD — the node daemon.
+//!
+//! On production systems the EAR library is unprivileged: every frequency
+//! request goes through the node daemon, which owns the MSRs and enforces
+//! administrator limits (cluster power caps, frequency ceilings) *over*
+//! whatever the user-side policy asks for. [`EarDaemon`] reproduces that
+//! authority split: it wraps the per-node runtime (EARL), periodically
+//! measures node power, runs the powercap controller and clamps the
+//! programmed frequencies to the resulting ceiling.
+
+use crate::manager;
+use crate::policy::api::NodeFreqs;
+use crate::powercap::PowercapController;
+use ear_archsim::{CounterSnapshot, Node};
+use ear_mpisim::{MpiEvent, NodeRuntime};
+
+/// The daemon wrapping a node runtime.
+pub struct EarDaemon<R> {
+    inner: R,
+    cap: Option<PowercapController>,
+    /// Power-evaluation window (s).
+    eval_window_s: f64,
+    last_eval: Option<CounterSnapshot>,
+    clamps: u32,
+    evaluations: u32,
+}
+
+impl<R> EarDaemon<R> {
+    /// Wraps `inner` without a power cap (pure pass-through + telemetry).
+    pub fn new(inner: R) -> Self {
+        Self {
+            inner,
+            cap: None,
+            eval_window_s: 10.0,
+            last_eval: None,
+            clamps: 0,
+            evaluations: 0,
+        }
+    }
+
+    /// Wraps `inner` with a node power cap (W).
+    pub fn with_cap(inner: R, node: &Node, cap_w: f64) -> Self {
+        let mut d = Self::new(inner);
+        d.cap = Some(PowercapController::new(node, cap_w));
+        d
+    }
+
+    /// The wrapped runtime.
+    pub fn inner(&self) -> &R {
+        &self.inner
+    }
+
+    /// How many times the daemon overrode the library's frequencies.
+    pub fn clamps(&self) -> u32 {
+        self.clamps
+    }
+
+    /// How many powercap evaluations ran.
+    pub fn evaluations(&self) -> u32 {
+        self.evaluations
+    }
+
+    /// Reassigns the node cap (from EARGM).
+    pub fn set_cap_w(&mut self, cap_w: f64) {
+        if let Some(cap) = self.cap.as_mut() {
+            cap.set_cap_w(cap_w);
+        }
+    }
+
+    /// Clamps the programmed frequencies to `ceiling` if they exceed it.
+    /// Returns whether a clamp was applied.
+    fn enforce(&mut self, node: &mut Node, ceiling: NodeFreqs) -> bool {
+        let current = manager::read_freqs(node);
+        // A faster CPU pstate is a *smaller* index; the ceiling is the
+        // fastest allowed.
+        let clamped = NodeFreqs {
+            cpu: current.cpu.max(ceiling.cpu),
+            imc_min_ratio: current.imc_min_ratio.min(ceiling.imc_max_ratio),
+            imc_max_ratio: current.imc_max_ratio.min(ceiling.imc_max_ratio),
+        };
+        if clamped != current {
+            manager::apply_freqs(node, &clamped).expect("clamped frequencies are valid");
+            self.clamps += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn evaluate(&mut self, node: &mut Node) {
+        let Some(cap) = self.cap.as_mut() else { return };
+        let now = node.snapshot();
+        let Some(last) = self.last_eval.as_ref() else {
+            self.last_eval = Some(now);
+            return;
+        };
+        if now.time - last.time < self.eval_window_s {
+            return;
+        }
+        let window_s = now.time - last.time;
+        let power_w = (now.dc_energy_exact_j - last.dc_energy_exact_j) / window_s;
+        cap.evaluate(power_w);
+        let ceiling = cap.ceiling();
+        self.evaluations += 1;
+        self.last_eval = Some(now);
+        self.enforce(node, ceiling);
+    }
+}
+
+impl<R: NodeRuntime> NodeRuntime for EarDaemon<R> {
+    fn on_job_start(&mut self, node: &mut Node, job_name: &str, ranks: usize) {
+        self.last_eval = Some(node.snapshot());
+        self.clamps = 0;
+        self.evaluations = 0;
+        self.inner.on_job_start(node, job_name, ranks);
+    }
+
+    fn on_mpi_call(&mut self, node: &mut Node, event: &MpiEvent) {
+        self.inner.on_mpi_call(node, event);
+        self.evaluate(node);
+    }
+
+    fn on_tick(&mut self, node: &mut Node) {
+        self.inner.on_tick(node);
+        self.evaluate(node);
+    }
+
+    fn on_job_end(&mut self, node: &mut Node) {
+        self.inner.on_job_end(node);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Earl, EarlConfig};
+    use ear_archsim::Cluster;
+    use ear_mpisim::{run_job, NullRuntime};
+    use ear_workloads::{build_job, by_name, calibrate};
+
+    #[test]
+    fn passthrough_without_cap_never_clamps() {
+        let targets = by_name("BQCD").unwrap();
+        let cal = calibrate(&targets).unwrap();
+        let job = build_job(&cal);
+        let mut cluster = Cluster::new(cal.node_config.clone(), targets.nodes, 71);
+        let mut rts: Vec<EarDaemon<Earl>> = (0..targets.nodes)
+            .map(|_| EarDaemon::new(Earl::from_registry(EarlConfig::default())))
+            .collect();
+        run_job(&mut cluster, &job, &mut rts);
+        assert_eq!(rts[0].clamps(), 0);
+        assert!(rts[0].inner().job_record().is_some());
+    }
+
+    #[test]
+    fn cap_overrides_the_library() {
+        // A cap far below the workload's draw (~330 W): the daemon must
+        // throttle regardless of what EARL wants.
+        let targets = by_name("BT-MZ.C (OpenMP)").unwrap();
+        let cal = calibrate(&targets).unwrap();
+        let job = build_job(&cal);
+        let run = |cap: Option<f64>| {
+            let mut cluster = Cluster::new(cal.node_config.clone(), 1, 72);
+            let earl = Earl::from_registry(EarlConfig::default());
+            let mut rts = vec![match cap {
+                Some(w) => EarDaemon::with_cap(earl, cluster.node(0), w),
+                None => EarDaemon::new(earl),
+            }];
+            let report = run_job(&mut cluster, &job, &mut rts);
+            (report.avg_dc_power_w(), rts.remove(0))
+        };
+        let (uncapped_w, _) = run(None);
+        let (capped_w, daemon) = run(Some(280.0));
+        assert!(daemon.clamps() > 0, "daemon never enforced");
+        assert!(daemon.evaluations() > 3);
+        assert!(
+            capped_w < uncapped_w - 15.0,
+            "cap ineffective: {capped_w} vs {uncapped_w}"
+        );
+    }
+
+    #[test]
+    fn generous_cap_is_invisible() {
+        let targets = by_name("BQCD").unwrap();
+        let cal = calibrate(&targets).unwrap();
+        let job = build_job(&cal);
+        let mut cluster = Cluster::new(cal.node_config.clone(), targets.nodes, 73);
+        let mut rts: Vec<EarDaemon<NullRuntime>> = (0..targets.nodes)
+            .map(|i| EarDaemon::with_cap(NullRuntime, cluster.node(i), 500.0))
+            .collect();
+        let report = run_job(&mut cluster, &job, &mut rts);
+        assert_eq!(rts[0].clamps(), 0);
+        assert!((report.seconds() - targets.time_s).abs() / targets.time_s < 0.03);
+    }
+}

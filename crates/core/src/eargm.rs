@@ -1,0 +1,161 @@
+//! EARGM — the cluster-level global energy manager.
+//!
+//! In the EAR architecture, node daemons (EARD) enforce per-node caps and a
+//! global manager (EARGM) keeps the *cluster* within its contracted power
+//! budget by redistributing caps between nodes by demand. This module
+//! packages the [`PowercapController`] mechanism into that cluster-level
+//! loop.
+
+use crate::policy::api::NodeFreqs;
+use crate::powercap::{distribute_budget, CapAction, PowercapController};
+use ear_archsim::Node;
+
+/// One evaluation step's outcome.
+#[derive(Debug, Clone)]
+pub struct GmStep {
+    /// Total observed cluster power (W).
+    pub cluster_power_w: f64,
+    /// Per-node caps assigned this step (W).
+    pub assigned_caps_w: Vec<f64>,
+    /// Per-node actions taken.
+    pub actions: Vec<CapAction>,
+    /// Per-node frequency ceilings after the step.
+    pub ceilings: Vec<NodeFreqs>,
+}
+
+/// The global manager.
+#[derive(Debug)]
+pub struct ClusterEnergyManager {
+    budget_w: f64,
+    controllers: Vec<PowercapController>,
+    steps: u64,
+}
+
+impl ClusterEnergyManager {
+    /// Creates a manager for `nodes` with a cluster budget.
+    pub fn new(nodes: &[&Node], budget_w: f64) -> Self {
+        assert!(!nodes.is_empty(), "a cluster manager needs nodes");
+        assert!(budget_w > 0.0);
+        let per = budget_w / nodes.len() as f64;
+        Self {
+            budget_w,
+            controllers: nodes
+                .iter()
+                .map(|n| PowercapController::new(n, per))
+                .collect(),
+            steps: 0,
+        }
+    }
+
+    /// The cluster budget (W).
+    pub fn budget_w(&self) -> f64 {
+        self.budget_w
+    }
+
+    /// Changes the cluster budget (contract renegotiation, demand response
+    /// events).
+    pub fn set_budget_w(&mut self, budget_w: f64) {
+        assert!(budget_w > 0.0);
+        self.budget_w = budget_w;
+    }
+
+    /// Evaluation steps performed.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// One management step: redistribute the budget by recent demand and
+    /// let every node controller adjust its ceiling. The caller applies
+    /// the returned ceilings (typically as a constraint on EARL's policy).
+    pub fn step(&mut self, recent_node_powers_w: &[f64]) -> GmStep {
+        assert_eq!(recent_node_powers_w.len(), self.controllers.len());
+        self.steps += 1;
+        let assigned = distribute_budget(self.budget_w, recent_node_powers_w);
+        let mut actions = Vec::with_capacity(self.controllers.len());
+        let mut ceilings = Vec::with_capacity(self.controllers.len());
+        for ((ctl, &cap), &power) in self
+            .controllers
+            .iter_mut()
+            .zip(&assigned)
+            .zip(recent_node_powers_w)
+        {
+            ctl.set_cap_w(cap);
+            actions.push(ctl.evaluate(power));
+            ceilings.push(ctl.ceiling());
+        }
+        GmStep {
+            cluster_power_w: recent_node_powers_w.iter().sum(),
+            assigned_caps_w: assigned,
+            actions,
+            ceilings,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ear_archsim::NodeConfig;
+
+    fn nodes(n: usize) -> Vec<Node> {
+        (0..n)
+            .map(|i| Node::new(NodeConfig::sd530_6148(), i as u64))
+            .collect()
+    }
+
+    #[test]
+    fn within_budget_nothing_happens() {
+        let ns = nodes(4);
+        let refs: Vec<&Node> = ns.iter().collect();
+        let mut gm = ClusterEnergyManager::new(&refs, 1400.0);
+        let step = gm.step(&[320.0, 320.0, 320.0, 320.0]);
+        assert!((step.cluster_power_w - 1280.0).abs() < 1e-9);
+        assert!(step.actions.iter().all(|a| *a == CapAction::Ok));
+        assert!(step
+            .ceilings
+            .iter()
+            .all(|c| c.imc_max_ratio == 24 && c.cpu == 1));
+    }
+
+    #[test]
+    fn over_budget_throttles_heaviest_nodes_most() {
+        let ns = nodes(2);
+        let refs: Vec<&Node> = ns.iter().collect();
+        let mut gm = ClusterEnergyManager::new(&refs, 600.0);
+        // Node 0 draws far more: its proportional cap is higher, but it is
+        // also the one over its cap.
+        for _ in 0..6 {
+            gm.step(&[400.0, 250.0]);
+        }
+        let step = gm.step(&[400.0, 250.0]);
+        // Node 0's assigned cap: 600·400/650 ≈ 369 < 400 ⇒ throttled.
+        assert!(step.ceilings[0].imc_max_ratio < 24);
+        // Node 1: cap ≈ 231 < 250 ⇒ also trimmed, but less over.
+        assert!((step.assigned_caps_w[0] - 369.2).abs() < 1.0);
+    }
+
+    #[test]
+    fn budget_increase_relaxes() {
+        let ns = nodes(1);
+        let refs: Vec<&Node> = ns.iter().collect();
+        let mut gm = ClusterEnergyManager::new(&refs, 250.0);
+        for _ in 0..8 {
+            gm.step(&[330.0]);
+        }
+        let throttled = gm.step(&[330.0]).ceilings[0];
+        assert!(throttled.imc_max_ratio < 24);
+        // Budget doubles: ceilings lift over the following steps.
+        gm.set_budget_w(500.0);
+        let mut relaxed = throttled;
+        for _ in 0..20 {
+            relaxed = gm.step(&[330.0]).ceilings[0];
+        }
+        assert!(relaxed.imc_max_ratio > throttled.imc_max_ratio || relaxed.cpu < throttled.cpu);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs nodes")]
+    fn empty_cluster_rejected() {
+        let _ = ClusterEnergyManager::new(&[], 100.0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Frequency actuation: turning a policy's [`NodeFreqs`] into MSR writes.
+//!
+//! This is EAR's node-manager path: the CPU pstate goes to `IA32_PERF_CTL`
+//! on every socket (all cores), the uncore limits to
+//! `MSR_UNCORE_RATIO_LIMIT` — the paper's §IV mechanism. Writes go through
+//! the node's software MSR interface so the same validation real drivers
+//! face (reserved bits, min ≤ max) is exercised.
+
+use crate::policy::api::NodeFreqs;
+use ear_archsim::msr::{self, addr};
+use ear_archsim::{MsrError, Node};
+
+/// Applies `freqs` to every socket of `node`.
+pub fn apply_freqs(node: &mut Node, freqs: &NodeFreqs) -> Result<(), MsrError> {
+    let ratio = node.config.pstates.ratio_for(freqs.cpu);
+    let uncore = msr::pack_uncore_ratio_limit(freqs.imc_min_ratio, freqs.imc_max_ratio);
+    for s in 0..node.socket_count() {
+        node.write_msr(s, addr::IA32_PERF_CTL, msr::pack_perf_ctl(ratio))?;
+        node.write_msr(s, addr::MSR_UNCORE_RATIO_LIMIT, uncore)?;
+    }
+    Ok(())
+}
+
+/// Reads back the frequencies currently programmed (socket 0; EAR keeps
+/// sockets in lock-step).
+pub fn read_freqs(node: &Node) -> NodeFreqs {
+    let ratio = msr::unpack_perf_ratio(
+        node.read_msr(0, addr::IA32_PERF_CTL)
+            .expect("PERF_CTL present"),
+    );
+    let (imc_min, imc_max) = msr::unpack_uncore_ratio_limit(
+        node.read_msr(0, addr::MSR_UNCORE_RATIO_LIMIT)
+            .expect("0x620 present"),
+    );
+    NodeFreqs {
+        cpu: node.config.pstates.pstate_for_ratio(ratio),
+        imc_min_ratio: imc_min,
+        imc_max_ratio: imc_max,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ear_archsim::NodeConfig;
+
+    #[test]
+    fn apply_and_read_roundtrip() {
+        let mut node = Node::new(NodeConfig::sd530_6148(), 1);
+        let f = NodeFreqs {
+            cpu: 4,
+            imc_min_ratio: 12,
+            imc_max_ratio: 18,
+        };
+        apply_freqs(&mut node, &f).unwrap();
+        assert_eq!(read_freqs(&node), f);
+        // All sockets got the write.
+        for s in 0..node.socket_count() {
+            let v = node.read_msr(s, addr::MSR_UNCORE_RATIO_LIMIT).unwrap();
+            assert_eq!(msr::unpack_uncore_ratio_limit(v), (12, 18));
+        }
+    }
+
+    #[test]
+    fn invalid_limits_are_rejected_by_the_msr_layer() {
+        let mut node = Node::new(NodeConfig::sd530_6148(), 1);
+        let f = NodeFreqs {
+            cpu: 1,
+            imc_min_ratio: 20,
+            imc_max_ratio: 15,
+        };
+        assert!(apply_freqs(&mut node, &f).is_err());
+    }
+
+    #[test]
+    fn pinning_uncore_takes_effect() {
+        let mut node = Node::new(NodeConfig::sd530_6148(), 1);
+        let f = NodeFreqs {
+            cpu: 1,
+            imc_min_ratio: 15,
+            imc_max_ratio: 15,
+        };
+        apply_freqs(&mut node, &f).unwrap();
+        assert!((node.current_uncore_ghz() - 1.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,157 @@
+//! The paper's AVX512-aware energy model (§V-A).
+//!
+//! AVX512 instructions cannot exceed the all-core licence frequency
+//! (pstate 3 / 2.2 GHz on the evaluation's Xeon 6148), so projecting a
+//! 100 %-AVX512 workload to 2.4 GHz must predict *no* speedup and *no*
+//! extra dynamic power beyond the licensed frequency. The model therefore
+//! combines two predictions per target pstate:
+//!
+//! 1. `default_pred` — the default model at the requested pstate, and
+//! 2. `avx512_pred` — the default model at the pstate limited by the
+//!    AVX512 all-core maximum,
+//!
+//! blended with the signature's VPI:
+//! `pred = (1 − VPI) · default_pred + VPI · avx512_pred`.
+
+use super::default_model::DefaultModel;
+use super::{EnergyModel, Projection};
+use crate::signature::Signature;
+use ear_archsim::{NodeConfig, Pstate, PstateTable};
+
+/// The blended model.
+#[derive(Debug, Clone)]
+pub struct Avx512Model {
+    inner: DefaultModel,
+}
+
+impl Avx512Model {
+    /// Wraps a default model.
+    pub fn new(inner: DefaultModel) -> Self {
+        Self { inner }
+    }
+
+    /// Builds the model with coefficients for `cfg`.
+    pub fn for_node(cfg: &NodeConfig) -> Self {
+        Self::new(DefaultModel::for_node(cfg))
+    }
+
+    /// Access to the wrapped default model (for ablation benches).
+    pub fn inner(&self) -> &DefaultModel {
+        &self.inner
+    }
+}
+
+impl EnergyModel for Avx512Model {
+    fn project(
+        &self,
+        sig: &Signature,
+        from: Pstate,
+        to: Pstate,
+        pstates: &PstateTable,
+    ) -> Projection {
+        let default_pred = self.inner.project(sig, from, to, pstates);
+        let vpi = sig.vpi.clamp(0.0, 1.0);
+        if vpi <= 0.0 {
+            return default_pred;
+        }
+        // Limit the target pstate to the AVX512 licence maximum (a larger
+        // pstate index is a lower frequency).
+        let capped = to.max(pstates.avx512_pstate());
+        let avx_pred = self.inner.project(sig, from, capped, pstates);
+        Projection {
+            time_s: (1.0 - vpi) * default_pred.time_s + vpi * avx_pred.time_s,
+            dc_power_w: (1.0 - vpi) * default_pred.dc_power_w + vpi * avx_pred.dc_power_w,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pstates() -> PstateTable {
+        PstateTable::xeon_gold_6148()
+    }
+
+    fn model() -> Avx512Model {
+        Avx512Model::for_node(&NodeConfig::sd530_6148())
+    }
+
+    fn sig(vpi: f64) -> Signature {
+        Signature {
+            window_s: 10.0,
+            iterations: 5,
+            cpi: 0.45,
+            tpi: 0.02,
+            gbs: 98.0,
+            vpi,
+            dc_power_w: 369.0,
+            pkg_power_w: 260.0,
+            avg_cpu_khz: 2.2e6,
+            avg_imc_khz: 2.0e6,
+        }
+    }
+
+    #[test]
+    fn zero_vpi_matches_default() {
+        let m = model();
+        let s = sig(0.0);
+        let a = m.project(&s, 3, 6, &pstates());
+        let b = m.inner().project(&s, 3, 6, &pstates());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn full_avx512_sees_no_gain_above_licence() {
+        // DGEMM's case: projecting from the licence pstate (3) up to
+        // nominal (1) predicts no speedup — AVX512 can't clock higher.
+        let m = model();
+        let s = sig(1.0);
+        let p = m.project(&s, 3, 1, &pstates());
+        assert!(
+            (p.time_s - s.window_s).abs() / s.window_s < 1e-9,
+            "time {} vs {}",
+            p.time_s,
+            s.window_s
+        );
+        assert!((p.dc_power_w - s.dc_power_w).abs() < 1e-9);
+    }
+
+    #[test]
+    fn below_licence_both_models_agree() {
+        // Below the AVX512 cap the licence is not binding.
+        let m = model();
+        let s = sig(1.0);
+        let a = m.project(&s, 3, 8, &pstates());
+        let b = m.inner().project(&s, 3, 8, &pstates());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn partial_vpi_blends() {
+        // For a fixed signature, the blended prediction is exactly the
+        // VPI-weighted combination of the inner model's uncapped and
+        // licence-capped projections (paper §V-A).
+        let m = model();
+        let s = sig(0.5);
+        let default_pred = m.inner().project(&s, 3, 1, &pstates());
+        let capped_pred = m.inner().project(&s, 3, 3, &pstates());
+        let mid = m.project(&s, 3, 1, &pstates());
+        let expected_t = 0.5 * default_pred.time_s + 0.5 * capped_pred.time_s;
+        let expected_p = 0.5 * default_pred.dc_power_w + 0.5 * capped_pred.dc_power_w;
+        assert!((mid.time_s - expected_t).abs() < 1e-9);
+        assert!((mid.dc_power_w - expected_p).abs() < 1e-9);
+    }
+
+    #[test]
+    fn captures_the_paper_example() {
+        // §V-A: "this model captures the fact AVX512 instructions will not
+        // take benefit of higher CPU frequencies": energy at nominal is
+        // NOT better than at the licence pstate for pure AVX512.
+        let m = model();
+        let s = sig(1.0);
+        let at_nominal = m.project(&s, 3, 1, &pstates());
+        let at_licence = m.project(&s, 3, 3, &pstates());
+        assert!(at_nominal.energy_j() >= at_licence.energy_j() - 1e-9);
+    }
+}

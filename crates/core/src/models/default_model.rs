@@ -1,0 +1,277 @@
+//! The default (pre-paper) EAR energy model.
+//!
+//! Following Bell/Brochard (paper refs \[8\], \[9\]), the model splits the
+//! measured behaviour into a frequency-scalable part and a
+//! frequency-insensitive part and projects time and power accordingly:
+//!
+//! * **Time**: `T(to) = T(from) · (k · f_from/f_to + (1 − k))`, where the
+//!   scalable fraction `k = 1 − s` comes from the signature. The
+//!   memory-share estimator `s` is learned per architecture during EAR's
+//!   installation "learning phase"; the form used here is a power law of
+//!   the bandwidth-pressure product `x = (GB/s / BW_ref) · CPI` with a
+//!   discount for vectorised code (AVX512-dense kernels stream through
+//!   prefetchers and stay compute-bound even at high bandwidth — DGEMM):
+//!   `s = c · x^q · (1 − d·VPI)`, clamped.
+//! * **Power**: DC node power decomposes into a static part (platform,
+//!   DRAM, uncore, package static — none of which scale with the *CPU*
+//!   frequency) and a dynamic part following `f^α`:
+//!   `P(to) = P_static + (P(from) − P_static) · (f_to/f_from)^α`.
+
+use super::{EnergyModel, Projection};
+use crate::signature::Signature;
+use ear_archsim::{NodeConfig, Pstate, PstateTable};
+
+/// Learned coefficients of the default model.
+#[derive(Debug, Clone)]
+pub struct ModelParams {
+    /// Coefficient `c` of the memory-share power law.
+    pub share_coef: f64,
+    /// Exponent `q` of the memory-share power law.
+    pub share_exp: f64,
+    /// VPI discount `d` (vectorised code is compute-dense).
+    pub vpi_discount: f64,
+    /// Reference bandwidth (GB/s) normalising the pressure product.
+    pub bw_ref_gbs: f64,
+    /// Upper clamp on the memory share (some part always scales).
+    pub max_share: f64,
+    /// Static share of DC node power (W) that does not scale with CPU
+    /// frequency.
+    pub static_power_w: f64,
+    /// Exponent of the dynamic power law.
+    pub power_exp: f64,
+}
+
+impl ModelParams {
+    /// Coefficients for a platform, as EAR's learning phase would produce:
+    /// the static share covers platform + DRAM + package static + uncore.
+    pub fn for_node(cfg: &NodeConfig) -> Self {
+        let p = &cfg.power;
+        // Uncore at a mid activity point and nominal max ratio.
+        let uncore_w = cfg.sockets as f64
+            * p.uncore_w
+            * (cfg.uncore_max_ratio as f64 * 0.1).powf(p.uncore_freq_exp)
+            * (p.uncore_base_frac + 0.5 * (1.0 - p.uncore_base_frac));
+        let static_w = p.platform_w
+            + p.dram_static_w
+            + 12.0 // a representative DRAM traffic share
+            + cfg.sockets as f64 * p.pkg_static_w
+            + uncore_w
+            + cfg.gpus as f64 * p.gpu_idle_w;
+        Self {
+            share_coef: 0.663,
+            share_exp: 0.271,
+            vpi_discount: 0.7,
+            bw_ref_gbs: cfg.perf.bw_peak_bytes / 1e9,
+            max_share: 0.95,
+            static_power_w: static_w,
+            power_exp: p.core_freq_exp,
+        }
+    }
+
+    /// The estimated memory (frequency-insensitive) share of execution.
+    pub fn memory_share(&self, sig: &Signature) -> f64 {
+        if sig.cpi <= 0.0 {
+            return 0.0;
+        }
+        let x = (sig.gbs / self.bw_ref_gbs).max(0.0) * sig.cpi;
+        if x <= 0.0 {
+            return 0.0;
+        }
+        let vpi_factor = 1.0 - self.vpi_discount * sig.vpi.clamp(0.0, 1.0);
+        (self.share_coef * x.powf(self.share_exp) * vpi_factor).clamp(0.0, self.max_share)
+    }
+
+    /// The frequency-scalable fraction of execution for a signature.
+    pub fn scalable_fraction(&self, sig: &Signature) -> f64 {
+        1.0 - self.memory_share(sig)
+    }
+}
+
+/// The default model.
+#[derive(Debug, Clone)]
+pub struct DefaultModel {
+    /// Model coefficients.
+    pub params: ModelParams,
+}
+
+impl DefaultModel {
+    /// Builds the model with coefficients for `cfg`.
+    pub fn for_node(cfg: &NodeConfig) -> Self {
+        Self {
+            params: ModelParams::for_node(cfg),
+        }
+    }
+}
+
+impl EnergyModel for DefaultModel {
+    fn project(
+        &self,
+        sig: &Signature,
+        from: Pstate,
+        to: Pstate,
+        pstates: &PstateTable,
+    ) -> Projection {
+        let f_from = pstates.ghz(from);
+        let f_to = pstates.ghz(to);
+        let k = self.params.scalable_fraction(sig);
+        let time_s = sig.window_s * (k * (f_from / f_to) + (1.0 - k));
+        let p_dyn = (sig.dc_power_w - self.params.static_power_w).max(0.0);
+        let dc_power_w = self.params.static_power_w.min(sig.dc_power_w)
+            + p_dyn * (f_to / f_from).powf(self.params.power_exp);
+        Projection { time_s, dc_power_w }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pstates() -> PstateTable {
+        PstateTable::xeon_gold_6148()
+    }
+
+    fn model() -> DefaultModel {
+        DefaultModel::for_node(&NodeConfig::sd530_6148())
+    }
+
+    fn cpu_bound_sig() -> Signature {
+        Signature {
+            window_s: 10.0,
+            iterations: 5,
+            cpi: 0.4,
+            tpi: 0.001,
+            gbs: 6.6,
+            vpi: 0.0,
+            dc_power_w: 330.0,
+            pkg_power_w: 240.0,
+            avg_cpu_khz: 2.4e6,
+            avg_imc_khz: 2.4e6,
+        }
+    }
+
+    fn mem_bound_sig() -> Signature {
+        Signature {
+            window_s: 10.0,
+            iterations: 5,
+            cpi: 3.1,
+            tpi: 0.13,
+            gbs: 177.0,
+            vpi: 0.0,
+            dc_power_w: 340.0,
+            pkg_power_w: 250.0,
+            avg_cpu_khz: 2.4e6,
+            avg_imc_khz: 2.4e6,
+        }
+    }
+
+    #[test]
+    fn identity_projection() {
+        let m = model();
+        let s = cpu_bound_sig();
+        let p = m.project(&s, 1, 1, &pstates());
+        assert!((p.time_s - s.window_s).abs() < 1e-9);
+        assert!((p.dc_power_w - s.dc_power_w).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cpu_bound_time_scales_with_frequency() {
+        let m = model();
+        let s = cpu_bound_sig();
+        // 2.4 → 1.2 GHz: close to 2× time for a CPU-bound signature.
+        let p = m.project(&s, 1, 13, &pstates());
+        assert!(
+            p.time_s / s.window_s > 1.7,
+            "scale {}",
+            p.time_s / s.window_s
+        );
+    }
+
+    #[test]
+    fn memory_bound_time_barely_scales() {
+        let m = model();
+        let s = mem_bound_sig();
+        let p = m.project(&s, 1, 5, &pstates()); // 2.4 → 2.0 GHz
+        let penalty = p.time_s / s.window_s - 1.0;
+        assert!(penalty < 0.05, "penalty {penalty}");
+    }
+
+    #[test]
+    fn power_decreases_with_frequency() {
+        let m = model();
+        let s = cpu_bound_sig();
+        let p = m.project(&s, 1, 5, &pstates());
+        assert!(p.dc_power_w < s.dc_power_w);
+        assert!(p.dc_power_w > m.params.static_power_w * 0.9);
+    }
+
+    #[test]
+    fn cpu_bound_energy_increases_when_slowing() {
+        // The paper's ME policy keeps CPU-bound apps at nominal: the static
+        // DC share makes slowing down a net energy loss.
+        let m = model();
+        let s = cpu_bound_sig();
+        let e_nominal = s.window_s * s.dc_power_w;
+        let p = m.project(&s, 1, 2, &pstates());
+        assert!(p.energy_j() > e_nominal, "{} vs {e_nominal}", p.energy_j());
+    }
+
+    #[test]
+    fn memory_bound_energy_decreases_when_slowing() {
+        let m = model();
+        let s = mem_bound_sig();
+        let e_nominal = s.window_s * s.dc_power_w;
+        let p = m.project(&s, 1, 4, &pstates());
+        assert!(p.energy_j() < e_nominal, "{} vs {e_nominal}", p.energy_j());
+    }
+
+    #[test]
+    fn scalable_fraction_ordering() {
+        let m = model();
+        let k_cpu = m.params.scalable_fraction(&cpu_bound_sig());
+        let k_mem = m.params.scalable_fraction(&mem_bound_sig());
+        assert!(k_cpu > 0.7, "k_cpu {k_cpu}");
+        assert!(k_mem < 0.25, "k_mem {k_mem}");
+        assert!(k_cpu > k_mem + 0.4);
+    }
+
+    #[test]
+    fn vpi_discount_keeps_dgemm_compute_bound() {
+        // DGEMM: 98 GB/s AND CPI 0.45 AND pure AVX512 — high bandwidth but
+        // compute bound; POP-like signatures with the same bandwidth
+        // pressure but no vectorisation are memory bound.
+        let m = model();
+        let dgemm = Signature {
+            cpi: 0.45,
+            gbs: 98.0,
+            vpi: 1.0,
+            ..cpu_bound_sig()
+        };
+        let pop_like = Signature {
+            cpi: 0.72,
+            gbs: 100.0,
+            vpi: 0.0,
+            ..cpu_bound_sig()
+        };
+        let s_dgemm = m.params.memory_share(&dgemm);
+        let s_pop = m.params.memory_share(&pop_like);
+        assert!(s_dgemm < 0.25, "dgemm share {s_dgemm}");
+        assert!(s_pop > 0.4, "pop share {s_pop}");
+    }
+
+    #[test]
+    fn share_is_clamped_and_safe() {
+        let m = model();
+        let extreme = Signature {
+            cpi: 50.0,
+            gbs: 1000.0,
+            ..mem_bound_sig()
+        };
+        assert!(m.params.memory_share(&extreme) <= m.params.max_share);
+        let zero = Signature {
+            cpi: 0.0,
+            gbs: 0.0,
+            ..cpu_bound_sig()
+        };
+        assert_eq!(m.params.memory_share(&zero), 0.0);
+    }
+}

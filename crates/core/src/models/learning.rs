@@ -1,0 +1,234 @@
+//! The EAR learning phase.
+//!
+//! EAR does not ship energy-model coefficients: at installation time it
+//! runs a benchmark suite at several frequencies on each node class and
+//! *fits* the coefficients (paper refs \[8\], \[9\] describe the original
+//! regression). This module reproduces that workflow against the
+//! simulator: run parametric workloads at two pstates, measure, and fit
+//!
+//! * the static DC power share (linear least squares of `P` on `f^α`
+//!   over a compute-bound benchmark's pstate sweep), and
+//! * the memory-share power law `s = c·x^q` (log-log least squares of
+//!   the observed frequency sensitivity on the bandwidth-pressure
+//!   product `x`).
+//!
+//! The fitted parameters land close to [`ModelParams::for_node`]'s
+//! hand-calibrated defaults — that is the point: the defaults are what
+//! the learning phase would produce.
+
+use super::default_model::ModelParams;
+use ear_archsim::{Cluster, NodeConfig};
+use ear_mpisim::{run_job, NullRuntime};
+use ear_workloads::synthetic::parametric;
+use ear_workloads::{build_job, calibrate};
+
+/// One measured point of the learning suite.
+#[derive(Debug, Clone, Copy)]
+struct LearnPoint {
+    /// Bandwidth-pressure product at nominal: (GB/s / BW_ref) · CPI.
+    x: f64,
+    /// Observed memory share: 1 − measured scalable fraction.
+    s: f64,
+}
+
+/// Runs the learning suite and fits [`ModelParams`] for `cfg`.
+///
+/// `seed` controls simulation noise; the fit is robust to it (each point
+/// is a full benchmark run).
+pub fn learn_model_params(cfg: &NodeConfig, seed: u64) -> ModelParams {
+    let mut params = ModelParams::for_node(cfg);
+    let f_hi = cfg.pstates.ghz(1);
+    let ps_lo = 5usize; // 2.0 GHz on the 6148: a 17 % frequency step
+    let f_lo = cfg.pstates.ghz(ps_lo);
+
+    // --- Pass 1: frequency sweep of a compute-bound benchmark for the
+    // static power share. P(f) = P_static + C·f^α ⇒ linear LSQ on f^α.
+    let sweep_ps = [1usize, 3, 5, 7, 9];
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    let compute = parametric(0.05);
+    let cal = calibrate(&compute).expect("learning workload calibrates");
+    for &ps in &sweep_ps {
+        let job = build_job(&cal);
+        let mut cluster = Cluster::new(cfg.clone(), 1, seed.wrapping_add(ps as u64));
+        cluster.node_mut(0).set_cpu_pstate(ps);
+        // Pin the uncore at the platform maximum: the learning sweep must
+        // isolate the CPU-frequency power response from the firmware's
+        // uncore reaction (the eUFS stage owns the uncore axis).
+        cluster
+            .node_mut(0)
+            .set_uncore_limits(cfg.uncore_max_ratio, cfg.uncore_max_ratio)
+            .expect("pinning within platform range");
+        let mut rts = vec![NullRuntime];
+        let report = run_job(&mut cluster, &job, &mut rts);
+        xs.push(cfg.pstates.ghz(ps).powf(params.power_exp));
+        ys.push(report.avg_dc_power_w());
+    }
+    let (intercept, _slope) = linear_fit(&xs, &ys);
+    // Guard against pathological fits on exotic configs.
+    if intercept.is_finite() && intercept > 50.0 && intercept < ys[0] {
+        params.static_power_w = intercept;
+    }
+
+    // --- Pass 2: memory-intensity sweep at two pstates for the share law.
+    let mut points = Vec::new();
+    for (i, m) in [0.05f64, 0.2, 0.4, 0.6, 0.8, 1.0].iter().enumerate() {
+        let t = parametric(*m);
+        let cal = match calibrate(&t) {
+            Ok(c) => c,
+            Err(_) => continue,
+        };
+        let run_at = |ps: usize, salt: u64| {
+            let job = build_job(&cal);
+            let mut cluster = Cluster::new(cfg.clone(), 1, seed.wrapping_add(100 + salt));
+            cluster.node_mut(0).set_cpu_pstate(ps);
+            cluster
+                .node_mut(0)
+                .set_uncore_limits(cfg.uncore_max_ratio, cfg.uncore_max_ratio)
+                .expect("pinning within platform range");
+            let mut rts = vec![NullRuntime];
+            run_job(&mut cluster, &job, &mut rts)
+        };
+        let hi = run_at(1, i as u64 * 2);
+        let lo = run_at(ps_lo, i as u64 * 2 + 1);
+        // Observed scalable fraction from the two-point sensitivity:
+        // T_lo/T_hi = k·(f_hi/f_lo) + (1 − k).
+        let ratio = lo.seconds() / hi.seconds();
+        let k = ((ratio - 1.0) / (f_hi / f_lo - 1.0)).clamp(0.0, 1.0);
+        let s = 1.0 - k;
+        let x = (hi.gbs() / params.bw_ref_gbs) * hi.cpi();
+        if s > 1e-3 && x > 1e-6 {
+            points.push(LearnPoint { x, s });
+        }
+    }
+    if points.len() >= 3 {
+        // log s = log c + q·log x
+        let lx: Vec<f64> = points.iter().map(|p| p.x.ln()).collect();
+        let ls: Vec<f64> = points.iter().map(|p| p.s.ln()).collect();
+        let (log_c, q) = linear_fit(&lx, &ls);
+        let c = log_c.exp();
+        if c.is_finite() && q.is_finite() && c > 0.1 && c < 2.0 && q > 0.05 && q < 1.0 {
+            params.share_coef = c;
+            params.share_exp = q;
+        }
+    }
+    params
+}
+
+/// Ordinary least squares `y = a + b·x`, returning `(a, b)`.
+fn linear_fit(x: &[f64], y: &[f64]) -> (f64, f64) {
+    let n = x.len() as f64;
+    if x.len() < 2 {
+        return (f64::NAN, f64::NAN);
+    }
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let sxx: f64 = x.iter().map(|v| (v - mx) * (v - mx)).sum();
+    let sxy: f64 = x.iter().zip(y).map(|(u, v)| (u - mx) * (v - my)).sum();
+    if sxx <= 0.0 {
+        return (f64::NAN, f64::NAN);
+    }
+    let b = sxy / sxx;
+    (my - b * mx, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{Avx512Model, DefaultModel, EnergyModel};
+    use crate::policy::api::{PolicyCtx, PolicySettings};
+    use crate::policy::min_energy::select_min_energy_pstate;
+    use crate::signature::Signature;
+
+    #[test]
+    fn linear_fit_recovers_a_line() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [3.0, 5.0, 7.0, 9.0]; // y = 1 + 2x
+        let (a, b) = linear_fit(&x, &y);
+        assert!((a - 1.0).abs() < 1e-9);
+        assert!((b - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn learned_params_are_near_the_defaults() {
+        let cfg = NodeConfig::sd530_6148();
+        let defaults = ModelParams::for_node(&cfg);
+        let learned = learn_model_params(&cfg, 777);
+        // Static power within 25 % of the hand calibration: the default is
+        // an analytic estimate (uncore at a nominal activity point); the
+        // learned value is the empirical intercept, which also absorbs the
+        // DRAM traffic's frequency-dependence. Both drive the same policy
+        // decisions (next test).
+        let rel =
+            (learned.static_power_w - defaults.static_power_w).abs() / defaults.static_power_w;
+        assert!(
+            rel < 0.25,
+            "static {} vs {}",
+            learned.static_power_w,
+            defaults.static_power_w
+        );
+        assert!(learned.static_power_w > 150.0 && learned.static_power_w < 300.0);
+        // The share law is in the same family (coefficients same order).
+        assert!(
+            (0.3..1.4).contains(&learned.share_coef),
+            "c = {}",
+            learned.share_coef
+        );
+        // The exponent depends on the benchmark suite: the parametric
+        // sweep yields a steeper law than the hand fit against the
+        // heterogeneous paper applications. Same family, same decisions.
+        assert!(
+            (0.1..0.8).contains(&learned.share_exp),
+            "q = {}",
+            learned.share_exp
+        );
+    }
+
+    #[test]
+    fn policies_behave_the_same_with_learned_params() {
+        let cfg = NodeConfig::sd530_6148();
+        let learned = learn_model_params(&cfg, 778);
+        let model = Avx512Model::new(DefaultModel { params: learned });
+        let pstates = cfg.pstates.clone();
+        let settings = PolicySettings::default();
+        let ctx = PolicyCtx {
+            pstates: &pstates,
+            uncore_min_ratio: 12,
+            uncore_max_ratio: 24,
+            model: &model,
+            settings: &settings,
+        };
+        // BT-MZ-like: stays nominal.
+        let cpu_bound = Signature {
+            window_s: 10.0,
+            iterations: 5,
+            cpi: 0.38,
+            tpi: 0.0008,
+            gbs: 6.6,
+            vpi: 0.04,
+            dc_power_w: 320.0,
+            pkg_power_w: 235.0,
+            avg_cpu_khz: 2.4e6,
+            avg_imc_khz: 2.4e6,
+        };
+        assert_eq!(select_min_energy_pstate(&cpu_bound, 1, &ctx), 1);
+        // HPCG-like: lowered substantially.
+        let mem_bound = Signature {
+            cpi: 3.13,
+            tpi: 0.13,
+            gbs: 177.0,
+            vpi: 0.02,
+            dc_power_w: 340.0,
+            ..cpu_bound
+        };
+        let sel = select_min_energy_pstate(&mem_bound, 1, &ctx);
+        assert!(pstates.ghz(sel) < 2.1, "selected {}", pstates.ghz(sel));
+        // Identity projection still exact for scalar signatures.
+        let scalar = Signature {
+            vpi: 0.0,
+            ..cpu_bound
+        };
+        let p = model.project(&scalar, 1, 1, &pstates);
+        assert!((p.time_s - 10.0).abs() < 1e-9);
+    }
+}

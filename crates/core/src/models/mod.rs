@@ -1,0 +1,52 @@
+//! Energy models: predicting time and power at other CPU pstates.
+//!
+//! EAR's policies never search by trial-and-error over CPU frequencies —
+//! they *project* the measured signature to every candidate pstate using an
+//! energy model, then pick the optimum in one shot (paper §V). Two models
+//! are provided:
+//!
+//! * [`DefaultModel`] — the CPI/TPI projection model of Bell/Brochard
+//!   (paper refs \[8\], \[9\]), as used by EAR before this paper.
+//! * [`Avx512Model`] — the paper's new model (§V-A): blends the default
+//!   prediction with one whose target pstate is capped at the AVX512
+//!   licence frequency, weighted by VPI.
+
+pub mod avx512;
+pub mod default_model;
+pub mod learning;
+
+pub use avx512::Avx512Model;
+pub use default_model::{DefaultModel, ModelParams};
+pub use learning::learn_model_params;
+
+use crate::signature::Signature;
+use ear_archsim::{Pstate, PstateTable};
+
+/// A projected (time, power) pair at a target pstate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Projection {
+    /// Predicted window time (same unit as the signature's window).
+    pub time_s: f64,
+    /// Predicted average DC node power (W).
+    pub dc_power_w: f64,
+}
+
+impl Projection {
+    /// Predicted energy (J).
+    pub fn energy_j(&self) -> f64 {
+        self.time_s * self.dc_power_w
+    }
+}
+
+/// The model interface policies program against. `from` is the pstate the
+/// signature was measured at; `to` is the candidate.
+pub trait EnergyModel: Send {
+    /// Projects `sig` from pstate `from` to pstate `to`.
+    fn project(
+        &self,
+        sig: &Signature,
+        from: Pstate,
+        to: Pstate,
+        pstates: &PstateTable,
+    ) -> Projection;
+}

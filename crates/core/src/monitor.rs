@@ -1,0 +1,192 @@
+//! EAR's monitoring service.
+//!
+//! Besides optimisation, EAR continuously *monitors*: per-node power and
+//! frequency time series feed the accounting database and the sysadmin
+//! dashboards (paper §III lists Monitoring as the first of EAR's four
+//! services). [`Monitored`] wraps any [`NodeRuntime`] — EARL or the null
+//! runtime — and records one sample per iteration without disturbing the
+//! wrapped runtime's behaviour.
+
+use crate::signature::rel_diff;
+use ear_archsim::{CounterSnapshot, Node, SimTime};
+use ear_mpisim::{MpiEvent, NodeRuntime};
+
+/// One monitoring sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonitorSample {
+    /// Sample timestamp.
+    pub time: SimTime,
+    /// Average DC power since the previous sample (W); 0 until the INM
+    /// counter has published inside the window.
+    pub dc_power_w: f64,
+    /// Average CPU frequency since the previous sample (GHz).
+    pub avg_cpu_ghz: f64,
+    /// Average IMC frequency since the previous sample (GHz).
+    pub avg_imc_ghz: f64,
+    /// Memory bandwidth since the previous sample (GB/s).
+    pub gbs: f64,
+}
+
+/// Summary statistics over a monitoring series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonitorSummary {
+    /// Number of samples.
+    pub samples: usize,
+    /// Minimum observed power (W).
+    pub min_power_w: f64,
+    /// Maximum observed power (W).
+    pub max_power_w: f64,
+    /// Time-weighted average power (W).
+    pub avg_power_w: f64,
+    /// Largest power swing between consecutive samples, relative.
+    pub max_power_step: f64,
+}
+
+/// A monitoring wrapper around another runtime.
+pub struct Monitored<R> {
+    inner: R,
+    last: Option<CounterSnapshot>,
+    series: Vec<MonitorSample>,
+}
+
+impl<R> Monitored<R> {
+    /// Wraps `inner`.
+    pub fn new(inner: R) -> Self {
+        Self {
+            inner,
+            last: None,
+            series: Vec::new(),
+        }
+    }
+
+    /// The wrapped runtime.
+    pub fn inner(&self) -> &R {
+        &self.inner
+    }
+
+    /// The recorded series.
+    pub fn series(&self) -> &[MonitorSample] {
+        &self.series
+    }
+
+    /// Summary statistics (None until at least one powered sample exists).
+    pub fn summary(&self) -> Option<MonitorSummary> {
+        let powered: Vec<&MonitorSample> =
+            self.series.iter().filter(|s| s.dc_power_w > 0.0).collect();
+        if powered.is_empty() {
+            return None;
+        }
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        let mut max_step = 0.0f64;
+        let mut prev: Option<f64> = None;
+        for s in &powered {
+            min = min.min(s.dc_power_w);
+            max = max.max(s.dc_power_w);
+            sum += s.dc_power_w;
+            if let Some(p) = prev {
+                max_step = max_step.max(rel_diff(p, s.dc_power_w));
+            }
+            prev = Some(s.dc_power_w);
+        }
+        Some(MonitorSummary {
+            samples: powered.len(),
+            min_power_w: min,
+            max_power_w: max,
+            avg_power_w: sum / powered.len() as f64,
+            max_power_step: max_step,
+        })
+    }
+
+    fn sample(&mut self, node: &Node) {
+        let now = node.snapshot();
+        if let Some(last) = self.last.as_ref() {
+            let d = now.delta(last);
+            if d.seconds > 0.0 {
+                self.series.push(MonitorSample {
+                    time: now.time,
+                    dc_power_w: d.dc_power_w(),
+                    avg_cpu_ghz: d.avg_cpu_ghz(),
+                    avg_imc_ghz: d.avg_imc_ghz(),
+                    gbs: d.gbs(),
+                });
+            }
+        }
+        self.last = Some(now);
+    }
+}
+
+impl<R: NodeRuntime> NodeRuntime for Monitored<R> {
+    fn on_job_start(&mut self, node: &mut Node, job_name: &str, ranks_on_node: usize) {
+        self.series.clear();
+        self.last = Some(node.snapshot());
+        self.inner.on_job_start(node, job_name, ranks_on_node);
+    }
+
+    fn on_mpi_call(&mut self, node: &mut Node, event: &MpiEvent) {
+        self.inner.on_mpi_call(node, event);
+    }
+
+    fn on_tick(&mut self, node: &mut Node) {
+        // Sample first so the wrapped runtime's frequency changes show up
+        // from the *next* window on, like an external meter.
+        self.sample(node);
+        self.inner.on_tick(node);
+    }
+
+    fn on_job_end(&mut self, node: &mut Node) {
+        self.sample(node);
+        self.inner.on_job_end(node);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ear_archsim::{Cluster, NodeConfig};
+    use ear_mpisim::{run_job, NullRuntime};
+    use ear_workloads::{build_job, by_name, calibrate};
+
+    #[test]
+    fn records_series_and_summary() {
+        let targets = by_name("BT-MZ.C (OpenMP)").unwrap();
+        let cal = calibrate(&targets).unwrap();
+        let job = build_job(&cal);
+        let mut cluster = Cluster::new(cal.node_config.clone(), 1, 55);
+        let mut rts = vec![Monitored::new(NullRuntime)];
+        run_job(&mut cluster, &job, &mut rts);
+        let mon = &rts[0];
+        assert!(mon.series().len() > 50, "samples {}", mon.series().len());
+        let summary = mon.summary().expect("powered samples");
+        assert!((summary.avg_power_w - 332.0).abs() < 20.0, "{summary:?}");
+        // Steady workload: power is flat.
+        assert!(summary.max_power_step < 0.1, "{summary:?}");
+    }
+
+    #[test]
+    fn observes_the_policy_changing_frequencies() {
+        let targets = by_name("BT-MZ.C (OpenMP)").unwrap();
+        let cal = calibrate(&targets).unwrap();
+        let job = build_job(&cal);
+        let mut cluster = Cluster::new(cal.node_config.clone(), 1, 56);
+        let earl = crate::Earl::from_registry(crate::EarlConfig::default());
+        let mut rts = vec![Monitored::new(earl)];
+        run_job(&mut cluster, &job, &mut rts);
+        let mon = &rts[0];
+        // The monitor must see the uncore drop over the job.
+        let first = mon.series().iter().find(|s| s.avg_imc_ghz > 0.0).unwrap();
+        let last = mon.series().last().unwrap();
+        assert!(first.avg_imc_ghz > 2.3, "start {}", first.avg_imc_ghz);
+        assert!(last.avg_imc_ghz < 2.2, "end {}", last.avg_imc_ghz);
+        // And the wrapped EARL still produced its record.
+        assert!(mon.inner().job_record().is_some());
+    }
+
+    #[test]
+    fn empty_series_has_no_summary() {
+        let m: Monitored<NullRuntime> = Monitored::new(NullRuntime);
+        assert!(m.summary().is_none());
+        let _ = NodeConfig::sd530_6148();
+    }
+}

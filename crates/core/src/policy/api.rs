@@ -1,0 +1,305 @@
+//! The energy-policy plugin API.
+//!
+//! EAR loads policies as plugins implementing a fixed symbol table
+//! (`policy_ops` in the paper's Code 1). [`PowerPolicy`] is that API;
+//! [`PolicyRegistry`] is the plugin mechanism — policies register factories
+//! under their names and EARL instantiates them by configuration string,
+//! exactly how a sysadmin selects a policy in `ear.conf`.
+
+use crate::models::EnergyModel;
+use crate::signature::Signature;
+use ear_archsim::{Pstate, PstateTable};
+use std::collections::HashMap;
+use std::fmt;
+
+/// The frequency settings a policy selects for a node: one CPU pstate
+/// (applied to every core) and the IMC ratio limits written to
+/// `MSR_UNCORE_RATIO_LIMIT` (paper §V-B: eUFS changes the maximum, never
+/// the minimum).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeFreqs {
+    /// CPU pstate for all cores.
+    pub cpu: Pstate,
+    /// Uncore minimum ratio (100 MHz units).
+    pub imc_min_ratio: u8,
+    /// Uncore maximum ratio (100 MHz units).
+    pub imc_max_ratio: u8,
+}
+
+/// What a policy returns to EARL (paper Code 1): `Ready` means the policy
+/// converged and EARL moves to validation; `Continue` means re-apply the
+/// policy at the next signature (iterative policies — the eUFS search).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyState {
+    /// Converged; EARL transitions to `VALIDATE_POLICY`.
+    Ready,
+    /// Iterating; EARL re-invokes `node_policy` on the next signature.
+    Continue,
+}
+
+/// How the eUFS search programs the uncore ratio range (§V-B: "different
+/// alternatives could be applied such as setting max and min to the same
+/// values, defining a given range (0.1 GHz for example) between max and
+/// min, or reducing only the maximum"). The paper pre-evaluated these and
+/// shipped `MaxOnly`; the others are provided for the ablation benches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ImcRange {
+    /// Lower only the maximum; the hardware may still dip below it in a
+    /// different application phase (the paper's choice).
+    MaxOnly,
+    /// Pin min == max: the firmware control loop is fully overridden.
+    Pinned,
+    /// Keep a fixed band of `n` ratio steps between min and max.
+    Band(u8),
+}
+
+/// The IMC search strategies of §V-B.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ImcSearch {
+    /// Start from the frequency the hardware control loop settled at
+    /// (the paper's default: faster convergence).
+    HwGuided,
+    /// Start from the platform maximum ("Not-Guided", Fig. 5's ME+NG-U).
+    Linear,
+}
+
+/// Policy settings (EAR: runtime flags or `ear.conf` defaults).
+#[derive(Debug, Clone)]
+pub struct PolicySettings {
+    /// Maximum predicted time penalty accepted by the CPU stage
+    /// (`cpu_policy_th`; the paper evaluates 3 % and 5 %).
+    pub cpu_policy_th: f64,
+    /// Extra penalty budget for the uncore stage (`unc_policy_th`; the
+    /// paper evaluates 0–3 %, default 2 %). Bounds CPI and GB/s drift.
+    pub unc_policy_th: f64,
+    /// IMC search strategy.
+    pub imc_search: ImcSearch,
+    /// How the selected uncore ceiling maps to the (min, max) limits.
+    pub imc_range: ImcRange,
+    /// Signature-change threshold before the policy is re-applied (the
+    /// paper accepts 15 %).
+    pub sig_change_th: f64,
+    /// Default pstate (min_energy's reference: the nominal frequency).
+    pub def_pstate: Pstate,
+    /// min_time_to_solution: minimum efficiency gain per 100 MHz that
+    /// justifies a faster pstate.
+    pub min_time_eff_gain: f64,
+}
+
+impl Default for PolicySettings {
+    fn default() -> Self {
+        Self {
+            cpu_policy_th: 0.05,
+            unc_policy_th: 0.02,
+            imc_search: ImcSearch::HwGuided,
+            imc_range: ImcRange::MaxOnly,
+            sig_change_th: 0.15,
+            def_pstate: 1,
+            min_time_eff_gain: 0.5,
+        }
+    }
+}
+
+impl ImcRange {
+    /// Maps a selected maximum ratio to the (min, max) pair written to
+    /// `MSR_UNCORE_RATIO_LIMIT`, within the platform range.
+    pub fn limits_for(self, max_ratio: u8, platform_min: u8, platform_max: u8) -> (u8, u8) {
+        let max = max_ratio.clamp(platform_min, platform_max);
+        let min = match self {
+            ImcRange::MaxOnly => platform_min,
+            ImcRange::Pinned => max,
+            ImcRange::Band(n) => max.saturating_sub(n).max(platform_min),
+        };
+        (min, max)
+    }
+}
+
+/// Everything a policy invocation can see.
+pub struct PolicyCtx<'a> {
+    /// The platform pstate table.
+    pub pstates: &'a PstateTable,
+    /// Platform uncore minimum ratio.
+    pub uncore_min_ratio: u8,
+    /// Platform uncore maximum ratio.
+    pub uncore_max_ratio: u8,
+    /// The energy model for projections.
+    pub model: &'a dyn EnergyModel,
+    /// Policy settings.
+    pub settings: &'a PolicySettings,
+}
+
+impl<'a> PolicyCtx<'a> {
+    /// The hardware-managed uncore range (no software constraint).
+    pub fn full_uncore_range(&self) -> (u8, u8) {
+        (self.uncore_min_ratio, self.uncore_max_ratio)
+    }
+
+    /// Default frequencies: default pstate, hardware-managed uncore.
+    pub fn default_freqs(&self) -> NodeFreqs {
+        NodeFreqs {
+            cpu: self.settings.def_pstate,
+            imc_min_ratio: self.uncore_min_ratio,
+            imc_max_ratio: self.uncore_max_ratio,
+        }
+    }
+}
+
+impl fmt::Debug for PolicyCtx<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PolicyCtx")
+            .field("uncore_min_ratio", &self.uncore_min_ratio)
+            .field("uncore_max_ratio", &self.uncore_max_ratio)
+            .field("settings", &self.settings)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The policy plugin API (the paper's `policy_ops`).
+pub trait PowerPolicy: Send {
+    /// The policy's registered name.
+    fn name(&self) -> &'static str;
+
+    /// Selects node frequencies for a new signature. Returning
+    /// [`PolicyState::Continue`] makes EARL re-invoke on the next
+    /// signature (iterative policies).
+    fn node_policy(&mut self, sig: &Signature, ctx: &PolicyCtx<'_>) -> (NodeFreqs, PolicyState);
+
+    /// Validates that the application still behaves as when the policy
+    /// converged. Returning `false` sends EARL back to `NODE_POLICY` with
+    /// default frequencies (paper Code 1). Implementations reset their
+    /// internal state when invalidating.
+    fn validate(&mut self, sig: &Signature, ctx: &PolicyCtx<'_>) -> bool;
+
+    /// The frequencies EARL applies while the policy restarts.
+    fn default_freqs(&self, ctx: &PolicyCtx<'_>) -> NodeFreqs {
+        ctx.default_freqs()
+    }
+
+    /// Clears all internal state (job start).
+    fn reset(&mut self);
+}
+
+/// Factory type stored in the registry.
+pub type PolicyFactory = Box<dyn Fn() -> Box<dyn PowerPolicy> + Send + Sync>;
+
+/// The plugin registry: name → factory.
+pub struct PolicyRegistry {
+    factories: HashMap<&'static str, PolicyFactory>,
+}
+
+impl PolicyRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self {
+            factories: HashMap::new(),
+        }
+    }
+
+    /// A registry with every built-in policy pre-registered, mirroring the
+    /// plugins EAR ships with (plus this paper's and its future work).
+    pub fn with_builtins() -> Self {
+        let mut r = Self::new();
+        r.register("monitoring", || {
+            Box::new(crate::policy::monitoring::Monitoring::default())
+        });
+        r.register("min_energy", || {
+            Box::new(crate::policy::min_energy::MinEnergy::default())
+        });
+        r.register("min_energy_eufs", || {
+            Box::new(crate::policy::min_energy_eufs::MinEnergyEufs::default())
+        });
+        r.register("min_time", || {
+            Box::new(crate::policy::min_time::MinTime::default())
+        });
+        r.register("duf", || Box::new(crate::policy::duf::Duf::default()));
+        r.register("min_time_eufs", || {
+            Box::new(crate::policy::min_time::MinTimeEufs::default())
+        });
+        r
+    }
+
+    /// Registers a factory under `name` (user plugins included).
+    pub fn register(
+        &mut self,
+        name: &'static str,
+        factory: impl Fn() -> Box<dyn PowerPolicy> + Send + Sync + 'static,
+    ) {
+        self.factories.insert(name, Box::new(factory));
+    }
+
+    /// Instantiates a policy by name.
+    pub fn create(&self, name: &str) -> Option<Box<dyn PowerPolicy>> {
+        self.factories.get(name).map(|f| f())
+    }
+
+    /// Registered policy names, sorted.
+    pub fn names(&self) -> Vec<&'static str> {
+        let mut v: Vec<_> = self.factories.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+impl Default for PolicyRegistry {
+    fn default() -> Self {
+        Self::with_builtins()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_builtin_policies() {
+        let r = PolicyRegistry::with_builtins();
+        for name in [
+            "monitoring",
+            "min_energy",
+            "min_energy_eufs",
+            "min_time",
+            "min_time_eufs",
+            "duf",
+        ] {
+            let p = r.create(name).unwrap_or_else(|| panic!("missing {name}"));
+            assert_eq!(p.name(), name);
+        }
+        assert!(r.create("nope").is_none());
+    }
+
+    #[test]
+    fn registry_accepts_user_plugins() {
+        let mut r = PolicyRegistry::new();
+        r.register("monitoring", || {
+            Box::new(crate::policy::monitoring::Monitoring::default())
+        });
+        assert_eq!(r.names(), vec!["monitoring"]);
+        assert!(r.create("monitoring").is_some());
+    }
+
+    #[test]
+    fn imc_range_modes() {
+        // MaxOnly: the paper's choice — minimum untouched.
+        assert_eq!(ImcRange::MaxOnly.limits_for(20, 12, 24), (12, 20));
+        // Pinned: min == max, firmware fully overridden.
+        assert_eq!(ImcRange::Pinned.limits_for(20, 12, 24), (20, 20));
+        // Band: a window below the ceiling.
+        assert_eq!(ImcRange::Band(2).limits_for(20, 12, 24), (18, 20));
+        // Band clamps at the platform floor.
+        assert_eq!(ImcRange::Band(5).limits_for(14, 12, 24), (12, 14));
+        // Ceiling itself clamps into the platform range.
+        assert_eq!(ImcRange::MaxOnly.limits_for(30, 12, 24), (12, 24));
+        assert_eq!(ImcRange::Pinned.limits_for(5, 12, 24), (12, 12));
+    }
+
+    #[test]
+    fn default_settings_match_paper() {
+        let s = PolicySettings::default();
+        assert!((s.cpu_policy_th - 0.05).abs() < 1e-12);
+        assert!((s.unc_policy_th - 0.02).abs() < 1e-12);
+        assert!((s.sig_change_th - 0.15).abs() < 1e-12);
+        assert_eq!(s.imc_search, ImcSearch::HwGuided);
+        assert_eq!(s.imc_range, ImcRange::MaxOnly);
+        assert_eq!(s.def_pstate, 1);
+    }
+}

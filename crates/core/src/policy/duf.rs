@@ -1,0 +1,209 @@
+//! A controller-based UFS baseline: DUF (Dulong et al., the paper's
+//! ref \[19\]), reimplemented against the same policy API.
+//!
+//! The paper's §VII contrasts its model+threshold approach with
+//! controller-based runtimes that "try to lower the uncore, then decide
+//! whether this change has achieved the expected effect and decide
+//! whether to keep lowering it, keep it, or raise it". DUF uses
+//! application throughput (we use CPI, the inverse signal) and memory
+//! bandwidth with a tolerated-slowdown budget, and *re-probes*
+//! periodically to follow phase changes instead of relying on an energy
+//! model. CPU frequency is left at the default — DUF is a pure uncore
+//! controller — which is exactly what makes the comparison against
+//! ME+eU interesting: EAR gets the DVFS savings on memory-bound codes
+//! that a pure uncore controller cannot see.
+
+use super::api::{NodeFreqs, PolicyCtx, PolicyState, PowerPolicy};
+use crate::signature::Signature;
+
+/// Controller phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Lowering the uncore one step per signature.
+    Descending,
+    /// Holding a found setting, counting down to the next probe.
+    Holding(u32),
+}
+
+/// The DUF-like controller.
+#[derive(Debug, Clone)]
+pub struct Duf {
+    mode: Mode,
+    /// Reference signature captured when descent (re)starts.
+    reference: Option<Signature>,
+    cur_max_ratio: Option<u8>,
+    /// Signatures to hold between probes.
+    hold_signatures: u32,
+    /// Tolerated CPI degradation per descent (like DUF's slowdown budget).
+    tolerance: f64,
+    /// Total descents started (probe counter, for tests/ablation).
+    probes: u32,
+}
+
+impl Default for Duf {
+    fn default() -> Self {
+        Self {
+            mode: Mode::Descending,
+            reference: None,
+            cur_max_ratio: None,
+            hold_signatures: 6,
+            tolerance: 0.02,
+            probes: 0,
+        }
+    }
+}
+
+impl Duf {
+    /// How many descents (initial + re-probes) have started.
+    pub fn probes(&self) -> u32 {
+        self.probes
+    }
+
+    fn freqs(&self, ctx: &PolicyCtx<'_>) -> NodeFreqs {
+        NodeFreqs {
+            cpu: ctx.settings.def_pstate,
+            imc_min_ratio: ctx.uncore_min_ratio,
+            imc_max_ratio: self.cur_max_ratio.unwrap_or(ctx.uncore_max_ratio),
+        }
+    }
+}
+
+impl PowerPolicy for Duf {
+    fn name(&self) -> &'static str {
+        "duf"
+    }
+
+    fn node_policy(&mut self, sig: &Signature, ctx: &PolicyCtx<'_>) -> (NodeFreqs, PolicyState) {
+        match self.mode {
+            Mode::Descending => {
+                let cur = self.cur_max_ratio.unwrap_or(ctx.uncore_max_ratio);
+                let degraded = self
+                    .reference
+                    .as_ref()
+                    .is_some_and(|r| sig.cpi > r.cpi * (1.0 + self.tolerance));
+                if degraded {
+                    // Raise one step back and hold.
+                    self.cur_max_ratio = Some((cur + 1).min(ctx.uncore_max_ratio));
+                    self.mode = Mode::Holding(self.hold_signatures);
+                } else if cur <= ctx.uncore_min_ratio {
+                    self.mode = Mode::Holding(self.hold_signatures);
+                } else {
+                    if self.reference.is_none() {
+                        self.reference = Some(*sig);
+                        self.probes += 1;
+                    }
+                    self.cur_max_ratio = Some(cur - 1);
+                }
+                // A controller never "converges": it stays in charge.
+                (self.freqs(ctx), PolicyState::Continue)
+            }
+            Mode::Holding(remaining) => {
+                if remaining == 0 {
+                    // Re-probe: fresh reference, descend again (DUF's
+                    // periodic exploration to follow phase changes).
+                    self.mode = Mode::Descending;
+                    self.reference = Some(*sig);
+                    self.probes += 1;
+                } else {
+                    self.mode = Mode::Holding(remaining - 1);
+                }
+                (self.freqs(ctx), PolicyState::Continue)
+            }
+        }
+    }
+
+    fn validate(&mut self, _sig: &Signature, _ctx: &PolicyCtx<'_>) -> bool {
+        // Never reached: the controller always returns Continue.
+        true
+    }
+
+    fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::Avx512Model;
+    use crate::policy::api::PolicySettings;
+    use ear_archsim::{NodeConfig, PstateTable};
+
+    fn sig(cpi: f64) -> Signature {
+        Signature {
+            window_s: 10.0,
+            iterations: 5,
+            cpi,
+            tpi: 0.002,
+            gbs: 10.0,
+            vpi: 0.0,
+            dc_power_w: 320.0,
+            pkg_power_w: 235.0,
+            avg_cpu_khz: 2.4e6,
+            avg_imc_khz: 2.4e6,
+        }
+    }
+
+    fn run_steps(policy: &mut Duf, cpis: &[f64]) -> Vec<u8> {
+        let pstates = PstateTable::xeon_gold_6148();
+        let model = Avx512Model::for_node(&NodeConfig::sd530_6148());
+        let settings = PolicySettings::default();
+        let ctx = PolicyCtx {
+            pstates: &pstates,
+            uncore_min_ratio: 12,
+            uncore_max_ratio: 24,
+            model: &model,
+            settings: &settings,
+        };
+        cpis.iter()
+            .map(|&c| policy.node_policy(&sig(c), &ctx).0.imc_max_ratio)
+            .collect()
+    }
+
+    #[test]
+    fn descends_until_degradation_then_backs_off() {
+        let mut p = Duf::default();
+        // Flat CPI for four steps, then a 4 % degradation.
+        let trace = run_steps(&mut p, &[0.40, 0.40, 0.40, 0.40, 0.417]);
+        assert_eq!(trace[0], 23);
+        assert_eq!(trace[3], 20);
+        // Backed off one step on degradation.
+        assert_eq!(trace[4], 21);
+        assert_eq!(p.probes(), 1);
+    }
+
+    #[test]
+    fn reprobes_after_the_hold() {
+        let mut p = Duf::default();
+        // Degrade immediately at 23 so it holds at 24... then feed flat
+        // CPI through the hold; after hold_signatures it descends again.
+        let mut cpis = vec![0.40, 0.42];
+        cpis.extend(std::iter::repeat_n(0.40, 10));
+        let trace = run_steps(&mut p, &cpis);
+        assert_eq!(trace[1], 24, "backed off to max");
+        // Somewhere after the hold the ratio descends again.
+        assert!(trace[5..].iter().any(|&r| r < 24), "{trace:?}");
+        assert!(p.probes() >= 2);
+    }
+
+    #[test]
+    fn never_converges() {
+        let pstates = PstateTable::xeon_gold_6148();
+        let model = Avx512Model::for_node(&NodeConfig::sd530_6148());
+        let settings = PolicySettings::default();
+        let ctx = PolicyCtx {
+            pstates: &pstates,
+            uncore_min_ratio: 12,
+            uncore_max_ratio: 24,
+            model: &model,
+            settings: &settings,
+        };
+        let mut p = Duf::default();
+        for _ in 0..40 {
+            let (f, state) = p.node_policy(&sig(0.4), &ctx);
+            assert_eq!(state, PolicyState::Continue);
+            assert!(f.imc_max_ratio >= 12 && f.imc_max_ratio <= 24);
+            assert_eq!(f.cpu, 1, "DUF never touches the CPU");
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! `min_energy_to_solution`: the basic CPU-frequency stage (paper §V-B).
+//!
+//! A linear search over pstates: using the energy model, project the
+//! measured signature to every candidate pstate from the default (nominal)
+//! downward, and select the one minimising predicted energy subject to
+//! `T ≤ T_ref · (1 + cpu_policy_th)`, where `T_ref` is the predicted time
+//! at the default pstate.
+
+use super::api::{NodeFreqs, PolicyCtx, PolicyState, PowerPolicy};
+use crate::signature::Signature;
+use ear_archsim::Pstate;
+
+/// Runs the basic min_energy linear search and returns the selected pstate.
+///
+/// `from` is the pstate the signature was measured at. The search space is
+/// `def_pstate..=slowest` — min_energy never selects turbo.
+pub fn select_min_energy_pstate(sig: &Signature, from: Pstate, ctx: &PolicyCtx<'_>) -> Pstate {
+    let def = ctx.settings.def_pstate;
+    let t_ref = ctx.model.project(sig, from, def, ctx.pstates).time_s;
+    let limit = t_ref * (1.0 + ctx.settings.cpu_policy_th);
+
+    let mut best = def;
+    let mut best_energy = f64::INFINITY;
+    for ps in def..=ctx.pstates.slowest() {
+        let proj = ctx.model.project(sig, from, ps, ctx.pstates);
+        if proj.time_s <= limit && proj.energy_j() < best_energy {
+            best_energy = proj.energy_j();
+            best = ps;
+        }
+    }
+    best
+}
+
+/// The pstate a signature was measured at, inferred from its average CPU
+/// frequency. AVX512 licence throttling lowers the *measured* average below
+/// the requested pstate, so the inference snaps to the nearest pstate and
+/// is intended for model `from` arguments only.
+pub fn measured_pstate(sig: &Signature, ctx: &PolicyCtx<'_>) -> Pstate {
+    ctx.pstates.pstate_for_khz(sig.avg_cpu_khz as u64)
+}
+
+/// `min_energy_to_solution` with hardware-managed uncore (the paper's "ME"
+/// configuration).
+#[derive(Debug, Default, Clone)]
+pub struct MinEnergy {
+    /// Signature at the time the current selection was made.
+    ref_sig: Option<Signature>,
+    /// The selected pstate.
+    selected: Option<Pstate>,
+    /// See `MinTime::settled`: the first post-convergence validation
+    /// re-baselines the reference at the newly applied frequency.
+    settled: bool,
+}
+
+impl MinEnergy {
+    /// The pstate currently selected, if converged.
+    pub fn selected(&self) -> Option<Pstate> {
+        self.selected
+    }
+}
+
+impl PowerPolicy for MinEnergy {
+    fn name(&self) -> &'static str {
+        "min_energy"
+    }
+
+    fn node_policy(&mut self, sig: &Signature, ctx: &PolicyCtx<'_>) -> (NodeFreqs, PolicyState) {
+        let from = measured_pstate(sig, ctx);
+        let sel = select_min_energy_pstate(sig, from, ctx);
+        self.ref_sig = Some(*sig);
+        self.selected = Some(sel);
+        self.settled = false;
+        let (imc_min, imc_max) = ctx.full_uncore_range();
+        (
+            NodeFreqs {
+                cpu: sel,
+                imc_min_ratio: imc_min,
+                imc_max_ratio: imc_max,
+            },
+            PolicyState::Ready,
+        )
+    }
+
+    fn validate(&mut self, sig: &Signature, ctx: &PolicyCtx<'_>) -> bool {
+        if !self.settled {
+            self.ref_sig = Some(*sig);
+            self.settled = true;
+            return true;
+        }
+        match self.ref_sig {
+            Some(ref r) if r.changed_significantly(sig, ctx.settings.sig_change_th) => {
+                self.reset();
+                false
+            }
+            Some(_) => true,
+            None => false,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.ref_sig = None;
+        self.selected = None;
+        self.settled = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::Avx512Model;
+    use crate::policy::api::PolicySettings;
+    use ear_archsim::{NodeConfig, PstateTable};
+
+    fn fixtures() -> (PstateTable, Avx512Model, PolicySettings) {
+        (
+            PstateTable::xeon_gold_6148(),
+            Avx512Model::for_node(&NodeConfig::sd530_6148()),
+            PolicySettings::default(),
+        )
+    }
+
+    fn ctx<'a>(
+        pstates: &'a PstateTable,
+        model: &'a Avx512Model,
+        settings: &'a PolicySettings,
+    ) -> PolicyCtx<'a> {
+        PolicyCtx {
+            pstates,
+            uncore_min_ratio: 12,
+            uncore_max_ratio: 24,
+            model,
+            settings,
+        }
+    }
+
+    fn cpu_bound() -> Signature {
+        Signature {
+            window_s: 10.0,
+            iterations: 5,
+            cpi: 0.38,
+            tpi: 0.0008,
+            gbs: 6.6,
+            vpi: 0.04,
+            dc_power_w: 320.0,
+            pkg_power_w: 235.0,
+            avg_cpu_khz: 2.4e6,
+            avg_imc_khz: 2.4e6,
+        }
+    }
+
+    fn mem_bound() -> Signature {
+        Signature {
+            window_s: 10.0,
+            iterations: 5,
+            cpi: 3.13,
+            tpi: 0.36,
+            gbs: 177.0,
+            vpi: 0.02,
+            dc_power_w: 340.0,
+            pkg_power_w: 250.0,
+            avg_cpu_khz: 2.4e6,
+            avg_imc_khz: 2.4e6,
+        }
+    }
+
+    #[test]
+    fn cpu_bound_keeps_nominal() {
+        // Paper Table VI: BT-MZ/BQCD stay at 2.38 GHz under ME.
+        let (p, m, s) = fixtures();
+        let c = ctx(&p, &m, &s);
+        assert_eq!(select_min_energy_pstate(&cpu_bound(), 1, &c), 1);
+    }
+
+    #[test]
+    fn memory_bound_lowers_frequency() {
+        // Paper Table VI: HPCG drops to ~1.75 GHz under ME with 5 %.
+        let (p, m, s) = fixtures();
+        let c = ctx(&p, &m, &s);
+        let sel = select_min_energy_pstate(&mem_bound(), 1, &c);
+        let f = p.ghz(sel);
+        assert!(f < 2.1, "selected {f} GHz");
+        assert!(f >= 1.2, "selected {f} GHz");
+    }
+
+    #[test]
+    fn tighter_threshold_is_more_conservative() {
+        let (p, m, _) = fixtures();
+        let tight = PolicySettings {
+            cpu_policy_th: 0.01,
+            ..Default::default()
+        };
+        let loose = PolicySettings {
+            cpu_policy_th: 0.10,
+            ..Default::default()
+        };
+        let sel_tight = select_min_energy_pstate(&mem_bound(), 1, &ctx(&p, &m, &tight));
+        let sel_loose = select_min_energy_pstate(&mem_bound(), 1, &ctx(&p, &m, &loose));
+        assert!(sel_tight <= sel_loose, "{sel_tight} vs {sel_loose}");
+    }
+
+    #[test]
+    fn policy_is_one_shot_ready() {
+        let (p, m, s) = fixtures();
+        let c = ctx(&p, &m, &s);
+        let mut pol = MinEnergy::default();
+        let (freqs, state) = pol.node_policy(&cpu_bound(), &c);
+        assert_eq!(state, PolicyState::Ready);
+        // Uncore left to the hardware: full platform range.
+        assert_eq!((freqs.imc_min_ratio, freqs.imc_max_ratio), (12, 24));
+        assert!(pol.validate(&cpu_bound(), &c));
+    }
+
+    #[test]
+    fn validation_fails_on_phase_change() {
+        let (p, m, s) = fixtures();
+        let c = ctx(&p, &m, &s);
+        let mut pol = MinEnergy::default();
+        pol.node_policy(&cpu_bound(), &c);
+        assert!(pol.validate(&cpu_bound(), &c)); // settles the reference
+        assert!(!pol.validate(&mem_bound(), &c));
+        // After invalidation the policy starts fresh.
+        assert!(pol.selected().is_none());
+    }
+}

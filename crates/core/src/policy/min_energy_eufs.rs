@@ -1,0 +1,472 @@
+//! `min_energy_to_solution` with explicit uncore frequency selection —
+//! the paper's contribution (§V-B, Fig. 2).
+//!
+//! The policy is a three-state machine re-applied on every signature until
+//! it returns `Ready`:
+//!
+//! ```text
+//! CPU_FREQ_SEL ──(selected == default)──────────────► IMC_FREQ_SEL ─► READY
+//!      │                                                   ▲  │(loop ×N)
+//!      └─(selected < default)──► COMP_REF ─────────────────┘  ▼
+//!                                (reference metrics)      revert & READY
+//! ```
+//!
+//! * **CPU_FREQ_SEL** runs the basic min_energy linear search.
+//! * **COMP_REF** is one settling window at the new CPU frequency to
+//!   compute reference CPI/GB/s before touching the uncore.
+//! * **IMC_FREQ_SEL** iteratively lowers the `MSR_UNCORE_RATIO_LIMIT`
+//!   *maximum* by 0.1 GHz per signature (the minimum is never raised).
+//!   The search starts from the hardware's settled frequency (HW-guided,
+//!   the paper's default) or the platform maximum (linear / "not guided").
+//!   A step is reverted — and the policy returns `Ready` — when CPI grew
+//!   beyond `ref · (1 + unc_policy_th)` or GB/s fell below
+//!   `ref · (1 − unc_policy_th)`.
+//!
+//! If the signature changes by more than the 15 % threshold while the IMC
+//! search runs (an application phase change, not policy-induced drift),
+//! the state machine restarts from CPU_FREQ_SEL (§V-B, last paragraph).
+
+use super::api::{ImcSearch, NodeFreqs, PolicyCtx, PolicyState, PowerPolicy};
+use super::min_energy::{measured_pstate, select_min_energy_pstate};
+use crate::signature::Signature;
+use ear_archsim::Pstate;
+
+/// The policy's state (paper Fig. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    /// Selecting the CPU pstate with the basic algorithm.
+    CpuFreqSel,
+    /// One settling window at the selected CPU frequency.
+    CompRef,
+    /// Iterative uncore-maximum reduction.
+    ImcFreqSel,
+}
+
+/// `min_energy_to_solution` + explicit UFS.
+#[derive(Debug, Clone)]
+pub struct MinEnergyEufs {
+    state: State,
+    /// The pstate chosen by CPU_FREQ_SEL.
+    selected_cpu: Option<Pstate>,
+    /// Signature at CPU selection time (phase-change detection).
+    cpu_sel_sig: Option<Signature>,
+    /// Reference metrics for the uncore penalty checks.
+    imc_ref: Option<Signature>,
+    /// The maximum ratio currently programmed by the search.
+    cur_max_ratio: Option<u8>,
+    /// Where the search started (reverts cannot exceed it).
+    start_ratio: Option<u8>,
+    /// Signature when the policy last returned Ready (validation ref).
+    stable_sig: Option<Signature>,
+    /// Counts IMC search steps (exposed for convergence ablations).
+    imc_steps: u32,
+}
+
+impl Default for MinEnergyEufs {
+    fn default() -> Self {
+        Self {
+            state: State::CpuFreqSel,
+            selected_cpu: None,
+            cpu_sel_sig: None,
+            imc_ref: None,
+            cur_max_ratio: None,
+            start_ratio: None,
+            stable_sig: None,
+            imc_steps: 0,
+        }
+    }
+}
+
+impl MinEnergyEufs {
+    /// The CPU pstate selected by the first stage, if any.
+    pub fn selected_cpu(&self) -> Option<Pstate> {
+        self.selected_cpu
+    }
+
+    /// IMC search steps taken so far (HW-guided vs linear ablation).
+    pub fn imc_steps(&self) -> u32 {
+        self.imc_steps
+    }
+
+    /// The uncore maximum currently programmed by the search.
+    pub fn current_imc_max(&self) -> Option<u8> {
+        self.cur_max_ratio
+    }
+
+    fn freqs(&self, ctx: &PolicyCtx<'_>) -> NodeFreqs {
+        let max = self.cur_max_ratio.unwrap_or(ctx.uncore_max_ratio);
+        let (imc_min, imc_max) =
+            ctx.settings
+                .imc_range
+                .limits_for(max, ctx.uncore_min_ratio, ctx.uncore_max_ratio);
+        NodeFreqs {
+            cpu: self.selected_cpu.unwrap_or(ctx.settings.def_pstate),
+            imc_min_ratio: imc_min,
+            imc_max_ratio: imc_max,
+        }
+    }
+
+    /// The ratio the IMC search starts from.
+    fn search_start(&self, sig: &Signature, ctx: &PolicyCtx<'_>) -> u8 {
+        match ctx.settings.imc_search {
+            ImcSearch::HwGuided => {
+                // The hardware's settled choice, read from the measured
+                // average IMC frequency (rounded to a 100 MHz ratio).
+                let ratio = (sig.avg_imc_khz / 100_000.0).round() as u8;
+                ratio.clamp(ctx.uncore_min_ratio, ctx.uncore_max_ratio)
+            }
+            ImcSearch::Linear => ctx.uncore_max_ratio,
+        }
+    }
+
+    fn enter_imc_stage(
+        &mut self,
+        sig: &Signature,
+        ctx: &PolicyCtx<'_>,
+    ) -> (NodeFreqs, PolicyState) {
+        self.state = State::ImcFreqSel;
+        self.imc_ref = Some(*sig);
+        let start = self.search_start(sig, ctx);
+        self.start_ratio = Some(start);
+        if start <= ctx.uncore_min_ratio {
+            // Nothing below the hardware's choice: converge immediately.
+            self.cur_max_ratio = Some(start);
+            self.stable_sig = Some(*sig);
+            return (self.freqs(ctx), PolicyState::Ready);
+        }
+        // First try: one 0.1 GHz step below the start.
+        self.cur_max_ratio = Some(start - 1);
+        self.imc_steps += 1;
+        (self.freqs(ctx), PolicyState::Continue)
+    }
+
+    fn imc_penalty_exceeded(&self, sig: &Signature, ctx: &PolicyCtx<'_>) -> bool {
+        let Some(r) = self.imc_ref.as_ref() else {
+            return false;
+        };
+        let th = ctx.settings.unc_policy_th;
+        sig.cpi > r.cpi * (1.0 + th) || sig.gbs < r.gbs * (1.0 - th)
+    }
+}
+
+impl PowerPolicy for MinEnergyEufs {
+    fn name(&self) -> &'static str {
+        "min_energy_eufs"
+    }
+
+    fn node_policy(&mut self, sig: &Signature, ctx: &PolicyCtx<'_>) -> (NodeFreqs, PolicyState) {
+        match self.state {
+            State::CpuFreqSel => {
+                let from = measured_pstate(sig, ctx);
+                let sel = select_min_energy_pstate(sig, from, ctx);
+                self.selected_cpu = Some(sel);
+                self.cpu_sel_sig = Some(*sig);
+                self.cur_max_ratio = None; // uncore back to HW control
+                if sel == ctx.settings.def_pstate {
+                    // Fig. 2: straight to IMC selection; the current
+                    // signature is the reference (the CPU frequency is
+                    // unchanged, so no settling window is needed).
+                    self.enter_imc_stage(sig, ctx)
+                } else {
+                    self.state = State::CompRef;
+                    (self.freqs(ctx), PolicyState::Continue)
+                }
+            }
+            State::CompRef => {
+                // This signature was measured at the new CPU frequency
+                // with hardware UFS: it is the reference for the uncore
+                // stage.
+                self.enter_imc_stage(sig, ctx)
+            }
+            State::ImcFreqSel => {
+                // Phase change during the search? Restart from scratch
+                // (paper §V-B, final paragraph).
+                if let Some(base) = self.cpu_sel_sig.as_ref() {
+                    if base.changed_significantly(sig, ctx.settings.sig_change_th) {
+                        let mut fresh = Self::default();
+                        std::mem::swap(self, &mut fresh);
+                        self.imc_steps = fresh.imc_steps; // preserve the counter
+                        return (ctx.default_freqs(), PolicyState::Continue);
+                    }
+                }
+                let min = ctx.uncore_min_ratio;
+                let cur = self.cur_max_ratio.unwrap_or(ctx.uncore_max_ratio);
+                if self.imc_penalty_exceeded(sig, ctx) {
+                    // Revert the last step and converge.
+                    let reverted = (cur + 1).min(self.start_ratio.unwrap_or(ctx.uncore_max_ratio));
+                    self.cur_max_ratio = Some(reverted);
+                    self.stable_sig = Some(*sig);
+                    (self.freqs(ctx), PolicyState::Ready)
+                } else if cur <= min {
+                    // Reached the platform floor without penalty.
+                    self.stable_sig = Some(*sig);
+                    (self.freqs(ctx), PolicyState::Ready)
+                } else {
+                    self.cur_max_ratio = Some(cur - 1);
+                    self.imc_steps += 1;
+                    (self.freqs(ctx), PolicyState::Continue)
+                }
+            }
+        }
+    }
+
+    fn validate(&mut self, sig: &Signature, ctx: &PolicyCtx<'_>) -> bool {
+        match self.stable_sig {
+            Some(ref stable) if stable.changed_significantly(sig, ctx.settings.sig_change_th) => {
+                *self = Self::default();
+                false
+            }
+            Some(_) => true,
+            None => false,
+        }
+    }
+
+    fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::Avx512Model;
+    use crate::policy::api::PolicySettings;
+    use ear_archsim::{NodeConfig, PstateTable};
+
+    struct Fixture {
+        pstates: PstateTable,
+        model: Avx512Model,
+        settings: PolicySettings,
+    }
+
+    impl Fixture {
+        fn new(settings: PolicySettings) -> Self {
+            Self {
+                pstates: PstateTable::xeon_gold_6148(),
+                model: Avx512Model::for_node(&NodeConfig::sd530_6148()),
+                settings,
+            }
+        }
+
+        fn ctx(&self) -> PolicyCtx<'_> {
+            PolicyCtx {
+                pstates: &self.pstates,
+                uncore_min_ratio: 12,
+                uncore_max_ratio: 24,
+                model: &self.model,
+                settings: &self.settings,
+            }
+        }
+    }
+
+    fn cpu_bound_sig(cpi: f64, gbs: f64, imc_khz: f64) -> Signature {
+        Signature {
+            window_s: 10.0,
+            iterations: 5,
+            cpi,
+            tpi: 0.001,
+            gbs,
+            vpi: 0.0,
+            dc_power_w: 320.0,
+            pkg_power_w: 235.0,
+            avg_cpu_khz: 2.4e6,
+            avg_imc_khz: imc_khz,
+        }
+    }
+
+    #[test]
+    fn nominal_cpu_goes_straight_to_imc_stage() {
+        let f = Fixture::new(PolicySettings::default());
+        let ctx = f.ctx();
+        let mut p = MinEnergyEufs::default();
+        let sig = cpu_bound_sig(0.38, 6.6, 2.39e6);
+        let (freqs, state) = p.node_policy(&sig, &ctx);
+        // CPU stays nominal; the first uncore step is below the HW choice.
+        assert_eq!(freqs.cpu, 1);
+        assert_eq!(state, PolicyState::Continue);
+        assert_eq!(freqs.imc_max_ratio, 23); // HW at 24, one step down
+        assert_eq!(freqs.imc_min_ratio, 12); // the minimum is never moved
+    }
+
+    #[test]
+    fn search_continues_until_penalty_then_reverts() {
+        let f = Fixture::new(PolicySettings::default());
+        let ctx = f.ctx();
+        let mut p = MinEnergyEufs::default();
+        // Reference at HW max.
+        let (_, s) = p.node_policy(&cpu_bound_sig(0.40, 10.0, 2.4e6), &ctx);
+        assert_eq!(s, PolicyState::Continue);
+        // Three harmless steps (drift under 2 %).
+        for _ in 0..3 {
+            let (_, s) = p.node_policy(&cpu_bound_sig(0.403, 9.95, 2.4e6), &ctx);
+            assert_eq!(s, PolicyState::Continue);
+        }
+        let before = p.current_imc_max().unwrap();
+        // Now CPI jumps past the 2 % budget: revert + Ready.
+        let (freqs, s) = p.node_policy(&cpu_bound_sig(0.42, 9.5, 2.4e6), &ctx);
+        assert_eq!(s, PolicyState::Ready);
+        assert_eq!(freqs.imc_max_ratio, before + 1);
+    }
+
+    #[test]
+    fn gbs_drop_also_triggers_revert() {
+        let f = Fixture::new(PolicySettings::default());
+        let ctx = f.ctx();
+        let mut p = MinEnergyEufs::default();
+        p.node_policy(&cpu_bound_sig(0.40, 100.0, 2.4e6), &ctx);
+        // CPI fine, bandwidth collapsed by 5 %: revert.
+        let (_, s) = p.node_policy(&cpu_bound_sig(0.40, 95.0, 2.4e6), &ctx);
+        assert_eq!(s, PolicyState::Ready);
+    }
+
+    #[test]
+    fn search_stops_at_platform_floor() {
+        let f = Fixture::new(PolicySettings::default());
+        let ctx = f.ctx();
+        let mut p = MinEnergyEufs::default();
+        let sig = cpu_bound_sig(0.40, 10.0, 2.4e6);
+        let mut state = p.node_policy(&sig, &ctx).1;
+        let mut guard = 0;
+        while state == PolicyState::Continue {
+            state = p.node_policy(&sig, &ctx).1;
+            guard += 1;
+            assert!(guard < 50, "search did not terminate");
+        }
+        // No penalty ever: converged at the platform minimum.
+        assert_eq!(p.current_imc_max(), Some(12));
+    }
+
+    #[test]
+    fn hw_guided_starts_below_linear() {
+        // HW settled at 2.0 GHz: HW-guided starts there; linear at max.
+        let hw = Fixture::new(PolicySettings::default());
+        let mut p = MinEnergyEufs::default();
+        let (f1, _) = p.node_policy(&cpu_bound_sig(0.40, 10.0, 2.0e6), &hw.ctx());
+        assert_eq!(f1.imc_max_ratio, 19); // 20 − 1
+
+        let lin = Fixture::new(PolicySettings {
+            imc_search: ImcSearch::Linear,
+            ..Default::default()
+        });
+        let mut p = MinEnergyEufs::default();
+        let (f2, _) = p.node_policy(&cpu_bound_sig(0.40, 10.0, 2.0e6), &lin.ctx());
+        assert_eq!(f2.imc_max_ratio, 23); // 24 − 1
+    }
+
+    #[test]
+    fn sub_nominal_cpu_passes_through_comp_ref() {
+        let f = Fixture::new(PolicySettings::default());
+        let ctx = f.ctx();
+        let mut p = MinEnergyEufs::default();
+        // Memory-bound: the CPU stage picks a lower pstate.
+        let mem = Signature {
+            window_s: 10.0,
+            iterations: 5,
+            cpi: 3.13,
+            tpi: 0.36,
+            gbs: 177.0,
+            vpi: 0.02,
+            dc_power_w: 340.0,
+            pkg_power_w: 250.0,
+            avg_cpu_khz: 2.4e6,
+            avg_imc_khz: 2.4e6,
+        };
+        let (freqs, state) = p.node_policy(&mem, &ctx);
+        assert!(freqs.cpu > 1, "expected sub-nominal selection");
+        assert_eq!(state, PolicyState::Continue);
+        // While settling, the uncore is left to the hardware.
+        assert_eq!(freqs.imc_max_ratio, 24);
+        // Next signature (measured at the new frequency) enters the IMC
+        // stage.
+        let mut settled = mem;
+        settled.avg_cpu_khz = f.pstates.khz(freqs.cpu) as f64;
+        settled.avg_imc_khz = 2.39e6;
+        let (freqs2, state2) = p.node_policy(&settled, &ctx);
+        assert_eq!(state2, PolicyState::Continue);
+        assert_eq!(freqs2.imc_max_ratio, 23);
+        assert_eq!(freqs2.cpu, freqs.cpu);
+    }
+
+    #[test]
+    fn phase_change_during_imc_search_restarts() {
+        let f = Fixture::new(PolicySettings::default());
+        let ctx = f.ctx();
+        let mut p = MinEnergyEufs::default();
+        p.node_policy(&cpu_bound_sig(0.40, 10.0, 2.4e6), &ctx);
+        p.node_policy(&cpu_bound_sig(0.402, 9.98, 2.4e6), &ctx);
+        // The application enters a wildly different phase.
+        let (freqs, state) = p.node_policy(&cpu_bound_sig(1.2, 150.0, 2.4e6), &ctx);
+        assert_eq!(state, PolicyState::Continue);
+        assert_eq!(freqs, ctx.default_freqs());
+        assert!(p.selected_cpu().is_none(), "restarted from CPU_FREQ_SEL");
+    }
+
+    #[test]
+    fn validation_restarts_on_signature_change() {
+        let f = Fixture::new(PolicySettings::default());
+        let ctx = f.ctx();
+        let mut p = MinEnergyEufs::default();
+        // Converge quickly by forcing an immediate penalty (above the 2 %
+        // uncore budget, below the 15 % phase-change threshold).
+        p.node_policy(&cpu_bound_sig(0.40, 10.0, 2.4e6), &ctx);
+        let (_, s) = p.node_policy(&cpu_bound_sig(0.44, 9.2, 2.4e6), &ctx);
+        assert_eq!(s, PolicyState::Ready);
+        // Stable signature similar: validation passes.
+        assert!(p.validate(&cpu_bound_sig(0.445, 9.21, 2.4e6), &ctx));
+        // Phase change: validation fails and the policy resets.
+        assert!(!p.validate(&cpu_bound_sig(1.5, 100.0, 2.4e6), &ctx));
+        assert!(p.selected_cpu().is_none());
+    }
+
+    #[test]
+    fn pinned_range_mode_pins_min_to_max() {
+        use crate::policy::api::ImcRange;
+        let f = Fixture::new(PolicySettings {
+            imc_range: ImcRange::Pinned,
+            ..Default::default()
+        });
+        let ctx = f.ctx();
+        let mut p = MinEnergyEufs::default();
+        let (freqs, _) = p.node_policy(&cpu_bound_sig(0.40, 10.0, 2.4e6), &ctx);
+        assert_eq!(freqs.imc_min_ratio, freqs.imc_max_ratio);
+        assert_eq!(freqs.imc_max_ratio, 23);
+    }
+
+    #[test]
+    fn band_range_mode_keeps_window() {
+        use crate::policy::api::ImcRange;
+        let f = Fixture::new(PolicySettings {
+            imc_range: ImcRange::Band(2),
+            ..Default::default()
+        });
+        let ctx = f.ctx();
+        let mut p = MinEnergyEufs::default();
+        let (freqs, _) = p.node_policy(&cpu_bound_sig(0.40, 10.0, 2.4e6), &ctx);
+        assert_eq!(freqs.imc_max_ratio - freqs.imc_min_ratio, 2);
+    }
+
+    #[test]
+    fn tighter_unc_threshold_stops_earlier() {
+        let run = |th: f64| {
+            let f = Fixture::new(PolicySettings {
+                unc_policy_th: th,
+                ..Default::default()
+            });
+            let ctx = f.ctx();
+            let mut p = MinEnergyEufs::default();
+            // Each uncore step costs 1 % CPI, cumulative.
+            let mut cpi = 0.40;
+            let mut state = p.node_policy(&cpu_bound_sig(cpi, 10.0, 2.4e6), &ctx).1;
+            let mut guard = 0;
+            while state == PolicyState::Continue && guard < 50 {
+                cpi *= 1.01;
+                state = p.node_policy(&cpu_bound_sig(cpi, 10.0, 2.4e6), &ctx).1;
+                guard += 1;
+            }
+            p.current_imc_max().unwrap()
+        };
+        let tight = run(0.01);
+        let loose = run(0.03);
+        assert!(tight > loose, "tight {tight} loose {loose}");
+    }
+}

@@ -1,0 +1,406 @@
+//! `min_time_to_solution`, and its explicit-UFS variant (the paper's
+//! future work, §VIII).
+//!
+//! min_time starts from a configured default pstate *below* nominal and
+//! climbs toward faster pstates as long as the model predicts the extra
+//! frequency actually buys time: moving one pstate up (+100 MHz) must
+//! reduce predicted time by at least `min_time_eff_gain` × the relative
+//! frequency increase. CPU-bound codes climb to the top; memory-bound
+//! codes stop early (the frequency doesn't help them).
+//!
+//! The eUFS variant appends the same iterative IMC stage as
+//! `min_energy_eufs` — §VIII announces exactly this integration — and
+//! additionally supports the "increase" search direction mentioned there:
+//! if lowering the uncore immediately penalises the application and the
+//! hardware is not already at the platform maximum, the search raises the
+//! *minimum* ratio instead, pinning the uncore above the firmware's choice
+//! for communication/latency-sensitive codes.
+
+use super::api::{NodeFreqs, PolicyCtx, PolicyState, PowerPolicy};
+use super::min_energy::measured_pstate;
+use crate::signature::Signature;
+use ear_archsim::Pstate;
+
+/// Selects the min_time pstate: the fastest pstate (turbo included) whose
+/// marginal time gain stays efficient.
+///
+/// Efficiency of a step is the achieved time gain relative to the *ideal*
+/// gain a fully frequency-scalable application would get from the same
+/// step (`1 − f_cur/f_faster`); this makes the criterion independent of
+/// step size (the turbo bucket is a 1.3 GHz jump on the 6148).
+pub fn select_min_time_pstate(sig: &Signature, from: Pstate, ctx: &PolicyCtx<'_>) -> Pstate {
+    let start = ctx.settings.def_pstate;
+    let mut current = start;
+    // Walk toward faster pstates (lower index), turbo included.
+    while current > 0 {
+        let faster = current - 1;
+        let t_cur = ctx.model.project(sig, from, current, ctx.pstates).time_s;
+        let t_fast = ctx.model.project(sig, from, faster, ctx.pstates).time_s;
+        let ideal_gain = 1.0 - ctx.pstates.ghz(current) / ctx.pstates.ghz(faster);
+        let time_gain = (t_cur - t_fast) / t_cur;
+        if ideal_gain <= 0.0 || time_gain < ctx.settings.min_time_eff_gain * ideal_gain {
+            break;
+        }
+        current = faster;
+    }
+    current
+}
+
+/// `min_time_to_solution` with hardware-managed uncore.
+#[derive(Debug, Default, Clone)]
+pub struct MinTime {
+    ref_sig: Option<Signature>,
+    selected: Option<Pstate>,
+    /// The first validation after convergence replaces the reference with
+    /// a signature measured *at the new frequency* — rate metrics (GB/s)
+    /// legitimately change with the frequency itself and must not count
+    /// as an application phase change.
+    settled: bool,
+}
+
+impl MinTime {
+    /// The selected pstate, if converged.
+    pub fn selected(&self) -> Option<Pstate> {
+        self.selected
+    }
+}
+
+impl PowerPolicy for MinTime {
+    fn name(&self) -> &'static str {
+        "min_time"
+    }
+
+    fn node_policy(&mut self, sig: &Signature, ctx: &PolicyCtx<'_>) -> (NodeFreqs, PolicyState) {
+        let from = measured_pstate(sig, ctx);
+        let sel = select_min_time_pstate(sig, from, ctx);
+        self.selected = Some(sel);
+        self.ref_sig = Some(*sig);
+        let (imc_min, imc_max) = ctx.full_uncore_range();
+        (
+            NodeFreqs {
+                cpu: sel,
+                imc_min_ratio: imc_min,
+                imc_max_ratio: imc_max,
+            },
+            PolicyState::Ready,
+        )
+    }
+
+    fn validate(&mut self, sig: &Signature, ctx: &PolicyCtx<'_>) -> bool {
+        if !self.settled {
+            self.ref_sig = Some(*sig);
+            self.settled = true;
+            return true;
+        }
+        match self.ref_sig {
+            Some(ref r) if r.changed_significantly(sig, ctx.settings.sig_change_th) => {
+                self.reset();
+                false
+            }
+            Some(_) => true,
+            None => false,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.ref_sig = None;
+        self.selected = None;
+        self.settled = false;
+    }
+}
+
+/// The uncore search direction of the eUFS stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    /// Lower the maximum ratio (power savings; same as min_energy_eufs).
+    Decrease,
+    /// Raise the minimum ratio (performance; §VIII's "increasing the
+    /// uncore frequency" strategy).
+    Increase,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    CpuFreqSel,
+    ImcFreqSel,
+}
+
+/// `min_time_to_solution` + explicit UFS (future work implemented).
+#[derive(Debug, Clone)]
+pub struct MinTimeEufs {
+    state: State,
+    selected_cpu: Option<Pstate>,
+    imc_ref: Option<Signature>,
+    direction: Direction,
+    cur_min_ratio: Option<u8>,
+    cur_max_ratio: Option<u8>,
+    stable_sig: Option<Signature>,
+}
+
+impl Default for MinTimeEufs {
+    fn default() -> Self {
+        Self {
+            state: State::CpuFreqSel,
+            selected_cpu: None,
+            imc_ref: None,
+            direction: Direction::Decrease,
+            cur_min_ratio: None,
+            cur_max_ratio: None,
+            stable_sig: None,
+        }
+    }
+}
+
+impl MinTimeEufs {
+    fn freqs(&self, ctx: &PolicyCtx<'_>) -> NodeFreqs {
+        NodeFreqs {
+            cpu: self.selected_cpu.unwrap_or(ctx.settings.def_pstate),
+            imc_min_ratio: self.cur_min_ratio.unwrap_or(ctx.uncore_min_ratio),
+            imc_max_ratio: self.cur_max_ratio.unwrap_or(ctx.uncore_max_ratio),
+        }
+    }
+}
+
+impl PowerPolicy for MinTimeEufs {
+    fn name(&self) -> &'static str {
+        "min_time_eufs"
+    }
+
+    fn node_policy(&mut self, sig: &Signature, ctx: &PolicyCtx<'_>) -> (NodeFreqs, PolicyState) {
+        match self.state {
+            State::CpuFreqSel => {
+                let from = measured_pstate(sig, ctx);
+                let sel = select_min_time_pstate(sig, from, ctx);
+                self.selected_cpu = Some(sel);
+                self.state = State::ImcFreqSel;
+                self.imc_ref = Some(*sig);
+                // Memory-sensitive signatures (the frequency climb stopped
+                // early) pin the uncore UP; compute-bound ones scavenge it
+                // DOWN.
+                let hw_ratio = (sig.avg_imc_khz / 100_000.0).round() as u8;
+                let hw_ratio = hw_ratio.clamp(ctx.uncore_min_ratio, ctx.uncore_max_ratio);
+                if sel >= ctx.settings.def_pstate && sig.tpi > 0.05 {
+                    self.direction = Direction::Increase;
+                    let raised = (hw_ratio + 1).min(ctx.uncore_max_ratio);
+                    self.cur_min_ratio = Some(raised);
+                    self.cur_max_ratio = Some(ctx.uncore_max_ratio);
+                } else {
+                    self.direction = Direction::Decrease;
+                    self.cur_min_ratio = Some(ctx.uncore_min_ratio);
+                    self.cur_max_ratio = Some(hw_ratio.saturating_sub(1).max(ctx.uncore_min_ratio));
+                }
+                (self.freqs(ctx), PolicyState::Continue)
+            }
+            State::ImcFreqSel => {
+                let th = ctx.settings.unc_policy_th;
+                let r = self.imc_ref.as_ref().expect("imc stage has a reference");
+                let worse = sig.cpi > r.cpi * (1.0 + th) || sig.gbs < r.gbs * (1.0 - th);
+                match self.direction {
+                    Direction::Decrease => {
+                        let cur = self.cur_max_ratio.unwrap_or(ctx.uncore_max_ratio);
+                        if worse {
+                            self.cur_max_ratio = Some((cur + 1).min(ctx.uncore_max_ratio));
+                            self.stable_sig = Some(*sig);
+                            (self.freqs(ctx), PolicyState::Ready)
+                        } else if cur <= ctx.uncore_min_ratio {
+                            self.stable_sig = Some(*sig);
+                            (self.freqs(ctx), PolicyState::Ready)
+                        } else {
+                            self.cur_max_ratio = Some(cur - 1);
+                            (self.freqs(ctx), PolicyState::Continue)
+                        }
+                    }
+                    Direction::Increase => {
+                        // Raising the minimum can only help or be neutral;
+                        // stop when time stops improving (CPI stops
+                        // dropping) or the ceiling is reached.
+                        let cur = self.cur_min_ratio.unwrap_or(ctx.uncore_min_ratio);
+                        let improved = sig.cpi < r.cpi * (1.0 - th / 2.0);
+                        if cur >= ctx.uncore_max_ratio || !improved {
+                            self.stable_sig = Some(*sig);
+                            (self.freqs(ctx), PolicyState::Ready)
+                        } else {
+                            self.imc_ref = Some(*sig);
+                            self.cur_min_ratio = Some(cur + 1);
+                            (self.freqs(ctx), PolicyState::Continue)
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn validate(&mut self, sig: &Signature, ctx: &PolicyCtx<'_>) -> bool {
+        match self.stable_sig {
+            Some(ref stable) if stable.changed_significantly(sig, ctx.settings.sig_change_th) => {
+                *self = Self::default();
+                false
+            }
+            Some(_) => true,
+            None => false,
+        }
+    }
+
+    fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::Avx512Model;
+    use crate::policy::api::PolicySettings;
+    use ear_archsim::{NodeConfig, PstateTable};
+
+    fn fixture(settings: PolicySettings) -> (PstateTable, Avx512Model, PolicySettings) {
+        (
+            PstateTable::xeon_gold_6148(),
+            Avx512Model::for_node(&NodeConfig::sd530_6148()),
+            settings,
+        )
+    }
+
+    fn ctx<'a>(p: &'a PstateTable, m: &'a Avx512Model, s: &'a PolicySettings) -> PolicyCtx<'a> {
+        PolicyCtx {
+            pstates: p,
+            uncore_min_ratio: 12,
+            uncore_max_ratio: 24,
+            model: m,
+            settings: s,
+        }
+    }
+
+    fn cpu_bound() -> Signature {
+        Signature {
+            window_s: 10.0,
+            iterations: 5,
+            cpi: 0.4,
+            tpi: 0.001,
+            gbs: 8.0,
+            vpi: 0.0,
+            dc_power_w: 320.0,
+            pkg_power_w: 235.0,
+            avg_cpu_khz: 2.1e6,
+            avg_imc_khz: 2.4e6,
+        }
+    }
+
+    fn mem_bound() -> Signature {
+        Signature {
+            window_s: 10.0,
+            iterations: 5,
+            cpi: 3.1,
+            tpi: 0.36,
+            gbs: 177.0,
+            vpi: 0.0,
+            dc_power_w: 340.0,
+            pkg_power_w: 250.0,
+            avg_cpu_khz: 2.1e6,
+            avg_imc_khz: 2.0e6,
+        }
+    }
+
+    #[test]
+    fn cpu_bound_climbs_to_turbo() {
+        // With a default pstate of 4 (2.1 GHz), compute-bound code climbs
+        // all the way (turbo included) — every step buys ~proportional time.
+        let (p, m, s) = fixture(PolicySettings {
+            def_pstate: 4,
+            ..Default::default()
+        });
+        let c = ctx(&p, &m, &s);
+        let sel = select_min_time_pstate(&cpu_bound(), 4, &c);
+        assert_eq!(sel, 0, "expected turbo, got pstate {sel}");
+    }
+
+    #[test]
+    fn memory_bound_stops_early() {
+        let (p, m, s) = fixture(PolicySettings {
+            def_pstate: 4,
+            ..Default::default()
+        });
+        let c = ctx(&p, &m, &s);
+        let sel = select_min_time_pstate(&mem_bound(), 4, &c);
+        assert!(sel >= 3, "memory-bound should not climb: got {sel}");
+    }
+
+    #[test]
+    fn min_time_is_one_shot() {
+        let (p, m, s) = fixture(PolicySettings {
+            def_pstate: 4,
+            ..Default::default()
+        });
+        let c = ctx(&p, &m, &s);
+        let mut pol = MinTime::default();
+        let (_, state) = pol.node_policy(&cpu_bound(), &c);
+        assert_eq!(state, PolicyState::Ready);
+        // First validation settles the reference at the new frequency.
+        assert!(pol.validate(&cpu_bound(), &c));
+        assert!(pol.validate(&cpu_bound(), &c));
+        assert!(!pol.validate(&mem_bound(), &c));
+    }
+
+    #[test]
+    fn eufs_variant_scavenges_uncore_for_cpu_bound() {
+        let (p, m, s) = fixture(PolicySettings {
+            def_pstate: 4,
+            ..Default::default()
+        });
+        let c = ctx(&p, &m, &s);
+        let mut pol = MinTimeEufs::default();
+        let (freqs, state) = pol.node_policy(&cpu_bound(), &c);
+        assert_eq!(state, PolicyState::Continue);
+        assert_eq!(freqs.cpu, 0);
+        // Decrease direction: max lowered below the HW selection.
+        assert_eq!(freqs.imc_max_ratio, 23);
+        assert_eq!(freqs.imc_min_ratio, 12);
+    }
+
+    #[test]
+    fn eufs_variant_pins_uncore_up_for_memory_bound() {
+        let (p, m, s) = fixture(PolicySettings {
+            def_pstate: 4,
+            ..Default::default()
+        });
+        let c = ctx(&p, &m, &s);
+        let mut pol = MinTimeEufs::default();
+        let (freqs, state) = pol.node_policy(&mem_bound(), &c);
+        assert_eq!(state, PolicyState::Continue);
+        // Increase direction: minimum raised above the HW's 2.0 GHz.
+        assert_eq!(freqs.imc_min_ratio, 21);
+        assert_eq!(freqs.imc_max_ratio, 24);
+    }
+
+    #[test]
+    fn increase_direction_stops_when_no_improvement() {
+        let (p, m, s) = fixture(PolicySettings {
+            def_pstate: 4,
+            ..Default::default()
+        });
+        let c = ctx(&p, &m, &s);
+        let mut pol = MinTimeEufs::default();
+        pol.node_policy(&mem_bound(), &c);
+        // Second signature: CPI did not improve — converge.
+        let (_, state) = pol.node_policy(&mem_bound(), &c);
+        assert_eq!(state, PolicyState::Ready);
+    }
+
+    #[test]
+    fn decrease_direction_terminates() {
+        let (p, m, s) = fixture(PolicySettings {
+            def_pstate: 4,
+            ..Default::default()
+        });
+        let c = ctx(&p, &m, &s);
+        let mut pol = MinTimeEufs::default();
+        let sig = cpu_bound();
+        let mut state = pol.node_policy(&sig, &c).1;
+        let mut guard = 0;
+        while state == PolicyState::Continue {
+            state = pol.node_policy(&sig, &c).1;
+            guard += 1;
+            assert!(guard < 40);
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Energy policies and the plugin API.
+
+pub mod api;
+pub mod duf;
+pub mod min_energy;
+pub mod min_energy_eufs;
+pub mod min_time;
+pub mod monitoring;
+
+pub use api::{
+    ImcRange, ImcSearch, NodeFreqs, PolicyCtx, PolicyRegistry, PolicySettings, PolicyState,
+    PowerPolicy,
+};
+pub use duf::Duf;
+pub use min_energy::MinEnergy;
+pub use min_energy_eufs::MinEnergyEufs;
+pub use min_time::{MinTime, MinTimeEufs};
+pub use monitoring::Monitoring;

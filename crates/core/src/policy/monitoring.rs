@@ -1,0 +1,86 @@
+//! The monitoring (no-optimisation) policy.
+//!
+//! EAR always ships a `monitoring` policy that keeps default frequencies
+//! and only observes. It doubles as the paper's "No policy" baseline when
+//! EARL runs purely for accounting.
+
+use super::api::{NodeFreqs, PolicyCtx, PolicyState, PowerPolicy};
+use crate::signature::Signature;
+
+/// The pass-through policy.
+#[derive(Debug, Default, Clone)]
+pub struct Monitoring {
+    signatures_seen: u64,
+}
+
+impl Monitoring {
+    /// How many signatures this instance has observed.
+    pub fn signatures_seen(&self) -> u64 {
+        self.signatures_seen
+    }
+}
+
+impl PowerPolicy for Monitoring {
+    fn name(&self) -> &'static str {
+        "monitoring"
+    }
+
+    fn node_policy(&mut self, _sig: &Signature, ctx: &PolicyCtx<'_>) -> (NodeFreqs, PolicyState) {
+        self.signatures_seen += 1;
+        (ctx.default_freqs(), PolicyState::Ready)
+    }
+
+    fn validate(&mut self, _sig: &Signature, _ctx: &PolicyCtx<'_>) -> bool {
+        self.signatures_seen += 1;
+        true
+    }
+
+    fn reset(&mut self) {
+        self.signatures_seen = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::Avx512Model;
+    use crate::policy::api::PolicySettings;
+    use ear_archsim::{NodeConfig, PstateTable};
+
+    fn sig() -> Signature {
+        Signature {
+            window_s: 10.0,
+            iterations: 5,
+            cpi: 0.5,
+            tpi: 0.01,
+            gbs: 20.0,
+            vpi: 0.0,
+            dc_power_w: 330.0,
+            pkg_power_w: 240.0,
+            avg_cpu_khz: 2.4e6,
+            avg_imc_khz: 2.4e6,
+        }
+    }
+
+    #[test]
+    fn keeps_defaults_and_is_always_ready() {
+        let pstates = PstateTable::xeon_gold_6148();
+        let model = Avx512Model::for_node(&NodeConfig::sd530_6148());
+        let settings = PolicySettings::default();
+        let ctx = PolicyCtx {
+            pstates: &pstates,
+            uncore_min_ratio: 12,
+            uncore_max_ratio: 24,
+            model: &model,
+            settings: &settings,
+        };
+        let mut p = Monitoring::default();
+        let (freqs, state) = p.node_policy(&sig(), &ctx);
+        assert_eq!(state, PolicyState::Ready);
+        assert_eq!(freqs, ctx.default_freqs());
+        assert!(p.validate(&sig(), &ctx));
+        assert_eq!(p.signatures_seen(), 2);
+        p.reset();
+        assert_eq!(p.signatures_seen(), 0);
+    }
+}

@@ -1,0 +1,209 @@
+//! Cluster power capping — EAR's energy-*control* service.
+//!
+//! Beyond optimisation, EAR offers control: keeping a cluster under a power
+//! budget by distributing per-node caps. This module implements the
+//! node-level mechanism the EAR daemon uses: monitor recent node power and,
+//! when the assigned cap is exceeded, lower the maximum CPU pstate (and,
+//! with this paper's machinery available, the uncore maximum) until the
+//! node complies; lift the restriction when there is headroom.
+
+use crate::policy::api::NodeFreqs;
+use ear_archsim::{Node, Pstate};
+
+/// Per-node powercap controller.
+#[derive(Debug, Clone)]
+pub struct PowercapController {
+    /// Assigned DC power cap (W); `f64::INFINITY` disables capping.
+    cap_w: f64,
+    /// Current pstate ceiling imposed by the cap (0 = unconstrained).
+    pstate_floor: Pstate,
+    /// Current uncore maximum imposed by the cap.
+    imc_max: u8,
+    /// Platform limits.
+    imc_platform_max: u8,
+    imc_platform_min: u8,
+    slowest_pstate: Pstate,
+    /// Hysteresis: fraction of the cap below which restrictions lift.
+    lift_fraction: f64,
+}
+
+/// What the controller decided on one evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CapAction {
+    /// Within budget; nothing changed.
+    Ok,
+    /// Throttled further (CPU pstate and/or uncore max lowered).
+    Throttled,
+    /// Restrictions partially lifted.
+    Relaxed,
+}
+
+impl PowercapController {
+    /// Creates a controller for a node with the given cap.
+    pub fn new(node: &Node, cap_w: f64) -> Self {
+        Self {
+            cap_w,
+            pstate_floor: node.config.pstates.nominal(),
+            imc_max: node.config.uncore_max_ratio,
+            imc_platform_max: node.config.uncore_max_ratio,
+            imc_platform_min: node.config.uncore_min_ratio,
+            slowest_pstate: node.config.pstates.slowest(),
+            lift_fraction: 0.92,
+        }
+    }
+
+    /// The cap (W).
+    pub fn cap_w(&self) -> f64 {
+        self.cap_w
+    }
+
+    /// Reassigns the cap (cluster-level redistribution).
+    pub fn set_cap_w(&mut self, cap_w: f64) {
+        self.cap_w = cap_w;
+    }
+
+    /// The frequency ceiling currently imposed.
+    pub fn ceiling(&self) -> NodeFreqs {
+        NodeFreqs {
+            cpu: self.pstate_floor,
+            imc_min_ratio: self.imc_platform_min,
+            imc_max_ratio: self.imc_max,
+        }
+    }
+
+    /// Evaluates recent average power and adjusts the ceiling. The caller
+    /// applies [`PowercapController::ceiling`] if the action is not `Ok`
+    /// (the cap constrains the *policy*, which still optimises below it).
+    ///
+    /// Throttling is proportional: a large overshoot takes several steps
+    /// at once (an uncore ratio step is worth only a few watts; waiting a
+    /// full evaluation window per step would chase a 30 W deficit for
+    /// minutes).
+    pub fn evaluate(&mut self, recent_power_w: f64) -> CapAction {
+        if recent_power_w > self.cap_w {
+            // ~3 W per uncore ratio step on the calibrated platform.
+            let steps = ((recent_power_w - self.cap_w) / 3.0).ceil().clamp(1.0, 6.0) as u32;
+            let mut moved = false;
+            for _ in 0..steps {
+                // Alternate CPU and uncore throttling: uncore first
+                // (cheaper in performance for most codes — the premise of
+                // the paper).
+                if self.imc_max > self.imc_platform_min {
+                    self.imc_max -= 1;
+                    moved = true;
+                } else if self.pstate_floor < self.slowest_pstate {
+                    self.pstate_floor += 1;
+                    moved = true;
+                } else {
+                    break;
+                }
+            }
+            if !moved {
+                return CapAction::Ok; // fully throttled already
+            }
+            CapAction::Throttled
+        } else if recent_power_w < self.cap_w * self.lift_fraction {
+            if self.pstate_floor > 1 {
+                self.pstate_floor -= 1;
+                CapAction::Relaxed
+            } else if self.imc_max < self.imc_platform_max {
+                self.imc_max += 1;
+                CapAction::Relaxed
+            } else {
+                CapAction::Ok
+            }
+        } else {
+            CapAction::Ok
+        }
+    }
+}
+
+/// Distributes a cluster budget over nodes proportionally to their recent
+/// power demand (EAR's cluster powercap redistribution).
+pub fn distribute_budget(budget_w: f64, demands_w: &[f64]) -> Vec<f64> {
+    let total: f64 = demands_w.iter().sum();
+    if total <= 0.0 || demands_w.is_empty() {
+        let n = demands_w.len().max(1) as f64;
+        return demands_w.iter().map(|_| budget_w / n).collect();
+    }
+    demands_w.iter().map(|d| budget_w * d / total).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ear_archsim::NodeConfig;
+
+    fn node() -> Node {
+        Node::new(NodeConfig::sd530_6148(), 1)
+    }
+
+    #[test]
+    fn within_budget_is_untouched() {
+        let n = node();
+        let mut c = PowercapController::new(&n, 350.0);
+        assert_eq!(c.evaluate(330.0), CapAction::Ok);
+        assert_eq!(c.ceiling().cpu, 1);
+        assert_eq!(c.ceiling().imc_max_ratio, 24);
+    }
+
+    #[test]
+    fn over_budget_throttles_uncore_first() {
+        let n = node();
+        let mut c = PowercapController::new(&n, 300.0);
+        // 40 W over: several uncore steps at once, CPU untouched.
+        assert_eq!(c.evaluate(340.0), CapAction::Throttled);
+        assert_eq!(c.ceiling().imc_max_ratio, 18);
+        assert_eq!(c.ceiling().cpu, 1);
+        // Barely over: a single step.
+        assert_eq!(c.evaluate(302.0), CapAction::Throttled);
+        assert_eq!(c.ceiling().imc_max_ratio, 17);
+    }
+
+    #[test]
+    fn sustained_overload_reaches_cpu_throttling() {
+        let n = node();
+        let mut c = PowercapController::new(&n, 250.0);
+        for _ in 0..5 {
+            c.evaluate(340.0);
+        }
+        // Uncore exhausted (12 steps), CPU throttling began.
+        assert_eq!(c.ceiling().imc_max_ratio, 12);
+        assert!(c.ceiling().cpu > 1);
+    }
+
+    #[test]
+    fn headroom_lifts_restrictions() {
+        let n = node();
+        let mut c = PowercapController::new(&n, 300.0);
+        for _ in 0..6 {
+            c.evaluate(400.0);
+        }
+        let throttled_cpu = c.ceiling().cpu;
+        assert!(throttled_cpu > 1);
+        assert_eq!(c.evaluate(200.0), CapAction::Relaxed);
+        assert!(c.ceiling().cpu < throttled_cpu);
+    }
+
+    #[test]
+    fn fully_throttled_is_stable() {
+        let n = node();
+        let mut c = PowercapController::new(&n, 100.0);
+        for _ in 0..100 {
+            c.evaluate(500.0);
+        }
+        assert_eq!(c.evaluate(500.0), CapAction::Ok);
+        assert_eq!(c.ceiling().imc_max_ratio, 12);
+        assert_eq!(c.ceiling().cpu, c.slowest_pstate);
+    }
+
+    #[test]
+    fn budget_distribution_proportional() {
+        let caps = distribute_budget(1000.0, &[300.0, 100.0]);
+        assert!((caps[0] - 750.0).abs() < 1e-9);
+        assert!((caps[1] - 250.0).abs() < 1e-9);
+        // Degenerate: zero demand splits evenly.
+        let caps = distribute_budget(1000.0, &[0.0, 0.0]);
+        assert!((caps[0] - 500.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,129 @@
+//! Application signatures.
+//!
+//! The loop (or application) signature is the set of performance and power
+//! metrics EARL computes per measurement window and feeds to the energy
+//! policies (paper §III/§V): iteration time, CPI, TPI, GB/s, VPI and
+//! average DC node power, plus the average CPU/IMC frequencies needed for
+//! model projections and reporting.
+
+use ear_archsim::CounterDelta;
+
+/// One measurement window's signature.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Signature {
+    /// Window wall-clock length (s).
+    pub window_s: f64,
+    /// Loop iterations covered by the window (1 for time-guided mode).
+    pub iterations: u32,
+    /// Cycles per instruction.
+    pub cpi: f64,
+    /// Main-memory transactions per instruction.
+    pub tpi: f64,
+    /// Main-memory bandwidth (GB/s).
+    pub gbs: f64,
+    /// AVX512 instruction fraction.
+    pub vpi: f64,
+    /// Average DC node power over the window (W).
+    pub dc_power_w: f64,
+    /// Average RAPL package power over the window (W).
+    pub pkg_power_w: f64,
+    /// Average CPU frequency (kHz, all cores).
+    pub avg_cpu_khz: f64,
+    /// Average IMC frequency (kHz).
+    pub avg_imc_khz: f64,
+}
+
+impl Signature {
+    /// Builds a signature from a counter delta.
+    pub fn from_delta(d: &CounterDelta, iterations: u32) -> Self {
+        Self {
+            window_s: d.seconds,
+            iterations: iterations.max(1),
+            cpi: d.cpi(),
+            tpi: d.tpi(),
+            gbs: d.gbs(),
+            vpi: d.vpi(),
+            dc_power_w: d.dc_power_w(),
+            pkg_power_w: d.pkg_power_w(),
+            avg_cpu_khz: d.avg_cpu_khz,
+            avg_imc_khz: d.avg_imc_khz,
+        }
+    }
+
+    /// Per-iteration time (s).
+    pub fn iter_time_s(&self) -> f64 {
+        self.window_s / self.iterations.max(1) as f64
+    }
+
+    /// Window energy (J) from the DC power.
+    pub fn dc_energy_j(&self) -> f64 {
+        self.dc_power_w * self.window_s
+    }
+
+    /// Whether `other` differs significantly from `self`. The paper accepts
+    /// up to 15 % variation before re-applying the policy, using CPI and
+    /// GB/s as the change detectors (§V-B items 5–6).
+    pub fn changed_significantly(&self, other: &Signature, threshold: f64) -> bool {
+        rel_diff(self.cpi, other.cpi) > threshold || rel_diff(self.gbs, other.gbs) > threshold
+    }
+
+    /// True when the window's power reading is usable (the INM counter
+    /// needs at least one publication inside the window).
+    pub fn has_power(&self) -> bool {
+        self.dc_power_w > 0.0
+    }
+}
+
+/// Relative difference, safe at zero.
+pub fn rel_diff(a: f64, b: f64) -> f64 {
+    let denom = a.abs().max(1e-9);
+    (a - b).abs() / denom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig(cpi: f64, gbs: f64) -> Signature {
+        Signature {
+            window_s: 10.0,
+            iterations: 5,
+            cpi,
+            tpi: 0.01,
+            gbs,
+            vpi: 0.0,
+            dc_power_w: 330.0,
+            pkg_power_w: 240.0,
+            avg_cpu_khz: 2.4e6,
+            avg_imc_khz: 2.4e6,
+        }
+    }
+
+    #[test]
+    fn iter_time_and_energy() {
+        let s = sig(0.5, 20.0);
+        assert!((s.iter_time_s() - 2.0).abs() < 1e-12);
+        assert!((s.dc_energy_j() - 3300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn change_detection_uses_cpi_and_gbs() {
+        let a = sig(0.50, 20.0);
+        // 10 % CPI drift: below the paper's 15 % threshold.
+        assert!(!a.changed_significantly(&sig(0.55, 20.0), 0.15));
+        // 20 % CPI drift: significant.
+        assert!(a.changed_significantly(&sig(0.60, 20.0), 0.15));
+        // 20 % bandwidth drift: significant.
+        assert!(a.changed_significantly(&sig(0.50, 16.0), 0.15));
+        // Power drift alone is NOT a change trigger.
+        let mut b = sig(0.50, 20.0);
+        b.dc_power_w = 500.0;
+        assert!(!a.changed_significantly(&b, 0.15));
+    }
+
+    #[test]
+    fn rel_diff_safe_at_zero() {
+        assert!(rel_diff(0.0, 0.0) < 1e-3);
+        assert!(rel_diff(0.0, 1.0) > 1.0);
+    }
+}

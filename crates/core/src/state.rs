@@ -1,0 +1,191 @@
+//! The EARL state machine (the paper's Code 1).
+//!
+//! EARL alternates between applying the policy (`NODE_POLICY`) and watching
+//! for behaviour changes (`VALIDATE_POLICY`). Iterative policies hold it in
+//! `NODE_POLICY` by returning [`PolicyState::Continue`]; once a policy
+//! returns `Ready`, EARL applies the frequencies and becomes stable until
+//! validation fails, at which point default frequencies are restored and
+//! the policy restarts.
+
+use crate::policy::api::{NodeFreqs, PolicyCtx, PolicyState, PowerPolicy};
+use crate::signature::Signature;
+
+/// EARL's top-level states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EarState {
+    /// Applying the energy policy.
+    NodePolicy,
+    /// Policy converged; validating each new signature.
+    ValidatePolicy,
+}
+
+/// What the state machine decided for one signature.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StateOutcome {
+    /// Frequencies to apply now, if any.
+    pub freqs: Option<NodeFreqs>,
+    /// The state after processing.
+    pub state: EarState,
+}
+
+/// The state machine. Owns no policy — it drives one passed per call,
+/// mirroring EAR's separation between the library core and policy plugins.
+#[derive(Debug, Clone)]
+pub struct EarlStateMachine {
+    state: EarState,
+}
+
+impl EarlStateMachine {
+    /// Starts in `NODE_POLICY` (the policy runs on the first signature).
+    pub fn new() -> Self {
+        Self {
+            state: EarState::NodePolicy,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> EarState {
+        self.state
+    }
+
+    /// Processes one new signature (the paper's `state_new_signature`).
+    pub fn on_signature(
+        &mut self,
+        policy: &mut dyn PowerPolicy,
+        sig: &Signature,
+        ctx: &PolicyCtx<'_>,
+    ) -> StateOutcome {
+        match self.state {
+            EarState::NodePolicy => {
+                let (freqs, pstate) = policy.node_policy(sig, ctx);
+                if pstate == PolicyState::Ready {
+                    self.state = EarState::ValidatePolicy;
+                }
+                StateOutcome {
+                    freqs: Some(freqs),
+                    state: self.state,
+                }
+            }
+            EarState::ValidatePolicy => {
+                if policy.validate(sig, ctx) {
+                    StateOutcome {
+                        freqs: None,
+                        state: self.state,
+                    }
+                } else {
+                    // Code 1: back to NODE_POLICY with default frequencies.
+                    self.state = EarState::NodePolicy;
+                    StateOutcome {
+                        freqs: Some(policy.default_freqs(ctx)),
+                        state: self.state,
+                    }
+                }
+            }
+        }
+    }
+
+    /// Resets to the initial state (job start).
+    pub fn reset(&mut self) {
+        self.state = EarState::NodePolicy;
+    }
+}
+
+impl Default for EarlStateMachine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::Avx512Model;
+    use crate::policy::api::PolicySettings;
+    use crate::policy::min_energy_eufs::MinEnergyEufs;
+    use crate::policy::monitoring::Monitoring;
+    use ear_archsim::{NodeConfig, PstateTable};
+
+    fn sig(cpi: f64, gbs: f64) -> Signature {
+        Signature {
+            window_s: 10.0,
+            iterations: 5,
+            cpi,
+            tpi: 0.001,
+            gbs,
+            vpi: 0.0,
+            dc_power_w: 320.0,
+            pkg_power_w: 235.0,
+            avg_cpu_khz: 2.4e6,
+            avg_imc_khz: 2.4e6,
+        }
+    }
+
+    #[test]
+    fn one_shot_policy_reaches_validate() {
+        let pstates = PstateTable::xeon_gold_6148();
+        let model = Avx512Model::for_node(&NodeConfig::sd530_6148());
+        let settings = PolicySettings::default();
+        let ctx = PolicyCtx {
+            pstates: &pstates,
+            uncore_min_ratio: 12,
+            uncore_max_ratio: 24,
+            model: &model,
+            settings: &settings,
+        };
+        let mut sm = EarlStateMachine::new();
+        let mut policy = Monitoring::default();
+        let out = sm.on_signature(&mut policy, &sig(0.4, 10.0), &ctx);
+        assert_eq!(out.state, EarState::ValidatePolicy);
+        assert!(out.freqs.is_some());
+        // Stable: no frequency changes while validating successfully.
+        let out = sm.on_signature(&mut policy, &sig(0.4, 10.0), &ctx);
+        assert_eq!(out.freqs, None);
+    }
+
+    #[test]
+    fn iterative_policy_holds_node_policy_state() {
+        let pstates = PstateTable::xeon_gold_6148();
+        let model = Avx512Model::for_node(&NodeConfig::sd530_6148());
+        let settings = PolicySettings::default();
+        let ctx = PolicyCtx {
+            pstates: &pstates,
+            uncore_min_ratio: 12,
+            uncore_max_ratio: 24,
+            model: &model,
+            settings: &settings,
+        };
+        let mut sm = EarlStateMachine::new();
+        let mut policy = MinEnergyEufs::default();
+        // First signature: enters the IMC search, still NODE_POLICY.
+        let out = sm.on_signature(&mut policy, &sig(0.4, 10.0), &ctx);
+        assert_eq!(out.state, EarState::NodePolicy);
+        assert!(out.freqs.is_some());
+        // A penalised step (above the 2 % uncore budget but below the
+        // 15 % phase-change threshold) converges the policy.
+        let out = sm.on_signature(&mut policy, &sig(0.44, 9.2), &ctx);
+        assert_eq!(out.state, EarState::ValidatePolicy);
+    }
+
+    #[test]
+    fn failed_validation_restores_defaults() {
+        let pstates = PstateTable::xeon_gold_6148();
+        let model = Avx512Model::for_node(&NodeConfig::sd530_6148());
+        let settings = PolicySettings::default();
+        let ctx = PolicyCtx {
+            pstates: &pstates,
+            uncore_min_ratio: 12,
+            uncore_max_ratio: 24,
+            model: &model,
+            settings: &settings,
+        };
+        let mut sm = EarlStateMachine::new();
+        let mut policy = MinEnergyEufs::default();
+        sm.on_signature(&mut policy, &sig(0.4, 10.0), &ctx);
+        sm.on_signature(&mut policy, &sig(0.44, 9.2), &ctx); // converges
+        assert_eq!(sm.state(), EarState::ValidatePolicy);
+        // Phase change: defaults restored, back to NODE_POLICY.
+        let out = sm.on_signature(&mut policy, &sig(2.0, 150.0), &ctx);
+        assert_eq!(out.state, EarState::NodePolicy);
+        assert_eq!(out.freqs, Some(ctx.default_freqs()));
+    }
+}

@@ -1,0 +1,244 @@
+//! Single-level periodicity detector.
+//!
+//! For every candidate period `p` the detector keeps the length of the
+//! current run of samples satisfying `x[i] == x[i - p]`. A loop of period
+//! `p` is declared once a full period has repeated (`run[p] >= p`), taking
+//! the smallest such `p` (harmonics match at multiples). A single mismatch
+//! at the detected period ends the loop — iterative HPC codes emit exactly
+//! repeating MPI sequences, so mismatches mean real structure changes.
+
+use crate::window::SampleWindow;
+
+/// Detector events, mirroring EAR's DynAIS states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoopEvent {
+    /// Not inside a detected loop.
+    NoLoop,
+    /// Inside a loop, mid-iteration.
+    InLoop,
+    /// Inside a loop, at an iteration boundary.
+    NewIteration,
+    /// A loop was just detected (first boundary).
+    NewLoop,
+    /// The current loop ended on this sample.
+    EndLoop,
+    /// The current loop ended and a different one begins immediately.
+    EndNewLoop,
+}
+
+impl LoopEvent {
+    /// True for events that mark an iteration boundary usable for
+    /// signature computation.
+    pub fn is_boundary(self) -> bool {
+        matches!(
+            self,
+            LoopEvent::NewIteration | LoopEvent::NewLoop | LoopEvent::EndNewLoop
+        )
+    }
+}
+
+/// One detection level.
+#[derive(Debug, Clone)]
+pub struct LevelDetector {
+    window: SampleWindow,
+    /// `run[p]` = length of the current streak of samples matching their
+    /// `p`-distant predecessor (index 0 unused).
+    run: Vec<u32>,
+    min_period: usize,
+    period: Option<usize>,
+    pos_in_period: usize,
+}
+
+impl LevelDetector {
+    /// Creates a detector with the given window size and minimum period.
+    pub fn new(window_size: usize, min_period: usize) -> Self {
+        assert!(min_period >= 1);
+        let max_period = window_size / 2;
+        assert!(max_period >= min_period, "window too small for min period");
+        Self {
+            window: SampleWindow::new(window_size),
+            run: vec![0; max_period + 1],
+            min_period,
+            period: None,
+            pos_in_period: 0,
+        }
+    }
+
+    /// Largest detectable period.
+    pub fn max_period(&self) -> usize {
+        self.run.len() - 1
+    }
+
+    /// The period of the loop currently tracked, if any.
+    pub fn period(&self) -> Option<usize> {
+        self.period
+    }
+
+    /// Feeds one sample and classifies it.
+    pub fn sample(&mut self, v: u64) -> LoopEvent {
+        self.window.push(v);
+        // Update match runs against each candidate period.
+        let newest = self.window.recent(0).expect("just pushed");
+        for p in 1..self.run.len() {
+            match self.window.recent(p) {
+                Some(prev) if prev == newest => self.run[p] = self.run[p].saturating_add(1),
+                _ => self.run[p] = 0,
+            }
+        }
+
+        match self.period {
+            Some(p) => {
+                if self.run[p] == 0 {
+                    // Structure broke. Does a different loop take over?
+                    self.period = None;
+                    self.pos_in_period = 0;
+                    if let Some(np) = self.detect() {
+                        self.enter_loop(np);
+                        LoopEvent::EndNewLoop
+                    } else {
+                        LoopEvent::EndLoop
+                    }
+                } else {
+                    self.pos_in_period += 1;
+                    if self.pos_in_period >= p {
+                        self.pos_in_period = 0;
+                        LoopEvent::NewIteration
+                    } else {
+                        LoopEvent::InLoop
+                    }
+                }
+            }
+            None => {
+                if let Some(p) = self.detect() {
+                    self.enter_loop(p);
+                    LoopEvent::NewLoop
+                } else {
+                    LoopEvent::NoLoop
+                }
+            }
+        }
+    }
+
+    /// Resets all detection state (application phase change).
+    pub fn reset(&mut self) {
+        self.window.clear();
+        self.run.iter_mut().for_each(|r| *r = 0);
+        self.period = None;
+        self.pos_in_period = 0;
+    }
+
+    fn detect(&self) -> Option<usize> {
+        (self.min_period..self.run.len()).find(|&p| self.run[p] as usize >= p)
+    }
+
+    fn enter_loop(&mut self, p: usize) {
+        self.period = Some(p);
+        self.pos_in_period = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed(det: &mut LevelDetector, pattern: &[u64], reps: usize) -> Vec<LoopEvent> {
+        let mut out = Vec::new();
+        for _ in 0..reps {
+            for &v in pattern {
+                out.push(det.sample(v));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn detects_simple_period_4() {
+        let mut det = LevelDetector::new(64, 2);
+        let events = feed(&mut det, &[1, 2, 3, 4], 6);
+        assert_eq!(det.period(), Some(4));
+        let first_new = events.iter().position(|e| *e == LoopEvent::NewLoop);
+        // Detection after two full periods: 8 samples (index 7).
+        assert_eq!(first_new, Some(7));
+        // After detection every 4th sample is an iteration boundary.
+        let boundaries = events.iter().filter(|e| e.is_boundary()).count();
+        assert!(boundaries >= 4, "boundaries {boundaries}");
+    }
+
+    #[test]
+    fn no_loop_on_random_stream() {
+        let mut det = LevelDetector::new(64, 2);
+        // Strictly increasing: never periodic.
+        for v in 0..200u64 {
+            assert_eq!(det.sample(v), LoopEvent::NoLoop);
+        }
+        assert_eq!(det.period(), None);
+    }
+
+    #[test]
+    fn loop_end_detected() {
+        let mut det = LevelDetector::new(64, 2);
+        feed(&mut det, &[7, 8], 8);
+        assert_eq!(det.period(), Some(2));
+        // Break the pattern with non-repeating samples.
+        let e = det.sample(100);
+        assert_eq!(e, LoopEvent::EndLoop);
+        assert_eq!(det.period(), None);
+    }
+
+    #[test]
+    fn loop_to_loop_transition() {
+        let mut det = LevelDetector::new(64, 2);
+        feed(&mut det, &[1, 2], 10);
+        assert_eq!(det.period(), Some(2));
+        // Switch to a period-3 pattern; after enough repetitions the
+        // detector must land in the new loop.
+        let events = feed(&mut det, &[5, 6, 9], 6);
+        assert_eq!(det.period(), Some(3));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, LoopEvent::EndLoop | LoopEvent::EndNewLoop)));
+    }
+
+    #[test]
+    fn smallest_period_wins_over_harmonics() {
+        let mut det = LevelDetector::new(64, 2);
+        feed(&mut det, &[1, 2], 12);
+        // Period 2, not 4/6/8.
+        assert_eq!(det.period(), Some(2));
+    }
+
+    #[test]
+    fn min_period_respected() {
+        let mut det = LevelDetector::new(64, 2);
+        // A constant stream has period 1, below min_period 2: the detector
+        // reports period 2 instead (smallest admissible harmonic).
+        feed(&mut det, &[9], 20);
+        assert_eq!(det.period(), Some(2));
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut det = LevelDetector::new(64, 2);
+        feed(&mut det, &[1, 2, 3], 8);
+        assert!(det.period().is_some());
+        det.reset();
+        assert_eq!(det.period(), None);
+        assert_eq!(det.sample(1), LoopEvent::NoLoop);
+    }
+
+    #[test]
+    fn long_period_within_window() {
+        let mut det = LevelDetector::new(128, 2);
+        let pattern: Vec<u64> = (0..50).collect();
+        feed(&mut det, &pattern, 4);
+        assert_eq!(det.period(), Some(50));
+    }
+
+    #[test]
+    fn period_beyond_window_is_invisible() {
+        let mut det = LevelDetector::new(32, 2); // max period 16
+        let pattern: Vec<u64> = (0..20).collect();
+        feed(&mut det, &pattern, 6);
+        assert_eq!(det.period(), None);
+    }
+}

@@ -1,0 +1,108 @@
+//! Fixed-capacity ring buffer of recent samples.
+
+/// A ring buffer holding the last `capacity` samples of a signal.
+#[derive(Debug, Clone)]
+pub struct SampleWindow {
+    buf: Vec<u64>,
+    head: usize,
+    len: usize,
+}
+
+impl SampleWindow {
+    /// Creates a window of the given capacity (must be ≥ 2).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 2, "window capacity must be at least 2");
+        Self {
+            buf: vec![0; capacity],
+            head: 0,
+            len: 0,
+        }
+    }
+
+    /// Window capacity.
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Number of samples currently held (saturates at capacity).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no samples have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Pushes a sample, evicting the oldest when full.
+    pub fn push(&mut self, v: u64) {
+        self.buf[self.head] = v;
+        self.head = (self.head + 1) % self.buf.len();
+        if self.len < self.buf.len() {
+            self.len += 1;
+        }
+    }
+
+    /// The sample pushed `back` steps ago (0 = most recent). Returns `None`
+    /// if fewer than `back + 1` samples are held.
+    pub fn recent(&self, back: usize) -> Option<u64> {
+        if back >= self.len {
+            return None;
+        }
+        let cap = self.buf.len();
+        let idx = (self.head + cap - 1 - back) % cap;
+        Some(self.buf[idx])
+    }
+
+    /// Discards all samples.
+    pub fn clear(&mut self) {
+        self.head = 0;
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_recent() {
+        let mut w = SampleWindow::new(4);
+        assert!(w.is_empty());
+        for v in 1..=3u64 {
+            w.push(v);
+        }
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.recent(0), Some(3));
+        assert_eq!(w.recent(1), Some(2));
+        assert_eq!(w.recent(2), Some(1));
+        assert_eq!(w.recent(3), None);
+    }
+
+    #[test]
+    fn eviction_on_overflow() {
+        let mut w = SampleWindow::new(3);
+        for v in 1..=5u64 {
+            w.push(v);
+        }
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.recent(0), Some(5));
+        assert_eq!(w.recent(2), Some(3));
+        assert_eq!(w.recent(3), None);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut w = SampleWindow::new(3);
+        w.push(1);
+        w.clear();
+        assert!(w.is_empty());
+        assert_eq!(w.recent(0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn rejects_tiny_capacity() {
+        let _ = SampleWindow::new(1);
+    }
+}

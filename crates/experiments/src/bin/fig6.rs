@@ -1,0 +1,4 @@
+//! Regenerates the paper's Figure 6.
+fn main() {
+    print!("{}", ear_experiments::figures::fig6());
+}

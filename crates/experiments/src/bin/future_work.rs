@@ -1,0 +1,4 @@
+//! Regenerates the future-work experiments (paper §VIII, realised).
+fn main() {
+    print!("{}", ear_experiments::future_work::run_all_future_work());
+}

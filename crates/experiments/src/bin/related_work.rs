@@ -1,0 +1,4 @@
+//! Related-work comparison: ME+eU vs the DUF controller (paper §VII).
+fn main() {
+    print!("{}", ear_experiments::related_work::duf_comparison());
+}

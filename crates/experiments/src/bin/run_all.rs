@@ -1,0 +1,4 @@
+//! Regenerates every table and figure of the paper, in order.
+fn main() {
+    print!("{}", ear_experiments::run_all());
+}

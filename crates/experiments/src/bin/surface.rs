@@ -1,0 +1,9 @@
+//! The §II motivation in full: the 2-D (CPU × IMC) energy surface.
+//! Usage: surface [workload-name] (default BT-MZ.C (OpenMP)).
+fn main() {
+    let app = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BT-MZ.C (OpenMP)".to_string());
+    let s = ear_experiments::surface::measure_surface(&app, 77);
+    print!("{}", ear_experiments::surface::render_surface(&s));
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table 1.
+fn main() {
+    print!("{}", ear_experiments::tables::table1());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Table 7.
+fn main() {
+    print!("{}", ear_experiments::tables::table7());
+}

@@ -1,0 +1,307 @@
+//! Regeneration of every figure in the paper (Fig. 1, 3–8), as data series
+//! printed in table form (the series the paper plots).
+
+use crate::chart::{bar_chart, column_chart};
+use crate::harness::{compare, format_table, run_cell, run_matrix, Comparison, RunKind};
+use crate::tables::{app_cpu_th, RUNS};
+use ear_workloads::by_name;
+
+fn pct(x: f64) -> String {
+    format!("{x:.2}%")
+}
+
+/// One point of the Fig. 1 uncore sweep.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// The pinned uncore frequency (GHz).
+    pub fixed_imc_ghz: f64,
+    /// Comparison against the HW-UFS reference at the same CPU frequency.
+    pub vs_hw: Comparison,
+    /// Average IMC frequency actually measured.
+    pub avg_imc_ghz: f64,
+}
+
+/// Fig. 1 data for one kernel: the HW-UFS reference average IMC and the
+/// sweep from 2.4 GHz down to 1.2 GHz in 100 MHz steps (paper §II).
+pub fn fig1_data(kernel: &str) -> (f64, Vec<SweepPoint>) {
+    let t = by_name(kernel).expect("catalog");
+    // The CPU frequency the ME policy would select (paper: sweeps run at
+    // the policy-selected CPU frequency, fixed from the beginning).
+    let me = run_cell(&t, &RunKind::me(0.05), "ME", RUNS, 108);
+    let cpu_ps = t
+        .platform
+        .node_config()
+        .pstates
+        .pstate_for_khz((me.avg_cpu_ghz * 1e6).round() as u64);
+
+    // Reference: same CPU pstate, hardware UFS (full range).
+    let reference = run_cell(
+        &t,
+        &RunKind::Fixed {
+            cpu: cpu_ps,
+            imc_ratio: None,
+        },
+        "HW UFS",
+        RUNS,
+        108,
+    );
+
+    let points = (12..=24u8)
+        .rev()
+        .map(|ratio| {
+            let r = run_cell(
+                &t,
+                &RunKind::Fixed {
+                    cpu: cpu_ps,
+                    imc_ratio: Some(ratio),
+                },
+                "fixed",
+                RUNS,
+                108,
+            );
+            SweepPoint {
+                fixed_imc_ghz: ratio as f64 * 0.1,
+                vs_hw: compare(&reference, &r),
+                avg_imc_ghz: r.avg_imc_ghz,
+            }
+        })
+        .collect();
+    (reference.avg_imc_ghz, points)
+}
+
+/// Renders Fig. 1 for one kernel.
+pub fn fig1_render(kernel: &str) -> String {
+    let (hw_imc, points) = fig1_data(kernel);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{:.1}", p.fixed_imc_ghz),
+                pct(p.vs_hw.time_penalty_pct),
+                pct(p.vs_hw.power_saving_pct),
+                pct(p.vs_hw.energy_saving_pct),
+                pct(p.vs_hw.gbs_penalty_pct),
+                format!("{:.2}", p.avg_imc_ghz),
+            ]
+        })
+        .collect();
+    let mut out = format_table(
+        &format!("Fig 1: fixed-uncore sweep for {kernel} (HW UFS avg IMC = {hw_imc:.2} GHz)"),
+        &[
+            "IMC fix (GHz)",
+            "time pen",
+            "DC power save",
+            "energy save",
+            "GB/s pen",
+            "avg IMC",
+        ],
+        &rows,
+    );
+    let series: Vec<(f64, f64)> = points
+        .iter()
+        .map(|p| (p.fixed_imc_ghz, p.vs_hw.energy_saving_pct))
+        .collect();
+    out.push_str(&column_chart(
+        "energy save vs fixed IMC (left = 2.4 GHz, right = 1.2 GHz)",
+        &series,
+        "%",
+    ));
+    out
+}
+
+/// Renders both Fig. 1 panels (BT-MZ and LU, paper §II).
+pub fn fig1() -> String {
+    format!(
+        "{}\n{}",
+        fig1_render("BT-MZ.C (MPI)"),
+        fig1_render("LU.D (MPI)")
+    )
+}
+
+/// A generic "policy comparison" figure: one application, several policy
+/// configurations, each compared against No policy.
+pub fn policy_figure(
+    app: &str,
+    configs: &[(String, RunKind)],
+    seed: u64,
+) -> Vec<(String, Comparison)> {
+    let t = by_name(app).expect("catalog");
+    let mut cells = vec![("No policy".to_string(), RunKind::NoPolicy)];
+    cells.extend_from_slice(configs);
+    let results = run_matrix(&t, &cells, RUNS, seed);
+    results[1..]
+        .iter()
+        .map(|r| (r.label.clone(), compare(&results[0], r)))
+        .collect()
+}
+
+fn render_policy_figure(title: &str, data: &[(String, Comparison)]) -> String {
+    let rows: Vec<Vec<String>> = data
+        .iter()
+        .map(|(label, c)| {
+            vec![
+                label.clone(),
+                pct(c.time_penalty_pct),
+                pct(c.power_saving_pct),
+                pct(c.energy_saving_pct),
+            ]
+        })
+        .collect();
+    let mut out = format_table(
+        title,
+        &["config", "time penalty", "DC power save", "energy save"],
+        &rows,
+    );
+    let bars: Vec<(String, f64)> = data
+        .iter()
+        .map(|(l, c)| (l.clone(), c.energy_saving_pct))
+        .collect();
+    out.push_str(&bar_chart("energy save", &bars, "%"));
+    out
+}
+
+/// Fig. 3: BQCD under ME and ME+eU with unc_policy_th 1 %, 2 %, 3 %
+/// (cpu_policy_th 3 %).
+pub fn fig3_data() -> Vec<(String, Comparison)> {
+    let th = app_cpu_th("BQCD");
+    policy_figure(
+        "BQCD",
+        &[
+            ("ME".to_string(), RunKind::me(th)),
+            ("ME+eU 1%".to_string(), RunKind::me_eufs(th, 0.01)),
+            ("ME+eU 2%".to_string(), RunKind::me_eufs(th, 0.02)),
+            ("ME+eU 3%".to_string(), RunKind::me_eufs(th, 0.03)),
+        ],
+        203,
+    )
+}
+
+/// Renders Fig. 3.
+pub fn fig3() -> String {
+    render_policy_figure("Fig 3: BQCD (cpu_policy_th 3%)", &fig3_data())
+}
+
+/// Fig. 4: BT-MZ under ME and ME+eU with unc_policy_th 0 %, 1 %, 2 %
+/// (cpu_policy_th 3 %).
+pub fn fig4_data() -> Vec<(String, Comparison)> {
+    policy_figure(
+        "BT-MZ",
+        &[
+            ("ME".to_string(), RunKind::me(0.03)),
+            ("ME+eU 0%".to_string(), RunKind::me_eufs(0.03, 0.0)),
+            ("ME+eU 1%".to_string(), RunKind::me_eufs(0.03, 0.01)),
+            ("ME+eU 2%".to_string(), RunKind::me_eufs(0.03, 0.02)),
+        ],
+        204,
+    )
+}
+
+/// Renders Fig. 4.
+pub fn fig4() -> String {
+    render_policy_figure("Fig 4: BT-MZ (cpu_policy_th 3%)", &fig4_data())
+}
+
+/// Fig. 5: GROMACS(I) with cpu_policy_th 3 % and 5 %: ME, ME with
+/// not-guided uncore (linear search from the maximum) and ME+eU
+/// (HW-guided).
+pub fn fig5_data() -> Vec<(String, Comparison)> {
+    let mut out = Vec::new();
+    for th in [0.03, 0.05] {
+        let label = |s: &str| format!("{s} (cpu {}%)", (th * 100.0) as u32);
+        let data = policy_figure(
+            "GROMACS (I)",
+            &[
+                (label("ME"), RunKind::me(th)),
+                (label("ME+NG-U"), RunKind::me_ng_u(th, 0.02)),
+                (label("ME+eU"), RunKind::me_eufs(th, 0.02)),
+            ],
+            205,
+        );
+        out.extend(data);
+    }
+    out
+}
+
+/// Renders Fig. 5.
+pub fn fig5() -> String {
+    render_policy_figure(
+        "Fig 5: GROMACS(I), guided vs not-guided uncore",
+        &fig5_data(),
+    )
+}
+
+/// Fig. 6: GROMACS(II), ME vs ME+eU (cpu_policy_th 5 %).
+pub fn fig6_data() -> Vec<(String, Comparison)> {
+    policy_figure(
+        "GROMACS (II)",
+        &[
+            ("ME".to_string(), RunKind::me(0.05)),
+            ("ME+eU".to_string(), RunKind::me_eufs(0.05, 0.02)),
+        ],
+        206,
+    )
+}
+
+/// Renders Fig. 6.
+pub fn fig6() -> String {
+    render_policy_figure("Fig 6: GROMACS(II) (cpu_policy_th 5%)", &fig6_data())
+}
+
+/// Fig. 7: HPCG and POP, ME vs ME+eU (cpu_policy_th 5 %).
+pub fn fig7_data() -> Vec<(String, Vec<(String, Comparison)>)> {
+    ["HPCG", "POP"]
+        .iter()
+        .map(|app| {
+            let data = policy_figure(
+                app,
+                &[
+                    ("ME".to_string(), RunKind::me(0.05)),
+                    ("ME+eU".to_string(), RunKind::me_eufs(0.05, 0.02)),
+                ],
+                207,
+            );
+            (app.to_string(), data)
+        })
+        .collect()
+}
+
+/// Renders Fig. 7.
+pub fn fig7() -> String {
+    fig7_data()
+        .into_iter()
+        .map(|(app, data)| render_policy_figure(&format!("Fig 7: {app} (cpu_policy_th 5%)"), &data))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Fig. 8: DUMSES and AFiD with cpu_policy_th 3 % and 5 %, ME vs ME+eU
+/// (unc_policy_th 2 %).
+pub fn fig8_data() -> Vec<(String, Vec<(String, Comparison)>)> {
+    ["DUMSES", "AFiD"]
+        .iter()
+        .map(|app| {
+            let mut data = Vec::new();
+            for th in [0.03, 0.05] {
+                let label = |s: &str| format!("{s} (cpu {}%)", (th * 100.0) as u32);
+                data.extend(policy_figure(
+                    app,
+                    &[
+                        (label("ME"), RunKind::me(th)),
+                        (label("ME+eU"), RunKind::me_eufs(th, 0.02)),
+                    ],
+                    208,
+                ));
+            }
+            (app.to_string(), data)
+        })
+        .collect()
+}
+
+/// Renders Fig. 8.
+pub fn fig8() -> String {
+    fig8_data()
+        .into_iter()
+        .map(|(app, data)| render_policy_figure(&format!("Fig 8: {app}"), &data))
+        .collect::<Vec<_>>()
+        .join("\n")
+}

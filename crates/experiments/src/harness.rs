@@ -1,0 +1,381 @@
+//! The experiment harness: run matrices of (workload × configuration),
+//! three runs each (as the paper does), averaged, with penalty/saving
+//! computations against a reference configuration.
+
+use ear_archsim::Cluster;
+use ear_core::{Earl, EarlConfig, NodeFreqs, PolicySettings};
+use ear_mpisim::{run_job, MpiEvent, NodeRuntime, NullRuntime};
+use ear_workloads::{build_job, calibrate, WorkloadTargets};
+
+/// How a run is driven.
+#[derive(Debug, Clone)]
+pub enum RunKind {
+    /// Nominal frequency, hardware UFS — the paper's "No policy".
+    NoPolicy,
+    /// EARL with the named policy and settings.
+    Policy {
+        /// Registered policy name.
+        name: String,
+        /// Policy settings.
+        settings: PolicySettings,
+    },
+    /// Fixed frequencies applied at job start (the Fig. 1 motivation
+    /// sweeps): a CPU pstate and pinned uncore limits.
+    Fixed {
+        /// CPU pstate.
+        cpu: usize,
+        /// Pinned uncore ratio (min == max), or `None` for HW UFS.
+        imc_ratio: Option<u8>,
+    },
+}
+
+impl RunKind {
+    /// The paper's "ME" configuration.
+    pub fn me(cpu_policy_th: f64) -> Self {
+        RunKind::Policy {
+            name: "min_energy".into(),
+            settings: PolicySettings {
+                cpu_policy_th,
+                ..Default::default()
+            },
+        }
+    }
+
+    /// The paper's "ME+eU" configuration.
+    pub fn me_eufs(cpu_policy_th: f64, unc_policy_th: f64) -> Self {
+        RunKind::Policy {
+            name: "min_energy_eufs".into(),
+            settings: PolicySettings {
+                cpu_policy_th,
+                unc_policy_th,
+                ..Default::default()
+            },
+        }
+    }
+
+    /// The paper's "ME+NG-U" (not-guided uncore) configuration.
+    pub fn me_ng_u(cpu_policy_th: f64, unc_policy_th: f64) -> Self {
+        RunKind::Policy {
+            name: "min_energy_eufs".into(),
+            settings: PolicySettings {
+                cpu_policy_th,
+                unc_policy_th,
+                imc_search: ear_core::ImcSearch::Linear,
+                ..Default::default()
+            },
+        }
+    }
+}
+
+/// Averaged result of the runs of one (workload, configuration) cell.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Cell label (e.g. "ME+eU 2%").
+    pub label: String,
+    /// Execution time (s).
+    pub time_s: f64,
+    /// Average DC node power (W).
+    pub dc_power_w: f64,
+    /// Average package power per node (W).
+    pub pkg_power_w: f64,
+    /// Total DC energy (J, all nodes).
+    pub dc_energy_j: f64,
+    /// Total package energy (J, all nodes).
+    pub pkg_energy_j: f64,
+    /// Average CPU frequency (GHz).
+    pub avg_cpu_ghz: f64,
+    /// Average IMC frequency (GHz).
+    pub avg_imc_ghz: f64,
+    /// Job CPI.
+    pub cpi: f64,
+    /// Job memory bandwidth per node (GB/s).
+    pub gbs: f64,
+}
+
+/// Runtime wrapper so one job can run under either driver.
+enum Runtime {
+    Null(NullRuntime),
+    Earl(Box<Earl>),
+    Fixed { cpu: usize, imc_ratio: Option<u8> },
+}
+
+impl NodeRuntime for Runtime {
+    fn on_job_start(&mut self, node: &mut ear_archsim::Node, job_name: &str, ranks: usize) {
+        match self {
+            Runtime::Null(r) => r.on_job_start(node, job_name, ranks),
+            Runtime::Earl(r) => r.on_job_start(node, job_name, ranks),
+            Runtime::Fixed { cpu, imc_ratio } => {
+                let (min, max) = match imc_ratio {
+                    Some(r) => (*r, *r),
+                    None => (node.config.uncore_min_ratio, node.config.uncore_max_ratio),
+                };
+                ear_core::manager::apply_freqs(
+                    node,
+                    &NodeFreqs {
+                        cpu: *cpu,
+                        imc_min_ratio: min,
+                        imc_max_ratio: max,
+                    },
+                )
+                .expect("fixed frequencies are valid");
+            }
+        }
+    }
+
+    fn on_mpi_call(&mut self, node: &mut ear_archsim::Node, event: &MpiEvent) {
+        match self {
+            Runtime::Null(r) => r.on_mpi_call(node, event),
+            Runtime::Earl(r) => r.on_mpi_call(node, event),
+            Runtime::Fixed { .. } => {}
+        }
+    }
+
+    fn on_tick(&mut self, node: &mut ear_archsim::Node) {
+        match self {
+            Runtime::Null(r) => r.on_tick(node),
+            Runtime::Earl(r) => r.on_tick(node),
+            Runtime::Fixed { .. } => {}
+        }
+    }
+
+    fn on_job_end(&mut self, node: &mut ear_archsim::Node) {
+        match self {
+            Runtime::Null(r) => r.on_job_end(node),
+            Runtime::Earl(r) => r.on_job_end(node),
+            Runtime::Fixed { .. } => {}
+        }
+    }
+}
+
+fn make_runtime(kind: &RunKind) -> Runtime {
+    match kind {
+        RunKind::NoPolicy => Runtime::Null(NullRuntime),
+        RunKind::Policy { name, settings } => {
+            let config = EarlConfig {
+                policy_name: name.clone(),
+                settings: settings.clone(),
+                ..Default::default()
+            };
+            Runtime::Earl(Box::new(Earl::from_registry(config)))
+        }
+        RunKind::Fixed { cpu, imc_ratio } => Runtime::Fixed {
+            cpu: *cpu,
+            imc_ratio: *imc_ratio,
+        },
+    }
+}
+
+/// Runs one (workload, configuration) cell: `runs` independent runs (the
+/// paper uses three), averaged.
+pub fn run_cell(
+    targets: &WorkloadTargets,
+    kind: &RunKind,
+    label: &str,
+    runs: usize,
+    base_seed: u64,
+) -> RunResult {
+    let cal = calibrate(targets).unwrap_or_else(|e| panic!("{e}"));
+    let job = build_job(&cal);
+    let mut acc = RunResult {
+        label: label.to_string(),
+        time_s: 0.0,
+        dc_power_w: 0.0,
+        pkg_power_w: 0.0,
+        dc_energy_j: 0.0,
+        pkg_energy_j: 0.0,
+        avg_cpu_ghz: 0.0,
+        avg_imc_ghz: 0.0,
+        cpi: 0.0,
+        gbs: 0.0,
+    };
+    for run in 0..runs.max(1) {
+        let seed = base_seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(run as u64 * 7919);
+        let mut cluster = Cluster::new(cal.node_config.clone(), targets.nodes, seed);
+        let mut rts: Vec<Runtime> = (0..targets.nodes).map(|_| make_runtime(kind)).collect();
+        let report = run_job(&mut cluster, &job, &mut rts);
+        acc.time_s += report.seconds();
+        acc.dc_power_w += report.avg_dc_power_w();
+        acc.pkg_power_w += report.total_pkg_energy_j() / report.seconds() / targets.nodes as f64;
+        acc.dc_energy_j += report.total_dc_energy_j();
+        acc.pkg_energy_j += report.total_pkg_energy_j();
+        acc.avg_cpu_ghz += report.avg_cpu_ghz();
+        acc.avg_imc_ghz += report.avg_imc_ghz();
+        acc.cpi += report.cpi();
+        acc.gbs += report.gbs();
+    }
+    let n = runs.max(1) as f64;
+    acc.time_s /= n;
+    acc.dc_power_w /= n;
+    acc.pkg_power_w /= n;
+    acc.dc_energy_j /= n;
+    acc.pkg_energy_j /= n;
+    acc.avg_cpu_ghz /= n;
+    acc.avg_imc_ghz /= n;
+    acc.cpi /= n;
+    acc.gbs /= n;
+    acc
+}
+
+/// Runs a whole matrix (one workload × several configurations) with the
+/// configurations in parallel (each cell is independent).
+pub fn run_matrix(
+    targets: &WorkloadTargets,
+    cells: &[(String, RunKind)],
+    runs: usize,
+    base_seed: u64,
+) -> Vec<RunResult> {
+    let mut out: Vec<Option<RunResult>> = vec![None; cells.len()];
+    crossbeam::thread::scope(|scope| {
+        for (slot, (label, kind)) in out.iter_mut().zip(cells) {
+            scope.spawn(move |_| {
+                *slot = Some(run_cell(targets, kind, label, runs, base_seed));
+            });
+        }
+    })
+    .expect("experiment worker panicked");
+    out.into_iter()
+        .map(|r| r.expect("every cell ran"))
+        .collect()
+}
+
+/// Penalties and savings of a configuration against a reference (positive
+/// saving = better; positive penalty = slower), in percent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Comparison {
+    /// Time penalty (%).
+    pub time_penalty_pct: f64,
+    /// DC power saving (%).
+    pub power_saving_pct: f64,
+    /// DC energy saving (%).
+    pub energy_saving_pct: f64,
+    /// Package power saving (%).
+    pub pkg_power_saving_pct: f64,
+    /// Memory bandwidth penalty (%).
+    pub gbs_penalty_pct: f64,
+}
+
+/// Compares `x` against `reference`.
+pub fn compare(reference: &RunResult, x: &RunResult) -> Comparison {
+    let pct = |a: f64, b: f64| (a / b - 1.0) * 100.0;
+    Comparison {
+        time_penalty_pct: pct(x.time_s, reference.time_s),
+        power_saving_pct: -pct(x.dc_power_w, reference.dc_power_w),
+        energy_saving_pct: -pct(x.dc_energy_j, reference.dc_energy_j),
+        pkg_power_saving_pct: -pct(x.pkg_power_w, reference.pkg_power_w),
+        gbs_penalty_pct: -pct(x.gbs, reference.gbs),
+    }
+}
+
+/// Renders rows of `(label, values…)` as an aligned text table.
+pub fn format_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    use std::fmt::Write as _;
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let mut line = String::new();
+    for (h, w) in header.iter().zip(&widths) {
+        let _ = write!(line, "{h:>w$}  ", w = w);
+    }
+    let _ = writeln!(out, "{}", line.trim_end());
+    for row in rows {
+        let mut line = String::new();
+        for (cell, w) in row.iter().zip(&widths) {
+            let _ = write!(line, "{cell:>w$}  ", w = w);
+        }
+        let _ = writeln!(out, "{}", line.trim_end());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_math() {
+        let reference = RunResult {
+            label: "ref".into(),
+            time_s: 100.0,
+            dc_power_w: 300.0,
+            pkg_power_w: 220.0,
+            dc_energy_j: 30_000.0,
+            pkg_energy_j: 22_000.0,
+            avg_cpu_ghz: 2.4,
+            avg_imc_ghz: 2.4,
+            cpi: 0.5,
+            gbs: 20.0,
+        };
+        let x = RunResult {
+            label: "x".into(),
+            time_s: 102.0,
+            dc_power_w: 270.0,
+            pkg_power_w: 190.0,
+            dc_energy_j: 27_540.0,
+            pkg_energy_j: 19_380.0,
+            avg_cpu_ghz: 2.4,
+            avg_imc_ghz: 1.9,
+            cpi: 0.51,
+            gbs: 19.6,
+        };
+        let c = compare(&reference, &x);
+        assert!((c.time_penalty_pct - 2.0).abs() < 1e-9);
+        assert!((c.power_saving_pct - 10.0).abs() < 1e-9);
+        assert!((c.energy_saving_pct - 8.2).abs() < 1e-9);
+        assert!((c.gbs_penalty_pct - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_formatting_aligns() {
+        let t = format_table(
+            "Unit",
+            &["app", "x"],
+            &[
+                vec!["a".into(), "1.0".into()],
+                vec!["longer".into(), "2.5".into()],
+            ],
+        );
+        assert!(t.contains("== Unit =="));
+        assert!(t.contains("longer"));
+        let lines: Vec<_> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+    }
+
+    #[test]
+    fn run_cell_no_policy_smoke() {
+        // Use the smallest workload for speed.
+        let targets = ear_workloads::by_name("BQCD").unwrap();
+        let r = run_cell(&targets, &RunKind::NoPolicy, "No policy", 1, 42);
+        assert!((r.time_s - targets.time_s).abs() / targets.time_s < 0.03);
+        assert!(r.dc_power_w > 250.0);
+    }
+
+    #[test]
+    fn run_matrix_parallel_smoke() {
+        let targets = ear_workloads::by_name("BQCD").unwrap();
+        let cells = vec![
+            ("No policy".to_string(), RunKind::NoPolicy),
+            (
+                "Fixed 2.0".to_string(),
+                RunKind::Fixed {
+                    cpu: 5,
+                    imc_ratio: Some(18),
+                },
+            ),
+        ];
+        let results = run_matrix(&targets, &cells, 1, 7);
+        assert_eq!(results.len(), 2);
+        // The fixed-frequency run is slower and cheaper.
+        assert!(results[1].time_s > results[0].time_s);
+        assert!(results[1].dc_power_w < results[0].dc_power_w);
+        assert!((results[1].avg_imc_ghz - 1.8).abs() < 0.05);
+    }
+}

@@ -1,0 +1,45 @@
+//! # ear-experiments — regeneration of every table and figure
+//!
+//! One function (and one binary) per table and figure of the paper's
+//! evaluation. The harness runs each (workload × configuration) cell three
+//! times — as the paper averages three real runs — and reports penalties
+//! and savings against the matching reference configuration.
+//!
+//! Binaries: `table1` … `table7`, `fig1`, `fig3` … `fig8`, and `run_all`
+//! (prints everything, in paper order).
+
+#![warn(missing_docs)]
+
+pub mod chart;
+pub mod csv;
+pub mod figures;
+pub mod future_work;
+pub mod harness;
+pub mod related_work;
+pub mod surface;
+pub mod tables;
+
+pub use chart::{bar_chart, column_chart};
+pub use harness::{compare, format_table, run_cell, run_matrix, Comparison, RunKind, RunResult};
+
+/// Runs every experiment and returns the full report (the `run_all` binary
+/// prints this; EXPERIMENTS.md embeds it).
+pub fn run_all() -> String {
+    let sections = [
+        tables::table1(),
+        figures::fig1(),
+        tables::table2(),
+        tables::table3(),
+        tables::table4(),
+        tables::table5(),
+        tables::table6(),
+        figures::fig3(),
+        figures::fig4(),
+        figures::fig5(),
+        figures::fig6(),
+        figures::fig7(),
+        figures::fig8(),
+        tables::table7(),
+    ];
+    sections.join("\n")
+}

@@ -1,0 +1,191 @@
+//! The §II motivation experiment in full: the 2-D energy surface over
+//! (CPU frequency × uncore frequency) combinations.
+//!
+//! "We ran some applications with fixed core and uncore frequencies
+//! combinations to see the impact of these parameters" — this module
+//! sweeps both axes and prints the energy (relative to nominal CPU +
+//! hardware UFS) per cell, making visible what the policies navigate:
+//! the optimum's position depends on the application class, and the two
+//! axes are *not* independent.
+
+use crate::harness::{format_table, run_cell, RunKind, RunResult};
+use ear_workloads::by_name;
+
+/// The measured surface.
+#[derive(Debug, Clone)]
+pub struct Surface {
+    /// Workload name.
+    pub app: String,
+    /// Swept CPU pstates.
+    pub cpu_pstates: Vec<usize>,
+    /// Swept uncore ratios.
+    pub imc_ratios: Vec<u8>,
+    /// Reference run (nominal CPU, hardware UFS).
+    pub reference: RunResult,
+    /// Energy relative to the reference, row-major `[cpu][imc]`.
+    pub rel_energy: Vec<Vec<f64>>,
+    /// Time relative to the reference, row-major `[cpu][imc]`.
+    pub rel_time: Vec<Vec<f64>>,
+}
+
+impl Surface {
+    /// The cell with minimum energy: (cpu pstate, imc ratio, rel energy).
+    pub fn energy_optimum(&self) -> (usize, u8, f64) {
+        let mut best = (self.cpu_pstates[0], self.imc_ratios[0], f64::INFINITY);
+        for (i, &ps) in self.cpu_pstates.iter().enumerate() {
+            for (j, &r) in self.imc_ratios.iter().enumerate() {
+                if self.rel_energy[i][j] < best.2 {
+                    best = (ps, r, self.rel_energy[i][j]);
+                }
+            }
+        }
+        best
+    }
+
+    /// The minimum-energy cell subject to a time-penalty constraint —
+    /// what an oracle version of min_energy(+eUFS) would pick.
+    pub fn constrained_optimum(&self, max_time_penalty: f64) -> Option<(usize, u8, f64)> {
+        let mut best: Option<(usize, u8, f64)> = None;
+        for (i, &ps) in self.cpu_pstates.iter().enumerate() {
+            for (j, &r) in self.imc_ratios.iter().enumerate() {
+                if self.rel_time[i][j] <= 1.0 + max_time_penalty
+                    && best.is_none_or(|b| self.rel_energy[i][j] < b.2)
+                {
+                    best = Some((ps, r, self.rel_energy[i][j]));
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Measures the surface for a catalog workload (1 run per cell — the
+/// surface has dozens of cells).
+pub fn measure_surface(app: &str, seed: u64) -> Surface {
+    let t = by_name(app).unwrap_or_else(|| panic!("unknown workload {app}"));
+    let cpu_pstates = vec![1usize, 3, 5, 7];
+    let imc_ratios = vec![24u8, 21, 18, 15, 12];
+    let reference = run_cell(
+        &t,
+        &RunKind::Fixed {
+            cpu: 1,
+            imc_ratio: None,
+        },
+        "ref",
+        1,
+        seed,
+    );
+    let mut rel_energy = Vec::new();
+    let mut rel_time = Vec::new();
+    for &ps in &cpu_pstates {
+        let mut e_row = Vec::new();
+        let mut t_row = Vec::new();
+        for &r in &imc_ratios {
+            let cell = run_cell(
+                &t,
+                &RunKind::Fixed {
+                    cpu: ps,
+                    imc_ratio: Some(r),
+                },
+                "cell",
+                1,
+                seed,
+            );
+            e_row.push(cell.dc_energy_j / reference.dc_energy_j);
+            t_row.push(cell.time_s / reference.time_s);
+        }
+        rel_energy.push(e_row);
+        rel_time.push(t_row);
+    }
+    Surface {
+        app: app.to_string(),
+        cpu_pstates,
+        imc_ratios,
+        reference,
+        rel_energy,
+        rel_time,
+    }
+}
+
+/// Renders a surface as a table plus the optima.
+pub fn render_surface(s: &Surface) -> String {
+    let mut header = vec!["CPU \\ IMC".to_string()];
+    header.extend(
+        s.imc_ratios
+            .iter()
+            .map(|r| format!("{:.1} GHz", *r as f64 * 0.1)),
+    );
+    let header_refs: Vec<&str> = header.iter().map(|h| h.as_str()).collect();
+    let rows: Vec<Vec<String>> = s
+        .cpu_pstates
+        .iter()
+        .enumerate()
+        .map(|(i, &ps)| {
+            let mut row = vec![format!(
+                "{:.1} GHz",
+                // Display the nominal table frequency of the pstate.
+                by_name(&s.app)
+                    .expect("catalog")
+                    .platform
+                    .node_config()
+                    .pstates
+                    .ghz(ps)
+            )];
+            row.extend(s.rel_energy[i].iter().map(|e| format!("{e:.3}")));
+            row
+        })
+        .collect();
+    let mut out = format_table(
+        &format!(
+            "Energy surface for {} (relative to nominal CPU + HW UFS)",
+            s.app
+        ),
+        &header_refs,
+        &rows,
+    );
+    let (ps, r, e) = s.energy_optimum();
+    out.push_str(&format!(
+        "unconstrained optimum: CPU pstate {ps}, IMC {:.1} GHz, {:.1}% energy saving\n",
+        r as f64 * 0.1,
+        (1.0 - e) * 100.0
+    ));
+    if let Some((ps, r, e)) = s.constrained_optimum(0.05) {
+        out.push_str(&format!(
+            "5%-penalty optimum:    CPU pstate {ps}, IMC {:.1} GHz, {:.1}% energy saving\n",
+            r as f64 * 0.1,
+            (1.0 - e) * 100.0
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn surface_shape_for_cpu_bound() {
+        // Use the smallest kernel for speed.
+        let s = measure_surface("BT-MZ.C (OpenMP)", 501);
+        assert_eq!(s.rel_energy.len(), 4);
+        assert_eq!(s.rel_energy[0].len(), 5);
+        // Top-left cell (nominal CPU, max IMC) ≈ the reference.
+        assert!((s.rel_energy[0][0] - 1.0).abs() < 0.02);
+        // For a CPU-bound kernel, lowering only the uncore saves energy…
+        assert!(s.rel_energy[0][2] < 0.99, "{:?}", s.rel_energy[0]);
+        // …while the slowest CPU row costs energy (time blows up).
+        assert!(s.rel_energy[3][0] > s.rel_energy[0][2]);
+        // The constrained optimum keeps the CPU at/near nominal.
+        let (ps, r, _) = s.constrained_optimum(0.05).expect("exists");
+        assert!(ps <= 2, "cpu pstate {ps}");
+        assert!(r < 24, "imc {r}");
+    }
+
+    #[test]
+    fn render_includes_optima() {
+        let s = measure_surface("BT-MZ.C (OpenMP)", 502);
+        let txt = render_surface(&s);
+        assert!(txt.contains("unconstrained optimum"));
+        assert!(txt.contains("5%-penalty optimum"));
+    }
+}

@@ -1,0 +1,325 @@
+//! Regeneration of every table in the paper's evaluation (§II, §VI).
+//!
+//! Each `tableN()` returns the formatted table; `tableN_data()` exposes the
+//! underlying numbers for tests and EXPERIMENTS.md. Every cell averages
+//! three simulated runs, as the paper averages three real runs.
+
+use crate::harness::{compare, format_table, run_cell, run_matrix, RunKind, RunResult};
+use ear_workloads::{apps, by_name, kernels};
+
+/// Default number of runs per cell (the paper's three).
+pub const RUNS: usize = 3;
+
+fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+fn pct(x: f64) -> String {
+    format!("{x:.2}%")
+}
+
+/// Table I: kernel metrics under `min_energy_to_solution` with hardware
+/// IMC selection — CPI, GB/s, average CPU and IMC frequency.
+pub fn table1_data() -> Vec<(String, RunResult)> {
+    ["BT-MZ.C (MPI)", "LU.D (MPI)"]
+        .iter()
+        .map(|name| {
+            let t = by_name(name).expect("catalog");
+            let r = run_cell(&t, &RunKind::me(0.05), "ME", RUNS, 101);
+            (name.to_string(), r)
+        })
+        .collect()
+}
+
+/// Renders Table I.
+pub fn table1() -> String {
+    let rows: Vec<Vec<String>> = table1_data()
+        .into_iter()
+        .map(|(name, r)| {
+            vec![
+                name,
+                f2(r.cpi),
+                f2(r.gbs),
+                f2(r.avg_cpu_ghz),
+                f2(r.avg_imc_ghz),
+            ]
+        })
+        .collect();
+    format_table(
+        "Table I: kernels under ME with hardware IMC selection",
+        &["kernel", "CPI", "GB/s", "CPU freq (GHz)", "IMC freq (GHz)"],
+        &rows,
+    )
+}
+
+/// Table II: single-node kernel characterisation at nominal frequency.
+pub fn table2_data() -> Vec<(String, RunResult)> {
+    kernels::table2_kernels()
+        .iter()
+        .map(|t| {
+            let r = run_cell(t, &RunKind::NoPolicy, "No policy", RUNS, 102);
+            (t.name.to_string(), r)
+        })
+        .collect()
+}
+
+/// Renders Table II.
+pub fn table2() -> String {
+    let rows: Vec<Vec<String>> = table2_data()
+        .into_iter()
+        .map(|(name, r)| {
+            vec![
+                name,
+                format!("{:.0}", r.time_s),
+                f2(r.cpi),
+                f2(r.gbs),
+                format!("{:.0}", r.dc_power_w),
+            ]
+        })
+        .collect();
+    format_table(
+        "Table II: single node kernels (No policy)",
+        &["kernel", "Time (s)", "CPI", "GB/s", "Avg DC Power (W)"],
+        &rows,
+    )
+}
+
+/// Table III cell: (kernel, ME comparison, ME+eU comparison).
+pub type Table3Row = (
+    String,
+    crate::harness::Comparison,
+    crate::harness::Comparison,
+);
+
+/// Table III: kernel time penalty / power saving / energy saving for ME and
+/// ME+eU against No policy (cpu_th 5 %, unc_th 2 %).
+pub fn table3_data() -> Vec<Table3Row> {
+    kernels::table2_kernels()
+        .iter()
+        .map(|t| {
+            let cells = vec![
+                ("No policy".to_string(), RunKind::NoPolicy),
+                ("ME".to_string(), RunKind::me(0.05)),
+                ("ME+eU".to_string(), RunKind::me_eufs(0.05, 0.02)),
+            ];
+            let results = run_matrix(t, &cells, RUNS, 103);
+            let me = compare(&results[0], &results[1]);
+            let eu = compare(&results[0], &results[2]);
+            (t.name.to_string(), me, eu)
+        })
+        .collect()
+}
+
+/// Renders Table III.
+pub fn table3() -> String {
+    let rows: Vec<Vec<String>> = table3_data()
+        .into_iter()
+        .map(|(name, me, eu)| {
+            vec![
+                name,
+                pct(me.time_penalty_pct),
+                pct(eu.time_penalty_pct),
+                pct(me.power_saving_pct),
+                pct(eu.power_saving_pct),
+                pct(me.energy_saving_pct),
+                pct(eu.energy_saving_pct),
+            ]
+        })
+        .collect();
+    format_table(
+        "Table III: single node kernels evaluation (vs No policy)",
+        &[
+            "kernel",
+            "Tpen ME",
+            "Tpen ME+eU",
+            "Psave ME",
+            "Psave ME+eU",
+            "Esave ME",
+            "Esave ME+eU",
+        ],
+        &rows,
+    )
+}
+
+/// Table IV: average CPU and IMC frequencies per kernel under No policy,
+/// ME and ME+eU.
+pub fn table4_data() -> Vec<(String, [RunResult; 3])> {
+    kernels::table2_kernels()
+        .iter()
+        .map(|t| {
+            let cells = vec![
+                ("No policy".to_string(), RunKind::NoPolicy),
+                ("ME".to_string(), RunKind::me(0.05)),
+                ("ME+eU".to_string(), RunKind::me_eufs(0.05, 0.02)),
+            ];
+            let mut results = run_matrix(t, &cells, RUNS, 104).into_iter();
+            (
+                t.name.to_string(),
+                [
+                    results.next().unwrap(),
+                    results.next().unwrap(),
+                    results.next().unwrap(),
+                ],
+            )
+        })
+        .collect()
+}
+
+/// Renders Table IV.
+pub fn table4() -> String {
+    let mut rows = Vec::new();
+    for (name, [none, me, eu]) in table4_data() {
+        rows.push(vec![
+            name.clone(),
+            "CPU".into(),
+            f2(none.avg_cpu_ghz),
+            f2(me.avg_cpu_ghz),
+            f2(eu.avg_cpu_ghz),
+        ]);
+        rows.push(vec![
+            name,
+            "IMC".into(),
+            f2(none.avg_imc_ghz),
+            f2(me.avg_imc_ghz),
+            f2(eu.avg_imc_ghz),
+        ]);
+    }
+    format_table(
+        "Table IV: avg CPU and IMC frequency domains (kernels)",
+        &["kernel", "Dom", "No policy", "ME", "ME+eU"],
+        &rows,
+    )
+}
+
+/// Table V: MPI application characterisation at nominal frequency.
+pub fn table5_data() -> Vec<(String, RunResult)> {
+    apps::table5_apps()
+        .iter()
+        .map(|t| {
+            let r = run_cell(t, &RunKind::NoPolicy, "No policy", RUNS, 105);
+            (t.name.to_string(), r)
+        })
+        .collect()
+}
+
+/// Renders Table V.
+pub fn table5() -> String {
+    let rows: Vec<Vec<String>> = table5_data()
+        .into_iter()
+        .map(|(name, r)| {
+            vec![
+                name,
+                format!("{:.2}", r.time_s),
+                f2(r.cpi),
+                f2(r.gbs),
+                format!("{:.2}", r.dc_power_w),
+            ]
+        })
+        .collect();
+    format_table(
+        "Table V: MPI applications (No policy)",
+        &["application", "Time (s)", "CPI", "GB/s", "Avg DC Power (W)"],
+        &rows,
+    )
+}
+
+/// The per-application `cpu_policy_th` used in the paper's §VI-B: 5 %
+/// everywhere except BQCD (3 %).
+pub fn app_cpu_th(name: &str) -> f64 {
+    if name == "BQCD" {
+        0.03
+    } else {
+        0.05
+    }
+}
+
+/// Table VI: average CPU and IMC frequencies per application.
+pub fn table6_data() -> Vec<(String, [RunResult; 3])> {
+    apps::table5_apps()
+        .iter()
+        .map(|t| {
+            let th = app_cpu_th(t.name);
+            let cells = vec![
+                ("No policy".to_string(), RunKind::NoPolicy),
+                ("ME".to_string(), RunKind::me(th)),
+                ("ME+eU".to_string(), RunKind::me_eufs(th, 0.02)),
+            ];
+            let mut results = run_matrix(t, &cells, RUNS, 106).into_iter();
+            (
+                t.name.to_string(),
+                [
+                    results.next().unwrap(),
+                    results.next().unwrap(),
+                    results.next().unwrap(),
+                ],
+            )
+        })
+        .collect()
+}
+
+/// Renders Table VI.
+pub fn table6() -> String {
+    let mut rows = Vec::new();
+    for (name, [none, me, eu]) in table6_data() {
+        rows.push(vec![
+            name.clone(),
+            "CPU".into(),
+            f2(none.avg_cpu_ghz),
+            f2(me.avg_cpu_ghz),
+            f2(eu.avg_cpu_ghz),
+        ]);
+        rows.push(vec![
+            name,
+            "IMC".into(),
+            f2(none.avg_imc_ghz),
+            f2(me.avg_imc_ghz),
+            f2(eu.avg_imc_ghz),
+        ]);
+    }
+    format_table(
+        "Table VI: avg CPU and IMC frequency domains (applications)",
+        &["application", "Dom", "No policy", "ME", "ME+eU"],
+        &rows,
+    )
+}
+
+/// Table VII: DC node power savings vs RAPL PCK power savings under ME+eU
+/// (the paper's argument for evaluating with DC power). The paper lists
+/// seven applications (GROMACS (I) omitted).
+pub fn table7_data() -> Vec<(String, f64, f64)> {
+    [
+        "BQCD",
+        "BT-MZ",
+        "GROMACS (II)",
+        "HPCG",
+        "POP",
+        "DUMSES",
+        "AFiD",
+    ]
+    .iter()
+    .map(|name| {
+        let t = by_name(name).expect("catalog");
+        let th = app_cpu_th(name);
+        let cells = vec![
+            ("No policy".to_string(), RunKind::NoPolicy),
+            ("ME+eU".to_string(), RunKind::me_eufs(th, 0.02)),
+        ];
+        let results = run_matrix(&t, &cells, RUNS, 107);
+        let c = compare(&results[0], &results[1]);
+        (name.to_string(), c.power_saving_pct, c.pkg_power_saving_pct)
+    })
+    .collect()
+}
+
+/// Renders Table VII.
+pub fn table7() -> String {
+    let rows: Vec<Vec<String>> = table7_data()
+        .into_iter()
+        .map(|(name, dc, pck)| vec![name, pct(dc), pct(pck)])
+        .collect();
+    format_table(
+        "Table VII: DC node power savings vs RAPL PCK power savings (ME+eU)",
+        &["application", "DC Node Power", "RAPL PCK power"],
+        &rows,
+    )
+}

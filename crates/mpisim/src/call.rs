@@ -1,0 +1,178 @@
+//! MPI call vocabulary and event hashing.
+//!
+//! EARL intercepts MPI through the PMPI profiling interface; DynAIS consumes
+//! a `u64` hash of each call (call id, buffer size, partner/communicator).
+//! We model the calls the paper's applications actually issue.
+
+/// The MPI operations relevant to the paper's workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MpiCall {
+    /// `MPI_Init` — job start.
+    Init,
+    /// `MPI_Finalize` — job end.
+    Finalize,
+    /// `MPI_Send`.
+    Send,
+    /// `MPI_Recv`.
+    Recv,
+    /// `MPI_Isend`.
+    Isend,
+    /// `MPI_Irecv`.
+    Irecv,
+    /// `MPI_Wait` / `MPI_Waitall`.
+    Wait,
+    /// `MPI_Barrier`.
+    Barrier,
+    /// `MPI_Bcast`.
+    Bcast,
+    /// `MPI_Reduce`.
+    Reduce,
+    /// `MPI_Allreduce`.
+    Allreduce,
+    /// `MPI_Alltoall` (and variants).
+    Alltoall,
+    /// `MPI_Allgather`.
+    Allgather,
+    /// `MPI_Sendrecv`.
+    Sendrecv,
+}
+
+impl MpiCall {
+    /// A stable small integer id for hashing (mirrors the PMPI call table).
+    pub fn id(self) -> u64 {
+        match self {
+            MpiCall::Init => 1,
+            MpiCall::Finalize => 2,
+            MpiCall::Send => 3,
+            MpiCall::Recv => 4,
+            MpiCall::Isend => 5,
+            MpiCall::Irecv => 6,
+            MpiCall::Wait => 7,
+            MpiCall::Barrier => 8,
+            MpiCall::Bcast => 9,
+            MpiCall::Reduce => 10,
+            MpiCall::Allreduce => 11,
+            MpiCall::Alltoall => 12,
+            MpiCall::Allgather => 13,
+            MpiCall::Sendrecv => 14,
+        }
+    }
+
+    /// True for collective operations (synchronise all ranks).
+    pub fn is_collective(self) -> bool {
+        matches!(
+            self,
+            MpiCall::Barrier
+                | MpiCall::Bcast
+                | MpiCall::Reduce
+                | MpiCall::Allreduce
+                | MpiCall::Alltoall
+                | MpiCall::Allgather
+        )
+    }
+}
+
+/// One intercepted MPI call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MpiEvent {
+    /// Which call.
+    pub call: MpiCall,
+    /// Message/buffer size in bytes.
+    pub bytes: u64,
+    /// Peer rank (point-to-point) or communicator tag (collectives).
+    pub peer: u64,
+}
+
+impl MpiEvent {
+    /// Builds an event.
+    pub fn new(call: MpiCall, bytes: u64, peer: u64) -> Self {
+        Self { call, bytes, peer }
+    }
+
+    /// Collective with a payload.
+    pub fn collective(call: MpiCall, bytes: u64) -> Self {
+        debug_assert!(call.is_collective());
+        Self {
+            call,
+            bytes,
+            peer: 0,
+        }
+    }
+
+    /// The DynAIS sample for this event: EAR hashes call id, size and
+    /// partner so that structurally identical iterations produce identical
+    /// sample sequences.
+    pub fn dynais_sample(&self) -> u64 {
+        let mut z = self
+            .call
+            .id()
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(self.bytes.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+            .wrapping_add(self.peer.wrapping_mul(0x94D0_49BB_1331_11EB));
+        z ^= z >> 29;
+        z = z.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        z ^= z >> 32;
+        z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique() {
+        let all = [
+            MpiCall::Init,
+            MpiCall::Finalize,
+            MpiCall::Send,
+            MpiCall::Recv,
+            MpiCall::Isend,
+            MpiCall::Irecv,
+            MpiCall::Wait,
+            MpiCall::Barrier,
+            MpiCall::Bcast,
+            MpiCall::Reduce,
+            MpiCall::Allreduce,
+            MpiCall::Alltoall,
+            MpiCall::Allgather,
+            MpiCall::Sendrecv,
+        ];
+        let mut ids: Vec<u64> = all.iter().map(|c| c.id()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), all.len());
+    }
+
+    #[test]
+    fn collectives_classified() {
+        assert!(MpiCall::Allreduce.is_collective());
+        assert!(MpiCall::Barrier.is_collective());
+        assert!(!MpiCall::Send.is_collective());
+        assert!(!MpiCall::Wait.is_collective());
+    }
+
+    #[test]
+    fn identical_events_hash_identically() {
+        let a = MpiEvent::new(MpiCall::Isend, 4096, 3);
+        let b = MpiEvent::new(MpiCall::Isend, 4096, 3);
+        assert_eq!(a.dynais_sample(), b.dynais_sample());
+    }
+
+    #[test]
+    fn different_events_hash_differently() {
+        let base = MpiEvent::new(MpiCall::Isend, 4096, 3);
+        assert_ne!(
+            base.dynais_sample(),
+            MpiEvent::new(MpiCall::Irecv, 4096, 3).dynais_sample()
+        );
+        assert_ne!(
+            base.dynais_sample(),
+            MpiEvent::new(MpiCall::Isend, 8192, 3).dynais_sample()
+        );
+        assert_ne!(
+            base.dynais_sample(),
+            MpiEvent::new(MpiCall::Isend, 4096, 5).dynais_sample()
+        );
+    }
+}

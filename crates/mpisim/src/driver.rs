@@ -1,0 +1,272 @@
+//! The co-simulation driver.
+//!
+//! Runs a [`JobSpec`] on a [`Cluster`] with one [`NodeRuntime`] per node.
+//! The paper's applications are bulk-synchronous: every node executes the
+//! same outer iteration and synchronises at its end, so the driver runs
+//! each iteration on every node, then fills the stragglers' gap with idle
+//! time (load-imbalance waiting).
+
+use crate::intercept::NodeRuntime;
+use crate::job::JobSpec;
+use ear_archsim::Cluster;
+
+/// Per-node summary of a finished job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeReport {
+    /// Wall-clock seconds from job start to job end on this node.
+    pub seconds: f64,
+    /// Exact DC energy consumed over the job (J).
+    pub dc_energy_j: f64,
+    /// Exact package (RAPL PKG) energy over the job (J).
+    pub pkg_energy_j: f64,
+    /// Average DC power (W).
+    pub avg_dc_power_w: f64,
+    /// Average CPU frequency over the job (GHz, all cores).
+    pub avg_cpu_ghz: f64,
+    /// Average IMC (uncore) frequency over the job (GHz).
+    pub avg_imc_ghz: f64,
+    /// Job-average CPI.
+    pub cpi: f64,
+    /// Job-average memory bandwidth (GB/s).
+    pub gbs: f64,
+    /// Job-average AVX512 instruction fraction.
+    pub vpi: f64,
+}
+
+/// Whole-job summary.
+#[derive(Debug, Clone)]
+pub struct JobReport {
+    /// Application name.
+    pub name: String,
+    /// Per-node reports.
+    pub nodes: Vec<NodeReport>,
+}
+
+impl JobReport {
+    /// Job execution time: the slowest node (they end synchronised, so all
+    /// are equal up to rounding).
+    pub fn seconds(&self) -> f64 {
+        self.nodes.iter().map(|n| n.seconds).fold(0.0, f64::max)
+    }
+
+    /// Total DC energy across nodes (J).
+    pub fn total_dc_energy_j(&self) -> f64 {
+        self.nodes.iter().map(|n| n.dc_energy_j).sum()
+    }
+
+    /// Total package energy across nodes (J).
+    pub fn total_pkg_energy_j(&self) -> f64 {
+        self.nodes.iter().map(|n| n.pkg_energy_j).sum()
+    }
+
+    /// Mean of a per-node metric.
+    fn mean(&self, f: impl Fn(&NodeReport) -> f64) -> f64 {
+        self.nodes.iter().map(f).sum::<f64>() / self.nodes.len().max(1) as f64
+    }
+
+    /// Average DC node power across nodes (W).
+    pub fn avg_dc_power_w(&self) -> f64 {
+        self.mean(|n| n.avg_dc_power_w)
+    }
+
+    /// Average CPU frequency across nodes (GHz).
+    pub fn avg_cpu_ghz(&self) -> f64 {
+        self.mean(|n| n.avg_cpu_ghz)
+    }
+
+    /// Average IMC frequency across nodes (GHz).
+    pub fn avg_imc_ghz(&self) -> f64 {
+        self.mean(|n| n.avg_imc_ghz)
+    }
+
+    /// Average CPI across nodes.
+    pub fn cpi(&self) -> f64 {
+        self.mean(|n| n.cpi)
+    }
+
+    /// Average memory bandwidth per node (GB/s).
+    pub fn gbs(&self) -> f64 {
+        self.mean(|n| n.gbs)
+    }
+}
+
+/// Runs `job` on `cluster` with one runtime per node.
+///
+/// Panics if the job is invalid or the runtime/node counts disagree —
+/// those are harness bugs, not recoverable conditions.
+pub fn run_job<R: NodeRuntime>(
+    cluster: &mut Cluster,
+    job: &JobSpec,
+    runtimes: &mut [R],
+) -> JobReport {
+    job.validate().expect("invalid job");
+    assert_eq!(cluster.len(), job.nodes, "cluster size != job nodes");
+    assert_eq!(runtimes.len(), job.nodes, "one runtime per node required");
+
+    let starts: Vec<_> = (0..cluster.len())
+        .map(|i| cluster.node(i).snapshot())
+        .collect();
+    let fabric = cluster.fabric.clone();
+
+    for (i, rt) in runtimes.iter_mut().enumerate() {
+        rt.on_job_start(cluster.node_mut(i), &job.name, job.ranks_per_node);
+    }
+
+    for iter in &job.iterations {
+        for (i, rt) in runtimes.iter_mut().enumerate() {
+            let node = cluster.node_mut(i);
+            // PMPI interception: EARL sees the calls of this iteration.
+            // (EARL coordinates per node through its master rank, so the
+            // runtime receives one stream per node.)
+            for ev in &iter.events {
+                rt.on_mpi_call(node, ev);
+            }
+            match iter.comm.as_ref().filter(|c| !c.is_empty()) {
+                Some(comm) => {
+                    // Price the explicit communication through the fabric
+                    // and charge it as busy-waiting.
+                    let mut demand = iter.demand.clone();
+                    demand.wait_seconds += comm.wait_seconds(&fabric, job.nodes);
+                    node.run_phase(&demand);
+                }
+                None => {
+                    node.run_phase(&iter.demand);
+                }
+            }
+            rt.on_tick(node);
+        }
+        // Bulk-synchronous step: everyone waits for the slowest node.
+        let horizon = cluster.horizon();
+        cluster.synchronise_to(horizon);
+    }
+
+    for (i, rt) in runtimes.iter_mut().enumerate() {
+        rt.on_job_end(cluster.node_mut(i));
+    }
+
+    let mut nodes = Vec::with_capacity(cluster.len());
+    for (i, start) in starts.iter().enumerate() {
+        let end = cluster.node(i).snapshot();
+        let d = end.delta(start);
+        let seconds = d.seconds;
+        nodes.push(NodeReport {
+            seconds,
+            dc_energy_j: end.dc_energy_exact_j - start.dc_energy_exact_j,
+            pkg_energy_j: d.pkg_energy_j,
+            avg_dc_power_w: if seconds > 0.0 {
+                (end.dc_energy_exact_j - start.dc_energy_exact_j) / seconds
+            } else {
+                0.0
+            },
+            avg_cpu_ghz: d.avg_cpu_ghz(),
+            avg_imc_ghz: d.avg_imc_ghz(),
+            cpi: d.cpi(),
+            gbs: d.gbs(),
+            vpi: d.vpi(),
+        });
+    }
+
+    JobReport {
+        name: job.name.clone(),
+        nodes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::call::{MpiCall, MpiEvent};
+    use crate::intercept::{NullRuntime, RecordingRuntime};
+    use ear_archsim::{NodeConfig, PhaseDemand};
+
+    fn small_job(iters: usize) -> JobSpec {
+        JobSpec::homogeneous(
+            "unit",
+            2,
+            40,
+            vec![
+                MpiEvent::new(MpiCall::Isend, 8192, 1),
+                MpiEvent::new(MpiCall::Irecv, 8192, 1),
+                MpiEvent::new(MpiCall::Wait, 0, 0),
+                MpiEvent::collective(MpiCall::Allreduce, 64),
+            ],
+            PhaseDemand {
+                instructions: 2e10,
+                mem_bytes: 5e9,
+                active_cores: 40,
+                wait_seconds: 0.01,
+                ..Default::default()
+            },
+            iters,
+        )
+    }
+
+    fn null_runtimes(n: usize) -> Vec<NullRuntime> {
+        vec![NullRuntime; n]
+    }
+
+    #[test]
+    fn job_runs_and_reports() {
+        let mut cluster = Cluster::new(NodeConfig::sd530_6148(), 2, 42);
+        let job = small_job(20);
+        let mut rts = null_runtimes(2);
+        let report = run_job(&mut cluster, &job, &mut rts);
+        assert_eq!(report.nodes.len(), 2);
+        assert!(report.seconds() > 1.0);
+        assert!(report.total_dc_energy_j() > 100.0);
+        assert!(report.avg_dc_power_w() > 200.0);
+        // Nodes end synchronised.
+        let t0 = report.nodes[0].seconds;
+        let t1 = report.nodes[1].seconds;
+        assert!((t0 - t1).abs() < 1e-6, "{t0} vs {t1}");
+    }
+
+    #[test]
+    fn interception_sees_every_event() {
+        let mut cluster = Cluster::new(NodeConfig::sd530_6148(), 2, 43);
+        let job = small_job(5);
+        let mut rts = vec![RecordingRuntime::default(), RecordingRuntime::default()];
+        run_job(&mut cluster, &job, &mut rts);
+        // 5 iterations × 4 events.
+        assert_eq!(rts[0].events.len(), 20);
+        assert_eq!(rts[0].started, vec!["unit".to_string()]);
+        assert_eq!(rts[0].ended, 1);
+        assert_eq!(rts[1].events.len(), 20);
+    }
+
+    #[test]
+    fn explicit_comm_is_priced_by_the_fabric() {
+        use crate::job::CommSpec;
+        let mk_job = || {
+            let mut job = small_job(10);
+            for it in &mut job.iterations {
+                it.comm = Some(CommSpec {
+                    collectives: vec![(MpiCall::Allreduce, 4 << 20)],
+                    p2p_bytes: vec![1 << 20; 8],
+                });
+            }
+            job
+        };
+        let run = |bw: f64| {
+            let mut cluster = Cluster::new(NodeConfig::sd530_6148(), 2, 44);
+            cluster.fabric.bandwidth_bytes = bw;
+            let mut rts = null_runtimes(2);
+            run_job(&mut cluster, &mk_job(), &mut rts).seconds()
+        };
+        let fast = run(12e9);
+        let slow = run(1e9);
+        assert!(
+            slow > fast * 1.02,
+            "fabric made no difference: {slow} vs {fast}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cluster size != job nodes")]
+    fn mismatched_cluster_panics() {
+        let mut cluster = Cluster::new(NodeConfig::sd530_6148(), 1, 1);
+        let job = small_job(1);
+        let mut rts = null_runtimes(1);
+        run_job(&mut cluster, &job, &mut rts);
+    }
+}

@@ -1,0 +1,86 @@
+//! PMPI-style interception.
+//!
+//! On real systems EARL is preloaded into every MPI process and sees each
+//! MPI call through the profiling interface. Here, a [`NodeRuntime`] is
+//! attached per node and receives the same lifecycle events the EAR library
+//! hooks: job start/end and every MPI call — with mutable access to the
+//! node, because that is exactly what EARL uses the hooks for (reading
+//! counters, writing frequency MSRs).
+
+use crate::call::MpiEvent;
+use ear_archsim::Node;
+
+/// The per-node runtime attached to a job (EARL, a tracer, or nothing).
+pub trait NodeRuntime {
+    /// Called once before the first iteration (EARL's `MPI_Init` hook).
+    fn on_job_start(&mut self, node: &mut Node, job_name: &str, ranks_on_node: usize);
+
+    /// Called for every MPI call a local rank issues (the PMPI hook).
+    fn on_mpi_call(&mut self, node: &mut Node, event: &MpiEvent);
+
+    /// Called once after the last iteration (EARL's `MPI_Finalize` hook).
+    fn on_job_end(&mut self, node: &mut Node);
+
+    /// Called after every outer iteration completes, regardless of MPI
+    /// activity. Non-MPI applications (OpenMP, CUDA kernels) have no PMPI
+    /// stream; EARL falls back to time-guided operation (paper §III) and
+    /// this is its timer tick. Default: ignored.
+    fn on_tick(&mut self, node: &mut Node) {
+        let _ = node;
+    }
+}
+
+impl<T: NodeRuntime + ?Sized> NodeRuntime for Box<T> {
+    fn on_job_start(&mut self, node: &mut Node, job_name: &str, ranks_on_node: usize) {
+        (**self).on_job_start(node, job_name, ranks_on_node);
+    }
+
+    fn on_mpi_call(&mut self, node: &mut Node, event: &MpiEvent) {
+        (**self).on_mpi_call(node, event);
+    }
+
+    fn on_job_end(&mut self, node: &mut Node) {
+        (**self).on_job_end(node);
+    }
+
+    fn on_tick(&mut self, node: &mut Node) {
+        (**self).on_tick(node);
+    }
+}
+
+/// A runtime that does nothing — the paper's "No policy" baseline, where
+/// the application runs at nominal frequency with hardware UFS.
+#[derive(Debug, Default, Clone)]
+pub struct NullRuntime;
+
+impl NodeRuntime for NullRuntime {
+    fn on_job_start(&mut self, _node: &mut Node, _job_name: &str, _ranks: usize) {}
+    fn on_mpi_call(&mut self, _node: &mut Node, _event: &MpiEvent) {}
+    fn on_job_end(&mut self, _node: &mut Node) {}
+}
+
+/// A runtime that records every event it sees; used in tests to verify the
+/// interception contract.
+#[derive(Debug, Default)]
+pub struct RecordingRuntime {
+    /// Job names seen at start.
+    pub started: Vec<String>,
+    /// All intercepted events in order.
+    pub events: Vec<MpiEvent>,
+    /// Number of job-end callbacks.
+    pub ended: usize,
+}
+
+impl NodeRuntime for RecordingRuntime {
+    fn on_job_start(&mut self, _node: &mut Node, job_name: &str, _ranks: usize) {
+        self.started.push(job_name.to_string());
+    }
+
+    fn on_mpi_call(&mut self, _node: &mut Node, event: &MpiEvent) {
+        self.events.push(*event);
+    }
+
+    fn on_job_end(&mut self, _node: &mut Node) {
+        self.ended += 1;
+    }
+}

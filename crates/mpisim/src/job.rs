@@ -1,0 +1,154 @@
+//! Job descriptions: what an MPI application does, iteration by iteration.
+//!
+//! A [`JobSpec`] is the bridge between the workload models (`ear-workloads`)
+//! and the co-simulation driver: a sequence of outer-loop iterations, each
+//! with the MPI events every rank issues and the per-node resource demand.
+
+use crate::call::{MpiCall, MpiEvent};
+use ear_archsim::{Interconnect, PhaseDemand};
+
+/// Explicit communication volume of one iteration, priced through the
+/// cluster's [`Interconnect`] at run time. Workloads calibrated from the
+/// paper bake their measured communication time directly into
+/// `demand.wait_seconds`; `CommSpec` is for studies where the *fabric*
+/// is the variable (paper §VIII: communication-intensive applications).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CommSpec {
+    /// Collective operations: (call, bytes per rank).
+    pub collectives: Vec<(MpiCall, u64)>,
+    /// Point-to-point round trips per rank: message sizes in bytes.
+    pub p2p_bytes: Vec<u64>,
+}
+
+impl CommSpec {
+    /// The waiting time this communication costs per iteration on the
+    /// given fabric and topology.
+    pub fn wait_seconds(&self, fabric: &Interconnect, nodes: usize) -> f64 {
+        let mut t = 0.0;
+        for (call, bytes) in &self.collectives {
+            debug_assert!(call.is_collective());
+            t += fabric.collective_time(nodes, *bytes as f64);
+        }
+        for bytes in &self.p2p_bytes {
+            t += fabric.p2p_time(*bytes as f64);
+        }
+        t
+    }
+
+    /// True when no communication is specified.
+    pub fn is_empty(&self) -> bool {
+        self.collectives.is_empty() && self.p2p_bytes.is_empty()
+    }
+}
+
+/// One outer-loop iteration of the application.
+#[derive(Debug, Clone)]
+pub struct IterationSpec {
+    /// MPI calls each rank issues during this iteration, in order. DynAIS
+    /// consumes these; identical iterations yield identical sequences.
+    pub events: Vec<MpiEvent>,
+    /// Per-node resource demand of the iteration (communication waiting
+    /// time is included in `demand.wait_seconds`).
+    pub demand: PhaseDemand,
+    /// Additional communication priced through the cluster fabric at run
+    /// time (None for calibrated workloads).
+    pub comm: Option<CommSpec>,
+}
+
+/// A complete MPI job.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Application name (used in reports).
+    pub name: String,
+    /// Number of nodes.
+    pub nodes: usize,
+    /// MPI ranks per node.
+    pub ranks_per_node: usize,
+    /// The outer iterations, in execution order.
+    pub iterations: Vec<IterationSpec>,
+}
+
+impl JobSpec {
+    /// Total rank count.
+    pub fn total_ranks(&self) -> usize {
+        self.nodes * self.ranks_per_node
+    }
+
+    /// Sanity checks used by builders and tests.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes == 0 {
+            return Err("job with zero nodes".into());
+        }
+        if self.ranks_per_node == 0 {
+            return Err("job with zero ranks per node".into());
+        }
+        if self.iterations.is_empty() {
+            return Err("job with no iterations".into());
+        }
+        for (i, it) in self.iterations.iter().enumerate() {
+            it.demand
+                .validate()
+                .map_err(|e| format!("iteration {i}: {e}"))?;
+        }
+        Ok(())
+    }
+
+    /// A convenience builder for jobs whose iterations all look alike
+    /// (most of the paper's applications: steady-state iterative solvers).
+    pub fn homogeneous(
+        name: &str,
+        nodes: usize,
+        ranks_per_node: usize,
+        events: Vec<MpiEvent>,
+        demand: PhaseDemand,
+        iterations: usize,
+    ) -> Self {
+        Self {
+            name: name.to_string(),
+            nodes,
+            ranks_per_node,
+            iterations: (0..iterations)
+                .map(|_| IterationSpec {
+                    events: events.clone(),
+                    demand: demand.clone(),
+                    comm: None,
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::call::MpiCall;
+
+    #[test]
+    fn homogeneous_builder() {
+        let job = JobSpec::homogeneous(
+            "test",
+            4,
+            40,
+            vec![MpiEvent::collective(MpiCall::Allreduce, 1024)],
+            PhaseDemand {
+                instructions: 1e9,
+                active_cores: 40,
+                ..Default::default()
+            },
+            10,
+        );
+        assert_eq!(job.total_ranks(), 160);
+        assert_eq!(job.iterations.len(), 10);
+        assert!(job.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_jobs() {
+        let mut job = JobSpec::homogeneous("bad", 1, 1, vec![], PhaseDemand::default(), 1);
+        job.nodes = 0;
+        assert!(job.validate().is_err());
+        job.nodes = 1;
+        job.iterations.clear();
+        assert!(job.validate().is_err());
+    }
+}

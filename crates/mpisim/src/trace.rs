@@ -1,0 +1,255 @@
+//! MPI trace record and replay.
+//!
+//! Production EAR ships `eacct`-adjacent tooling to capture per-job MPI
+//! traces and replay them offline (e.g. to tune DynAIS parameters without
+//! re-running the application). [`TracingRuntime`] wraps any runtime and
+//! records a timestamped [`Trace`]; [`Trace::replay_into`] feeds a recorded
+//! event stream back into another runtime against a (possibly different)
+//! node.
+//!
+//! Traces serialise to a line-oriented text format
+//! (`<µs> <call-id> <bytes> <peer>`), deliberately trivial so external
+//! tooling can parse it.
+
+use crate::call::{MpiCall, MpiEvent};
+use crate::intercept::NodeRuntime;
+use ear_archsim::{Node, SimTime};
+
+/// One traced call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Simulated time the call was intercepted.
+    pub time: SimTime,
+    /// The call.
+    pub event: MpiEvent,
+}
+
+/// A recorded job trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    /// Job name (from `MPI_Init`).
+    pub job: String,
+    /// Records in interception order.
+    pub records: Vec<TraceRecord>,
+}
+
+impl Trace {
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Replays the event stream into `runtime` against `node` (start and
+    /// end hooks included). Time is not reconstructed — the receiving
+    /// runtime sees events back to back, which is what DynAIS tuning
+    /// needs.
+    pub fn replay_into<R: NodeRuntime>(&self, runtime: &mut R, node: &mut Node) {
+        runtime.on_job_start(node, &self.job, 1);
+        for r in &self.records {
+            runtime.on_mpi_call(node, &r.event);
+        }
+        runtime.on_job_end(node);
+    }
+
+    /// Serialises to the line format.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!("# trace job={}\n", self.job);
+        for r in &self.records {
+            let _ = writeln!(
+                out,
+                "{} {} {} {}",
+                r.time.as_micros(),
+                r.event.call.id(),
+                r.event.bytes,
+                r.event.peer
+            );
+        }
+        out
+    }
+
+    /// Parses the line format (inverse of [`Trace::to_text`]).
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let mut trace = Trace::default();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('#') {
+                if let Some(job) = rest.trim().strip_prefix("trace job=") {
+                    trace.job = job.to_string();
+                }
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let parse = |p: Option<&str>, what: &str| {
+                p.ok_or_else(|| format!("line {}: missing {what}", i + 1))?
+                    .parse::<u64>()
+                    .map_err(|_| format!("line {}: bad {what}", i + 1))
+            };
+            let us = parse(parts.next(), "timestamp")?;
+            let call_id = parse(parts.next(), "call id")?;
+            let bytes = parse(parts.next(), "bytes")?;
+            let peer = parse(parts.next(), "peer")?;
+            let call = call_from_id(call_id)
+                .ok_or_else(|| format!("line {}: unknown call id {call_id}", i + 1))?;
+            trace.records.push(TraceRecord {
+                time: SimTime(us),
+                event: MpiEvent::new(call, bytes, peer),
+            });
+        }
+        Ok(trace)
+    }
+}
+
+fn call_from_id(id: u64) -> Option<MpiCall> {
+    [
+        MpiCall::Init,
+        MpiCall::Finalize,
+        MpiCall::Send,
+        MpiCall::Recv,
+        MpiCall::Isend,
+        MpiCall::Irecv,
+        MpiCall::Wait,
+        MpiCall::Barrier,
+        MpiCall::Bcast,
+        MpiCall::Reduce,
+        MpiCall::Allreduce,
+        MpiCall::Alltoall,
+        MpiCall::Allgather,
+        MpiCall::Sendrecv,
+    ]
+    .into_iter()
+    .find(|c| c.id() == id)
+}
+
+/// A runtime wrapper that records a trace while delegating to `inner`.
+pub struct TracingRuntime<R> {
+    inner: R,
+    trace: Trace,
+}
+
+impl<R> TracingRuntime<R> {
+    /// Wraps `inner`.
+    pub fn new(inner: R) -> Self {
+        Self {
+            inner,
+            trace: Trace::default(),
+        }
+    }
+
+    /// The trace recorded so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Consumes the wrapper, returning the trace and the inner runtime.
+    pub fn into_parts(self) -> (Trace, R) {
+        (self.trace, self.inner)
+    }
+}
+
+impl<R: NodeRuntime> NodeRuntime for TracingRuntime<R> {
+    fn on_job_start(&mut self, node: &mut Node, job_name: &str, ranks: usize) {
+        self.trace.job = job_name.to_string();
+        self.trace.records.clear();
+        self.inner.on_job_start(node, job_name, ranks);
+    }
+
+    fn on_mpi_call(&mut self, node: &mut Node, event: &MpiEvent) {
+        self.trace.records.push(TraceRecord {
+            time: node.now(),
+            event: *event,
+        });
+        self.inner.on_mpi_call(node, event);
+    }
+
+    fn on_tick(&mut self, node: &mut Node) {
+        self.inner.on_tick(node);
+    }
+
+    fn on_job_end(&mut self, node: &mut Node) {
+        self.inner.on_job_end(node);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::run_job;
+    use crate::intercept::{NullRuntime, RecordingRuntime};
+    use crate::job::JobSpec;
+    use ear_archsim::{Cluster, NodeConfig, PhaseDemand};
+
+    fn job() -> JobSpec {
+        JobSpec::homogeneous(
+            "traced",
+            1,
+            4,
+            vec![
+                MpiEvent::new(MpiCall::Isend, 1024, 1),
+                MpiEvent::collective(MpiCall::Allreduce, 8),
+            ],
+            PhaseDemand {
+                instructions: 1e10,
+                active_cores: 40,
+                ..Default::default()
+            },
+            6,
+        )
+    }
+
+    #[test]
+    fn records_timestamps_and_events() {
+        let mut cluster = Cluster::new(NodeConfig::sd530_6148(), 1, 61);
+        let mut rts = vec![TracingRuntime::new(NullRuntime)];
+        run_job(&mut cluster, &job(), &mut rts);
+        let trace = rts[0].trace();
+        assert_eq!(trace.job, "traced");
+        assert_eq!(trace.len(), 12);
+        // Timestamps are monotone.
+        for w in trace.records.windows(2) {
+            assert!(w[1].time >= w[0].time);
+        }
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let mut cluster = Cluster::new(NodeConfig::sd530_6148(), 1, 62);
+        let mut rts = vec![TracingRuntime::new(NullRuntime)];
+        run_job(&mut cluster, &job(), &mut rts);
+        let trace = rts[0].trace().clone();
+        let text = trace.to_text();
+        let parsed = Trace::from_text(&text).unwrap();
+        assert_eq!(parsed, trace);
+    }
+
+    #[test]
+    fn parse_errors_are_located() {
+        let e = Trace::from_text("1 2 3").unwrap_err();
+        assert!(e.contains("line 1"), "{e}");
+        let e = Trace::from_text("1 999 3 4").unwrap_err();
+        assert!(e.contains("unknown call id"), "{e}");
+    }
+
+    #[test]
+    fn replay_reaches_another_runtime() {
+        let mut cluster = Cluster::new(NodeConfig::sd530_6148(), 1, 63);
+        let mut rts = vec![TracingRuntime::new(NullRuntime)];
+        run_job(&mut cluster, &job(), &mut rts);
+        let trace = rts[0].trace().clone();
+
+        let mut sink = RecordingRuntime::default();
+        let mut node = ear_archsim::Node::new(NodeConfig::sd530_6148(), 64);
+        trace.replay_into(&mut sink, &mut node);
+        assert_eq!(sink.events.len(), trace.len());
+        assert_eq!(sink.started, vec!["traced".to_string()]);
+        assert_eq!(sink.ended, 1);
+    }
+}

@@ -1,0 +1,17 @@
+//! # ear-sched — batch scheduling with EAR's SLURM integration
+//!
+//! EAR deploys inside SLURM: a SPANK plugin reads per-job `--ear-*` flags,
+//! injects the EAR library into the job, and the node daemons account the
+//! result. This crate provides the simulated equivalent: a FIFO batch
+//! scheduler over a node pool ([`BatchScheduler`]), the SPANK flag surface
+//! ([`parse_spank_flags`]) and campaign-level energy accounting — enough
+//! to run "a day in the life of a cluster" studies of the paper's policies
+//! (see `examples/batch_campaign.rs`).
+
+#![warn(missing_docs)]
+
+pub mod scheduler;
+pub mod spank;
+
+pub use scheduler::{BatchJob, BatchScheduler, FinishedJob, SchedError};
+pub use spank::{parse_spank_flags, site_default_settings, FlagError};

@@ -1,0 +1,309 @@
+//! A FIFO batch scheduler over a fixed node pool.
+//!
+//! The scheduler allocates disjoint node sets to queued jobs (FIFO with
+//! first-fit in time), runs each job on its own simulated cluster — jobs
+//! on disjoint nodes interact only through slot contention, as on a real
+//! machine with one job per node — and aggregates EAR accounting across
+//! the campaign. This is the substrate EAR's SLURM integration runs on:
+//! the job's `--ear` flags decide whether EARL is injected and with which
+//! policy.
+
+use crate::spank::parse_spank_flags;
+use ear_archsim::{Cluster, NodeConfig};
+use ear_core::accounting::{AccountingDb, JobRecord};
+use ear_core::{Earl, EarlConfig};
+use ear_mpisim::{run_job, NullRuntime};
+use ear_workloads::{build_job, by_name, calibrate};
+use std::collections::VecDeque;
+
+/// A submitted batch job.
+#[derive(Debug, Clone)]
+pub struct BatchJob {
+    /// Submission id (assigned by the scheduler).
+    pub id: u64,
+    /// Owner.
+    pub user: String,
+    /// Workload name from the catalog.
+    pub workload: String,
+    /// `srun`-style EAR flags.
+    pub ear_flags: String,
+    /// Submission time (s since campaign start).
+    pub submit_s: f64,
+}
+
+/// A finished job with its schedule and measured outcome.
+#[derive(Debug, Clone)]
+pub struct FinishedJob {
+    /// The submission.
+    pub job: BatchJob,
+    /// Node slots used.
+    pub nodes: Vec<usize>,
+    /// Start time (s since campaign start).
+    pub start_s: f64,
+    /// End time.
+    pub end_s: f64,
+    /// DC energy over the job, all nodes (J).
+    pub dc_energy_j: f64,
+    /// EAR's per-job record when EARL ran (None for `--ear=off`).
+    pub record: Option<JobRecord>,
+}
+
+/// Scheduling/execution errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchedError {
+    /// The workload is not in the catalog.
+    UnknownWorkload(String),
+    /// The job wants more nodes than the pool has.
+    TooLarge {
+        /// Nodes requested.
+        requested: usize,
+        /// Pool size.
+        pool: usize,
+    },
+    /// Bad `--ear` flags.
+    BadFlags(String),
+}
+
+impl std::fmt::Display for SchedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchedError::UnknownWorkload(w) => write!(f, "unknown workload '{w}'"),
+            SchedError::TooLarge { requested, pool } => {
+                write!(f, "job needs {requested} nodes, pool has {pool}")
+            }
+            SchedError::BadFlags(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SchedError {}
+
+/// The batch scheduler.
+pub struct BatchScheduler {
+    node_config: NodeConfig,
+    /// Per-slot time at which the slot becomes free (s).
+    free_at: Vec<f64>,
+    queue: VecDeque<BatchJob>,
+    finished: Vec<FinishedJob>,
+    accounting: AccountingDb,
+    next_id: u64,
+    seed: u64,
+}
+
+impl BatchScheduler {
+    /// Creates a scheduler over `pool_nodes` identical nodes.
+    pub fn new(node_config: NodeConfig, pool_nodes: usize, seed: u64) -> Self {
+        assert!(pool_nodes > 0);
+        Self {
+            node_config,
+            free_at: vec![0.0; pool_nodes],
+            queue: VecDeque::new(),
+            finished: Vec::new(),
+            accounting: AccountingDb::new(),
+            next_id: 1,
+            seed,
+        }
+    }
+
+    /// Submits a job; validation happens at submit time (like `sbatch`).
+    pub fn submit(
+        &mut self,
+        user: &str,
+        workload: &str,
+        ear_flags: &str,
+        submit_s: f64,
+    ) -> Result<u64, SchedError> {
+        let targets =
+            by_name(workload).ok_or_else(|| SchedError::UnknownWorkload(workload.to_string()))?;
+        if targets.nodes > self.free_at.len() {
+            return Err(SchedError::TooLarge {
+                requested: targets.nodes,
+                pool: self.free_at.len(),
+            });
+        }
+        parse_spank_flags(ear_flags).map_err(|e| SchedError::BadFlags(e.to_string()))?;
+        let id = self.next_id;
+        self.next_id += 1;
+        self.queue.push_back(BatchJob {
+            id,
+            user: user.to_string(),
+            workload: workload.to_string(),
+            ear_flags: ear_flags.to_string(),
+            submit_s,
+        });
+        Ok(id)
+    }
+
+    /// Jobs waiting.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Finished jobs, completion order.
+    pub fn finished(&self) -> &[FinishedJob] {
+        &self.finished
+    }
+
+    /// The EAR accounting database (records only for EAR-enabled jobs).
+    pub fn accounting(&self) -> &AccountingDb {
+        &self.accounting
+    }
+
+    /// Campaign makespan (s): when the last slot frees.
+    pub fn makespan_s(&self) -> f64 {
+        self.free_at.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Total DC energy across finished jobs (J).
+    pub fn total_energy_j(&self) -> f64 {
+        self.finished.iter().map(|f| f.dc_energy_j).sum()
+    }
+
+    /// Runs every queued job to completion, FIFO.
+    pub fn run_all(&mut self) -> Result<(), SchedError> {
+        while let Some(job) = self.queue.pop_front() {
+            self.run_one(job)?;
+        }
+        Ok(())
+    }
+
+    fn run_one(&mut self, job: BatchJob) -> Result<(), SchedError> {
+        let targets = by_name(&job.workload)
+            .ok_or_else(|| SchedError::UnknownWorkload(job.workload.clone()))?;
+        let ear_config =
+            parse_spank_flags(&job.ear_flags).map_err(|e| SchedError::BadFlags(e.to_string()))?;
+
+        // First-fit in time: the N slots that free earliest.
+        let mut slot_order: Vec<usize> = (0..self.free_at.len()).collect();
+        slot_order.sort_by(|&a, &b| self.free_at[a].total_cmp(&self.free_at[b]));
+        let nodes: Vec<usize> = slot_order[..targets.nodes].to_vec();
+        let start_s = nodes
+            .iter()
+            .map(|&s| self.free_at[s])
+            .fold(job.submit_s, f64::max);
+
+        // Execute the job on a dedicated simulated cluster.
+        let cal = calibrate(&targets).expect("catalog workloads calibrate");
+        let spec = build_job(&cal);
+        let mut cluster = Cluster::new(
+            self.node_config.clone(),
+            targets.nodes,
+            self.seed.wrapping_add(job.id.wrapping_mul(0x9E37_79B9)),
+        );
+        let (duration_s, dc_energy_j, record) = match ear_config {
+            Some(config) => {
+                let mut rts: Vec<Earl> = (0..targets.nodes)
+                    .map(|_| Earl::from_registry(EarlConfig { ..config.clone() }))
+                    .collect();
+                let report = run_job(&mut cluster, &spec, &mut rts);
+                let record = rts[0].job_record().cloned();
+                if let Some(rec) = record.clone() {
+                    self.accounting.insert(rec);
+                }
+                (report.seconds(), report.total_dc_energy_j(), record)
+            }
+            None => {
+                let mut rts = vec![NullRuntime; targets.nodes];
+                let report = run_job(&mut cluster, &spec, &mut rts);
+                (report.seconds(), report.total_dc_energy_j(), None)
+            }
+        };
+
+        let end_s = start_s + duration_s;
+        for &s in &nodes {
+            self.free_at[s] = end_s;
+        }
+        self.finished.push(FinishedJob {
+            job,
+            nodes,
+            start_s,
+            end_s,
+            dc_energy_j,
+            record,
+        });
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scheduler(pool: usize) -> BatchScheduler {
+        BatchScheduler::new(NodeConfig::sd530_6148(), pool, 900)
+    }
+
+    #[test]
+    fn submit_validates() {
+        let mut s = scheduler(4);
+        assert!(s.submit("alice", "BQCD", "--ear=on", 0.0).is_ok());
+        assert!(matches!(
+            s.submit("bob", "NOPE", "", 0.0),
+            Err(SchedError::UnknownWorkload(_))
+        ));
+        assert!(matches!(
+            s.submit("bob", "GROMACS (II)", "", 0.0), // needs 16 > 4
+            Err(SchedError::TooLarge { .. })
+        ));
+        assert!(matches!(
+            s.submit("bob", "BQCD", "--ear=on --ear-frequency=max", 0.0),
+            Err(SchedError::BadFlags(_))
+        ));
+        assert_eq!(s.pending(), 1);
+    }
+
+    #[test]
+    fn fifo_with_slot_contention() {
+        // Pool of 4; two 4-node jobs must serialise.
+        let mut s = scheduler(4);
+        s.submit("alice", "BQCD", "--ear=off", 0.0).unwrap();
+        s.submit("bob", "BQCD", "--ear=off", 0.0).unwrap();
+        s.run_all().unwrap();
+        let f = s.finished();
+        assert_eq!(f.len(), 2);
+        assert!(f[1].start_s >= f[0].end_s - 1e-6, "{f:?}");
+        assert!((s.makespan_s() - f[1].end_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_jobs_overlap() {
+        // Pool of 8: two 4-node jobs run side by side.
+        let mut s = scheduler(8);
+        s.submit("alice", "BQCD", "--ear=off", 0.0).unwrap();
+        s.submit("bob", "BT-MZ", "--ear=off", 0.0).unwrap();
+        s.run_all().unwrap();
+        let f = s.finished();
+        assert!(f[1].start_s < f[0].end_s, "no overlap: {f:?}");
+        // Disjoint node sets.
+        let a: std::collections::HashSet<_> = f[0].nodes.iter().collect();
+        assert!(f[1].nodes.iter().all(|n| !a.contains(n)));
+    }
+
+    #[test]
+    fn ear_jobs_are_accounted_and_save_energy() {
+        let mut s = scheduler(4);
+        s.submit("alice", "BT-MZ", "--ear=off", 0.0).unwrap();
+        s.submit("alice", "BT-MZ", "--ear=on --ear-unc-th=0.02", 0.0)
+            .unwrap();
+        s.run_all().unwrap();
+        let f = s.finished();
+        assert!(f[0].record.is_none());
+        assert!(f[1].record.is_some());
+        assert_eq!(s.accounting().records().len(), 1);
+        // The EAR job used measurably less energy.
+        assert!(
+            f[1].dc_energy_j < f[0].dc_energy_j * 0.97,
+            "{} vs {}",
+            f[1].dc_energy_j,
+            f[0].dc_energy_j
+        );
+    }
+
+    #[test]
+    fn submit_time_delays_start() {
+        let mut s = scheduler(4);
+        s.submit("alice", "BQCD", "--ear=off", 500.0).unwrap();
+        s.run_all().unwrap();
+        assert!(s.finished()[0].start_s >= 500.0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Property tests for the batch scheduler: no double-booked nodes, FIFO
+//! start order, makespan consistency — for arbitrary job mixes.
+
+use ear_archsim::NodeConfig;
+use ear_sched::BatchScheduler;
+use proptest::prelude::*;
+
+/// Small catalog workloads so each property case stays fast.
+const APPS: &[&str] = &["BQCD", "BT-MZ.C (MPI)", "HPCG"];
+
+fn arb_jobs() -> impl Strategy<Value = Vec<(usize, bool, f64)>> {
+    proptest::collection::vec((0usize..APPS.len(), any::<bool>(), 0.0..500.0f64), 1..6)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn schedule_is_conflict_free_and_fifo(jobs in arb_jobs()) {
+        let mut sched = BatchScheduler::new(NodeConfig::sd530_6148(), 8, 1234);
+        for (i, (app, ear_on, submit)) in jobs.iter().enumerate() {
+            let flags = if *ear_on { "--ear=on" } else { "--ear=off" };
+            sched
+                .submit(&format!("user{i}"), APPS[*app], flags, *submit)
+                .expect("catalog apps fit an 8-node pool");
+        }
+        sched.run_all().expect("queue runs");
+        let finished = sched.finished();
+        prop_assert_eq!(finished.len(), jobs.len());
+
+        // No two jobs overlap in time on the same node slot.
+        for (i, a) in finished.iter().enumerate() {
+            for b in &finished[i + 1..] {
+                let share_node = a.nodes.iter().any(|n| b.nodes.contains(n));
+                let overlap = a.start_s < b.end_s - 1e-9 && b.start_s < a.end_s - 1e-9;
+                prop_assert!(
+                    !(share_node && overlap),
+                    "jobs {} and {} overlap on shared nodes",
+                    a.job.id,
+                    b.job.id
+                );
+            }
+        }
+
+        // Each job starts exactly when its assigned slots free up (or at
+        // its submit time, whichever is later) given the FIFO processing
+        // order — no job is delayed beyond what the allocation implies.
+        let mut free = vec![0.0f64; 8];
+        for f in finished {
+            let slots_free = f
+                .nodes
+                .iter()
+                .map(|&n| free[n])
+                .fold(f.job.submit_s, f64::max);
+            prop_assert!(
+                (f.start_s - slots_free).abs() < 1e-6,
+                "job {} started at {} but its slots freed at {}",
+                f.job.id,
+                f.start_s,
+                slots_free
+            );
+            for &n in &f.nodes {
+                free[n] = f.end_s;
+            }
+        }
+
+        // Jobs never start before submission; durations are positive.
+        for f in finished {
+            prop_assert!(f.start_s >= f.job.submit_s - 1e-9);
+            prop_assert!(f.end_s > f.start_s);
+            prop_assert!(f.dc_energy_j > 0.0);
+        }
+
+        // Makespan is the latest end time.
+        let latest = finished.iter().map(|f| f.end_s).fold(0.0f64, f64::max);
+        prop_assert!((sched.makespan_s() - latest).abs() < 1e-6);
+
+        // Accounting has exactly one record per EAR-enabled job.
+        let ear_jobs = finished.iter().filter(|f| f.record.is_some()).count();
+        prop_assert_eq!(sched.accounting().records().len(), ear_jobs);
+    }
+}

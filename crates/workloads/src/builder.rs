@@ -1,0 +1,205 @@
+//! Building runnable jobs from calibrated workloads.
+
+use crate::calibration::CalibratedWorkload;
+use crate::spec::AppClass;
+use ear_mpisim::{IterationSpec, JobSpec, MpiCall, MpiEvent};
+
+/// The per-iteration MPI call pattern of an application.
+///
+/// Patterns are distinctive per application (DynAIS must tell them apart)
+/// and stable across iterations (DynAIS must detect the loop). Non-MPI
+/// kernels return an empty pattern — EARL then operates time-guided.
+pub fn event_pattern(name: &str, nodes: usize) -> Vec<MpiEvent> {
+    let n = nodes as u64;
+    match name {
+        "BQCD" => vec![
+            MpiEvent::new(MpiCall::Isend, 196_608, 1),
+            MpiEvent::new(MpiCall::Irecv, 196_608, 1),
+            MpiEvent::new(MpiCall::Wait, 0, 0),
+            MpiEvent::collective(MpiCall::Allreduce, 64),
+        ],
+        "BT-MZ" | "BT-MZ.C (MPI)" => vec![
+            MpiEvent::new(MpiCall::Isend, 524_288, 1),
+            MpiEvent::new(MpiCall::Irecv, 524_288, 1),
+            MpiEvent::new(MpiCall::Isend, 524_288, 2),
+            MpiEvent::new(MpiCall::Irecv, 524_288, 2),
+            MpiEvent::new(MpiCall::Wait, 0, 0),
+        ],
+        "GROMACS (I)" | "GROMACS (II)" => vec![
+            MpiEvent::new(MpiCall::Sendrecv, 131_072, 1),
+            MpiEvent::new(MpiCall::Sendrecv, 131_072, 2),
+            MpiEvent::collective(MpiCall::Allreduce, 1024),
+        ],
+        "HPCG" => vec![
+            MpiEvent::new(MpiCall::Isend, 65_536, 1),
+            MpiEvent::new(MpiCall::Irecv, 65_536, 1),
+            MpiEvent::new(MpiCall::Wait, 0, 0),
+            MpiEvent::collective(MpiCall::Allreduce, 8),
+            MpiEvent::collective(MpiCall::Allreduce, 8),
+        ],
+        "POP" => vec![
+            MpiEvent::new(MpiCall::Isend, 262_144, 1),
+            MpiEvent::new(MpiCall::Irecv, 262_144, 1),
+            MpiEvent::new(MpiCall::Wait, 0, 0),
+            MpiEvent::collective(MpiCall::Allreduce, 16),
+            MpiEvent::collective(MpiCall::Bcast, 256),
+        ],
+        "DUMSES" => vec![
+            MpiEvent::new(MpiCall::Isend, 1_048_576, 1),
+            MpiEvent::new(MpiCall::Irecv, 1_048_576, 1),
+            MpiEvent::new(MpiCall::Wait, 0, 0),
+            MpiEvent::collective(MpiCall::Barrier, 0),
+        ],
+        "AFiD" => vec![
+            MpiEvent::collective(MpiCall::Alltoall, 2_097_152 / n.max(1)),
+            MpiEvent::collective(MpiCall::Allreduce, 64),
+        ],
+        "COMM-HEAVY (synthetic)" => vec![
+            MpiEvent::new(MpiCall::Isend, 65_536, 1),
+            MpiEvent::new(MpiCall::Irecv, 65_536, 1),
+            MpiEvent::new(MpiCall::Isend, 65_536, 2),
+            MpiEvent::new(MpiCall::Irecv, 65_536, 2),
+            MpiEvent::new(MpiCall::Wait, 0, 0),
+            MpiEvent::collective(MpiCall::Allreduce, 16),
+            MpiEvent::collective(MpiCall::Barrier, 0),
+        ],
+        "LU.D (MPI)" => vec![
+            MpiEvent::new(MpiCall::Send, 40_960, 1),
+            MpiEvent::new(MpiCall::Recv, 40_960, 1),
+            MpiEvent::collective(MpiCall::Allreduce, 40),
+        ],
+        // OpenMP / CUDA / MKL kernels issue no MPI calls.
+        _ => vec![],
+    }
+}
+
+/// Builds the runnable [`JobSpec`] of a calibrated workload.
+pub fn build_job(w: &CalibratedWorkload) -> JobSpec {
+    let t = &w.targets;
+    JobSpec::homogeneous(
+        t.name,
+        t.nodes,
+        t.ranks_per_node,
+        event_pattern(t.name, t.nodes),
+        w.demand.clone(),
+        t.iterations,
+    )
+}
+
+/// Builds a job whose signature changes mid-run: the first `head` iterations
+/// use the calibrated demand, the rest scale instructions and memory by the
+/// given factors (used to exercise EARL's phase-change paths and the
+/// paper's "signature changes during IMC selection" check).
+pub fn build_phase_change_job(
+    w: &CalibratedWorkload,
+    head: usize,
+    inst_factor: f64,
+    mem_factor: f64,
+) -> JobSpec {
+    let t = &w.targets;
+    let events_a = event_pattern(t.name, t.nodes);
+    // A different (still repetitive) MPI pattern for the second phase, so
+    // DynAIS sees the structural change too.
+    let mut events_b = events_a.clone();
+    events_b.push(MpiEvent::collective(MpiCall::Barrier, 0));
+    let mut demand_b = w.demand.clone();
+    demand_b.instructions *= inst_factor;
+    demand_b.mem_bytes *= mem_factor;
+
+    let iterations = (0..t.iterations)
+        .map(|i| {
+            if i < head {
+                IterationSpec {
+                    events: events_a.clone(),
+                    demand: w.demand.clone(),
+                    comm: None,
+                }
+            } else {
+                IterationSpec {
+                    events: events_b.clone(),
+                    demand: demand_b.clone(),
+                    comm: None,
+                }
+            }
+        })
+        .collect();
+    JobSpec {
+        name: format!("{} (phase change)", t.name),
+        nodes: t.nodes,
+        ranks_per_node: t.ranks_per_node,
+        iterations,
+    }
+}
+
+/// True when the workload drives EARL through MPI interception (vs the
+/// time-guided fallback).
+pub fn is_mpi(w: &CalibratedWorkload) -> bool {
+    !event_pattern(w.targets.name, w.targets.nodes).is_empty() && w.targets.class != AppClass::Gpu
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps;
+    use crate::calibration::calibrate;
+    use crate::kernels;
+
+    #[test]
+    fn mpi_apps_have_patterns() {
+        for a in apps::table5_apps() {
+            let p = event_pattern(a.name, a.nodes);
+            assert!(!p.is_empty(), "{} should have an MPI pattern", a.name);
+        }
+    }
+
+    #[test]
+    fn kernels_have_no_patterns() {
+        for k in [
+            kernels::bt_mz_omp_c(),
+            kernels::sp_mz_omp_c(),
+            kernels::dgemm(),
+        ] {
+            assert!(event_pattern(k.name, k.nodes).is_empty(), "{}", k.name);
+        }
+    }
+
+    #[test]
+    fn patterns_are_distinct_across_apps() {
+        let mut hashes: Vec<Vec<u64>> = apps::table5_apps()
+            .iter()
+            .map(|a| {
+                event_pattern(a.name, a.nodes)
+                    .iter()
+                    .map(|e| e.dynais_sample())
+                    .collect()
+            })
+            .collect();
+        hashes.sort();
+        let before = hashes.len();
+        hashes.dedup();
+        // GROMACS I and II share a pattern (same application); everything
+        // else must differ.
+        assert!(hashes.len() >= before - 1, "too many identical patterns");
+    }
+
+    #[test]
+    fn build_job_shape() {
+        let c = calibrate(&apps::bqcd()).unwrap();
+        let job = build_job(&c);
+        assert_eq!(job.nodes, 4);
+        assert_eq!(job.iterations.len(), 87);
+        assert!(job.validate().is_ok());
+    }
+
+    #[test]
+    fn phase_change_job_switches_demand() {
+        let c = calibrate(&apps::bqcd()).unwrap();
+        let job = build_phase_change_job(&c, 10, 2.0, 0.5);
+        assert_eq!(job.iterations.len(), 87);
+        let a = &job.iterations[0];
+        let b = &job.iterations[20];
+        assert!(b.demand.instructions > a.demand.instructions * 1.5);
+        assert!(b.events.len() > a.events.len());
+        assert!(job.validate().is_ok());
+    }
+}

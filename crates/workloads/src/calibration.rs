@@ -1,0 +1,367 @@
+//! Inverting the simulator models to hit the paper's measured numbers.
+//!
+//! Given a [`WorkloadTargets`] (time, CPI, GB/s, DC power at nominal
+//! frequency), calibration solves — in closed form — for the per-iteration
+//! [`PhaseDemand`] that reproduces those numbers when replayed on the
+//! simulated node at nominal frequency:
+//!
+//! 1. `bytes` from the GB/s target and iteration time.
+//! 2. Total instructions from the CPI target, given that cycles accrue at
+//!    the effective frequency during work and the spin frequency during
+//!    MPI waits (spin instructions retire at [`SPIN_CPI`]).
+//! 3. `cpi_core` residually from the performance model's time
+//!    decomposition: whatever part of the work time is not uncore latency
+//!    or exposed DRAM bandwidth must be core-scalable cycles.
+//! 4. The core `activity` factor (or GPU draw, for GPU workloads)
+//!    residually from the power model and the DC power target.
+//!
+//! Errors are returned (not panics) when targets are physically
+//! infeasible — e.g. a GB/s target above the bandwidth the performance
+//! model can deliver, or a communication fraction that leaves no room for
+//! the instruction budget.
+
+use crate::spec::{AppClass, WorkloadTargets};
+use ear_archsim::perf::achievable_bw;
+use ear_archsim::power::{self, SocketPowerInput};
+use ear_archsim::{NodeConfig, PhaseDemand, SPIN_CPI};
+
+/// A workload whose demand reproduces its paper characterisation.
+#[derive(Debug, Clone)]
+pub struct CalibratedWorkload {
+    /// The original targets.
+    pub targets: WorkloadTargets,
+    /// Per-iteration, per-node demand at nominal frequency.
+    pub demand: PhaseDemand,
+    /// The node configuration the demand was calibrated against.
+    pub node_config: NodeConfig,
+}
+
+/// Calibration failure: the targets cannot be realised by the models.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationError {
+    /// Workload name.
+    pub workload: &'static str,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl std::fmt::Display for CalibrationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "calibration of {} failed: {}",
+            self.workload, self.reason
+        )
+    }
+}
+
+impl std::error::Error for CalibrationError {}
+
+/// Calibrates `targets` against its platform's node configuration.
+pub fn calibrate(targets: &WorkloadTargets) -> Result<CalibratedWorkload, CalibrationError> {
+    let err = |reason: String| CalibrationError {
+        workload: targets.name,
+        reason,
+    };
+    targets.validate().map_err(err)?;
+    let cfg = targets.platform.node_config();
+
+    match targets.class {
+        AppClass::Gpu => calibrate_gpu(targets, cfg),
+        _ => calibrate_cpu(targets, cfg),
+    }
+}
+
+/// CPU/memory workloads: work portion plus optional MPI busy-wait.
+fn calibrate_cpu(
+    t: &WorkloadTargets,
+    cfg: NodeConfig,
+) -> Result<CalibratedWorkload, CalibrationError> {
+    let err = |reason: String| CalibrationError {
+        workload: t.name,
+        reason,
+    };
+
+    let a = t.active_cores as f64;
+    let nominal_ps = cfg.pstates.nominal();
+    let f_eff = cfg.pstates.effective_khz(nominal_ps, t.vpi) * 1e3; // Hz
+    let f_spin = cfg.pstates.nominal_khz() as f64 * 1e3;
+
+    let t_iter = t.iter_time_s();
+    let wait_s = t.comm_fraction * t_iter;
+    let t_work = t_iter - wait_s;
+    if t_work <= 0.0 {
+        return Err(err("communication fraction leaves no work time".into()));
+    }
+
+    let bytes = t.bytes_per_iter();
+    let trans = bytes / 64.0;
+
+    // Instruction budget from the CPI target.
+    let cycles_total = a * f_eff * t_work + a * f_spin * wait_s;
+    let inst_total = cycles_total / t.cpi;
+    let spin_inst = a * f_spin * wait_s / SPIN_CPI;
+    let inst_work = inst_total - spin_inst;
+    if inst_work <= 0.0 {
+        return Err(err(format!(
+            "CPI target {} infeasible: spin instructions alone exceed the budget",
+            t.cpi
+        )));
+    }
+
+    // Time decomposition at the calibration uncore frequency.
+    let f_u = t.calib_uncore_ghz;
+    let t_unc = trans * t.uncore_lat_cycles / (a * f_u * 1e9);
+    let t_bw_raw = bytes / achievable_bw(&cfg.perf, f_u);
+    if t_bw_raw > t_work {
+        return Err(err(format!(
+            "GB/s target {} exceeds what the bandwidth model allows in the work time",
+            t.gbs
+        )));
+    }
+    let exposed = (1.0 - t.mem_overlap) * t_bw_raw;
+    let t_core = t_work - t_unc - exposed;
+    if t_core <= 0.0 {
+        return Err(err(
+            "uncore latency + exposed bandwidth exceed the work time; \
+             lower uncore_lat_cycles or raise mem_overlap"
+                .into(),
+        ));
+    }
+    let cpi_core = t_core * a * f_eff / inst_work;
+
+    // Activity factor from the DC power target (time-weighted between the
+    // work and wait portions of the iteration).
+    let mem_util_work = (bytes / t_work / cfg.perf.bw_peak_bytes).clamp(0.0, 1.0);
+    let gbs_work = bytes / t_work / 1e9;
+    let socket_active = split_active(t.active_cores, cfg.sockets);
+
+    let mut k_work = 0.0; // dP/d(activity) during work, node total
+    let mut p_rest_work = cfg.power.platform_w + power::dram_power(&cfg.power, gbs_work);
+    let mut p_wait = cfg.power.platform_w + power::dram_power(&cfg.power, 0.0);
+    for &active in &socket_active {
+        let idle = cfg.cores_per_socket - active;
+        let avx_factor = 1.0 + (cfg.power.avx512_power_factor - 1.0) * t.vpi;
+        k_work += active as f64
+            * cfg.power.core_dyn_w
+            * (f_eff * 1e-9).powf(cfg.power.core_freq_exp)
+            * avx_factor;
+        p_rest_work += cfg.power.pkg_static_w
+            + power::uncore_power(&cfg.power, f_u, mem_util_work)
+            + idle as f64 * cfg.power.core_idle_w;
+        // Wait portion: cores spin at nominal, scalar, no memory traffic.
+        let spin = SocketPowerInput {
+            active_cores: active,
+            total_cores: cfg.cores_per_socket,
+            f_core_ghz: f_spin * 1e-9,
+            activity: cfg.power.spin_activity,
+            avx512_fraction: 0.0,
+            f_uncore_ghz: f_u,
+            mem_util: 0.0,
+        };
+        p_wait += power::pkg_power(&cfg.power, &spin);
+    }
+
+    let needed_work_power = (t.dc_power_w * t_iter - p_wait * wait_s) / t_work;
+    let activity = (needed_work_power - p_rest_work) / k_work;
+    if !(0.05..=1.3).contains(&activity) {
+        return Err(err(format!(
+            "DC power target {} W needs activity {activity:.2}, outside the physical range",
+            t.dc_power_w
+        )));
+    }
+    let activity = activity.clamp(0.05, 1.0);
+
+    let demand = PhaseDemand {
+        instructions: inst_work,
+        avx512_fraction: t.vpi,
+        mem_bytes: bytes,
+        cpi_core,
+        uncore_lat_cycles: t.uncore_lat_cycles,
+        mem_overlap: t.mem_overlap,
+        active_cores: t.active_cores,
+        activity,
+        wait_seconds: wait_s,
+        wait_busy: true,
+        gpu_power_w: 0.0,
+        hw_ufs_bias: t.hw_ufs_bias,
+    };
+    demand.validate().map_err(err)?;
+    Ok(CalibratedWorkload {
+        targets: t.clone(),
+        demand,
+        node_config: cfg,
+    })
+}
+
+/// GPU kernels: a single busy-waiting core; the accelerator sets the pace.
+/// The whole iteration is modelled as busy-wait (time is CPU-frequency
+/// independent, CPI is the spin loop's — matching the paper's Table II
+/// where the CUDA kernels show CPI ≈ 0.5 and ≈ 0 GB/s).
+fn calibrate_gpu(
+    t: &WorkloadTargets,
+    cfg: NodeConfig,
+) -> Result<CalibratedWorkload, CalibrationError> {
+    let err = |reason: String| CalibrationError {
+        workload: t.name,
+        reason,
+    };
+    let t_iter = t.iter_time_s();
+    let f_spin = cfg.pstates.nominal_khz() as f64 * 1e-6; // GHz
+
+    // Node power without the active GPU draw.
+    let socket_active = split_active(t.active_cores, cfg.sockets);
+    let mut p_node = cfg.power.platform_w
+        + power::dram_power(&cfg.power, t.gbs)
+        + cfg.gpus as f64 * cfg.power.gpu_idle_w;
+    for &active in &socket_active {
+        let spin = SocketPowerInput {
+            active_cores: active,
+            total_cores: cfg.cores_per_socket,
+            f_core_ghz: f_spin,
+            activity: cfg.power.spin_activity,
+            avx512_fraction: 0.0,
+            f_uncore_ghz: 2.4,
+            mem_util: 0.0,
+        };
+        p_node += power::pkg_power(&cfg.power, &spin);
+    }
+    let gpu_power_w = t.dc_power_w - p_node;
+    if gpu_power_w < 0.0 {
+        return Err(err(format!(
+            "DC power target {} W is below the node's own draw {p_node:.0} W",
+            t.dc_power_w
+        )));
+    }
+
+    let demand = PhaseDemand {
+        instructions: 0.0,
+        avx512_fraction: 0.0,
+        mem_bytes: 0.0,
+        cpi_core: 1.0,
+        uncore_lat_cycles: t.uncore_lat_cycles,
+        mem_overlap: t.mem_overlap,
+        active_cores: t.active_cores,
+        activity: cfg.power.spin_activity,
+        wait_seconds: t_iter,
+        wait_busy: true,
+        gpu_power_w,
+        hw_ufs_bias: t.hw_ufs_bias,
+    };
+    Ok(CalibratedWorkload {
+        targets: t.clone(),
+        demand,
+        node_config: cfg,
+    })
+}
+
+/// Distributes active cores over sockets, filling socket 0 first for
+/// single-core workloads but balancing full-node ones.
+fn split_active(total_active: usize, sockets: usize) -> Vec<usize> {
+    let per = total_active / sockets;
+    let rem = total_active % sockets;
+    (0..sockets).map(|i| per + usize::from(i < rem)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Platform;
+
+    fn targets() -> WorkloadTargets {
+        WorkloadTargets {
+            name: "unit",
+            class: AppClass::CpuBound,
+            platform: Platform::Sd530,
+            nodes: 1,
+            ranks_per_node: 40,
+            active_cores: 40,
+            time_s: 120.0,
+            iterations: 60,
+            cpi: 0.5,
+            gbs: 20.0,
+            dc_power_w: 330.0,
+            vpi: 0.0,
+            comm_fraction: 0.05,
+            mem_overlap: 0.6,
+            uncore_lat_cycles: 4.0,
+            hw_ufs_bias: 0.0,
+            calib_uncore_ghz: 2.4,
+        }
+    }
+
+    #[test]
+    fn calibration_produces_valid_demand() {
+        let c = calibrate(&targets()).expect("calibrates");
+        assert!(c.demand.validate().is_ok());
+        assert!(c.demand.instructions > 0.0);
+        assert!(c.demand.cpi_core > 0.0);
+        assert!((0.05..=1.0).contains(&c.demand.activity));
+    }
+
+    #[test]
+    fn infeasible_bandwidth_rejected() {
+        let mut t = targets();
+        t.gbs = 500.0; // above any achievable bandwidth
+        let e = calibrate(&t).unwrap_err();
+        assert!(e.reason.contains("GB/s"), "{e}");
+    }
+
+    #[test]
+    fn infeasible_cpi_rejected() {
+        let mut t = targets();
+        // Nearly all time is communication: spin instructions blow the
+        // budget implied by a high CPI target.
+        t.comm_fraction = 0.95;
+        t.cpi = 5.0;
+        let e = calibrate(&t).unwrap_err();
+        assert!(e.reason.contains("CPI"), "{e}");
+    }
+
+    #[test]
+    fn absurd_power_target_rejected() {
+        let mut t = targets();
+        t.dc_power_w = 5000.0;
+        assert!(calibrate(&t).is_err());
+        t.dc_power_w = 50.0;
+        assert!(calibrate(&t).is_err());
+    }
+
+    #[test]
+    fn gpu_calibration_solves_gpu_draw() {
+        let t = WorkloadTargets {
+            name: "gpu-unit",
+            class: AppClass::Gpu,
+            platform: Platform::GpuNode,
+            nodes: 1,
+            ranks_per_node: 1,
+            active_cores: 1,
+            time_s: 400.0,
+            iterations: 200,
+            cpi: 0.5,
+            gbs: 0.1,
+            dc_power_w: 305.0,
+            vpi: 0.0,
+            comm_fraction: 0.0,
+            mem_overlap: 0.5,
+            uncore_lat_cycles: 4.0,
+            hw_ufs_bias: 0.0,
+            calib_uncore_ghz: 2.4,
+        };
+        let c = calibrate(&t).expect("calibrates");
+        assert!(
+            c.demand.gpu_power_w > 20.0 && c.demand.gpu_power_w < 250.0,
+            "gpu draw {}",
+            c.demand.gpu_power_w
+        );
+        assert_eq!(c.demand.active_cores, 1);
+        assert!((c.demand.wait_seconds - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn split_active_balances() {
+        assert_eq!(split_active(40, 2), vec![20, 20]);
+        assert_eq!(split_active(1, 2), vec![1, 0]);
+        assert_eq!(split_active(39, 2), vec![20, 19]);
+    }
+}

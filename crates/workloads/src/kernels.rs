@@ -1,0 +1,228 @@
+//! Single-node kernels (paper Table II, plus the Table I MPI kernels).
+//!
+//! Targets are the paper's measured characterisation at nominal frequency.
+//! Structural parameters (overlap, uncore latency weight, communication
+//! fraction) are class choices documented per kernel; `hw_ufs_bias`
+//! calibrates the opaque firmware uncore heuristic to the hardware
+//! selections the paper reports (Table IV).
+
+use crate::spec::{AppClass, Platform, WorkloadTargets};
+
+/// BT-MZ class C, OpenMP, one node (Table II row 1).
+pub fn bt_mz_omp_c() -> WorkloadTargets {
+    WorkloadTargets {
+        name: "BT-MZ.C (OpenMP)",
+        class: AppClass::CpuBound,
+        platform: Platform::Sd530,
+        nodes: 1,
+        ranks_per_node: 1,
+        active_cores: 40,
+        time_s: 145.0,
+        iterations: 96,
+        cpi: 0.39,
+        gbs: 28.0,
+        dc_power_w: 332.0,
+        vpi: 0.04,
+        comm_fraction: 0.0,
+        mem_overlap: 0.6,
+        uncore_lat_cycles: 11.0,
+        hw_ufs_bias: 0.0,
+        calib_uncore_ghz: 2.4,
+    }
+}
+
+/// SP-MZ class C, OpenMP, one node (Table II row 2).
+pub fn sp_mz_omp_c() -> WorkloadTargets {
+    WorkloadTargets {
+        name: "SP-MZ.C (OpenMP)",
+        class: AppClass::CpuBound,
+        platform: Platform::Sd530,
+        nodes: 1,
+        ranks_per_node: 1,
+        active_cores: 40,
+        time_s: 264.0,
+        iterations: 176,
+        cpi: 0.53,
+        gbs: 78.0,
+        dc_power_w: 358.0,
+        vpi: 0.04,
+        comm_fraction: 0.0,
+        mem_overlap: 0.8,
+        uncore_lat_cycles: 6.0,
+        hw_ufs_bias: 0.0,
+        calib_uncore_ghz: 2.4,
+    }
+}
+
+/// BT class D, CUDA: one busy-waiting core, one V100 (Table II row 3).
+pub fn bt_cuda_d() -> WorkloadTargets {
+    WorkloadTargets {
+        name: "BT.CUDA.D",
+        class: AppClass::Gpu,
+        platform: Platform::GpuNode,
+        nodes: 1,
+        ranks_per_node: 1,
+        active_cores: 1,
+        time_s: 465.0,
+        iterations: 310,
+        cpi: 0.49,
+        gbs: 0.09,
+        dc_power_w: 305.0,
+        vpi: 0.0,
+        comm_fraction: 0.0,
+        mem_overlap: 0.5,
+        uncore_lat_cycles: 4.0,
+        // Table IV: the firmware settles near 1.5 GHz once DVFS goes
+        // sub-nominal on the spin core.
+        hw_ufs_bias: 0.22,
+        calib_uncore_ghz: 2.4,
+    }
+}
+
+/// LU class D, CUDA (Table II row 4).
+pub fn lu_cuda_d() -> WorkloadTargets {
+    WorkloadTargets {
+        name: "LU.CUDA.D",
+        class: AppClass::Gpu,
+        platform: Platform::GpuNode,
+        nodes: 1,
+        ranks_per_node: 1,
+        active_cores: 1,
+        time_s: 256.0,
+        iterations: 170,
+        cpi: 0.54,
+        gbs: 0.19,
+        dc_power_w: 290.0,
+        vpi: 0.0,
+        comm_fraction: 0.0,
+        mem_overlap: 0.5,
+        uncore_lat_cycles: 4.0,
+        hw_ufs_bias: 0.22,
+        calib_uncore_ghz: 2.4,
+    }
+}
+
+/// DGEMM (MKL): 100 % AVX512, one node (Table II row 5). The AVX licence
+/// caps the delivered frequency at 2.2 GHz, so the firmware picks a
+/// sub-maximum uncore even with no policy (Table IV: 1.98 GHz).
+pub fn dgemm() -> WorkloadTargets {
+    WorkloadTargets {
+        name: "DGEMM",
+        class: AppClass::CpuBound,
+        platform: Platform::Sd530,
+        nodes: 1,
+        ranks_per_node: 1,
+        active_cores: 40,
+        time_s: 160.0,
+        iterations: 107,
+        cpi: 0.45,
+        gbs: 98.0,
+        dc_power_w: 369.0,
+        vpi: 1.0,
+        comm_fraction: 0.0,
+        mem_overlap: 0.85,
+        uncore_lat_cycles: 5.0,
+        hw_ufs_bias: -0.35,
+        calib_uncore_ghz: 1.98,
+    }
+}
+
+/// BT-MZ class C as the paper's Table I runs it: 160 MPI processes over
+/// four nodes. Time and power are not reported in Table I; we use values
+/// consistent with the class-D MPI run (documented estimate).
+pub fn bt_mz_mpi_c() -> WorkloadTargets {
+    WorkloadTargets {
+        name: "BT-MZ.C (MPI)",
+        class: AppClass::CpuBound,
+        platform: Platform::Sd530,
+        nodes: 4,
+        ranks_per_node: 40,
+        active_cores: 40,
+        time_s: 200.0,
+        iterations: 133,
+        cpi: 0.38,
+        gbs: 10.19,
+        dc_power_w: 330.0,
+        vpi: 0.04,
+        comm_fraction: 0.06,
+        mem_overlap: 0.6,
+        uncore_lat_cycles: 28.0,
+        hw_ufs_bias: 0.0,
+        calib_uncore_ghz: 2.4,
+    }
+}
+
+/// LU class D as Table I runs it: 2 processes on two nodes, 40 OpenMP
+/// threads each — the memory-intensive motivation case. Time and power are
+/// estimates (not in Table I).
+pub fn lu_mpi_d() -> WorkloadTargets {
+    WorkloadTargets {
+        name: "LU.D (MPI)",
+        class: AppClass::MemoryBound,
+        platform: Platform::Sd530,
+        nodes: 2,
+        ranks_per_node: 1,
+        active_cores: 40,
+        time_s: 300.0,
+        iterations: 200,
+        cpi: 1.04,
+        gbs: 75.93,
+        dc_power_w: 345.0,
+        vpi: 0.02,
+        comm_fraction: 0.05,
+        mem_overlap: 0.85,
+        uncore_lat_cycles: 8.0,
+        hw_ufs_bias: 0.2,
+        calib_uncore_ghz: 2.4,
+    }
+}
+
+/// All Table II kernels, in table order.
+pub fn table2_kernels() -> Vec<WorkloadTargets> {
+    vec![
+        bt_mz_omp_c(),
+        sp_mz_omp_c(),
+        bt_cuda_d(),
+        lu_cuda_d(),
+        dgemm(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibration::calibrate;
+
+    #[test]
+    fn every_kernel_calibrates() {
+        for k in table2_kernels() {
+            calibrate(&k).unwrap_or_else(|e| panic!("{e}"));
+        }
+        calibrate(&bt_mz_mpi_c()).unwrap();
+        calibrate(&lu_mpi_d()).unwrap();
+    }
+
+    #[test]
+    fn kernel_iteration_times_are_policy_friendly() {
+        // EARL computes signatures per iteration; iterations in the low
+        // seconds keep the INM 1 s counter meaningful.
+        for k in table2_kernels() {
+            let t = k.iter_time_s();
+            assert!((0.8..4.0).contains(&t), "{}: iter time {t}", k.name);
+        }
+    }
+
+    #[test]
+    fn cuda_kernels_use_one_core() {
+        assert_eq!(bt_cuda_d().active_cores, 1);
+        assert_eq!(lu_cuda_d().active_cores, 1);
+        assert_eq!(bt_cuda_d().platform, Platform::GpuNode);
+    }
+
+    #[test]
+    fn dgemm_is_pure_avx512() {
+        let d = dgemm();
+        assert_eq!(d.vpi, 1.0);
+        assert!(d.calib_uncore_ghz < 2.4);
+    }
+}

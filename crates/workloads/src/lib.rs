@@ -1,0 +1,71 @@
+//! # ear-workloads — calibrated models of the paper's applications
+//!
+//! The paper evaluates five single-node kernels (Table II) and eight MPI
+//! applications (Table V). We cannot run BQCD, GROMACS, HPCG, POP, DUMSES
+//! or AFiD here, so each is replaced by a synthetic workload whose
+//! *signature* — execution time, CPI, GB/s, VPI and DC node power at
+//! nominal frequency — is calibrated to the paper's measured
+//! characterisation. The EAR policies only ever observe signatures, so a
+//! workload with the paper's signature drives the policies through the
+//! same decisions (see DESIGN.md for the substitution argument).
+//!
+//! Calibration is exact and closed-form ([`calibration`]); a replay test
+//! in `tests/replay.rs` asserts that simulating each workload at nominal
+//! frequency reproduces the paper's Tables II and V within tolerance.
+
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod builder;
+pub mod calibration;
+pub mod kernels;
+pub mod phases;
+pub mod spec;
+pub mod synthetic;
+
+pub use builder::{build_job, build_phase_change_job, event_pattern, is_mpi};
+pub use calibration::{calibrate, CalibratedWorkload, CalibrationError};
+pub use phases::{MultiPhaseApp, PhaseSpec};
+pub use spec::{AppClass, Platform, WorkloadTargets};
+
+/// Every workload in the paper's evaluation: Table II kernels, the Table I
+/// MPI kernels, and the Table V applications.
+pub fn full_catalog() -> Vec<WorkloadTargets> {
+    let mut v = kernels::table2_kernels();
+    v.push(kernels::bt_mz_mpi_c());
+    v.push(kernels::lu_mpi_d());
+    v.extend(apps::table5_apps());
+    v
+}
+
+/// Looks a workload up by its paper name.
+pub fn by_name(name: &str) -> Option<WorkloadTargets> {
+    full_catalog().into_iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_complete() {
+        // 5 Table II kernels + 2 Table I MPI kernels + 8 Table V apps.
+        assert_eq!(full_catalog().len(), 15);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = full_catalog().iter().map(|w| w.name).collect();
+        names.sort_unstable();
+        let n = names.len();
+        names.dedup();
+        assert_eq!(names.len(), n);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("HPCG").is_some());
+        assert!(by_name("BQCD").is_some());
+        assert!(by_name("nonexistent").is_none());
+    }
+}

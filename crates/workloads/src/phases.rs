@@ -1,0 +1,156 @@
+//! Multi-phase applications.
+//!
+//! Real applications alternate phases (GROMACS: bonded forces vs PME;
+//! DUMSES: hydro step vs output). EARL handles this with signature-change
+//! detection and policy restarts (paper §V-B); this module builds jobs
+//! whose iterations cycle through differently-characterised phases so
+//! those paths can be evaluated, not just unit-tested.
+
+use crate::builder::event_pattern;
+use crate::calibration::{calibrate, CalibratedWorkload, CalibrationError};
+use crate::spec::WorkloadTargets;
+use ear_mpisim::{IterationSpec, JobSpec, MpiCall, MpiEvent};
+
+/// One phase: a fully-specified workload plus how many consecutive outer
+/// iterations it lasts per cycle.
+#[derive(Debug, Clone)]
+pub struct PhaseSpec {
+    /// The phase's characterisation (same shape as a whole application's).
+    pub targets: WorkloadTargets,
+    /// Consecutive iterations of this phase per cycle.
+    pub iterations_per_cycle: usize,
+}
+
+/// A multi-phase application: phases cycle until `total_iterations`.
+#[derive(Debug, Clone)]
+pub struct MultiPhaseApp {
+    /// Display name.
+    pub name: String,
+    /// The phases, in cycle order. All phases must share the topology
+    /// (nodes, ranks) of the first.
+    pub phases: Vec<PhaseSpec>,
+    /// Total outer iterations.
+    pub total_iterations: usize,
+}
+
+impl MultiPhaseApp {
+    /// Builds the runnable job: each phase is calibrated independently and
+    /// its MPI pattern gets a phase-distinct marker collective so DynAIS
+    /// sees the structural change.
+    pub fn build_job(&self) -> Result<JobSpec, CalibrationError> {
+        assert!(!self.phases.is_empty(), "a multi-phase app needs phases");
+        let nodes = self.phases[0].targets.nodes;
+        let ranks = self.phases[0].targets.ranks_per_node;
+        for p in &self.phases {
+            assert_eq!(p.targets.nodes, nodes, "phases must share topology");
+            assert_eq!(
+                p.targets.ranks_per_node, ranks,
+                "phases must share topology"
+            );
+        }
+        let calibrated: Vec<CalibratedWorkload> = self
+            .phases
+            .iter()
+            .map(|p| calibrate(&p.targets))
+            .collect::<Result<_, _>>()?;
+
+        let mut iterations = Vec::with_capacity(self.total_iterations);
+        let cycle_len: usize = self
+            .phases
+            .iter()
+            .map(|p| p.iterations_per_cycle.max(1))
+            .sum();
+        let mut produced = 0;
+        while produced < self.total_iterations {
+            for (idx, (phase, cal)) in self.phases.iter().zip(&calibrated).enumerate() {
+                for _ in 0..phase.iterations_per_cycle.max(1) {
+                    if produced >= self.total_iterations {
+                        break;
+                    }
+                    let mut events = event_pattern(phase.targets.name, nodes);
+                    // Phase marker: a collective with a phase-unique size,
+                    // so each phase has a distinct DynAIS fingerprint.
+                    events.push(MpiEvent::collective(MpiCall::Allreduce, 64 + idx as u64));
+                    iterations.push(IterationSpec {
+                        events,
+                        demand: cal.demand.clone(),
+                        comm: None,
+                    });
+                    produced += 1;
+                }
+            }
+            debug_assert!(cycle_len > 0);
+        }
+        Ok(JobSpec {
+            name: self.name.clone(),
+            nodes,
+            ranks_per_node: ranks,
+            iterations,
+        })
+    }
+}
+
+/// A ready-made two-phase app: long compute-bound stretches interrupted by
+/// memory-bound I/O-like bursts (the DUMSES output pattern).
+pub fn compute_with_memory_bursts() -> MultiPhaseApp {
+    let mut compute = crate::apps::bt_mz_d();
+    compute.iterations = 1; // per-phase targets use their own time base
+    compute.time_s = 1.5;
+    let mut burst = crate::apps::hpcg();
+    burst.iterations = 1;
+    burst.time_s = 1.5;
+    burst.nodes = compute.nodes;
+    burst.ranks_per_node = compute.ranks_per_node;
+    burst.active_cores = compute.active_cores;
+    MultiPhaseApp {
+        name: "BT-MZ + HPCG bursts (synthetic phases)".to_string(),
+        phases: vec![
+            PhaseSpec {
+                targets: compute,
+                iterations_per_cycle: 30,
+            },
+            PhaseSpec {
+                targets: burst,
+                iterations_per_cycle: 10,
+            },
+        ],
+        total_iterations: 160,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_cycling_job() {
+        let app = compute_with_memory_bursts();
+        let job = app.build_job().unwrap();
+        assert_eq!(job.iterations.len(), 160);
+        assert!(job.validate().is_ok());
+        // Phases differ in demand.
+        let a = &job.iterations[0].demand;
+        let b = &job.iterations[35].demand;
+        assert!(
+            b.mem_bytes > a.mem_bytes * 5.0,
+            "{} vs {}",
+            b.mem_bytes,
+            a.mem_bytes
+        );
+        // Phase markers differ.
+        assert_ne!(
+            job.iterations[0].events.last(),
+            job.iterations[35].events.last()
+        );
+        // The cycle repeats: iteration 40 is compute again.
+        assert_eq!(job.iterations[40].demand, job.iterations[0].demand);
+    }
+
+    #[test]
+    #[should_panic(expected = "share topology")]
+    fn mismatched_topology_rejected() {
+        let mut app = compute_with_memory_bursts();
+        app.phases[1].targets.nodes = 2;
+        let _ = app.build_job();
+    }
+}

@@ -1,0 +1,90 @@
+//! Synthetic workloads beyond the paper's evaluation set.
+//!
+//! The paper's future work (§VIII) names two directions we exercise here:
+//! the `min_time_to_solution` integration and "the potential impact on
+//! high communication intensive applications". These generators produce
+//! workloads with controlled characteristics for those experiments and for
+//! stress tests.
+
+use crate::spec::{AppClass, Platform, WorkloadTargets};
+
+/// A highly communication-intensive application: half of every iteration
+/// is MPI waiting (e.g. a strongly-scaled halo-exchange code past its
+/// scaling sweet spot). The interesting question from §VIII: during MPI
+/// busy-waits the memory system idles, so how much uncore headroom exists?
+pub fn comm_intensive() -> WorkloadTargets {
+    WorkloadTargets {
+        name: "COMM-HEAVY (synthetic)",
+        class: AppClass::CpuBound,
+        platform: Platform::Sd530,
+        nodes: 8,
+        ranks_per_node: 40,
+        active_cores: 40,
+        time_s: 180.0,
+        iterations: 120,
+        cpi: 0.55,
+        gbs: 5.0,
+        dc_power_w: 295.0,
+        vpi: 0.02,
+        comm_fraction: 0.5,
+        mem_overlap: 0.6,
+        uncore_lat_cycles: 10.0,
+        hw_ufs_bias: 0.0,
+        calib_uncore_ghz: 2.4,
+    }
+}
+
+/// A configurable synthetic workload for sweeps: `mem_intensity` in [0, 1]
+/// interpolates between a compute-dense kernel (≈BT-MZ-like) and a
+/// bandwidth-saturating one (≈HPCG-like).
+pub fn parametric(mem_intensity: f64) -> WorkloadTargets {
+    let m = mem_intensity.clamp(0.0, 1.0);
+    WorkloadTargets {
+        name: "PARAMETRIC (synthetic)",
+        class: if m > 0.5 {
+            AppClass::MemoryBound
+        } else {
+            AppClass::CpuBound
+        },
+        platform: Platform::Sd530,
+        nodes: 1,
+        ranks_per_node: 1,
+        active_cores: 40,
+        time_s: 120.0,
+        iterations: 80,
+        cpi: 0.4 + 2.5 * m,
+        gbs: 8.0 + 165.0 * m,
+        dc_power_w: 320.0 + 20.0 * m,
+        vpi: 0.02,
+        comm_fraction: 0.0,
+        mem_overlap: 0.6 - 0.25 * m,
+        uncore_lat_cycles: 6.0 + 2.0 * m,
+        hw_ufs_bias: 0.0,
+        calib_uncore_ghz: 2.4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calibration::calibrate;
+
+    #[test]
+    fn comm_intensive_calibrates() {
+        let c = calibrate(&comm_intensive()).unwrap();
+        // Half the iteration is waiting.
+        assert!((c.demand.wait_seconds - 0.75).abs() < 1e-9);
+        assert!(c.demand.wait_busy);
+    }
+
+    #[test]
+    fn parametric_spans_the_intensity_range() {
+        for m in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let t = parametric(m);
+            calibrate(&t).unwrap_or_else(|e| panic!("m={m}: {e}"));
+        }
+        assert_eq!(parametric(0.1).class, AppClass::CpuBound);
+        assert_eq!(parametric(0.9).class, AppClass::MemoryBound);
+        assert!(parametric(1.0).gbs > parametric(0.0).gbs * 10.0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests for workload calibration: any *feasible* target set must
+//! calibrate, and the calibrated demand must reproduce the targets when
+//! replayed on the simulator — the closed-form inversion is exact.
+
+use ear_archsim::Cluster;
+use ear_mpisim::{run_job, JobSpec, MpiCall, MpiEvent, NullRuntime};
+use ear_workloads::calibrate;
+use ear_workloads::spec::{AppClass, Platform, WorkloadTargets};
+use proptest::prelude::*;
+
+/// Feasible target space: ranges where the closed-form solution exists
+/// (bandwidth below saturation headroom, CPI above the spin floor, power
+/// within the node's physical envelope).
+fn arb_targets() -> impl Strategy<Value = WorkloadTargets> {
+    (
+        0.4..2.0f64,     // cpi
+        2.0..120.0f64,   // gbs
+        300.0..360.0f64, // dc power
+        0.0..0.25f64,    // comm fraction
+        0.0..0.3f64,     // vpi
+        0.5..0.85f64,    // overlap
+        4.0..10.0f64,    // uncore lat cycles
+    )
+        .prop_map(
+            |(cpi, gbs, power, comm, vpi, overlap, lat)| WorkloadTargets {
+                name: "prop",
+                class: AppClass::CpuBound,
+                platform: Platform::Sd530,
+                nodes: 1,
+                ranks_per_node: 1,
+                active_cores: 40,
+                time_s: 18.0,
+                iterations: 12,
+                cpi,
+                gbs,
+                dc_power_w: power,
+                vpi,
+                comm_fraction: comm,
+                mem_overlap: overlap,
+                uncore_lat_cycles: lat,
+                hw_ufs_bias: 0.0,
+                calib_uncore_ghz: 2.4,
+            },
+        )
+}
+
+proptest! {
+    // Simulation-backed cases are slow-ish; 32 cases keep the test under
+    // a few seconds while covering the space.
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn calibration_roundtrips_on_feasible_targets(t in arb_targets()) {
+        let cal = match calibrate(&t) {
+            Ok(c) => c,
+            // Some corners are legitimately infeasible (e.g. high CPI with
+            // high comm: spin instructions exceed the budget). Rejecting
+            // with an error is correct behaviour; only panics are bugs.
+            Err(_) => return Ok(()),
+        };
+        let job = JobSpec::homogeneous(
+            "prop",
+            1,
+            1,
+            vec![
+                MpiEvent::new(MpiCall::Isend, 4096, 1),
+                MpiEvent::new(MpiCall::Irecv, 4096, 1),
+            ],
+            cal.demand.clone(),
+            t.iterations,
+        );
+        let mut cluster = Cluster::new(cal.node_config.clone(), 1, 4242);
+        let mut rts = vec![NullRuntime];
+        let report = run_job(&mut cluster, &job, &mut rts);
+
+        let rel = |got: f64, want: f64| (got - want).abs() / want.max(1e-9);
+        prop_assert!(rel(report.seconds(), t.time_s) < 0.04,
+            "time {} vs {}", report.seconds(), t.time_s);
+        prop_assert!(rel(report.cpi(), t.cpi) < 0.06,
+            "cpi {} vs {}", report.cpi(), t.cpi);
+        prop_assert!(rel(report.gbs(), t.gbs) < 0.06,
+            "gbs {} vs {}", report.gbs(), t.gbs);
+        // Power may clamp at the activity bound; allow a wider band.
+        prop_assert!(rel(report.avg_dc_power_w(), t.dc_power_w) < 0.10,
+            "power {} vs {}", report.avg_dc_power_w(), t.dc_power_w);
+    }
+
+    /// Calibration never panics anywhere in a much wider (often
+    /// infeasible) target space — errors are returned, not thrown.
+    #[test]
+    fn calibration_never_panics(
+        cpi in 0.1..6.0f64,
+        gbs in 0.0..400.0f64,
+        power in 100.0..600.0f64,
+        comm in 0.0..0.99f64,
+    ) {
+        let t = WorkloadTargets {
+            name: "wild",
+            class: AppClass::MemoryBound,
+            platform: Platform::Sd530,
+            nodes: 2,
+            ranks_per_node: 10,
+            active_cores: 40,
+            time_s: 30.0,
+            iterations: 20,
+            cpi,
+            gbs,
+            dc_power_w: power,
+            vpi: 0.0,
+            comm_fraction: comm,
+            mem_overlap: 0.7,
+            uncore_lat_cycles: 6.0,
+            hw_ufs_bias: 0.0,
+            calib_uncore_ghz: 2.4,
+        };
+        let _ = calibrate(&t); // Ok or Err, never panic
+    }
+}

@@ -1,0 +1,134 @@
+//! Replay test: simulating each calibrated workload at nominal frequency
+//! with no policy must reproduce the paper's characterisation (Tables I,
+//! II and V) — time, CPI, GB/s and DC node power — within tolerance.
+//!
+//! This is the foundation of the whole reproduction: the policies only see
+//! signatures, so matching signatures here means the policies face the
+//! paper's decision problems.
+
+use ear_archsim::Cluster;
+use ear_mpisim::{run_job, NullRuntime};
+use ear_workloads::spec::AppClass;
+use ear_workloads::{build_job, calibrate, full_catalog};
+
+#[test]
+fn every_workload_reproduces_its_characterisation() {
+    for targets in full_catalog() {
+        let cal = calibrate(&targets).unwrap_or_else(|e| panic!("{e}"));
+        let job = build_job(&cal);
+        let mut cluster = Cluster::new(cal.node_config.clone(), targets.nodes, 12345);
+        let mut rts = vec![NullRuntime; targets.nodes];
+        let report = run_job(&mut cluster, &job, &mut rts);
+
+        let name = targets.name;
+        let rel = |got: f64, want: f64| (got - want).abs() / want;
+
+        // Time within 3 %.
+        assert!(
+            rel(report.seconds(), targets.time_s) < 0.03,
+            "{name}: time {} vs target {}",
+            report.seconds(),
+            targets.time_s
+        );
+        // DC power within 6 % (DGEMM's activity clamps slightly).
+        assert!(
+            rel(report.avg_dc_power_w(), targets.dc_power_w) < 0.06,
+            "{name}: power {} vs target {}",
+            report.avg_dc_power_w(),
+            targets.dc_power_w
+        );
+        if targets.class == AppClass::Gpu {
+            // GPU kernels: CPI is the spin loop's; GB/s is ~0.
+            assert!(
+                (report.cpi() - 0.5).abs() < 0.05,
+                "{name}: cpi {} (spin expected)",
+                report.cpi()
+            );
+            assert!(report.gbs() < 0.5, "{name}: gbs {}", report.gbs());
+        } else {
+            assert!(
+                rel(report.cpi(), targets.cpi) < 0.05,
+                "{name}: cpi {} vs target {}",
+                report.cpi(),
+                targets.cpi
+            );
+            assert!(
+                rel(report.gbs(), targets.gbs) < 0.05,
+                "{name}: gbs {} vs target {}",
+                report.gbs(),
+                targets.gbs
+            );
+        }
+    }
+}
+
+#[test]
+fn characterisation_runs_at_nominal_cpu_frequency() {
+    // "No policy" executions run at the nominal CPU frequency; DGEMM's
+    // AVX512 licence caps delivery at 2.2 GHz (paper Table IV: 2.18).
+    for targets in full_catalog() {
+        let cal = calibrate(&targets).unwrap();
+        let job = build_job(&cal);
+        let mut cluster = Cluster::new(cal.node_config.clone(), targets.nodes, 7);
+        let mut rts = vec![NullRuntime; targets.nodes];
+        let report = run_job(&mut cluster, &job, &mut rts);
+        let nominal = cal.node_config.pstates.nominal_khz() as f64 * 1e-6;
+        // DGEMM: AVX512 licence cap (paper Table IV measures 2.18).
+        // CUDA kernels: one core at nominal, 31 halted cores waking for
+        // housekeeping at low frequency — the all-core average lands near
+        // 2.0 GHz (the paper's LU.CUDA row reports 2.02; its BT.CUDA row
+        // reports 2.44, a deviation documented in EXPERIMENTS.md).
+        let expect = match targets.class {
+            AppClass::Gpu => 2.0,
+            _ if targets.name == "DGEMM" => 2.2,
+            _ => nominal,
+        };
+        assert!(
+            (report.avg_cpu_ghz() - expect).abs() < 0.08,
+            "{}: avg cpu {} vs {}",
+            targets.name,
+            report.avg_cpu_ghz(),
+            expect
+        );
+    }
+}
+
+#[test]
+fn hardware_uncore_matches_table_4_no_policy() {
+    // Table IV "No policy": IMC pegged at max (2.39) everywhere except
+    // DGEMM, where the AVX512-capped cores lead the firmware to ~1.98.
+    for (name, expect, tol) in [
+        ("BT-MZ.C (OpenMP)", 2.4, 0.05),
+        ("SP-MZ.C (OpenMP)", 2.4, 0.05),
+        ("BT.CUDA.D", 2.4, 0.05),
+        ("LU.CUDA.D", 2.4, 0.05),
+        ("DGEMM", 1.98, 0.12),
+    ] {
+        let targets = ear_workloads::by_name(name).unwrap();
+        let cal = calibrate(&targets).unwrap();
+        let job = build_job(&cal);
+        let mut cluster = Cluster::new(cal.node_config.clone(), targets.nodes, 99);
+        let mut rts = vec![NullRuntime; targets.nodes];
+        let report = run_job(&mut cluster, &job, &mut rts);
+        assert!(
+            (report.avg_imc_ghz() - expect).abs() < tol,
+            "{name}: imc {} vs {expect}",
+            report.avg_imc_ghz()
+        );
+    }
+}
+
+#[test]
+fn replays_are_reproducible_per_seed() {
+    let targets = ear_workloads::by_name("BQCD").unwrap();
+    let cal = calibrate(&targets).unwrap();
+    let job = build_job(&cal);
+    let run = |seed| {
+        let mut cluster = Cluster::new(cal.node_config.clone(), targets.nodes, seed);
+        let mut rts = vec![NullRuntime; targets.nodes];
+        let r = run_job(&mut cluster, &job, &mut rts);
+        (r.seconds(), r.total_dc_energy_j())
+    };
+    assert_eq!(run(5), run(5));
+    assert_ne!(run(5), run(6));
+}

@@ -1,0 +1,75 @@
+//! A day in the life of a small cluster: a mixed batch queue where half
+//! the users opted into EAR, run through the SLURM-style scheduler with
+//! per-job `--ear` flags, ending with the campaign energy bill.
+
+use ear::archsim::NodeConfig;
+use ear::sched::BatchScheduler;
+
+fn main() {
+    // A 16-node partition of the paper's SD530 machines.
+    let mut sched = BatchScheduler::new(NodeConfig::sd530_6148(), 16, 777);
+
+    let submissions = [
+        ("alice", "BT-MZ", "--ear=on --ear-unc-th=0.02"),
+        ("bob", "HPCG", "--ear=off"),
+        ("carol", "BQCD", "--ear=on --ear-policy-th=0.03"),
+        ("alice", "GROMACS (I)", "--ear=on"),
+        ("dave", "HPCG", "--ear=on"),
+        ("bob", "BT-MZ", "--ear=off"),
+        ("erin", "GROMACS (II)", "--ear=on --ear-imc-search=hw"),
+        ("carol", "BQCD", "--ear=off"),
+    ];
+    for (i, (user, workload, flags)) in submissions.iter().enumerate() {
+        let id = sched
+            .submit(user, workload, flags, i as f64 * 30.0)
+            .unwrap_or_else(|e| panic!("submit failed: {e}"));
+        println!("submitted job {id}: {user} / {workload} {flags}");
+    }
+
+    println!("\nrunning the queue…\n");
+    sched.run_all().expect("queue runs");
+
+    println!(
+        "{:>3} {:<7} {:<14} {:>8} {:>8} {:>11} {:>12}  EAR",
+        "id", "user", "workload", "start", "end", "energy (MJ)", "avg power(W)"
+    );
+    for f in sched.finished() {
+        let avg_w = f.dc_energy_j / (f.end_s - f.start_s) / f.nodes.len() as f64;
+        println!(
+            "{:>3} {:<7} {:<14} {:>8.0} {:>8.0} {:>11.2} {:>12.1}  {}",
+            f.job.id,
+            f.job.user,
+            f.job.workload,
+            f.start_s,
+            f.end_s,
+            f.dc_energy_j / 1e6,
+            avg_w,
+            if f.record.is_some() { "on" } else { "off" },
+        );
+    }
+
+    println!("\n=== EAR accounting (eacct) — EAR-enabled jobs only ===");
+    print!("{}", sched.accounting().report());
+
+    let total_mj = sched.total_energy_j() / 1e6;
+    println!(
+        "\ncampaign: {} jobs, makespan {:.0} s, total {total_mj:.1} MJ",
+        sched.finished().len(),
+        sched.makespan_s()
+    );
+
+    // Pair up the identical workloads run with and without EAR.
+    println!("\nEAR on/off deltas on identical workloads:");
+    for name in ["BT-MZ", "HPCG", "BQCD"] {
+        let runs: Vec<_> = sched
+            .finished()
+            .iter()
+            .filter(|f| f.job.workload == name)
+            .collect();
+        if let [a, b] = runs.as_slice() {
+            let (on, off) = if a.record.is_some() { (a, b) } else { (b, a) };
+            let delta = (1.0 - on.dc_energy_j / off.dc_energy_j) * 100.0;
+            println!("  {name:<14} energy saving with EAR: {delta:.1}%");
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Writing a custom energy policy through EAR's plugin API.
+//!
+//! The paper stresses that "given that EARL defines a policy API and a
+//! plugin mechanism, different policies can be easily evaluated". This
+//! example implements a naive `fixed_budget` policy from scratch —
+//! lower the CPU one pstate whenever measured DC power exceeds a budget,
+//! raise it when there is headroom — registers it, and runs it.
+
+use ear::archsim::Cluster;
+use ear::core::policy::api::{
+    NodeFreqs, PolicyCtx, PolicyRegistry, PolicySettings, PolicyState, PowerPolicy,
+};
+use ear::core::{Earl, EarlConfig, Signature};
+use ear::mpisim::run_job;
+use ear::workloads::{build_job, by_name, calibrate};
+
+/// A toy budget-tracking policy: one pstate step per signature.
+#[derive(Debug, Default)]
+struct FixedBudget {
+    budget_w: f64,
+    current: Option<usize>,
+}
+
+impl FixedBudget {
+    fn new(budget_w: f64) -> Self {
+        Self {
+            budget_w,
+            current: None,
+        }
+    }
+}
+
+impl PowerPolicy for FixedBudget {
+    fn name(&self) -> &'static str {
+        "fixed_budget"
+    }
+
+    fn node_policy(&mut self, sig: &Signature, ctx: &PolicyCtx<'_>) -> (NodeFreqs, PolicyState) {
+        let cur = self.current.unwrap_or(ctx.settings.def_pstate);
+        let next = if sig.dc_power_w > self.budget_w {
+            (cur + 1).min(ctx.pstates.slowest())
+        } else {
+            cur.saturating_sub(1).max(ctx.settings.def_pstate)
+        };
+        self.current = Some(next);
+        let freqs = NodeFreqs {
+            cpu: next,
+            imc_min_ratio: ctx.uncore_min_ratio,
+            imc_max_ratio: ctx.uncore_max_ratio,
+        };
+        // Never converges: it keeps tracking the budget (EARL re-invokes
+        // every signature because we return Continue).
+        (freqs, PolicyState::Continue)
+    }
+
+    fn validate(&mut self, _sig: &Signature, _ctx: &PolicyCtx<'_>) -> bool {
+        true
+    }
+
+    fn reset(&mut self) {
+        self.current = None;
+    }
+}
+
+fn main() {
+    // Register the plugin exactly as a sysadmin would drop a .so into
+    // EAR's plugin directory.
+    let mut registry = PolicyRegistry::with_builtins();
+    registry.register("fixed_budget", || Box::new(FixedBudget::new(310.0)));
+    println!("registered policies: {:?}\n", registry.names());
+
+    let targets = by_name("SP-MZ.C (OpenMP)").expect("catalog");
+    let cal = calibrate(&targets).expect("calibration");
+    let job = build_job(&cal);
+    let mut cluster = Cluster::new(cal.node_config.clone(), 1, 77);
+
+    let config = EarlConfig {
+        policy_name: "fixed_budget".into(),
+        settings: PolicySettings::default(),
+        ..Default::default()
+    };
+    let policy = registry.create("fixed_budget").expect("registered above");
+    let mut rts = vec![Earl::new(config, policy)];
+
+    let report = run_job(&mut cluster, &job, &mut rts);
+    println!(
+        "{}: {:.1} s at {:.1} W average (budget 310 W)",
+        targets.name,
+        report.seconds(),
+        report.avg_dc_power_w()
+    );
+    println!("\npolicy trajectory (CPU pstate over time):");
+    for (t, f) in rts[0].freq_changes() {
+        println!(
+            "  t={:7.1}s  pstate {} ({:.1} GHz)",
+            t.as_secs(),
+            f.cpu,
+            cal.node_config.pstates.ghz(f.cpu)
+        );
+    }
+}

@@ -1,0 +1,83 @@
+//! EAR's installation-time learning phase: fit the energy-model
+//! coefficients for this "cluster" by running the benchmark suite at
+//! several frequencies, then verify the learned model drives the same
+//! policy decisions as the shipped defaults.
+
+use ear::archsim::NodeConfig;
+use ear::core::models::{learn_model_params, Avx512Model, DefaultModel, ModelParams};
+use ear::core::policy::api::{PolicyCtx, PolicySettings};
+use ear::core::policy::min_energy::select_min_energy_pstate;
+use ear::core::Signature;
+
+fn main() {
+    let cfg = NodeConfig::sd530_6148();
+    println!("learning energy-model coefficients for: {}\n", cfg.name);
+    println!("running the benchmark sweep (pstates 1..9 × memory intensities)…");
+    let learned = learn_model_params(&cfg, 42);
+    let defaults = ModelParams::for_node(&cfg);
+
+    println!(
+        "\n{:<22} {:>12} {:>12}",
+        "coefficient", "learned", "shipped"
+    );
+    println!(
+        "{:<22} {:>12.1} {:>12.1}",
+        "static power (W)", learned.static_power_w, defaults.static_power_w
+    );
+    println!(
+        "{:<22} {:>12.3} {:>12.3}",
+        "share coef c", learned.share_coef, defaults.share_coef
+    );
+    println!(
+        "{:<22} {:>12.3} {:>12.3}",
+        "share exp q", learned.share_exp, defaults.share_exp
+    );
+    println!(
+        "{:<22} {:>12.2} {:>12.2}",
+        "power exponent α", learned.power_exp, defaults.power_exp
+    );
+
+    // Decision equivalence on the paper's two application classes.
+    let pstates = cfg.pstates.clone();
+    let settings = PolicySettings::default();
+    let signatures = [
+        ("BT-MZ-like (cpu bound)", 0.38, 6.6, 320.0),
+        ("BQCD-like (cpu bound)", 0.68, 11.0, 302.0),
+        ("POP-like (memory bound)", 0.72, 100.7, 347.0),
+        ("HPCG-like (memory bound)", 3.13, 177.0, 340.0),
+    ];
+    println!("\nmin_energy selections (learned vs shipped):");
+    for (name, cpi, gbs, power) in signatures {
+        let sig = Signature {
+            window_s: 10.0,
+            iterations: 5,
+            cpi,
+            tpi: 0.01,
+            gbs,
+            vpi: 0.02,
+            dc_power_w: power,
+            pkg_power_w: power * 0.72,
+            avg_cpu_khz: 2.4e6,
+            avg_imc_khz: 2.4e6,
+        };
+        let pick = |params: ModelParams| {
+            let model = Avx512Model::new(DefaultModel { params });
+            let ctx = PolicyCtx {
+                pstates: &pstates,
+                uncore_min_ratio: cfg.uncore_min_ratio,
+                uncore_max_ratio: cfg.uncore_max_ratio,
+                model: &model,
+                settings: &settings,
+            };
+            select_min_energy_pstate(&sig, 1, &ctx)
+        };
+        let a = pick(learned.clone());
+        let b = pick(defaults.clone());
+        println!(
+            "  {name:<26} learned → {:.1} GHz   shipped → {:.1} GHz   {}",
+            pstates.ghz(a),
+            pstates.ghz(b),
+            if a == b { "(same)" } else { "(differ)" }
+        );
+    }
+}

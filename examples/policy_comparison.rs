@@ -1,0 +1,101 @@
+//! Compare every policy (and the "No policy" baseline) on one application,
+//! reproducing the paper's per-application evaluation layout.
+//!
+//! ```sh
+//! cargo run --release --example policy_comparison -- HPCG
+//! cargo run --release --example policy_comparison            # BT-MZ
+//! ```
+
+use ear::core::PolicySettings;
+use ear::experiments::{compare, run_cell, run_matrix, RunKind};
+use ear::workloads::by_name;
+
+fn main() {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BT-MZ".to_string());
+    let Some(targets) = by_name(&name) else {
+        eprintln!("unknown workload '{name}'");
+        std::process::exit(1);
+    };
+
+    println!("policy comparison for {name} ({} nodes)\n", targets.nodes);
+
+    let cells = vec![
+        ("No policy".to_string(), RunKind::NoPolicy),
+        (
+            "monitoring".to_string(),
+            RunKind::Policy {
+                name: "monitoring".into(),
+                settings: PolicySettings::default(),
+            },
+        ),
+        ("min_energy (ME)".to_string(), RunKind::me(0.05)),
+        ("ME+eU (paper)".to_string(), RunKind::me_eufs(0.05, 0.02)),
+        ("ME+NG-U".to_string(), RunKind::me_ng_u(0.05, 0.02)),
+        (
+            "min_time".to_string(),
+            RunKind::Policy {
+                name: "min_time".into(),
+                settings: PolicySettings {
+                    def_pstate: 4,
+                    ..Default::default()
+                },
+            },
+        ),
+        (
+            "min_time+eU".to_string(),
+            RunKind::Policy {
+                name: "min_time_eufs".into(),
+                settings: PolicySettings {
+                    def_pstate: 4,
+                    ..Default::default()
+                },
+            },
+        ),
+    ];
+    let results = run_matrix(&targets, &cells, 3, 99);
+
+    println!(
+        "{:<16} {:>9} {:>9} {:>10} {:>8} {:>8} | {:>9} {:>11} {:>11}",
+        "config",
+        "time (s)",
+        "power (W)",
+        "energy (kJ)",
+        "CPU GHz",
+        "IMC GHz",
+        "time pen",
+        "power save",
+        "energy save"
+    );
+    let reference = results[0].clone();
+    for r in &results {
+        let c = compare(&reference, r);
+        println!(
+            "{:<16} {:>9.1} {:>9.1} {:>10.0} {:>8.2} {:>8.2} | {:>8.2}% {:>10.2}% {:>10.2}%",
+            r.label,
+            r.time_s,
+            r.dc_power_w,
+            r.dc_energy_j / 1e3,
+            r.avg_cpu_ghz,
+            r.avg_imc_ghz,
+            c.time_penalty_pct,
+            c.power_saving_pct,
+            c.energy_saving_pct,
+        );
+    }
+
+    // A quick threshold-sensitivity scan, mirroring the paper's Fig. 3/4.
+    println!("\nunc_policy_th sensitivity (ME+eU, cpu_policy_th 5%):");
+    for th in [0.0, 0.01, 0.02, 0.03] {
+        let r = run_cell(&targets, &RunKind::me_eufs(0.05, th), "sweep", 3, 99);
+        let c = compare(&reference, &r);
+        println!(
+            "  th={:>3.0}%: time penalty {:>5.2}%, energy save {:>5.2}%, final IMC {:.2} GHz",
+            th * 100.0,
+            c.time_penalty_pct,
+            c.energy_saving_pct,
+            r.avg_imc_ghz
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! Quickstart: run one application under EARL with the paper's
+//! `min_energy_to_solution` + explicit UFS policy and watch it converge.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use ear::archsim::Cluster;
+use ear::core::{Earl, EarlConfig, PolicySettings};
+use ear::mpisim::run_job;
+use ear::workloads::{build_job, by_name, calibrate};
+
+fn main() {
+    // 1. Pick a workload from the paper's catalog — BT-MZ class D, the
+    //    CPU-bound NAS kernel on four nodes.
+    let targets = by_name("BT-MZ").expect("catalog workload");
+    let calibrated = calibrate(&targets).expect("calibration");
+    let job = build_job(&calibrated);
+    println!(
+        "workload: {} ({} nodes × {} ranks, {} outer iterations)",
+        targets.name, targets.nodes, targets.ranks_per_node, targets.iterations
+    );
+
+    // 2. Boot a simulated cluster of the paper's Lenovo SD530 nodes.
+    let mut cluster = Cluster::new(calibrated.node_config.clone(), targets.nodes, 2024);
+
+    // 3. Attach one EARL instance per node, running min_energy_to_solution
+    //    with explicit uncore selection (cpu_policy_th 5 %, unc_policy_th
+    //    2 % — the paper's defaults).
+    let config = EarlConfig {
+        policy_name: "min_energy_eufs".to_string(),
+        settings: PolicySettings::default(),
+        ..Default::default()
+    };
+    let mut runtimes: Vec<Earl> = (0..targets.nodes)
+        .map(|_| Earl::from_registry(config.clone()))
+        .collect();
+
+    // 4. Run the job: the driver delivers every MPI call to EARL (the PMPI
+    //    interception path), EARL detects the loop with DynAIS, computes
+    //    signatures and drives the policy.
+    let report = run_job(&mut cluster, &job, &mut runtimes);
+
+    println!("\njob finished in {:.1} s (simulated)", report.seconds());
+    println!("avg DC node power: {:.1} W", report.avg_dc_power_w());
+    println!("avg CPU frequency: {:.2} GHz", report.avg_cpu_ghz());
+    println!("avg IMC frequency: {:.2} GHz", report.avg_imc_ghz());
+
+    // 5. Inspect what EARL did on node 0.
+    let earl = &runtimes[0];
+    println!(
+        "\nEARL on node 0 computed {} signatures:",
+        earl.signatures().len()
+    );
+    for (i, sig) in earl.signatures().iter().enumerate().take(8) {
+        println!(
+            "  sig {i}: window {:5.1} s  CPI {:.3}  {:6.2} GB/s  {:5.1} W  imc {:.2} GHz",
+            sig.window_s,
+            sig.cpi,
+            sig.gbs,
+            sig.dc_power_w,
+            sig.avg_imc_khz * 1e-6,
+        );
+    }
+    println!("\nfrequency decisions:");
+    for (t, f) in earl.freq_changes() {
+        println!(
+            "  t={:8.1}s  cpu pstate {}  uncore limits [{:.1}, {:.1}] GHz",
+            t.as_secs(),
+            f.cpu,
+            f.imc_min_ratio as f64 * 0.1,
+            f.imc_max_ratio as f64 * 0.1,
+        );
+    }
+    let record = earl.job_record().expect("record");
+    println!(
+        "\naccounting: {:.0} J DC energy, {} signatures, {} frequency changes",
+        record.dc_energy_j, record.signatures, record.freq_changes
+    );
+}

@@ -1,0 +1,284 @@
+//! `earsim` — the command-line front end of the reproduction.
+//!
+//! ```text
+//! earsim list                          # the workload catalog
+//! earsim run --app HPCG [options]     # one experiment cell
+//! earsim sweep --app BT-MZ            # fixed-uncore sweep (paper Fig. 1)
+//! earsim table 3 | earsim fig 7       # regenerate a paper table/figure
+//! earsim future                       # the future-work experiments
+//! earsim surface --app DGEMM          # 2-D CPU x IMC energy surface
+//! earsim related                      # ME+eU vs the DUF controller
+//! earsim conf                         # print the default ear.conf
+//! earsim all                          # the whole evaluation
+//! ```
+//!
+//! Run options: `--policy NAME` (default `min_energy_eufs`), `--cpu-th PCT`
+//! (default 5), `--unc-th PCT` (default 2), `--runs N` (default 3),
+//! `--seed N`, `--search hw|linear`, `--range maxonly|pinned|band:N`.
+
+use ear::core::conf::{parse_ear_conf, render_ear_conf};
+use ear::core::{EarlConfig, ImcRange, ImcSearch, PolicySettings};
+use ear::experiments::{compare, figures, run_cell, tables, RunKind};
+use ear::workloads::{by_name, full_catalog};
+use std::collections::HashMap;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: earsim <list|run|sweep|table|fig|all> [args]\n\
+         \n\
+         earsim list\n\
+         earsim run --app NAME [--policy P] [--cpu-th PCT] [--unc-th PCT]\n\
+         \x20          [--runs N] [--seed N] [--search hw|linear]\n\
+         \x20          [--range maxonly|pinned|band:N]\n\
+         earsim run --conf FILE --app NAME   (ear.conf instead of flags)\n\
+         earsim sweep --app NAME\n\
+         earsim table <1..7>\n\
+         earsim fig <1|3..8>\n\
+         earsim surface --app NAME\n\
+         earsim related\n\
+         earsim future\n\
+         earsim conf\n\
+         earsim all"
+    );
+    exit(2)
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(key) = a.strip_prefix("--") {
+            match it.next() {
+                Some(v) => {
+                    flags.insert(key.to_string(), v.clone());
+                }
+                None => {
+                    eprintln!("missing value for --{key}");
+                    usage();
+                }
+            }
+        } else {
+            eprintln!("unexpected argument '{a}'");
+            usage();
+        }
+    }
+    flags
+}
+
+fn flag_f64(flags: &HashMap<String, String>, key: &str, default: f64) -> f64 {
+    flags.get(key).map_or(default, |v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("--{key} expects a number, got '{v}'");
+            usage();
+        })
+    })
+}
+
+fn cmd_list() {
+    println!(
+        "{:<20} {:>5} {:>6} {:>8} {:>6} {:>7} {:>9}",
+        "name", "nodes", "ranks", "time(s)", "CPI", "GB/s", "power(W)"
+    );
+    for w in full_catalog() {
+        println!(
+            "{:<20} {:>5} {:>6} {:>8.0} {:>6.2} {:>7.2} {:>9.1}",
+            w.name, w.nodes, w.ranks_per_node, w.time_s, w.cpi, w.gbs, w.dc_power_w
+        );
+    }
+}
+
+fn cmd_run(flags: HashMap<String, String>) {
+    let Some(app) = flags.get("app") else {
+        eprintln!("run needs --app (see `earsim list`)");
+        usage();
+    };
+    let Some(targets) = by_name(app) else {
+        eprintln!("unknown workload '{app}' (see `earsim list`)");
+        exit(1);
+    };
+    let policy = flags
+        .get("policy")
+        .map_or("min_energy_eufs", |s| s.as_str());
+    let cpu_th = flag_f64(&flags, "cpu-th", 5.0) / 100.0;
+    let unc_th = flag_f64(&flags, "unc-th", 2.0) / 100.0;
+    let runs = flag_f64(&flags, "runs", 3.0) as usize;
+    let seed = flag_f64(&flags, "seed", 42.0) as u64;
+    let search = match flags.get("search").map(|s| s.as_str()) {
+        None | Some("hw") => ImcSearch::HwGuided,
+        Some("linear") => ImcSearch::Linear,
+        Some(other) => {
+            eprintln!("--search expects hw|linear, got '{other}'");
+            usage();
+        }
+    };
+    let range = match flags.get("range").map(|s| s.as_str()) {
+        None | Some("maxonly") => ImcRange::MaxOnly,
+        Some("pinned") => ImcRange::Pinned,
+        Some(b) if b.starts_with("band:") => {
+            let n = b[5..].parse().unwrap_or_else(|_| {
+                eprintln!("--range band:N expects a number");
+                usage();
+            });
+            ImcRange::Band(n)
+        }
+        Some(other) => {
+            eprintln!("--range expects maxonly|pinned|band:N, got '{other}'");
+            usage();
+        }
+    };
+
+    // --conf FILE loads an ear.conf as the base; flags then override.
+    let (policy, settings) = match flags.get("conf") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                exit(1);
+            });
+            let parsed: EarlConfig = parse_ear_conf(&text).unwrap_or_else(|e| {
+                eprintln!("{e}");
+                exit(1);
+            });
+            let mut st = parsed.settings;
+            if flags.contains_key("cpu-th") {
+                st.cpu_policy_th = cpu_th;
+            }
+            if flags.contains_key("unc-th") {
+                st.unc_policy_th = unc_th;
+            }
+            let name = flags.get("policy").cloned().unwrap_or(parsed.policy_name);
+            (name, st)
+        }
+        None => (
+            policy.to_string(),
+            PolicySettings {
+                cpu_policy_th: cpu_th,
+                unc_policy_th: unc_th,
+                imc_search: search,
+                imc_range: range,
+                ..Default::default()
+            },
+        ),
+    };
+    let policy = policy.as_str();
+    let reference = run_cell(&targets, &RunKind::NoPolicy, "No policy", runs, seed);
+    let kind = RunKind::Policy {
+        name: policy.to_string(),
+        settings,
+    };
+    let result = run_cell(&targets, &kind, policy, runs, seed);
+    let c = compare(&reference, &result);
+
+    println!(
+        "workload : {app} ({} nodes, {} runs averaged)",
+        targets.nodes, runs
+    );
+    println!(
+        "policy   : {policy} (cpu_th {:.0}%, unc_th {:.0}%)",
+        cpu_th * 100.0,
+        unc_th * 100.0
+    );
+    println!();
+    println!("            {:>12} {:>12}", "No policy", policy);
+    println!(
+        "time (s)    {:>12.1} {:>12.1}",
+        reference.time_s, result.time_s
+    );
+    println!(
+        "DC power(W) {:>12.1} {:>12.1}",
+        reference.dc_power_w, result.dc_power_w
+    );
+    println!(
+        "energy (kJ) {:>12.0} {:>12.0}",
+        reference.dc_energy_j / 1e3,
+        result.dc_energy_j / 1e3
+    );
+    println!(
+        "CPU (GHz)   {:>12.2} {:>12.2}",
+        reference.avg_cpu_ghz, result.avg_cpu_ghz
+    );
+    println!(
+        "IMC (GHz)   {:>12.2} {:>12.2}",
+        reference.avg_imc_ghz, result.avg_imc_ghz
+    );
+    println!();
+    println!(
+        "time penalty {:.2}%   power saving {:.2}%   energy saving {:.2}%",
+        c.time_penalty_pct, c.power_saving_pct, c.energy_saving_pct
+    );
+}
+
+fn cmd_sweep(flags: HashMap<String, String>) {
+    let Some(app) = flags.get("app") else {
+        eprintln!("sweep needs --app");
+        usage();
+    };
+    if by_name(app).is_none() {
+        eprintln!("unknown workload '{app}'");
+        exit(1);
+    }
+    print!("{}", figures::fig1_render(app));
+}
+
+fn cmd_table(n: &str) {
+    let out = match n {
+        "1" => tables::table1(),
+        "2" => tables::table2(),
+        "3" => tables::table3(),
+        "4" => tables::table4(),
+        "5" => tables::table5(),
+        "6" => tables::table6(),
+        "7" => tables::table7(),
+        _ => {
+            eprintln!("tables are 1..7");
+            exit(1);
+        }
+    };
+    print!("{out}");
+}
+
+fn cmd_fig(n: &str) {
+    let out = match n {
+        "1" => figures::fig1(),
+        "3" => figures::fig3(),
+        "4" => figures::fig4(),
+        "5" => figures::fig5(),
+        "6" => figures::fig6(),
+        "7" => figures::fig7(),
+        "8" => figures::fig8(),
+        _ => {
+            eprintln!("figures are 1 and 3..8");
+            exit(1);
+        }
+    };
+    print!("{out}");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(|s| s.as_str()) {
+        Some("list") => cmd_list(),
+        Some("run") => cmd_run(parse_flags(&args[1..])),
+        Some("sweep") => cmd_sweep(parse_flags(&args[1..])),
+        Some("table") => cmd_table(args.get(1).map_or_else(|| usage(), |s| s.as_str())),
+        Some("fig") => cmd_fig(args.get(1).map_or_else(|| usage(), |s| s.as_str())),
+        Some("future") => print!("{}", ear::experiments::future_work::run_all_future_work()),
+        Some("related") => print!("{}", ear::experiments::related_work::duf_comparison()),
+        Some("surface") => {
+            let flags = parse_flags(&args[1..]);
+            let app = flags
+                .get("app")
+                .cloned()
+                .unwrap_or_else(|| "BT-MZ.C (OpenMP)".to_string());
+            if by_name(&app).is_none() {
+                eprintln!("unknown workload '{app}'");
+                exit(1);
+            }
+            let s = ear::experiments::surface::measure_surface(&app, 77);
+            print!("{}", ear::experiments::surface::render_surface(&s));
+        }
+        Some("conf") => print!("{}", render_ear_conf(&EarlConfig::default())),
+        Some("all") => print!("{}", ear::experiments::run_all()),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,24 @@
+//! # ear — reproduction of "Explicit uncore frequency scaling for energy
+//! optimisation policies with EAR in Intel architectures" (CLUSTER 2021)
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`archsim`] — simulated Skylake-SP nodes (MSRs, DVFS, uncore, RAPL,
+//!   INM, firmware UFS, power/performance models).
+//! * [`mpisim`] — simulated MPI with PMPI-style interception.
+//! * [`dynais`] — EAR's iterative-structure detector.
+//! * [`workloads`] — the paper's kernels and applications, calibrated to
+//!   its characterisation tables.
+//! * [`core`] — EARL: signatures, energy models, the policy plugin API and
+//!   the `min_energy_to_solution` + explicit-UFS policy (the contribution).
+//! * [`experiments`] — regeneration of every table and figure.
+//!
+//! Start with `examples/quickstart.rs`.
+
+pub use ear_archsim as archsim;
+pub use ear_core as core;
+pub use ear_dynais as dynais;
+pub use ear_experiments as experiments;
+pub use ear_mpisim as mpisim;
+pub use ear_sched as sched;
+pub use ear_workloads as workloads;

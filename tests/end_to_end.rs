@@ -1,0 +1,258 @@
+//! End-to-end integration tests spanning every crate: workloads calibrated
+//! to the paper run under EARL on the simulated cluster, and the paper's
+//! headline behaviours emerge.
+
+use ear::archsim::Cluster;
+use ear::core::{Earl, EarlConfig, ImcSearch, PolicySettings};
+use ear::experiments::{compare, run_cell, run_matrix, RunKind};
+use ear::mpisim::run_job;
+use ear::workloads::{build_job, by_name, calibrate};
+
+fn earl_runtimes(policy: &str, settings: PolicySettings, n: usize) -> Vec<Earl> {
+    let config = EarlConfig {
+        policy_name: policy.into(),
+        settings,
+        ..Default::default()
+    };
+    (0..n)
+        .map(|_| Earl::from_registry(config.clone()))
+        .collect()
+}
+
+/// The headline result: explicit UFS saves energy on CPU-bound codes that
+/// plain DVFS cannot touch (paper abstract: ~9 % average energy saving at
+/// ~3 % time penalty; up to 8 % extra savings over HW UFS).
+#[test]
+fn eufs_saves_energy_on_cpu_bound_apps_where_dvfs_cannot() {
+    let targets = by_name("BT-MZ").unwrap();
+    let cells = vec![
+        ("No policy".to_string(), RunKind::NoPolicy),
+        ("ME".to_string(), RunKind::me(0.05)),
+        ("ME+eU".to_string(), RunKind::me_eufs(0.05, 0.02)),
+    ];
+    let results = run_matrix(&targets, &cells, 3, 1001);
+    let me = compare(&results[0], &results[1]);
+    let eu = compare(&results[0], &results[2]);
+
+    // DVFS alone finds nothing (CPU stays nominal).
+    assert!(
+        me.energy_saving_pct.abs() < 1.0,
+        "ME saving {}",
+        me.energy_saving_pct
+    );
+    // Explicit UFS finds 4-10 % with a small time penalty.
+    assert!(
+        eu.energy_saving_pct > 4.0,
+        "eU saving {}",
+        eu.energy_saving_pct
+    );
+    assert!(
+        eu.time_penalty_pct < 3.0,
+        "eU penalty {}",
+        eu.time_penalty_pct
+    );
+    // And the savings come from the uncore, not the CPU.
+    assert!((results[2].avg_cpu_ghz - 2.39).abs() < 0.03);
+    assert!(results[2].avg_imc_ghz < 2.1);
+}
+
+/// Memory-bound apps: DVFS lowers the CPU (paper Table VI), and eUFS adds
+/// additional savings on top.
+#[test]
+fn memory_bound_apps_get_both_dvfs_and_eufs_savings() {
+    let targets = by_name("HPCG").unwrap();
+    let cells = vec![
+        ("No policy".to_string(), RunKind::NoPolicy),
+        ("ME".to_string(), RunKind::me(0.05)),
+        ("ME+eU".to_string(), RunKind::me_eufs(0.05, 0.02)),
+    ];
+    let results = run_matrix(&targets, &cells, 3, 1002);
+    // ME lowers the CPU frequency substantially (paper: 1.75 GHz).
+    assert!(
+        results[1].avg_cpu_ghz < 2.0,
+        "ME cpu {}",
+        results[1].avg_cpu_ghz
+    );
+    let me = compare(&results[0], &results[1]);
+    let eu = compare(&results[0], &results[2]);
+    assert!(me.energy_saving_pct > 2.0);
+    assert!(eu.energy_saving_pct > me.energy_saving_pct);
+    // The uncore stays high for the most memory-bound app (paper: 2.29).
+    assert!(
+        results[2].avg_imc_ghz > 2.0,
+        "imc {}",
+        results[2].avg_imc_ghz
+    );
+}
+
+/// Package-relative savings exceed DC-relative savings (paper Table VII's
+/// argument for evaluating with DC node power).
+#[test]
+fn pck_savings_exceed_dc_savings() {
+    for name in ["BT-MZ", "HPCG"] {
+        let targets = by_name(name).unwrap();
+        let cells = vec![
+            ("No policy".to_string(), RunKind::NoPolicy),
+            ("ME+eU".to_string(), RunKind::me_eufs(0.05, 0.02)),
+        ];
+        let results = run_matrix(&targets, &cells, 3, 1003);
+        let c = compare(&results[0], &results[1]);
+        assert!(
+            c.pkg_power_saving_pct > c.power_saving_pct + 1.0,
+            "{name}: PCK {} vs DC {}",
+            c.pkg_power_saving_pct,
+            c.power_saving_pct
+        );
+    }
+}
+
+/// A larger `unc_policy_th` buys more savings at more penalty (Fig. 3/4).
+#[test]
+fn unc_threshold_trades_penalty_for_savings() {
+    let targets = by_name("BQCD").unwrap();
+    let reference = run_cell(&targets, &RunKind::NoPolicy, "ref", 3, 1004);
+    let mut last_saving = -1.0;
+    let mut last_penalty = -1.0;
+    for th in [0.01, 0.03] {
+        let r = run_cell(&targets, &RunKind::me_eufs(0.03, th), "eu", 3, 1004);
+        let c = compare(&reference, &r);
+        assert!(c.energy_saving_pct > last_saving, "th {th}: {c:?}");
+        assert!(c.time_penalty_pct >= last_penalty - 0.2, "th {th}: {c:?}");
+        last_saving = c.energy_saving_pct;
+        last_penalty = c.time_penalty_pct;
+    }
+}
+
+/// The HW-guided search converges in fewer policy iterations than the
+/// linear search when the hardware settles below the maximum (DGEMM's
+/// AVX512 case; paper §V-B: "this second strategy is faster").
+#[test]
+fn hw_guided_search_converges_faster_than_linear() {
+    let targets = by_name("DGEMM").unwrap();
+    let cal = calibrate(&targets).unwrap();
+    let job = build_job(&cal);
+    let steps = |search: ImcSearch| {
+        let settings = PolicySettings {
+            imc_search: search,
+            ..Default::default()
+        };
+        let mut cluster = Cluster::new(cal.node_config.clone(), 1, 1005);
+        let mut rts = earl_runtimes("min_energy_eufs", settings, 1);
+        run_job(&mut cluster, &job, &mut rts);
+        // Count IMC-stage frequency applications (search steps).
+        rts[0]
+            .freq_changes()
+            .iter()
+            .filter(|(_, f)| f.imc_max_ratio < cal.node_config.uncore_max_ratio)
+            .count()
+    };
+    let guided = steps(ImcSearch::HwGuided);
+    let linear = steps(ImcSearch::Linear);
+    assert!(
+        guided < linear,
+        "guided {guided} steps vs linear {linear} steps"
+    );
+}
+
+/// A mid-run phase change sends the policy back to CPU_FREQ_SEL and EARL
+/// re-converges (the paper's §V-B restart path + validation).
+#[test]
+fn phase_change_triggers_reconvergence() {
+    let targets = by_name("BQCD").unwrap();
+    let cal = calibrate(&targets).unwrap();
+    // First 40 iterations normal, then instructions double and memory
+    // halves: a drastic signature change.
+    let job = ear::workloads::build_phase_change_job(&cal, 40, 2.0, 0.5);
+    let mut cluster = Cluster::new(cal.node_config.clone(), targets.nodes, 1006);
+    let mut rts = earl_runtimes("min_energy_eufs", PolicySettings::default(), targets.nodes);
+    run_job(&mut cluster, &job, &mut rts);
+    let earl = &rts[0];
+    // EARL must have reacted after the phase change: at least one default
+    // restore (full uncore range) after a restricted one.
+    let changes = earl.freq_changes();
+    let first_restricted = changes.iter().position(|(_, f)| f.imc_max_ratio < 24);
+    assert!(first_restricted.is_some(), "no uncore restriction at all");
+    let restored_after = changes
+        .iter()
+        .skip(first_restricted.unwrap() + 1)
+        .any(|(_, f)| f.imc_max_ratio == 24);
+    assert!(
+        restored_after,
+        "no restart after the phase change: {changes:?}"
+    );
+}
+
+/// The full catalog runs under every built-in policy without panicking and
+/// with bounded time penalties.
+#[test]
+fn all_policies_run_on_all_workloads() {
+    for name in ["BQCD", "HPCG", "BT-MZ.C (OpenMP)", "DGEMM", "BT.CUDA.D"] {
+        let targets = by_name(name).unwrap();
+        let reference = run_cell(&targets, &RunKind::NoPolicy, "ref", 1, 1007);
+        for policy in ["monitoring", "min_energy", "min_energy_eufs"] {
+            let kind = RunKind::Policy {
+                name: policy.into(),
+                settings: PolicySettings::default(),
+            };
+            let r = run_cell(&targets, &kind, policy, 1, 1007);
+            let c = compare(&reference, &r);
+            assert!(
+                c.time_penalty_pct < 8.0,
+                "{name}/{policy}: penalty {}",
+                c.time_penalty_pct
+            );
+            assert!(
+                c.energy_saving_pct > -2.0,
+                "{name}/{policy}: negative saving {}",
+                c.energy_saving_pct
+            );
+        }
+    }
+}
+
+/// min_time_to_solution (+eUFS): the future-work policy accelerates from a
+/// lowered default frequency.
+#[test]
+fn min_time_policies_accelerate_from_low_default() {
+    let targets = by_name("BT-MZ").unwrap();
+    let settings = PolicySettings {
+        def_pstate: 4,
+        ..Default::default()
+    };
+    // Reference: stuck at the default pstate (2.1 GHz), no policy.
+    let slow = run_cell(
+        &targets,
+        &RunKind::Fixed {
+            cpu: 4,
+            imc_ratio: None,
+        },
+        "fixed 2.1",
+        1,
+        1008,
+    );
+    for policy in ["min_time", "min_time_eufs"] {
+        let kind = RunKind::Policy {
+            name: policy.into(),
+            settings: settings.clone(),
+        };
+        let r = run_cell(&targets, &kind, policy, 1, 1008);
+        assert!(
+            r.time_s < slow.time_s * 0.95,
+            "{policy}: {} vs fixed {}",
+            r.time_s,
+            slow.time_s
+        );
+        assert!(r.avg_cpu_ghz > slow.avg_cpu_ghz + 0.15);
+    }
+}
+
+/// Determinism across the whole stack: same seeds, same results.
+#[test]
+fn full_stack_determinism() {
+    let targets = by_name("GROMACS (I)").unwrap();
+    let run = || {
+        let r = run_cell(&targets, &RunKind::me_eufs(0.05, 0.02), "eu", 2, 1009);
+        (r.time_s, r.dc_energy_j, r.avg_imc_ghz)
+    };
+    assert_eq!(run(), run());
+}

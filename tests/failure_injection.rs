@@ -1,0 +1,127 @@
+//! Failure injection: EARL must tolerate the real-world warts the paper's
+//! production deployment faces — stalled power meters, noisy measurements,
+//! phase changes mid-search — without crashing or making wild decisions.
+
+use ear::archsim::{Cluster, Node, NodeConfig};
+use ear::core::{Earl, EarlConfig, PolicySettings};
+use ear::mpisim::{run_job, MpiEvent, NodeRuntime};
+use ear::workloads::{build_job, by_name, calibrate};
+
+/// A runtime wrapper that stalls the power meter partway through the job.
+struct MeterKiller<R> {
+    inner: R,
+    calls: u32,
+    stall_at_call: u32,
+    stall_s: f64,
+}
+
+impl<R: NodeRuntime> NodeRuntime for MeterKiller<R> {
+    fn on_job_start(&mut self, node: &mut Node, job_name: &str, ranks: usize) {
+        self.inner.on_job_start(node, job_name, ranks);
+    }
+    fn on_mpi_call(&mut self, node: &mut Node, event: &MpiEvent) {
+        self.calls += 1;
+        if self.calls == self.stall_at_call {
+            node.inject_power_meter_stall(self.stall_s);
+        }
+        self.inner.on_mpi_call(node, event);
+    }
+    fn on_tick(&mut self, node: &mut Node) {
+        self.inner.on_tick(node);
+    }
+    fn on_job_end(&mut self, node: &mut Node) {
+        self.inner.on_job_end(node);
+    }
+}
+
+#[test]
+fn earl_survives_a_power_meter_stall_and_still_converges() {
+    let targets = by_name("BT-MZ").unwrap();
+    let cal = calibrate(&targets).unwrap();
+    let job = build_job(&cal);
+    let mut cluster = Cluster::new(cal.node_config.clone(), targets.nodes, 2101);
+    let config = EarlConfig::default();
+    let mut rts: Vec<MeterKiller<Earl>> = (0..targets.nodes)
+        .map(|_| MeterKiller {
+            inner: Earl::from_registry(config.clone()),
+            calls: 0,
+            stall_at_call: 40, // early in the IMC search
+            stall_s: 30.0,
+        })
+        .collect();
+    run_job(&mut cluster, &job, &mut rts);
+    let earl = &rts[0].inner;
+    // Signatures kept flowing (the stall only delays windows)…
+    assert!(
+        earl.signatures().len() >= 5,
+        "{} signatures",
+        earl.signatures().len()
+    );
+    // …every accepted signature carries a usable power reading…
+    for sig in earl.signatures() {
+        assert!(sig.has_power(), "signature without power accepted");
+    }
+    // …and the policy still converged to a reduced uncore.
+    let last = earl.freq_changes().last().expect("frequency changes").1;
+    assert!(last.imc_max_ratio < 24, "no convergence: {last:?}");
+}
+
+#[test]
+fn heavy_measurement_noise_does_not_destabilise_the_policy() {
+    // 10× the calibrated run-to-run noise: the policy may converge to a
+    // different ratio, but must stay within physical bounds and never
+    // produce a net slowdown beyond the thresholds' intent.
+    let targets = by_name("BQCD").unwrap();
+    let cal = calibrate(&targets).unwrap();
+    let job = build_job(&cal);
+    let mut noisy_config: NodeConfig = cal.node_config.clone();
+    noisy_config.noise_sigma *= 10.0;
+
+    let mut cluster = Cluster::new(noisy_config, targets.nodes, 2102);
+    let mut rts: Vec<Earl> = (0..targets.nodes)
+        .map(|_| Earl::from_registry(EarlConfig::default()))
+        .collect();
+    let report = run_job(&mut cluster, &job, &mut rts);
+    // Time within 10 % of the characterisation (noise + policy penalty).
+    assert!(
+        (report.seconds() - targets.time_s).abs() / targets.time_s < 0.10,
+        "time {} vs {}",
+        report.seconds(),
+        targets.time_s
+    );
+    for (_, f) in rts[0].freq_changes() {
+        assert!(f.imc_max_ratio >= 12 && f.imc_max_ratio <= 24);
+        assert!(f.imc_min_ratio <= f.imc_max_ratio);
+    }
+}
+
+#[test]
+fn tiny_thresholds_with_noise_stay_conservative() {
+    // unc_policy_th = 0 with noise: the search must revert almost
+    // immediately — the paper's Fig. 4 "0 %" case — and never get stuck.
+    let targets = by_name("BT-MZ").unwrap();
+    let cal = calibrate(&targets).unwrap();
+    let job = build_job(&cal);
+    let mut cluster = Cluster::new(cal.node_config.clone(), targets.nodes, 2103);
+    let config = EarlConfig {
+        settings: PolicySettings {
+            unc_policy_th: 0.0,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let mut rts: Vec<Earl> = (0..targets.nodes)
+        .map(|_| Earl::from_registry(config.clone()))
+        .collect();
+    let report = run_job(&mut cluster, &job, &mut rts);
+    // Essentially no slowdown allowed — and essentially none taken.
+    assert!(
+        report.seconds() < targets.time_s * 1.02,
+        "time {} vs {}",
+        report.seconds(),
+        targets.time_s
+    );
+    // The final uncore ceiling is at/near the hardware's choice.
+    let last = rts[0].freq_changes().last().unwrap().1;
+    assert!(last.imc_max_ratio >= 22, "over-aggressive at 0%: {last:?}");
+}

@@ -1,0 +1,57 @@
+//! Multi-phase applications under EARL: the signature-change machinery
+//! (policy validation, the 15 % threshold, the CPU_FREQ_SEL restart) must
+//! track phase cycles, re-optimising each phase.
+
+use ear::archsim::Cluster;
+use ear::core::{Earl, EarlConfig};
+use ear::mpisim::run_job;
+use ear::workloads::phases::compute_with_memory_bursts;
+
+#[test]
+fn earl_reoptimises_across_phase_cycles() {
+    let app = compute_with_memory_bursts();
+    let job = app.build_job().unwrap();
+    let nodes = job.nodes;
+    let node_config = ear::workloads::by_name("BT-MZ")
+        .unwrap()
+        .platform
+        .node_config();
+    let mut cluster = Cluster::new(node_config, nodes, 31);
+    let mut rts: Vec<Earl> = (0..nodes)
+        .map(|_| Earl::from_registry(EarlConfig::default()))
+        .collect();
+    run_job(&mut cluster, &job, &mut rts);
+
+    let earl = &rts[0];
+    // EARL saw both phases: signatures span compute-like (low GB/s) and
+    // burst-like (high GB/s) behaviour.
+    let sigs = earl.signatures();
+    assert!(sigs.len() >= 8, "{} signatures", sigs.len());
+    let min_gbs = sigs.iter().map(|s| s.gbs).fold(f64::INFINITY, f64::min);
+    let max_gbs = sigs.iter().map(|s| s.gbs).fold(0.0f64, f64::max);
+    assert!(min_gbs < 30.0, "never saw the compute phase: {min_gbs}");
+    assert!(max_gbs > 100.0, "never saw the burst phase: {max_gbs}");
+
+    // The policy restarted at least once: after converging with a reduced
+    // uncore ceiling, a phase change restored the default full range.
+    let changes = earl.freq_changes();
+    let mut saw_restriction = false;
+    let mut saw_restore_after = false;
+    for (_, f) in changes {
+        if f.imc_max_ratio < 24 {
+            saw_restriction = true;
+        } else if saw_restriction && f.imc_max_ratio == 24 {
+            saw_restore_after = true;
+        }
+    }
+    assert!(saw_restriction, "no uncore restriction at all");
+    assert!(
+        saw_restore_after,
+        "no policy restart across phases: {changes:?}"
+    );
+
+    // Multiple frequency decisions happened (one convergence per phase
+    // visit at minimum is too strict — signature windows span ~7
+    // iterations — but well more than a single convergence is required).
+    assert!(changes.len() >= 6, "{} changes", changes.len());
+}
