@@ -5,9 +5,8 @@
 //! into an [`AccountingDb`] with per-application aggregation and an
 //! `eacct`-style text report.
 
-use parking_lot::Mutex;
 use std::fmt::Write as _;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// One job's accounting record (what `eacct` prints per job).
 #[derive(Debug, Clone, PartialEq)]
@@ -113,6 +112,15 @@ pub fn shared() -> SharedAccounting {
     Arc::new(Mutex::new(AccountingDb::new()))
 }
 
+/// Locks a shared database, recovering from poisoning: a writer that
+/// panicked mid-`insert` leaves the `Vec` of records intact (pushes are
+/// atomic from the reader's perspective), so the records are still valid
+/// and losing the whole campaign's accounting over one poisoned lock
+/// would be worse than reading through it.
+pub fn lock(db: &SharedAccounting) -> MutexGuard<'_, AccountingDb> {
+    db.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -162,13 +170,28 @@ mod tests {
             .map(|i| {
                 let db = db.clone();
                 std::thread::spawn(move || {
-                    db.lock().insert(record(&format!("app{i}"), 1000.0));
+                    lock(&db).insert(record(&format!("app{i}"), 1000.0));
                 })
             })
             .collect();
         for h in handles {
             h.join().unwrap();
         }
-        assert_eq!(db.lock().records().len(), 4);
+        assert_eq!(lock(&db).records().len(), 4);
+    }
+
+    #[test]
+    fn poisoned_lock_recovers() {
+        let db = shared();
+        {
+            let db = db.clone();
+            let _ = std::thread::spawn(move || {
+                let _guard = db.lock().unwrap();
+                panic!("poison the lock");
+            })
+            .join();
+        }
+        lock(&db).insert(record("after-poison", 500.0));
+        assert_eq!(lock(&db).records().len(), 1);
     }
 }

@@ -1,4 +1,5 @@
 //! Regenerates the paper's Figure 1.
 fn main() {
     print!("{}", ear_experiments::figures::fig1());
+    ear_experiments::engine::print_process_summary();
 }

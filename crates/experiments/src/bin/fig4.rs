@@ -1,4 +1,5 @@
 //! Regenerates the paper's Figure 4.
 fn main() {
     print!("{}", ear_experiments::figures::fig4());
+    ear_experiments::engine::print_process_summary();
 }

@@ -1,4 +1,5 @@
 //! Regenerates the paper's Figure 6.
 fn main() {
     print!("{}", ear_experiments::figures::fig6());
+    ear_experiments::engine::print_process_summary();
 }

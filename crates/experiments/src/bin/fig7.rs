@@ -1,4 +1,5 @@
 //! Regenerates the paper's Figure 7.
 fn main() {
     print!("{}", ear_experiments::figures::fig7());
+    ear_experiments::engine::print_process_summary();
 }

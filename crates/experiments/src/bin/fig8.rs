@@ -1,4 +1,5 @@
 //! Regenerates the paper's Figure 8.
 fn main() {
     print!("{}", ear_experiments::figures::fig8());
+    ear_experiments::engine::print_process_summary();
 }

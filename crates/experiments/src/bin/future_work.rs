@@ -1,4 +1,5 @@
 //! Regenerates the future-work experiments (paper §VIII, realised).
 fn main() {
     print!("{}", ear_experiments::future_work::run_all_future_work());
+    ear_experiments::engine::print_process_summary();
 }

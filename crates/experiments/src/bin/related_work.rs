@@ -1,4 +1,5 @@
 //! Related-work comparison: ME+eU vs the DUF controller (paper §VII).
 fn main() {
     print!("{}", ear_experiments::related_work::duf_comparison());
+    ear_experiments::engine::print_process_summary();
 }

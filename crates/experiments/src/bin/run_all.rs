@@ -1,4 +1,5 @@
 //! Regenerates every table and figure of the paper, in order.
 fn main() {
     print!("{}", ear_experiments::run_all());
+    ear_experiments::engine::print_process_summary();
 }

@@ -6,4 +6,5 @@ fn main() {
         .unwrap_or_else(|| "BT-MZ.C (OpenMP)".to_string());
     let s = ear_experiments::surface::measure_surface(&app, 77);
     print!("{}", ear_experiments::surface::render_surface(&s));
+    ear_experiments::engine::print_process_summary();
 }

@@ -1,4 +1,5 @@
 //! Regenerates the paper's Table 1.
 fn main() {
     print!("{}", ear_experiments::tables::table1());
+    ear_experiments::engine::print_process_summary();
 }

@@ -1,4 +1,5 @@
 //! Regenerates the paper's Table 2.
 fn main() {
     print!("{}", ear_experiments::tables::table2());
+    ear_experiments::engine::print_process_summary();
 }

@@ -1,4 +1,5 @@
 //! Regenerates the paper's Table 3.
 fn main() {
     print!("{}", ear_experiments::tables::table3());
+    ear_experiments::engine::print_process_summary();
 }

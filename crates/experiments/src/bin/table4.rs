@@ -1,4 +1,5 @@
 //! Regenerates the paper's Table 4.
 fn main() {
     print!("{}", ear_experiments::tables::table4());
+    ear_experiments::engine::print_process_summary();
 }

@@ -1,4 +1,5 @@
 //! Regenerates the paper's Table 7.
 fn main() {
     print!("{}", ear_experiments::tables::table7());
+    ear_experiments::engine::print_process_summary();
 }

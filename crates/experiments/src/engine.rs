@@ -1,0 +1,701 @@
+//! The parallel experiment engine.
+//!
+//! A paper-sized evaluation is a matrix of (workload × configuration)
+//! cells, each averaged over several runs. The engine schedules that work
+//! at **(cell × run)** granularity on a bounded, dependency-free worker
+//! pool (`std::thread::scope` plus an atomic work queue), so a
+//! 3-run × 12-config table saturates every core instead of serialising
+//! runs inside slow cells.
+//!
+//! Guarantees and features:
+//!
+//! - **Determinism regardless of worker count.** Every task derives its
+//!   RNG seed from `(base_seed, cell salt, run index)` alone, and per-cell
+//!   reductions always fold the run samples in run order, so the produced
+//!   [`RunResult`]s are bit-identical for `--jobs 1` and `--jobs 64`.
+//! - **Calibration cache.** `calibrate()` inverts the simulator models in
+//!   closed form; the result only depends on the workload targets, so the
+//!   engine memoises it process-wide. N cells of the same workload
+//!   calibrate once.
+//! - **Panic isolation.** A panicking task fails its *cell*, not the
+//!   campaign: the engine records the failed cell's label and error in the
+//!   [`EngineSummary`] and still returns every cell that succeeded.
+//! - **Telemetry.** Per-task timing, per-cell wall time, and a
+//!   machine-readable engine summary (tasks run, wall time, speedup vs a
+//!   serial estimate, cache statistics), aggregated process-wide for the
+//!   `earsim` front end and the experiment binaries.
+//!
+//! The worker-pool default is [`default_jobs`]: the `--jobs N` flag (via
+//! [`set_default_jobs`]), else the `EAR_JOBS` environment variable, else
+//! `std::thread::available_parallelism()`.
+
+use crate::harness::{make_runtime, RunKind, RunResult, Runtime};
+use ear_mpisim::{run_job, JobSpec};
+use ear_workloads::{build_job, calibrate, CalibratedWorkload, CalibrationError, WorkloadTargets};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Worker-count defaults
+// ---------------------------------------------------------------------------
+
+/// Process-wide override set by `--jobs N` (0 = unset).
+static JOBS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the process-wide default worker count (the `--jobs N` flag).
+/// `0` clears the override.
+pub fn set_default_jobs(jobs: usize) {
+    JOBS_OVERRIDE.store(jobs, Ordering::Relaxed);
+}
+
+/// The default worker count: the [`set_default_jobs`] override if set,
+/// else the `EAR_JOBS` environment variable, else the machine's available
+/// parallelism.
+pub fn default_jobs() -> usize {
+    let over = JOBS_OVERRIDE.load(Ordering::Relaxed);
+    if over > 0 {
+        return over;
+    }
+    if let Ok(v) = std::env::var("EAR_JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+// ---------------------------------------------------------------------------
+// Calibration cache
+// ---------------------------------------------------------------------------
+
+struct CacheEntry {
+    workload: &'static str,
+    computes: u32,
+    cal: Arc<Result<CalibratedWorkload, CalibrationError>>,
+}
+
+struct CalCache {
+    map: HashMap<u64, CacheEntry>,
+    hits: u64,
+    misses: u64,
+}
+
+static CAL_CACHE: OnceLock<Mutex<CalCache>> = OnceLock::new();
+
+fn cal_cache() -> &'static Mutex<CalCache> {
+    CAL_CACHE.get_or_init(|| {
+        Mutex::new(CalCache {
+            map: HashMap::new(),
+            hits: 0,
+            misses: 0,
+        })
+    })
+}
+
+fn lock_cache() -> std::sync::MutexGuard<'static, CalCache> {
+    // The closure held under this lock is `calibrate()`, which cannot
+    // panic (it returns errors), so poisoning is recoverable noise.
+    cal_cache().lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A stable fingerprint of every calibration input. Workload *names* are
+/// not unique keys — `synthetic::parametric(m)` reuses one name for a
+/// family of targets — so the key hashes the full characterisation.
+fn cache_key(t: &WorkloadTargets) -> u64 {
+    // FNV-1a over the Debug rendering: WorkloadTargets is plain data and
+    // its Debug output covers every field.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in format!("{t:?}").bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Calibrates `targets`, memoised process-wide. The closed-form solve runs
+/// at most once per distinct workload characterisation; every later call
+/// (any cell, any engine run) is a cache hit.
+pub fn calibrated(
+    targets: &WorkloadTargets,
+) -> Arc<Result<CalibratedWorkload, CalibrationError>> {
+    let key = cache_key(targets);
+    let mut cache = lock_cache();
+    if let Some(entry) = cache.map.get(&key) {
+        let cal = Arc::clone(&entry.cal);
+        cache.hits += 1;
+        return cal;
+    }
+    cache.misses += 1;
+    // Calibration is a fast closed-form solve; holding the lock across it
+    // guarantees exactly-once computation per key.
+    let cal = Arc::new(calibrate(targets));
+    cache.map.insert(
+        key,
+        CacheEntry {
+            workload: targets.name,
+            computes: 1,
+            cal: Arc::clone(&cal),
+        },
+    );
+    cal
+}
+
+/// Cache statistics: `(hits, misses)` since process start.
+pub fn calibration_stats() -> (u64, u64) {
+    let cache = lock_cache();
+    (cache.hits, cache.misses)
+}
+
+/// How many times `calibrate()` actually ran for the named workload
+/// (across all target variants sharing the name). Test instrumentation
+/// for the once-per-workload guarantee.
+pub fn calibration_count(workload: &str) -> u32 {
+    let cache = lock_cache();
+    cache
+        .map
+        .values()
+        .filter(|e| e.workload == workload)
+        .map(|e| e.computes)
+        .sum()
+}
+
+// ---------------------------------------------------------------------------
+// Seeds and single runs
+// ---------------------------------------------------------------------------
+
+/// Derives one task's RNG seed from `(base_seed, cell salt, run index)`.
+/// With `salt == 0` this reproduces the pre-engine serial derivation
+/// bit-for-bit, so single-cell results are unchanged.
+pub fn run_seed(base_seed: u64, cell_salt: u64, run: usize) -> u64 {
+    base_seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(cell_salt.wrapping_mul(0xD1B5_4A32_D192_ED03))
+        .wrapping_add(run as u64 * 7919)
+}
+
+/// The metrics of one simulated run (one task's output).
+#[derive(Debug, Clone, Copy, Default)]
+struct RunSample {
+    time_s: f64,
+    dc_power_w: f64,
+    pkg_power_w: f64,
+    dc_energy_j: f64,
+    pkg_energy_j: f64,
+    avg_cpu_ghz: f64,
+    avg_imc_ghz: f64,
+    cpi: f64,
+    gbs: f64,
+}
+
+/// Executes one run of one cell.
+fn run_once(
+    cal: &CalibratedWorkload,
+    job: &JobSpec,
+    kind: &RunKind,
+    nodes: usize,
+    seed: u64,
+) -> RunSample {
+    let mut cluster = ear_archsim::Cluster::new(cal.node_config.clone(), nodes, seed);
+    let mut rts: Vec<Runtime> = (0..nodes).map(|_| make_runtime(kind)).collect();
+    let report = run_job(&mut cluster, job, &mut rts);
+    RunSample {
+        time_s: report.seconds(),
+        dc_power_w: report.avg_dc_power_w(),
+        pkg_power_w: report.total_pkg_energy_j() / report.seconds() / nodes as f64,
+        dc_energy_j: report.total_dc_energy_j(),
+        pkg_energy_j: report.total_pkg_energy_j(),
+        avg_cpu_ghz: report.avg_cpu_ghz(),
+        avg_imc_ghz: report.avg_imc_ghz(),
+        cpi: report.cpi(),
+        gbs: report.gbs(),
+    }
+}
+
+/// Folds run samples into the averaged [`RunResult`] — always in run
+/// order, so the floating-point result is independent of which worker
+/// finished first.
+fn reduce(label: &str, samples: &[RunSample]) -> RunResult {
+    let mut acc = RunResult {
+        label: label.to_string(),
+        time_s: 0.0,
+        dc_power_w: 0.0,
+        pkg_power_w: 0.0,
+        dc_energy_j: 0.0,
+        pkg_energy_j: 0.0,
+        avg_cpu_ghz: 0.0,
+        avg_imc_ghz: 0.0,
+        cpi: 0.0,
+        gbs: 0.0,
+    };
+    for s in samples {
+        acc.time_s += s.time_s;
+        acc.dc_power_w += s.dc_power_w;
+        acc.pkg_power_w += s.pkg_power_w;
+        acc.dc_energy_j += s.dc_energy_j;
+        acc.pkg_energy_j += s.pkg_energy_j;
+        acc.avg_cpu_ghz += s.avg_cpu_ghz;
+        acc.avg_imc_ghz += s.avg_imc_ghz;
+        acc.cpi += s.cpi;
+        acc.gbs += s.gbs;
+    }
+    let n = samples.len().max(1) as f64;
+    acc.time_s /= n;
+    acc.dc_power_w /= n;
+    acc.pkg_power_w /= n;
+    acc.dc_energy_j /= n;
+    acc.pkg_energy_j /= n;
+    acc.avg_cpu_ghz /= n;
+    acc.avg_imc_ghz /= n;
+    acc.cpi /= n;
+    acc.gbs /= n;
+    acc
+}
+
+// ---------------------------------------------------------------------------
+// Engine configuration and outcomes
+// ---------------------------------------------------------------------------
+
+/// How a matrix is executed.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads (0 = [`default_jobs`]).
+    pub jobs: usize,
+    /// Runs per cell (the paper averages three).
+    pub runs: usize,
+    /// Base seed; each task reseeds via [`run_seed`].
+    pub base_seed: u64,
+    /// When true (the default), each cell salts its seeds with its index
+    /// so cells draw independent noise. `false` reproduces the legacy
+    /// same-seed-per-cell derivation (used by the energy surface, where
+    /// cells are compared against a same-seed reference).
+    pub salt_by_index: bool,
+}
+
+impl EngineConfig {
+    /// Config with `runs` runs per cell and the default worker count.
+    pub fn new(runs: usize, base_seed: u64) -> Self {
+        EngineConfig {
+            jobs: 0,
+            runs,
+            base_seed,
+            salt_by_index: true,
+        }
+    }
+
+    /// Overrides the worker count.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Uses the legacy seed derivation (no per-cell salt).
+    pub fn legacy_seeds(mut self) -> Self {
+        self.salt_by_index = false;
+        self
+    }
+
+    fn effective_jobs(&self) -> usize {
+        if self.jobs > 0 {
+            self.jobs
+        } else {
+            default_jobs()
+        }
+    }
+}
+
+/// One cell's outcome: the averaged result, or the error that failed it.
+#[derive(Debug, Clone)]
+pub struct CellOutcome {
+    /// Cell label.
+    pub label: String,
+    /// Averaged result (`None` if any run of the cell failed).
+    pub result: Option<RunResult>,
+    /// First error of the cell's runs, if any.
+    pub error: Option<String>,
+    /// How many of the cell's runs failed.
+    pub failed_runs: usize,
+    /// Total busy time of the cell's tasks (s).
+    pub busy_s: f64,
+}
+
+/// The machine-readable engine summary.
+#[derive(Debug, Clone, Default)]
+pub struct EngineSummary {
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Tasks scheduled (cells × runs).
+    pub tasks: usize,
+    /// Tasks that panicked or errored.
+    pub tasks_failed: usize,
+    /// Labels of cells with at least one failed task.
+    pub failed_cells: Vec<String>,
+    /// Engine wall time (s).
+    pub wall_s: f64,
+    /// Serial estimate: the sum of per-task busy times (s).
+    pub serial_estimate_s: f64,
+    /// Calibration-cache hits during this engine run.
+    pub cal_hits: u64,
+    /// Calibrations actually computed during this engine run.
+    pub cal_misses: u64,
+}
+
+impl EngineSummary {
+    /// Measured speedup against running every task serially.
+    pub fn speedup(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.serial_estimate_s / self.wall_s
+        } else {
+            1.0
+        }
+    }
+
+    /// One-line JSON rendering (hand-rolled; the engine has no external
+    /// dependencies by policy).
+    pub fn to_json(&self) -> String {
+        let failed: Vec<String> = self
+            .failed_cells
+            .iter()
+            .map(|l| format!("\"{}\"", l.replace('\\', "\\\\").replace('"', "\\\"")))
+            .collect();
+        format!(
+            "{{\"jobs\":{},\"tasks\":{},\"tasks_failed\":{},\"failed_cells\":[{}],\
+             \"wall_s\":{:.3},\"serial_estimate_s\":{:.3},\"speedup\":{:.2},\
+             \"cal_hits\":{},\"cal_misses\":{}}}",
+            self.jobs,
+            self.tasks,
+            self.tasks_failed,
+            failed.join(","),
+            self.wall_s,
+            self.serial_estimate_s,
+            self.speedup(),
+            self.cal_hits,
+            self.cal_misses
+        )
+    }
+}
+
+/// A whole matrix run: per-cell outcomes plus the engine summary.
+#[derive(Debug, Clone)]
+pub struct MatrixRun {
+    /// Outcomes, one per input cell, in input order.
+    pub cells: Vec<CellOutcome>,
+    /// Engine telemetry for this run.
+    pub summary: EngineSummary,
+}
+
+impl MatrixRun {
+    /// The `i`-th cell's result, if it succeeded.
+    pub fn get(&self, i: usize) -> Option<&RunResult> {
+        self.cells.get(i).and_then(|c| c.result.as_ref())
+    }
+
+    /// Every result if *all* cells succeeded, else `None` (use when rows
+    /// are compared positionally and a partial matrix would mislead).
+    pub fn all(&self) -> Option<Vec<RunResult>> {
+        self.cells.iter().map(|c| c.result.clone()).collect()
+    }
+
+    /// The results of the cells that succeeded, input order preserved.
+    pub fn successes(&self) -> Vec<RunResult> {
+        self.cells.iter().filter_map(|c| c.result.clone()).collect()
+    }
+
+    /// Labels of the cells that failed.
+    pub fn failed_labels(&self) -> Vec<String> {
+        self.summary.failed_cells.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The bounded worker pool
+// ---------------------------------------------------------------------------
+
+struct TaskOutcome {
+    sample: Result<RunSample, String>,
+    busy_s: f64,
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "task panicked".to_string()
+    }
+}
+
+/// Runs a whole matrix (one workload × several configurations) through the
+/// bounded worker pool at (cell × run) granularity.
+pub fn run_matrix_engine(
+    targets: &WorkloadTargets,
+    cells: &[(String, RunKind)],
+    config: &EngineConfig,
+) -> MatrixRun {
+    let started = Instant::now();
+    let (hits0, misses0) = calibration_stats();
+    let runs = config.runs.max(1);
+    let jobs = config.effective_jobs().max(1);
+
+    // Calibrate and synthesise the job once — every cell of a matrix runs
+    // the same workload.
+    let cal = calibrated(targets);
+    let outcomes: Vec<CellOutcome> = match cal.as_ref() {
+        Err(e) => {
+            // The workload itself is infeasible: every cell fails alike.
+            cells
+                .iter()
+                .map(|(label, _)| CellOutcome {
+                    label: label.clone(),
+                    result: None,
+                    error: Some(e.to_string()),
+                    failed_runs: runs,
+                    busy_s: 0.0,
+                })
+                .collect()
+        }
+        Ok(cal) => {
+            let job = build_job(cal);
+            run_cells(cal, &job, targets, cells, runs, jobs, config)
+        }
+    };
+
+    let (hits1, misses1) = calibration_stats();
+    let failed_cells: Vec<String> = outcomes
+        .iter()
+        .filter(|c| c.result.is_none())
+        .map(|c| c.label.clone())
+        .collect();
+    let summary = EngineSummary {
+        jobs,
+        tasks: cells.len() * runs,
+        tasks_failed: outcomes.iter().map(|c| c.failed_runs).sum(),
+        failed_cells,
+        wall_s: started.elapsed().as_secs_f64(),
+        serial_estimate_s: outcomes.iter().map(|c| c.busy_s).sum(),
+        cal_hits: hits1.saturating_sub(hits0),
+        cal_misses: misses1.saturating_sub(misses0),
+    };
+    record_process(&summary);
+    MatrixRun {
+        cells: outcomes,
+        summary,
+    }
+}
+
+fn run_cells(
+    cal: &CalibratedWorkload,
+    job: &JobSpec,
+    targets: &WorkloadTargets,
+    cells: &[(String, RunKind)],
+    runs: usize,
+    jobs: usize,
+    config: &EngineConfig,
+) -> Vec<CellOutcome> {
+    let n_tasks = cells.len() * runs;
+    let next = AtomicUsize::new(0);
+    let slots: Vec<OnceLock<TaskOutcome>> = (0..n_tasks).map(|_| OnceLock::new()).collect();
+    let workers = jobs.min(n_tasks).max(1);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n_tasks {
+                    break;
+                }
+                let (cell, run) = (i / runs, i % runs);
+                let kind = &cells[cell].1;
+                let salt = if config.salt_by_index { cell as u64 } else { 0 };
+                let seed = run_seed(config.base_seed, salt, run);
+                let t0 = Instant::now();
+                let sample =
+                    catch_unwind(AssertUnwindSafe(|| {
+                        run_once(cal, job, kind, targets.nodes, seed)
+                    }))
+                    .map_err(panic_message);
+                let _ = slots[i].set(TaskOutcome {
+                    sample,
+                    busy_s: t0.elapsed().as_secs_f64(),
+                });
+            });
+        }
+    });
+
+    // Reduce in task order: deterministic regardless of completion order.
+    cells
+        .iter()
+        .enumerate()
+        .map(|(cell, (label, _))| {
+            let mut samples = Vec::with_capacity(runs);
+            let mut error = None;
+            let mut failed_runs = 0;
+            let mut busy_s = 0.0;
+            for run in 0..runs {
+                let out = slots[cell * runs + run]
+                    .get()
+                    .expect("every task slot is filled before the scope ends");
+                busy_s += out.busy_s;
+                match &out.sample {
+                    Ok(s) => samples.push(*s),
+                    Err(e) => {
+                        failed_runs += 1;
+                        if error.is_none() {
+                            error = Some(e.clone());
+                        }
+                    }
+                }
+            }
+            let result = if error.is_none() {
+                Some(reduce(label, &samples))
+            } else {
+                None
+            };
+            CellOutcome {
+                label: label.clone(),
+                result,
+                error,
+                failed_runs,
+                busy_s,
+            }
+        })
+        .collect()
+}
+
+/// [`run_matrix_engine`] with the default configuration — the drop-in used
+/// by the table/figure modules.
+pub fn run_matrix_default(
+    targets: &WorkloadTargets,
+    cells: &[(String, RunKind)],
+    runs: usize,
+    base_seed: u64,
+) -> MatrixRun {
+    run_matrix_engine(targets, cells, &EngineConfig::new(runs, base_seed))
+}
+
+// ---------------------------------------------------------------------------
+// Process-wide telemetry
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default, Clone)]
+struct ProcessTelemetry {
+    engine_runs: u64,
+    tasks: u64,
+    tasks_failed: u64,
+    failed_cells: Vec<String>,
+    wall_s: f64,
+    serial_estimate_s: f64,
+    jobs: usize,
+}
+
+static PROCESS: OnceLock<Mutex<ProcessTelemetry>> = OnceLock::new();
+
+fn process() -> &'static Mutex<ProcessTelemetry> {
+    PROCESS.get_or_init(|| Mutex::new(ProcessTelemetry::default()))
+}
+
+fn record_process(summary: &EngineSummary) {
+    let mut p = process().lock().unwrap_or_else(PoisonError::into_inner);
+    p.engine_runs += 1;
+    p.tasks += summary.tasks as u64;
+    p.tasks_failed += summary.tasks_failed as u64;
+    p.failed_cells.extend(summary.failed_cells.iter().cloned());
+    p.wall_s += summary.wall_s;
+    p.serial_estimate_s += summary.serial_estimate_s;
+    p.jobs = p.jobs.max(summary.jobs);
+}
+
+/// The process-wide telemetry aggregated over every engine run so far, as
+/// one JSON line — `None` if no engine work has run.
+pub fn process_summary_json() -> Option<String> {
+    let p = process().lock().unwrap_or_else(PoisonError::into_inner);
+    if p.engine_runs == 0 {
+        return None;
+    }
+    let (hits, misses) = calibration_stats();
+    let failed: Vec<String> = p
+        .failed_cells
+        .iter()
+        .map(|l| format!("\"{}\"", l.replace('\\', "\\\\").replace('"', "\\\"")))
+        .collect();
+    let speedup = if p.wall_s > 0.0 {
+        p.serial_estimate_s / p.wall_s
+    } else {
+        1.0
+    };
+    Some(format!(
+        "{{\"engine_runs\":{},\"jobs\":{},\"tasks\":{},\"tasks_failed\":{},\
+         \"failed_cells\":[{}],\"wall_s\":{:.3},\"serial_estimate_s\":{:.3},\
+         \"speedup\":{:.2},\"cal_hits\":{},\"cal_misses\":{}}}",
+        p.engine_runs,
+        p.jobs,
+        p.tasks,
+        p.tasks_failed,
+        failed.join(","),
+        p.wall_s,
+        p.serial_estimate_s,
+        speedup,
+        hits,
+        misses
+    ))
+}
+
+/// Prints the process-wide engine summary to stderr (no-op if no engine
+/// work ran). Called by `earsim` and the experiment binaries on exit so
+/// stdout stays clean for the tables themselves.
+pub fn print_process_summary() {
+    if let Some(json) = process_summary_json() {
+        eprintln!("earsim-telemetry: {json}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_derivation_matches_legacy_for_salt_zero() {
+        for (base, run) in [(42u64, 0usize), (7, 1), (1001, 2)] {
+            let legacy = base
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(run as u64 * 7919);
+            assert_eq!(run_seed(base, 0, run), legacy);
+        }
+    }
+
+    #[test]
+    fn seeds_differ_across_cells_and_runs() {
+        let s = |cell, run| run_seed(99, cell, run);
+        assert_ne!(s(0, 0), s(1, 0));
+        assert_ne!(s(0, 0), s(0, 1));
+        assert_ne!(s(1, 2), s(2, 1));
+    }
+
+    #[test]
+    fn summary_json_is_well_formed() {
+        let s = EngineSummary {
+            jobs: 4,
+            tasks: 6,
+            tasks_failed: 3,
+            failed_cells: vec!["bad \"cell\"".into()],
+            wall_s: 1.5,
+            serial_estimate_s: 4.5,
+            cal_hits: 5,
+            cal_misses: 1,
+        };
+        let j = s.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"speedup\":3.00"), "{j}");
+        assert!(j.contains("\\\"cell\\\""), "{j}");
+    }
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs() >= 1);
+    }
+}

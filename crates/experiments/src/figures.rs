@@ -2,7 +2,8 @@
 //! printed in table form (the series the paper plots).
 
 use crate::chart::{bar_chart, column_chart};
-use crate::harness::{compare, format_table, run_cell, run_matrix, Comparison, RunKind};
+use crate::engine::run_matrix_default;
+use crate::harness::{compare, format_table, run_cell, Comparison, RunKind};
 use crate::tables::{app_cpu_th, RUNS};
 use ear_workloads::by_name;
 
@@ -34,36 +35,42 @@ pub fn fig1_data(kernel: &str) -> (f64, Vec<SweepPoint>) {
         .pstates
         .pstate_for_khz((me.avg_cpu_ghz * 1e6).round() as u64);
 
-    // Reference: same CPU pstate, hardware UFS (full range).
-    let reference = run_cell(
-        &t,
-        &RunKind::Fixed {
+    // Reference (same CPU pstate, hardware UFS) plus the whole sweep, as
+    // one engine matrix: 14 cells × RUNS tasks scheduled across the pool.
+    // Legacy seeds keep every cell's numbers identical to the serial
+    // `run_cell` loop this replaced.
+    let mut cells = vec![(
+        "HW UFS".to_string(),
+        RunKind::Fixed {
             cpu: cpu_ps,
             imc_ratio: None,
         },
-        "HW UFS",
-        RUNS,
-        108,
+    )];
+    cells.extend((12..=24u8).rev().map(|ratio| {
+        (
+            format!("fixed {:.1}", ratio as f64 * 0.1),
+            RunKind::Fixed {
+                cpu: cpu_ps,
+                imc_ratio: Some(ratio),
+            },
+        )
+    }));
+    let run = crate::engine::run_matrix_engine(
+        &t,
+        &cells,
+        &crate::engine::EngineConfig::new(RUNS, 108).legacy_seeds(),
     );
-
+    let reference = run.get(0).expect("HW UFS reference cell").clone();
     let points = (12..=24u8)
         .rev()
-        .map(|ratio| {
-            let r = run_cell(
-                &t,
-                &RunKind::Fixed {
-                    cpu: cpu_ps,
-                    imc_ratio: Some(ratio),
-                },
-                "fixed",
-                RUNS,
-                108,
-            );
-            SweepPoint {
+        .enumerate()
+        .filter_map(|(i, ratio)| {
+            let r = run.get(i + 1)?;
+            Some(SweepPoint {
                 fixed_imc_ghz: ratio as f64 * 0.1,
-                vs_hw: compare(&reference, &r),
+                vs_hw: compare(&reference, r),
                 avg_imc_ghz: r.avg_imc_ghz,
-            }
+            })
         })
         .collect();
     (reference.avg_imc_ghz, points)
@@ -120,6 +127,11 @@ pub fn fig1() -> String {
 
 /// A generic "policy comparison" figure: one application, several policy
 /// configurations, each compared against No policy.
+///
+/// Runs through the engine; a failed configuration cell is dropped from
+/// the figure (with a stderr note) instead of aborting the campaign. If
+/// the reference cell itself fails there is nothing to compare against
+/// and the figure is empty.
 pub fn policy_figure(
     app: &str,
     configs: &[(String, RunKind)],
@@ -128,10 +140,23 @@ pub fn policy_figure(
     let t = by_name(app).expect("catalog");
     let mut cells = vec![("No policy".to_string(), RunKind::NoPolicy)];
     cells.extend_from_slice(configs);
-    let results = run_matrix(&t, &cells, RUNS, seed);
-    results[1..]
+    let run = run_matrix_default(&t, &cells, RUNS, seed);
+    for cell in run.cells.iter().filter(|c| c.result.is_none()) {
+        eprintln!(
+            "figures: {app} cell '{}' failed: {}",
+            cell.label,
+            cell.error.as_deref().unwrap_or("unknown error")
+        );
+    }
+    let Some(reference) = run.get(0) else {
+        return Vec::new();
+    };
+    run.cells[1..]
         .iter()
-        .map(|r| (r.label.clone(), compare(&results[0], r)))
+        .filter_map(|c| {
+            let r = c.result.as_ref()?;
+            Some((r.label.clone(), compare(reference, r)))
+        })
         .collect()
 }
 

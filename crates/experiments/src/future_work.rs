@@ -8,13 +8,33 @@
 //! 3. **Uncore range modes** — the §V-B pre-evaluation (max-only vs pinned
 //!    vs band), reproduced as an ablation.
 
-use crate::harness::{compare, format_table, run_matrix, RunKind};
+use crate::engine::run_matrix_default;
+use crate::harness::{compare, format_table, RunKind, RunResult};
 use crate::tables::RUNS;
 use ear_core::{ImcRange, PolicySettings};
-use ear_workloads::synthetic;
+use ear_workloads::{synthetic, WorkloadTargets};
 
 fn pct(x: f64) -> String {
     format!("{x:.2}%")
+}
+
+/// Engine-backed matrix run; `None` (with a stderr note) if any cell
+/// failed, since every table here compares positionally against cell 0.
+fn matrix_all(
+    targets: &WorkloadTargets,
+    cells: &[(String, RunKind)],
+    seed: u64,
+) -> Option<Vec<RunResult>> {
+    let run = run_matrix_default(targets, cells, RUNS, seed);
+    let all = run.all();
+    if all.is_none() {
+        eprintln!(
+            "future_work: skipping {} (failed cells: {})",
+            targets.name,
+            run.failed_labels().join(", ")
+        );
+    }
+    all
 }
 
 /// min_time ± eUFS on a CPU-bound and a memory-bound application, against
@@ -51,7 +71,9 @@ pub fn min_time_eval() -> String {
                 },
             ),
         ];
-        let results = run_matrix(&t, &cells, RUNS, 301);
+        let Some(results) = matrix_all(&t, &cells, 301) else {
+            continue;
+        };
         for r in &results[1..] {
             let c = compare(&results[0], r);
             rows.push(vec![
@@ -90,8 +112,10 @@ pub fn comm_intensive_eval() -> String {
         ("ME+eU 2%".to_string(), RunKind::me_eufs(0.05, 0.02)),
         ("ME+eU 3%".to_string(), RunKind::me_eufs(0.05, 0.03)),
     ];
-    let results = run_matrix(&t, &cells, RUNS, 302);
-    let rows: Vec<Vec<String>> = results[1..]
+    let results = matrix_all(&t, &cells, 302).unwrap_or_default();
+    let rows: Vec<Vec<String>> = results
+        .get(1..)
+        .unwrap_or_default()
         .iter()
         .map(|r| {
             let c = compare(&results[0], r);
@@ -135,8 +159,10 @@ pub fn range_mode_eval() -> String {
         ("pinned".to_string(), mk(ImcRange::Pinned)),
         ("band 0.2GHz".to_string(), mk(ImcRange::Band(2))),
     ];
-    let results = run_matrix(&t, &cells, RUNS, 303);
-    let rows: Vec<Vec<String>> = results[1..]
+    let results = matrix_all(&t, &cells, 303).unwrap_or_default();
+    let rows: Vec<Vec<String>> = results
+        .get(1..)
+        .unwrap_or_default()
         .iter()
         .map(|r| {
             let c = compare(&results[0], r);
@@ -172,7 +198,9 @@ pub fn intensity_sweep() -> String {
             ("ME".to_string(), RunKind::me(0.05)),
             ("ME+eU".to_string(), RunKind::me_eufs(0.05, 0.02)),
         ];
-        let results = run_matrix(&t, &cells, RUNS, 304);
+        let Some(results) = matrix_all(&t, &cells, 304) else {
+            continue;
+        };
         let me = compare(&results[0], &results[1]);
         let eu = compare(&results[0], &results[2]);
         rows.push(vec![

@@ -1,11 +1,17 @@
 //! The experiment harness: run matrices of (workload × configuration),
 //! three runs each (as the paper does), averaged, with penalty/saving
 //! computations against a reference configuration.
+//!
+//! Execution is delegated to the parallel experiment engine
+//! ([`crate::engine`]): cells and runs are scheduled on a bounded worker
+//! pool, calibrations are memoised process-wide, and per-task panics fail
+//! only their own cell. The functions here keep the original simple
+//! signatures for callers that don't need the engine's telemetry.
 
-use ear_archsim::Cluster;
+use crate::engine::{self, EngineConfig};
 use ear_core::{Earl, EarlConfig, NodeFreqs, PolicySettings};
-use ear_mpisim::{run_job, MpiEvent, NodeRuntime, NullRuntime};
-use ear_workloads::{build_job, calibrate, WorkloadTargets};
+use ear_mpisim::{MpiEvent, NodeRuntime, NullRuntime};
+use ear_workloads::WorkloadTargets;
 
 /// How a run is driven.
 #[derive(Debug, Clone)]
@@ -68,7 +74,7 @@ impl RunKind {
 }
 
 /// Averaged result of the runs of one (workload, configuration) cell.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
     /// Cell label (e.g. "ME+eU 2%").
     pub label: String,
@@ -93,7 +99,7 @@ pub struct RunResult {
 }
 
 /// Runtime wrapper so one job can run under either driver.
-enum Runtime {
+pub(crate) enum Runtime {
     Null(NullRuntime),
     Earl(Box<Earl>),
     Fixed { cpu: usize, imc_ratio: Option<u8> },
@@ -147,7 +153,7 @@ impl NodeRuntime for Runtime {
     }
 }
 
-fn make_runtime(kind: &RunKind) -> Runtime {
+pub(crate) fn make_runtime(kind: &RunKind) -> Runtime {
     match kind {
         RunKind::NoPolicy => Runtime::Null(NullRuntime),
         RunKind::Policy { name, settings } => {
@@ -166,7 +172,12 @@ fn make_runtime(kind: &RunKind) -> Runtime {
 }
 
 /// Runs one (workload, configuration) cell: `runs` independent runs (the
-/// paper uses three), averaged.
+/// paper uses three), averaged. Runs are scheduled on the engine's worker
+/// pool; seeds and results are identical to the historical serial loop.
+///
+/// Panics if the workload cannot be calibrated or the cell fails — the
+/// single-cell API has no channel for partial results. Campaigns that must
+/// survive cell failures use [`engine::run_matrix_engine`].
 pub fn run_cell(
     targets: &WorkloadTargets,
     kind: &RunKind,
@@ -174,70 +185,45 @@ pub fn run_cell(
     runs: usize,
     base_seed: u64,
 ) -> RunResult {
-    let cal = calibrate(targets).unwrap_or_else(|e| panic!("{e}"));
-    let job = build_job(&cal);
-    let mut acc = RunResult {
-        label: label.to_string(),
-        time_s: 0.0,
-        dc_power_w: 0.0,
-        pkg_power_w: 0.0,
-        dc_energy_j: 0.0,
-        pkg_energy_j: 0.0,
-        avg_cpu_ghz: 0.0,
-        avg_imc_ghz: 0.0,
-        cpi: 0.0,
-        gbs: 0.0,
-    };
-    for run in 0..runs.max(1) {
-        let seed = base_seed
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-            .wrapping_add(run as u64 * 7919);
-        let mut cluster = Cluster::new(cal.node_config.clone(), targets.nodes, seed);
-        let mut rts: Vec<Runtime> = (0..targets.nodes).map(|_| make_runtime(kind)).collect();
-        let report = run_job(&mut cluster, &job, &mut rts);
-        acc.time_s += report.seconds();
-        acc.dc_power_w += report.avg_dc_power_w();
-        acc.pkg_power_w += report.total_pkg_energy_j() / report.seconds() / targets.nodes as f64;
-        acc.dc_energy_j += report.total_dc_energy_j();
-        acc.pkg_energy_j += report.total_pkg_energy_j();
-        acc.avg_cpu_ghz += report.avg_cpu_ghz();
-        acc.avg_imc_ghz += report.avg_imc_ghz();
-        acc.cpi += report.cpi();
-        acc.gbs += report.gbs();
+    let cells = vec![(label.to_string(), kind.clone())];
+    let run = engine::run_matrix_engine(
+        targets,
+        &cells,
+        &EngineConfig::new(runs, base_seed).legacy_seeds(),
+    );
+    let outcome = run.cells.into_iter().next().expect("one cell in, one out");
+    match outcome.result {
+        Some(r) => r,
+        None => panic!(
+            "{}",
+            outcome.error.unwrap_or_else(|| "cell failed".to_string())
+        ),
     }
-    let n = runs.max(1) as f64;
-    acc.time_s /= n;
-    acc.dc_power_w /= n;
-    acc.pkg_power_w /= n;
-    acc.dc_energy_j /= n;
-    acc.pkg_energy_j /= n;
-    acc.avg_cpu_ghz /= n;
-    acc.avg_imc_ghz /= n;
-    acc.cpi /= n;
-    acc.gbs /= n;
-    acc
 }
 
-/// Runs a whole matrix (one workload × several configurations) with the
-/// configurations in parallel (each cell is independent).
+/// Runs a whole matrix (one workload × several configurations) through the
+/// bounded worker pool at (cell × run) granularity.
+///
+/// Cells that fail (a panicking run, an infeasible calibration) are
+/// dropped from the returned vector after a warning on stderr; input order
+/// is preserved for the survivors. Callers that index cells positionally
+/// against a reference should use [`engine::run_matrix_engine`] and its
+/// [`engine::MatrixRun::all`] accessor instead.
 pub fn run_matrix(
     targets: &WorkloadTargets,
     cells: &[(String, RunKind)],
     runs: usize,
     base_seed: u64,
 ) -> Vec<RunResult> {
-    let mut out: Vec<Option<RunResult>> = vec![None; cells.len()];
-    crossbeam::thread::scope(|scope| {
-        for (slot, (label, kind)) in out.iter_mut().zip(cells) {
-            scope.spawn(move |_| {
-                *slot = Some(run_cell(targets, kind, label, runs, base_seed));
-            });
-        }
-    })
-    .expect("experiment worker panicked");
-    out.into_iter()
-        .map(|r| r.expect("every cell ran"))
-        .collect()
+    let run = engine::run_matrix_default(targets, cells, runs, base_seed);
+    for cell in run.cells.iter().filter(|c| c.result.is_none()) {
+        eprintln!(
+            "run_matrix: cell '{}' failed: {}",
+            cell.label,
+            cell.error.as_deref().unwrap_or("unknown error")
+        );
+    }
+    run.successes()
 }
 
 /// Penalties and savings of a configuration against a reference (positive

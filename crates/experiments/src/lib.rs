@@ -5,6 +5,13 @@
 //! times — as the paper averages three real runs — and reports penalties
 //! and savings against the matching reference configuration.
 //!
+//! Execution goes through the [`engine`]: a dependency-free bounded worker
+//! pool scheduling at (cell × run) granularity, with a process-wide
+//! calibration cache, per-task panic isolation, deterministic results for
+//! any worker count, and machine-readable run telemetry. Worker count:
+//! `--jobs N` on `earsim`, the `EAR_JOBS` environment variable, or the
+//! machine's available parallelism.
+//!
 //! Binaries: `table1` … `table7`, `fig1`, `fig3` … `fig8`, and `run_all`
 //! (prints everything, in paper order).
 
@@ -12,6 +19,7 @@
 
 pub mod chart;
 pub mod csv;
+pub mod engine;
 pub mod figures;
 pub mod future_work;
 pub mod harness;
@@ -20,6 +28,10 @@ pub mod surface;
 pub mod tables;
 
 pub use chart::{bar_chart, column_chart};
+pub use engine::{
+    default_jobs, print_process_summary, run_matrix_engine, set_default_jobs, EngineConfig,
+    EngineSummary, MatrixRun,
+};
 pub use harness::{compare, format_table, run_cell, run_matrix, Comparison, RunKind, RunResult};
 
 /// Runs every experiment and returns the full report (the `run_all` binary

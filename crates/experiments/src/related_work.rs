@@ -8,7 +8,8 @@
 //! measurable here: on memory-bound codes DUF leaves the DVFS savings on
 //! the table, and DUF's periodic re-probes cost small oscillations.
 
-use crate::harness::{compare, format_table, run_matrix, RunKind};
+use crate::engine::run_matrix_default;
+use crate::harness::{compare, format_table, RunKind};
 use crate::tables::RUNS;
 use ear_core::PolicySettings;
 
@@ -33,7 +34,14 @@ pub fn duf_comparison() -> String {
                 },
             ),
         ];
-        let results = run_matrix(&t, &cells, RUNS, 401);
+        let run = run_matrix_default(&t, &cells, RUNS, 401);
+        let Some(results) = run.all() else {
+            eprintln!(
+                "related_work: skipping {app} (failed cells: {})",
+                run.failed_labels().join(", ")
+            );
+            continue;
+        };
         for r in &results[1..] {
             let c = compare(&results[0], r);
             rows.push(vec![

@@ -8,7 +8,8 @@
 //! the optimum's position depends on the application class, and the two
 //! axes are *not* independent.
 
-use crate::harness::{format_table, run_cell, RunKind, RunResult};
+use crate::engine::{run_matrix_engine, EngineConfig};
+use crate::harness::{format_table, RunKind, RunResult};
 use ear_workloads::by_name;
 
 /// The measured surface.
@@ -60,37 +61,47 @@ impl Surface {
 }
 
 /// Measures the surface for a catalog workload (1 run per cell — the
-/// surface has dozens of cells).
+/// surface has dozens of cells). The reference and the whole grid run as
+/// one engine matrix, so the 21 cells spread across the worker pool;
+/// legacy seeds keep every cell comparable against the same-seed
+/// reference (and the numbers identical to the old serial loop).
 pub fn measure_surface(app: &str, seed: u64) -> Surface {
     let t = by_name(app).unwrap_or_else(|| panic!("unknown workload {app}"));
     let cpu_pstates = vec![1usize, 3, 5, 7];
     let imc_ratios = vec![24u8, 21, 18, 15, 12];
-    let reference = run_cell(
-        &t,
-        &RunKind::Fixed {
+    let mut cells = vec![(
+        "ref".to_string(),
+        RunKind::Fixed {
             cpu: 1,
             imc_ratio: None,
         },
-        "ref",
-        1,
-        seed,
-    );
-    let mut rel_energy = Vec::new();
-    let mut rel_time = Vec::new();
+    )];
     for &ps in &cpu_pstates {
-        let mut e_row = Vec::new();
-        let mut t_row = Vec::new();
         for &r in &imc_ratios {
-            let cell = run_cell(
-                &t,
-                &RunKind::Fixed {
+            cells.push((
+                format!("cpu{ps}/imc{r}"),
+                RunKind::Fixed {
                     cpu: ps,
                     imc_ratio: Some(r),
                 },
-                "cell",
-                1,
-                seed,
-            );
+            ));
+        }
+    }
+    let run = run_matrix_engine(&t, &cells, &EngineConfig::new(1, seed).legacy_seeds());
+    let all = run.all().unwrap_or_else(|| {
+        panic!(
+            "surface for {app}: cells failed: {}",
+            run.failed_labels().join(", ")
+        )
+    });
+    let reference = all[0].clone();
+    let mut rel_energy = Vec::new();
+    let mut rel_time = Vec::new();
+    for (i, _) in cpu_pstates.iter().enumerate() {
+        let mut e_row = Vec::new();
+        let mut t_row = Vec::new();
+        for (j, _) in imc_ratios.iter().enumerate() {
+            let cell = &all[1 + i * imc_ratios.len() + j];
             e_row.push(cell.dc_energy_j / reference.dc_energy_j);
             t_row.push(cell.time_s / reference.time_s);
         }

@@ -4,11 +4,33 @@
 //! underlying numbers for tests and EXPERIMENTS.md. Every cell averages
 //! three simulated runs, as the paper averages three real runs.
 
-use crate::harness::{compare, format_table, run_cell, run_matrix, RunKind, RunResult};
-use ear_workloads::{apps, by_name, kernels};
+use crate::engine::run_matrix_default;
+use crate::harness::{compare, format_table, run_cell, RunKind, RunResult};
+use ear_workloads::{apps, by_name, kernels, WorkloadTargets};
 
 /// Default number of runs per cell (the paper's three).
 pub const RUNS: usize = 3;
+
+/// Runs one workload's cells through the engine and returns all results,
+/// or `None` (with a stderr note) if any cell failed — the tables compare
+/// cells positionally against the first (reference) cell, so a partial
+/// matrix would mislabel rows.
+fn matrix_all(
+    targets: &WorkloadTargets,
+    cells: &[(String, RunKind)],
+    seed: u64,
+) -> Option<Vec<RunResult>> {
+    let run = run_matrix_default(targets, cells, RUNS, seed);
+    let all = run.all();
+    if all.is_none() {
+        eprintln!(
+            "tables: skipping {} (failed cells: {})",
+            targets.name,
+            run.failed_labels().join(", ")
+        );
+    }
+    all
+}
 
 fn f2(x: f64) -> String {
     format!("{x:.2}")
@@ -96,16 +118,16 @@ pub type Table3Row = (
 pub fn table3_data() -> Vec<Table3Row> {
     kernels::table2_kernels()
         .iter()
-        .map(|t| {
+        .filter_map(|t| {
             let cells = vec![
                 ("No policy".to_string(), RunKind::NoPolicy),
                 ("ME".to_string(), RunKind::me(0.05)),
                 ("ME+eU".to_string(), RunKind::me_eufs(0.05, 0.02)),
             ];
-            let results = run_matrix(t, &cells, RUNS, 103);
+            let results = matrix_all(t, &cells, 103)?;
             let me = compare(&results[0], &results[1]);
             let eu = compare(&results[0], &results[2]);
-            (t.name.to_string(), me, eu)
+            Some((t.name.to_string(), me, eu))
         })
         .collect()
 }
@@ -146,21 +168,21 @@ pub fn table3() -> String {
 pub fn table4_data() -> Vec<(String, [RunResult; 3])> {
     kernels::table2_kernels()
         .iter()
-        .map(|t| {
+        .filter_map(|t| {
             let cells = vec![
                 ("No policy".to_string(), RunKind::NoPolicy),
                 ("ME".to_string(), RunKind::me(0.05)),
                 ("ME+eU".to_string(), RunKind::me_eufs(0.05, 0.02)),
             ];
-            let mut results = run_matrix(t, &cells, RUNS, 104).into_iter();
-            (
+            let mut results = matrix_all(t, &cells, 104)?.into_iter();
+            Some((
                 t.name.to_string(),
                 [
                     results.next().unwrap(),
                     results.next().unwrap(),
                     results.next().unwrap(),
                 ],
-            )
+            ))
         })
         .collect()
 }
@@ -237,22 +259,22 @@ pub fn app_cpu_th(name: &str) -> f64 {
 pub fn table6_data() -> Vec<(String, [RunResult; 3])> {
     apps::table5_apps()
         .iter()
-        .map(|t| {
+        .filter_map(|t| {
             let th = app_cpu_th(t.name);
             let cells = vec![
                 ("No policy".to_string(), RunKind::NoPolicy),
                 ("ME".to_string(), RunKind::me(th)),
                 ("ME+eU".to_string(), RunKind::me_eufs(th, 0.02)),
             ];
-            let mut results = run_matrix(t, &cells, RUNS, 106).into_iter();
-            (
+            let mut results = matrix_all(t, &cells, 106)?.into_iter();
+            Some((
                 t.name.to_string(),
                 [
                     results.next().unwrap(),
                     results.next().unwrap(),
                     results.next().unwrap(),
                 ],
-            )
+            ))
         })
         .collect()
 }
@@ -297,16 +319,16 @@ pub fn table7_data() -> Vec<(String, f64, f64)> {
         "AFiD",
     ]
     .iter()
-    .map(|name| {
+    .filter_map(|name| {
         let t = by_name(name).expect("catalog");
         let th = app_cpu_th(name);
         let cells = vec![
             ("No policy".to_string(), RunKind::NoPolicy),
             ("ME+eU".to_string(), RunKind::me_eufs(th, 0.02)),
         ];
-        let results = run_matrix(&t, &cells, RUNS, 107);
+        let results = matrix_all(&t, &cells, 107)?;
         let c = compare(&results[0], &results[1]);
-        (name.to_string(), c.power_saving_pct, c.pkg_power_saving_pct)
+        Some((name.to_string(), c.power_saving_pct, c.pkg_power_saving_pct))
     })
     .collect()
 }

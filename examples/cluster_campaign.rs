@@ -30,7 +30,7 @@ fn main() {
 
         // EARL instances hold their job records; push node 0's (the paper
         // reports node-level metrics) into the accounting database.
-        let mut db = db.lock();
+        let mut db = accounting::lock(&db);
         for rt in &rts {
             if let Some(rec) = rt.job_record() {
                 db.insert(rec.clone());
@@ -40,7 +40,7 @@ fn main() {
     }
 
     println!("\n=== eacct report ===");
-    let db = db.lock();
+    let db = accounting::lock(&db);
     print!("{}", db.report());
     println!(
         "\ncampaign total: {:.1} MJ DC energy across {} jobs",

@@ -15,6 +15,13 @@
 //! Run options: `--policy NAME` (default `min_energy_eufs`), `--cpu-th PCT`
 //! (default 5), `--unc-th PCT` (default 2), `--runs N` (default 3),
 //! `--seed N`, `--search hw|linear`, `--range maxonly|pinned|band:N`.
+//!
+//! Every subcommand accepts a global `--jobs N`: the worker-thread count
+//! of the parallel experiment engine (default: available parallelism; the
+//! `EAR_JOBS` environment variable also works). Results are bit-identical
+//! for any `--jobs` value. After the output, a machine-readable engine
+//! summary (tasks, wall time, speedup vs serial estimate, calibration
+//! cache hits) is printed to stderr as one `earsim-telemetry:` JSON line.
 
 use ear::core::conf::{parse_ear_conf, render_ear_conf};
 use ear::core::{EarlConfig, ImcRange, ImcSearch, PolicySettings};
@@ -39,7 +46,11 @@ fn usage() -> ! {
          earsim related\n\
          earsim future\n\
          earsim conf\n\
-         earsim all"
+         earsim all\n\
+         \n\
+         global: --jobs N   engine worker threads (default: all cores);\n\
+         \x20              results are bit-identical for any worker count.\n\
+         \x20              An 'earsim-telemetry:' JSON summary goes to stderr."
     );
     exit(2)
 }
@@ -255,7 +266,20 @@ fn cmd_fig(n: &str) {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // Global --jobs N: accepted anywhere on the line, stripped before the
+    // subcommand parsers see the arguments.
+    if let Some(i) = args.iter().position(|a| a == "--jobs") {
+        let n = match args.get(i + 1).map(|v| v.parse::<usize>()) {
+            Some(Ok(n)) if n > 0 => n,
+            _ => {
+                eprintln!("--jobs expects a positive integer");
+                usage();
+            }
+        };
+        ear::experiments::set_default_jobs(n);
+        args.drain(i..=i + 1);
+    }
     match args.first().map(|s| s.as_str()) {
         Some("list") => cmd_list(),
         Some("run") => cmd_run(parse_flags(&args[1..])),
@@ -281,4 +305,6 @@ fn main() {
         Some("all") => print!("{}", ear::experiments::run_all()),
         _ => usage(),
     }
+    // Machine-readable engine summary (stderr keeps stdout parseable).
+    ear::experiments::print_process_summary();
 }
