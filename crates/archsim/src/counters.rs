@@ -31,13 +31,88 @@ pub struct SocketCounters {
     pub dram_energy_uj: u64,
 }
 
+/// Most sockets a simulated node can carry. Generous for the paper's
+/// platforms (sd530 and the GPU node are both dual-socket); bounding it
+/// lets [`CounterSnapshot`] hold its per-socket counters inline, so taking
+/// a snapshot — done at every EARL signature boundary — never touches the
+/// heap.
+pub const MAX_SOCKETS: usize = 8;
+
+/// Fixed-capacity, inline collection of per-socket counters.
+///
+/// Behaves like a `Vec<SocketCounters>` capped at [`MAX_SOCKETS`]
+/// (`Deref<Target = [SocketCounters]>` gives iteration/indexing/`len`), but
+/// is `Copy` and allocation-free.
+#[derive(Debug, Clone, Copy)]
+pub struct SocketSet {
+    counters: [SocketCounters; MAX_SOCKETS],
+    len: u8,
+}
+
+impl SocketSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self {
+            counters: [SocketCounters::default(); MAX_SOCKETS],
+            len: 0,
+        }
+    }
+
+    /// Appends one socket's counters. Panics beyond [`MAX_SOCKETS`].
+    pub fn push(&mut self, c: SocketCounters) {
+        assert!(
+            (self.len as usize) < MAX_SOCKETS,
+            "node has more than {MAX_SOCKETS} sockets"
+        );
+        self.counters[self.len as usize] = c;
+        self.len += 1;
+    }
+}
+
+impl Default for SocketSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::ops::Deref for SocketSet {
+    type Target = [SocketCounters];
+    fn deref(&self) -> &[SocketCounters] {
+        &self.counters[..self.len as usize]
+    }
+}
+
+impl PartialEq for SocketSet {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl FromIterator<SocketCounters> for SocketSet {
+    fn from_iter<I: IntoIterator<Item = SocketCounters>>(iter: I) -> Self {
+        let mut s = Self::new();
+        for c in iter {
+            s.push(c);
+        }
+        s
+    }
+}
+
+impl<'a> IntoIterator for &'a SocketSet {
+    type Item = &'a SocketCounters;
+    type IntoIter = std::slice::Iter<'a, SocketCounters>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
 /// A point-in-time view of all node counters.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CounterSnapshot {
     /// When the snapshot was taken.
     pub time: SimTime,
     /// Per-socket counters.
-    pub sockets: Vec<SocketCounters>,
+    pub sockets: SocketSet,
     /// INM DC energy counter (mJ, published value — 1 s granularity).
     pub dc_energy_mj: u64,
     /// Timestamp at which `dc_energy_mj` was published.
@@ -98,7 +173,7 @@ impl CounterSnapshot {
         let mut aperf = 0.0;
         let mut mperf = 0.0;
         let mut uclk = 0.0;
-        for (now, was) in self.sockets.iter().zip(&earlier.sockets) {
+        for (now, was) in self.sockets.iter().zip(earlier.sockets.iter()) {
             d.instructions += (now.instructions - was.instructions) as f64;
             d.core_cycles += (now.core_cycles - was.core_cycles) as f64;
             d.cas_transactions += (now.cas_transactions - was.cas_transactions) as f64;
@@ -210,7 +285,7 @@ mod tests {
     fn snap(t: f64, s: SocketCounters, dc_mj: u64) -> CounterSnapshot {
         CounterSnapshot {
             time: SimTime::from_secs(t),
-            sockets: vec![s],
+            sockets: [s].into_iter().collect(),
             dc_energy_mj: dc_mj,
             dc_energy_at: SimTime::from_secs(t),
             dc_energy_exact_j: dc_mj as f64 * 1e-3,

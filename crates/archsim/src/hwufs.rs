@@ -95,12 +95,38 @@ impl HwUfsController {
     /// Advances simulated time by `dt` seconds, evaluating the control loop
     /// at each elapsed period boundary. Returns the ratio in effect after
     /// the advance.
+    ///
+    /// Short advances (the normal 10 ms stepping, crossing at most a few
+    /// boundaries) walk the boundaries one by one, so their floating-point
+    /// behaviour is unchanged. A long advance — the quantum fast-forward
+    /// integrating a whole phase remainder — switches to a closed form: the
+    /// boundary count comes from one division, and the slew is applied at
+    /// most `ratio span / step` times since it saturates at the target.
     pub fn advance(&mut self, mut dt: f64, input: &HwUfsInput, min_ratio: u8, max_ratio: u8) -> u8 {
         self.clamp_to_limits(min_ratio, max_ratio);
         let target = self.target_ratio(input, min_ratio, max_ratio);
+        let period = self.params.period_s;
+        if dt >= self.until_next + 4.0 * period {
+            // Closed form. Boundaries crossed: one at `until_next`, then one
+            // per further period.
+            let after_first = dt - self.until_next;
+            let extra = (after_first / period).floor();
+            let crossings = 1 + extra as u64;
+            // u8 ratios are at most 255 steps from the target; beyond that
+            // the slew has saturated and further boundaries are no-ops.
+            for _ in 0..crossings.min(256) {
+                self.step_towards(target);
+            }
+            let leftover = (after_first - extra * period).clamp(0.0, period);
+            self.until_next = period - leftover;
+            if self.until_next <= 0.0 {
+                self.until_next = period;
+            }
+            return self.current_ratio;
+        }
         while dt >= self.until_next {
             dt -= self.until_next;
-            self.until_next = self.params.period_s;
+            self.until_next = period;
             self.step_towards(target);
         }
         self.until_next -= dt;
@@ -211,5 +237,34 @@ mod tests {
         let mut c = controller();
         c.clamp_to_limits(18, 18);
         assert_eq!(c.current_ratio(), 18);
+    }
+
+    #[test]
+    fn long_advance_matches_stepping() {
+        // The closed-form path taken by a long (fast-forward) advance must
+        // land on the same ratio and phase as stepping quantum by quantum.
+        let inp = input(2_200_000, 0.3, 1.0);
+        let mut long = controller();
+        let mut stepped = controller();
+        long.advance(0.737, &inp, 12, 24);
+        for _ in 0..73 {
+            stepped.advance(0.010, &inp, 12, 24);
+        }
+        stepped.advance(0.007, &inp, 12, 24);
+        assert_eq!(long.current_ratio(), stepped.current_ratio());
+        // After the same further short advance both cross (or don't cross)
+        // the next boundary together: the residual phase matches too.
+        let l = long.advance(0.004, &input(0, 0.0, 0.0), 12, 24);
+        let s = stepped.advance(0.004, &input(0, 0.0, 0.0), 12, 24);
+        assert_eq!(l, s);
+    }
+
+    #[test]
+    fn long_idle_advance_saturates_at_min() {
+        let mut c = controller();
+        // 10 simulated seconds idle: 1000 boundaries, slew saturates at 12
+        // long before the capped 256 steps run out.
+        let r = c.advance(10.0, &input(0, 0.0, 0.0), 12, 24);
+        assert_eq!(r, 12);
     }
 }

@@ -5,7 +5,6 @@
 //! (vol. 4) so that driver-level code (ratio packing, RAPL unit decoding,
 //! 32-bit energy counter wrap handling) is exercised for real.
 
-use std::collections::HashMap;
 use std::fmt;
 
 /// MSR addresses used by the simulator (Intel SDM vol. 4, Skylake-SP).
@@ -78,6 +77,35 @@ impl std::error::Error for MsrError {}
 /// units of 1 / 2^14 J ≈ 61 µJ.
 pub const DEFAULT_ENERGY_UNIT_EXP: u64 = 14;
 
+/// Number of registers in the model (dense storage slots).
+const REG_COUNT: usize = 15;
+
+/// Maps an MSR address to its dense storage slot. The register set is fixed
+/// at the 15 MSRs the EAR runtime touches, so a match (a jump table after
+/// codegen) replaces the former `HashMap` — the register file sits on the
+/// per-quantum hot path of `Node::advance_interval`, where hashing each
+/// address cost more than the modelled work.
+const fn slot(msr: u32) -> Option<usize> {
+    match msr {
+        addr::IA32_MPERF => Some(0),
+        addr::IA32_APERF => Some(1),
+        addr::IA32_PERF_STATUS => Some(2),
+        addr::IA32_PERF_CTL => Some(3),
+        addr::IA32_ENERGY_PERF_BIAS => Some(4),
+        addr::IA32_FIXED_CTR0 => Some(5),
+        addr::IA32_FIXED_CTR1 => Some(6),
+        addr::IA32_FIXED_CTR2 => Some(7),
+        addr::MSR_RAPL_POWER_UNIT => Some(8),
+        addr::MSR_PKG_ENERGY_STATUS => Some(9),
+        addr::MSR_DRAM_ENERGY_STATUS => Some(10),
+        addr::MSR_UNCORE_RATIO_LIMIT => Some(11),
+        addr::MSR_UNCORE_PERF_STATUS => Some(12),
+        addr::MSR_U_PMON_UCLK_FIXED_CTL => Some(13),
+        addr::MSR_U_PMON_UCLK_FIXED_CTR => Some(14),
+        _ => None,
+    }
+}
+
 /// Per-socket MSR register file.
 ///
 /// Read-only status registers are updated by the simulator through
@@ -85,46 +113,36 @@ pub const DEFAULT_ENERGY_UNIT_EXP: u64 = 14;
 /// [`MsrFile::write`], which enforce the same access rules as the hardware.
 #[derive(Debug, Clone)]
 pub struct MsrFile {
-    regs: HashMap<u32, u64>,
+    regs: [u64; REG_COUNT],
 }
 
 impl MsrFile {
     /// Creates a register file with Skylake-SP reset values, given the
     /// platform's uncore ratio range (in 100 MHz units).
     pub fn new(uncore_min_ratio: u8, uncore_max_ratio: u8) -> Self {
-        let mut regs = HashMap::new();
-        regs.insert(addr::IA32_MPERF, 0);
-        regs.insert(addr::IA32_APERF, 0);
-        regs.insert(addr::IA32_PERF_STATUS, 0);
-        regs.insert(addr::IA32_PERF_CTL, 0);
+        let mut m = Self {
+            regs: [0; REG_COUNT],
+        };
         // EPB resets to 6 ("balanced") on most shipped firmware.
-        regs.insert(addr::IA32_ENERGY_PERF_BIAS, 6);
-        regs.insert(addr::IA32_FIXED_CTR0, 0);
-        regs.insert(addr::IA32_FIXED_CTR1, 0);
-        regs.insert(addr::IA32_FIXED_CTR2, 0);
+        m.poke(addr::IA32_ENERGY_PERF_BIAS, 6);
         // Energy status unit in bits 12:8; power unit (bits 3:0) and time
         // unit (bits 19:16) carry typical values but are unused here.
-        regs.insert(
+        m.poke(
             addr::MSR_RAPL_POWER_UNIT,
             (DEFAULT_ENERGY_UNIT_EXP << 8) | 0x3 | (0xA << 16),
         );
-        regs.insert(addr::MSR_PKG_ENERGY_STATUS, 0);
-        regs.insert(addr::MSR_DRAM_ENERGY_STATUS, 0);
-        regs.insert(
+        m.poke(
             addr::MSR_UNCORE_RATIO_LIMIT,
             pack_uncore_ratio_limit(uncore_min_ratio, uncore_max_ratio),
         );
-        regs.insert(addr::MSR_UNCORE_PERF_STATUS, uncore_max_ratio as u64);
-        regs.insert(addr::MSR_U_PMON_UCLK_FIXED_CTL, 0);
-        regs.insert(addr::MSR_U_PMON_UCLK_FIXED_CTR, 0);
-        Self { regs }
+        m.poke(addr::MSR_UNCORE_PERF_STATUS, uncore_max_ratio as u64);
+        m
     }
 
     /// RDMSR. Errors on unimplemented registers like real hardware (#GP).
     pub fn read(&self, msr: u32) -> Result<u64, MsrError> {
-        self.regs
-            .get(&msr)
-            .copied()
+        slot(msr)
+            .map(|s| self.regs[s])
             .ok_or(MsrError::Unimplemented(msr))
     }
 
@@ -148,17 +166,23 @@ impl MsrFile {
             }
             _ => {}
         }
-        if !self.regs.contains_key(&msr) {
-            return Err(MsrError::Unimplemented(msr));
+        match slot(msr) {
+            Some(s) => {
+                self.regs[s] = value;
+                Ok(())
+            }
+            None => Err(MsrError::Unimplemented(msr)),
         }
-        self.regs.insert(msr, value);
-        Ok(())
     }
 
-    /// Simulator-side update of any register, bypassing software access
-    /// rules (this is "the hardware" mutating its own status registers).
+    /// Simulator-side update of a register, bypassing software access rules
+    /// (this is "the hardware" mutating its own status registers). Panics
+    /// on addresses outside the modelled set: hardware has no such wire.
     pub fn poke(&mut self, msr: u32, value: u64) {
-        self.regs.insert(msr, value);
+        match slot(msr) {
+            Some(s) => self.regs[s] = value,
+            None => panic!("poke of unimplemented MSR {msr:#x}"),
+        }
     }
 
     /// Simulator-side accumulate-with-wrap for a counter register. The RAPL
@@ -170,8 +194,8 @@ impl MsrFile {
         } else {
             (1u64 << width_bits) - 1
         };
-        let cur = self.regs.get(&msr).copied().unwrap_or(0);
-        self.regs.insert(msr, cur.wrapping_add(delta) & mask);
+        let cur = self.read(msr).unwrap_or(0);
+        self.poke(msr, cur.wrapping_add(delta) & mask);
     }
 }
 

@@ -70,6 +70,10 @@ pub struct Socket {
     msr: MsrFile,
     hwufs: HwUfsController,
     accum: SocketAccum,
+    /// Decoded RAPL energy unit (J/count). `MSR_RAPL_POWER_UNIT` is
+    /// read-only fused configuration, so the decode is hoisted out of the
+    /// per-quantum loop.
+    rapl_unit_j: f64,
 }
 
 impl Socket {
@@ -84,10 +88,14 @@ impl Socket {
             addr::IA32_PERF_STATUS,
             msr::pack_perf_ctl(config.pstates.ratio_for(1)),
         );
+        let rapl_unit_j = msr::rapl_energy_unit_joules(
+            msr.read(addr::MSR_RAPL_POWER_UNIT).expect("0x606 present"),
+        );
         Self {
             msr,
             hwufs: HwUfsController::new(config.hwufs.clone(), config.uncore_max_ratio),
             accum: SocketAccum::default(),
+            rapl_unit_j,
         }
     }
 
@@ -161,18 +169,42 @@ pub struct Node {
     sockets: Vec<Socket>,
     inm: Inm,
     rng: Xoshiro256,
+    /// Memoised `pstate_for_ratio` lookup (ratio → pstate): the requested
+    /// ratio changes only when software writes `IA32_PERF_CTL`, but the
+    /// table scan used to run once per 10 ms quantum.
+    ps_cache: std::cell::Cell<(u8, Pstate)>,
 }
 
 impl Node {
     /// Boots a node with the given configuration and noise seed.
     pub fn new(config: NodeConfig, seed: u64) -> Self {
-        let sockets = (0..config.sockets).map(|_| Socket::new(&config)).collect();
+        assert!(
+            config.sockets <= crate::counters::MAX_SOCKETS,
+            "at most {} sockets supported",
+            crate::counters::MAX_SOCKETS
+        );
+        let sockets: Vec<Socket> = (0..config.sockets).map(|_| Socket::new(&config)).collect();
+        let boot_ratio = sockets[0].requested_ratio();
+        let boot_ps = config.pstates.pstate_for_ratio(boot_ratio);
         Self {
             config,
             clock: Clock::new(),
             sockets,
             inm: Inm::default(),
             rng: Xoshiro256::seed_from_u64(seed),
+            ps_cache: std::cell::Cell::new((boot_ratio, boot_ps)),
+        }
+    }
+
+    /// Memoised `pstate_for_ratio` (same result as the table scan).
+    fn cached_pstate_for(&self, ratio: u8) -> Pstate {
+        let (cached_ratio, cached_ps) = self.ps_cache.get();
+        if cached_ratio == ratio {
+            cached_ps
+        } else {
+            let ps = self.config.pstates.pstate_for_ratio(ratio);
+            self.ps_cache.set((ratio, ps));
+            ps
         }
     }
 
@@ -222,9 +254,7 @@ impl Node {
     /// The CPU pstate currently requested (socket 0; EAR keeps sockets in
     /// lock-step).
     pub fn requested_pstate(&self) -> Pstate {
-        self.config
-            .pstates
-            .pstate_for_ratio(self.sockets[0].requested_ratio())
+        self.cached_pstate_for(self.sockets[0].requested_ratio())
     }
 
     /// Convenience: programs `MSR_UNCORE_RATIO_LIMIT` on every socket.
@@ -252,6 +282,8 @@ impl Node {
     }
 
     /// Takes a counter snapshot (what EARL reads at signature boundaries).
+    /// Allocation-free: the per-socket counters land in the snapshot's
+    /// inline [`crate::counters::SocketSet`].
     pub fn snapshot(&self) -> CounterSnapshot {
         CounterSnapshot {
             time: self.clock.now(),
@@ -301,10 +333,23 @@ impl Node {
                 if t_total <= 0.0 {
                     break;
                 }
-                let dt = (remaining * t_total).min(quantum);
+                let gbs = demand.mem_bytes / t_total / 1e9;
+                // Quantum fast-forward: with the firmware UFS settled, every
+                // further quantum repeats the same inputs — the ratio, and
+                // hence t_total and all rates, are constant to the end of
+                // the phase. Integrate the remainder in one step.
+                let rest = remaining * t_total;
+                if self.config.fast_forward
+                    && rest > quantum
+                    && self.ufs_settled(demand, f_eff_khz, gbs, false)
+                {
+                    self.advance_interval(rest, demand, f_eff_khz, remaining, gbs, p_noise, false);
+                    work_s += rest;
+                    break;
+                }
+                let dt = rest.min(quantum);
                 let frac = dt / t_total;
                 remaining = (remaining - frac).max(0.0);
-                let gbs = demand.mem_bytes / t_total / 1e9;
                 self.advance_interval(dt, demand, f_eff_khz, frac, gbs, p_noise, false);
                 work_s += dt;
             }
@@ -312,7 +357,16 @@ impl Node {
 
         let mut wait_s = 0.0;
         while wait_s < demand.wait_seconds {
-            let dt = (demand.wait_seconds - wait_s).min(quantum);
+            let rest = demand.wait_seconds - wait_s;
+            if self.config.fast_forward
+                && rest > quantum
+                && self.ufs_settled(demand, f_eff_khz, 0.0, true)
+            {
+                self.advance_interval(rest, demand, f_eff_khz, 0.0, 0.0, p_noise, true);
+                wait_s += rest;
+                break;
+            }
+            let dt = rest.min(quantum);
             self.advance_interval(dt, demand, f_eff_khz, 0.0, 0.0, p_noise, true);
             wait_s += dt;
         }
@@ -336,20 +390,53 @@ impl Node {
             ..Default::default()
         };
         let quantum = self.config.hwufs.period_s;
+        let f_khz = self.config.pstates.nominal_khz() as f64;
         let mut done = 0.0;
         while done < seconds {
-            let dt = (seconds - done).min(quantum);
-            self.advance_interval(
-                dt,
-                &idle,
-                self.config.pstates.nominal_khz() as f64,
-                0.0,
-                0.0,
-                1.0,
-                true,
-            );
+            let rest = seconds - done;
+            if self.config.fast_forward
+                && rest > quantum
+                && self.ufs_settled(&idle, f_khz, 0.0, true)
+            {
+                self.advance_interval(rest, &idle, f_khz, 0.0, 0.0, 1.0, true);
+                break;
+            }
+            let dt = rest.min(quantum);
+            self.advance_interval(dt, &idle, f_khz, 0.0, 0.0, 1.0, true);
             done += dt;
         }
+    }
+
+    /// True when every socket's firmware UFS controller is settled for the
+    /// given steady-state inputs: its current ratio already equals the
+    /// target it would keep picking, so further quanta cannot change it.
+    fn ufs_settled(&self, demand: &PhaseDemand, f_eff_khz: f64, gbs: f64, waiting: bool) -> bool {
+        let cfg = &self.config;
+        let n_sockets = self.sockets.len();
+        let total_active = if waiting && !demand.wait_busy {
+            0
+        } else {
+            demand.active_cores
+        };
+        let mem_util = (gbs * 1e9 / cfg.perf.bw_peak_bytes).clamp(0.0, 1.0);
+        let ps = self.cached_pstate_for(self.sockets[0].requested_ratio());
+        let f_spin_khz = cfg.pstates.khz(ps) as f64;
+        let f_active_khz = if waiting { f_spin_khz } else { f_eff_khz };
+        let requested_khz = cfg.pstates.khz(ps) as f64;
+        self.sockets.iter().enumerate().all(|(i, s)| {
+            let active = socket_active_cores(total_active, n_sockets, i);
+            let input = make_hwufs_input(
+                cfg,
+                active,
+                f_active_khz,
+                requested_khz,
+                mem_util,
+                s.epb(),
+                demand.hw_ufs_bias,
+            );
+            let (min_r, max_r) = s.uncore_limits();
+            s.hwufs.current_ratio() == s.hwufs.target_ratio(&input, min_r, max_r)
+        })
     }
 
     /// Advances one quantum: updates counters, energy, the firmware UFS and
@@ -376,21 +463,14 @@ impl Node {
         let now = self.clock.now();
 
         // Spinning cores run scalar code at the requested (non-AVX) ratio.
-        let ps = cfg
-            .pstates
-            .pstate_for_ratio(self.sockets[0].requested_ratio());
+        let ps = self.cached_pstate_for(self.sockets[0].requested_ratio());
         let f_spin_khz = cfg.pstates.khz(ps) as f64;
         let f_active_khz = if waiting { f_spin_khz } else { f_eff_khz };
         let requested_khz = cfg.pstates.khz(ps) as f64;
 
         let mut node_pkg_w = 0.0;
         for (i, s) in self.sockets.iter_mut().enumerate() {
-            // Distribute active cores round-robin-by-socket: socket 0 fills
-            // first (matches pinning of low-rank processes / the single
-            // busy-wait core of the CUDA kernels).
-            let per = total_active / n_sockets;
-            let rem = total_active % n_sockets;
-            let active = per + usize::from(i < rem);
+            let active = socket_active_cores(total_active, n_sockets, i);
             let total = cfg.cores_per_socket;
             let idle = total - active.min(total);
 
@@ -422,20 +502,15 @@ impl Node {
 
             // --- Firmware UFS ---
             let (min_r, max_r) = s.uncore_limits();
-            let input = HwUfsInput {
-                fastest_active_khz: if active > 0 {
-                    f_active_khz as u64
-                } else {
-                    // OS housekeeping wakes at the requested ratio, so an
-                    // idle socket follows the node-level DVFS request.
-                    requested_khz as u64
-                },
-                nominal_khz: cfg.pstates.nominal_khz(),
+            let input = make_hwufs_input(
+                cfg,
+                active,
+                f_active_khz,
+                requested_khz,
                 mem_util,
-                busy_fraction: active as f64 / total as f64,
-                epb: s.epb(),
-                bias: demand.hw_ufs_bias,
-            };
+                s.epb(),
+                demand.hw_ufs_bias,
+            );
             let ratio = s.hwufs.advance(dt, &input, min_r, max_r);
             s.msr.poke(addr::MSR_UNCORE_PERF_STATUS, ratio as u64);
             let f_unc_ghz = ratio as f64 * 0.1;
@@ -460,11 +535,7 @@ impl Node {
             node_pkg_w += pkg_w;
             s.accum.pkg_energy_uj += pkg_w * dt * 1e6;
             // RAPL MSR view: exact energy quantised by the unit, 32-bit wrap.
-            let unit_j = msr::rapl_energy_unit_joules(
-                s.msr
-                    .read(addr::MSR_RAPL_POWER_UNIT)
-                    .expect("0x606 present"),
-            );
+            let unit_j = s.rapl_unit_j;
             let pkg_counts = (s.accum.pkg_energy_uj * 1e-6 / unit_j) as u64 & 0xFFFF_FFFF;
             s.msr.poke(addr::MSR_PKG_ENERGY_STATUS, pkg_counts);
 
@@ -493,6 +564,43 @@ impl Node {
         let dc_w = node_pkg_w + dram_total_w + cfg.power.platform_w + gpu_w;
         self.inm.accumulate(now, dt, dc_w);
         self.clock.advance(dt);
+    }
+}
+
+/// Active cores on socket `i` when `total_active` cores are distributed
+/// round-robin-by-socket: socket 0 fills first (matches pinning of low-rank
+/// processes / the single busy-wait core of the CUDA kernels).
+fn socket_active_cores(total_active: usize, n_sockets: usize, i: usize) -> usize {
+    let per = total_active / n_sockets;
+    let rem = total_active % n_sockets;
+    per + usize::from(i < rem)
+}
+
+/// Builds the firmware UFS input sampled for one socket. Shared between the
+/// per-quantum advance and the settled-state check so both evaluate the
+/// identical control law.
+fn make_hwufs_input(
+    cfg: &NodeConfig,
+    active: usize,
+    f_active_khz: f64,
+    requested_khz: f64,
+    mem_util: f64,
+    epb: u8,
+    bias: f64,
+) -> HwUfsInput {
+    HwUfsInput {
+        fastest_active_khz: if active > 0 {
+            f_active_khz as u64
+        } else {
+            // OS housekeeping wakes at the requested ratio, so an
+            // idle socket follows the node-level DVFS request.
+            requested_khz as u64
+        },
+        nominal_khz: cfg.pstates.nominal_khz(),
+        mem_util,
+        busy_fraction: active as f64 / cfg.cores_per_socket as f64,
+        epb,
+        bias,
     }
 }
 

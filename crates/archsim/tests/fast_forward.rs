@@ -1,0 +1,197 @@
+//! Quantum fast-forward vs plain 10 ms stepping.
+//!
+//! `NodeConfig::fast_forward` analytically integrates the remainder of a
+//! phase once the firmware UFS controller has settled on every socket. The
+//! one-shot integration is equal to the stepped sum in exact arithmetic but
+//! not bit-identical (N accumulator adds vs one multiply), so:
+//!
+//! * across pstate and uncore-limit sweeps the two trajectories must agree
+//!   to ~1-ulp-scale relative tolerance on every counter and energy, and
+//! * when the controller never settles during any phase, fast-forward never
+//!   triggers and the runs must be *exactly* equal, bit for bit.
+//!
+//! Dependency-free on purpose: this guards the experiment tables'
+//! bit-reproducibility claim, so it must run everywhere `cargo test` runs.
+
+use ear_archsim::{Node, NodeConfig, PhaseDemand};
+
+const SEED: u64 = 7;
+
+fn pair(min_r: u8, max_r: u8) -> (Node, Node) {
+    let mut cfg = NodeConfig::sd530_6148();
+    cfg.uncore_min_ratio = min_r;
+    cfg.uncore_max_ratio = max_r;
+    let stepped = Node::new(cfg.clone(), SEED);
+    cfg.fast_forward = true;
+    let fast = Node::new(cfg, SEED);
+    (stepped, fast)
+}
+
+fn rel_close(a: f64, b: f64, tol: f64, what: &str) {
+    let scale = a.abs().max(b.abs()).max(1.0);
+    // `+ 1.0`: integer counters truncate, so values straddling a count
+    // boundary legitimately differ by one count on top of the relative term.
+    assert!(
+        (a - b).abs() <= tol * scale + 1.0,
+        "{what}: {a} vs {b} (rel {})",
+        (a - b).abs() / scale
+    );
+}
+
+/// Runs the same mixed workload on both nodes and compares end state.
+fn run_and_compare(mut stepped: Node, mut fast: Node, khz: u64) {
+    let ps = stepped.config.pstates.pstate_for_khz(khz);
+    let work = PhaseDemand {
+        instructions: 2.0e11,
+        mem_bytes: 8.0e9,
+        active_cores: 40,
+        wait_seconds: 0.25,
+        wait_busy: true,
+        ..Default::default()
+    };
+    let streaming = PhaseDemand {
+        instructions: 4.0e10,
+        mem_bytes: 4.0e10,
+        active_cores: 40,
+        ..Default::default()
+    };
+    for node in [&mut stepped, &mut fast] {
+        node.set_cpu_pstate(ps);
+        node.run_phase(&work);
+        node.run_idle(0.3);
+        node.run_phase(&streaming);
+        node.run_phase(&work);
+    }
+
+    let a = stepped.now().as_secs();
+    let b = fast.now().as_secs();
+    assert!(
+        (a - b).abs() <= 5e-6,
+        "end times diverged: {a} vs {b} ({} s)",
+        (a - b).abs()
+    );
+
+    let tol = 1e-9;
+    let (s, f) = (stepped.snapshot(), fast.snapshot());
+    for (i, (sc, fc)) in s.sockets.iter().zip(f.sockets.iter()).enumerate() {
+        rel_close(
+            sc.instructions as f64,
+            fc.instructions as f64,
+            tol,
+            &format!("socket {i} instructions"),
+        );
+        rel_close(
+            sc.core_cycles as f64,
+            fc.core_cycles as f64,
+            tol,
+            &format!("socket {i} core_cycles"),
+        );
+        rel_close(
+            sc.aperf_kcycles as f64,
+            fc.aperf_kcycles as f64,
+            tol,
+            &format!("socket {i} aperf"),
+        );
+        rel_close(
+            sc.mperf_kcycles as f64,
+            fc.mperf_kcycles as f64,
+            tol,
+            &format!("socket {i} mperf"),
+        );
+        rel_close(
+            sc.cas_transactions as f64,
+            fc.cas_transactions as f64,
+            tol,
+            &format!("socket {i} cas"),
+        );
+        rel_close(
+            sc.uclk_kcycles as f64,
+            fc.uclk_kcycles as f64,
+            tol,
+            &format!("socket {i} uclk"),
+        );
+        rel_close(
+            sc.pkg_energy_uj as f64,
+            fc.pkg_energy_uj as f64,
+            tol,
+            &format!("socket {i} pkg energy"),
+        );
+        rel_close(
+            sc.dram_energy_uj as f64,
+            fc.dram_energy_uj as f64,
+            tol,
+            &format!("socket {i} dram energy"),
+        );
+    }
+    rel_close(
+        stepped.dc_energy_exact_j(),
+        fast.dc_energy_exact_j(),
+        tol,
+        "dc energy",
+    );
+}
+
+#[test]
+fn tolerance_across_pstate_sweep() {
+    // Sweep requested CPU frequency across the DVFS range used by the
+    // paper's policies; fast-forward fires in the settled tail of every
+    // phase yet the trajectories stay within ulp-scale tolerance.
+    for khz in [2_400_000, 2_200_000, 2_000_000, 1_800_000] {
+        let (stepped, fast) = pair(12, 24);
+        run_and_compare(stepped, fast, khz);
+    }
+}
+
+#[test]
+fn tolerance_across_uncore_sweep() {
+    // Sweep the software-programmed uncore window (eUFS pins min == max).
+    for (min_r, max_r) in [(12u8, 24u8), (18, 18), (14, 20), (24, 24)] {
+        let (mut stepped, mut fast) = pair(12, 24);
+        stepped.set_uncore_limits(min_r, max_r).unwrap();
+        fast.set_uncore_limits(min_r, max_r).unwrap();
+        run_and_compare(stepped, fast, 2_100_000);
+    }
+}
+
+#[test]
+fn exactly_equal_when_controller_never_settles() {
+    // Alternate 30 ms spin phases between a sub-nominal pstate (uncore
+    // target ~14) and nominal (target = max 24). Each transition needs
+    // 50-60 ms of slew at 2 ratio steps / 10 ms, so no phase ever reaches
+    // its target: `ufs_settled` is false at every fast-forward opportunity
+    // and the two runs must be bit-identical, not merely close.
+    let (mut stepped, mut fast) = pair(12, 24);
+    let ps_slow = stepped.config.pstates.pstate_for_khz(2_000_000);
+    let ps_nom = stepped.config.pstates.nominal();
+    let spin = PhaseDemand {
+        active_cores: 40,
+        wait_seconds: 0.030,
+        wait_busy: true,
+        ..Default::default()
+    };
+    for node in [&mut stepped, &mut fast] {
+        for _ in 0..8 {
+            node.set_cpu_pstate(ps_slow);
+            node.run_phase(&spin); // uncore slews down, never arrives
+            node.set_cpu_pstate(ps_nom);
+            node.run_phase(&spin); // slews back up, arrives only at the end
+            node.set_cpu_pstate(ps_slow);
+            node.run_idle(0.025); // idle target = min, again out of reach
+            node.set_cpu_pstate(ps_nom);
+            node.run_phase(&spin);
+        }
+    }
+    assert_eq!(stepped.now(), fast.now());
+    assert_eq!(stepped.snapshot(), fast.snapshot());
+    assert_eq!(
+        stepped.dc_energy_exact_j().to_bits(),
+        fast.dc_energy_exact_j().to_bits(),
+        "exact DC energy must match bit for bit"
+    );
+}
+
+#[test]
+fn fast_forward_defaults_off() {
+    assert!(!NodeConfig::sd530_6148().fast_forward);
+    assert!(!NodeConfig::gpu_node_6142m().fast_forward);
+}

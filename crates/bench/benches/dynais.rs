@@ -4,7 +4,7 @@
 //! runtime's interception overhead (the paper calls EARL "lightweight").
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
-use ear_dynais::{DynAis, DynaisConfig, LevelDetector};
+use ear_dynais::{DynAis, DynaisConfig, LevelDetector, ReferenceDynAis};
 use std::hint::black_box;
 
 fn bench_level_detector(c: &mut Criterion) {
@@ -60,5 +60,70 @@ fn bench_stack(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_level_detector, bench_stack);
+/// Incremental detector vs the eager reference (`ReferenceDynAis`, the
+/// pre-optimisation implementation kept as executable spec): both produce
+/// identical event streams, so the throughput gap is the whole win.
+fn bench_incremental_vs_reference(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dynais/incremental_vs_reference");
+    g.throughput(Throughput::Elements(1000));
+    let cfg = DynaisConfig::default();
+    let pattern: Vec<u64> = (0..100u64).map(|i| i * 7919 + 3).collect();
+
+    g.bench_function("incremental_inloop_1000", |b| {
+        let mut d = DynAis::new(&cfg);
+        for i in 0..1_000usize {
+            black_box(d.sample(pattern[i % pattern.len()]));
+        }
+        let mut i = 0usize;
+        b.iter(|| {
+            for _ in 0..1_000usize {
+                black_box(d.sample(pattern[i % pattern.len()]));
+                i += 1;
+            }
+        })
+    });
+    g.bench_function("reference_inloop_1000", |b| {
+        let mut d = ReferenceDynAis::new(&cfg);
+        for i in 0..1_000usize {
+            black_box(d.sample(pattern[i % pattern.len()]));
+        }
+        let mut i = 0usize;
+        b.iter(|| {
+            for _ in 0..1_000usize {
+                black_box(d.sample(pattern[i % pattern.len()]));
+                i += 1;
+            }
+        })
+    });
+
+    // Aperiodic worst case: never matches, candidate bookkeeping dominates.
+    g.bench_function("incremental_aperiodic_1000", |b| {
+        let mut d = DynAis::new(&cfg);
+        let mut i = 0u64;
+        b.iter(|| {
+            for _ in 0..1_000u64 {
+                black_box(d.sample(i.wrapping_mul(i).wrapping_add(17)));
+                i += 1;
+            }
+        })
+    });
+    g.bench_function("reference_aperiodic_1000", |b| {
+        let mut d = ReferenceDynAis::new(&cfg);
+        let mut i = 0u64;
+        b.iter(|| {
+            for _ in 0..1_000u64 {
+                black_box(d.sample(i.wrapping_mul(i).wrapping_add(17)));
+                i += 1;
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_level_detector,
+    bench_stack,
+    bench_incremental_vs_reference
+);
 criterion_main!(benches);

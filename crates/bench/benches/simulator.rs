@@ -79,5 +79,36 @@ fn bench_snapshot(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_run_phase, bench_msr, bench_snapshot);
+/// Quantum fast-forward vs plain 10 ms stepping on a settled spin phase.
+/// Stepping walks ~100 `advance_interval` quanta per simulated second;
+/// fast-forward integrates the settled remainder in one step.
+fn bench_fast_forward(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator/fast_forward");
+    g.throughput(Throughput::Elements(100));
+    let spin = PhaseDemand {
+        active_cores: 40,
+        wait_seconds: 1.0,
+        wait_busy: true,
+        ..Default::default()
+    };
+    g.bench_function("stepped_spin_second", |b| {
+        let mut node = Node::new(NodeConfig::sd530_6148(), 1);
+        b.iter(|| black_box(node.run_phase(&spin)))
+    });
+    g.bench_function("fast_forward_spin_second", |b| {
+        let mut cfg = NodeConfig::sd530_6148();
+        cfg.fast_forward = true;
+        let mut node = Node::new(cfg, 1);
+        b.iter(|| black_box(node.run_phase(&spin)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_run_phase,
+    bench_msr,
+    bench_snapshot,
+    bench_fast_forward
+);
 criterion_main!(benches);

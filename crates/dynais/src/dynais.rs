@@ -158,8 +158,9 @@ impl DynAis {
     }
 }
 
-/// 64-bit mix (SplitMix64 finaliser) used for iteration digests.
-fn mix(acc: u64, v: u64) -> u64 {
+/// 64-bit mix (SplitMix64 finaliser) used for iteration digests. Shared
+/// with the reference stack so digest streams stay comparable.
+pub(crate) fn mix(acc: u64, v: u64) -> u64 {
     let mut z = acc ^ v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

@@ -1,13 +1,40 @@
 //! Single-level periodicity detector.
 //!
-//! For every candidate period `p` the detector keeps the length of the
+//! For every candidate period `p` the detector tracks the length of the
 //! current run of samples satisfying `x[i] == x[i - p]`. A loop of period
 //! `p` is declared once a full period has repeated (`run[p] >= p`), taking
 //! the smallest such `p` (harmonics match at multiples). A single mismatch
 //! at the detected period ends the loop — iterative HPC codes emit exactly
 //! repeating MPI sequences, so mismatches mean real structure changes.
+//!
+//! # Incremental scheme
+//!
+//! The naive form (preserved in [`crate::reference`]) rescans all
+//! `window/2` candidate periods on every sample. This implementation is
+//! event-stream-identical but incremental:
+//!
+//! * **In a loop** (the steady state for iterative HPC codes) only the
+//!   detected period is checked: one window compare per sample, O(1).
+//!   No run counters are maintained; when the loop breaks, the runs are
+//!   reconstructed exactly from the window contents.
+//! * **Out of a loop** the detector keeps the compact set of *live*
+//!   candidates (non-zero runs) and an occurrence index (value → previous
+//!   occurrence chain). Each sample's matching periods are exactly the
+//!   chain distances ≤ `max_period`; merging that sorted set with the
+//!   previous live set zeroes stale runs and bumps continuing ones, so an
+//!   aperiodic stream costs O(1) amortised instead of O(window).
+//!
+//! Reconstruction after an in-loop episode caps each run at the streak
+//! visible in the window, `window_len - p` pairs. For every admissible
+//! period `p ≤ window/2` that cap is ≥ `p`, so the detection predicate
+//! `run[p] >= p` — the only consumer of run magnitudes — is unaffected:
+//! the capped and true values sit on the same side of the threshold, and
+//! subsequent increments move them in lockstep. The property tests in
+//! `tests/properties.rs` exercise this equivalence on random and
+//! adversarial signals.
 
 use crate::window::SampleWindow;
+use std::collections::HashMap;
 
 /// Detector events, mirroring EAR's DynAIS states.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,16 +64,32 @@ impl LoopEvent {
     }
 }
 
+/// Sentinel for "no previous occurrence" in the chain links.
+const NO_PREV: u64 = u64::MAX;
+
 /// One detection level.
 #[derive(Debug, Clone)]
 pub struct LevelDetector {
     window: SampleWindow,
     /// `run[p]` = length of the current streak of samples matching their
-    /// `p`-distant predecessor (index 0 unused).
+    /// `p`-distant predecessor (index 0 unused). Invariant while out of a
+    /// loop: `run[p] > 0` exactly for the periods listed in `live`.
     run: Vec<u32>,
+    /// Ascending periods with a non-zero run (valid while out of a loop).
+    live: Vec<u32>,
+    /// Reusable buffer for the current sample's matching periods.
+    scratch: Vec<u32>,
+    /// value → absolute index of its most recent occurrence.
+    occ_last: HashMap<u64, u64>,
+    /// Per window slot: absolute index of the *previous* occurrence of the
+    /// value stored there (`NO_PREV` if none). Together with `occ_last`
+    /// this forms per-value occurrence chains through the window.
+    occ_prev: Vec<u64>,
     min_period: usize,
     period: Option<usize>,
     pos_in_period: usize,
+    /// Absolute index of the next sample (samples pushed since reset).
+    total: u64,
 }
 
 impl LevelDetector {
@@ -58,9 +101,14 @@ impl LevelDetector {
         Self {
             window: SampleWindow::new(window_size),
             run: vec![0; max_period + 1],
+            live: Vec::new(),
+            scratch: Vec::new(),
+            occ_last: HashMap::new(),
+            occ_prev: vec![NO_PREV; window_size],
             min_period,
             period: None,
             pos_in_period: 0,
+            total: 0,
         }
     }
 
@@ -77,28 +125,15 @@ impl LevelDetector {
     /// Feeds one sample and classifies it.
     pub fn sample(&mut self, v: u64) -> LoopEvent {
         self.window.push(v);
-        // Update match runs against each candidate period.
-        let newest = self.window.recent(0).expect("just pushed");
-        for p in 1..self.run.len() {
-            match self.window.recent(p) {
-                Some(prev) if prev == newest => self.run[p] = self.run[p].saturating_add(1),
-                _ => self.run[p] = 0,
-            }
-        }
+        let t = self.total;
+        self.total += 1;
 
         match self.period {
             Some(p) => {
-                if self.run[p] == 0 {
-                    // Structure broke. Does a different loop take over?
-                    self.period = None;
-                    self.pos_in_period = 0;
-                    if let Some(np) = self.detect() {
-                        self.enter_loop(np);
-                        LoopEvent::EndNewLoop
-                    } else {
-                        LoopEvent::EndLoop
-                    }
-                } else {
+                // In-loop fast path: the only run the naive detector ever
+                // reads here is run[p], and run[p] != 0 after this sample
+                // iff the sample matches its p-distant predecessor.
+                if self.window.recent(p) == Some(v) {
                     self.pos_in_period += 1;
                     if self.pos_in_period >= p {
                         self.pos_in_period = 0;
@@ -106,9 +141,24 @@ impl LevelDetector {
                     } else {
                         LoopEvent::InLoop
                     }
+                } else {
+                    // Structure broke. Does a different loop take over?
+                    self.period = None;
+                    self.pos_in_period = 0;
+                    self.rebuild_runs();
+                    if let Some(np) = self.detect() {
+                        self.enter_loop(np);
+                        LoopEvent::EndNewLoop
+                    } else {
+                        self.rebuild_occurrences();
+                        LoopEvent::EndLoop
+                    }
                 }
             }
             None => {
+                self.collect_matches(t, v);
+                self.apply_matches();
+                self.record_occurrence(t, v);
                 if let Some(p) = self.detect() {
                     self.enter_loop(p);
                     LoopEvent::NewLoop
@@ -123,12 +173,120 @@ impl LevelDetector {
     pub fn reset(&mut self) {
         self.window.clear();
         self.run.iter_mut().for_each(|r| *r = 0);
+        self.live.clear();
+        self.occ_last.clear();
+        self.occ_prev.iter_mut().for_each(|p| *p = NO_PREV);
         self.period = None;
         self.pos_in_period = 0;
+        self.total = 0;
+    }
+
+    /// Window slot holding the sample with absolute index `idx`. Valid for
+    /// the last `capacity` samples: slots are filled round-robin from 0 and
+    /// `reset` zeroes both the window head and `total` together.
+    fn slot_of(&self, idx: u64) -> usize {
+        (idx % self.window.capacity() as u64) as usize
+    }
+
+    /// Exact run reconstruction from the window, used when a loop breaks.
+    /// Each run is the match streak ending at the newest sample, capped at
+    /// the `window_len - p` pairs the window can show (predicate-equivalent
+    /// to the uncapped value for every detectable period, see module docs).
+    fn rebuild_runs(&mut self) {
+        self.live.clear();
+        let n = self.window.len();
+        for p in 1..self.run.len() {
+            let mut k = 0usize;
+            while k + p < n {
+                let a = self.window.recent(k).expect("k < len");
+                let b = self.window.recent(k + p).expect("k + p < len");
+                if a != b {
+                    break;
+                }
+                k += 1;
+            }
+            self.run[p] = k as u32;
+            if k > 0 {
+                self.live.push(p as u32);
+            }
+        }
+    }
+
+    /// Rebuilds the occurrence chains from the current window contents,
+    /// used when a loop ends without another taking over (the chains were
+    /// not maintained while the in-loop fast path was active).
+    fn rebuild_occurrences(&mut self) {
+        self.occ_last.clear();
+        let n = self.window.len();
+        let first = self.total - n as u64;
+        for i in 0..n {
+            let idx = first + i as u64;
+            let v = self.window.recent(n - 1 - i).expect("in window");
+            let slot = self.slot_of(idx);
+            self.occ_prev[slot] = self.occ_last.insert(v, idx).unwrap_or(NO_PREV);
+        }
+    }
+
+    /// Fills `scratch` with the periods (ascending) at which the new sample
+    /// `v` at index `t` matches its predecessor: exactly the distances to
+    /// prior occurrences of `v` within `max_period`. Chain links are only
+    /// followed while the distance bound holds, which also guarantees the
+    /// linked slots have not been recycled (`max_period ≤ capacity / 2`).
+    fn collect_matches(&mut self, t: u64, v: u64) {
+        self.scratch.clear();
+        let maxp = (self.run.len() - 1) as u64;
+        let mut at = self.occ_last.get(&v).copied();
+        while let Some(idx) = at {
+            let d = t - idx;
+            if d > maxp {
+                break;
+            }
+            self.scratch.push(d as u32);
+            let prev = self.occ_prev[self.slot_of(idx)];
+            at = (prev != NO_PREV).then_some(prev);
+        }
+    }
+
+    /// Merges the matched-period set in `scratch` into `run`/`live`:
+    /// unmatched live runs reset to zero, matched runs extend by one. The
+    /// matched set becomes the new live set (both are ascending).
+    fn apply_matches(&mut self) {
+        let mut j = 0;
+        for &p in &self.live {
+            while j < self.scratch.len() && self.scratch[j] < p {
+                j += 1;
+            }
+            if j >= self.scratch.len() || self.scratch[j] != p {
+                self.run[p as usize] = 0;
+            }
+        }
+        for &p in &self.scratch {
+            let r = &mut self.run[p as usize];
+            *r = r.saturating_add(1);
+        }
+        std::mem::swap(&mut self.live, &mut self.scratch);
+    }
+
+    /// Threads the new sample into its value's occurrence chain.
+    fn record_occurrence(&mut self, t: u64, v: u64) {
+        let slot = self.slot_of(t);
+        self.occ_prev[slot] = self.occ_last.insert(v, t).unwrap_or(NO_PREV);
+        // Bound the index size: entries older than a full window can never
+        // be within max_period again; prune them once enough have piled up
+        // so the amortised cost per sample stays O(1).
+        let cap = self.window.capacity();
+        if self.occ_last.len() > 2 * cap {
+            self.occ_last.retain(|_, &mut idx| t - idx <= cap as u64);
+        }
     }
 
     fn detect(&self) -> Option<usize> {
-        (self.min_period..self.run.len()).find(|&p| self.run[p] as usize >= p)
+        // `live` is ascending, so the first admissible hit is the smallest
+        // period — identical to the naive full scan.
+        self.live
+            .iter()
+            .map(|&p| p as usize)
+            .find(|&p| p >= self.min_period && self.run[p] as usize >= p)
     }
 
     fn enter_loop(&mut self, p: usize) {
@@ -140,6 +298,7 @@ impl LevelDetector {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::reference::ReferenceLevelDetector;
 
     fn feed(det: &mut LevelDetector, pattern: &[u64], reps: usize) -> Vec<LoopEvent> {
         let mut out = Vec::new();
@@ -240,5 +399,108 @@ mod tests {
         let pattern: Vec<u64> = (0..20).collect();
         feed(&mut det, &pattern, 6);
         assert_eq!(det.period(), None);
+    }
+
+    // ---- equivalence against the reference (naive) detector ----------
+
+    /// Deterministic xorshift64* for reproducible pseudo-random streams.
+    fn xorshift(state: &mut u64) -> u64 {
+        let mut x = *state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Feeds the same stream to both detectors and asserts identical
+    /// events and identical tracked periods at every step.
+    fn assert_equivalent(window: usize, min_period: usize, stream: &[u64]) {
+        let mut opt = LevelDetector::new(window, min_period);
+        let mut naive = ReferenceLevelDetector::new(window, min_period);
+        for (i, &v) in stream.iter().enumerate() {
+            let a = opt.sample(v);
+            let b = naive.sample(v);
+            assert_eq!(a, b, "event diverged at sample {i}");
+            assert_eq!(opt.period(), naive.period(), "period diverged at {i}");
+        }
+    }
+
+    #[test]
+    fn equivalent_on_loop_switching_stream() {
+        // Period 4 → break → period 3 → break → period 6 (harmonic of 3
+        // content but distinct values), with aperiodic gaps between.
+        let mut stream = Vec::new();
+        for _ in 0..40 {
+            stream.extend_from_slice(&[1, 2, 3, 4]);
+        }
+        stream.extend((500..540).map(|v| v * 7 + 1));
+        for _ in 0..40 {
+            stream.extend_from_slice(&[9, 8, 7]);
+        }
+        stream.extend((900..911).map(|v| v * 13 + 5));
+        for _ in 0..30 {
+            stream.extend_from_slice(&[21, 22, 23, 24, 25, 26]);
+        }
+        assert_equivalent(64, 2, &stream);
+        assert_equivalent(250, 2, &stream);
+    }
+
+    #[test]
+    fn equivalent_on_phase_shifted_and_harmonic_streams() {
+        // Same period restarted off-phase, and a pattern whose halves
+        // collide (harmonic pressure: matches at p and 2p).
+        let mut stream = Vec::new();
+        for _ in 0..30 {
+            stream.extend_from_slice(&[5, 6, 7, 8]);
+        }
+        stream.extend_from_slice(&[7, 8]); // phase shift mid-pattern
+        for _ in 0..30 {
+            stream.extend_from_slice(&[5, 6, 7, 8]);
+        }
+        for _ in 0..25 {
+            stream.extend_from_slice(&[1, 2, 1, 2, 1, 9]); // p=2 locally, p=6 truly
+        }
+        assert_equivalent(64, 2, &stream);
+        assert_equivalent(40, 3, &stream);
+    }
+
+    #[test]
+    fn equivalent_on_low_entropy_random_stream() {
+        // Values drawn from a tiny alphabet create accidental matches at
+        // many distances — the worst case for the live-set bookkeeping.
+        let mut rng = 0x1234_5678_9ABC_DEF0u64;
+        for alphabet in [2u64, 3, 5, 17] {
+            let stream: Vec<u64> = (0..4000).map(|_| xorshift(&mut rng) % alphabet).collect();
+            assert_equivalent(64, 2, &stream);
+        }
+    }
+
+    #[test]
+    fn equivalent_on_constant_and_near_constant_streams() {
+        let mut stream = vec![4u64; 300];
+        stream.push(9);
+        stream.extend(std::iter::repeat_n(4, 300));
+        assert_equivalent(64, 2, &stream);
+        assert_equivalent(250, 2, &stream);
+    }
+
+    #[test]
+    fn equivalent_across_reset() {
+        let mut opt = LevelDetector::new(64, 2);
+        let mut naive = ReferenceLevelDetector::new(64, 2);
+        let mut rng = 42u64;
+        for round in 0..4 {
+            for i in 0..600 {
+                let v = if i % 3 == 0 {
+                    xorshift(&mut rng) % 4
+                } else {
+                    (i % 5) as u64
+                };
+                assert_eq!(opt.sample(v), naive.sample(v), "round {round} sample {i}");
+            }
+            opt.reset();
+            naive.reset();
+        }
     }
 }

@@ -20,24 +20,36 @@ impl SampleWindow {
     }
 
     /// Window capacity.
+    #[inline]
     pub fn capacity(&self) -> usize {
         self.buf.len()
     }
 
     /// Number of samples currently held (saturates at capacity).
+    #[inline]
     pub fn len(&self) -> usize {
         self.len
     }
 
     /// True when no samples have been pushed.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }
 
     /// Pushes a sample, evicting the oldest when full.
+    ///
+    /// The wrap is a conditional reset rather than `%`: the capacity is not
+    /// required to be a power of two, and an integer division per sample
+    /// would dominate the O(1) steady-state cost of the detector hot loop.
+    #[inline]
     pub fn push(&mut self, v: u64) {
+        debug_assert!(self.head < self.buf.len(), "head escaped the buffer");
         self.buf[self.head] = v;
-        self.head = (self.head + 1) % self.buf.len();
+        self.head += 1;
+        if self.head == self.buf.len() {
+            self.head = 0;
+        }
         if self.len < self.buf.len() {
             self.len += 1;
         }
@@ -45,12 +57,19 @@ impl SampleWindow {
 
     /// The sample pushed `back` steps ago (0 = most recent). Returns `None`
     /// if fewer than `back + 1` samples are held.
+    #[inline]
     pub fn recent(&self, back: usize) -> Option<u64> {
         if back >= self.len {
             return None;
         }
+        debug_assert!(self.head < self.buf.len(), "head escaped the buffer");
+        // `back < len <= cap` and `head < cap`, so one conditional subtract
+        // replaces the modulo: head + cap - 1 - back lies in [0, 2*cap).
         let cap = self.buf.len();
-        let idx = (self.head + cap - 1 - back) % cap;
+        let mut idx = self.head + cap - 1 - back;
+        if idx >= cap {
+            idx -= cap;
+        }
         Some(self.buf[idx])
     }
 
@@ -104,5 +123,26 @@ mod tests {
     #[should_panic(expected = "at least 2")]
     fn rejects_tiny_capacity() {
         let _ = SampleWindow::new(1);
+    }
+
+    #[test]
+    fn wrap_matches_shadow_history() {
+        // Cross-check the conditional wrap against a plain Vec over several
+        // full revolutions of a non-power-of-two buffer.
+        let cap = 7;
+        let mut w = SampleWindow::new(cap);
+        let mut hist: Vec<u64> = Vec::new();
+        for v in 0..100u64 {
+            w.push(v * 2654435761 + 11);
+            hist.push(v * 2654435761 + 11);
+            for back in 0..=cap {
+                let expect = if back < hist.len().min(cap) {
+                    Some(hist[hist.len() - 1 - back])
+                } else {
+                    None
+                };
+                assert_eq!(w.recent(back), expect, "v={v} back={back}");
+            }
+        }
     }
 }

@@ -1,7 +1,98 @@
-//! Property tests for DynAIS: the invariants EARL depends on.
+//! Property tests for DynAIS: the invariants EARL depends on, and the
+//! equivalence of the incremental detector with the naive reference.
 
-use ear_dynais::{DynAis, DynaisConfig, LevelDetector, LoopEvent};
+use ear_dynais::{DynAis, DynaisConfig, LevelDetector, LoopEvent, ReferenceDynAis};
 use proptest::prelude::*;
+
+/// Building blocks for adversarial signals: the strategies compose periodic
+/// bursts (with value collisions across patterns), phase shifts, and
+/// aperiodic noise into one stream.
+#[derive(Debug, Clone)]
+enum Segment {
+    /// `reps` repetitions of a pattern drawn from a small alphabet.
+    Periodic { pattern: Vec<u64>, reps: usize },
+    /// A partial pattern prefix — phase-shifts whatever follows.
+    Prefix { pattern: Vec<u64>, cut: usize },
+    /// Aperiodic filler from a small alphabet (accidental matches galore).
+    Noise { values: Vec<u64> },
+}
+
+fn segment_strategy() -> impl Strategy<Value = Segment> {
+    prop_oneof![
+        (proptest::collection::vec(0u64..8, 1..12), 3usize..12)
+            .prop_map(|(pattern, reps)| Segment::Periodic { pattern, reps }),
+        (proptest::collection::vec(0u64..8, 2..12), 1usize..8)
+            .prop_map(|(pattern, cut)| Segment::Prefix { pattern, cut }),
+        proptest::collection::vec(0u64..8, 1..40).prop_map(|values| Segment::Noise { values }),
+    ]
+}
+
+fn render(segments: &[Segment]) -> Vec<u64> {
+    let mut out = Vec::new();
+    for s in segments {
+        match s {
+            Segment::Periodic { pattern, reps } => {
+                for _ in 0..*reps {
+                    out.extend_from_slice(pattern);
+                }
+            }
+            Segment::Prefix { pattern, cut } => {
+                let cut = (*cut).min(pattern.len());
+                out.extend_from_slice(&pattern[..cut]);
+            }
+            Segment::Noise { values } => out.extend_from_slice(values),
+        }
+    }
+    out
+}
+
+proptest! {
+    /// The incremental detector and the naive reference emit identical
+    /// event streams and tracked periods on arbitrary random input.
+    #[test]
+    fn level_matches_reference_on_random_input(
+        values in proptest::collection::vec(0u64..10, 0..1500),
+        window in prop_oneof![Just(16usize), Just(64), Just(250)],
+    ) {
+        let mut opt = LevelDetector::new(window, 2);
+        let mut naive = ear_dynais::ReferenceLevelDetector::new(window, 2);
+        for (i, &v) in values.iter().enumerate() {
+            prop_assert_eq!(opt.sample(v), naive.sample(v), "sample {}", i);
+            prop_assert_eq!(opt.period(), naive.period(), "period after {}", i);
+        }
+    }
+
+    /// Same equivalence on adversarial compositions: harmonic patterns,
+    /// phase-shifted restarts, and loop-switching sequences.
+    #[test]
+    fn level_matches_reference_on_adversarial_signals(
+        segments in proptest::collection::vec(segment_strategy(), 1..10),
+    ) {
+        let stream = render(&segments);
+        let mut opt = LevelDetector::new(64, 2);
+        let mut naive = ear_dynais::ReferenceLevelDetector::new(64, 2);
+        for (i, &v) in stream.iter().enumerate() {
+            prop_assert_eq!(opt.sample(v), naive.sample(v), "sample {}", i);
+        }
+    }
+
+    /// The full stacks agree: identical `DynaisResult` streams (event,
+    /// level, and period) through the multi-level digest machinery.
+    #[test]
+    fn stack_matches_reference_on_adversarial_signals(
+        segments in proptest::collection::vec(segment_strategy(), 1..8),
+        levels in 1usize..5,
+    ) {
+        let stream = render(&segments);
+        let config = DynaisConfig { levels, window_size: 64, min_period: 2 };
+        let mut opt = DynAis::new(&config);
+        let mut naive = ReferenceDynAis::new(&config);
+        for (i, &v) in stream.iter().enumerate() {
+            prop_assert_eq!(opt.sample(v), naive.sample(v), "sample {}", i);
+            prop_assert_eq!(opt.governing_level(), naive.governing_level(), "level after {}", i);
+        }
+    }
+}
 
 proptest! {
     /// Any strictly periodic signal with period within the window is

@@ -1,0 +1,779 @@
+//! Dependency-free micro-benchmarks of the simulation hot path.
+//!
+//! The criterion suites under `crates/bench` give statistically rigorous
+//! numbers but need a registry download; this module is the zero-dependency
+//! trajectory the CI smoke job runs everywhere. It times the structures the
+//! per-event hot path touches — DynAIS sampling (incremental vs the
+//! reference eager detector), window indexing, counter snapshots, quantum
+//! fast-forward — plus the Table I wall clock, and renders the results as
+//! both a human-readable table and the `BENCH_hotpath.json` artifact.
+//!
+//! Timing uses best-of-N `std::time::Instant` wall clock: the minimum over
+//! repetitions is the least noisy estimator for short deterministic loops.
+
+use ear_archsim::{Node, NodeConfig, PhaseDemand};
+use ear_dynais::{DynAis, DynaisConfig, ReferenceDynAis, SampleWindow};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// JSON schema identifier emitted in (and required of) the artifact.
+pub const SCHEMA: &str = "earsim-bench-hotpath/v1";
+
+/// Bench names that must appear in a valid artifact.
+pub const REQUIRED_BENCHES: [&str; 6] = [
+    "dynais_inloop_per_sample",
+    "dynais_aperiodic_per_sample",
+    "window_push_recent",
+    "snapshot_per_call",
+    "run_phase_one_simsec",
+    "table1_wall",
+];
+
+/// One timed hot-path measurement.
+#[derive(Debug, Clone)]
+pub struct BenchEntry {
+    /// Stable identifier (see [`REQUIRED_BENCHES`]).
+    pub name: &'static str,
+    /// Unit of both numbers (e.g. `ns/op`).
+    pub unit: &'static str,
+    /// Pre-optimisation implementation, if one is runnable in-process.
+    pub reference: Option<f64>,
+    /// The shipped implementation.
+    pub optimized: f64,
+}
+
+impl BenchEntry {
+    /// `reference / optimized`, when a reference exists.
+    pub fn speedup(&self) -> Option<f64> {
+        self.reference.map(|r| r / self.optimized)
+    }
+}
+
+/// A full bench run: what `earsim bench` serialises.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// True when run with `--quick` (CI smoke: fewer iterations).
+    pub quick: bool,
+    /// The measurements, in [`REQUIRED_BENCHES`] order.
+    pub benches: Vec<BenchEntry>,
+}
+
+/// Minimum wall time over `reps` calls of `f`, in seconds.
+fn best_secs(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// In-loop steady state: a period-100 signal on the paper configuration
+/// (window 250, 4 levels). The incremental detector does one window compare
+/// per sample; the reference rescans every candidate period.
+fn bench_dynais_inloop(quick: bool) -> BenchEntry {
+    let n = if quick { 50_000 } else { 1_000_000 };
+    let pattern: Vec<u64> = (0..100u64).map(|i| i * 7919 + 3).collect();
+    let cfg = DynaisConfig::default();
+
+    // Warm each detector past detection so the timed region is pure in-loop.
+    let mut opt = DynAis::new(&cfg);
+    for i in 0..1_000usize {
+        black_box(opt.sample(pattern[i % pattern.len()]));
+    }
+    let t_opt = best_secs(3, || {
+        for i in 0..n {
+            black_box(opt.sample(pattern[i % pattern.len()]));
+        }
+    }) / n as f64;
+
+    let n_ref = n / 10; // the eager detector is slow; keep runtime bounded
+    let mut rf = ReferenceDynAis::new(&cfg);
+    for i in 0..1_000usize {
+        black_box(rf.sample(pattern[i % pattern.len()]));
+    }
+    let t_ref = best_secs(3, || {
+        for i in 0..n_ref {
+            black_box(rf.sample(pattern[i % pattern.len()]));
+        }
+    }) / n_ref as f64;
+
+    BenchEntry {
+        name: "dynais_inloop_per_sample",
+        unit: "ns/op",
+        reference: Some(t_ref * 1e9),
+        optimized: t_opt * 1e9,
+    }
+}
+
+/// Aperiodic worst case: no value ever repeats, every candidate resets.
+fn bench_dynais_aperiodic(quick: bool) -> BenchEntry {
+    let n = if quick { 20_000 } else { 200_000 };
+    let cfg = DynaisConfig::default();
+    let mut x = 0x9E37_79B9_7F4A_7C15u64;
+    let mut next = move || {
+        x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        x
+    };
+
+    let mut opt = DynAis::new(&cfg);
+    let t_opt = best_secs(3, || {
+        for _ in 0..n {
+            black_box(opt.sample(next()));
+        }
+    }) / n as f64;
+
+    let n_ref = n / 4;
+    let mut rf = ReferenceDynAis::new(&cfg);
+    let t_ref = best_secs(3, || {
+        for _ in 0..n_ref {
+            black_box(rf.sample(next()));
+        }
+    }) / n_ref as f64;
+
+    BenchEntry {
+        name: "dynais_aperiodic_per_sample",
+        unit: "ns/op",
+        reference: Some(t_ref * 1e9),
+        optimized: t_opt * 1e9,
+    }
+}
+
+/// Ring-buffer indexing: conditional-subtract wrap (the shipped
+/// [`SampleWindow`] scheme, reproduced inline) vs `%` on every access (the
+/// pre-optimisation indexing). Both are local structs so codegen conditions
+/// are identical, and the capacity goes through `black_box`: in production
+/// the window size comes from `DynaisConfig` at runtime, so the modulo is a
+/// genuine division — constant-propagating 250 would let LLVM strength-
+/// reduce it and understate the difference.
+fn bench_window(quick: bool) -> BenchEntry {
+    struct CondWindow {
+        buf: Vec<u64>,
+        head: usize,
+        len: usize,
+    }
+    impl CondWindow {
+        fn push(&mut self, v: u64) {
+            self.buf[self.head] = v;
+            self.head += 1;
+            if self.head == self.buf.len() {
+                self.head = 0;
+            }
+            if self.len < self.buf.len() {
+                self.len += 1;
+            }
+        }
+        fn recent(&self, back: usize) -> Option<u64> {
+            if back >= self.len {
+                return None;
+            }
+            let cap = self.buf.len();
+            let mut idx = self.head + cap - 1 - back;
+            if idx >= cap {
+                idx -= cap;
+            }
+            Some(self.buf[idx])
+        }
+    }
+    struct ModWindow {
+        buf: Vec<u64>,
+        head: usize,
+        len: usize,
+    }
+    impl ModWindow {
+        fn push(&mut self, v: u64) {
+            self.buf[self.head] = v;
+            self.head = (self.head + 1) % self.buf.len();
+            if self.len < self.buf.len() {
+                self.len += 1;
+            }
+        }
+        fn recent(&self, back: usize) -> Option<u64> {
+            if back >= self.len {
+                return None;
+            }
+            let cap = self.buf.len();
+            Some(self.buf[(self.head + cap - 1 - back) % cap])
+        }
+    }
+
+    let n = if quick { 200_000 } else { 4_000_000 };
+
+    let mut w = CondWindow {
+        buf: vec![0; black_box(250)],
+        head: 0,
+        len: 0,
+    };
+    let t_opt = best_secs(3, || {
+        for i in 0..n as u64 {
+            w.push(i);
+            black_box(w.recent(99));
+        }
+    }) / n as f64;
+
+    let mut m = ModWindow {
+        buf: vec![0; black_box(250)],
+        head: 0,
+        len: 0,
+    };
+    let t_ref = best_secs(3, || {
+        for i in 0..n as u64 {
+            m.push(i);
+            black_box(m.recent(99));
+        }
+    }) / n as f64;
+
+    // Sanity: the inline copy matches the shipped type sample for sample.
+    let mut shipped = SampleWindow::new(250);
+    let mut copy = CondWindow {
+        buf: vec![0; 250],
+        head: 0,
+        len: 0,
+    };
+    for i in 0..600u64 {
+        shipped.push(i * 31 + 7);
+        copy.push(i * 31 + 7);
+        for back in [0usize, 1, 99, 249, 250] {
+            assert_eq!(shipped.recent(back), copy.recent(back));
+        }
+    }
+
+    BenchEntry {
+        name: "window_push_recent",
+        unit: "ns/op",
+        reference: Some(t_ref * 1e9),
+        optimized: t_opt * 1e9,
+    }
+}
+
+/// Counter snapshot: the inline-array return vs the old heap-allocated
+/// per-socket `Vec` shape (reproduced by collecting the sockets out).
+fn bench_snapshot(quick: bool) -> BenchEntry {
+    let n = if quick { 50_000 } else { 500_000 };
+    let mut node = Node::new(NodeConfig::sd530_6148(), 1);
+    node.run_phase(&PhaseDemand {
+        instructions: 1e10,
+        mem_bytes: 2e9,
+        active_cores: 40,
+        ..Default::default()
+    });
+
+    let t_opt = best_secs(3, || {
+        for _ in 0..n {
+            black_box(node.snapshot());
+        }
+    }) / n as f64;
+
+    let t_ref = best_secs(3, || {
+        for _ in 0..n {
+            let snap = node.snapshot();
+            let v: Vec<_> = snap.sockets.iter().copied().collect();
+            black_box(v);
+        }
+    }) / n as f64;
+
+    BenchEntry {
+        name: "snapshot_per_call",
+        unit: "ns/op",
+        reference: Some(t_ref * 1e9),
+        optimized: t_opt * 1e9,
+    }
+}
+
+/// One simulated second of settled spin: quantum stepping walks a hundred
+/// 10 ms intervals; fast-forward integrates the remainder in one step.
+fn bench_fast_forward(quick: bool) -> BenchEntry {
+    let n = if quick { 200 } else { 2_000 };
+    let spin = PhaseDemand {
+        active_cores: 40,
+        wait_seconds: 1.0,
+        wait_busy: true,
+        ..Default::default()
+    };
+
+    let mut stepped = Node::new(NodeConfig::sd530_6148(), 1);
+    let t_ref = best_secs(3, || {
+        for _ in 0..n {
+            black_box(stepped.run_phase(&spin));
+        }
+    }) / n as f64;
+
+    let mut cfg = NodeConfig::sd530_6148();
+    cfg.fast_forward = true;
+    let mut ff = Node::new(cfg, 1);
+    let t_opt = best_secs(3, || {
+        for _ in 0..n {
+            black_box(ff.run_phase(&spin));
+        }
+    }) / n as f64;
+
+    BenchEntry {
+        name: "run_phase_one_simsec",
+        unit: "us/simsec",
+        reference: Some(t_ref * 1e6),
+        optimized: t_opt * 1e6,
+    }
+}
+
+/// Full Table I regeneration wall clock. No in-process reference: the
+/// committed artifact records the pre-optimisation binary's number.
+fn bench_table1(quick: bool) -> BenchEntry {
+    let reps = if quick { 1 } else { 3 };
+    let t = best_secs(reps, || {
+        black_box(crate::tables::table1());
+    });
+    BenchEntry {
+        name: "table1_wall",
+        unit: "s",
+        reference: None,
+        optimized: t,
+    }
+}
+
+/// Runs the whole suite. `quick` trims iteration counts for CI smoke runs;
+/// the measured operations are identical.
+pub fn run(quick: bool) -> BenchReport {
+    BenchReport {
+        quick,
+        benches: vec![
+            bench_dynais_inloop(quick),
+            bench_dynais_aperiodic(quick),
+            bench_window(quick),
+            bench_snapshot(quick),
+            bench_fast_forward(quick),
+            bench_table1(quick),
+        ],
+    }
+}
+
+impl BenchReport {
+    /// Human-readable table.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "== Hot-path benchmarks ==\n\
+                           bench          unit     reference     optimized  speedup\n",
+        );
+        for b in &self.benches {
+            let rf = b
+                .reference
+                .map_or_else(|| "-".to_string(), |r| format!("{r:.3}"));
+            let sp = b
+                .speedup()
+                .map_or_else(|| "-".to_string(), |s| format!("{s:.2}x"));
+            out.push_str(&format!(
+                "{:>28} {:>13} {:>13} {:>13.3} {:>8}\n",
+                b.name, b.unit, rf, b.optimized, sp
+            ));
+        }
+        out
+    }
+
+    /// The `BENCH_hotpath.json` artifact.
+    pub fn to_json(&self) -> String {
+        fn num(v: f64) -> String {
+            format!("{v:.6}")
+        }
+        let mut out = format!(
+            "{{\n  \"schema\": \"{SCHEMA}\",\n  \"quick\": {},\n  \"benches\": [\n",
+            self.quick
+        );
+        for (i, b) in self.benches.iter().enumerate() {
+            let rf = b.reference.map_or_else(|| "null".to_string(), num);
+            let sp = b.speedup().map_or_else(|| "null".to_string(), num);
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"unit\": \"{}\", \"reference\": {}, \"optimized\": {}, \"speedup\": {}}}{}\n",
+                b.name,
+                b.unit,
+                rf,
+                num(b.optimized),
+                sp,
+                if i + 1 < self.benches.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Artifact validation (hand-rolled JSON: the CI job must fail on a malformed
+// or schema-violating BENCH_hotpath.json without pulling in a parser crate).
+// ---------------------------------------------------------------------------
+
+/// Minimal JSON value for validation purposes.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(kv) => kv.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Self {
+            b: s.as_bytes(),
+            i: 0,
+        }
+    }
+
+    fn err(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.i)
+    }
+
+    fn ws(&mut self) {
+        while self.i < self.b.len() && matches!(self.b[self.i], b' ' | b'\t' | b'\n' | b'\r') {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", c as char)))
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("bad escape"))?;
+                    self.i += 1;
+                    match esc {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'n' => s.push('\n'),
+                        b't' => s.push('\t'),
+                        b'r' => s.push('\r'),
+                        b'b' => s.push('\u{8}'),
+                        b'f' => s.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .b
+                                .get(self.i..self.i + 4)
+                                .ok_or_else(|| self.err("bad \\u"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u"))?,
+                                16,
+                            )
+                            .map_err(|_| self.err("bad \\u"))?;
+                            self.i += 4;
+                            s.push(char::from_u32(code).ok_or_else(|| self.err("bad \\u"))?);
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(c) if c < 0x20 => return Err(self.err("control char in string")),
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so valid).
+                    let start = self.i;
+                    self.i += 1;
+                    while self.i < self.b.len() && (self.b[self.i] & 0xC0) == 0x80 {
+                        self.i += 1;
+                    }
+                    s.push_str(std::str::from_utf8(&self.b[start..self.i]).unwrap());
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.i;
+        while self
+            .peek()
+            .is_some_and(|c| matches!(c, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| self.err("invalid number"))
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.ws();
+        match self.peek() {
+            Some(b'{') => {
+                self.i += 1;
+                let mut kv = Vec::new();
+                self.ws();
+                if self.peek() == Some(b'}') {
+                    self.i += 1;
+                    return Ok(Json::Obj(kv));
+                }
+                loop {
+                    self.ws();
+                    let k = self.string()?;
+                    self.ws();
+                    self.eat(b':')?;
+                    let v = self.value()?;
+                    kv.push((k, v));
+                    self.ws();
+                    match self.peek() {
+                        Some(b',') => self.i += 1,
+                        Some(b'}') => {
+                            self.i += 1;
+                            return Ok(Json::Obj(kv));
+                        }
+                        _ => return Err(self.err("expected ',' or '}'")),
+                    }
+                }
+            }
+            Some(b'[') => {
+                self.i += 1;
+                let mut items = Vec::new();
+                self.ws();
+                if self.peek() == Some(b']') {
+                    self.i += 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    self.ws();
+                    match self.peek() {
+                        Some(b',') => self.i += 1,
+                        Some(b']') => {
+                            self.i += 1;
+                            return Ok(Json::Arr(items));
+                        }
+                        _ => return Err(self.err("expected ',' or ']'")),
+                    }
+                }
+            }
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.lit("true", Json::Bool(true)),
+            Some(b'f') => self.lit("false", Json::Bool(false)),
+            Some(b'n') => self.lit("null", Json::Null),
+            Some(_) => self.number(),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn parse(mut self) -> Result<Json, String> {
+        let v = self.value()?;
+        self.ws();
+        if self.i != self.b.len() {
+            return Err(self.err("trailing data"));
+        }
+        Ok(v)
+    }
+}
+
+/// Validates a `BENCH_hotpath.json` document: well-formed JSON, the right
+/// schema tag, and every required bench present with sane numbers. Returns
+/// the number of benches on success.
+pub fn validate_json(text: &str) -> Result<usize, String> {
+    let root = Parser::new(text).parse()?;
+    match root.get("schema") {
+        Some(Json::Str(s)) if s == SCHEMA => {}
+        Some(Json::Str(s)) => return Err(format!("wrong schema '{s}', expected '{SCHEMA}'")),
+        _ => return Err("missing string field 'schema'".into()),
+    }
+    if !matches!(root.get("quick"), Some(Json::Bool(_))) {
+        return Err("missing boolean field 'quick'".into());
+    }
+    let benches = match root.get("benches") {
+        Some(Json::Arr(a)) if !a.is_empty() => a,
+        Some(Json::Arr(_)) => return Err("'benches' is empty".into()),
+        _ => return Err("missing array field 'benches'".into()),
+    };
+    let mut names = Vec::new();
+    for (i, b) in benches.iter().enumerate() {
+        let name = match b.get("name") {
+            Some(Json::Str(s)) if !s.is_empty() => s.clone(),
+            _ => return Err(format!("bench {i}: missing string field 'name'")),
+        };
+        if names.contains(&name) {
+            return Err(format!("duplicate bench '{name}'"));
+        }
+        match b.get("unit") {
+            Some(Json::Str(s)) if !s.is_empty() => {}
+            _ => return Err(format!("bench '{name}': missing string field 'unit'")),
+        }
+        let optimized = match b.get("optimized") {
+            Some(Json::Num(v)) if v.is_finite() && *v > 0.0 => *v,
+            _ => {
+                return Err(format!(
+                    "bench '{name}': 'optimized' must be a positive number"
+                ))
+            }
+        };
+        let reference = match b.get("reference") {
+            Some(Json::Null) => None,
+            Some(Json::Num(v)) if v.is_finite() && *v > 0.0 => Some(*v),
+            _ => {
+                return Err(format!(
+                    "bench '{name}': 'reference' must be null or a positive number"
+                ))
+            }
+        };
+        match (reference, b.get("speedup")) {
+            (None, Some(Json::Null)) => {}
+            (Some(r), Some(Json::Num(s))) if s.is_finite() && *s > 0.0 => {
+                let expect = r / optimized;
+                if (s - expect).abs() > 0.05 * expect {
+                    return Err(format!(
+                        "bench '{name}': speedup {s} inconsistent with reference/optimized {expect}"
+                    ));
+                }
+            }
+            _ => {
+                return Err(format!(
+                    "bench '{name}': 'speedup' must match the reference field"
+                ))
+            }
+        }
+        names.push(name);
+    }
+    for req in REQUIRED_BENCHES {
+        if !names.iter().any(|n| n == req) {
+            return Err(format!("required bench '{req}' missing"));
+        }
+    }
+    Ok(benches.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_json() -> String {
+        let report = BenchReport {
+            quick: true,
+            benches: REQUIRED_BENCHES
+                .iter()
+                .map(|name| BenchEntry {
+                    name,
+                    unit: "ns/op",
+                    reference: if *name == "table1_wall" {
+                        None
+                    } else {
+                        Some(50.0)
+                    },
+                    optimized: 10.0,
+                })
+                .collect(),
+        };
+        report.to_json()
+    }
+
+    #[test]
+    fn emitted_json_validates() {
+        let json = sample_json();
+        assert_eq!(validate_json(&json), Ok(REQUIRED_BENCHES.len()));
+    }
+
+    #[test]
+    fn rejects_malformed_json() {
+        assert!(validate_json("{").is_err());
+        assert!(validate_json("").is_err());
+        assert!(validate_json("[1, 2").is_err());
+        assert!(validate_json("{\"a\": 1} trailing").is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_schema() {
+        let json = sample_json().replace("hotpath/v1", "hotpath/v0");
+        assert!(validate_json(&json).unwrap_err().contains("wrong schema"));
+    }
+
+    #[test]
+    fn rejects_missing_required_bench() {
+        let json = sample_json().replace("snapshot_per_call", "snapshot_renamed");
+        assert!(validate_json(&json)
+            .unwrap_err()
+            .contains("snapshot_per_call"));
+    }
+
+    #[test]
+    fn rejects_inconsistent_speedup() {
+        let json = sample_json().replace("\"speedup\": 5.000000", "\"speedup\": 9.000000");
+        assert!(validate_json(&json).unwrap_err().contains("inconsistent"));
+    }
+
+    #[test]
+    fn rejects_nonpositive_optimized() {
+        let json = sample_json().replace("\"optimized\": 10.000000", "\"optimized\": 0.0");
+        assert!(validate_json(&json).unwrap_err().contains("positive"));
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_nesting() {
+        let v = Parser::new(r#"{"a": [1, -2.5e3, "x\n\"A"], "b": {"c": null}}"#)
+            .parse()
+            .unwrap();
+        assert_eq!(
+            v.get("a"),
+            Some(&Json::Arr(vec![
+                Json::Num(1.0),
+                Json::Num(-2500.0),
+                Json::Str("x\n\"A".into())
+            ]))
+        );
+        assert_eq!(v.get("b").and_then(|b| b.get("c")), Some(&Json::Null));
+    }
+
+    #[test]
+    fn quick_suite_reports_every_bench() {
+        // One real (quick) run: the emitted artifact must self-validate and
+        // the incremental DynAIS must beat the reference in-loop.
+        let report = run(true);
+        assert_eq!(validate_json(&report.to_json()), Ok(report.benches.len()));
+        let inloop = report
+            .benches
+            .iter()
+            .find(|b| b.name == "dynais_inloop_per_sample")
+            .unwrap();
+        assert!(
+            inloop.speedup().unwrap() > 1.0,
+            "incremental DynAIS slower than the reference: {:?}",
+            inloop
+        );
+    }
+}

@@ -120,9 +120,7 @@ fn cache_key(t: &WorkloadTargets) -> u64 {
 /// Calibrates `targets`, memoised process-wide. The closed-form solve runs
 /// at most once per distinct workload characterisation; every later call
 /// (any cell, any engine run) is a cache hit.
-pub fn calibrated(
-    targets: &WorkloadTargets,
-) -> Arc<Result<CalibratedWorkload, CalibrationError>> {
+pub fn calibrated(targets: &WorkloadTargets) -> Arc<Result<CalibratedWorkload, CalibrationError>> {
     let key = cache_key(targets);
     let mut cache = lock_cache();
     if let Some(entry) = cache.map.get(&key) {
@@ -514,11 +512,10 @@ fn run_cells(
                 let salt = if config.salt_by_index { cell as u64 } else { 0 };
                 let seed = run_seed(config.base_seed, salt, run);
                 let t0 = Instant::now();
-                let sample =
-                    catch_unwind(AssertUnwindSafe(|| {
-                        run_once(cal, job, kind, targets.nodes, seed)
-                    }))
-                    .map_err(panic_message);
+                let sample = catch_unwind(AssertUnwindSafe(|| {
+                    run_once(cal, job, kind, targets.nodes, seed)
+                }))
+                .map_err(panic_message);
                 let _ = slots[i].set(TaskOutcome {
                     sample,
                     busy_s: t0.elapsed().as_secs_f64(),

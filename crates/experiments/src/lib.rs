@@ -17,6 +17,7 @@
 
 #![warn(missing_docs)]
 
+pub mod bench;
 pub mod chart;
 pub mod csv;
 pub mod engine;

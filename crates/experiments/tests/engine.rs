@@ -27,16 +27,10 @@ fn small_cells() -> Vec<(String, RunKind)> {
 fn results_are_bit_identical_across_worker_counts() {
     let targets = ear_workloads::by_name("BQCD").unwrap();
     let cells = small_cells();
-    let serial = engine::run_matrix_engine(
-        &targets,
-        &cells,
-        &EngineConfig::new(2, 9001).with_jobs(1),
-    );
-    let parallel = engine::run_matrix_engine(
-        &targets,
-        &cells,
-        &EngineConfig::new(2, 9001).with_jobs(8),
-    );
+    let serial =
+        engine::run_matrix_engine(&targets, &cells, &EngineConfig::new(2, 9001).with_jobs(1));
+    let parallel =
+        engine::run_matrix_engine(&targets, &cells, &EngineConfig::new(2, 9001).with_jobs(8));
     let a = serial.all().expect("all cells succeed");
     let b = parallel.all().expect("all cells succeed");
     assert_eq!(a, b, "worker count changed the results");
@@ -87,11 +81,7 @@ fn calibration_runs_once_per_workload() {
         calib_uncore_ghz: 2.4,
     };
     let cells = small_cells();
-    let run = engine::run_matrix_engine(
-        &targets,
-        &cells,
-        &EngineConfig::new(2, 77).with_jobs(4),
-    );
+    let run = engine::run_matrix_engine(&targets, &cells, &EngineConfig::new(2, 77).with_jobs(4));
     assert!(run.all().is_some());
     assert_eq!(
         engine::calibration_count("ENGINE-CACHE-TEST"),

@@ -47,6 +47,8 @@ fn usage() -> ! {
          earsim future\n\
          earsim conf\n\
          earsim all\n\
+         earsim bench [--quick] [--out FILE]   hot-path micro-benchmarks\n\
+         earsim bench --verify FILE            validate a BENCH json artifact\n\
          \n\
          global: --jobs N   engine worker threads (default: all cores);\n\
          \x20              results are bit-identical for any worker count.\n\
@@ -265,6 +267,65 @@ fn cmd_fig(n: &str) {
     print!("{out}");
 }
 
+/// `earsim bench`: runs the dependency-free hot-path micro-benchmarks, or
+/// validates a previously emitted `BENCH_hotpath.json` with `--verify`.
+/// Flags are positionless; `--quick` trims iteration counts for CI smoke.
+fn cmd_bench(rest: &[String]) {
+    let mut quick = false;
+    let mut out: Option<String> = None;
+    let mut verify: Option<String> = None;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => match it.next() {
+                Some(v) => out = Some(v.clone()),
+                None => {
+                    eprintln!("missing value for --out");
+                    usage();
+                }
+            },
+            "--verify" => match it.next() {
+                Some(v) => verify = Some(v.clone()),
+                None => {
+                    eprintln!("missing value for --verify");
+                    usage();
+                }
+            },
+            _ => {
+                eprintln!("unknown bench argument '{a}'");
+                usage();
+            }
+        }
+    }
+    if let Some(path) = verify {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                exit(1);
+            }
+        };
+        match ear::experiments::bench::validate_json(&text) {
+            Ok(n) => println!("{path}: valid ({n} benches)"),
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                exit(1);
+            }
+        }
+        return;
+    }
+    let report = ear::experiments::bench::run(quick);
+    print!("{}", report.render());
+    if let Some(path) = out {
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("cannot write {path}: {e}");
+            exit(1);
+        }
+        eprintln!("wrote {path}");
+    }
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     // Global --jobs N: accepted anywhere on the line, stripped before the
@@ -303,6 +364,7 @@ fn main() {
         }
         Some("conf") => print!("{}", render_ear_conf(&EarlConfig::default())),
         Some("all") => print!("{}", ear::experiments::run_all()),
+        Some("bench") => cmd_bench(&args[1..]),
         _ => usage(),
     }
     // Machine-readable engine summary (stderr keeps stdout parseable).
