@@ -73,6 +73,12 @@ impl fmt::Display for MsrError {
 
 impl std::error::Error for MsrError {}
 
+impl From<MsrError> for ear_errors::EarError {
+    fn from(e: MsrError) -> Self {
+        ear_errors::EarError::Msr(e.to_string())
+    }
+}
+
 /// Default RAPL energy-status unit exponent on Skylake-SP: energy counts in
 /// units of 1 / 2^14 J ≈ 61 µJ.
 pub const DEFAULT_ENERGY_UNIT_EXP: u64 = 14;
@@ -173,6 +179,13 @@ impl MsrFile {
             }
             None => Err(MsrError::Unimplemented(msr)),
         }
+    }
+
+    /// Simulator-side read of a register, bypassing software access rules
+    /// (this is "the hardware" sampling its own wires, which cannot #GP).
+    /// Unmodelled addresses read as zero.
+    pub fn peek(&self, msr: u32) -> u64 {
+        slot(msr).map_or(0, |s| self.regs[s])
     }
 
     /// Simulator-side update of a register, bypassing software access rules

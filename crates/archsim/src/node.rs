@@ -88,9 +88,7 @@ impl Socket {
             addr::IA32_PERF_STATUS,
             msr::pack_perf_ctl(config.pstates.ratio_for(1)),
         );
-        let rapl_unit_j = msr::rapl_energy_unit_joules(
-            msr.read(addr::MSR_RAPL_POWER_UNIT).expect("0x606 present"),
-        );
+        let rapl_unit_j = msr::rapl_energy_unit_joules(msr.peek(addr::MSR_RAPL_POWER_UNIT));
         Self {
             msr,
             hwufs: HwUfsController::new(config.hwufs.clone(), config.uncore_max_ratio),
@@ -106,20 +104,16 @@ impl Socket {
 
     /// Programmed uncore limits (min, max), in 100 MHz units.
     pub fn uncore_limits(&self) -> (u8, u8) {
-        msr::unpack_uncore_ratio_limit(
-            self.msr
-                .read(addr::MSR_UNCORE_RATIO_LIMIT)
-                .expect("0x620 always present"),
-        )
+        msr::unpack_uncore_ratio_limit(self.msr.peek(addr::MSR_UNCORE_RATIO_LIMIT))
     }
 
     /// Requested CPU ratio from `IA32_PERF_CTL`.
     pub fn requested_ratio(&self) -> u8 {
-        msr::unpack_perf_ratio(self.msr.read(addr::IA32_PERF_CTL).expect("0x199 present"))
+        msr::unpack_perf_ratio(self.msr.peek(addr::IA32_PERF_CTL))
     }
 
     fn epb(&self) -> u8 {
-        (self.msr.read(addr::IA32_ENERGY_PERF_BIAS).unwrap_or(6) & 0xF) as u8
+        (self.msr.peek(addr::IA32_ENERGY_PERF_BIAS) & 0xF) as u8
     }
 }
 
@@ -241,13 +235,13 @@ impl Node {
     }
 
     /// Convenience: sets the CPU pstate on every core of every socket
-    /// (EAR applies node-level frequencies).
+    /// (EAR applies node-level frequencies). `IA32_PERF_CTL` accepts any
+    /// ratio, so this cannot fault; the write goes through the same MSR
+    /// path software uses.
     pub fn set_cpu_pstate(&mut self, ps: Pstate) {
         let ratio = self.config.pstates.ratio_for(ps);
         for s in &mut self.sockets {
-            s.msr
-                .write(addr::IA32_PERF_CTL, msr::pack_perf_ctl(ratio))
-                .expect("PERF_CTL is writable");
+            let _ = s.msr.write(addr::IA32_PERF_CTL, msr::pack_perf_ctl(ratio));
         }
     }
 

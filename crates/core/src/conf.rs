@@ -30,6 +30,15 @@ impl fmt::Display for ConfError {
 
 impl std::error::Error for ConfError {}
 
+impl From<ConfError> for ear_errors::EarError {
+    fn from(e: ConfError) -> Self {
+        ear_errors::EarError::Config {
+            line: Some(e.line),
+            message: e.message,
+        }
+    }
+}
+
 /// Parses `ear.conf` text into an [`EarlConfig`], starting from defaults.
 ///
 /// ```
@@ -70,6 +79,7 @@ pub fn parse_ear_conf(text: &str) -> Result<EarlConfig, ConfError> {
         };
         match key.as_str() {
             "policy" => config.policy_name = value.to_string(),
+            "model" => config.model_name = value.to_string(),
             "cpupolicyth" => {
                 let v = parse_f64(value)?;
                 if !(0.0..=0.5).contains(&v) {
@@ -150,6 +160,7 @@ pub fn render_ear_conf(config: &EarlConfig) -> String {
     format!(
         "# EAR configuration (generated)\n\
          Policy={}\n\
+         Model={}\n\
          CpuPolicyTh={}\n\
          UncPolicyTh={}\n\
          SigChangeTh={}\n\
@@ -161,6 +172,7 @@ pub fn render_ear_conf(config: &EarlConfig) -> String {
          DynaisLevels={}\n\
          DynaisWindowSize={}\n",
         config.policy_name,
+        config.model_name,
         config.settings.cpu_policy_th,
         config.settings.unc_policy_th,
         config.settings.sig_change_th,
@@ -240,6 +252,7 @@ mod tests {
     fn render_roundtrips() {
         let mut c = EarlConfig {
             policy_name: "min_time_eufs".into(),
+            model_name: "default".into(),
             ..Default::default()
         };
         c.settings.unc_policy_th = 0.03;
@@ -248,8 +261,16 @@ mod tests {
         let text = render_ear_conf(&c);
         let back = parse_ear_conf(&text).unwrap();
         assert_eq!(back.policy_name, c.policy_name);
+        assert_eq!(back.model_name, "default");
         assert_eq!(back.settings.unc_policy_th, c.settings.unc_policy_th);
         assert_eq!(back.settings.imc_range, c.settings.imc_range);
         assert_eq!(back.dynais.levels, 6);
+    }
+
+    #[test]
+    fn model_key_parses() {
+        let c = parse_ear_conf("Model=default").unwrap();
+        assert_eq!(c.model_name, "default");
+        assert_eq!(parse_ear_conf("").unwrap().model_name, "avx512");
     }
 }

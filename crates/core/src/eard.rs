@@ -4,15 +4,22 @@
 //! request goes through the node daemon, which owns the MSRs and enforces
 //! administrator limits (cluster power caps, frequency ceilings) *over*
 //! whatever the user-side policy asks for. [`EarDaemon`] reproduces that
-//! authority split: it wraps the per-node runtime (EARL), periodically
-//! measures node power, runs the powercap controller and clamps the
-//! programmed frequencies to the resulting ceiling.
+//! authority split with the typed message protocol of
+//! [`crate::protocol`]: after every inner-runtime hook it drains the
+//! runtime's request mailbox, clamps `SetFreqs` requests against its
+//! powercap ceiling, performs the MSR writes (the *only* layer that does),
+//! and replies with what was actually granted. Periodically it measures
+//! node power, runs the powercap controller and enforces the resulting
+//! ceiling over the already-programmed frequencies. Every exchanged
+//! [`EarMessage`] is kept in an inspectable log.
 
 use crate::manager;
 use crate::policy::api::NodeFreqs;
 use crate::powercap::PowercapController;
+use crate::protocol::{DaemonEndpoint, DaemonReply, EarMessage, EarlRequest, GmCommand};
 use ear_archsim::{CounterSnapshot, Node};
 use ear_mpisim::{MpiEvent, NodeRuntime};
+use ear_trace::{self as trace, TraceEvent, TraceRecord};
 
 /// The daemon wrapping a node runtime.
 pub struct EarDaemon<R> {
@@ -23,10 +30,12 @@ pub struct EarDaemon<R> {
     last_eval: Option<CounterSnapshot>,
     clamps: u32,
     evaluations: u32,
+    log: Vec<EarMessage>,
+    node_id: u64,
 }
 
 impl<R> EarDaemon<R> {
-    /// Wraps `inner` without a power cap (pure pass-through + telemetry).
+    /// Wraps `inner` without a power cap (requests are granted verbatim).
     pub fn new(inner: R) -> Self {
         Self {
             inner,
@@ -35,6 +44,8 @@ impl<R> EarDaemon<R> {
             last_eval: None,
             clamps: 0,
             evaluations: 0,
+            log: Vec::new(),
+            node_id: 0,
         }
     }
 
@@ -50,7 +61,13 @@ impl<R> EarDaemon<R> {
         &self.inner
     }
 
-    /// How many times the daemon overrode the library's frequencies.
+    /// Mutable access to the wrapped runtime.
+    pub fn inner_mut(&mut self) -> &mut R {
+        &mut self.inner
+    }
+
+    /// How many times the daemon overrode the library's frequencies
+    /// (clamped grants and periodic enforcements).
     pub fn clamps(&self) -> u32 {
         self.clamps
     }
@@ -60,17 +77,41 @@ impl<R> EarDaemon<R> {
         self.evaluations
     }
 
-    /// Reassigns the node cap (from EARGM).
+    /// Every protocol message exchanged since job start, oldest first.
+    pub fn messages(&self) -> &[EarMessage] {
+        &self.log
+    }
+
+    /// Sets the node index stamped on trace records (default 0).
+    pub fn set_node_id(&mut self, node_id: u64) {
+        self.node_id = node_id;
+    }
+
+    /// Reassigns the node cap (operator intervention; EARGM goes through
+    /// [`EarDaemon::handle_command`]).
     pub fn set_cap_w(&mut self, cap_w: f64) {
         if let Some(cap) = self.cap.as_mut() {
             cap.set_cap_w(cap_w);
         }
     }
 
+    /// Applies a cluster-manager cap command and logs it.
+    pub fn handle_command(&mut self, cmd: &GmCommand) {
+        self.log.push(EarMessage::GmCommand(*cmd));
+        self.set_cap_w(cmd.cap_w);
+    }
+
+    /// The ceiling requests are clamped against (no cap: no constraint).
+    fn request_ceiling(&self) -> Option<NodeFreqs> {
+        self.cap.as_ref().map(|c| c.ceiling())
+    }
+
     /// Clamps the programmed frequencies to `ceiling` if they exceed it.
     /// Returns whether a clamp was applied.
     fn enforce(&mut self, node: &mut Node, ceiling: NodeFreqs) -> bool {
-        let current = manager::read_freqs(node);
+        let Ok(current) = manager::read_freqs(node) else {
+            return false;
+        };
         // A faster CPU pstate is a *smaller* index; the ceiling is the
         // fastest allowed.
         let clamped = NodeFreqs {
@@ -78,9 +119,23 @@ impl<R> EarDaemon<R> {
             imc_min_ratio: current.imc_min_ratio.min(ceiling.imc_max_ratio),
             imc_max_ratio: current.imc_max_ratio.min(ceiling.imc_max_ratio),
         };
-        if clamped != current {
-            manager::apply_freqs(node, &clamped).expect("clamped frequencies are valid");
+        if clamped != current && manager::apply_freqs(node, &clamped).is_ok() {
             self.clamps += 1;
+            self.log.push(EarMessage::Enforce {
+                before: current,
+                after: clamped,
+            });
+            let t = node.now().as_secs();
+            let node_id = self.node_id;
+            trace::emit_with(|| TraceRecord {
+                time_s: t,
+                node: node_id,
+                event: TraceEvent::DaemonClamp {
+                    cpu: clamped.cpu as u64,
+                    imc_min: u64::from(clamped.imc_min_ratio),
+                    imc_max: u64::from(clamped.imc_max_ratio),
+                },
+            });
             true
         } else {
             false
@@ -99,34 +154,104 @@ impl<R> EarDaemon<R> {
         }
         let window_s = now.time - last.time;
         let power_w = (now.dc_energy_exact_j - last.dc_energy_exact_j) / window_s;
-        cap.evaluate(power_w);
+        let action = cap.evaluate(power_w);
         let ceiling = cap.ceiling();
         self.evaluations += 1;
         self.last_eval = Some(now);
+        self.log.push(EarMessage::PowercapVerdict {
+            power_w,
+            action,
+            ceiling,
+        });
+        let t = node.now().as_secs();
+        let node_id = self.node_id;
+        trace::emit_with(|| TraceRecord {
+            time_s: t,
+            node: node_id,
+            event: TraceEvent::PowercapVerdict {
+                power_w,
+                action: format!("{action:?}"),
+            },
+        });
         self.enforce(node, ceiling);
     }
 }
 
-impl<R: NodeRuntime> NodeRuntime for EarDaemon<R> {
+impl<R: DaemonEndpoint> EarDaemon<R> {
+    /// Drains and services the inner runtime's request mailbox: signature
+    /// reports are logged, frequency requests are clamped against the
+    /// powercap ceiling, written to the MSRs, and answered.
+    fn service(&mut self, node: &mut Node) {
+        for request in self.inner.drain_requests() {
+            self.log.push(EarMessage::Request(request));
+            let EarlRequest::SetFreqs(requested) = request else {
+                continue;
+            };
+            let granted = match self.request_ceiling() {
+                Some(ceiling) => NodeFreqs {
+                    cpu: requested.cpu.max(ceiling.cpu),
+                    imc_min_ratio: requested.imc_min_ratio.min(ceiling.imc_max_ratio),
+                    imc_max_ratio: requested.imc_max_ratio.min(ceiling.imc_max_ratio),
+                },
+                None => requested,
+            };
+            let clamped = granted != requested;
+            let reply = match manager::apply_freqs(node, &granted) {
+                Ok(()) => {
+                    if clamped {
+                        self.clamps += 1;
+                    }
+                    let t = node.now().as_secs();
+                    let node_id = self.node_id;
+                    trace::emit_with(|| TraceRecord {
+                        time_s: t,
+                        node: node_id,
+                        event: TraceEvent::FreqGrant {
+                            cpu: granted.cpu as u64,
+                            imc_min: u64::from(granted.imc_min_ratio),
+                            imc_max: u64::from(granted.imc_max_ratio),
+                            clamped,
+                        },
+                    });
+                    DaemonReply::FreqsApplied {
+                        requested,
+                        granted,
+                        clamped,
+                    }
+                }
+                Err(_) => DaemonReply::Rejected { requested },
+            };
+            self.log.push(EarMessage::Reply(reply));
+            self.inner.deliver(&reply);
+        }
+    }
+}
+
+impl<R: NodeRuntime + DaemonEndpoint> NodeRuntime for EarDaemon<R> {
     fn on_job_start(&mut self, node: &mut Node, job_name: &str, ranks: usize) {
         self.last_eval = Some(node.snapshot());
         self.clamps = 0;
         self.evaluations = 0;
+        self.log.clear();
         self.inner.on_job_start(node, job_name, ranks);
+        self.service(node);
     }
 
     fn on_mpi_call(&mut self, node: &mut Node, event: &MpiEvent) {
         self.inner.on_mpi_call(node, event);
+        self.service(node);
         self.evaluate(node);
     }
 
     fn on_tick(&mut self, node: &mut Node) {
         self.inner.on_tick(node);
+        self.service(node);
         self.evaluate(node);
     }
 
     fn on_job_end(&mut self, node: &mut Node) {
         self.inner.on_job_end(node);
+        self.service(node);
     }
 }
 
@@ -138,18 +263,33 @@ mod tests {
     use ear_mpisim::{run_job, NullRuntime};
     use ear_workloads::{build_job, by_name, calibrate};
 
+    fn earl() -> Earl {
+        Earl::from_registry(EarlConfig::default()).expect("default config resolves")
+    }
+
     #[test]
     fn passthrough_without_cap_never_clamps() {
         let targets = by_name("BQCD").unwrap();
         let cal = calibrate(&targets).unwrap();
         let job = build_job(&cal);
         let mut cluster = Cluster::new(cal.node_config.clone(), targets.nodes, 71);
-        let mut rts: Vec<EarDaemon<Earl>> = (0..targets.nodes)
-            .map(|_| EarDaemon::new(Earl::from_registry(EarlConfig::default())))
-            .collect();
+        let mut rts: Vec<EarDaemon<Earl>> =
+            (0..targets.nodes).map(|_| EarDaemon::new(earl())).collect();
         run_job(&mut cluster, &job, &mut rts);
         assert_eq!(rts[0].clamps(), 0);
         assert!(rts[0].inner().job_record().is_some());
+        // The protocol log shows requests and grants, none of them
+        // overrides.
+        let d = &rts[0];
+        assert!(d
+            .messages()
+            .iter()
+            .any(|m| matches!(m, EarMessage::Request(EarlRequest::SetFreqs(_)))));
+        assert!(d
+            .messages()
+            .iter()
+            .any(|m| matches!(m, EarMessage::Reply(DaemonReply::FreqsApplied { .. }))));
+        assert!(d.messages().iter().all(|m| !m.is_override()));
     }
 
     #[test]
@@ -161,10 +301,9 @@ mod tests {
         let job = build_job(&cal);
         let run = |cap: Option<f64>| {
             let mut cluster = Cluster::new(cal.node_config.clone(), 1, 72);
-            let earl = Earl::from_registry(EarlConfig::default());
             let mut rts = vec![match cap {
-                Some(w) => EarDaemon::with_cap(earl, cluster.node(0), w),
-                None => EarDaemon::new(earl),
+                Some(w) => EarDaemon::with_cap(earl(), cluster.node(0), w),
+                None => EarDaemon::new(earl()),
             }];
             let report = run_job(&mut cluster, &job, &mut rts);
             (report.avg_dc_power_w(), rts.remove(0))
@@ -177,6 +316,12 @@ mod tests {
             capped_w < uncapped_w - 15.0,
             "cap ineffective: {capped_w} vs {uncapped_w}"
         );
+        // The override decisions are visible as typed protocol messages.
+        assert!(daemon.messages().iter().any(|m| m.is_override()));
+        assert!(daemon
+            .messages()
+            .iter()
+            .any(|m| matches!(m, EarMessage::PowercapVerdict { .. })));
     }
 
     #[test]
@@ -191,5 +336,19 @@ mod tests {
         let report = run_job(&mut cluster, &job, &mut rts);
         assert_eq!(rts[0].clamps(), 0);
         assert!((report.seconds() - targets.time_s).abs() / targets.time_s < 0.03);
+    }
+
+    #[test]
+    fn gm_commands_reassign_the_cap() {
+        let node = Node::new(ear_archsim::NodeConfig::sd530_6148(), 7);
+        let mut d = EarDaemon::with_cap(NullRuntime, &node, 400.0);
+        d.handle_command(&GmCommand {
+            node: 0,
+            cap_w: 250.0,
+        });
+        assert!(matches!(
+            d.messages().last(),
+            Some(EarMessage::GmCommand(GmCommand { node: 0, .. }))
+        ));
     }
 }

@@ -8,7 +8,9 @@
 
 use crate::policy::api::NodeFreqs;
 use crate::powercap::{distribute_budget, CapAction, PowercapController};
+use crate::protocol::{EarMessage, GmCommand, GmReport};
 use ear_archsim::Node;
+use ear_trace::{self as trace, TraceEvent, TraceRecord};
 
 /// One evaluation step's outcome.
 #[derive(Debug, Clone)]
@@ -29,6 +31,7 @@ pub struct ClusterEnergyManager {
     budget_w: f64,
     controllers: Vec<PowercapController>,
     steps: u64,
+    log: Vec<EarMessage>,
 }
 
 impl ClusterEnergyManager {
@@ -44,6 +47,7 @@ impl ClusterEnergyManager {
                 .map(|n| PowercapController::new(n, per))
                 .collect(),
             steps: 0,
+            log: Vec::new(),
         }
     }
 
@@ -83,12 +87,65 @@ impl ClusterEnergyManager {
             actions.push(ctl.evaluate(power));
             ceilings.push(ctl.ceiling());
         }
+        let cluster_power_w: f64 = recent_node_powers_w.iter().sum();
+        let budget_w = self.budget_w;
+        trace::emit_with(|| TraceRecord {
+            time_s: 0.0,
+            node: 0,
+            event: TraceEvent::GmStep {
+                cluster_power_w,
+                budget_w,
+            },
+        });
         GmStep {
-            cluster_power_w: recent_node_powers_w.iter().sum(),
+            cluster_power_w,
             assigned_caps_w: assigned,
             actions,
             ceilings,
         }
+    }
+
+    /// The message-protocol entry point: consume one [`GmReport`] per node
+    /// and answer with the cap command for every node. Reports and
+    /// commands are kept in the message log.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a report names a node this manager does not control or
+    /// the report set does not cover every node exactly once.
+    pub fn handle_reports(&mut self, reports: &[GmReport]) -> Vec<GmCommand> {
+        assert_eq!(
+            reports.len(),
+            self.controllers.len(),
+            "one report per node expected"
+        );
+        let mut powers = vec![f64::NAN; self.controllers.len()];
+        for r in reports {
+            assert!(r.node < powers.len(), "report for unknown node {}", r.node);
+            assert!(
+                powers[r.node].is_nan(),
+                "duplicate report for node {}",
+                r.node
+            );
+            powers[r.node] = r.avg_power_w;
+            self.log.push(EarMessage::GmReport(*r));
+        }
+        let step = self.step(&powers);
+        let commands: Vec<GmCommand> = step
+            .assigned_caps_w
+            .iter()
+            .enumerate()
+            .map(|(node, &cap_w)| GmCommand { node, cap_w })
+            .collect();
+        for c in &commands {
+            self.log.push(EarMessage::GmCommand(*c));
+        }
+        commands
+    }
+
+    /// Every protocol message exchanged, oldest first.
+    pub fn messages(&self) -> &[EarMessage] {
+        &self.log
     }
 }
 
@@ -157,5 +214,38 @@ mod tests {
     #[should_panic(expected = "needs nodes")]
     fn empty_cluster_rejected() {
         let _ = ClusterEnergyManager::new(&[], 100.0);
+    }
+
+    #[test]
+    fn reports_in_commands_out() {
+        let ns = nodes(2);
+        let refs: Vec<&Node> = ns.iter().collect();
+        let mut gm = ClusterEnergyManager::new(&refs, 600.0);
+        // Reports may arrive in any node order.
+        let commands = gm.handle_reports(&[
+            GmReport {
+                node: 1,
+                avg_power_w: 250.0,
+            },
+            GmReport {
+                node: 0,
+                avg_power_w: 400.0,
+            },
+        ]);
+        assert_eq!(commands.len(), 2);
+        assert_eq!(commands[0].node, 0);
+        assert!((commands[0].cap_w - 369.2).abs() < 1.0);
+        // The exchange is auditable: 2 reports in, 2 commands out.
+        let reports = gm
+            .messages()
+            .iter()
+            .filter(|m| matches!(m, EarMessage::GmReport(_)))
+            .count();
+        let cmds = gm
+            .messages()
+            .iter()
+            .filter(|m| matches!(m, EarMessage::GmCommand(_)))
+            .count();
+        assert_eq!((reports, cmds), (2, 2));
     }
 }

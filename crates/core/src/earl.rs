@@ -9,20 +9,28 @@
 //!    long enough (≥ 10 s: the INM energy counter updates at 1 s), counters
 //!    are read and a [`Signature`] computed;
 //! 3. the signature drives the [`EarlStateMachine`] and the configured
-//!    policy plugin, whose frequency selections are written to the MSRs.
+//!    policy plugin; frequency selections are *requested* from the node
+//!    daemon through the typed message protocol — EARL is unprivileged and
+//!    never writes an MSR itself.
 //!
 //! Non-MPI applications (OpenMP, CUDA, MKL) produce no PMPI events; EARL
 //! then operates *time-guided* (paper §III) from the periodic tick.
+//!
+//! The energy model used for projections is resolved by name through the
+//! [`ModelRegistry`] (`ear.conf` `Model=`),
+//! so EARL works against the [`EnergyModel`] trait only.
 
 use crate::accounting::JobRecord;
-use crate::manager;
-use crate::models::Avx512Model;
+use crate::models::{EnergyModel, ModelFactory, ModelRegistry};
 use crate::policy::api::{NodeFreqs, PolicyCtx, PolicySettings, PowerPolicy};
+use crate::protocol::{DaemonEndpoint, DaemonReply, EarlRequest};
 use crate::signature::Signature;
 use crate::state::EarlStateMachine;
 use ear_archsim::{CounterSnapshot, Node, PstateTable, SimTime};
 use ear_dynais::{DynAis, DynaisConfig};
+use ear_errors::EarError;
 use ear_mpisim::{MpiEvent, NodeRuntime};
+use ear_trace::{self as trace, TraceEvent, TraceRecord};
 
 /// EARL configuration (the subset of `ear.conf` this paper exercises).
 #[derive(Debug, Clone)]
@@ -30,6 +38,9 @@ pub struct EarlConfig {
     /// Policy plugin name (resolved through the registry by the caller) —
     /// kept for reporting.
     pub policy_name: String,
+    /// Energy-model plugin name, resolved through
+    /// [`ModelRegistry::with_builtins`] at construction.
+    pub model_name: String,
     /// Policy settings.
     pub settings: PolicySettings,
     /// Minimum measurement-window length before a signature is computed
@@ -43,6 +54,7 @@ impl Default for EarlConfig {
     fn default() -> Self {
         Self {
             policy_name: "min_energy_eufs".to_string(),
+            model_name: "avx512".to_string(),
             settings: PolicySettings::default(),
             min_signature_window_s: 10.0,
             dynais: DynaisConfig::default(),
@@ -64,7 +76,8 @@ struct JobCtx {
 pub struct Earl {
     config: EarlConfig,
     policy: Box<dyn PowerPolicy>,
-    model: Option<Avx512Model>,
+    model_factory: ModelFactory,
+    model: Option<Box<dyn EnergyModel>>,
     dynais: DynAis,
     sm: EarlStateMachine,
     job: Option<JobCtx>,
@@ -74,17 +87,38 @@ pub struct Earl {
     signatures: Vec<Signature>,
     freq_changes: Vec<(SimTime, NodeFreqs)>,
     record: Option<JobRecord>,
+    /// Requests awaiting the daemon's next drain.
+    outbox: Vec<EarlRequest>,
+    /// Timestamp of the in-flight `SetFreqs` request (the daemon services
+    /// it within the same event, so no simulated time passes in between).
+    pending_request_t: Option<SimTime>,
+    last_imc_ceiling: Option<u8>,
+    node_id: u64,
 }
 
 impl Earl {
     /// Creates an EARL instance with an explicit policy object (most tests
     /// and the experiment harness resolve the policy through
-    /// [`crate::policy::api::PolicyRegistry`] first).
-    pub fn new(config: EarlConfig, policy: Box<dyn PowerPolicy>) -> Self {
+    /// [`crate::policy::api::PolicyRegistry`] first). The energy model is
+    /// resolved from `config.model_name`; unknown names are a configuration
+    /// error.
+    pub fn new(config: EarlConfig, policy: Box<dyn PowerPolicy>) -> Result<Self, EarError> {
+        let factory = ModelRegistry::with_builtins().resolve(&config.model_name)?;
+        Ok(Self::with_model_factory(config, policy, factory))
+    }
+
+    /// Creates an instance with an explicit model factory (user-supplied
+    /// models that are not in the built-in registry).
+    pub fn with_model_factory(
+        config: EarlConfig,
+        policy: Box<dyn PowerPolicy>,
+        model_factory: ModelFactory,
+    ) -> Self {
         let dynais = DynAis::new(&config.dynais);
         Self {
             config,
             policy,
+            model_factory,
             model: None,
             dynais,
             sm: EarlStateMachine::new(),
@@ -95,17 +129,26 @@ impl Earl {
             signatures: Vec::new(),
             freq_changes: Vec::new(),
             record: None,
+            outbox: Vec::new(),
+            pending_request_t: None,
+            last_imc_ceiling: None,
+            node_id: 0,
         }
     }
 
-    /// Creates an instance resolving `config.policy_name` from the built-in
-    /// registry. Panics on unknown names (configuration error).
-    pub fn from_registry(config: EarlConfig) -> Self {
+    /// Creates an instance resolving `config.policy_name` and
+    /// `config.model_name` from the built-in registries.
+    pub fn from_registry(config: EarlConfig) -> Result<Self, EarError> {
         let registry = crate::policy::api::PolicyRegistry::with_builtins();
         let policy = registry
             .create(&config.policy_name)
-            .unwrap_or_else(|| panic!("unknown policy '{}'", config.policy_name));
+            .ok_or_else(|| EarError::unknown("policy", &config.policy_name))?;
         Self::new(config, policy)
+    }
+
+    /// Sets the node index stamped on trace records (default 0).
+    pub fn set_node_id(&mut self, node_id: u64) {
+        self.node_id = node_id;
     }
 
     /// The signatures computed so far.
@@ -113,7 +156,7 @@ impl Earl {
         &self.signatures
     }
 
-    /// Every frequency change applied, with its timestamp.
+    /// Every frequency change granted by the daemon, with its timestamp.
     pub fn freq_changes(&self) -> &[(SimTime, NodeFreqs)] {
         &self.freq_changes
     }
@@ -126,6 +169,11 @@ impl Earl {
     /// Immutable access to the policy (for convergence inspection).
     pub fn policy(&self) -> &dyn PowerPolicy {
         self.policy.as_ref()
+    }
+
+    /// The configured energy-model name.
+    pub fn model_name(&self) -> &str {
+        &self.config.model_name
     }
 
     fn try_signature(&mut self, node: &mut Node) {
@@ -148,7 +196,10 @@ impl Earl {
             return;
         }
         self.signatures.push(sig);
-        let model = self.model.as_ref().expect("model initialised at job start");
+        self.outbox.push(EarlRequest::ReportSignature(sig));
+        let Some(model) = self.model.as_deref() else {
+            return;
+        };
         let ctx = PolicyCtx {
             pstates: &job.pstates,
             uncore_min_ratio: job.uncore_min_ratio,
@@ -156,19 +207,85 @@ impl Earl {
             model,
             settings: &self.config.settings,
         };
+        let state_before = self.sm.state();
         let outcome = self.sm.on_signature(self.policy.as_mut(), &sig, &ctx);
+        let t = node.now();
+        let node_id = self.node_id;
+        if outcome.state != state_before {
+            trace::emit_with(|| TraceRecord {
+                time_s: t.as_secs(),
+                node: node_id,
+                event: TraceEvent::StateTransition {
+                    from: format!("{state_before:?}"),
+                    to: format!("{:?}", outcome.state),
+                },
+            });
+        }
+        let ceiling = self.policy.imc_ceiling();
+        if ceiling != self.last_imc_ceiling {
+            if let Some(max_ratio) = ceiling {
+                trace::emit_with(|| TraceRecord {
+                    time_s: t.as_secs(),
+                    node: node_id,
+                    event: TraceEvent::ImcSearchStep {
+                        max_ratio: u64::from(max_ratio),
+                    },
+                });
+            }
+            self.last_imc_ceiling = ceiling;
+        }
         if let Some(freqs) = outcome.freqs {
-            manager::apply_freqs(node, &freqs).expect("policy produced invalid frequencies");
-            self.freq_changes.push((node.now(), freqs));
+            let policy_name = self.policy.name();
+            trace::emit_with(|| TraceRecord {
+                time_s: t.as_secs(),
+                node: node_id,
+                event: TraceEvent::PolicyDecision {
+                    policy: policy_name.to_string(),
+                    cpu: freqs.cpu as u64,
+                    imc_min: u64::from(freqs.imc_min_ratio),
+                    imc_max: u64::from(freqs.imc_max_ratio),
+                    ready: outcome.state == crate::state::EarState::ValidatePolicy,
+                },
+            });
+            trace::emit_with(|| TraceRecord {
+                time_s: t.as_secs(),
+                node: node_id,
+                event: TraceEvent::FreqRequest {
+                    cpu: freqs.cpu as u64,
+                    imc_min: u64::from(freqs.imc_min_ratio),
+                    imc_max: u64::from(freqs.imc_max_ratio),
+                },
+            });
+            self.outbox.push(EarlRequest::SetFreqs(freqs));
+            self.pending_request_t = Some(t);
         }
         self.last_snapshot = Some(now);
         self.window_iters = 0;
     }
 }
 
+impl DaemonEndpoint for Earl {
+    fn drain_requests(&mut self) -> Vec<EarlRequest> {
+        std::mem::take(&mut self.outbox)
+    }
+
+    fn deliver(&mut self, reply: &DaemonReply) {
+        match reply {
+            DaemonReply::FreqsApplied { granted, .. } => {
+                if let Some(t) = self.pending_request_t.take() {
+                    self.freq_changes.push((t, *granted));
+                }
+            }
+            DaemonReply::Rejected { .. } => {
+                self.pending_request_t = None;
+            }
+        }
+    }
+}
+
 impl NodeRuntime for Earl {
     fn on_job_start(&mut self, node: &mut Node, job_name: &str, _ranks_on_node: usize) {
-        self.model = Some(Avx512Model::for_node(&node.config));
+        self.model = Some((self.model_factory)(&node.config));
         self.job = Some(JobCtx {
             name: job_name.to_string(),
             start: node.snapshot(),
@@ -185,6 +302,18 @@ impl NodeRuntime for Earl {
         self.signatures.clear();
         self.freq_changes.clear();
         self.record = None;
+        self.outbox.clear();
+        self.pending_request_t = None;
+        self.last_imc_ceiling = None;
+        let t = node.now();
+        let node_id = self.node_id;
+        trace::emit_with(|| TraceRecord {
+            time_s: t.as_secs(),
+            node: node_id,
+            event: TraceEvent::JobStart {
+                job: job_name.to_string(),
+            },
+        });
     }
 
     fn on_mpi_call(&mut self, node: &mut Node, event: &MpiEvent) {
@@ -227,35 +356,65 @@ impl NodeRuntime for Earl {
             signatures: self.signatures.len() as u32,
             freq_changes: self.freq_changes.len() as u32,
         });
+        let t = node.now();
+        let node_id = self.node_id;
+        let n_sigs = self.signatures.len() as u64;
+        trace::emit_with(|| TraceRecord {
+            time_s: t.as_secs(),
+            node: node_id,
+            event: TraceEvent::JobEnd { signatures: n_sigs },
+        });
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::eard::EarDaemon;
+    use crate::models::DefaultModel;
     use crate::policy::min_energy_eufs::MinEnergyEufs;
     use ear_archsim::{Cluster, NodeConfig};
     use ear_mpisim::run_job;
     use ear_workloads::{build_job, calibrate};
+    use std::sync::Arc;
 
     fn earl(policy_name: &str) -> Earl {
         let config = EarlConfig {
             policy_name: policy_name.into(),
             ..Default::default()
         };
-        Earl::from_registry(config)
+        Earl::from_registry(config).expect("builtin policy resolves")
+    }
+
+    fn stack(policy_name: &str) -> EarDaemon<Earl> {
+        EarDaemon::new(earl(policy_name))
     }
 
     #[test]
     fn registry_resolution_works() {
         let e = earl("min_energy_eufs");
         assert_eq!(e.policy().name(), "min_energy_eufs");
+        assert_eq!(e.model_name(), "avx512");
     }
 
     #[test]
-    #[should_panic(expected = "unknown policy")]
-    fn unknown_policy_panics() {
-        let _ = earl("not_a_policy");
+    fn unknown_policy_is_a_config_error() {
+        let config = EarlConfig {
+            policy_name: "not_a_policy".into(),
+            ..Default::default()
+        };
+        let err = Earl::from_registry(config).map(|_| ()).unwrap_err();
+        assert_eq!(err.to_string(), "unknown policy 'not_a_policy'");
+    }
+
+    #[test]
+    fn unknown_model_is_a_config_error() {
+        let config = EarlConfig {
+            model_name: "not_a_model".into(),
+            ..Default::default()
+        };
+        let err = Earl::from_registry(config).map(|_| ()).unwrap_err();
+        assert_eq!(err.to_string(), "unknown model 'not_a_model'");
     }
 
     #[test]
@@ -264,11 +423,11 @@ mod tests {
         let cal = calibrate(&targets).unwrap();
         let job = build_job(&cal);
         let mut cluster = Cluster::new(cal.node_config.clone(), targets.nodes, 11);
-        let mut rts: Vec<Earl> = (0..targets.nodes)
-            .map(|_| earl("min_energy_eufs"))
+        let mut rts: Vec<EarDaemon<Earl>> = (0..targets.nodes)
+            .map(|_| stack("min_energy_eufs"))
             .collect();
         run_job(&mut cluster, &job, &mut rts);
-        let e = &rts[0];
+        let e = rts[0].inner();
         assert!(
             e.signatures().len() >= 5,
             "signatures: {}",
@@ -291,11 +450,11 @@ mod tests {
         let cal = calibrate(&targets).unwrap();
         let job = build_job(&cal);
         let mut cluster = Cluster::new(cal.node_config.clone(), 1, 13);
-        let mut rts = vec![earl("min_energy_eufs")];
+        let mut rts = vec![stack("min_energy_eufs")];
         run_job(&mut cluster, &job, &mut rts);
         // No MPI events, yet signatures exist: the time-guided path works.
-        assert!(rts[0].signatures().len() >= 5);
-        assert!(!rts[0].freq_changes().is_empty());
+        assert!(rts[0].inner().signatures().len() >= 5);
+        assert!(!rts[0].inner().freq_changes().is_empty());
     }
 
     #[test]
@@ -304,9 +463,10 @@ mod tests {
         let cal = calibrate(&targets).unwrap();
         let job = build_job(&cal);
         let mut cluster = Cluster::new(cal.node_config.clone(), targets.nodes, 17);
-        let mut rts: Vec<Earl> = (0..targets.nodes).map(|_| earl("monitoring")).collect();
+        let mut rts: Vec<EarDaemon<Earl>> =
+            (0..targets.nodes).map(|_| stack("monitoring")).collect();
         run_job(&mut cluster, &job, &mut rts);
-        for freq in rts[0].freq_changes() {
+        for freq in rts[0].inner().freq_changes() {
             assert_eq!(freq.1.cpu, 1);
             assert_eq!(freq.1.imc_max_ratio, 24);
         }
@@ -318,11 +478,11 @@ mod tests {
         let cal = calibrate(&targets).unwrap();
         let job = build_job(&cal);
         let mut cluster = Cluster::new(cal.node_config.clone(), targets.nodes, 19);
-        let mut rts: Vec<Earl> = (0..targets.nodes)
-            .map(|_| earl("min_energy_eufs"))
+        let mut rts: Vec<EarDaemon<Earl>> = (0..targets.nodes)
+            .map(|_| stack("min_energy_eufs"))
             .collect();
         run_job(&mut cluster, &job, &mut rts);
-        for sig in rts[0].signatures() {
+        for sig in rts[0].inner().signatures() {
             assert!(sig.window_s >= 10.0 - 1e-6, "window {}", sig.window_s);
             assert!(sig.has_power());
         }
@@ -331,8 +491,41 @@ mod tests {
     #[test]
     fn direct_policy_injection_works() {
         // The plugin API allows handing EARL any policy object.
-        let e = Earl::new(EarlConfig::default(), Box::new(MinEnergyEufs::default()));
+        let e = Earl::new(EarlConfig::default(), Box::new(MinEnergyEufs::default())).unwrap();
         assert_eq!(e.policy().name(), "min_energy_eufs");
         let _ = NodeConfig::sd530_6148();
+    }
+
+    #[test]
+    fn default_model_is_selectable_and_changes_projections() {
+        // The same workload under the default (pre-paper) model: the run
+        // completes and the library reports the configured model name.
+        let targets = ear_workloads::by_name("BT-MZ").unwrap();
+        let cal = calibrate(&targets).unwrap();
+        let job = build_job(&cal);
+        let mut cluster = Cluster::new(cal.node_config.clone(), targets.nodes, 11);
+        let config = EarlConfig {
+            model_name: "default".into(),
+            ..Default::default()
+        };
+        let mut rts: Vec<EarDaemon<Earl>> = (0..targets.nodes)
+            .map(|_| EarDaemon::new(Earl::from_registry(config.clone()).unwrap()))
+            .collect();
+        run_job(&mut cluster, &job, &mut rts);
+        let e = rts[0].inner();
+        assert_eq!(e.model_name(), "default");
+        assert!(e.signatures().len() >= 5);
+        assert!(!e.freq_changes().is_empty());
+    }
+
+    #[test]
+    fn custom_model_factories_are_accepted() {
+        let factory: ModelFactory = Arc::new(|cfg| Box::new(DefaultModel::for_node(cfg)));
+        let e = Earl::with_model_factory(
+            EarlConfig::default(),
+            Box::new(MinEnergyEufs::default()),
+            factory,
+        );
+        assert_eq!(e.policy().name(), "min_energy_eufs");
     }
 }

@@ -19,6 +19,9 @@
 //! * [`earl`] — the runtime binding everything to a simulated node through
 //!   the PMPI interception interface.
 //! * [`manager`] — frequency actuation through MSR writes.
+//! * [`protocol`] — the typed EARL↔EARD↔EARGM message protocol.
+//! * [`eard`] / [`eargm`] — the node daemon (sole MSR-writing layer) and
+//!   the cluster energy manager.
 //! * [`accounting`] / [`powercap`] — EAR's accounting and energy-control
 //!   services.
 
@@ -34,16 +37,19 @@ pub mod models;
 pub mod monitor;
 pub mod policy;
 pub mod powercap;
+pub mod protocol;
 pub mod signature;
 pub mod state;
 
 pub use accounting::{AccountingDb, JobRecord, SharedAccounting};
 pub use conf::{parse_ear_conf, render_ear_conf, ConfError};
+pub use ear_errors::{EarError, EarResult};
 pub use eard::EarDaemon;
 pub use eargm::{ClusterEnergyManager, GmStep};
 pub use earl::{Earl, EarlConfig};
 pub use models::{
-    learn_model_params, Avx512Model, DefaultModel, EnergyModel, ModelParams, Projection,
+    learn_model_params, Avx512Model, DefaultModel, EnergyModel, ModelFactory, ModelParams,
+    ModelRegistry, Projection,
 };
 pub use monitor::{MonitorSample, MonitorSummary, Monitored};
 pub use policy::{
@@ -51,5 +57,6 @@ pub use policy::{
     NodeFreqs, PolicyCtx, PolicyRegistry, PolicySettings, PolicyState, PowerPolicy,
 };
 pub use powercap::{distribute_budget, CapAction, PowercapController};
+pub use protocol::{DaemonEndpoint, DaemonReply, EarMessage, EarlRequest, GmCommand, GmReport};
 pub use signature::Signature;
 pub use state::{EarState, EarlStateMachine, StateOutcome};

@@ -23,20 +23,15 @@ pub fn apply_freqs(node: &mut Node, freqs: &NodeFreqs) -> Result<(), MsrError> {
 
 /// Reads back the frequencies currently programmed (socket 0; EAR keeps
 /// sockets in lock-step).
-pub fn read_freqs(node: &Node) -> NodeFreqs {
-    let ratio = msr::unpack_perf_ratio(
-        node.read_msr(0, addr::IA32_PERF_CTL)
-            .expect("PERF_CTL present"),
-    );
-    let (imc_min, imc_max) = msr::unpack_uncore_ratio_limit(
-        node.read_msr(0, addr::MSR_UNCORE_RATIO_LIMIT)
-            .expect("0x620 present"),
-    );
-    NodeFreqs {
+pub fn read_freqs(node: &Node) -> Result<NodeFreqs, MsrError> {
+    let ratio = msr::unpack_perf_ratio(node.read_msr(0, addr::IA32_PERF_CTL)?);
+    let (imc_min, imc_max) =
+        msr::unpack_uncore_ratio_limit(node.read_msr(0, addr::MSR_UNCORE_RATIO_LIMIT)?);
+    Ok(NodeFreqs {
         cpu: node.config.pstates.pstate_for_ratio(ratio),
         imc_min_ratio: imc_min,
         imc_max_ratio: imc_max,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -53,7 +48,7 @@ mod tests {
             imc_max_ratio: 18,
         };
         apply_freqs(&mut node, &f).unwrap();
-        assert_eq!(read_freqs(&node), f);
+        assert_eq!(read_freqs(&node).unwrap(), f);
         // All sockets got the write.
         for s in 0..node.socket_count() {
             let v = node.read_msr(s, addr::MSR_UNCORE_RATIO_LIMIT).unwrap();

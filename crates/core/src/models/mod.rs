@@ -20,7 +20,9 @@ pub use default_model::{DefaultModel, ModelParams};
 pub use learning::learn_model_params;
 
 use crate::signature::Signature;
-use ear_archsim::{Pstate, PstateTable};
+use ear_archsim::{NodeConfig, Pstate, PstateTable};
+use ear_errors::EarError;
+use std::sync::Arc;
 
 /// A projected (time, power) pair at a target pstate.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -49,4 +51,82 @@ pub trait EnergyModel: Send {
         to: Pstate,
         pstates: &PstateTable,
     ) -> Projection;
+}
+
+/// Builds a model instance for a node (models calibrate their coefficients
+/// against the node's pstate table at job start).
+pub type ModelFactory = Arc<dyn Fn(&NodeConfig) -> Box<dyn EnergyModel> + Send + Sync>;
+
+/// Name→factory registry for energy models, mirroring the policy registry:
+/// EAR loads its projection model as a plugin selected in `ear.conf`, so
+/// EARL never names a concrete model type.
+pub struct ModelRegistry {
+    entries: Vec<(String, ModelFactory)>,
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self {
+            entries: Vec::new(),
+        }
+    }
+
+    /// A registry with the built-in models registered: `"default"` (the
+    /// Bell/Brochard CPI/TPI projection) and `"avx512"` (the paper's
+    /// AVX512-aware blend).
+    pub fn with_builtins() -> Self {
+        let mut r = Self::new();
+        r.register("default", |cfg| Box::new(DefaultModel::for_node(cfg)));
+        r.register("avx512", |cfg| Box::new(Avx512Model::for_node(cfg)));
+        r
+    }
+
+    /// Registers (or replaces) a factory under `name`.
+    pub fn register(
+        &mut self,
+        name: &str,
+        factory: impl Fn(&NodeConfig) -> Box<dyn EnergyModel> + Send + Sync + 'static,
+    ) {
+        self.entries.retain(|(n, _)| n != name);
+        self.entries.push((name.to_string(), Arc::new(factory)));
+    }
+
+    /// Resolves `name` to its factory.
+    pub fn resolve(&self, name: &str) -> Result<ModelFactory, EarError> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, f)| Arc::clone(f))
+            .ok_or_else(|| EarError::unknown("model", name))
+    }
+
+    /// The registered model names, in registration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.iter().map(|(n, _)| n.as_str()).collect()
+    }
+}
+
+impl Default for ModelRegistry {
+    fn default() -> Self {
+        Self::with_builtins()
+    }
+}
+
+#[cfg(test)]
+mod registry_tests {
+    use super::*;
+
+    #[test]
+    fn builtins_resolve_and_unknowns_error() {
+        let r = ModelRegistry::with_builtins();
+        assert_eq!(r.names(), vec!["default", "avx512"]);
+        let cfg = NodeConfig::sd530_6148();
+        for name in ["default", "avx512"] {
+            let factory = r.resolve(name).unwrap();
+            let _model = factory(&cfg);
+        }
+        let err = r.resolve("perceptron").map(|_| ()).unwrap_err();
+        assert_eq!(err.to_string(), "unknown model 'perceptron'");
+    }
 }

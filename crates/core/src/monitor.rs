@@ -7,6 +7,7 @@
 //! runtime — and records one sample per iteration without disturbing the
 //! wrapped runtime's behaviour.
 
+use crate::protocol::{DaemonEndpoint, DaemonReply, EarlRequest};
 use crate::signature::rel_diff;
 use ear_archsim::{CounterSnapshot, Node, SimTime};
 use ear_mpisim::{MpiEvent, NodeRuntime};
@@ -117,6 +118,18 @@ impl<R> Monitored<R> {
     }
 }
 
+impl<R: DaemonEndpoint> DaemonEndpoint for Monitored<R> {
+    // A monitor between EARL and the daemon forwards the mailbox so the
+    // daemon can wrap any stack of runtimes.
+    fn drain_requests(&mut self) -> Vec<EarlRequest> {
+        self.inner.drain_requests()
+    }
+
+    fn deliver(&mut self, reply: &DaemonReply) {
+        self.inner.deliver(reply);
+    }
+}
+
 impl<R: NodeRuntime> NodeRuntime for Monitored<R> {
     fn on_job_start(&mut self, node: &mut Node, job_name: &str, ranks_on_node: usize) {
         self.series.clear();
@@ -170,10 +183,10 @@ mod tests {
         let cal = calibrate(&targets).unwrap();
         let job = build_job(&cal);
         let mut cluster = Cluster::new(cal.node_config.clone(), 1, 56);
-        let earl = crate::Earl::from_registry(crate::EarlConfig::default());
-        let mut rts = vec![Monitored::new(earl)];
+        let earl = crate::Earl::from_registry(crate::EarlConfig::default()).unwrap();
+        let mut rts = vec![crate::EarDaemon::new(Monitored::new(earl))];
         run_job(&mut cluster, &job, &mut rts);
-        let mon = &rts[0];
+        let mon = rts[0].inner();
         // The monitor must see the uncore drop over the job.
         let first = mon.series().iter().find(|s| s.avg_imc_ghz > 0.0).unwrap();
         let last = mon.series().last().unwrap();

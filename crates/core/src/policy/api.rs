@@ -175,6 +175,12 @@ pub trait PowerPolicy: Send {
         ctx.default_freqs()
     }
 
+    /// The current uncore ceiling of an in-progress IMC search, if this
+    /// policy runs one (trace/introspection only — never drives control).
+    fn imc_ceiling(&self) -> Option<u8> {
+        None
+    }
+
     /// Clears all internal state (job start).
     fn reset(&mut self);
 }

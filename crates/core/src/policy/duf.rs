@@ -117,6 +117,10 @@ impl PowerPolicy for Duf {
         true
     }
 
+    fn imc_ceiling(&self) -> Option<u8> {
+        self.cur_max_ratio
+    }
+
     fn reset(&mut self) {
         *self = Self::default();
     }

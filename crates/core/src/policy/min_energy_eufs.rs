@@ -221,6 +221,10 @@ impl PowerPolicy for MinEnergyEufs {
         }
     }
 
+    fn imc_ceiling(&self) -> Option<u8> {
+        self.cur_max_ratio
+    }
+
     fn reset(&mut self) {
         *self = Self::default();
     }

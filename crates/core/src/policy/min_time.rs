@@ -193,7 +193,12 @@ impl PowerPolicy for MinTimeEufs {
             }
             State::ImcFreqSel => {
                 let th = ctx.settings.unc_policy_th;
-                let r = self.imc_ref.as_ref().expect("imc stage has a reference");
+                let Some(r) = self.imc_ref else {
+                    // No reference yet (state injected externally): take
+                    // this signature as the reference and hold.
+                    self.imc_ref = Some(*sig);
+                    return (self.freqs(ctx), PolicyState::Continue);
+                };
                 let worse = sig.cpi > r.cpi * (1.0 + th) || sig.gbs < r.gbs * (1.0 - th);
                 match self.direction {
                     Direction::Decrease => {
@@ -239,6 +244,10 @@ impl PowerPolicy for MinTimeEufs {
             Some(_) => true,
             None => false,
         }
+    }
+
+    fn imc_ceiling(&self) -> Option<u8> {
+        self.cur_max_ratio
     }
 
     fn reset(&mut self) {

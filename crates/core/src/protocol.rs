@@ -1,0 +1,199 @@
+//! The typed EARL↔EARD↔EARGM message protocol.
+//!
+//! On production systems the three EAR components live in separate
+//! processes: EARL (unprivileged, preloaded into the application), EARD
+//! (the root node daemon owning the MSRs) and EARGM (the cluster manager).
+//! Every frequency request crosses the EARL→EARD boundary as an RPC, the
+//! daemon enforces administrator limits before touching
+//! `IA32_PERF_CTL`/`MSR_UNCORE_RATIO_LIMIT`, and daemons exchange power
+//! reports and cap commands with EARGM.
+//!
+//! This module reproduces that split in-process: [`EarlRequest`] and
+//! [`DaemonReply`] are the node-local mailbox pair ([`Earl`] enqueues,
+//! [`EarDaemon`] drains, services and replies), [`GmReport`]/[`GmCommand`]
+//! the daemon↔manager pair, and [`EarMessage`] the sum type under which
+//! every exchanged message is logged for inspection — a daemon clamp is a
+//! first-class, assertable event rather than a silent MSR write.
+//!
+//! [`Earl`]: crate::earl::Earl
+//! [`EarDaemon`]: crate::eard::EarDaemon
+
+use crate::policy::api::NodeFreqs;
+use crate::powercap::CapAction;
+use crate::signature::Signature;
+
+/// A request EARL sends to its node daemon.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EarlRequest {
+    /// Program these frequencies (CPU pstate + uncore ratio limits) on
+    /// every socket. The daemon — never the library — performs the MSR
+    /// writes, after clamping against its administrative ceiling.
+    SetFreqs(NodeFreqs),
+    /// Report a freshly computed application signature (accounting and
+    /// cluster-level reporting feed off these).
+    ReportSignature(Signature),
+}
+
+/// A reply from the node daemon to EARL.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DaemonReply {
+    /// A [`EarlRequest::SetFreqs`] was serviced. `granted` is what was
+    /// actually programmed; `clamped` is true when the daemon's ceiling
+    /// overrode part of the request.
+    FreqsApplied {
+        /// The frequencies EARL asked for.
+        requested: NodeFreqs,
+        /// The frequencies the daemon programmed.
+        granted: NodeFreqs,
+        /// Whether `granted` differs from `requested`.
+        clamped: bool,
+    },
+    /// The MSR layer refused the (clamped) write; nothing was programmed.
+    Rejected {
+        /// The frequencies EARL asked for.
+        requested: NodeFreqs,
+    },
+}
+
+/// A power report a node daemon sends up to the cluster manager.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GmReport {
+    /// Reporting node index.
+    pub node: usize,
+    /// Average DC node power over the recent window (W).
+    pub avg_power_w: f64,
+}
+
+/// A command the cluster manager sends down to one node daemon.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GmCommand {
+    /// Target node index.
+    pub node: usize,
+    /// The node's newly assigned power cap (W).
+    pub cap_w: f64,
+}
+
+/// Every message exchanged on the EARL↔EARD↔EARGM path. Daemons and the
+/// manager keep a log of these so tests (and operators) can audit exactly
+/// which layer decided what.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EarMessage {
+    /// A request received from EARL.
+    Request(EarlRequest),
+    /// The daemon's reply.
+    Reply(DaemonReply),
+    /// A periodic powercap evaluation ran in the daemon.
+    PowercapVerdict {
+        /// Average node power over the evaluation window (W).
+        power_w: f64,
+        /// What the controller decided.
+        action: CapAction,
+        /// The frequency ceiling after the evaluation.
+        ceiling: NodeFreqs,
+    },
+    /// The daemon overrode already-programmed frequencies outside any
+    /// request (periodic powercap enforcement).
+    Enforce {
+        /// Frequencies found programmed.
+        before: NodeFreqs,
+        /// Frequencies after the clamp.
+        after: NodeFreqs,
+    },
+    /// A node power report sent to the cluster manager.
+    GmReport(GmReport),
+    /// A cap command received from the cluster manager.
+    GmCommand(GmCommand),
+}
+
+impl EarMessage {
+    /// Whether this message records the daemon overriding EARL or the
+    /// already-programmed frequencies (a clamped grant or an enforcement).
+    pub fn is_override(&self) -> bool {
+        matches!(
+            self,
+            EarMessage::Reply(DaemonReply::FreqsApplied { clamped: true, .. })
+                | EarMessage::Enforce { .. }
+        )
+    }
+}
+
+/// The mailbox side of a node runtime: how a daemon exchanges protocol
+/// messages with whatever runtime it wraps.
+///
+/// The default implementation is an empty mailbox, so runtimes that never
+/// talk to the daemon ([`NullRuntime`](ear_mpisim::NullRuntime), fixed-
+/// frequency runtimes) satisfy the trait for free. Wrapper runtimes
+/// (monitoring, tracing) forward to their inner runtime so a daemon can sit
+/// outside any stack of wrappers.
+pub trait DaemonEndpoint {
+    /// Takes every request enqueued since the last drain, oldest first.
+    fn drain_requests(&mut self) -> Vec<EarlRequest> {
+        Vec::new()
+    }
+
+    /// Delivers the daemon's reply to a serviced request.
+    fn deliver(&mut self, reply: &DaemonReply) {
+        let _ = reply;
+    }
+}
+
+impl<T: DaemonEndpoint + ?Sized> DaemonEndpoint for Box<T> {
+    fn drain_requests(&mut self) -> Vec<EarlRequest> {
+        (**self).drain_requests()
+    }
+
+    fn deliver(&mut self, reply: &DaemonReply) {
+        (**self).deliver(reply);
+    }
+}
+
+impl DaemonEndpoint for ear_mpisim::NullRuntime {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_runtime_has_an_empty_mailbox() {
+        let mut null = ear_mpisim::NullRuntime;
+        assert!(null.drain_requests().is_empty());
+        null.deliver(&DaemonReply::Rejected {
+            requested: NodeFreqs {
+                cpu: 1,
+                imc_min_ratio: 12,
+                imc_max_ratio: 24,
+            },
+        });
+    }
+
+    #[test]
+    fn override_classification() {
+        let f = NodeFreqs {
+            cpu: 1,
+            imc_min_ratio: 12,
+            imc_max_ratio: 24,
+        };
+        let g = NodeFreqs {
+            imc_max_ratio: 20,
+            ..f
+        };
+        assert!(EarMessage::Reply(DaemonReply::FreqsApplied {
+            requested: f,
+            granted: g,
+            clamped: true,
+        })
+        .is_override());
+        assert!(EarMessage::Enforce {
+            before: f,
+            after: g
+        }
+        .is_override());
+        assert!(!EarMessage::Reply(DaemonReply::FreqsApplied {
+            requested: f,
+            granted: f,
+            clamped: false,
+        })
+        .is_override());
+        assert!(!EarMessage::Request(EarlRequest::SetFreqs(f)).is_override());
+    }
+}

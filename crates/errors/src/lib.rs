@@ -1,0 +1,145 @@
+//! Unified error type for the EAR stack.
+//!
+//! Every layer of the reproduction — the simulated hardware (`ear-archsim`),
+//! the runtime library and node daemon (`ear-core`), the batch scheduler
+//! (`ear-sched`), the workload catalog (`ear-workloads`) and the `earsim`
+//! binary — reports failures as [`EarError`]. The crate sits at the bottom
+//! of the dependency graph and has no dependencies of its own, so any crate
+//! can convert its local error type with a `From` impl without creating a
+//! cycle (the local type is the covering type, so the orphan rule permits
+//! `impl From<LocalError> for EarError` in the crate that owns `LocalError`).
+//!
+//! Payloads are primitives and `String`s only: errors cross layer boundaries
+//! (EARL → EARD → EARGM → CLI) and must not drag layer-specific types with
+//! them.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type EarResult<T> = Result<T, EarError>;
+
+/// The unified error type of the EAR stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EarError {
+    /// A configuration source (`ear.conf`, SPANK plugstack flags, CLI
+    /// options) could not be parsed or holds an out-of-range value.
+    Config {
+        /// 1-based line in the configuration file, when known.
+        line: Option<usize>,
+        /// What was wrong.
+        message: String,
+    },
+    /// Structured input (trace files, JSONL streams, workload specs) is
+    /// malformed.
+    Parse {
+        /// 1-based line of the offending record.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+    /// The (simulated) hardware rejected an MSR access.
+    Msr(String),
+    /// A name failed to resolve against a registry.
+    Unknown {
+        /// The registry kind: `"policy"`, `"model"`, `"workload"`, ....
+        kind: &'static str,
+        /// The name that did not resolve.
+        name: String,
+    },
+    /// A workload could not be calibrated to its published targets.
+    Calibration(String),
+    /// An EARL↔EARD↔EARGM protocol invariant was violated.
+    Protocol(String),
+    /// An internal invariant did not hold; indicates a bug, not bad input.
+    Invariant(String),
+    /// A filesystem operation failed (artifacts, trace output, conf files).
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying error rendered as text.
+        message: String,
+    },
+}
+
+impl EarError {
+    /// Shorthand for a config error without line information.
+    pub fn config(message: impl Into<String>) -> Self {
+        EarError::Config {
+            line: None,
+            message: message.into(),
+        }
+    }
+
+    /// Shorthand for an unresolved registry name.
+    pub fn unknown(kind: &'static str, name: impl Into<String>) -> Self {
+        EarError::Unknown {
+            kind,
+            name: name.into(),
+        }
+    }
+
+    /// Shorthand for an I/O failure on `path`.
+    pub fn io(path: impl Into<String>, err: impl fmt::Display) -> Self {
+        EarError::Io {
+            path: path.into(),
+            message: err.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for EarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EarError::Config {
+                line: Some(line),
+                message,
+            } => write!(f, "config error at line {line}: {message}"),
+            EarError::Config {
+                line: None,
+                message,
+            } => write!(f, "config error: {message}"),
+            EarError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            EarError::Msr(message) => write!(f, "msr error: {message}"),
+            EarError::Unknown { kind, name } => write!(f, "unknown {kind} '{name}'"),
+            EarError::Calibration(message) => write!(f, "calibration error: {message}"),
+            EarError::Protocol(message) => write!(f, "protocol error: {message}"),
+            EarError::Invariant(message) => write!(f, "invariant violated: {message}"),
+            EarError::Io { path, message } => write!(f, "io error on {path}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for EarError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_locatable() {
+        let e = EarError::Config {
+            line: Some(3),
+            message: "bad key".into(),
+        };
+        assert_eq!(e.to_string(), "config error at line 3: bad key");
+        let e = EarError::config("no file");
+        assert_eq!(e.to_string(), "config error: no file");
+        let e = EarError::Parse {
+            line: 1,
+            message: "unknown call id".into(),
+        };
+        assert!(e.to_string().contains("line 1"));
+        let e = EarError::unknown("policy", "min_power");
+        assert_eq!(e.to_string(), "unknown policy 'min_power'");
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_error(_: &dyn std::error::Error) {}
+        takes_error(&EarError::Msr("boom".into()));
+    }
+}

@@ -5,7 +5,8 @@
 //! trajectory the CI smoke job runs everywhere. It times the structures the
 //! per-event hot path touches — DynAIS sampling (incremental vs the
 //! reference eager detector), window indexing, counter snapshots, quantum
-//! fast-forward — plus the Table I wall clock, and renders the results as
+//! fast-forward, the trace bus dark vs live — plus the Table I wall clock,
+//! and renders the results as
 //! both a human-readable table and the `BENCH_hotpath.json` artifact.
 //!
 //! Timing uses best-of-N `std::time::Instant` wall clock: the minimum over
@@ -20,12 +21,13 @@ use std::time::Instant;
 pub const SCHEMA: &str = "earsim-bench-hotpath/v1";
 
 /// Bench names that must appear in a valid artifact.
-pub const REQUIRED_BENCHES: [&str; 6] = [
+pub const REQUIRED_BENCHES: [&str; 7] = [
     "dynais_inloop_per_sample",
     "dynais_aperiodic_per_sample",
     "window_push_recent",
     "snapshot_per_call",
     "run_phase_one_simsec",
+    "trace_emit_per_event",
     "table1_wall",
 ];
 
@@ -318,6 +320,50 @@ fn bench_fast_forward(quick: bool) -> BenchEntry {
     }
 }
 
+/// Trace-bus overhead per emission site. `optimized` is the disabled bus
+/// (what every run without `--trace` pays at each instrumented point: one
+/// relaxed atomic load, the closure never built); `reference` is the
+/// enabled bus doing real work (construct the record, push it into the
+/// ring — steady state, so once full each push also retires the oldest
+/// record). The speedup column therefore reads as "how much cheaper a
+/// dark emission site is than a live one".
+fn bench_trace_emit(quick: bool) -> BenchEntry {
+    let n = if quick { 200_000 } else { 4_000_000 };
+    let record = |i: u64| ear_trace::TraceRecord {
+        time_s: i as f64 * 1e-3,
+        node: i % 8,
+        event: ear_trace::TraceEvent::ImcSearchStep {
+            max_ratio: 16 + i % 8,
+        },
+    };
+
+    ear_trace::reset();
+    ear_trace::set_enabled(false);
+    let t_off = best_secs(3, || {
+        for i in 0..n as u64 {
+            let i = black_box(i);
+            ear_trace::emit_with(|| record(i));
+        }
+    }) / n as f64;
+
+    ear_trace::set_enabled(true);
+    let t_on = best_secs(3, || {
+        for i in 0..n as u64 {
+            let i = black_box(i);
+            ear_trace::emit_with(|| record(i));
+        }
+    }) / n as f64;
+    ear_trace::set_enabled(false);
+    ear_trace::reset();
+
+    BenchEntry {
+        name: "trace_emit_per_event",
+        unit: "ns/op",
+        reference: Some(t_on * 1e9),
+        optimized: t_off * 1e9,
+    }
+}
+
 /// Full Table I regeneration wall clock. No in-process reference: the
 /// committed artifact records the pre-optimisation binary's number.
 fn bench_table1(quick: bool) -> BenchEntry {
@@ -344,6 +390,7 @@ pub fn run(quick: bool) -> BenchReport {
             bench_window(quick),
             bench_snapshot(quick),
             bench_fast_forward(quick),
+            bench_trace_emit(quick),
             bench_table1(quick),
         ],
     }

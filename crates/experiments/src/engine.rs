@@ -69,6 +69,32 @@ pub fn default_jobs() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
+/// Process-wide energy-model override set by `--model NAME` (None = the
+/// per-config default, i.e. `EarlConfig::default().model_name`).
+static MODEL_OVERRIDE: Mutex<Option<String>> = Mutex::new(None);
+
+/// Sets the process-wide energy-model name applied to every EARL instance
+/// the harness builds (the `earsim --model NAME` flag). An empty name
+/// clears the override.
+pub fn set_default_model(name: &str) {
+    let mut slot = MODEL_OVERRIDE
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    *slot = if name.is_empty() {
+        None
+    } else {
+        Some(name.to_string())
+    };
+}
+
+/// The process-wide energy-model override, if one was set.
+pub fn default_model() -> Option<String> {
+    MODEL_OVERRIDE
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clone()
+}
+
 // ---------------------------------------------------------------------------
 // Calibration cache
 // ---------------------------------------------------------------------------
@@ -199,7 +225,13 @@ fn run_once(
     seed: u64,
 ) -> RunSample {
     let mut cluster = ear_archsim::Cluster::new(cal.node_config.clone(), nodes, seed);
-    let mut rts: Vec<Runtime> = (0..nodes).map(|_| make_runtime(kind)).collect();
+    let mut rts: Vec<Runtime> = (0..nodes)
+        .map(|i| {
+            let mut rt = make_runtime(kind);
+            rt.set_node_id(i as u64);
+            rt
+        })
+        .collect();
     let report = run_job(&mut cluster, job, &mut rts);
     RunSample {
         time_s: report.seconds(),

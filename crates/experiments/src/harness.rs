@@ -9,7 +9,7 @@
 //! signatures for callers that don't need the engine's telemetry.
 
 use crate::engine::{self, EngineConfig};
-use ear_core::{Earl, EarlConfig, NodeFreqs, PolicySettings};
+use ear_core::{EarDaemon, Earl, EarlConfig, NodeFreqs, PolicySettings};
 use ear_mpisim::{MpiEvent, NodeRuntime, NullRuntime};
 use ear_workloads::WorkloadTargets;
 
@@ -98,11 +98,24 @@ pub struct RunResult {
     pub gbs: f64,
 }
 
-/// Runtime wrapper so one job can run under either driver.
+/// Runtime wrapper so one job can run under either driver. EARL always
+/// runs behind its node daemon: frequency requests travel the message
+/// protocol and only the daemon writes MSRs.
 pub(crate) enum Runtime {
     Null(NullRuntime),
-    Earl(Box<Earl>),
+    Earl(Box<EarDaemon<Earl>>),
     Fixed { cpu: usize, imc_ratio: Option<u8> },
+}
+
+impl Runtime {
+    /// Tags the EARL/daemon pair with the node's index so trace events can
+    /// be attributed in multi-node runs. No-op for the other drivers.
+    pub(crate) fn set_node_id(&mut self, id: u64) {
+        if let Runtime::Earl(d) = self {
+            d.set_node_id(id);
+            d.inner_mut().set_node_id(id);
+        }
+    }
 }
 
 impl NodeRuntime for Runtime {
@@ -123,7 +136,7 @@ impl NodeRuntime for Runtime {
                         imc_max_ratio: max,
                     },
                 )
-                .expect("fixed frequencies are valid");
+                .unwrap_or_else(|e| panic!("fixed frequencies invalid: {e}"));
             }
         }
     }
@@ -157,12 +170,16 @@ pub(crate) fn make_runtime(kind: &RunKind) -> Runtime {
     match kind {
         RunKind::NoPolicy => Runtime::Null(NullRuntime),
         RunKind::Policy { name, settings } => {
-            let config = EarlConfig {
+            let mut config = EarlConfig {
                 policy_name: name.clone(),
                 settings: settings.clone(),
                 ..Default::default()
             };
-            Runtime::Earl(Box::new(Earl::from_registry(config)))
+            if let Some(model) = engine::default_model() {
+                config.model_name = model;
+            }
+            let earl = Earl::from_registry(config).unwrap_or_else(|e| panic!("{e}"));
+            Runtime::Earl(Box::new(EarDaemon::new(earl)))
         }
         RunKind::Fixed { cpu, imc_ratio } => Runtime::Fixed {
             cpu: *cpu,

@@ -30,8 +30,8 @@ pub mod tables;
 
 pub use chart::{bar_chart, column_chart};
 pub use engine::{
-    default_jobs, print_process_summary, run_matrix_engine, set_default_jobs, EngineConfig,
-    EngineSummary, MatrixRun,
+    default_jobs, default_model, print_process_summary, run_matrix_engine, set_default_jobs,
+    set_default_model, EngineConfig, EngineSummary, MatrixRun,
 };
 pub use harness::{compare, format_table, run_cell, run_matrix, Comparison, RunKind, RunResult};
 

@@ -99,7 +99,9 @@ pub fn run_job<R: NodeRuntime>(
     job: &JobSpec,
     runtimes: &mut [R],
 ) -> JobReport {
-    job.validate().expect("invalid job");
+    if let Err(e) = job.validate() {
+        panic!("invalid job: {e}");
+    }
     assert_eq!(cluster.len(), job.nodes, "cluster size != job nodes");
     assert_eq!(runtimes.len(), job.nodes, "one runtime per node required");
 

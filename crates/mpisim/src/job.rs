@@ -6,6 +6,7 @@
 
 use crate::call::{MpiCall, MpiEvent};
 use ear_archsim::{Interconnect, PhaseDemand};
+use ear_errors::EarError;
 
 /// Explicit communication volume of one iteration, priced through the
 /// cluster's [`Interconnect`] at run time. Workloads calibrated from the
@@ -75,20 +76,20 @@ impl JobSpec {
     }
 
     /// Sanity checks used by builders and tests.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), EarError> {
         if self.nodes == 0 {
-            return Err("job with zero nodes".into());
+            return Err(EarError::config("job with zero nodes"));
         }
         if self.ranks_per_node == 0 {
-            return Err("job with zero ranks per node".into());
+            return Err(EarError::config("job with zero ranks per node"));
         }
         if self.iterations.is_empty() {
-            return Err("job with no iterations".into());
+            return Err(EarError::config("job with no iterations"));
         }
         for (i, it) in self.iterations.iter().enumerate() {
             it.demand
                 .validate()
-                .map_err(|e| format!("iteration {i}: {e}"))?;
+                .map_err(|e| EarError::config(format!("iteration {i}: {e}")))?;
         }
         Ok(())
     }

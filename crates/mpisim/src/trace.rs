@@ -14,6 +14,7 @@
 use crate::call::{MpiCall, MpiEvent};
 use crate::intercept::NodeRuntime;
 use ear_archsim::{Node, SimTime};
+use ear_errors::EarError;
 
 /// One traced call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,7 +75,7 @@ impl Trace {
     }
 
     /// Parses the line format (inverse of [`Trace::to_text`]).
-    pub fn from_text(text: &str) -> Result<Self, String> {
+    pub fn from_text(text: &str) -> Result<Self, EarError> {
         let mut trace = Trace::default();
         for (i, line) in text.lines().enumerate() {
             let line = line.trim();
@@ -89,16 +90,24 @@ impl Trace {
             }
             let mut parts = line.split_whitespace();
             let parse = |p: Option<&str>, what: &str| {
-                p.ok_or_else(|| format!("line {}: missing {what}", i + 1))?
-                    .parse::<u64>()
-                    .map_err(|_| format!("line {}: bad {what}", i + 1))
+                p.ok_or_else(|| EarError::Parse {
+                    line: i + 1,
+                    message: format!("missing {what}"),
+                })?
+                .parse::<u64>()
+                .map_err(|_| EarError::Parse {
+                    line: i + 1,
+                    message: format!("bad {what}"),
+                })
             };
             let us = parse(parts.next(), "timestamp")?;
             let call_id = parse(parts.next(), "call id")?;
             let bytes = parse(parts.next(), "bytes")?;
             let peer = parse(parts.next(), "peer")?;
-            let call = call_from_id(call_id)
-                .ok_or_else(|| format!("line {}: unknown call id {call_id}", i + 1))?;
+            let call = call_from_id(call_id).ok_or_else(|| EarError::Parse {
+                line: i + 1,
+                message: format!("unknown call id {call_id}"),
+            })?;
             trace.records.push(TraceRecord {
                 time: SimTime(us),
                 event: MpiEvent::new(call, bytes, peer),
@@ -232,9 +241,9 @@ mod tests {
 
     #[test]
     fn parse_errors_are_located() {
-        let e = Trace::from_text("1 2 3").unwrap_err();
+        let e = Trace::from_text("1 2 3").unwrap_err().to_string();
         assert!(e.contains("line 1"), "{e}");
-        let e = Trace::from_text("1 999 3 4").unwrap_err();
+        let e = Trace::from_text("1 999 3 4").unwrap_err().to_string();
         assert!(e.contains("unknown call id"), "{e}");
     }
 

@@ -14,4 +14,4 @@ pub mod scheduler;
 pub mod spank;
 
 pub use scheduler::{BatchJob, BatchScheduler, FinishedJob, SchedError};
-pub use spank::{parse_spank_flags, site_default_settings, FlagError};
+pub use spank::{parse_spank_flags, site_default_settings};

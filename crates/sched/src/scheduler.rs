@@ -11,7 +11,7 @@
 use crate::spank::parse_spank_flags;
 use ear_archsim::{Cluster, NodeConfig};
 use ear_core::accounting::{AccountingDb, JobRecord};
-use ear_core::{Earl, EarlConfig};
+use ear_core::{EarDaemon, Earl, EarlConfig};
 use ear_mpisim::{run_job, NullRuntime};
 use ear_workloads::{build_job, by_name, calibrate};
 use std::collections::VecDeque;
@@ -62,6 +62,8 @@ pub enum SchedError {
     },
     /// Bad `--ear` flags.
     BadFlags(String),
+    /// The workload's targets cannot be met on this hardware.
+    Infeasible(String),
 }
 
 impl std::fmt::Display for SchedError {
@@ -72,6 +74,7 @@ impl std::fmt::Display for SchedError {
                 write!(f, "job needs {requested} nodes, pool has {pool}")
             }
             SchedError::BadFlags(e) => write!(f, "{e}"),
+            SchedError::Infeasible(e) => write!(f, "{e}"),
         }
     }
 }
@@ -183,7 +186,7 @@ impl BatchScheduler {
             .fold(job.submit_s, f64::max);
 
         // Execute the job on a dedicated simulated cluster.
-        let cal = calibrate(&targets).expect("catalog workloads calibrate");
+        let cal = calibrate(&targets).map_err(|e| SchedError::Infeasible(e.to_string()))?;
         let spec = build_job(&cal);
         let mut cluster = Cluster::new(
             self.node_config.clone(),
@@ -192,11 +195,14 @@ impl BatchScheduler {
         );
         let (duration_s, dc_energy_j, record) = match ear_config {
             Some(config) => {
-                let mut rts: Vec<Earl> = (0..targets.nodes)
-                    .map(|_| Earl::from_registry(EarlConfig { ..config.clone() }))
-                    .collect();
+                let mut rts = Vec::with_capacity(targets.nodes);
+                for _ in 0..targets.nodes {
+                    let earl = Earl::from_registry(EarlConfig { ..config.clone() })
+                        .map_err(|e| SchedError::BadFlags(e.to_string()))?;
+                    rts.push(EarDaemon::new(earl));
+                }
                 let report = run_job(&mut cluster, &spec, &mut rts);
-                let record = rts[0].job_record().cloned();
+                let record = rts[0].inner().job_record().cloned();
                 if let Some(rec) = record.clone() {
                     self.accounting.insert(rec);
                 }

@@ -6,28 +6,21 @@
 //! This module parses that flag surface into an [`EarlConfig`].
 
 use ear_core::{EarlConfig, ImcSearch, PolicySettings};
+use ear_errors::EarError;
 
-/// Parse error for SPANK flags.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct FlagError(pub String);
-
-impl std::fmt::Display for FlagError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "bad --ear flag: {}", self.0)
-    }
+fn bad_flag(msg: String) -> EarError {
+    EarError::config(format!("bad --ear flag: {msg}"))
 }
-
-impl std::error::Error for FlagError {}
 
 /// Parses `srun`-style EAR flags. Returns `Ok(None)` when EAR is disabled
 /// (`--ear=off` or no `--ear` flag at all: opt-in, like the real plugin's
 /// default in many sites).
-pub fn parse_spank_flags(flags: &str) -> Result<Option<EarlConfig>, FlagError> {
+pub fn parse_spank_flags(flags: &str) -> Result<Option<EarlConfig>, EarError> {
     let mut enabled = false;
     let mut config = EarlConfig::default();
     for token in flags.split_whitespace() {
         let Some(rest) = token.strip_prefix("--ear") else {
-            return Err(FlagError(format!("unknown token '{token}'")));
+            return Err(bad_flag(format!("unknown token '{token}'")));
         };
         let (key, value) = match rest.split_once('=') {
             Some((k, v)) => (k, v),
@@ -37,26 +30,29 @@ pub fn parse_spank_flags(flags: &str) -> Result<Option<EarlConfig>, FlagError> {
             "" => match value {
                 "on" | "1" | "" => enabled = true,
                 "off" | "0" => return Ok(None),
-                other => return Err(FlagError(format!("--ear expects on/off, got '{other}'"))),
+                other => return Err(bad_flag(format!("--ear expects on/off, got '{other}'"))),
             },
             "-policy" => {
                 config.policy_name = value.to_string();
             }
+            "-model" => {
+                config.model_name = value.to_string();
+            }
             "-policy-th" | "-cpu-th" => {
                 let v: f64 = value
                     .parse()
-                    .map_err(|_| FlagError(format!("'{value}' is not a number")))?;
+                    .map_err(|_| bad_flag(format!("'{value}' is not a number")))?;
                 if !(0.0..=0.5).contains(&v) {
-                    return Err(FlagError(format!("threshold {v} outside [0, 0.5]")));
+                    return Err(bad_flag(format!("threshold {v} outside [0, 0.5]")));
                 }
                 config.settings.cpu_policy_th = v;
             }
             "-unc-th" => {
                 let v: f64 = value
                     .parse()
-                    .map_err(|_| FlagError(format!("'{value}' is not a number")))?;
+                    .map_err(|_| bad_flag(format!("'{value}' is not a number")))?;
                 if !(0.0..=0.5).contains(&v) {
-                    return Err(FlagError(format!("threshold {v} outside [0, 0.5]")));
+                    return Err(bad_flag(format!("threshold {v} outside [0, 0.5]")));
                 }
                 config.settings.unc_policy_th = v;
             }
@@ -64,10 +60,10 @@ pub fn parse_spank_flags(flags: &str) -> Result<Option<EarlConfig>, FlagError> {
                 config.settings.imc_search = match value {
                     "hw" | "hw_guided" => ImcSearch::HwGuided,
                     "linear" => ImcSearch::Linear,
-                    other => return Err(FlagError(format!("unknown search '{other}'"))),
+                    other => return Err(bad_flag(format!("unknown search '{other}'"))),
                 };
             }
-            other => return Err(FlagError(format!("unknown flag '--ear{other}'"))),
+            other => return Err(bad_flag(format!("unknown flag '--ear{other}'"))),
         }
     }
     if enabled {
@@ -97,29 +93,39 @@ mod tests {
     fn enabled_with_defaults() {
         let c = parse_spank_flags("--ear=on").unwrap().expect("enabled");
         assert_eq!(c.policy_name, "min_energy_eufs");
+        assert_eq!(c.model_name, "avx512");
         assert!((c.settings.cpu_policy_th - 0.05).abs() < 1e-12);
     }
 
     #[test]
     fn full_flag_set() {
         let c = parse_spank_flags(
-            "--ear=on --ear-policy=min_energy --ear-cpu-th=0.03 --ear-unc-th=0.01 \
-             --ear-imc-search=linear",
+            "--ear=on --ear-policy=min_energy --ear-model=default --ear-cpu-th=0.03 \
+             --ear-unc-th=0.01 --ear-imc-search=linear",
         )
         .unwrap()
         .expect("enabled");
         assert_eq!(c.policy_name, "min_energy");
+        assert_eq!(c.model_name, "default");
         assert!((c.settings.cpu_policy_th - 0.03).abs() < 1e-12);
         assert!((c.settings.unc_policy_th - 0.01).abs() < 1e-12);
         assert_eq!(c.settings.imc_search, ImcSearch::Linear);
     }
 
     #[test]
-    fn bad_flags_are_rejected() {
-        assert!(parse_spank_flags("--frequency=max").is_err());
-        assert!(parse_spank_flags("--ear=maybe").is_err());
-        assert!(parse_spank_flags("--ear=on --ear-cpu-th=banana").is_err());
-        assert!(parse_spank_flags("--ear=on --ear-cpu-th=0.9").is_err());
-        assert!(parse_spank_flags("--ear=on --ear-turbo").is_err());
+    fn bad_flags_are_rejected_with_config_errors() {
+        for flags in [
+            "--frequency=max",
+            "--ear=maybe",
+            "--ear=on --ear-cpu-th=banana",
+            "--ear=on --ear-cpu-th=0.9",
+            "--ear=on --ear-turbo",
+        ] {
+            let err = parse_spank_flags(flags).unwrap_err();
+            assert!(
+                err.to_string().starts_with("config error: bad --ear flag"),
+                "{err}"
+            );
+        }
     }
 }

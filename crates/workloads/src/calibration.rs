@@ -57,13 +57,19 @@ impl std::fmt::Display for CalibrationError {
 
 impl std::error::Error for CalibrationError {}
 
+impl From<CalibrationError> for ear_errors::EarError {
+    fn from(e: CalibrationError) -> Self {
+        ear_errors::EarError::Calibration(e.to_string())
+    }
+}
+
 /// Calibrates `targets` against its platform's node configuration.
 pub fn calibrate(targets: &WorkloadTargets) -> Result<CalibratedWorkload, CalibrationError> {
     let err = |reason: String| CalibrationError {
         workload: targets.name,
         reason,
     };
-    targets.validate().map_err(err)?;
+    targets.validate().map_err(|e| err(e.to_string()))?;
     let cfg = targets.platform.node_config();
 
     match targets.class {

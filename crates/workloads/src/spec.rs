@@ -9,6 +9,7 @@
 //! workload at nominal frequency reproduces the paper's numbers.
 
 use ear_archsim::NodeConfig;
+use ear_errors::EarError;
 
 /// Application classes, as the paper groups them (§VI-B).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,22 +95,31 @@ impl WorkloadTargets {
     }
 
     /// Basic consistency checks.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), EarError> {
         if self.nodes == 0 || self.ranks_per_node == 0 || self.iterations == 0 {
-            return Err(format!("{}: degenerate topology", self.name));
+            return Err(EarError::config(format!(
+                "{}: degenerate topology",
+                self.name
+            )));
         }
         if self.time_s <= 0.0 || self.cpi <= 0.0 || self.dc_power_w <= 0.0 {
-            return Err(format!("{}: non-positive targets", self.name));
+            return Err(EarError::config(format!(
+                "{}: non-positive targets",
+                self.name
+            )));
         }
         if !(0.0..=1.0).contains(&self.comm_fraction) || !(0.0..=1.0).contains(&self.vpi) {
-            return Err(format!("{}: fraction out of range", self.name));
+            return Err(EarError::config(format!(
+                "{}: fraction out of range",
+                self.name
+            )));
         }
         let cfg = self.platform.node_config();
         if self.active_cores > cfg.total_cores() {
-            return Err(format!(
+            return Err(EarError::config(format!(
                 "{}: more active cores than the node has",
                 self.name
-            ));
+            )));
         }
         Ok(())
     }

@@ -4,7 +4,7 @@
 //! report — the workflow a data-centre operator sees.
 
 use ear::archsim::Cluster;
-use ear::core::{accounting, Earl, EarlConfig, PolicySettings};
+use ear::core::{accounting, EarDaemon, Earl, EarlConfig, PolicySettings};
 use ear::mpisim::run_job;
 use ear::workloads::{build_job, by_name, calibrate};
 
@@ -22,8 +22,8 @@ fn main() {
             settings: PolicySettings::default(),
             ..Default::default()
         };
-        let mut rts: Vec<Earl> = (0..targets.nodes)
-            .map(|_| Earl::from_registry(config.clone()))
+        let mut rts: Vec<EarDaemon<Earl>> = (0..targets.nodes)
+            .map(|_| EarDaemon::new(Earl::from_registry(config.clone()).expect("built-ins")))
             .collect();
         println!("running {name} on {} nodes…", targets.nodes);
         run_job(&mut cluster, &job, &mut rts);
@@ -32,7 +32,7 @@ fn main() {
         // reports node-level metrics) into the accounting database.
         let mut db = accounting::lock(&db);
         for rt in &rts {
-            if let Some(rec) = rt.job_record() {
+            if let Some(rec) = rt.inner().job_record() {
                 db.insert(rec.clone());
                 break; // one record per job, master node
             }

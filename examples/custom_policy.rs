@@ -10,7 +10,7 @@ use ear::archsim::Cluster;
 use ear::core::policy::api::{
     NodeFreqs, PolicyCtx, PolicyRegistry, PolicySettings, PolicyState, PowerPolicy,
 };
-use ear::core::{Earl, EarlConfig, Signature};
+use ear::core::{EarDaemon, Earl, EarlConfig, Signature};
 use ear::mpisim::run_job;
 use ear::workloads::{build_job, by_name, calibrate};
 
@@ -80,7 +80,10 @@ fn main() {
         ..Default::default()
     };
     let policy = registry.create("fixed_budget").expect("registered above");
-    let mut rts = vec![Earl::new(config, policy)];
+    let earl = Earl::new(config, policy).expect("built-in model");
+    // The daemon fronts the library: frequency requests travel as protocol
+    // messages and come back granted (no powercap here, so pass-through).
+    let mut rts = vec![EarDaemon::new(earl)];
 
     let report = run_job(&mut cluster, &job, &mut rts);
     println!(
@@ -90,7 +93,7 @@ fn main() {
         report.avg_dc_power_w()
     );
     println!("\npolicy trajectory (CPU pstate over time):");
-    for (t, f) in rts[0].freq_changes() {
+    for (t, f) in rts[0].inner().freq_changes() {
         println!(
             "  t={:7.1}s  pstate {} ({:.1} GHz)",
             t.as_secs(),

@@ -6,7 +6,7 @@
 //! ```
 
 use ear::archsim::Cluster;
-use ear::core::{Earl, EarlConfig, PolicySettings};
+use ear::core::{EarDaemon, Earl, EarlConfig, PolicySettings};
 use ear::mpisim::run_job;
 use ear::workloads::{build_job, by_name, calibrate};
 
@@ -32,8 +32,8 @@ fn main() {
         settings: PolicySettings::default(),
         ..Default::default()
     };
-    let mut runtimes: Vec<Earl> = (0..targets.nodes)
-        .map(|_| Earl::from_registry(config.clone()))
+    let mut runtimes: Vec<EarDaemon<Earl>> = (0..targets.nodes)
+        .map(|_| EarDaemon::new(Earl::from_registry(config.clone()).expect("built-ins")))
         .collect();
 
     // 4. Run the job: the driver delivers every MPI call to EARL (the PMPI
@@ -46,8 +46,8 @@ fn main() {
     println!("avg CPU frequency: {:.2} GHz", report.avg_cpu_ghz());
     println!("avg IMC frequency: {:.2} GHz", report.avg_imc_ghz());
 
-    // 5. Inspect what EARL did on node 0.
-    let earl = &runtimes[0];
+    // 5. Inspect what EARL did on node 0 (through its node daemon).
+    let earl = runtimes[0].inner();
     println!(
         "\nEARL on node 0 computed {} signatures:",
         earl.signatures().len()

@@ -22,9 +22,15 @@
 //! for any `--jobs` value. After the output, a machine-readable engine
 //! summary (tasks, wall time, speedup vs serial estimate, calibration
 //! cache hits) is printed to stderr as one `earsim-telemetry:` JSON line.
+//!
+//! Two more global flags: `--model NAME` selects the energy model every
+//! EARL instance uses (`avx512` is the default, `default` the plain
+//! Intel model), and `--trace FILE` enables the structured trace bus and
+//! writes the recorded event stream as JSONL when the command finishes.
 
 use ear::core::conf::{parse_ear_conf, render_ear_conf};
-use ear::core::{EarlConfig, ImcRange, ImcSearch, PolicySettings};
+use ear::core::{EarlConfig, ImcRange, ImcSearch, ModelRegistry, PolicySettings};
+use ear::errors::EarError;
 use ear::experiments::{compare, figures, run_cell, tables, RunKind};
 use ear::workloads::{by_name, full_catalog};
 use std::collections::HashMap;
@@ -50,9 +56,13 @@ fn usage() -> ! {
          earsim bench [--quick] [--out FILE]   hot-path micro-benchmarks\n\
          earsim bench --verify FILE            validate a BENCH json artifact\n\
          \n\
-         global: --jobs N   engine worker threads (default: all cores);\n\
-         \x20              results are bit-identical for any worker count.\n\
-         \x20              An 'earsim-telemetry:' JSON summary goes to stderr."
+         global: --jobs N     engine worker threads (default: all cores);\n\
+         \x20                results are bit-identical for any worker count.\n\
+         \x20                An 'earsim-telemetry:' JSON summary goes to stderr.\n\
+         \x20      --model M    energy model for every EARL instance\n\
+         \x20                (avx512 default, or default).\n\
+         \x20      --trace F    record the structured event stream and write\n\
+         \x20                it to F as JSONL on exit."
     );
     exit(2)
 }
@@ -101,14 +111,13 @@ fn cmd_list() {
     }
 }
 
-fn cmd_run(flags: HashMap<String, String>) {
+fn cmd_run(flags: HashMap<String, String>) -> Result<(), EarError> {
     let Some(app) = flags.get("app") else {
         eprintln!("run needs --app (see `earsim list`)");
         usage();
     };
     let Some(targets) = by_name(app) else {
-        eprintln!("unknown workload '{app}' (see `earsim list`)");
-        exit(1);
+        return Err(EarError::unknown("workload", app));
     };
     let policy = flags
         .get("policy")
@@ -144,20 +153,18 @@ fn cmd_run(flags: HashMap<String, String>) {
     // --conf FILE loads an ear.conf as the base; flags then override.
     let (policy, settings) = match flags.get("conf") {
         Some(path) => {
-            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
-                eprintln!("cannot read {path}: {e}");
-                exit(1);
-            });
-            let parsed: EarlConfig = parse_ear_conf(&text).unwrap_or_else(|e| {
-                eprintln!("{e}");
-                exit(1);
-            });
+            let text = std::fs::read_to_string(path).map_err(|e| EarError::io(path.as_str(), e))?;
+            let parsed: EarlConfig = parse_ear_conf(&text)?;
             let mut st = parsed.settings;
             if flags.contains_key("cpu-th") {
                 st.cpu_policy_th = cpu_th;
             }
             if flags.contains_key("unc-th") {
                 st.unc_policy_th = unc_th;
+            }
+            // The conf file's Model= applies unless --model overrode it.
+            if ear::experiments::default_model().is_none() {
+                ear::experiments::set_default_model(&parsed.model_name);
             }
             let name = flags.get("policy").cloned().unwrap_or(parsed.policy_name);
             (name, st)
@@ -219,21 +226,22 @@ fn cmd_run(flags: HashMap<String, String>) {
         "time penalty {:.2}%   power saving {:.2}%   energy saving {:.2}%",
         c.time_penalty_pct, c.power_saving_pct, c.energy_saving_pct
     );
+    Ok(())
 }
 
-fn cmd_sweep(flags: HashMap<String, String>) {
+fn cmd_sweep(flags: HashMap<String, String>) -> Result<(), EarError> {
     let Some(app) = flags.get("app") else {
         eprintln!("sweep needs --app");
         usage();
     };
     if by_name(app).is_none() {
-        eprintln!("unknown workload '{app}'");
-        exit(1);
+        return Err(EarError::unknown("workload", app.as_str()));
     }
     print!("{}", figures::fig1_render(app));
+    Ok(())
 }
 
-fn cmd_table(n: &str) {
+fn cmd_table(n: &str) -> Result<(), EarError> {
     let out = match n {
         "1" => tables::table1(),
         "2" => tables::table2(),
@@ -242,15 +250,13 @@ fn cmd_table(n: &str) {
         "5" => tables::table5(),
         "6" => tables::table6(),
         "7" => tables::table7(),
-        _ => {
-            eprintln!("tables are 1..7");
-            exit(1);
-        }
+        _ => return Err(EarError::config(format!("tables are 1..7, got '{n}'"))),
     };
     print!("{out}");
+    Ok(())
 }
 
-fn cmd_fig(n: &str) {
+fn cmd_fig(n: &str) -> Result<(), EarError> {
     let out = match n {
         "1" => figures::fig1(),
         "3" => figures::fig3(),
@@ -260,17 +266,19 @@ fn cmd_fig(n: &str) {
         "7" => figures::fig7(),
         "8" => figures::fig8(),
         _ => {
-            eprintln!("figures are 1 and 3..8");
-            exit(1);
+            return Err(EarError::config(format!(
+                "figures are 1 and 3..8, got '{n}'"
+            )))
         }
     };
     print!("{out}");
+    Ok(())
 }
 
 /// `earsim bench`: runs the dependency-free hot-path micro-benchmarks, or
 /// validates a previously emitted `BENCH_hotpath.json` with `--verify`.
 /// Flags are positionless; `--quick` trims iteration counts for CI smoke.
-fn cmd_bench(rest: &[String]) {
+fn cmd_bench(rest: &[String]) -> Result<(), EarError> {
     let mut quick = false;
     let mut out: Option<String> = None;
     let mut verify: Option<String> = None;
@@ -299,54 +307,42 @@ fn cmd_bench(rest: &[String]) {
         }
     }
     if let Some(path) = verify {
-        let text = match std::fs::read_to_string(&path) {
-            Ok(t) => t,
-            Err(e) => {
-                eprintln!("cannot read {path}: {e}");
-                exit(1);
-            }
-        };
-        match ear::experiments::bench::validate_json(&text) {
-            Ok(n) => println!("{path}: valid ({n} benches)"),
-            Err(e) => {
-                eprintln!("{path}: INVALID: {e}");
-                exit(1);
-            }
-        }
-        return;
+        let text = std::fs::read_to_string(&path).map_err(|e| EarError::io(path.as_str(), e))?;
+        let n = ear::experiments::bench::validate_json(&text)
+            .map_err(|e| EarError::config(format!("{path}: INVALID: {e}")))?;
+        println!("{path}: valid ({n} benches)");
+        return Ok(());
     }
     let report = ear::experiments::bench::run(quick);
     print!("{}", report.render());
     if let Some(path) = out {
-        if let Err(e) = std::fs::write(&path, report.to_json()) {
-            eprintln!("cannot write {path}: {e}");
-            exit(1);
-        }
+        std::fs::write(&path, report.to_json()).map_err(|e| EarError::io(path.as_str(), e))?;
         eprintln!("wrote {path}");
     }
+    Ok(())
 }
 
-fn main() {
-    let mut args: Vec<String> = std::env::args().skip(1).collect();
-    // Global --jobs N: accepted anywhere on the line, stripped before the
-    // subcommand parsers see the arguments.
-    if let Some(i) = args.iter().position(|a| a == "--jobs") {
-        let n = match args.get(i + 1).map(|v| v.parse::<usize>()) {
-            Some(Ok(n)) if n > 0 => n,
-            _ => {
-                eprintln!("--jobs expects a positive integer");
-                usage();
-            }
-        };
-        ear::experiments::set_default_jobs(n);
-        args.drain(i..=i + 1);
-    }
+/// Strips a global `--flag VALUE` pair from anywhere on the line.
+fn take_global(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    let value = match args.get(i + 1) {
+        Some(v) => v.clone(),
+        None => {
+            eprintln!("missing value for {flag}");
+            usage();
+        }
+    };
+    args.drain(i..=i + 1);
+    Some(value)
+}
+
+fn real_main(args: Vec<String>) -> Result<(), EarError> {
     match args.first().map(|s| s.as_str()) {
         Some("list") => cmd_list(),
-        Some("run") => cmd_run(parse_flags(&args[1..])),
-        Some("sweep") => cmd_sweep(parse_flags(&args[1..])),
-        Some("table") => cmd_table(args.get(1).map_or_else(|| usage(), |s| s.as_str())),
-        Some("fig") => cmd_fig(args.get(1).map_or_else(|| usage(), |s| s.as_str())),
+        Some("run") => cmd_run(parse_flags(&args[1..]))?,
+        Some("sweep") => cmd_sweep(parse_flags(&args[1..]))?,
+        Some("table") => cmd_table(args.get(1).map_or_else(|| usage(), |s| s.as_str()))?,
+        Some("fig") => cmd_fig(args.get(1).map_or_else(|| usage(), |s| s.as_str()))?,
         Some("future") => print!("{}", ear::experiments::future_work::run_all_future_work()),
         Some("related") => print!("{}", ear::experiments::related_work::duf_comparison()),
         Some("surface") => {
@@ -356,16 +352,70 @@ fn main() {
                 .cloned()
                 .unwrap_or_else(|| "BT-MZ.C (OpenMP)".to_string());
             if by_name(&app).is_none() {
-                eprintln!("unknown workload '{app}'");
-                exit(1);
+                return Err(EarError::unknown("workload", app));
             }
             let s = ear::experiments::surface::measure_surface(&app, 77);
             print!("{}", ear::experiments::surface::render_surface(&s));
         }
         Some("conf") => print!("{}", render_ear_conf(&EarlConfig::default())),
         Some("all") => print!("{}", ear::experiments::run_all()),
-        Some("bench") => cmd_bench(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..])?,
         _ => usage(),
+    }
+    Ok(())
+}
+
+/// Drains the trace bus to `path` as JSONL. Runs after the subcommand even
+/// when it failed, so a partial stream survives for debugging.
+fn write_trace(path: &str) -> Result<(), EarError> {
+    let records = ear::trace::drain();
+    let dropped = ear::trace::dropped();
+    std::fs::write(path, ear::trace::to_jsonl(&records)).map_err(|e| EarError::io(path, e))?;
+    if dropped > 0 {
+        eprintln!("earsim: trace ring overflowed, oldest {dropped} events lost");
+    }
+    eprintln!("earsim: wrote {} trace events to {path}", records.len());
+    Ok(())
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // Global flags: accepted anywhere on the line, stripped before the
+    // subcommand parsers see the arguments.
+    if let Some(v) = take_global(&mut args, "--jobs") {
+        let n = match v.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("--jobs expects a positive integer");
+                usage();
+            }
+        };
+        ear::experiments::set_default_jobs(n);
+    }
+    if let Some(model) = take_global(&mut args, "--model") {
+        // Validate up front so a typo fails before hours of simulation.
+        if let Err(e) = ModelRegistry::with_builtins().resolve(&model) {
+            eprintln!("earsim: {e}");
+            exit(1);
+        }
+        ear::experiments::set_default_model(&model);
+    }
+    let trace_path = take_global(&mut args, "--trace");
+    if trace_path.is_some() {
+        ear::trace::reset();
+        ear::trace::set_enabled(true);
+    }
+
+    let result = real_main(args);
+    if let Some(path) = &trace_path {
+        if let Err(e) = write_trace(path) {
+            eprintln!("earsim: {e}");
+            exit(1);
+        }
+    }
+    if let Err(e) = result {
+        eprintln!("earsim: {e}");
+        exit(1);
     }
     // Machine-readable engine summary (stderr keeps stdout parseable).
     ear::experiments::print_process_summary();

@@ -12,13 +12,18 @@
 //! * [`core`] — EARL: signatures, energy models, the policy plugin API and
 //!   the `min_energy_to_solution` + explicit-UFS policy (the contribution).
 //! * [`experiments`] — regeneration of every table and figure.
+//! * [`errors`] — the unified [`errors::EarError`] the stack's fallible
+//!   paths return.
+//! * [`trace`] — the ring-buffered structured trace bus (`earsim --trace`).
 //!
 //! Start with `examples/quickstart.rs`.
 
 pub use ear_archsim as archsim;
 pub use ear_core as core;
 pub use ear_dynais as dynais;
+pub use ear_errors as errors;
 pub use ear_experiments as experiments;
 pub use ear_mpisim as mpisim;
 pub use ear_sched as sched;
+pub use ear_trace as trace;
 pub use ear_workloads as workloads;

@@ -3,19 +3,19 @@
 //! headline behaviours emerge.
 
 use ear::archsim::Cluster;
-use ear::core::{Earl, EarlConfig, ImcSearch, PolicySettings};
+use ear::core::{EarDaemon, Earl, EarlConfig, ImcSearch, PolicySettings};
 use ear::experiments::{compare, run_cell, run_matrix, RunKind};
 use ear::mpisim::run_job;
 use ear::workloads::{build_job, by_name, calibrate};
 
-fn earl_runtimes(policy: &str, settings: PolicySettings, n: usize) -> Vec<Earl> {
+fn earl_runtimes(policy: &str, settings: PolicySettings, n: usize) -> Vec<EarDaemon<Earl>> {
     let config = EarlConfig {
         policy_name: policy.into(),
         settings,
         ..Default::default()
     };
     (0..n)
-        .map(|_| Earl::from_registry(config.clone()))
+        .map(|_| EarDaemon::new(Earl::from_registry(config.clone()).expect("built-ins")))
         .collect()
 }
 
@@ -141,6 +141,7 @@ fn hw_guided_search_converges_faster_than_linear() {
         run_job(&mut cluster, &job, &mut rts);
         // Count IMC-stage frequency applications (search steps).
         rts[0]
+            .inner()
             .freq_changes()
             .iter()
             .filter(|(_, f)| f.imc_max_ratio < cal.node_config.uncore_max_ratio)
@@ -166,7 +167,7 @@ fn phase_change_triggers_reconvergence() {
     let mut cluster = Cluster::new(cal.node_config.clone(), targets.nodes, 1006);
     let mut rts = earl_runtimes("min_energy_eufs", PolicySettings::default(), targets.nodes);
     run_job(&mut cluster, &job, &mut rts);
-    let earl = &rts[0];
+    let earl = rts[0].inner();
     // EARL must have reacted after the phase change: at least one default
     // restore (full uncore range) after a restricted one.
     let changes = earl.freq_changes();

@@ -3,7 +3,7 @@
 //! phase changes mid-search — without crashing or making wild decisions.
 
 use ear::archsim::{Cluster, Node, NodeConfig};
-use ear::core::{Earl, EarlConfig, PolicySettings};
+use ear::core::{EarDaemon, Earl, EarlConfig, PolicySettings};
 use ear::mpisim::{run_job, MpiEvent, NodeRuntime};
 use ear::workloads::{build_job, by_name, calibrate};
 
@@ -41,16 +41,16 @@ fn earl_survives_a_power_meter_stall_and_still_converges() {
     let job = build_job(&cal);
     let mut cluster = Cluster::new(cal.node_config.clone(), targets.nodes, 2101);
     let config = EarlConfig::default();
-    let mut rts: Vec<MeterKiller<Earl>> = (0..targets.nodes)
+    let mut rts: Vec<MeterKiller<EarDaemon<Earl>>> = (0..targets.nodes)
         .map(|_| MeterKiller {
-            inner: Earl::from_registry(config.clone()),
+            inner: EarDaemon::new(Earl::from_registry(config.clone()).unwrap()),
             calls: 0,
             stall_at_call: 40, // early in the IMC search
             stall_s: 30.0,
         })
         .collect();
     run_job(&mut cluster, &job, &mut rts);
-    let earl = &rts[0].inner;
+    let earl = rts[0].inner.inner();
     // Signatures kept flowing (the stall only delays windows)…
     assert!(
         earl.signatures().len() >= 5,
@@ -78,8 +78,8 @@ fn heavy_measurement_noise_does_not_destabilise_the_policy() {
     noisy_config.noise_sigma *= 10.0;
 
     let mut cluster = Cluster::new(noisy_config, targets.nodes, 2102);
-    let mut rts: Vec<Earl> = (0..targets.nodes)
-        .map(|_| Earl::from_registry(EarlConfig::default()))
+    let mut rts: Vec<EarDaemon<Earl>> = (0..targets.nodes)
+        .map(|_| EarDaemon::new(Earl::from_registry(EarlConfig::default()).unwrap()))
         .collect();
     let report = run_job(&mut cluster, &job, &mut rts);
     // Time within 10 % of the characterisation (noise + policy penalty).
@@ -89,7 +89,7 @@ fn heavy_measurement_noise_does_not_destabilise_the_policy() {
         report.seconds(),
         targets.time_s
     );
-    for (_, f) in rts[0].freq_changes() {
+    for (_, f) in rts[0].inner().freq_changes() {
         assert!(f.imc_max_ratio >= 12 && f.imc_max_ratio <= 24);
         assert!(f.imc_min_ratio <= f.imc_max_ratio);
     }
@@ -110,8 +110,8 @@ fn tiny_thresholds_with_noise_stay_conservative() {
         },
         ..Default::default()
     };
-    let mut rts: Vec<Earl> = (0..targets.nodes)
-        .map(|_| Earl::from_registry(config.clone()))
+    let mut rts: Vec<EarDaemon<Earl>> = (0..targets.nodes)
+        .map(|_| EarDaemon::new(Earl::from_registry(config.clone()).unwrap()))
         .collect();
     let report = run_job(&mut cluster, &job, &mut rts);
     // Essentially no slowdown allowed — and essentially none taken.
@@ -122,6 +122,6 @@ fn tiny_thresholds_with_noise_stay_conservative() {
         targets.time_s
     );
     // The final uncore ceiling is at/near the hardware's choice.
-    let last = rts[0].freq_changes().last().unwrap().1;
+    let last = rts[0].inner().freq_changes().last().unwrap().1;
     assert!(last.imc_max_ratio >= 22, "over-aggressive at 0%: {last:?}");
 }

@@ -3,7 +3,7 @@
 //! track phase cycles, re-optimising each phase.
 
 use ear::archsim::Cluster;
-use ear::core::{Earl, EarlConfig};
+use ear::core::{EarDaemon, Earl, EarlConfig};
 use ear::mpisim::run_job;
 use ear::workloads::phases::compute_with_memory_bursts;
 
@@ -17,12 +17,12 @@ fn earl_reoptimises_across_phase_cycles() {
         .platform
         .node_config();
     let mut cluster = Cluster::new(node_config, nodes, 31);
-    let mut rts: Vec<Earl> = (0..nodes)
-        .map(|_| Earl::from_registry(EarlConfig::default()))
+    let mut rts: Vec<EarDaemon<Earl>> = (0..nodes)
+        .map(|_| EarDaemon::new(Earl::from_registry(EarlConfig::default()).unwrap()))
         .collect();
     run_job(&mut cluster, &job, &mut rts);
 
-    let earl = &rts[0];
+    let earl = rts[0].inner();
     // EARL saw both phases: signatures span compute-like (low GB/s) and
     // burst-like (high GB/s) behaviour.
     let sigs = earl.signatures();
