@@ -598,6 +598,14 @@ fn make_hwufs_input(
     }
 }
 
+// Node-parallel job stepping (ear-mpisim) moves nodes across threads in
+// disjoint `&mut` chunks; `Node` is plain owned data (the `Cell` pstate
+// cache is `Send`, just not `Sync`), and this assertion keeps it that way.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<Node>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

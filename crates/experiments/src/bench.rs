@@ -21,14 +21,16 @@ use std::time::Instant;
 pub const SCHEMA: &str = "earsim-bench-hotpath/v1";
 
 /// Bench names that must appear in a valid artifact.
-pub const REQUIRED_BENCHES: [&str; 7] = [
+pub const REQUIRED_BENCHES: [&str; 9] = [
     "dynais_inloop_per_sample",
     "dynais_aperiodic_per_sample",
     "window_push_recent",
     "snapshot_per_call",
     "run_phase_one_simsec",
     "trace_emit_per_event",
+    "mpi_job_step_parallel",
     "table1_wall",
+    "cache_warm_all_wall",
 ];
 
 /// One timed hot-path measurement.
@@ -364,6 +366,117 @@ fn bench_trace_emit(quick: bool) -> BenchEntry {
     }
 }
 
+/// One 8-node bulk-synchronous job, serial node stepping (`run_job_serial`,
+/// the pre-PR driver loop) vs the node-parallel adaptive driver with a full
+/// permit pool. Both paths are asserted bit-identical before timing; on a
+/// single-core machine the "speedup" honestly records the thread overhead.
+fn bench_job_step(quick: bool) -> BenchEntry {
+    use ear_mpisim::{permits, run_job, run_job_serial, JobSpec, MpiCall, MpiEvent, NullRuntime};
+
+    let iters = if quick { 30 } else { 150 };
+    let job = JobSpec::homogeneous(
+        "bench",
+        8,
+        40,
+        vec![
+            MpiEvent::new(MpiCall::Isend, 65536, 1),
+            MpiEvent::new(MpiCall::Wait, 0, 0),
+            MpiEvent::collective(MpiCall::Allreduce, 512),
+        ],
+        PhaseDemand {
+            instructions: 4e9,
+            mem_bytes: 2e9,
+            active_cores: 40,
+            wait_seconds: 0.002,
+            ..Default::default()
+        },
+        iters,
+    );
+    let mk_cluster = || ear_archsim::Cluster::new(NodeConfig::sd530_6148(), 8, 4242);
+
+    // Sanity first: the parallel path must be bit-identical to the serial
+    // one, otherwise the timing compares different computations.
+    let serial_report = {
+        let mut c = mk_cluster();
+        let mut r = vec![NullRuntime; 8];
+        run_job_serial(&mut c, &job, &mut r)
+    };
+    permits::set_spare_threads(7);
+    let parallel_report = {
+        let mut c = mk_cluster();
+        let mut r = vec![NullRuntime; 8];
+        run_job(&mut c, &job, &mut r)
+    };
+    assert_eq!(
+        serial_report, parallel_report,
+        "node-parallel stepping diverged from the serial driver"
+    );
+
+    permits::set_spare_threads(0);
+    let t_ref = best_secs(3, || {
+        let mut c = mk_cluster();
+        let mut r = vec![NullRuntime; 8];
+        black_box(run_job_serial(&mut c, &job, &mut r));
+    });
+    let spare = std::thread::available_parallelism().map_or(7, |n| n.get().max(2) - 1);
+    let t_opt = best_secs(3, || {
+        permits::set_spare_threads(spare);
+        let mut c = mk_cluster();
+        let mut r = vec![NullRuntime; 8];
+        black_box(run_job(&mut c, &job, &mut r));
+    });
+    permits::set_spare_threads(0);
+
+    BenchEntry {
+        name: "mpi_job_step_parallel",
+        unit: "ms/job",
+        reference: Some(t_ref * 1e3),
+        optimized: t_opt * 1e3,
+    }
+}
+
+/// Cold vs warm persistent result cache over the paper evaluation (the
+/// whole `run_all` output; `--quick` trims it to Table I). `reference` is
+/// the cold run that populates a fresh store, `optimized` the warm rerun
+/// served entirely from disk; outputs are asserted byte-identical. Runs
+/// last in the suite so the store it installs cannot leak into any other
+/// measurement, and tears the store down afterwards.
+fn bench_cache_warm(quick: bool) -> BenchEntry {
+    let dir = std::env::temp_dir().join(format!("earsim-bench-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    crate::cache::set_result_cache(Some(dir.clone()));
+
+    let run_eval = || {
+        if quick {
+            crate::tables::table1()
+        } else {
+            crate::run_all()
+        }
+    };
+    let t0 = Instant::now();
+    let cold_out = run_eval();
+    let t_ref = t0.elapsed().as_secs_f64();
+
+    let mut warm_out = String::new();
+    let t_opt = best_secs(if quick { 2 } else { 3 }, || {
+        warm_out = run_eval();
+    });
+    assert_eq!(
+        cold_out, warm_out,
+        "warm-cache output diverged from the cold run"
+    );
+
+    crate::cache::set_result_cache(None);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    BenchEntry {
+        name: "cache_warm_all_wall",
+        unit: "s",
+        reference: Some(t_ref),
+        optimized: t_opt,
+    }
+}
+
 /// Full Table I regeneration wall clock. No in-process reference: the
 /// committed artifact records the pre-optimisation binary's number.
 fn bench_table1(quick: bool) -> BenchEntry {
@@ -391,7 +504,10 @@ pub fn run(quick: bool) -> BenchReport {
             bench_snapshot(quick),
             bench_fast_forward(quick),
             bench_trace_emit(quick),
+            bench_job_step(quick),
             bench_table1(quick),
+            // Last: installs (and removes) a process-global result store.
+            bench_cache_warm(quick),
         ],
     }
 }

@@ -29,8 +29,9 @@
 //! [`set_default_jobs`]), else the `EAR_JOBS` environment variable, else
 //! `std::thread::available_parallelism()`.
 
+use crate::cache;
 use crate::harness::{make_runtime, RunKind, RunResult, Runtime};
-use ear_mpisim::{run_job, JobSpec};
+use ear_mpisim::{permits, run_job, JobSpec};
 use ear_workloads::{build_job, calibrate, CalibratedWorkload, CalibrationError, WorkloadTargets};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -372,6 +373,13 @@ pub struct EngineSummary {
     pub cal_hits: u64,
     /// Calibrations actually computed during this engine run.
     pub cal_misses: u64,
+    /// Persistent result-cache hits during this engine run (cells that
+    /// were served from disk without simulating).
+    pub result_hits: u64,
+    /// Persistent result-cache misses during this engine run.
+    pub result_misses: u64,
+    /// Corrupt or stale result-cache entries dropped during this run.
+    pub result_invalidations: u64,
 }
 
 impl EngineSummary {
@@ -395,7 +403,8 @@ impl EngineSummary {
         format!(
             "{{\"jobs\":{},\"tasks\":{},\"tasks_failed\":{},\"failed_cells\":[{}],\
              \"wall_s\":{:.3},\"serial_estimate_s\":{:.3},\"speedup\":{:.2},\
-             \"cal_hits\":{},\"cal_misses\":{}}}",
+             \"cal_hits\":{},\"cal_misses\":{},\
+             \"result_hits\":{},\"result_misses\":{},\"result_invalidations\":{}}}",
             self.jobs,
             self.tasks,
             self.tasks_failed,
@@ -404,7 +413,10 @@ impl EngineSummary {
             self.serial_estimate_s,
             self.speedup(),
             self.cal_hits,
-            self.cal_misses
+            self.cal_misses,
+            self.result_hits,
+            self.result_misses,
+            self.result_invalidations
         )
     }
 }
@@ -469,8 +481,10 @@ pub fn run_matrix_engine(
 ) -> MatrixRun {
     let started = Instant::now();
     let (hits0, misses0) = calibration_stats();
+    let (rhits0, rmisses0, rinval0) = cache::result_cache_stats();
     let runs = config.runs.max(1);
     let jobs = config.effective_jobs().max(1);
+    let mut scheduled_tasks = 0;
 
     // Calibrate and synthesise the job once — every cell of a matrix runs
     // the same workload.
@@ -478,6 +492,7 @@ pub fn run_matrix_engine(
     let outcomes: Vec<CellOutcome> = match cal.as_ref() {
         Err(e) => {
             // The workload itself is infeasible: every cell fails alike.
+            scheduled_tasks = cells.len() * runs;
             cells
                 .iter()
                 .map(|(label, _)| CellOutcome {
@@ -490,12 +505,59 @@ pub fn run_matrix_engine(
                 .collect()
         }
         Ok(cal) => {
-            let job = build_job(cal);
-            run_cells(cal, &job, targets, cells, runs, jobs, config)
+            // Persistent result cache: cells whose digest is already on
+            // disk are served directly; only the rest are scheduled.
+            let model = default_model();
+            let keys: Vec<u64> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, (label, kind))| {
+                    let salt = if config.salt_by_index { i as u64 } else { 0 };
+                    cache::result_key(
+                        targets,
+                        label,
+                        kind,
+                        model.as_deref(),
+                        runs,
+                        config.base_seed,
+                        salt,
+                    )
+                })
+                .collect();
+            let mut outcomes: Vec<Option<CellOutcome>> = Vec::new();
+            outcomes.resize_with(cells.len(), || None);
+            let mut pending: Vec<usize> = Vec::new();
+            for (i, (label, _)) in cells.iter().enumerate() {
+                match cache::lookup(keys[i]) {
+                    Some(result) => {
+                        outcomes[i] = Some(CellOutcome {
+                            label: label.clone(),
+                            result: Some(result),
+                            error: None,
+                            failed_runs: 0,
+                            busy_s: 0.0,
+                        });
+                    }
+                    None => pending.push(i),
+                }
+            }
+            if !pending.is_empty() {
+                scheduled_tasks = pending.len() * runs;
+                let job = build_job(cal);
+                let fresh = run_cells(cal, &job, targets, cells, &pending, runs, jobs, config);
+                for (&slot, outcome) in pending.iter().zip(fresh) {
+                    if let Some(result) = &outcome.result {
+                        cache::store(keys[slot], result);
+                    }
+                    outcomes[slot] = Some(outcome);
+                }
+            }
+            outcomes.into_iter().flatten().collect()
         }
     };
 
     let (hits1, misses1) = calibration_stats();
+    let (rhits1, rmisses1, rinval1) = cache::result_cache_stats();
     let failed_cells: Vec<String> = outcomes
         .iter()
         .filter(|c| c.result.is_none())
@@ -503,13 +565,16 @@ pub fn run_matrix_engine(
         .collect();
     let summary = EngineSummary {
         jobs,
-        tasks: cells.len() * runs,
+        tasks: scheduled_tasks,
         tasks_failed: outcomes.iter().map(|c| c.failed_runs).sum(),
         failed_cells,
         wall_s: started.elapsed().as_secs_f64(),
         serial_estimate_s: outcomes.iter().map(|c| c.busy_s).sum(),
         cal_hits: hits1.saturating_sub(hits0),
         cal_misses: misses1.saturating_sub(misses0),
+        result_hits: rhits1.saturating_sub(rhits0),
+        result_misses: rmisses1.saturating_sub(rmisses0),
+        result_invalidations: rinval1.saturating_sub(rinval0),
     };
     record_process(&summary);
     MatrixRun {
@@ -518,19 +583,31 @@ pub fn run_matrix_engine(
     }
 }
 
+/// Runs the `pending` cells (indices into `cells`) on the worker pool and
+/// returns their outcomes in `pending` order. Cell seeds are salted by the
+/// cell's *original* matrix index, so a partially cached matrix produces
+/// the same per-cell noise streams as a cold one.
+#[allow(clippy::too_many_arguments)]
 fn run_cells(
     cal: &CalibratedWorkload,
     job: &JobSpec,
     targets: &WorkloadTargets,
     cells: &[(String, RunKind)],
+    pending: &[usize],
     runs: usize,
     jobs: usize,
     config: &EngineConfig,
 ) -> Vec<CellOutcome> {
-    let n_tasks = cells.len() * runs;
+    let n_tasks = pending.len() * runs;
     let next = AtomicUsize::new(0);
     let slots: Vec<OnceLock<TaskOutcome>> = (0..n_tasks).map(|_| OnceLock::new()).collect();
     let workers = jobs.min(n_tasks).max(1);
+
+    // Nested-parallelism budget: the engine's `--jobs` allowance seeds the
+    // shared permit pool; each busy worker holds one permit while it runs
+    // a task, so a job only fans its nodes out across threads the engine
+    // is not using (the straggling tail of a matrix, single-cell runs).
+    permits::set_spare_threads(jobs);
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -539,7 +616,9 @@ fn run_cells(
                 if i >= n_tasks {
                     break;
                 }
-                let (cell, run) = (i / runs, i % runs);
+                let held = permits::acquire_up_to(1);
+                let cell = pending[i / runs];
+                let run = i % runs;
                 let kind = &cells[cell].1;
                 let salt = if config.salt_by_index { cell as u64 } else { 0 };
                 let seed = run_seed(config.base_seed, salt, run);
@@ -552,21 +631,23 @@ fn run_cells(
                     sample,
                     busy_s: t0.elapsed().as_secs_f64(),
                 });
+                permits::release(held);
             });
         }
     });
 
     // Reduce in task order: deterministic regardless of completion order.
-    cells
+    pending
         .iter()
         .enumerate()
-        .map(|(cell, (label, _))| {
+        .map(|(p, &cell)| {
+            let label = &cells[cell].0;
             let mut samples = Vec::with_capacity(runs);
             let mut error = None;
             let mut failed_runs = 0;
             let mut busy_s = 0.0;
             for run in 0..runs {
-                let out = slots[cell * runs + run]
+                let out = slots[p * runs + run]
                     .get()
                     .expect("every task slot is filled before the scope ends");
                 busy_s += out.busy_s;
@@ -647,6 +728,7 @@ pub fn process_summary_json() -> Option<String> {
         return None;
     }
     let (hits, misses) = calibration_stats();
+    let (result_hits, result_misses, result_invalidations) = cache::result_cache_stats();
     let failed: Vec<String> = p
         .failed_cells
         .iter()
@@ -660,7 +742,8 @@ pub fn process_summary_json() -> Option<String> {
     Some(format!(
         "{{\"engine_runs\":{},\"jobs\":{},\"tasks\":{},\"tasks_failed\":{},\
          \"failed_cells\":[{}],\"wall_s\":{:.3},\"serial_estimate_s\":{:.3},\
-         \"speedup\":{:.2},\"cal_hits\":{},\"cal_misses\":{}}}",
+         \"speedup\":{:.2},\"cal_hits\":{},\"cal_misses\":{},\
+         \"result_hits\":{},\"result_misses\":{},\"result_invalidations\":{}}}",
         p.engine_runs,
         p.jobs,
         p.tasks,
@@ -670,7 +753,10 @@ pub fn process_summary_json() -> Option<String> {
         p.serial_estimate_s,
         speedup,
         hits,
-        misses
+        misses,
+        result_hits,
+        result_misses,
+        result_invalidations
     ))
 }
 
@@ -716,11 +802,16 @@ mod tests {
             serial_estimate_s: 4.5,
             cal_hits: 5,
             cal_misses: 1,
+            result_hits: 2,
+            result_misses: 4,
+            result_invalidations: 1,
         };
         let j = s.to_json();
         assert!(j.starts_with('{') && j.ends_with('}'));
         assert!(j.contains("\"speedup\":3.00"), "{j}");
         assert!(j.contains("\\\"cell\\\""), "{j}");
+        assert!(j.contains("\"result_hits\":2"), "{j}");
+        assert!(j.contains("\"result_invalidations\":1"), "{j}");
     }
 
     #[test]

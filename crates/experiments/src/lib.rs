@@ -7,10 +7,12 @@
 //!
 //! Execution goes through the [`engine`]: a dependency-free bounded worker
 //! pool scheduling at (cell × run) granularity, with a process-wide
-//! calibration cache, per-task panic isolation, deterministic results for
-//! any worker count, and machine-readable run telemetry. Worker count:
-//! `--jobs N` on `earsim`, the `EAR_JOBS` environment variable, or the
-//! machine's available parallelism.
+//! calibration cache, a persistent content-addressed result cache
+//! ([`cache`], enabled by the `earsim` front end), per-task panic
+//! isolation, deterministic results for any worker count, and
+//! machine-readable run telemetry. Worker count: `--jobs N` on `earsim`,
+//! the `EAR_JOBS` environment variable, or the machine's available
+//! parallelism.
 //!
 //! Binaries: `table1` … `table7`, `fig1`, `fig3` … `fig8`, and `run_all`
 //! (prints everything, in paper order).
@@ -18,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod cache;
 pub mod chart;
 pub mod csv;
 pub mod engine;
@@ -28,6 +31,7 @@ pub mod related_work;
 pub mod surface;
 pub mod tables;
 
+pub use cache::{default_cache_dir, result_cache_stats, set_result_cache};
 pub use chart::{bar_chart, column_chart};
 pub use engine::{
     default_jobs, default_model, print_process_summary, run_matrix_engine, set_default_jobs,

@@ -5,10 +5,22 @@
 //! same outer iteration and synchronises at its end, so the driver runs
 //! each iteration on every node, then fills the stragglers' gap with idle
 //! time (load-imbalance waiting).
+//!
+//! Between synchronisation barriers the nodes are independent — per-node
+//! state (hardware model, RNG, runtime) never crosses a barrier — so
+//! [`run_job`] steps disjoint chunks of (node, runtime) pairs on scoped
+//! threads when the shared permit pool ([`crate::permits`]) has spare
+//! threads, and falls back to the serial loop otherwise. Both paths
+//! produce **bit-identical** [`JobReport`]s: the only cross-node value is
+//! the per-iteration barrier horizon, which is an exact `u64` microsecond
+//! maximum and therefore independent of evaluation order.
 
 use crate::intercept::NodeRuntime;
-use crate::job::JobSpec;
-use ear_archsim::Cluster;
+use crate::job::{IterationSpec, JobSpec};
+use crate::permits;
+use ear_archsim::{Cluster, CounterSnapshot, Node, PhaseDemand, SimTime};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
 
 /// Per-node summary of a finished job.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -34,7 +46,7 @@ pub struct NodeReport {
 }
 
 /// Whole-job summary.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct JobReport {
     /// Application name.
     pub name: String,
@@ -90,62 +102,54 @@ impl JobReport {
     }
 }
 
-/// Runs `job` on `cluster` with one runtime per node.
-///
-/// Panics if the job is invalid or the runtime/node counts disagree —
+/// Validates the (cluster, job, runtimes) triple. Panics on mismatch —
 /// those are harness bugs, not recoverable conditions.
-pub fn run_job<R: NodeRuntime>(
-    cluster: &mut Cluster,
-    job: &JobSpec,
-    runtimes: &mut [R],
-) -> JobReport {
+fn check_job<R>(cluster: &Cluster, job: &JobSpec, runtimes: &[R]) {
     if let Err(e) = job.validate() {
         panic!("invalid job: {e}");
     }
     assert_eq!(cluster.len(), job.nodes, "cluster size != job nodes");
     assert_eq!(runtimes.len(), job.nodes, "one runtime per node required");
+}
 
-    let starts: Vec<_> = (0..cluster.len())
-        .map(|i| cluster.node(i).snapshot())
-        .collect();
-    let fabric = cluster.fabric.clone();
+/// Prices every iteration's explicit communication through the fabric
+/// **once per iteration** (the fabric wait is identical on every node), so
+/// the per-node stepping below never clones a demand or re-walks the
+/// communication spec. Iterations without explicit communication keep
+/// `None` and are stepped with their original demand by reference.
+fn priced_demands(cluster: &Cluster, job: &JobSpec) -> Vec<Option<PhaseDemand>> {
+    job.iterations
+        .iter()
+        .map(|iter| {
+            iter.comm.as_ref().filter(|c| !c.is_empty()).map(|comm| {
+                let mut demand = iter.demand.clone();
+                demand.wait_seconds += comm.wait_seconds(&cluster.fabric, job.nodes);
+                demand
+            })
+        })
+        .collect()
+}
 
-    for (i, rt) in runtimes.iter_mut().enumerate() {
-        rt.on_job_start(cluster.node_mut(i), &job.name, job.ranks_per_node);
+/// One node's share of one bulk-synchronous iteration: the PMPI stream
+/// (EARL coordinates per node through its master rank, so the runtime
+/// receives one event stream per node), the priced work phase, and the
+/// timer tick.
+#[inline]
+fn step_node<R: NodeRuntime>(
+    node: &mut Node,
+    rt: &mut R,
+    iter: &IterationSpec,
+    demand: &PhaseDemand,
+) {
+    for ev in &iter.events {
+        rt.on_mpi_call(node, ev);
     }
+    node.run_phase(demand);
+    rt.on_tick(node);
+}
 
-    for iter in &job.iterations {
-        for (i, rt) in runtimes.iter_mut().enumerate() {
-            let node = cluster.node_mut(i);
-            // PMPI interception: EARL sees the calls of this iteration.
-            // (EARL coordinates per node through its master rank, so the
-            // runtime receives one stream per node.)
-            for ev in &iter.events {
-                rt.on_mpi_call(node, ev);
-            }
-            match iter.comm.as_ref().filter(|c| !c.is_empty()) {
-                Some(comm) => {
-                    // Price the explicit communication through the fabric
-                    // and charge it as busy-waiting.
-                    let mut demand = iter.demand.clone();
-                    demand.wait_seconds += comm.wait_seconds(&fabric, job.nodes);
-                    node.run_phase(&demand);
-                }
-                None => {
-                    node.run_phase(&iter.demand);
-                }
-            }
-            rt.on_tick(node);
-        }
-        // Bulk-synchronous step: everyone waits for the slowest node.
-        let horizon = cluster.horizon();
-        cluster.synchronise_to(horizon);
-    }
-
-    for (i, rt) in runtimes.iter_mut().enumerate() {
-        rt.on_job_end(cluster.node_mut(i));
-    }
-
+/// Builds the per-node reports from the start-of-job snapshots.
+fn build_report(cluster: &Cluster, job: &JobSpec, starts: &[CounterSnapshot]) -> JobReport {
     let mut nodes = Vec::with_capacity(cluster.len());
     for (i, start) in starts.iter().enumerate() {
         let end = cluster.node(i).snapshot();
@@ -174,12 +178,181 @@ pub fn run_job<R: NodeRuntime>(
     }
 }
 
+/// Runs `job` on `cluster` with one runtime per node, fanning the nodes
+/// out across spare threads from the shared permit pool when any are
+/// available (see [`crate::permits`]). The report is bit-identical to
+/// [`run_job_serial`] at any thread count.
+///
+/// Panics if the job is invalid or the runtime/node counts disagree —
+/// those are harness bugs, not recoverable conditions.
+pub fn run_job<R: NodeRuntime + Send>(
+    cluster: &mut Cluster,
+    job: &JobSpec,
+    runtimes: &mut [R],
+) -> JobReport {
+    check_job(cluster, job, runtimes);
+    let extra = permits::acquire_up_to(job.nodes.saturating_sub(1));
+    let report = if extra == 0 {
+        drive_serial(cluster, job, runtimes)
+    } else {
+        drive_parallel(cluster, job, runtimes, extra + 1)
+    };
+    permits::release(extra);
+    report
+}
+
+/// Runs `job` strictly serially on the calling thread, never touching the
+/// permit pool. The executable specification for [`run_job`]'s determinism
+/// guarantee (the parallel path must match this bit for bit) and the entry
+/// point for runtimes that are not [`Send`].
+pub fn run_job_serial<R: NodeRuntime>(
+    cluster: &mut Cluster,
+    job: &JobSpec,
+    runtimes: &mut [R],
+) -> JobReport {
+    check_job(cluster, job, runtimes);
+    drive_serial(cluster, job, runtimes)
+}
+
+fn drive_serial<R: NodeRuntime>(
+    cluster: &mut Cluster,
+    job: &JobSpec,
+    runtimes: &mut [R],
+) -> JobReport {
+    let starts: Vec<_> = (0..cluster.len())
+        .map(|i| cluster.node(i).snapshot())
+        .collect();
+
+    for (i, rt) in runtimes.iter_mut().enumerate() {
+        rt.on_job_start(cluster.node_mut(i), &job.name, job.ranks_per_node);
+    }
+
+    let priced = priced_demands(cluster, job);
+    for (iter, priced_demand) in job.iterations.iter().zip(&priced) {
+        let demand = priced_demand.as_ref().unwrap_or(&iter.demand);
+        for (i, rt) in runtimes.iter_mut().enumerate() {
+            step_node(cluster.node_mut(i), rt, iter, demand);
+        }
+        // Bulk-synchronous step: everyone waits for the slowest node.
+        let horizon = cluster.horizon();
+        cluster.synchronise_to(horizon);
+    }
+
+    for (i, rt) in runtimes.iter_mut().enumerate() {
+        rt.on_job_end(cluster.node_mut(i));
+    }
+
+    build_report(cluster, job, &starts)
+}
+
+fn drive_parallel<R: NodeRuntime + Send>(
+    cluster: &mut Cluster,
+    job: &JobSpec,
+    runtimes: &mut [R],
+    threads: usize,
+) -> JobReport {
+    let starts: Vec<_> = (0..cluster.len())
+        .map(|i| cluster.node(i).snapshot())
+        .collect();
+
+    for (i, rt) in runtimes.iter_mut().enumerate() {
+        rt.on_job_start(cluster.node_mut(i), &job.name, job.ranks_per_node);
+    }
+
+    let priced = priced_demands(cluster, job);
+    {
+        let nodes = cluster.nodes_mut_slice();
+        let chunk = nodes.len().div_ceil(threads.max(1));
+        let node_chunks: Vec<&mut [Node]> = nodes.chunks_mut(chunk).collect();
+        let rt_chunks: Vec<&mut [R]> = runtimes.chunks_mut(chunk).collect();
+        let workers = node_chunks.len();
+        let barrier = Barrier::new(workers);
+        // Per-chunk barrier horizons plus the reduced global one, in exact
+        // microseconds: `max` over `u64`s is order-independent, so the
+        // synchronisation point equals the serial `cluster.horizon()`.
+        let chunk_horizons: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
+        let global_horizon = AtomicU64::new(0);
+
+        std::thread::scope(|scope| {
+            for (w, (node_chunk, rt_chunk)) in node_chunks.into_iter().zip(rt_chunks).enumerate() {
+                let barrier = &barrier;
+                let chunk_horizons = &chunk_horizons;
+                let global_horizon = &global_horizon;
+                let priced = &priced;
+                scope.spawn(move || {
+                    step_chunk(
+                        job,
+                        priced,
+                        node_chunk,
+                        rt_chunk,
+                        w,
+                        barrier,
+                        chunk_horizons,
+                        global_horizon,
+                    );
+                });
+            }
+        });
+    }
+
+    for (i, rt) in runtimes.iter_mut().enumerate() {
+        rt.on_job_end(cluster.node_mut(i));
+    }
+
+    build_report(cluster, job, &starts)
+}
+
+/// One worker's whole-job loop over its disjoint chunk of (node, runtime)
+/// pairs. The scope (and its threads) is created once per job, not once
+/// per iteration; iterations meet at two in-loop barriers: one to publish
+/// the chunk horizons, one to make the reduced global horizon visible
+/// before any chunk synchronises to it.
+#[allow(clippy::too_many_arguments)]
+fn step_chunk<R: NodeRuntime>(
+    job: &JobSpec,
+    priced: &[Option<PhaseDemand>],
+    nodes: &mut [Node],
+    rts: &mut [R],
+    w: usize,
+    barrier: &Barrier,
+    chunk_horizons: &[AtomicU64],
+    global_horizon: &AtomicU64,
+) {
+    for (iter, priced_demand) in job.iterations.iter().zip(priced) {
+        let demand = priced_demand.as_ref().unwrap_or(&iter.demand);
+        for (node, rt) in nodes.iter_mut().zip(rts.iter_mut()) {
+            step_node(node, rt, iter, demand);
+        }
+        let local = nodes.iter().map(|n| n.now().as_micros()).max().unwrap_or(0);
+        chunk_horizons[w].store(local, Ordering::Relaxed);
+        if barrier.wait().is_leader() {
+            let horizon = chunk_horizons
+                .iter()
+                .map(|h| h.load(Ordering::Relaxed))
+                .max()
+                .unwrap_or(0);
+            global_horizon.store(horizon, Ordering::Relaxed);
+        }
+        // Second barrier: no chunk reads the global horizon before the
+        // leader has reduced it, and no chunk publishes the next
+        // iteration's horizon before every chunk has read this one.
+        barrier.wait();
+        let t = SimTime(global_horizon.load(Ordering::Relaxed));
+        for node in nodes.iter_mut() {
+            let lag = t - node.now();
+            if lag > 0.0 {
+                node.run_idle(lag);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::call::{MpiCall, MpiEvent};
     use crate::intercept::{NullRuntime, RecordingRuntime};
-    use ear_archsim::{NodeConfig, PhaseDemand};
+    use ear_archsim::NodeConfig;
 
     fn small_job(iters: usize) -> JobSpec {
         JobSpec::homogeneous(
@@ -270,5 +443,24 @@ mod tests {
         let job = small_job(1);
         let mut rts = null_runtimes(1);
         run_job(&mut cluster, &job, &mut rts);
+    }
+
+    #[test]
+    fn priced_demand_is_computed_once_per_iteration() {
+        use crate::job::CommSpec;
+        let mut job = small_job(4);
+        job.iterations[1].comm = Some(CommSpec {
+            collectives: vec![(MpiCall::Allreduce, 1 << 20)],
+            p2p_bytes: vec![4096; 2],
+        });
+        job.iterations[2].comm = Some(CommSpec::default()); // empty: not priced
+        let cluster = Cluster::new(NodeConfig::sd530_6148(), 2, 45);
+        let priced = priced_demands(&cluster, &job);
+        assert_eq!(priced.len(), 4);
+        assert!(priced[0].is_none());
+        assert!(priced[2].is_none(), "empty comm spec must not be priced");
+        assert!(priced[3].is_none());
+        let d = priced[1].as_ref().expect("iteration 1 has communication");
+        assert!(d.wait_seconds > job.iterations[1].demand.wait_seconds);
     }
 }

@@ -1,0 +1,103 @@
+//! Nested-parallelism permits for node-parallel job stepping.
+//!
+//! Two layers of the stack want the machine's cores: the experiment
+//! engine's (cell × run) worker pool, and — since jobs are bulk-synchronous
+//! and nodes are independent between barriers — the per-job node stepping
+//! in [`crate::run_job`]. Letting both fan out blindly oversubscribes the
+//! machine, so they share one process-wide permit pool: a single atomic
+//! counter of *spare* threads the process may still spawn.
+//!
+//! The contract:
+//!
+//! - The pool starts at `available_parallelism - 1` (the calling thread is
+//!   already running). The engine overwrites it with its own budget
+//!   (`--jobs N`) at the start of every matrix run, and each engine worker
+//!   holds one permit for the duration of a task, so a job only fans out
+//!   across its nodes when engine workers are idle — a saturated campaign
+//!   steps every job serially, a lone `earsim run` (or the straggling tail
+//!   of a matrix) uses the whole machine.
+//! - Acquisition never blocks: [`acquire_up_to`] takes what is available,
+//!   possibly nothing, and the caller degrades to serial stepping.
+//! - Permits gate **thread counts only**. Results are bit-identical
+//!   whether a job steps its nodes serially or in parallel (per-node state
+//!   never crosses a synchronisation barrier), so racing configurations of
+//!   the pool can only ever cost performance, never determinism.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+static SPARE: OnceLock<AtomicUsize> = OnceLock::new();
+
+fn pool() -> &'static AtomicUsize {
+    SPARE.get_or_init(|| {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        AtomicUsize::new(cores.saturating_sub(1))
+    })
+}
+
+/// Replaces the pool with `spare` spare-thread permits. The experiment
+/// engine calls this with its worker budget at the start of a matrix run;
+/// standalone drivers normally leave the default (cores − 1) alone.
+pub fn set_spare_threads(spare: usize) {
+    pool().store(spare, Ordering::Relaxed);
+}
+
+/// Spare-thread permits currently available.
+pub fn spare_threads() -> usize {
+    pool().load(Ordering::Relaxed)
+}
+
+/// Takes up to `max` permits without blocking and returns how many were
+/// taken (possibly zero). Every acquired permit must be handed back with
+/// [`release`].
+pub fn acquire_up_to(max: usize) -> usize {
+    if max == 0 {
+        return 0;
+    }
+    let p = pool();
+    let mut cur = p.load(Ordering::Relaxed);
+    loop {
+        let take = cur.min(max);
+        if take == 0 {
+            return 0;
+        }
+        match p.compare_exchange_weak(cur, cur - take, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return take,
+            Err(now) => cur = now,
+        }
+    }
+}
+
+/// Returns `n` permits to the pool.
+pub fn release(n: usize) {
+    if n > 0 {
+        pool().fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The pool is process-global; tests in this module serialise on it by
+    // always restoring what they take.
+
+    #[test]
+    fn acquire_is_bounded_and_releases_restore() {
+        set_spare_threads(3);
+        let a = acquire_up_to(2);
+        assert_eq!(a, 2);
+        let b = acquire_up_to(5);
+        assert_eq!(b, 1, "only one permit was left");
+        assert_eq!(acquire_up_to(1), 0, "pool exhausted");
+        release(a + b);
+        assert_eq!(spare_threads(), 3);
+    }
+
+    #[test]
+    fn zero_max_takes_nothing() {
+        set_spare_threads(4);
+        assert_eq!(acquire_up_to(0), 0);
+        assert_eq!(spare_threads(), 4);
+    }
+}

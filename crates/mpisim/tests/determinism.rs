@@ -1,0 +1,249 @@
+//! Parallel-vs-serial determinism for the co-simulation driver.
+//!
+//! `run_job` fans a job's nodes out across spare threads; the paper-facing
+//! guarantee is that this is a pure performance knob: every `JobReport`
+//! field on every node is **bit-identical** to the serial path, at any
+//! node count, any thread count, and under adversarial load imbalance.
+//! These tests pin that guarantee.
+
+use ear_archsim::{Cluster, Node, NodeConfig, PhaseDemand};
+use ear_mpisim::{
+    permits, run_job, run_job_serial, CommSpec, IterationSpec, JobReport, JobSpec, MpiCall,
+    MpiEvent, NullRuntime, RecordingRuntime,
+};
+use std::sync::Mutex;
+
+/// The permit pool is process-global; tests that configure it must not
+/// interleave. (Cargo runs `#[test]`s on parallel threads by default.)
+static POOL_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    POOL_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn steady_job(nodes: usize, iterations: usize) -> JobSpec {
+    JobSpec::homogeneous(
+        "steady",
+        nodes,
+        40,
+        vec![
+            MpiEvent::new(MpiCall::Isend, 65536, 1),
+            MpiEvent::new(MpiCall::Wait, 0, 0),
+            MpiEvent::collective(MpiCall::Allreduce, 512),
+        ],
+        PhaseDemand {
+            instructions: 8e9,
+            mem_bytes: 3e9,
+            active_cores: 40,
+            wait_seconds: 0.004,
+            ..Default::default()
+        },
+        iterations,
+    )
+}
+
+/// A worst-case load-imbalance job: iterations alternate between a heavy
+/// compute phase, a memory-bound phase and a near-empty phase, with fabric
+/// communication priced on some iterations only — so chunk horizons swing
+/// wildly and a wrong barrier reduction would surface immediately.
+fn straggler_job(nodes: usize, iterations: usize) -> JobSpec {
+    let events = vec![
+        MpiEvent::new(MpiCall::Isend, 1 << 20, 1),
+        MpiEvent::new(MpiCall::Irecv, 1 << 20, 1),
+        MpiEvent::new(MpiCall::Wait, 0, 0),
+        MpiEvent::collective(MpiCall::Alltoall, 4096),
+    ];
+    let iterations = (0..iterations)
+        .map(|i| {
+            let demand = match i % 3 {
+                0 => PhaseDemand {
+                    instructions: 3e10,
+                    mem_bytes: 1e9,
+                    active_cores: 40,
+                    ..Default::default()
+                },
+                1 => PhaseDemand {
+                    instructions: 2e9,
+                    mem_bytes: 2e10,
+                    active_cores: 40,
+                    wait_seconds: 0.05,
+                    ..Default::default()
+                },
+                _ => PhaseDemand {
+                    instructions: 1e8,
+                    mem_bytes: 1e7,
+                    active_cores: 4,
+                    ..Default::default()
+                },
+            };
+            let comm = (i % 2 == 0).then(|| CommSpec {
+                collectives: vec![(MpiCall::Alltoall, 2 << 20)],
+                p2p_bytes: vec![1 << 18; 6],
+            });
+            IterationSpec {
+                events: events.clone(),
+                demand,
+                comm,
+            }
+        })
+        .collect();
+    JobSpec {
+        name: "straggler".to_string(),
+        nodes,
+        ranks_per_node: 40,
+        iterations,
+    }
+}
+
+/// Asserts every field of every node report is bit-identical (`PartialEq`
+/// on `f64` would already fail on any difference, but comparing bits makes
+/// the intent — and the failure message — exact).
+fn assert_bit_identical(serial: &JobReport, parallel: &JobReport) {
+    assert_eq!(serial.name, parallel.name);
+    assert_eq!(serial.nodes.len(), parallel.nodes.len());
+    for (i, (s, p)) in serial.nodes.iter().zip(&parallel.nodes).enumerate() {
+        let fields: [(&str, f64, f64); 9] = [
+            ("seconds", s.seconds, p.seconds),
+            ("dc_energy_j", s.dc_energy_j, p.dc_energy_j),
+            ("pkg_energy_j", s.pkg_energy_j, p.pkg_energy_j),
+            ("avg_dc_power_w", s.avg_dc_power_w, p.avg_dc_power_w),
+            ("avg_cpu_ghz", s.avg_cpu_ghz, p.avg_cpu_ghz),
+            ("avg_imc_ghz", s.avg_imc_ghz, p.avg_imc_ghz),
+            ("cpi", s.cpi, p.cpi),
+            ("gbs", s.gbs, p.gbs),
+            ("vpi", s.vpi, p.vpi),
+        ];
+        for (name, sv, pv) in fields {
+            assert_eq!(
+                sv.to_bits(),
+                pv.to_bits(),
+                "node {i} field {name}: serial {sv} != parallel {pv}"
+            );
+        }
+    }
+}
+
+fn run_serial(job: &JobSpec, seed: u64) -> JobReport {
+    let mut cluster = Cluster::new(NodeConfig::sd530_6148(), job.nodes, seed);
+    let mut rts = vec![NullRuntime; job.nodes];
+    run_job_serial(&mut cluster, job, &mut rts)
+}
+
+fn run_parallel(job: &JobSpec, seed: u64, spare: usize) -> JobReport {
+    let mut cluster = Cluster::new(NodeConfig::sd530_6148(), job.nodes, seed);
+    let mut rts = vec![NullRuntime; job.nodes];
+    permits::set_spare_threads(spare);
+    let report = run_job(&mut cluster, job, &mut rts);
+    permits::set_spare_threads(0);
+    report
+}
+
+#[test]
+fn parallel_matches_serial_across_node_counts() {
+    let _g = lock();
+    for nodes in [1, 2, 8] {
+        let job = steady_job(nodes, 30);
+        let serial = run_serial(&job, 1000 + nodes as u64);
+        // More threads than nodes, fewer threads than nodes, one extra.
+        for spare in [1, 3, 16] {
+            let parallel = run_parallel(&job, 1000 + nodes as u64, spare);
+            assert_bit_identical(&serial, &parallel);
+        }
+    }
+}
+
+#[test]
+fn parallel_matches_serial_on_adversarial_stragglers() {
+    let _g = lock();
+    for nodes in [2, 8] {
+        let job = straggler_job(nodes, 24);
+        let serial = run_serial(&job, 77);
+        for spare in [1, 7] {
+            let parallel = run_parallel(&job, 77, spare);
+            assert_bit_identical(&serial, &parallel);
+        }
+    }
+}
+
+#[test]
+fn heterogeneous_cluster_is_deterministic_too() {
+    let _g = lock();
+    // Mixed hardware is the worst case for chunk-horizon reductions: the
+    // same demand takes genuinely different time on the two node types.
+    let mk = || {
+        Cluster::from_nodes(vec![
+            Node::new(NodeConfig::sd530_6148(), 11),
+            Node::new(NodeConfig::gpu_node_6142m(), 12),
+            Node::new(NodeConfig::sd530_6148(), 13),
+            Node::new(NodeConfig::gpu_node_6142m(), 14),
+        ])
+    };
+    let mut job = straggler_job(4, 18);
+    for it in &mut job.iterations {
+        it.demand.active_cores = it.demand.active_cores.min(32);
+    }
+    let mut serial_cluster = mk();
+    let mut rts = vec![NullRuntime; 4];
+    let serial = run_job_serial(&mut serial_cluster, &job, &mut rts);
+
+    let mut parallel_cluster = mk();
+    let mut rts = vec![NullRuntime; 4];
+    permits::set_spare_threads(3);
+    let parallel = run_job(&mut parallel_cluster, &job, &mut rts);
+    permits::set_spare_threads(0);
+
+    assert_bit_identical(&serial, &parallel);
+}
+
+#[test]
+fn exhausted_pool_degrades_to_serial() {
+    let _g = lock();
+    let job = steady_job(4, 10);
+    permits::set_spare_threads(0);
+    let mut cluster = Cluster::new(NodeConfig::sd530_6148(), 4, 5);
+    let mut rts = vec![NullRuntime; 4];
+    let adaptive = run_job(&mut cluster, &job, &mut rts);
+    assert_eq!(
+        permits::spare_threads(),
+        0,
+        "run_job must not leak permits it never took"
+    );
+    let serial = run_serial(&job, 5);
+    assert_bit_identical(&serial, &adaptive);
+}
+
+#[test]
+fn permits_are_returned_after_parallel_run() {
+    let _g = lock();
+    let job = steady_job(8, 6);
+    permits::set_spare_threads(5);
+    let mut cluster = Cluster::new(NodeConfig::sd530_6148(), 8, 9);
+    let mut rts = vec![NullRuntime; 8];
+    run_job(&mut cluster, &job, &mut rts);
+    assert_eq!(permits::spare_threads(), 5, "permits must be released");
+    permits::set_spare_threads(0);
+}
+
+#[test]
+fn runtimes_see_identical_event_streams_in_parallel() {
+    let _g = lock();
+    let job = straggler_job(8, 12);
+
+    let mut serial_cluster = Cluster::new(NodeConfig::sd530_6148(), 8, 21);
+    let mut serial_rts: Vec<RecordingRuntime> =
+        (0..8).map(|_| RecordingRuntime::default()).collect();
+    run_job_serial(&mut serial_cluster, &job, &mut serial_rts);
+
+    let mut parallel_cluster = Cluster::new(NodeConfig::sd530_6148(), 8, 21);
+    let mut parallel_rts: Vec<RecordingRuntime> =
+        (0..8).map(|_| RecordingRuntime::default()).collect();
+    permits::set_spare_threads(7);
+    run_job(&mut parallel_cluster, &job, &mut parallel_rts);
+    permits::set_spare_threads(0);
+
+    for (s, p) in serial_rts.iter().zip(&parallel_rts) {
+        assert_eq!(s.started, p.started);
+        assert_eq!(s.events, p.events);
+        assert_eq!(s.ended, p.ended);
+    }
+}

@@ -27,6 +27,13 @@
 //! EARL instance uses (`avx512` is the default, `default` the plain
 //! Intel model), and `--trace FILE` enables the structured trace bus and
 //! writes the recorded event stream as JSONL when the command finishes.
+//!
+//! Results are also cached persistently: every (workload, configuration,
+//! seed) cell's averaged result lands in `target/earsim-cache/` keyed by
+//! a content digest, so repeated invocations are served from disk with
+//! byte-identical output. `--no-cache` (or `EAR_CACHE=0`) disables the
+//! store, `EAR_CACHE_DIR` relocates it; corrupt entries are dropped and
+//! re-simulated, never trusted.
 
 use ear::core::conf::{parse_ear_conf, render_ear_conf};
 use ear::core::{EarlConfig, ImcRange, ImcSearch, ModelRegistry, PolicySettings};
@@ -62,7 +69,10 @@ fn usage() -> ! {
          \x20      --model M    energy model for every EARL instance\n\
          \x20                (avx512 default, or default).\n\
          \x20      --trace F    record the structured event stream and write\n\
-         \x20                it to F as JSONL on exit."
+         \x20                it to F as JSONL on exit.\n\
+         \x20      --no-cache   disable the persistent result cache\n\
+         \x20                (default store: target/earsim-cache, or\n\
+         \x20                $EAR_CACHE_DIR; EAR_CACHE=0 also disables)."
     );
     exit(2)
 }
@@ -322,6 +332,17 @@ fn cmd_bench(rest: &[String]) -> Result<(), EarError> {
     Ok(())
 }
 
+/// Strips a valueless global `--flag` from anywhere on the line.
+fn take_global_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    }
+}
+
 /// Strips a global `--flag VALUE` pair from anywhere on the line.
 fn take_global(args: &mut Vec<String>, flag: &str) -> Option<String> {
     let i = args.iter().position(|a| a == flag)?;
@@ -404,6 +425,18 @@ fn main() {
     if trace_path.is_some() {
         ear::trace::reset();
         ear::trace::set_enabled(true);
+    }
+    // Persistent result cache: on by default, off for `--no-cache` or
+    // EAR_CACHE=0/off/false, and for `bench` (which must measure real
+    // simulation work and manages its own store for the warm-cache bench).
+    let no_cache_flag = take_global_flag(&mut args, "--no-cache");
+    let no_cache_env = matches!(
+        std::env::var("EAR_CACHE").as_deref().map(str::trim),
+        Ok("0") | Ok("off") | Ok("false")
+    );
+    let is_bench = args.first().is_some_and(|a| a == "bench");
+    if !(no_cache_flag || no_cache_env || is_bench) {
+        ear::experiments::set_result_cache(Some(ear::experiments::default_cache_dir()));
     }
 
     let result = real_main(args);
