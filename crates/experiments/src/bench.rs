@@ -21,7 +21,7 @@ use std::time::Instant;
 pub const SCHEMA: &str = "earsim-bench-hotpath/v1";
 
 /// Bench names that must appear in a valid artifact.
-pub const REQUIRED_BENCHES: [&str; 9] = [
+pub const REQUIRED_BENCHES: [&str; 11] = [
     "dynais_inloop_per_sample",
     "dynais_aperiodic_per_sample",
     "window_push_recent",
@@ -29,6 +29,8 @@ pub const REQUIRED_BENCHES: [&str; 9] = [
     "run_phase_one_simsec",
     "trace_emit_per_event",
     "mpi_job_step_parallel",
+    "frame_codec_roundtrip",
+    "netd_uds_rtt",
     "table1_wall",
     "cache_warm_all_wall",
 ];
@@ -435,6 +437,83 @@ fn bench_job_step(quick: bool) -> BenchEntry {
     }
 }
 
+/// Wire-codec round trip: encode one signature-report frame and decode it
+/// back. This is the marshalling cost every networked daemon request pays
+/// twice (once per direction); no reference — the codec is new in this
+/// revision.
+fn bench_frame_codec(quick: bool) -> BenchEntry {
+    use ear_netd::codec::{decode_frame, encode_frame};
+
+    let n = if quick { 20_000 } else { 500_000 };
+    let msg = ear_netd::loadgen::nth_request(3, 2); // a report_signature frame
+    let t = best_secs(3, || {
+        for _ in 0..n {
+            let frame = encode_frame(black_box(&msg)).unwrap();
+            black_box(decode_frame(&frame).unwrap());
+        }
+    }) / n as f64;
+    BenchEntry {
+        name: "frame_codec_roundtrip",
+        unit: "ns/op",
+        reference: None,
+        optimized: t * 1e9,
+    }
+}
+
+/// Ping round-trip time through the full daemon server loop over a Unix
+/// socket. `reference` is the same exchange over the in-memory pipe — the
+/// transport floor with zero kernel in the path — so the "speedup" column
+/// reads as how much of the UDS RTT is kernel socket cost.
+fn bench_netd_rtt(quick: bool) -> BenchEntry {
+    use ear_netd::{client, conn, server};
+    use std::time::Duration;
+
+    let n = if quick { 300 } else { 3_000 };
+    let cfg = || server::ServerConfig {
+        read_timeout: Duration::from_secs(10),
+        ..Default::default()
+    };
+    let client_cfg = client::ClientConfig {
+        request_timeout: Duration::from_secs(10),
+        ..Default::default()
+    };
+
+    // Transport floor: the in-memory pipe.
+    let (listener, endpoint) = conn::NetListener::in_memory();
+    let handle = server::spawn(listener, cfg());
+    let mut c = client::NetClient::new(endpoint, client_cfg.clone());
+    c.ping(0).unwrap(); // connection + first-exchange warmup
+    let t_pipe = best_secs(3, || {
+        for i in 0..n {
+            c.ping(i as u64).unwrap();
+        }
+    }) / n as f64;
+    c.shutdown().unwrap();
+    handle.join().unwrap();
+
+    // The measured path: a real Unix-domain socket.
+    let path = std::env::temp_dir().join(format!("earsim-bench-rtt-{}.sock", std::process::id()));
+    let spec = path.to_string_lossy().to_string();
+    let listener = conn::NetListener::bind(&spec).unwrap();
+    let handle = server::spawn(listener, cfg());
+    let mut c = client::NetClient::new(conn::Endpoint::parse(&spec), client_cfg);
+    c.ping(0).unwrap();
+    let t_uds = best_secs(3, || {
+        for i in 0..n {
+            c.ping(i as u64).unwrap();
+        }
+    }) / n as f64;
+    c.shutdown().unwrap();
+    handle.join().unwrap();
+
+    BenchEntry {
+        name: "netd_uds_rtt",
+        unit: "us/rtt",
+        reference: Some(t_pipe * 1e6),
+        optimized: t_uds * 1e6,
+    }
+}
+
 /// Cold vs warm persistent result cache over the paper evaluation (the
 /// whole `run_all` output; `--quick` trims it to Table I). `reference` is
 /// the cold run that populates a fresh store, `optimized` the warm rerun
@@ -505,6 +584,8 @@ pub fn run(quick: bool) -> BenchReport {
             bench_fast_forward(quick),
             bench_trace_emit(quick),
             bench_job_step(quick),
+            bench_frame_codec(quick),
+            bench_netd_rtt(quick),
             bench_table1(quick),
             // Last: installs (and removes) a process-global result store.
             bench_cache_warm(quick),
@@ -842,6 +923,52 @@ pub fn validate_json(text: &str) -> Result<usize, String> {
     Ok(benches.len())
 }
 
+/// Counter fields the nested `netd` telemetry object must carry.
+const TELEMETRY_NETD_COUNTERS: [&str; 6] = [
+    "accepted",
+    "rejected",
+    "timed_out",
+    "retried",
+    "requests",
+    "decode_errors",
+];
+
+/// Validates one `earsim-telemetry:` JSON payload (the part after the
+/// prefix): well-formed, the right schema tag, the flat engine fields and
+/// every nested netd counter present as a non-negative integer.
+pub fn validate_telemetry_json(text: &str) -> Result<(), String> {
+    let root = Parser::new(text).parse()?;
+    match root.get("schema") {
+        Some(Json::Str(s)) if s == crate::engine::TELEMETRY_SCHEMA => {}
+        Some(Json::Str(s)) => {
+            return Err(format!(
+                "wrong schema '{s}', expected '{}'",
+                crate::engine::TELEMETRY_SCHEMA
+            ))
+        }
+        _ => return Err("missing string field 'schema'".into()),
+    }
+    let counter = |obj: &Json, key: &str| -> Result<(), String> {
+        match obj.get(key) {
+            Some(Json::Num(v)) if v.is_finite() && *v >= 0.0 && v.fract() == 0.0 => Ok(()),
+            _ => Err(format!("field '{key}' must be a non-negative integer")),
+        }
+    };
+    for key in ["engine_runs", "tasks", "cal_hits", "result_hits"] {
+        counter(&root, key)?;
+    }
+    let netd = root
+        .get("netd")
+        .ok_or_else(|| "missing object field 'netd'".to_string())?;
+    if !matches!(netd, Json::Obj(_)) {
+        return Err("'netd' is not an object".into());
+    }
+    for key in TELEMETRY_NETD_COUNTERS {
+        counter(netd, key).map_err(|e| format!("netd: {e}"))?;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -920,6 +1047,39 @@ mod tests {
             ]))
         );
         assert_eq!(v.get("b").and_then(|b| b.get("c")), Some(&Json::Null));
+    }
+
+    #[test]
+    fn telemetry_json_validates() {
+        let sample = format!(
+            "{{\"schema\":\"{}\",\"engine_runs\":1,\"jobs\":2,\"tasks\":3,\
+             \"tasks_failed\":0,\"failed_cells\":[],\"wall_s\":1.0,\
+             \"serial_estimate_s\":2.0,\"speedup\":2.00,\"cal_hits\":4,\
+             \"cal_misses\":0,\"result_hits\":5,\"result_misses\":1,\
+             \"result_invalidations\":0,\"netd\":{{\"accepted\":2,\
+             \"rejected\":0,\"timed_out\":1,\"retried\":3,\"requests\":10,\
+             \"decode_errors\":0}}}}",
+            crate::engine::TELEMETRY_SCHEMA
+        );
+        assert_eq!(validate_telemetry_json(&sample), Ok(()));
+        // The real emitter must satisfy its own validator.
+        if let Some(json) = crate::engine::process_summary_json() {
+            assert_eq!(validate_telemetry_json(&json), Ok(()));
+        }
+        // Rejections: wrong schema, missing netd, non-integer counter.
+        assert!(validate_telemetry_json(&sample.replace("/v2", "/v1"))
+            .unwrap_err()
+            .contains("wrong schema"));
+        assert!(
+            validate_telemetry_json(&sample.replace("\"netd\"", "\"metd\""))
+                .unwrap_err()
+                .contains("netd")
+        );
+        assert!(
+            validate_telemetry_json(&sample.replace("\"retried\":3", "\"retried\":3.5"))
+                .unwrap_err()
+                .contains("retried")
+        );
     }
 
     #[test]

@@ -616,7 +616,7 @@ fn run_cells(
                 if i >= n_tasks {
                     break;
                 }
-                let held = permits::acquire_up_to(1);
+                let held = permits::acquire_guard(1);
                 let cell = pending[i / runs];
                 let run = i % runs;
                 let kind = &cells[cell].1;
@@ -631,7 +631,7 @@ fn run_cells(
                     sample,
                     busy_s: t0.elapsed().as_secs_f64(),
                 });
-                permits::release(held);
+                drop(held);
             });
         }
     });
@@ -720,11 +720,17 @@ fn record_process(summary: &EngineSummary) {
     p.jobs = p.jobs.max(summary.jobs);
 }
 
+/// Schema tag stamped on the `earsim-telemetry:` stderr JSON line. v2
+/// added the tag itself and the nested `netd` service counters.
+pub const TELEMETRY_SCHEMA: &str = "earsim-telemetry/v2";
+
 /// The process-wide telemetry aggregated over every engine run so far, as
-/// one JSON line — `None` if no engine work has run.
+/// one JSON line — `None` if neither engine work nor networked-daemon
+/// traffic has happened in this process.
 pub fn process_summary_json() -> Option<String> {
     let p = process().lock().unwrap_or_else(PoisonError::into_inner);
-    if p.engine_runs == 0 {
+    let netd = ear_netd::stats::snapshot();
+    if p.engine_runs == 0 && !netd.any() {
         return None;
     }
     let (hits, misses) = calibration_stats();
@@ -740,10 +746,13 @@ pub fn process_summary_json() -> Option<String> {
         1.0
     };
     Some(format!(
-        "{{\"engine_runs\":{},\"jobs\":{},\"tasks\":{},\"tasks_failed\":{},\
+        "{{\"schema\":\"{TELEMETRY_SCHEMA}\",\
+         \"engine_runs\":{},\"jobs\":{},\"tasks\":{},\"tasks_failed\":{},\
          \"failed_cells\":[{}],\"wall_s\":{:.3},\"serial_estimate_s\":{:.3},\
          \"speedup\":{:.2},\"cal_hits\":{},\"cal_misses\":{},\
-         \"result_hits\":{},\"result_misses\":{},\"result_invalidations\":{}}}",
+         \"result_hits\":{},\"result_misses\":{},\"result_invalidations\":{},\
+         \"netd\":{{\"accepted\":{},\"rejected\":{},\"timed_out\":{},\
+         \"retried\":{},\"requests\":{},\"decode_errors\":{}}}}}",
         p.engine_runs,
         p.jobs,
         p.tasks,
@@ -756,7 +765,13 @@ pub fn process_summary_json() -> Option<String> {
         misses,
         result_hits,
         result_misses,
-        result_invalidations
+        result_invalidations,
+        netd.accepted,
+        netd.rejected,
+        netd.timed_out,
+        netd.retried,
+        netd.requests,
+        netd.decode_errors
     ))
 }
 

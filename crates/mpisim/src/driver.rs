@@ -191,14 +191,14 @@ pub fn run_job<R: NodeRuntime + Send>(
     runtimes: &mut [R],
 ) -> JobReport {
     check_job(cluster, job, runtimes);
-    let extra = permits::acquire_up_to(job.nodes.saturating_sub(1));
-    let report = if extra == 0 {
+    // The RAII guard gives the permits back even when a node panics inside
+    // `drive_parallel` and the unwind crosses this frame.
+    let held = permits::acquire_guard(job.nodes.saturating_sub(1));
+    if held.count() == 0 {
         drive_serial(cluster, job, runtimes)
     } else {
-        drive_parallel(cluster, job, runtimes, extra + 1)
-    };
-    permits::release(extra);
-    report
+        drive_parallel(cluster, job, runtimes, held.count() + 1)
+    }
 }
 
 /// Runs `job` strictly serially on the calling thread, never touching the

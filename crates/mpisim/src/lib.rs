@@ -21,4 +21,5 @@ pub use call::{MpiCall, MpiEvent};
 pub use driver::{run_job, run_job_serial, JobReport, NodeReport};
 pub use intercept::{NodeRuntime, NullRuntime, RecordingRuntime};
 pub use job::{CommSpec, IterationSpec, JobSpec};
+pub use permits::PermitGuard;
 pub use trace::{Trace, TraceRecord, TracingRuntime};

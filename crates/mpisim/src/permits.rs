@@ -75,15 +75,52 @@ pub fn release(n: usize) {
     }
 }
 
+/// An RAII permit holder: the permits it took go back to the pool on
+/// `Drop`, so a panicking holder (an engine task, a poller fan-out thread)
+/// can never leak them. Prefer this over the raw
+/// [`acquire_up_to`]/[`release`] pair anywhere a panic can unwind through
+/// the holding scope.
+#[derive(Debug)]
+pub struct PermitGuard {
+    n: usize,
+}
+
+impl PermitGuard {
+    /// How many permits this guard holds (possibly zero).
+    pub fn count(&self) -> usize {
+        self.n
+    }
+}
+
+impl Drop for PermitGuard {
+    fn drop(&mut self) {
+        release(self.n);
+    }
+}
+
+/// Takes up to `max` permits without blocking and returns the RAII guard
+/// holding them. The guard may hold zero permits; callers degrade to
+/// serial execution exactly as with [`acquire_up_to`].
+pub fn acquire_guard(max: usize) -> PermitGuard {
+    PermitGuard {
+        n: acquire_up_to(max),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::{Mutex, PoisonError};
 
-    // The pool is process-global; tests in this module serialise on it by
-    // always restoring what they take.
+    // The pool is process-global; tests in this module serialise on this
+    // lock and always restore what they take.
+    static POOL_TEST_LOCK: Mutex<()> = Mutex::new(());
 
     #[test]
     fn acquire_is_bounded_and_releases_restore() {
+        let _guard = POOL_TEST_LOCK
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         set_spare_threads(3);
         let a = acquire_up_to(2);
         assert_eq!(a, 2);
@@ -96,8 +133,27 @@ mod tests {
 
     #[test]
     fn zero_max_takes_nothing() {
+        let _guard = POOL_TEST_LOCK
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         set_spare_threads(4);
         assert_eq!(acquire_up_to(0), 0);
         assert_eq!(spare_threads(), 4);
+    }
+
+    #[test]
+    fn guard_restores_permits_after_a_panicking_holder() {
+        let _guard = POOL_TEST_LOCK
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        set_spare_threads(4);
+        let outcome = std::panic::catch_unwind(|| {
+            let held = acquire_guard(3);
+            assert_eq!(held.count(), 3);
+            assert_eq!(spare_threads(), 1);
+            panic!("holder died mid-flight");
+        });
+        assert!(outcome.is_err(), "the closure must have panicked");
+        assert_eq!(spare_threads(), 4, "permits leaked across the panic unwind");
     }
 }

@@ -1,0 +1,265 @@
+//! Transport-agnostic connections and listeners.
+//!
+//! The daemon serves — and the client library dials — three transports
+//! behind one pair of enums: Unix-domain sockets (the production node-local
+//! path), TCP (cross-node EARGM traffic) and the in-memory [`crate::pipe`]
+//! (deterministic tests, transport-floor benchmarks). `earsim serve
+//! --socket` strings map to the first two: an address containing `:` is
+//! TCP, anything else is a Unix socket path.
+
+use crate::codec::{self, WireMsg};
+use crate::pipe::{MemConnector, MemListener, PipeEnd};
+use ear_errors::{EarError, EarResult};
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Where a daemon lives, from a client's point of view.
+#[derive(Clone)]
+pub enum Endpoint {
+    /// TCP `host:port`.
+    Tcp(String),
+    /// Unix-domain socket path.
+    Unix(PathBuf),
+    /// In-memory transport (tests, benchmarks).
+    Mem(MemConnector),
+}
+
+impl std::fmt::Debug for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Endpoint::Tcp(addr) => write!(f, "tcp:{addr}"),
+            Endpoint::Unix(path) => write!(f, "unix:{}", path.display()),
+            Endpoint::Mem(_) => write!(f, "mem"),
+        }
+    }
+}
+
+impl Endpoint {
+    /// Parses a `--socket` string: `host:port` when it contains a colon,
+    /// else a Unix socket path.
+    pub fn parse(spec: &str) -> Endpoint {
+        if spec.contains(':') {
+            Endpoint::Tcp(spec.to_string())
+        } else {
+            Endpoint::Unix(PathBuf::from(spec))
+        }
+    }
+
+    /// Opens a connection with a connect deadline (best-effort for Unix
+    /// sockets, which connect locally and have no timed variant in std).
+    pub fn connect(&self, timeout: Duration) -> EarResult<NetConn> {
+        match self {
+            Endpoint::Tcp(addr) => {
+                use std::net::ToSocketAddrs;
+                let mut last = EarError::Io {
+                    path: format!("tcp:{addr}"),
+                    message: "address resolved to nothing".into(),
+                };
+                let addrs = addr
+                    .to_socket_addrs()
+                    .map_err(|e| codec::io_to_ear(&format!("resolve {addr}"), &e))?;
+                for a in addrs {
+                    match TcpStream::connect_timeout(&a, timeout) {
+                        Ok(s) => {
+                            let _ = s.set_nodelay(true);
+                            return Ok(NetConn::Tcp(s));
+                        }
+                        Err(e) => last = codec::io_to_ear(&format!("connect {a}"), &e),
+                    }
+                }
+                Err(last)
+            }
+            Endpoint::Unix(path) => UnixStream::connect(path)
+                .map(NetConn::Unix)
+                .map_err(|e| codec::io_to_ear(&format!("connect {}", path.display()), &e)),
+            Endpoint::Mem(connector) => connector
+                .connect()
+                .map(NetConn::Mem)
+                .map_err(|e| codec::io_to_ear("connect mem", &e)),
+        }
+    }
+}
+
+/// A listening socket in any transport.
+pub enum NetListener {
+    /// TCP listener (non-blocking; polled by [`NetListener::accept_timeout`]).
+    Tcp(TcpListener),
+    /// Unix-domain listener (non-blocking).
+    Unix(UnixListener, PathBuf),
+    /// In-memory listener.
+    Mem(MemListener),
+}
+
+impl NetListener {
+    /// Binds the endpoint described by a `--socket` string.
+    pub fn bind(spec: &str) -> EarResult<NetListener> {
+        if spec.contains(':') {
+            let l = TcpListener::bind(spec)
+                .map_err(|e| codec::io_to_ear(&format!("bind tcp {spec}"), &e))?;
+            l.set_nonblocking(true)
+                .map_err(|e| codec::io_to_ear("set_nonblocking", &e))?;
+            Ok(NetListener::Tcp(l))
+        } else {
+            let path = PathBuf::from(spec);
+            // A previous unclean exit leaves the socket file behind; a
+            // stale file would make bind fail forever.
+            let _ = std::fs::remove_file(&path);
+            let l = UnixListener::bind(&path)
+                .map_err(|e| codec::io_to_ear(&format!("bind unix {spec}"), &e))?;
+            l.set_nonblocking(true)
+                .map_err(|e| codec::io_to_ear("set_nonblocking", &e))?;
+            Ok(NetListener::Unix(l, path))
+        }
+    }
+
+    /// Creates an in-memory listener plus the endpoint clients dial.
+    pub fn in_memory() -> (NetListener, Endpoint) {
+        let (listener, connector) = crate::pipe::mem_channel();
+        (NetListener::Mem(listener), Endpoint::Mem(connector))
+    }
+
+    /// A printable description of where this listener listens.
+    pub fn describe(&self) -> String {
+        match self {
+            NetListener::Tcp(l) => l
+                .local_addr()
+                .map_or_else(|_| "tcp:?".into(), |a| format!("tcp:{a}")),
+            NetListener::Unix(_, path) => format!("unix:{}", path.display()),
+            NetListener::Mem(_) => "mem".into(),
+        }
+    }
+
+    /// Waits up to `timeout` for one connection; `Ok(None)` on timeout.
+    /// Socket transports poll in small slices so a shutdown flag checked
+    /// between calls stays responsive.
+    pub fn accept_timeout(&self, timeout: Duration) -> EarResult<Option<NetConn>> {
+        match self {
+            NetListener::Mem(l) => match l.accept_timeout(timeout) {
+                Ok(conn) => Ok(conn.map(NetConn::Mem)),
+                Err(e) => Err(codec::io_to_ear("accept mem", &e)),
+            },
+            _ => {
+                let deadline = std::time::Instant::now() + timeout;
+                loop {
+                    let got = match self {
+                        NetListener::Tcp(l) => l.accept().map(|(s, _)| {
+                            let _ = s.set_nodelay(true);
+                            NetConn::Tcp(s)
+                        }),
+                        NetListener::Unix(l, _) => l.accept().map(|(s, _)| NetConn::Unix(s)),
+                        NetListener::Mem(_) => unreachable!("handled above"),
+                    };
+                    match got {
+                        Ok(conn) => {
+                            conn.set_blocking()?;
+                            return Ok(Some(conn));
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            if std::time::Instant::now() >= deadline {
+                                return Ok(None);
+                            }
+                            std::thread::sleep(Duration::from_millis(5));
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                        Err(e) => return Err(codec::io_to_ear("accept", &e)),
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Drop for NetListener {
+    fn drop(&mut self) {
+        if let NetListener::Unix(_, path) = self {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// One established connection in any transport.
+pub enum NetConn {
+    /// TCP stream.
+    Tcp(TcpStream),
+    /// Unix-domain stream.
+    Unix(UnixStream),
+    /// In-memory pipe end.
+    Mem(PipeEnd),
+}
+
+impl NetConn {
+    /// Applies per-connection read/write deadlines. The in-memory pipe
+    /// never blocks on write (unbounded buffer), so only its read deadline
+    /// is real.
+    pub fn set_io_timeouts(
+        &mut self,
+        read: Option<Duration>,
+        write: Option<Duration>,
+    ) -> EarResult<()> {
+        let apply = |r: io::Result<()>| r.map_err(|e| codec::io_to_ear("set timeout", &e));
+        match self {
+            NetConn::Tcp(s) => {
+                apply(s.set_read_timeout(read))?;
+                apply(s.set_write_timeout(write))
+            }
+            NetConn::Unix(s) => {
+                apply(s.set_read_timeout(read))?;
+                apply(s.set_write_timeout(write))
+            }
+            NetConn::Mem(p) => {
+                p.set_read_timeout(read);
+                Ok(())
+            }
+        }
+    }
+
+    fn set_blocking(&self) -> EarResult<()> {
+        let r = match self {
+            NetConn::Tcp(s) => s.set_nonblocking(false),
+            NetConn::Unix(s) => s.set_nonblocking(false),
+            NetConn::Mem(_) => Ok(()),
+        };
+        r.map_err(|e| codec::io_to_ear("set_blocking", &e))
+    }
+
+    /// Reads one frame (see [`codec::read_frame`]).
+    pub fn read_msg(&mut self) -> EarResult<Option<WireMsg>> {
+        codec::read_frame(self)
+    }
+
+    /// Writes one frame (see [`codec::write_frame`]).
+    pub fn write_msg(&mut self, msg: &WireMsg) -> EarResult<()> {
+        codec::write_frame(self, msg)
+    }
+}
+
+impl Read for NetConn {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            NetConn::Tcp(s) => s.read(buf),
+            NetConn::Unix(s) => s.read(buf),
+            NetConn::Mem(p) => p.read(buf),
+        }
+    }
+}
+
+impl Write for NetConn {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            NetConn::Tcp(s) => s.write(buf),
+            NetConn::Unix(s) => s.write(buf),
+            NetConn::Mem(p) => p.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            NetConn::Tcp(s) => s.flush(),
+            NetConn::Unix(s) => s.flush(),
+            NetConn::Mem(p) => p.flush(),
+        }
+    }
+}

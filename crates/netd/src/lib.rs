@@ -1,0 +1,47 @@
+//! # ear-netd — the networked EAR daemon stack
+//!
+//! On production clusters the three EAR components are separate processes
+//! wired by sockets: EARL (in the application) talks to its node's EARD
+//! over a local socket, and EARGM polls every EARD over TCP. This crate
+//! reproduces that plumbing, dependency-free:
+//!
+//! - [`codec`] — the length-prefixed binary frame codec for the
+//!   `ear-core` protocol types: explicit little-endian fields, `f64`
+//!   bit-pattern round-tripping, a hard frame-size limit and typed decode
+//!   errors (never a panic on hostile bytes).
+//! - [`pipe`] — an in-memory byte-stream transport with real deadline and
+//!   EOF semantics, so every networked code path is testable
+//!   deterministically without touching the kernel.
+//! - [`conn`] — Unix-domain, TCP and in-memory transports behind one
+//!   listener/connection pair.
+//! - [`server`] — the EARD service loop: a pure request state machine
+//!   ([`EardService`]) behind a bounded, deadline-guarded connection
+//!   server with poison-frame shutdown.
+//! - [`client`] — deadline-guarded requests with bounded jittered-backoff
+//!   retries.
+//! - [`poller`] — the EARGM side: permit-governed fan-out over N daemons,
+//!   report aggregation and cap redistribution.
+//! - [`loadgen`] — the closed-loop load generator behind `earsim loadgen`,
+//!   with a fixed-bucket latency histogram.
+//! - [`stats`] — process-wide service counters surfaced in the
+//!   `earsim-telemetry` summary.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod codec;
+pub mod conn;
+pub mod loadgen;
+pub mod pipe;
+pub mod poller;
+pub mod server;
+pub mod stats;
+
+pub use client::{ClientConfig, NetClient};
+pub use codec::{WireMsg, HEADER_LEN, MAGIC, MAX_PAYLOAD, VERSION};
+pub use conn::{Endpoint, NetConn, NetListener};
+pub use loadgen::{LatencyHistogram, LoadReport, LoadgenConfig};
+pub use pipe::{mem_channel, pipe, MemConnector, MemListener, PipeEnd};
+pub use poller::{EargmPoller, PollRound};
+pub use server::{EardConfig, EardService, ServerConfig, ServerHandle, ServerReport};
+pub use stats::NetdSnapshot;

@@ -1,0 +1,222 @@
+//! In-memory byte-stream transport.
+//!
+//! A [`pipe`] is a pair of connected [`PipeEnd`]s with real stream
+//! semantics — buffered bytes, EOF on peer drop, read deadlines — but no
+//! kernel in the path, so every server and client code path is exercisable
+//! deterministically in unit tests (and the same request stream replayed
+//! over a pipe must produce byte-identical replies to a socket run).
+//!
+//! [`MemListener`]/[`MemConnector`] wrap the pipe into the accept/connect
+//! shape of a socket listener so the server loop is transport-agnostic.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+#[derive(Default)]
+struct Half {
+    buf: VecDeque<u8>,
+    closed: bool,
+}
+
+type Shared = Arc<(Mutex<Half>, Condvar)>;
+
+fn lock(half: &Shared) -> std::sync::MutexGuard<'_, Half> {
+    half.0.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// One end of an in-memory duplex byte stream.
+pub struct PipeEnd {
+    rx: Shared,
+    tx: Shared,
+    read_timeout: Option<Duration>,
+}
+
+/// Creates a connected pair of stream ends. Dropping either end closes its
+/// transmit half: the peer reads the remaining buffered bytes, then EOF.
+pub fn pipe() -> (PipeEnd, PipeEnd) {
+    let a: Shared = Arc::default();
+    let b: Shared = Arc::default();
+    (
+        PipeEnd {
+            rx: Arc::clone(&a),
+            tx: Arc::clone(&b),
+            read_timeout: None,
+        },
+        PipeEnd {
+            rx: b,
+            tx: a,
+            read_timeout: None,
+        },
+    )
+}
+
+impl PipeEnd {
+    /// Sets the read deadline (`None` blocks indefinitely), mirroring
+    /// `TcpStream::set_read_timeout`.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) {
+        self.read_timeout = timeout;
+    }
+}
+
+impl Read for PipeEnd {
+    fn read(&mut self, out: &mut [u8]) -> io::Result<usize> {
+        if out.is_empty() {
+            return Ok(0);
+        }
+        let deadline = self.read_timeout.map(|t| Instant::now() + t);
+        let (mutex, cond) = (&self.rx.0, &self.rx.1);
+        let mut half = mutex.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if !half.buf.is_empty() {
+                let n = out.len().min(half.buf.len());
+                for slot in out.iter_mut().take(n) {
+                    *slot = half.buf.pop_front().unwrap_or(0);
+                }
+                return Ok(n);
+            }
+            if half.closed {
+                return Ok(0);
+            }
+            half = match deadline {
+                None => cond.wait(half).unwrap_or_else(PoisonError::into_inner),
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "pipe read deadline exceeded",
+                        ));
+                    }
+                    cond.wait_timeout(half, deadline - now)
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .0
+                }
+            };
+        }
+    }
+}
+
+impl Write for PipeEnd {
+    fn write(&mut self, bytes: &[u8]) -> io::Result<usize> {
+        let mut half = lock(&self.tx);
+        if half.closed {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "peer closed the pipe",
+            ));
+        }
+        half.buf.extend(bytes.iter().copied());
+        self.tx.1.notify_all();
+        Ok(bytes.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+impl Drop for PipeEnd {
+    fn drop(&mut self) {
+        lock(&self.tx).closed = true;
+        self.tx.1.notify_all();
+        // Wake any reader of our rx half too (a blocked reader on a
+        // dropped end would otherwise wait forever).
+        lock(&self.rx).closed = true;
+        self.rx.1.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Listener / connector
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct HubState {
+    pending: VecDeque<PipeEnd>,
+    closed: bool,
+}
+
+type Hub = Arc<(Mutex<HubState>, Condvar)>;
+
+/// The accept side of the in-memory transport.
+pub struct MemListener {
+    hub: Hub,
+}
+
+/// The connect side of the in-memory transport (cheap to clone; hand one
+/// to every client).
+#[derive(Clone)]
+pub struct MemConnector {
+    hub: Hub,
+}
+
+/// Creates an in-memory listener and its connector.
+pub fn mem_channel() -> (MemListener, MemConnector) {
+    let hub: Hub = Arc::default();
+    (
+        MemListener {
+            hub: Arc::clone(&hub),
+        },
+        MemConnector { hub },
+    )
+}
+
+impl MemListener {
+    /// Waits up to `timeout` for a pending connection. `Ok(None)` on
+    /// timeout; `Err` once the listener is closed and drained.
+    pub fn accept_timeout(&self, timeout: Duration) -> io::Result<Option<PipeEnd>> {
+        let deadline = Instant::now() + timeout;
+        let (mutex, cond) = (&self.hub.0, &self.hub.1);
+        let mut st = mutex.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(end) = st.pending.pop_front() {
+                return Ok(Some(end));
+            }
+            if st.closed {
+                return Err(io::Error::new(
+                    io::ErrorKind::NotConnected,
+                    "in-memory listener closed",
+                ));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(None);
+            }
+            st = cond
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
+        }
+    }
+}
+
+impl Drop for MemListener {
+    fn drop(&mut self) {
+        self.hub
+            .0
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .closed = true;
+        self.hub.1.notify_all();
+    }
+}
+
+impl MemConnector {
+    /// Connects, returning the client end of a fresh pipe. Fails once the
+    /// listener has gone away.
+    pub fn connect(&self) -> io::Result<PipeEnd> {
+        let (client, server) = pipe();
+        let mut st = self.hub.0.lock().unwrap_or_else(PoisonError::into_inner);
+        if st.closed {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                "in-memory listener closed",
+            ));
+        }
+        st.pending.push_back(server);
+        self.hub.1.notify_all();
+        Ok(client)
+    }
+}

@@ -1,0 +1,379 @@
+//! The EARD service loop: a deterministic request state machine behind a
+//! bounded, deadline-guarded connection server.
+//!
+//! [`EardService`] is the pure part — one wire message in, one wire message
+//! out, no clocks and no I/O — so the same request stream produces
+//! byte-identical replies whether it arrives over a Unix socket, TCP or the
+//! in-memory pipe. [`Server`] is the transport part: it accepts
+//! connections on any [`NetListener`], spawns a handler per connection on a
+//! bounded pool (saturated servers answer [`WireMsg::Error`] and close),
+//! applies per-connection read/write deadlines, and exits cleanly when it
+//! receives the [`WireMsg::Shutdown`] poison frame or its optional
+//! wall-clock budget runs out. A client dying mid-frame degrades to a
+//! typed, counted, traced error on that one connection — never a server
+//! crash.
+
+use crate::codec::WireMsg;
+use crate::conn::{NetConn, NetListener};
+use crate::stats;
+use ear_core::policy::NodeFreqs;
+use ear_core::protocol::{DaemonReply, EarlRequest, GmReport};
+use ear_errors::EarResult;
+use ear_trace::{self as trace, TraceEvent, TraceRecord};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Daemon behaviour knobs (the deterministic part).
+#[derive(Debug, Clone)]
+pub struct EardConfig {
+    /// Node index stamped on reports and trace records.
+    pub node: u64,
+    /// Administrative frequency ceiling `SetFreqs` requests are clamped
+    /// against (`None`: requests are granted verbatim, as
+    /// `EarDaemon::new` does).
+    pub ceiling: Option<NodeFreqs>,
+    /// Power reported to EARGM before any signature has arrived (W).
+    pub idle_power_w: f64,
+}
+
+impl Default for EardConfig {
+    fn default() -> Self {
+        EardConfig {
+            node: 0,
+            ceiling: None,
+            idle_power_w: 120.0,
+        }
+    }
+}
+
+/// The deterministic request→reply state machine of one networked daemon.
+///
+/// Mirrors the clamp semantics of `ear_core::eard::EarDaemon::service`: a
+/// faster CPU pstate is a *smaller* index, so the granted pstate is
+/// `max(requested, ceiling)` and both IMC ratios are bounded by the
+/// ceiling's `imc_max_ratio`.
+#[derive(Debug)]
+pub struct EardService {
+    cfg: EardConfig,
+    programmed: Option<NodeFreqs>,
+    signatures: u64,
+    last_sig_power_w: Option<f64>,
+    cap_w: Option<f64>,
+}
+
+impl EardService {
+    /// Creates a service with the given behaviour.
+    pub fn new(cfg: EardConfig) -> Self {
+        EardService {
+            cfg,
+            programmed: None,
+            signatures: 0,
+            last_sig_power_w: None,
+            cap_w: None,
+        }
+    }
+
+    /// The frequencies last granted (what the MSRs would hold).
+    pub fn programmed(&self) -> Option<NodeFreqs> {
+        self.programmed
+    }
+
+    /// Signatures recorded so far.
+    pub fn signatures(&self) -> u64 {
+        self.signatures
+    }
+
+    /// The cap last pushed by EARGM (W).
+    pub fn cap_w(&self) -> Option<f64> {
+        self.cap_w
+    }
+
+    /// The power this daemon reports when polled (W): the last signature's
+    /// DC power, or the configured idle power before any signature.
+    pub fn reported_power_w(&self) -> f64 {
+        self.last_sig_power_w.unwrap_or(self.cfg.idle_power_w)
+    }
+
+    /// Services one request. Returns the reply frame and whether the
+    /// request was the shutdown poison frame.
+    pub fn respond(&mut self, msg: &WireMsg) -> (WireMsg, bool) {
+        match msg {
+            WireMsg::Ping { token } => (WireMsg::Pong { token: *token }, false),
+            WireMsg::Request(EarlRequest::SetFreqs(requested)) => {
+                let granted = match self.cfg.ceiling {
+                    Some(ceiling) => NodeFreqs {
+                        cpu: requested.cpu.max(ceiling.cpu),
+                        imc_min_ratio: requested.imc_min_ratio.min(ceiling.imc_max_ratio),
+                        imc_max_ratio: requested.imc_max_ratio.min(ceiling.imc_max_ratio),
+                    },
+                    None => *requested,
+                };
+                self.programmed = Some(granted);
+                (
+                    WireMsg::Reply(DaemonReply::FreqsApplied {
+                        requested: *requested,
+                        granted,
+                        clamped: granted != *requested,
+                    }),
+                    false,
+                )
+            }
+            WireMsg::Request(EarlRequest::ReportSignature(sig)) => {
+                self.signatures += 1;
+                self.last_sig_power_w = Some(sig.dc_power_w);
+                (
+                    WireMsg::SigAck {
+                        count: self.signatures,
+                    },
+                    false,
+                )
+            }
+            WireMsg::PollPower { .. } => (
+                WireMsg::Report(GmReport {
+                    node: self.cfg.node as usize,
+                    avg_power_w: self.reported_power_w(),
+                }),
+                false,
+            ),
+            WireMsg::Command(cmd) => {
+                self.cap_w = Some(cmd.cap_w);
+                (
+                    WireMsg::CapAck {
+                        node: cmd.node as u64,
+                        cap_w: cmd.cap_w,
+                    },
+                    false,
+                )
+            }
+            WireMsg::Shutdown => (WireMsg::ShutdownAck, true),
+            other => (
+                WireMsg::Error {
+                    message: format!("unexpected frame '{}' at the daemon", other.kind()),
+                },
+                false,
+            ),
+        }
+    }
+}
+
+/// Server transport knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Daemon behaviour.
+    pub eard: EardConfig,
+    /// Maximum concurrent connections; further connects are answered with
+    /// an error frame and closed.
+    pub workers: usize,
+    /// Per-connection read deadline (idle connections are collected).
+    pub read_timeout: Duration,
+    /// Per-connection write deadline.
+    pub write_timeout: Duration,
+    /// Optional wall-clock budget; the server drains and exits when it
+    /// elapses (so an orphaned `earsim serve` cannot run forever in CI).
+    pub max_seconds: Option<f64>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            eard: EardConfig::default(),
+            workers: 8,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            max_seconds: None,
+        }
+    }
+}
+
+/// What a server run did, reported after it exits.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerReport {
+    /// Connections accepted.
+    pub accepted: u64,
+    /// Connections rejected for saturation.
+    pub rejected: u64,
+    /// Requests serviced.
+    pub requests: u64,
+    /// Connections that ended in a protocol/decode error.
+    pub conn_errors: u64,
+    /// Whether exit was triggered by the shutdown poison frame (as
+    /// opposed to the wall-clock budget).
+    pub shutdown_requested: bool,
+}
+
+struct ServerShared {
+    service: Mutex<EardService>,
+    cfg: ServerConfig,
+    shutdown: AtomicBool,
+    active: AtomicUsize,
+    requests: AtomicU64,
+    conn_errors: AtomicU64,
+}
+
+fn lock_service(shared: &ServerShared) -> std::sync::MutexGuard<'_, EardService> {
+    shared
+        .service
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+fn emit_conn(node: u64, action: &str) {
+    trace::emit_with(|| TraceRecord {
+        time_s: 0.0,
+        node,
+        event: TraceEvent::NetConn {
+            action: action.to_string(),
+        },
+    });
+}
+
+fn handle_conn(shared: &ServerShared, mut conn: NetConn) {
+    let node = shared.cfg.eard.node;
+    if conn
+        .set_io_timeouts(
+            Some(shared.cfg.read_timeout),
+            Some(shared.cfg.write_timeout),
+        )
+        .is_err()
+    {
+        emit_conn(node, "error");
+        return;
+    }
+    loop {
+        match conn.read_msg() {
+            Ok(None) => {
+                emit_conn(node, "closed");
+                break;
+            }
+            Ok(Some(msg)) => {
+                let (reply, shutdown) = lock_service(shared).respond(&msg);
+                let ok = !matches!(reply, WireMsg::Error { .. });
+                shared.requests.fetch_add(1, Ordering::Relaxed);
+                stats::request_served();
+                let req = msg.kind();
+                trace::emit_with(|| TraceRecord {
+                    time_s: 0.0,
+                    node,
+                    event: TraceEvent::NetRequest {
+                        req: req.to_string(),
+                        ok,
+                    },
+                });
+                let write = conn.write_msg(&reply);
+                if shutdown {
+                    shared.shutdown.store(true, Ordering::SeqCst);
+                    break;
+                }
+                if write.is_err() {
+                    shared.conn_errors.fetch_add(1, Ordering::Relaxed);
+                    emit_conn(node, "error");
+                    break;
+                }
+            }
+            Err(e) => {
+                // An idle connection hitting its read deadline is
+                // collected, not an error; the client redials on demand.
+                if crate::codec::is_deadline_error(&e) {
+                    stats::deadline_hit();
+                    emit_conn(node, "idle");
+                    break;
+                }
+                // A malformed frame or a peer dying mid-frame: count it,
+                // trace it, best-effort tell the peer, drop the
+                // connection. The server stays up.
+                shared.conn_errors.fetch_add(1, Ordering::Relaxed);
+                stats::decode_error();
+                emit_conn(node, "error");
+                let _ = conn.write_msg(&WireMsg::Error {
+                    message: e.to_string(),
+                });
+                break;
+            }
+        }
+    }
+}
+
+/// Runs the server until the shutdown poison frame arrives (or the
+/// configured wall-clock budget elapses). Blocking; see [`spawn`] for the
+/// background variant.
+pub fn run(listener: NetListener, cfg: ServerConfig) -> EarResult<ServerReport> {
+    let node = cfg.eard.node;
+    let shared = Arc::new(ServerShared {
+        service: Mutex::new(EardService::new(cfg.eard.clone())),
+        cfg,
+        shutdown: AtomicBool::new(false),
+        active: AtomicUsize::new(0),
+        requests: AtomicU64::new(0),
+        conn_errors: AtomicU64::new(0),
+    });
+    let started = Instant::now();
+    let mut report = ServerReport::default();
+    let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        if let Some(budget) = shared.cfg.max_seconds {
+            if started.elapsed().as_secs_f64() >= budget {
+                break;
+            }
+        }
+        match listener.accept_timeout(Duration::from_millis(50))? {
+            None => {}
+            Some(mut conn) => {
+                if shared.active.load(Ordering::SeqCst) >= shared.cfg.workers {
+                    report.rejected += 1;
+                    stats::conn_rejected();
+                    emit_conn(node, "rejected");
+                    let _ = conn.set_io_timeouts(None, Some(shared.cfg.write_timeout));
+                    let _ = conn.write_msg(&WireMsg::Error {
+                        message: "server saturated".to_string(),
+                    });
+                    continue;
+                }
+                report.accepted += 1;
+                stats::conn_accepted();
+                emit_conn(node, "accepted");
+                shared.active.fetch_add(1, Ordering::SeqCst);
+                let worker_shared = Arc::clone(&shared);
+                handles.push(std::thread::spawn(move || {
+                    handle_conn(&worker_shared, conn);
+                    worker_shared.active.fetch_sub(1, Ordering::SeqCst);
+                }));
+            }
+        }
+        handles.retain(|h| !h.is_finished());
+    }
+    // Drain: handler threads exit on their own (read deadlines bound every
+    // wait), so joining cannot hang indefinitely.
+    for h in handles {
+        let _ = h.join();
+    }
+    report.shutdown_requested = shared.shutdown.load(Ordering::SeqCst);
+    report.requests = shared.requests.load(Ordering::Relaxed);
+    report.conn_errors = shared.conn_errors.load(Ordering::Relaxed);
+    Ok(report)
+}
+
+/// A server running on a background thread.
+pub struct ServerHandle {
+    thread: std::thread::JoinHandle<EarResult<ServerReport>>,
+}
+
+impl ServerHandle {
+    /// Waits for the server to exit and returns its report.
+    pub fn join(self) -> EarResult<ServerReport> {
+        match self.thread.join() {
+            Ok(r) => r,
+            Err(_) => Err(ear_errors::EarError::Protocol(
+                "server thread panicked".to_string(),
+            )),
+        }
+    }
+}
+
+/// Starts [`run`] on a background thread (tests, `earsim loadgen`'s
+/// in-process mode).
+pub fn spawn(listener: NetListener, cfg: ServerConfig) -> ServerHandle {
+    ServerHandle {
+        thread: std::thread::spawn(move || run(listener, cfg)),
+    }
+}

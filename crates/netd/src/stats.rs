@@ -1,0 +1,96 @@
+//! Process-wide service counters.
+//!
+//! The networked daemon stack counts its traffic in process-global atomics
+//! — same pattern as the experiment engine's cache counters — so the
+//! `earsim-telemetry` summary line can report serve/loadgen activity
+//! without plumbing a stats handle through every layer. All counters are
+//! monotonically increasing; [`reset`] exists for tests.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ACCEPTED: AtomicU64 = AtomicU64::new(0);
+static REJECTED: AtomicU64 = AtomicU64::new(0);
+static TIMED_OUT: AtomicU64 = AtomicU64::new(0);
+static RETRIED: AtomicU64 = AtomicU64::new(0);
+static REQUESTS: AtomicU64 = AtomicU64::new(0);
+static DECODE_ERRORS: AtomicU64 = AtomicU64::new(0);
+
+/// A point-in-time copy of every netd counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetdSnapshot {
+    /// Connections accepted by a server.
+    pub accepted: u64,
+    /// Connections turned away because the server was saturated.
+    pub rejected: u64,
+    /// Requests that hit a read/write/connect deadline.
+    pub timed_out: u64,
+    /// Client attempts that were retried after a failure.
+    pub retried: u64,
+    /// Requests serviced by a server.
+    pub requests: u64,
+    /// Frames that failed to decode (malformed, truncated, mid-frame
+    /// close).
+    pub decode_errors: u64,
+}
+
+impl NetdSnapshot {
+    /// Whether any counter moved (gates telemetry printing).
+    pub fn any(&self) -> bool {
+        self.accepted != 0
+            || self.rejected != 0
+            || self.timed_out != 0
+            || self.retried != 0
+            || self.requests != 0
+            || self.decode_errors != 0
+    }
+}
+
+/// Reads every counter.
+pub fn snapshot() -> NetdSnapshot {
+    NetdSnapshot {
+        accepted: ACCEPTED.load(Ordering::Relaxed),
+        rejected: REJECTED.load(Ordering::Relaxed),
+        timed_out: TIMED_OUT.load(Ordering::Relaxed),
+        retried: RETRIED.load(Ordering::Relaxed),
+        requests: REQUESTS.load(Ordering::Relaxed),
+        decode_errors: DECODE_ERRORS.load(Ordering::Relaxed),
+    }
+}
+
+/// Zeroes every counter (tests only; production counters are monotonic).
+pub fn reset() {
+    for c in [
+        &ACCEPTED,
+        &REJECTED,
+        &TIMED_OUT,
+        &RETRIED,
+        &REQUESTS,
+        &DECODE_ERRORS,
+    ] {
+        c.store(0, Ordering::Relaxed);
+    }
+}
+
+pub(crate) fn conn_accepted() {
+    ACCEPTED.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn conn_rejected() {
+    REJECTED.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn deadline_hit() {
+    TIMED_OUT.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn attempt_retried() {
+    RETRIED.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn request_served() {
+    REQUESTS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn decode_error() {
+    DECODE_ERRORS.fetch_add(1, Ordering::Relaxed);
+}

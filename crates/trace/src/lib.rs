@@ -125,6 +125,19 @@ pub enum TraceEvent {
         /// Cluster budget in watts.
         budget_w: f64,
     },
+    /// A connection-lifecycle event on the networked daemon server.
+    NetConn {
+        /// What happened (`accepted`, `rejected`, `closed`, `error`).
+        action: String,
+    },
+    /// The networked daemon serviced (or failed to service) one request.
+    NetRequest {
+        /// The wire message kind (rendered as `req` in JSONL; `kind` names
+        /// the event itself there).
+        req: String,
+        /// Whether servicing produced a normal reply.
+        ok: bool,
+    },
 }
 
 impl TraceEvent {
@@ -141,6 +154,8 @@ impl TraceEvent {
             TraceEvent::DaemonClamp { .. } => "daemon_clamp",
             TraceEvent::PowercapVerdict { .. } => "powercap",
             TraceEvent::GmStep { .. } => "gm_step",
+            TraceEvent::NetConn { .. } => "net_conn",
+            TraceEvent::NetRequest { .. } => "net_request",
         }
     }
 }
@@ -320,6 +335,15 @@ pub fn to_json(record: &TraceRecord) -> String {
             push_json_f64(&mut out, *cluster_power_w);
             out.push_str(",\"budget_w\":");
             push_json_f64(&mut out, *budget_w);
+        }
+        TraceEvent::NetConn { action } => {
+            out.push_str(",\"action\":");
+            push_json_str(&mut out, action);
+        }
+        TraceEvent::NetRequest { req, ok } => {
+            out.push_str(",\"req\":");
+            push_json_str(&mut out, req);
+            let _ = write!(out, ",\"ok\":{ok}");
         }
     }
     out.push('}');
@@ -592,6 +616,13 @@ fn record_from_fields(fields: Fields) -> Result<TraceRecord, String> {
             cluster_power_w: fields.num("cluster_power_w")?,
             budget_w: fields.num("budget_w")?,
         },
+        "net_conn" => TraceEvent::NetConn {
+            action: fields.str("action")?,
+        },
+        "net_request" => TraceEvent::NetRequest {
+            req: fields.str("req")?,
+            ok: fields.bool("ok")?,
+        },
         other => return Err(format!("unknown event kind '{other}'")),
     };
     Ok(TraceRecord {
@@ -704,6 +735,21 @@ mod tests {
                 event: TraceEvent::GmStep {
                     cluster_power_w: 1204.5,
                     budget_w: 1100.0,
+                },
+            },
+            TraceRecord {
+                time_s: 31.0,
+                node: 2,
+                event: TraceEvent::NetConn {
+                    action: "accepted".into(),
+                },
+            },
+            TraceRecord {
+                time_s: 31.5,
+                node: 2,
+                event: TraceEvent::NetRequest {
+                    req: "set_freqs".into(),
+                    ok: true,
                 },
             },
             TraceRecord {

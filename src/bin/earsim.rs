@@ -10,6 +10,8 @@
 //! earsim related                      # ME+eU vs the DUF controller
 //! earsim conf                         # print the default ear.conf
 //! earsim all                          # the whole evaluation
+//! earsim serve --socket /tmp/eard.sock   # networked EARD daemon
+//! earsim loadgen --socket /tmp/eard.sock --clients 8 --duration 2
 //! ```
 //!
 //! Run options: `--policy NAME` (default `min_energy_eufs`), `--cpu-th PCT`
@@ -62,6 +64,11 @@ fn usage() -> ! {
          earsim all\n\
          earsim bench [--quick] [--out FILE]   hot-path micro-benchmarks\n\
          earsim bench --verify FILE            validate a BENCH json artifact\n\
+         earsim bench --verify-telemetry FILE  validate an earsim-telemetry line\n\
+         earsim serve --socket PATH|HOST:PORT [--workers N] [--node N]\n\
+         \x20            [--ceiling PSTATE:IMCMAX] [--max-seconds S]\n\
+         earsim loadgen --socket PATH|HOST:PORT [--clients K]\n\
+         \x20            [--duration S] [--shutdown]\n\
          \n\
          global: --jobs N     engine worker threads (default: all cores);\n\
          \x20                results are bit-identical for any worker count.\n\
@@ -292,6 +299,7 @@ fn cmd_bench(rest: &[String]) -> Result<(), EarError> {
     let mut quick = false;
     let mut out: Option<String> = None;
     let mut verify: Option<String> = None;
+    let mut verify_telemetry: Option<String> = None;
     let mut it = rest.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -310,11 +318,37 @@ fn cmd_bench(rest: &[String]) -> Result<(), EarError> {
                     usage();
                 }
             },
+            "--verify-telemetry" => match it.next() {
+                Some(v) => verify_telemetry = Some(v.clone()),
+                None => {
+                    eprintln!("missing value for --verify-telemetry");
+                    usage();
+                }
+            },
             _ => {
                 eprintln!("unknown bench argument '{a}'");
                 usage();
             }
         }
+    }
+    if let Some(path) = verify_telemetry {
+        let text = std::fs::read_to_string(&path).map_err(|e| EarError::io(path.as_str(), e))?;
+        // Accept either the bare JSON object or a captured stderr stream
+        // containing the prefixed `earsim-telemetry: {...}` line.
+        let line = text
+            .lines()
+            .rev()
+            .find_map(|l| {
+                let l = l.trim();
+                l.strip_prefix("earsim-telemetry:")
+                    .map(str::trim)
+                    .or_else(|| l.starts_with('{').then_some(l))
+            })
+            .ok_or_else(|| EarError::config(format!("{path}: no earsim-telemetry line found")))?;
+        ear::experiments::bench::validate_telemetry_json(line)
+            .map_err(|e| EarError::config(format!("{path}: INVALID: {e}")))?;
+        println!("{path}: telemetry valid");
+        return Ok(());
     }
     if let Some(path) = verify {
         let text = std::fs::read_to_string(&path).map_err(|e| EarError::io(path.as_str(), e))?;
@@ -330,6 +364,126 @@ fn cmd_bench(rest: &[String]) -> Result<(), EarError> {
         eprintln!("wrote {path}");
     }
     Ok(())
+}
+
+/// `earsim serve`: runs the networked EARD daemon until the shutdown
+/// poison frame (or `--max-seconds`). Needs a custom argument loop: the
+/// generic `parse_flags` requires a value after every flag.
+fn cmd_serve(rest: &[String]) -> Result<(), EarError> {
+    let mut cfg = ear::netd::ServerConfig::default();
+    let mut socket: Option<String> = None;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        let mut value = |key: &str| match it.next() {
+            Some(v) => v.clone(),
+            None => {
+                eprintln!("missing value for --{key}");
+                usage();
+            }
+        };
+        match a.as_str() {
+            "--socket" => socket = Some(value("socket")),
+            "--workers" => {
+                cfg.workers = parse_num(&value("workers"), "workers");
+                if cfg.workers == 0 {
+                    eprintln!("--workers expects a positive integer");
+                    usage();
+                }
+            }
+            "--node" => cfg.eard.node = parse_num::<u64>(&value("node"), "node"),
+            "--max-seconds" => {
+                cfg.max_seconds = Some(parse_num::<f64>(&value("max-seconds"), "max-seconds"));
+            }
+            "--ceiling" => {
+                let v = value("ceiling");
+                let Some((pstate, imc)) = v.split_once(':') else {
+                    eprintln!("--ceiling expects PSTATE:IMCMAX, got '{v}'");
+                    usage();
+                };
+                cfg.eard.ceiling = Some(ear::core::NodeFreqs {
+                    cpu: parse_num(pstate, "ceiling"),
+                    imc_min_ratio: parse_num(imc, "ceiling"),
+                    imc_max_ratio: parse_num(imc, "ceiling"),
+                });
+            }
+            _ => {
+                eprintln!("unknown serve argument '{a}'");
+                usage();
+            }
+        }
+    }
+    let Some(socket) = socket else {
+        eprintln!("serve needs --socket PATH|HOST:PORT");
+        usage();
+    };
+    let listener = ear::netd::NetListener::bind(&socket)?;
+    eprintln!("earsim: serving on {}", listener.describe());
+    let report = ear::netd::server::run(listener, cfg)?;
+    println!(
+        "accepted {}  rejected {}  requests {}  conn_errors {}  shutdown {}",
+        report.accepted,
+        report.rejected,
+        report.requests,
+        report.conn_errors,
+        report.shutdown_requested
+    );
+    Ok(())
+}
+
+/// `earsim loadgen`: closed-loop load against a running daemon. The
+/// valueless `--shutdown` flag forces a custom argument loop here too.
+fn cmd_loadgen(rest: &[String]) -> Result<(), EarError> {
+    let mut cfg = ear::netd::LoadgenConfig::default();
+    let mut socket: Option<String> = None;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        let mut value = |key: &str| match it.next() {
+            Some(v) => v.clone(),
+            None => {
+                eprintln!("missing value for --{key}");
+                usage();
+            }
+        };
+        match a.as_str() {
+            "--socket" => socket = Some(value("socket")),
+            "--clients" => {
+                cfg.clients = parse_num(&value("clients"), "clients");
+                if cfg.clients == 0 {
+                    eprintln!("--clients expects a positive integer");
+                    usage();
+                }
+            }
+            "--duration" => {
+                let s = parse_num::<f64>(&value("duration"), "duration");
+                if !s.is_finite() || s <= 0.0 {
+                    eprintln!("--duration expects a positive number of seconds");
+                    usage();
+                }
+                cfg.duration = std::time::Duration::from_secs_f64(s);
+            }
+            "--shutdown" => cfg.shutdown_after = true,
+            _ => {
+                eprintln!("unknown loadgen argument '{a}'");
+                usage();
+            }
+        }
+    }
+    let Some(socket) = socket else {
+        eprintln!("loadgen needs --socket PATH|HOST:PORT");
+        usage();
+    };
+    let endpoint = ear::netd::Endpoint::parse(&socket);
+    let report = ear::netd::loadgen::run(&endpoint, &cfg)?;
+    println!("{}", report.render());
+    Ok(())
+}
+
+/// Parses a numeric flag value or dies with usage.
+fn parse_num<T: std::str::FromStr>(v: &str, key: &str) -> T {
+    v.parse().unwrap_or_else(|_| {
+        eprintln!("--{key} expects a number, got '{v}'");
+        usage();
+    })
 }
 
 /// Strips a valueless global `--flag` from anywhere on the line.
@@ -381,6 +535,8 @@ fn real_main(args: Vec<String>) -> Result<(), EarError> {
         Some("conf") => print!("{}", render_ear_conf(&EarlConfig::default())),
         Some("all") => print!("{}", ear::experiments::run_all()),
         Some("bench") => cmd_bench(&args[1..])?,
+        Some("serve") => cmd_serve(&args[1..])?,
+        Some("loadgen") => cmd_loadgen(&args[1..])?,
         _ => usage(),
     }
     Ok(())

@@ -15,6 +15,8 @@
 //! * [`errors`] — the unified [`errors::EarError`] the stack's fallible
 //!   paths return.
 //! * [`trace`] — the ring-buffered structured trace bus (`earsim --trace`).
+//! * [`netd`] — the networked daemon stack: wire codec, EARD server,
+//!   EARGM poller and the `earsim serve`/`loadgen` load generator.
 //!
 //! Start with `examples/quickstart.rs`.
 
@@ -24,6 +26,7 @@ pub use ear_dynais as dynais;
 pub use ear_errors as errors;
 pub use ear_experiments as experiments;
 pub use ear_mpisim as mpisim;
+pub use ear_netd as netd;
 pub use ear_sched as sched;
 pub use ear_trace as trace;
 pub use ear_workloads as workloads;
