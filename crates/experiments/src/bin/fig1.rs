@@ -1,5 +1,11 @@
 //! Regenerates the paper's Figure 1.
 fn main() {
-    print!("{}", ear_experiments::figures::fig1());
+    match ear_experiments::figures::fig1() {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("fig1: {e}");
+            std::process::exit(1);
+        }
+    }
     ear_experiments::engine::print_process_summary();
 }

@@ -1,5 +1,11 @@
 //! Regenerates the paper's Figure 3.
 fn main() {
-    print!("{}", ear_experiments::figures::fig3());
+    match ear_experiments::figures::fig3() {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("fig3: {e}");
+            std::process::exit(1);
+        }
+    }
     ear_experiments::engine::print_process_summary();
 }

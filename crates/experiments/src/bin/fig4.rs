@@ -1,5 +1,11 @@
 //! Regenerates the paper's Figure 4.
 fn main() {
-    print!("{}", ear_experiments::figures::fig4());
+    match ear_experiments::figures::fig4() {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("fig4: {e}");
+            std::process::exit(1);
+        }
+    }
     ear_experiments::engine::print_process_summary();
 }

@@ -1,5 +1,11 @@
 //! Regenerates the paper's Figure 5.
 fn main() {
-    print!("{}", ear_experiments::figures::fig5());
+    match ear_experiments::figures::fig5() {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("fig5: {e}");
+            std::process::exit(1);
+        }
+    }
     ear_experiments::engine::print_process_summary();
 }

@@ -1,5 +1,11 @@
 //! Regenerates the paper's Figure 6.
 fn main() {
-    print!("{}", ear_experiments::figures::fig6());
+    match ear_experiments::figures::fig6() {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("fig6: {e}");
+            std::process::exit(1);
+        }
+    }
     ear_experiments::engine::print_process_summary();
 }

@@ -1,5 +1,11 @@
 //! Regenerates the paper's Figure 7.
 fn main() {
-    print!("{}", ear_experiments::figures::fig7());
+    match ear_experiments::figures::fig7() {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("fig7: {e}");
+            std::process::exit(1);
+        }
+    }
     ear_experiments::engine::print_process_summary();
 }

@@ -1,5 +1,11 @@
 //! Regenerates the paper's Figure 8.
 fn main() {
-    print!("{}", ear_experiments::figures::fig8());
+    match ear_experiments::figures::fig8() {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("fig8: {e}");
+            std::process::exit(1);
+        }
+    }
     ear_experiments::engine::print_process_summary();
 }

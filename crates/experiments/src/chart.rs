@@ -54,8 +54,10 @@ pub fn column_chart(title: &str, points: &[(f64, f64)], unit: &str) -> String {
             LEVELS[lvl.min(8)]
         })
         .collect();
-    let first = points.first().expect("non-empty");
-    let last = points.last().expect("non-empty");
+    // The empty case returned above; the destructure documents it.
+    let (Some(first), Some(last)) = (points.first(), points.last()) else {
+        return out;
+    };
     let peak = points
         .iter()
         .cloned()

@@ -647,9 +647,9 @@ fn run_cells(
             let mut failed_runs = 0;
             let mut busy_s = 0.0;
             for run in 0..runs {
-                let out = slots[p * runs + run]
-                    .get()
-                    .expect("every task slot is filled before the scope ends");
+                let out = slots[p * runs + run].get().unwrap_or_else(|| {
+                    panic!("task slot {p}x{run} was not filled before the scope ended")
+                });
                 busy_s += out.busy_s;
                 match &out.sample {
                     Ok(s) => samples.push(*s),

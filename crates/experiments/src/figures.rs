@@ -1,15 +1,25 @@
 //! Regeneration of every figure in the paper (Fig. 1, 3–8), as data series
 //! printed in table form (the series the paper plots).
+//!
+//! Every entry point returns `Result<_, EarError>`: an unknown workload or
+//! a failed reference cell is a caller-visible error, not a panic — the
+//! `earsim` front end turns it into an exit code, and `run_all` degrades
+//! the one section instead of aborting the whole evaluation.
 
 use crate::chart::{bar_chart, column_chart};
 use crate::engine::run_matrix_default;
 use crate::harness::{compare, format_table, run_cell, Comparison, RunKind};
 use crate::tables::{app_cpu_th, RUNS};
+use ear_errors::EarError;
 use ear_workloads::by_name;
 
 fn pct(x: f64) -> String {
     format!("{x:.2}%")
 }
+
+/// Per-application panels of a multi-application figure (Fig. 7, Fig. 8):
+/// each application's name with its labelled comparisons.
+pub type AppPanels = Vec<(String, Vec<(String, Comparison)>)>;
 
 /// One point of the Fig. 1 uncore sweep.
 #[derive(Debug, Clone)]
@@ -24,8 +34,11 @@ pub struct SweepPoint {
 
 /// Fig. 1 data for one kernel: the HW-UFS reference average IMC and the
 /// sweep from 2.4 GHz down to 1.2 GHz in 100 MHz steps (paper §II).
-pub fn fig1_data(kernel: &str) -> (f64, Vec<SweepPoint>) {
-    let t = by_name(kernel).expect("catalog");
+///
+/// Errors on an unknown kernel or when the HW-UFS reference cell fails
+/// (without it the sweep has nothing to compare against).
+pub fn fig1_data(kernel: &str) -> Result<(f64, Vec<SweepPoint>), EarError> {
+    let t = by_name(kernel).ok_or_else(|| EarError::unknown("workload", kernel))?;
     // The CPU frequency the ME policy would select (paper: sweeps run at
     // the policy-selected CPU frequency, fixed from the beginning).
     let me = run_cell(&t, &RunKind::me(0.05), "ME", RUNS, 108);
@@ -60,7 +73,14 @@ pub fn fig1_data(kernel: &str) -> (f64, Vec<SweepPoint>) {
         &cells,
         &crate::engine::EngineConfig::new(RUNS, 108).legacy_seeds(),
     );
-    let reference = run.get(0).expect("HW UFS reference cell").clone();
+    let reference = run
+        .get(0)
+        .ok_or_else(|| {
+            EarError::config(format!(
+                "fig 1 ({kernel}): the HW UFS reference cell failed, nothing to compare against"
+            ))
+        })?
+        .clone();
     let points = (12..=24u8)
         .rev()
         .enumerate()
@@ -73,12 +93,12 @@ pub fn fig1_data(kernel: &str) -> (f64, Vec<SweepPoint>) {
             })
         })
         .collect();
-    (reference.avg_imc_ghz, points)
+    Ok((reference.avg_imc_ghz, points))
 }
 
 /// Renders Fig. 1 for one kernel.
-pub fn fig1_render(kernel: &str) -> String {
-    let (hw_imc, points) = fig1_data(kernel);
+pub fn fig1_render(kernel: &str) -> Result<String, EarError> {
+    let (hw_imc, points) = fig1_data(kernel)?;
     let rows: Vec<Vec<String>> = points
         .iter()
         .map(|p| {
@@ -113,16 +133,16 @@ pub fn fig1_render(kernel: &str) -> String {
         &series,
         "%",
     ));
-    out
+    Ok(out)
 }
 
 /// Renders both Fig. 1 panels (BT-MZ and LU, paper §II).
-pub fn fig1() -> String {
-    format!(
+pub fn fig1() -> Result<String, EarError> {
+    Ok(format!(
         "{}\n{}",
-        fig1_render("BT-MZ.C (MPI)"),
-        fig1_render("LU.D (MPI)")
-    )
+        fig1_render("BT-MZ.C (MPI)")?,
+        fig1_render("LU.D (MPI)")?
+    ))
 }
 
 /// A generic "policy comparison" figure: one application, several policy
@@ -131,13 +151,13 @@ pub fn fig1() -> String {
 /// Runs through the engine; a failed configuration cell is dropped from
 /// the figure (with a stderr note) instead of aborting the campaign. If
 /// the reference cell itself fails there is nothing to compare against
-/// and the figure is empty.
+/// and the figure is empty. An unknown application is an error.
 pub fn policy_figure(
     app: &str,
     configs: &[(String, RunKind)],
     seed: u64,
-) -> Vec<(String, Comparison)> {
-    let t = by_name(app).expect("catalog");
+) -> Result<Vec<(String, Comparison)>, EarError> {
+    let t = by_name(app).ok_or_else(|| EarError::unknown("workload", app))?;
     let mut cells = vec![("No policy".to_string(), RunKind::NoPolicy)];
     cells.extend_from_slice(configs);
     let run = run_matrix_default(&t, &cells, RUNS, seed);
@@ -149,15 +169,15 @@ pub fn policy_figure(
         );
     }
     let Some(reference) = run.get(0) else {
-        return Vec::new();
+        return Ok(Vec::new());
     };
-    run.cells[1..]
+    Ok(run.cells[1..]
         .iter()
         .filter_map(|c| {
             let r = c.result.as_ref()?;
             Some((r.label.clone(), compare(reference, r)))
         })
-        .collect()
+        .collect())
 }
 
 fn render_policy_figure(title: &str, data: &[(String, Comparison)]) -> String {
@@ -187,7 +207,7 @@ fn render_policy_figure(title: &str, data: &[(String, Comparison)]) -> String {
 
 /// Fig. 3: BQCD under ME and ME+eU with unc_policy_th 1 %, 2 %, 3 %
 /// (cpu_policy_th 3 %).
-pub fn fig3_data() -> Vec<(String, Comparison)> {
+pub fn fig3_data() -> Result<Vec<(String, Comparison)>, EarError> {
     let th = app_cpu_th("BQCD");
     policy_figure(
         "BQCD",
@@ -202,13 +222,16 @@ pub fn fig3_data() -> Vec<(String, Comparison)> {
 }
 
 /// Renders Fig. 3.
-pub fn fig3() -> String {
-    render_policy_figure("Fig 3: BQCD (cpu_policy_th 3%)", &fig3_data())
+pub fn fig3() -> Result<String, EarError> {
+    Ok(render_policy_figure(
+        "Fig 3: BQCD (cpu_policy_th 3%)",
+        &fig3_data()?,
+    ))
 }
 
 /// Fig. 4: BT-MZ under ME and ME+eU with unc_policy_th 0 %, 1 %, 2 %
 /// (cpu_policy_th 3 %).
-pub fn fig4_data() -> Vec<(String, Comparison)> {
+pub fn fig4_data() -> Result<Vec<(String, Comparison)>, EarError> {
     policy_figure(
         "BT-MZ",
         &[
@@ -222,14 +245,17 @@ pub fn fig4_data() -> Vec<(String, Comparison)> {
 }
 
 /// Renders Fig. 4.
-pub fn fig4() -> String {
-    render_policy_figure("Fig 4: BT-MZ (cpu_policy_th 3%)", &fig4_data())
+pub fn fig4() -> Result<String, EarError> {
+    Ok(render_policy_figure(
+        "Fig 4: BT-MZ (cpu_policy_th 3%)",
+        &fig4_data()?,
+    ))
 }
 
 /// Fig. 5: GROMACS(I) with cpu_policy_th 3 % and 5 %: ME, ME with
 /// not-guided uncore (linear search from the maximum) and ME+eU
 /// (HW-guided).
-pub fn fig5_data() -> Vec<(String, Comparison)> {
+pub fn fig5_data() -> Result<Vec<(String, Comparison)>, EarError> {
     let mut out = Vec::new();
     for th in [0.03, 0.05] {
         let label = |s: &str| format!("{s} (cpu {}%)", (th * 100.0) as u32);
@@ -241,22 +267,22 @@ pub fn fig5_data() -> Vec<(String, Comparison)> {
                 (label("ME+eU"), RunKind::me_eufs(th, 0.02)),
             ],
             205,
-        );
+        )?;
         out.extend(data);
     }
-    out
+    Ok(out)
 }
 
 /// Renders Fig. 5.
-pub fn fig5() -> String {
-    render_policy_figure(
+pub fn fig5() -> Result<String, EarError> {
+    Ok(render_policy_figure(
         "Fig 5: GROMACS(I), guided vs not-guided uncore",
-        &fig5_data(),
-    )
+        &fig5_data()?,
+    ))
 }
 
 /// Fig. 6: GROMACS(II), ME vs ME+eU (cpu_policy_th 5 %).
-pub fn fig6_data() -> Vec<(String, Comparison)> {
+pub fn fig6_data() -> Result<Vec<(String, Comparison)>, EarError> {
     policy_figure(
         "GROMACS (II)",
         &[
@@ -268,12 +294,15 @@ pub fn fig6_data() -> Vec<(String, Comparison)> {
 }
 
 /// Renders Fig. 6.
-pub fn fig6() -> String {
-    render_policy_figure("Fig 6: GROMACS(II) (cpu_policy_th 5%)", &fig6_data())
+pub fn fig6() -> Result<String, EarError> {
+    Ok(render_policy_figure(
+        "Fig 6: GROMACS(II) (cpu_policy_th 5%)",
+        &fig6_data()?,
+    ))
 }
 
 /// Fig. 7: HPCG and POP, ME vs ME+eU (cpu_policy_th 5 %).
-pub fn fig7_data() -> Vec<(String, Vec<(String, Comparison)>)> {
+pub fn fig7_data() -> Result<AppPanels, EarError> {
     ["HPCG", "POP"]
         .iter()
         .map(|app| {
@@ -284,24 +313,24 @@ pub fn fig7_data() -> Vec<(String, Vec<(String, Comparison)>)> {
                     ("ME+eU".to_string(), RunKind::me_eufs(0.05, 0.02)),
                 ],
                 207,
-            );
-            (app.to_string(), data)
+            )?;
+            Ok((app.to_string(), data))
         })
         .collect()
 }
 
 /// Renders Fig. 7.
-pub fn fig7() -> String {
-    fig7_data()
+pub fn fig7() -> Result<String, EarError> {
+    Ok(fig7_data()?
         .into_iter()
         .map(|(app, data)| render_policy_figure(&format!("Fig 7: {app} (cpu_policy_th 5%)"), &data))
         .collect::<Vec<_>>()
-        .join("\n")
+        .join("\n"))
 }
 
 /// Fig. 8: DUMSES and AFiD with cpu_policy_th 3 % and 5 %, ME vs ME+eU
 /// (unc_policy_th 2 %).
-pub fn fig8_data() -> Vec<(String, Vec<(String, Comparison)>)> {
+pub fn fig8_data() -> Result<AppPanels, EarError> {
     ["DUMSES", "AFiD"]
         .iter()
         .map(|app| {
@@ -315,18 +344,18 @@ pub fn fig8_data() -> Vec<(String, Vec<(String, Comparison)>)> {
                         (label("ME+eU"), RunKind::me_eufs(th, 0.02)),
                     ],
                     208,
-                ));
+                )?);
             }
-            (app.to_string(), data)
+            Ok((app.to_string(), data))
         })
         .collect()
 }
 
 /// Renders Fig. 8.
-pub fn fig8() -> String {
-    fig8_data()
+pub fn fig8() -> Result<String, EarError> {
+    Ok(fig8_data()?
         .into_iter()
         .map(|(app, data)| render_policy_figure(&format!("Fig 8: {app}"), &data))
         .collect::<Vec<_>>()
-        .join("\n")
+        .join("\n"))
 }

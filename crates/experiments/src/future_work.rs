@@ -43,7 +43,7 @@ fn matrix_all(
 pub fn min_time_eval() -> String {
     let mut rows = Vec::new();
     for app in ["BT-MZ", "HPCG"] {
-        let t = ear_workloads::by_name(app).expect("catalog");
+        let t = crate::harness::catalog(app);
         let settings = PolicySettings {
             def_pstate: 4,
             ..Default::default()
@@ -145,7 +145,7 @@ pub fn comm_intensive_eval() -> String {
 /// a 0.2 GHz band, on a workload with a mid-run phase change — the case
 /// where leaving the minimum down lets the hardware help.
 pub fn range_mode_eval() -> String {
-    let t = ear_workloads::by_name("BT-MZ").expect("catalog");
+    let t = crate::harness::catalog("BT-MZ");
     let mk = |range: ImcRange| RunKind::Policy {
         name: "min_energy_eufs".into(),
         settings: PolicySettings {

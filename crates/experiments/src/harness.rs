@@ -13,6 +13,15 @@ use ear_core::{EarDaemon, Earl, EarlConfig, NodeFreqs, PolicySettings};
 use ear_mpisim::{MpiEvent, NodeRuntime, NullRuntime};
 use ear_workloads::WorkloadTargets;
 
+/// Catalog lookup for an application the crate itself names in a table or
+/// figure: a miss is a bug in that table, not a user error, so this panics
+/// with the offending name. User-supplied names go through
+/// `ear_workloads::by_name` and an `EarError` instead.
+pub(crate) fn catalog(name: &str) -> WorkloadTargets {
+    ear_workloads::by_name(name)
+        .unwrap_or_else(|| panic!("workload '{name}' missing from the catalog"))
+}
+
 /// How a run is driven.
 #[derive(Debug, Clone)]
 pub enum RunKind {
@@ -208,7 +217,11 @@ pub fn run_cell(
         &cells,
         &EngineConfig::new(runs, base_seed).legacy_seeds(),
     );
-    let outcome = run.cells.into_iter().next().expect("one cell in, one out");
+    let outcome = run
+        .cells
+        .into_iter()
+        .next()
+        .unwrap_or_else(|| panic!("engine returned no outcome for the single submitted cell"));
     match outcome.result {
         Some(r) => r,
         None => panic!(

@@ -41,21 +41,29 @@ pub use harness::{compare, format_table, run_cell, run_matrix, Comparison, RunKi
 
 /// Runs every experiment and returns the full report (the `run_all` binary
 /// prints this; EXPERIMENTS.md embeds it).
+///
+/// A figure whose regeneration fails (the figure entry points return
+/// `Result` now) degrades to a one-line placeholder section instead of
+/// aborting the other thirteen sections; on the committed catalog every
+/// section succeeds, so the output is unchanged.
 pub fn run_all() -> String {
+    fn section(r: Result<String, ear_errors::EarError>) -> String {
+        r.unwrap_or_else(|e| format!("[figure skipped: {e}]\n"))
+    }
     let sections = [
         tables::table1(),
-        figures::fig1(),
+        section(figures::fig1()),
         tables::table2(),
         tables::table3(),
         tables::table4(),
         tables::table5(),
         tables::table6(),
-        figures::fig3(),
-        figures::fig4(),
-        figures::fig5(),
-        figures::fig6(),
-        figures::fig7(),
-        figures::fig8(),
+        section(figures::fig3()),
+        section(figures::fig4()),
+        section(figures::fig5()),
+        section(figures::fig6()),
+        section(figures::fig7()),
+        section(figures::fig8()),
         tables::table7(),
     ];
     sections.join("\n")

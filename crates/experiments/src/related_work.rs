@@ -22,7 +22,7 @@ fn pct(x: f64) -> String {
 pub fn duf_comparison() -> String {
     let mut rows = Vec::new();
     for app in ["BT-MZ", "HPCG"] {
-        let t = ear_workloads::by_name(app).expect("catalog");
+        let t = crate::harness::catalog(app);
         let cells = vec![
             ("No policy".to_string(), RunKind::NoPolicy),
             ("ME+eU".to_string(), RunKind::me_eufs(0.05, 0.02)),

@@ -135,8 +135,7 @@ pub fn render_surface(s: &Surface) -> String {
             let mut row = vec![format!(
                 "{:.1} GHz",
                 // Display the nominal table frequency of the pstate.
-                by_name(&s.app)
-                    .expect("catalog")
+                crate::harness::catalog(&s.app)
                     .platform
                     .node_config()
                     .pstates

@@ -6,7 +6,7 @@
 
 use crate::engine::run_matrix_default;
 use crate::harness::{compare, format_table, run_cell, RunKind, RunResult};
-use ear_workloads::{apps, by_name, kernels, WorkloadTargets};
+use ear_workloads::{apps, kernels, WorkloadTargets};
 
 /// Default number of runs per cell (the paper's three).
 pub const RUNS: usize = 3;
@@ -46,7 +46,7 @@ pub fn table1_data() -> Vec<(String, RunResult)> {
     ["BT-MZ.C (MPI)", "LU.D (MPI)"]
         .iter()
         .map(|name| {
-            let t = by_name(name).expect("catalog");
+            let t = crate::harness::catalog(name);
             let r = run_cell(&t, &RunKind::me(0.05), "ME", RUNS, 101);
             (name.to_string(), r)
         })
@@ -177,11 +177,7 @@ pub fn table4_data() -> Vec<(String, [RunResult; 3])> {
             let mut results = matrix_all(t, &cells, 104)?.into_iter();
             Some((
                 t.name.to_string(),
-                [
-                    results.next().unwrap(),
-                    results.next().unwrap(),
-                    results.next().unwrap(),
-                ],
+                [results.next()?, results.next()?, results.next()?],
             ))
         })
         .collect()
@@ -269,11 +265,7 @@ pub fn table6_data() -> Vec<(String, [RunResult; 3])> {
             let mut results = matrix_all(t, &cells, 106)?.into_iter();
             Some((
                 t.name.to_string(),
-                [
-                    results.next().unwrap(),
-                    results.next().unwrap(),
-                    results.next().unwrap(),
-                ],
+                [results.next()?, results.next()?, results.next()?],
             ))
         })
         .collect()
@@ -320,7 +312,7 @@ pub fn table7_data() -> Vec<(String, f64, f64)> {
     ]
     .iter()
     .filter_map(|name| {
-        let t = by_name(name).expect("catalog");
+        let t = crate::harness::catalog(name);
         let th = app_cpu_th(name);
         let cells = vec![
             ("No policy".to_string(), RunKind::NoPolicy),

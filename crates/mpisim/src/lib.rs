@@ -10,6 +10,7 @@
 
 #![warn(missing_docs)]
 
+pub mod breakeven;
 pub mod call;
 pub mod driver;
 pub mod intercept;
@@ -17,6 +18,7 @@ pub mod job;
 pub mod permits;
 pub mod trace;
 
+pub use breakeven::Calibration;
 pub use call::{MpiCall, MpiEvent};
 pub use driver::{run_job, run_job_serial, JobReport, NodeReport};
 pub use intercept::{NodeRuntime, NullRuntime, RecordingRuntime};

@@ -90,6 +90,19 @@ impl PermitGuard {
     pub fn count(&self) -> usize {
         self.n
     }
+
+    /// Returns all but `keep` permits to the pool immediately, keeping the
+    /// rest under the guard. The driver calls this as soon as it knows its
+    /// real worker count (chunking can produce fewer chunks than acquired
+    /// threads, and autotuning can decide on fewer workers — or none), so
+    /// surplus permits go back to the engine's pool for the duration of the
+    /// job instead of being held hostage until `Drop`.
+    pub fn shrink_to(&mut self, keep: usize) {
+        if self.n > keep {
+            release(self.n - keep);
+            self.n = keep;
+        }
+    }
 }
 
 impl Drop for PermitGuard {
@@ -139,6 +152,26 @@ mod tests {
         set_spare_threads(4);
         assert_eq!(acquire_up_to(0), 0);
         assert_eq!(spare_threads(), 4);
+    }
+
+    #[test]
+    fn shrink_to_returns_the_surplus_early() {
+        let _guard = POOL_TEST_LOCK
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        set_spare_threads(6);
+        let mut held = acquire_guard(5);
+        assert_eq!(held.count(), 5);
+        assert_eq!(spare_threads(), 1);
+        held.shrink_to(2);
+        assert_eq!(held.count(), 2);
+        assert_eq!(spare_threads(), 4, "surplus must be back in the pool");
+        held.shrink_to(3);
+        assert_eq!(held.count(), 2, "shrink_to never grows the guard");
+        held.shrink_to(0);
+        assert_eq!(spare_threads(), 6);
+        drop(held);
+        assert_eq!(spare_threads(), 6, "empty guard releases nothing");
     }
 
     #[test]

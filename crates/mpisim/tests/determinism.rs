@@ -8,17 +8,41 @@
 
 use ear_archsim::{Cluster, Node, NodeConfig, PhaseDemand};
 use ear_mpisim::{
-    permits, run_job, run_job_serial, CommSpec, IterationSpec, JobReport, JobSpec, MpiCall,
-    MpiEvent, NullRuntime, RecordingRuntime,
+    breakeven, permits, run_job, run_job_serial, CommSpec, IterationSpec, JobReport, JobSpec,
+    MpiCall, MpiEvent, NodeRuntime, NullRuntime, RecordingRuntime,
 };
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
-/// The permit pool is process-global; tests that configure it must not
-/// interleave. (Cargo runs `#[test]`s on parallel threads by default.)
+/// The permit pool and the break-even override are process-global; tests
+/// that configure them must not interleave. (Cargo runs `#[test]`s on
+/// parallel threads by default.)
 static POOL_LOCK: Mutex<()> = Mutex::new(());
 
 fn lock() -> std::sync::MutexGuard<'static, ()> {
     POOL_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Restores the break-even override (and the permit pool) on drop, so a
+/// failing test cannot leak its forced threshold into the next one.
+struct OverrideGuard;
+
+impl OverrideGuard {
+    /// Forces the break-even threshold for the guard's lifetime.
+    /// `Some(0)` pins the full parallel machinery — these tests exist to
+    /// exercise it, and on a small machine the measured gate would
+    /// otherwise (correctly) route everything serial.
+    fn force(threshold: Option<usize>) -> Self {
+        breakeven::set_override(threshold);
+        OverrideGuard
+    }
+}
+
+impl Drop for OverrideGuard {
+    fn drop(&mut self) {
+        breakeven::set_override(None);
+        permits::set_spare_threads(0);
+    }
 }
 
 fn steady_job(nodes: usize, iterations: usize) -> JobSpec {
@@ -130,6 +154,7 @@ fn run_serial(job: &JobSpec, seed: u64) -> JobReport {
 }
 
 fn run_parallel(job: &JobSpec, seed: u64, spare: usize) -> JobReport {
+    let _force = OverrideGuard::force(Some(0));
     let mut cluster = Cluster::new(NodeConfig::sd530_6148(), job.nodes, seed);
     let mut rts = vec![NullRuntime; job.nodes];
     permits::set_spare_threads(spare);
@@ -186,6 +211,7 @@ fn heterogeneous_cluster_is_deterministic_too() {
     let mut rts = vec![NullRuntime; 4];
     let serial = run_job_serial(&mut serial_cluster, &job, &mut rts);
 
+    let _force = OverrideGuard::force(Some(0));
     let mut parallel_cluster = mk();
     let mut rts = vec![NullRuntime; 4];
     permits::set_spare_threads(3);
@@ -215,6 +241,7 @@ fn exhausted_pool_degrades_to_serial() {
 #[test]
 fn permits_are_returned_after_parallel_run() {
     let _g = lock();
+    let _force = OverrideGuard::force(Some(0));
     let job = steady_job(8, 6);
     permits::set_spare_threads(5);
     let mut cluster = Cluster::new(NodeConfig::sd530_6148(), 8, 9);
@@ -234,6 +261,7 @@ fn runtimes_see_identical_event_streams_in_parallel() {
         (0..8).map(|_| RecordingRuntime::default()).collect();
     run_job_serial(&mut serial_cluster, &job, &mut serial_rts);
 
+    let _force = OverrideGuard::force(Some(0));
     let mut parallel_cluster = Cluster::new(NodeConfig::sd530_6148(), 8, 21);
     let mut parallel_rts: Vec<RecordingRuntime> =
         (0..8).map(|_| RecordingRuntime::default()).collect();
@@ -246,4 +274,202 @@ fn runtimes_see_identical_event_streams_in_parallel() {
         assert_eq!(s.events, p.events);
         assert_eq!(s.ended, p.ended);
     }
+}
+
+/// Records the thread every `on_tick` ran on, and the spare-permit count
+/// the first tick observed — enough to prove which path a job took and
+/// what it did to the pool while running.
+#[derive(Clone)]
+struct ProbeRuntime {
+    caller: std::thread::ThreadId,
+    all_on_caller: Arc<AtomicBool>,
+    first_tick_spare: Arc<AtomicUsize>,
+    ticked: Arc<AtomicBool>,
+}
+
+impl ProbeRuntime {
+    fn new() -> Self {
+        Self {
+            caller: std::thread::current().id(),
+            all_on_caller: Arc::new(AtomicBool::new(true)),
+            first_tick_spare: Arc::new(AtomicUsize::new(usize::MAX)),
+            ticked: Arc::new(AtomicBool::new(false)),
+        }
+    }
+}
+
+impl NodeRuntime for ProbeRuntime {
+    fn on_job_start(&mut self, _node: &mut Node, _job_name: &str, _ranks: usize) {}
+    fn on_mpi_call(&mut self, _node: &mut Node, _event: &MpiEvent) {}
+    fn on_job_end(&mut self, _node: &mut Node) {}
+    fn on_tick(&mut self, _node: &mut Node) {
+        if std::thread::current().id() != self.caller {
+            self.all_on_caller.store(false, Ordering::SeqCst);
+        }
+        if !self.ticked.swap(true, Ordering::SeqCst) {
+            self.first_tick_spare
+                .store(permits::spare_threads(), Ordering::SeqCst);
+        }
+    }
+}
+
+#[test]
+fn break_even_gate_forces_serial_and_returns_permits_immediately() {
+    let _g = lock();
+    // A threshold above the job's node count (the programmatic twin of
+    // `EAR_MPI_BREAK_EVEN=1000`) must route a parallel-capable job down
+    // the serial path with its permits back in the pool *while it runs*.
+    let _force = OverrideGuard::force(Some(1000));
+    let job = steady_job(8, 10);
+    permits::set_spare_threads(7);
+    let probe = ProbeRuntime::new();
+    let mut rts = vec![probe.clone(); 8];
+    let mut cluster = Cluster::new(NodeConfig::sd530_6148(), 8, 31);
+    let gated = run_job(&mut cluster, &job, &mut rts);
+    assert!(
+        probe.all_on_caller.load(Ordering::SeqCst),
+        "below break-even every node must step on the calling thread"
+    );
+    assert_eq!(
+        probe.first_tick_spare.load(Ordering::SeqCst),
+        7,
+        "the gate must return permits before stepping, not on job end"
+    );
+    assert_eq!(permits::spare_threads(), 7);
+    permits::set_spare_threads(0);
+    let serial = run_serial(&job, 31);
+    assert_bit_identical(&serial, &gated);
+}
+
+#[test]
+fn surplus_permits_are_released_while_the_job_runs() {
+    let _g = lock();
+    let _force = OverrideGuard::force(Some(0));
+    // 8 nodes with 6 threads: chunks of ceil(8/7)=2 make only 4 workers,
+    // so 3 of the 6 acquired permits are surplus and must be back in the
+    // pool before the first iteration, not after the job.
+    let job = steady_job(8, 8);
+    permits::set_spare_threads(6);
+    let probe = ProbeRuntime::new();
+    let mut rts = vec![probe.clone(); 8];
+    let mut cluster = Cluster::new(NodeConfig::sd530_6148(), 8, 33);
+    let parallel = run_job(&mut cluster, &job, &mut rts);
+    assert!(
+        probe.first_tick_spare.load(Ordering::SeqCst) >= 3,
+        "surplus permits must be released up front, saw {}",
+        probe.first_tick_spare.load(Ordering::SeqCst)
+    );
+    assert_eq!(permits::spare_threads(), 6, "all permits back on job end");
+    permits::set_spare_threads(0);
+    let serial = run_serial(&job, 33);
+    assert_bit_identical(&serial, &parallel);
+}
+
+/// Drains the whole permit pool from inside the job, the first time any
+/// node ticks — the persistent worker set must be immune to the engine
+/// taking the machine back mid-flight.
+#[derive(Clone)]
+struct StarveRuntime {
+    fired: Arc<AtomicBool>,
+}
+
+impl NodeRuntime for StarveRuntime {
+    fn on_job_start(&mut self, _node: &mut Node, _job_name: &str, _ranks: usize) {}
+    fn on_mpi_call(&mut self, _node: &mut Node, _event: &MpiEvent) {}
+    fn on_job_end(&mut self, _node: &mut Node) {}
+    fn on_tick(&mut self, _node: &mut Node) {
+        if !self.fired.swap(true, Ordering::SeqCst) {
+            permits::set_spare_threads(0);
+        }
+    }
+}
+
+#[test]
+fn persistent_workers_survive_permit_starvation_mid_job() {
+    let _g = lock();
+    let _force = OverrideGuard::force(Some(0));
+    let job = straggler_job(8, 20);
+    permits::set_spare_threads(7);
+    let fired = Arc::new(AtomicBool::new(false));
+    let mut rts = vec![
+        StarveRuntime {
+            fired: Arc::clone(&fired)
+        };
+        8
+    ];
+    let mut cluster = Cluster::new(NodeConfig::sd530_6148(), 8, 55);
+    let parallel = run_job(&mut cluster, &job, &mut rts);
+    assert!(fired.load(Ordering::SeqCst), "the starver must have fired");
+    // The job held 7 permits; the starver zeroed the pool mid-job; on job
+    // end exactly those 7 held permits come back.
+    assert_eq!(
+        permits::spare_threads(),
+        7,
+        "held permits must be released even after mid-job pool churn"
+    );
+    permits::set_spare_threads(0);
+    let mut serial_rts = vec![
+        StarveRuntime {
+            fired: Arc::new(AtomicBool::new(true))
+        };
+        8
+    ];
+    let mut serial_cluster = Cluster::new(NodeConfig::sd530_6148(), 8, 55);
+    let serial = run_job_serial(&mut serial_cluster, &job, &mut serial_rts);
+    assert_bit_identical(&serial, &parallel);
+}
+
+/// Panics on one node's tick of one iteration, on whatever thread that
+/// node's chunk landed.
+#[derive(Clone)]
+struct PanicRuntime {
+    at_tick: usize,
+    ticks: usize,
+    armed: bool,
+}
+
+impl NodeRuntime for PanicRuntime {
+    fn on_job_start(&mut self, _node: &mut Node, _job_name: &str, _ranks: usize) {}
+    fn on_mpi_call(&mut self, _node: &mut Node, _event: &MpiEvent) {}
+    fn on_job_end(&mut self, _node: &mut Node) {}
+    fn on_tick(&mut self, _node: &mut Node) {
+        self.ticks += 1;
+        if self.armed && self.ticks == self.at_tick {
+            panic!("runtime exploded");
+        }
+    }
+}
+
+#[test]
+fn panicking_worker_returns_permits_and_poisons_the_job() {
+    let _g = lock();
+    let _force = OverrideGuard::force(Some(0));
+    let job = steady_job(8, 12);
+    permits::set_spare_threads(7);
+    let mut rts: Vec<PanicRuntime> = (0..8)
+        .map(|i| PanicRuntime {
+            at_tick: 3,
+            ticks: 0,
+            armed: i == 6, // a node on a spawned worker's chunk
+        })
+        .collect();
+    let mut cluster = Cluster::new(NodeConfig::sd530_6148(), 8, 77);
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_job(&mut cluster, &job, &mut rts)
+    }));
+    let payload = outcome.expect_err("the worker panic must propagate to the caller");
+    let message = payload
+        .downcast_ref::<&str>()
+        .copied()
+        .unwrap_or_else(|| payload.downcast_ref::<String>().map_or("", |s| s.as_str()));
+    assert_eq!(
+        message, "runtime exploded",
+        "the original panic payload must survive the gate"
+    );
+    assert_eq!(
+        permits::spare_threads(),
+        7,
+        "every permit must be back after a worker panic"
+    );
+    permits::set_spare_threads(0);
 }

@@ -45,7 +45,7 @@ proptest! {
         // Each job starts exactly when its assigned slots free up (or at
         // its submit time, whichever is later) given the FIFO processing
         // order — no job is delayed beyond what the allocation implies.
-        let mut free = vec![0.0f64; 8];
+        let mut free = [0.0f64; 8];
         for f in finished {
             let slots_free = f
                 .nodes

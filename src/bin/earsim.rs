@@ -30,6 +30,12 @@
 //! Intel model), and `--trace FILE` enables the structured trace bus and
 //! writes the recorded event stream as JSONL when the command finishes.
 //!
+//! `--mpi-break-even N` pins the node count below which the MPI job
+//! driver steps nodes serially instead of fanning out (`0` forces the
+//! parallel path everywhere). It outranks both the `EAR_MPI_BREAK_EVEN`
+//! environment variable and the persisted machine calibration the driver
+//! measures otherwise.
+//!
 //! Results are also cached persistently: every (workload, configuration,
 //! seed) cell's averaged result lands in `target/earsim-cache/` keyed by
 //! a content digest, so repeated invocations are served from disk with
@@ -64,6 +70,8 @@ fn usage() -> ! {
          earsim all\n\
          earsim bench [--quick] [--out FILE]   hot-path micro-benchmarks\n\
          earsim bench --verify FILE            validate a BENCH json artifact\n\
+         \x20                                  (fails rows with speedup < 1.0\n\
+         \x20                                  unless allowlisted)\n\
          earsim bench --verify-telemetry FILE  validate an earsim-telemetry line\n\
          earsim serve --socket PATH|HOST:PORT [--workers N] [--node N]\n\
          \x20            [--ceiling PSTATE:IMCMAX] [--max-seconds S]\n\
@@ -79,7 +87,12 @@ fn usage() -> ! {
          \x20                it to F as JSONL on exit.\n\
          \x20      --no-cache   disable the persistent result cache\n\
          \x20                (default store: target/earsim-cache, or\n\
-         \x20                $EAR_CACHE_DIR; EAR_CACHE=0 also disables)."
+         \x20                $EAR_CACHE_DIR; EAR_CACHE=0 also disables).\n\
+         \x20      --mpi-break-even N\n\
+         \x20                node count below which the MPI job driver\n\
+         \x20                stays serial (0 = always fan out; default: a\n\
+         \x20                persisted machine calibration; the\n\
+         \x20                EAR_MPI_BREAK_EVEN env var works too)."
     );
     exit(2)
 }
@@ -254,7 +267,7 @@ fn cmd_sweep(flags: HashMap<String, String>) -> Result<(), EarError> {
     if by_name(app).is_none() {
         return Err(EarError::unknown("workload", app.as_str()));
     }
-    print!("{}", figures::fig1_render(app));
+    print!("{}", figures::fig1_render(app)?);
     Ok(())
 }
 
@@ -275,13 +288,13 @@ fn cmd_table(n: &str) -> Result<(), EarError> {
 
 fn cmd_fig(n: &str) -> Result<(), EarError> {
     let out = match n {
-        "1" => figures::fig1(),
-        "3" => figures::fig3(),
-        "4" => figures::fig4(),
-        "5" => figures::fig5(),
-        "6" => figures::fig6(),
-        "7" => figures::fig7(),
-        "8" => figures::fig8(),
+        "1" => figures::fig1()?,
+        "3" => figures::fig3()?,
+        "4" => figures::fig4()?,
+        "5" => figures::fig5()?,
+        "6" => figures::fig6()?,
+        "7" => figures::fig7()?,
+        "8" => figures::fig8()?,
         _ => {
             return Err(EarError::config(format!(
                 "figures are 1 and 3..8, got '{n}'"
@@ -354,7 +367,12 @@ fn cmd_bench(rest: &[String]) -> Result<(), EarError> {
         let text = std::fs::read_to_string(&path).map_err(|e| EarError::io(path.as_str(), e))?;
         let n = ear::experiments::bench::validate_json(&text)
             .map_err(|e| EarError::config(format!("{path}: INVALID: {e}")))?;
-        println!("{path}: valid ({n} benches)");
+        // Schema-valid is not enough: a row whose optimised path lost to
+        // the implementation it replaced is a regression and fails the
+        // verify (unless allowlisted — see bench::SPEEDUP_ALLOWLIST).
+        let gated = ear::experiments::bench::verify_speedups(&text)
+            .map_err(|e| EarError::config(format!("{path}: REGRESSION: {e}")))?;
+        println!("{path}: valid ({n} benches, {gated} speedup-gated)");
         return Ok(());
     }
     let report = ear::experiments::bench::run(quick);
@@ -568,6 +586,17 @@ fn main() {
             }
         };
         ear::experiments::set_default_jobs(n);
+    }
+    if let Some(v) = take_global(&mut args, "--mpi-break-even") {
+        let n = match v.parse::<usize>() {
+            Ok(n) => n,
+            _ => {
+                eprintln!("--mpi-break-even expects a non-negative integer");
+                usage();
+            }
+        };
+        // Outranks both EAR_MPI_BREAK_EVEN and the persisted calibration.
+        ear::mpisim::breakeven::set_override(Some(n));
     }
     if let Some(model) = take_global(&mut args, "--model") {
         // Validate up front so a typo fails before hours of simulation.

@@ -102,7 +102,7 @@ fn pck_exceeds_dc_savings_with_varying_gap() {
 /// unc_policy_th, and power savings outpace time penalties.
 #[test]
 fn bqcd_threshold_sweep_is_monotone() {
-    let data = figures::fig3_data();
+    let data = figures::fig3_data().expect("fig 3 data");
     // Rows: ME, eU 1 %, eU 2 %, eU 3 %.
     let savings: Vec<f64> = data.iter().map(|(_, c)| c.energy_saving_pct).collect();
     for w in savings.windows(2) {
@@ -123,7 +123,7 @@ fn bqcd_threshold_sweep_is_monotone() {
 /// memory-intensive kernel (the paper's §II observation).
 #[test]
 fn uncore_sweep_has_an_interior_energy_peak_for_lu() {
-    let (_, points) = figures::fig1_data("LU.D (MPI)");
+    let (_, points) = figures::fig1_data("LU.D (MPI)").expect("fig 1 data");
     let savings: Vec<f64> = points.iter().map(|p| p.vs_hw.energy_saving_pct).collect();
     let peak_idx = savings
         .iter()

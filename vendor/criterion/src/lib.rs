@@ -1,0 +1,244 @@
+//! Vendored mini `criterion`: the subset of the real crate's API this
+//! workspace's `[[bench]]` targets use, reimplemented dependency-free so
+//! the dev graph resolves without registry access.
+//!
+//! Measurement model: each benchmark body runs for a short warm-up, then
+//! for a fixed number of timed samples of adaptively chosen batch size;
+//! the reported figure is the **minimum** mean-per-iteration across
+//! samples (least-noise estimator, same choice as the repo's own
+//! `bench.rs`). Results print one line per benchmark; there are no
+//! reports, baselines or statistics beyond that.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped per measurement. The mini harness
+/// treats every variant the same way: one setup per routine call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per batch in real criterion.
+    SmallInput,
+    /// Large inputs: few per batch in real criterion.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Throughput annotation for a benchmark group; recorded so per-element
+/// figures can be derived from the printed time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing loop handed to each benchmark body.
+pub struct Bencher {
+    samples: usize,
+    warmup: Duration,
+    best_ns_per_iter: f64,
+}
+
+impl Bencher {
+    fn new(samples: usize, warmup: Duration) -> Self {
+        Self {
+            samples,
+            warmup,
+            best_ns_per_iter: f64::INFINITY,
+        }
+    }
+
+    /// Times `routine` repeatedly; the measured figure is the minimum
+    /// mean-per-iteration over the sample batches.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up, and a batch-size estimate targeting ~1 ms per sample.
+        let t0 = Instant::now();
+        let mut calls: u64 = 0;
+        while t0.elapsed() < self.warmup || calls == 0 {
+            std::hint::black_box(routine());
+            calls += 1;
+        }
+        let per_call = t0.elapsed().as_secs_f64() / calls as f64;
+        let batch = ((1e-3 / per_call.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let ns = t.elapsed().as_secs_f64() * 1e9 / batch as f64;
+            self.best_ns_per_iter = self.best_ns_per_iter.min(ns);
+        }
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; only the routine
+    /// is inside the timed region.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let t0 = Instant::now();
+        let mut calls: u64 = 0;
+        while t0.elapsed() < self.warmup || calls == 0 {
+            let input = setup();
+            std::hint::black_box(routine(input));
+            calls += 1;
+        }
+
+        for _ in 0..self.samples {
+            let mut total = Duration::ZERO;
+            let batch = 8u64;
+            for _ in 0..batch {
+                let input = setup();
+                let t = Instant::now();
+                std::hint::black_box(routine(input));
+                total += t.elapsed();
+            }
+            let ns = total.as_secs_f64() * 1e9 / batch as f64;
+            self.best_ns_per_iter = self.best_ns_per_iter.min(ns);
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// The benchmark driver: runs bodies and prints one line per benchmark.
+pub struct Criterion {
+    sample_size: usize,
+    warmup: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 12,
+            warmup: Duration::from_millis(50),
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs one benchmark and prints its timing.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher::new(self.sample_size, self.warmup);
+        f(&mut b);
+        println!("bench {:<44} {}", id, format_ns(b.best_ns_per_iter));
+        self
+    }
+
+    /// Opens a named group; the mini harness only uses the name as a
+    /// prefix on the printed lines.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Annotates per-iteration throughput (recorded, not printed).
+    pub fn throughput(&mut self, _throughput: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let mut b = Bencher::new(samples, self.criterion.warmup);
+        f(&mut b);
+        println!("bench {:<44} {}", id, format_ns(b.best_ns_per_iter));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions under one name, like real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point: runs every group passed to it.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something_finite() {
+        let mut b = Bencher::new(3, Duration::from_millis(1));
+        b.iter(|| std::hint::black_box(1 + 1));
+        assert!(b.best_ns_per_iter.is_finite());
+        assert!(b.best_ns_per_iter >= 0.0);
+    }
+
+    #[test]
+    fn iter_batched_times_only_the_routine() {
+        let mut b = Bencher::new(3, Duration::from_millis(1));
+        b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput);
+        assert!(b.best_ns_per_iter.is_finite());
+    }
+
+    #[test]
+    fn groups_inherit_and_override_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("unit");
+        g.sample_size(2).throughput(Throughput::Elements(1));
+        g.bench_function("noop", |b| b.iter(|| 1));
+        g.finish();
+    }
+}
