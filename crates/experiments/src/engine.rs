@@ -721,8 +721,10 @@ fn record_process(summary: &EngineSummary) {
 }
 
 /// Schema tag stamped on the `earsim-telemetry:` stderr JSON line. v2
-/// added the tag itself and the nested `netd` service counters.
-pub const TELEMETRY_SCHEMA: &str = "earsim-telemetry/v2";
+/// added the tag itself and the nested `netd` service counters; v3 added
+/// `netd.batched_flushes` and the nested `cluster` object (simulated
+/// daemon count, aggregation-tree depth, per-level aggregated reports).
+pub const TELEMETRY_SCHEMA: &str = "earsim-telemetry/v3";
 
 /// The process-wide telemetry aggregated over every engine run so far, as
 /// one JSON line — `None` if neither engine work nor networked-daemon
@@ -745,6 +747,12 @@ pub fn process_summary_json() -> Option<String> {
     } else {
         1.0
     };
+    let cluster = ear_netd::stats::cluster_snapshot();
+    let level_reports: Vec<String> = cluster
+        .level_reports
+        .iter()
+        .map(|n| n.to_string())
+        .collect();
     Some(format!(
         "{{\"schema\":\"{TELEMETRY_SCHEMA}\",\
          \"engine_runs\":{},\"jobs\":{},\"tasks\":{},\"tasks_failed\":{},\
@@ -752,7 +760,10 @@ pub fn process_summary_json() -> Option<String> {
          \"speedup\":{:.2},\"cal_hits\":{},\"cal_misses\":{},\
          \"result_hits\":{},\"result_misses\":{},\"result_invalidations\":{},\
          \"netd\":{{\"accepted\":{},\"rejected\":{},\"timed_out\":{},\
-         \"retried\":{},\"requests\":{},\"decode_errors\":{}}}}}",
+         \"retried\":{},\"requests\":{},\"decode_errors\":{},\
+         \"batched_flushes\":{}}},\
+         \"cluster\":{{\"daemons\":{},\"tree_depth\":{},\
+         \"level_reports\":[{}],\"batched_flushes\":{}}}}}",
         p.engine_runs,
         p.jobs,
         p.tasks,
@@ -771,7 +782,12 @@ pub fn process_summary_json() -> Option<String> {
         netd.timed_out,
         netd.retried,
         netd.requests,
-        netd.decode_errors
+        netd.decode_errors,
+        netd.batched_flushes,
+        cluster.daemons,
+        cluster.tree_depth,
+        level_reports.join(","),
+        cluster.batched_flushes
     ))
 }
 

@@ -25,7 +25,7 @@
 //! - **In-job autotuning**: the first iterations run serially and are
 //!   timed; the measured per-node cost plus the calibrated rendezvous and
 //!   spawn costs pick the worker count (possibly 1 — stay serial).
-//! - **One rendezvous per iteration** ([`HorizonGate`]): workers publish
+//! - **One rendezvous per iteration** (`HorizonGate`): workers publish
 //!   their chunk horizon with a single `AtomicU64::fetch_max` and meet at
 //!   one sense-reversing gate, instead of a slot array, a leader
 //!   reduction and two `std::sync::Barrier` waits.

@@ -50,6 +50,7 @@ pub struct NetClient {
     cfg: ClientConfig,
     conn: Option<NetConn>,
     rng: u64,
+    overhead_nanos: u64,
 }
 
 fn xorshift(state: &mut u64) -> u64 {
@@ -71,6 +72,7 @@ impl NetClient {
             cfg,
             conn: None,
             rng,
+            overhead_nanos: 0,
         }
     }
 
@@ -79,9 +81,25 @@ impl NetClient {
         &self.endpoint
     }
 
+    /// Cumulative time this client has spent outside request/reply
+    /// exchanges: connecting, redialing after a dropped connection, and
+    /// sleeping retry backoffs. The load generator subtracts this from its
+    /// wall clock so throughput measures the service, not the dialing.
+    pub fn overhead_nanos(&self) -> u64 {
+        self.overhead_nanos
+    }
+
+    fn note_overhead(&mut self, since: std::time::Instant) {
+        let ns = since.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.overhead_nanos = self.overhead_nanos.saturating_add(ns);
+    }
+
     fn ensure_conn(&mut self) -> EarResult<&mut NetConn> {
         if self.conn.is_none() {
-            let mut conn = self.endpoint.connect(self.cfg.connect_timeout)?;
+            let dialing = std::time::Instant::now();
+            let connected = self.endpoint.connect(self.cfg.connect_timeout);
+            self.note_overhead(dialing);
+            let mut conn = connected?;
             conn.set_io_timeouts(
                 Some(self.cfg.request_timeout),
                 Some(self.cfg.request_timeout),
@@ -138,7 +156,9 @@ impl NetClient {
             // minimum, never more than nominal.
             let jitter = 0.5 + (xorshift(&mut self.rng) >> 11) as f64 / (1u64 << 53) as f64 / 2.0;
             let nominal = self.cfg.backoff_base.as_secs_f64() * f64::from(1u32 << attempt.min(16));
+            let backoff = std::time::Instant::now();
             std::thread::sleep(Duration::from_secs_f64(nominal * jitter));
+            self.note_overhead(backoff);
             attempt += 1;
         }
     }

@@ -270,53 +270,71 @@ impl<'a> Cursor<'a> {
 // Frame encode/decode
 // ---------------------------------------------------------------------------
 
+/// Encodes `msg` as one complete frame appended to `out` (header +
+/// payload, no intermediate allocation). The payload is written straight
+/// after a reserved header whose length field is patched afterwards, so
+/// batching multiple frames into one flush buffer costs no copies beyond
+/// the field encoding itself. On error `out` is restored to its previous
+/// length.
+pub fn encode_frame_into(out: &mut Vec<u8>, msg: &WireMsg) -> EarResult<()> {
+    let frame_start = out.len();
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.push(msg.tag());
+    put_u32(out, 0); // length, patched below
+    let payload_start = out.len();
+    let body = (|| -> EarResult<()> {
+        match msg {
+            WireMsg::Ping { token } | WireMsg::Pong { token } => put_u64(out, *token),
+            WireMsg::Request(EarlRequest::SetFreqs(f)) => put_freqs(out, f)?,
+            WireMsg::Request(EarlRequest::ReportSignature(s)) => put_signature(out, s),
+            WireMsg::Reply(DaemonReply::FreqsApplied {
+                requested,
+                granted,
+                clamped,
+            }) => {
+                put_freqs(out, requested)?;
+                put_freqs(out, granted)?;
+                out.push(u8::from(*clamped));
+            }
+            WireMsg::Reply(DaemonReply::Rejected { requested }) => put_freqs(out, requested)?,
+            WireMsg::SigAck { count } => put_u64(out, *count),
+            WireMsg::PollPower { node } => put_u64(out, *node),
+            WireMsg::Report(r) => {
+                put_u64(out, r.node as u64);
+                put_f64(out, r.avg_power_w);
+            }
+            WireMsg::Command(c) => {
+                put_u64(out, c.node as u64);
+                put_f64(out, c.cap_w);
+            }
+            WireMsg::CapAck { node, cap_w } => {
+                put_u64(out, *node);
+                put_f64(out, *cap_w);
+            }
+            WireMsg::Error { message } => out.extend_from_slice(message.as_bytes()),
+            WireMsg::Shutdown | WireMsg::ShutdownAck => {}
+        }
+        let len = out.len() - payload_start;
+        if len > MAX_PAYLOAD {
+            return Err(proto(format!(
+                "payload of {len} bytes exceeds the {MAX_PAYLOAD}-byte frame limit"
+            )));
+        }
+        #[allow(clippy::cast_possible_truncation)]
+        out[payload_start - 4..payload_start].copy_from_slice(&(len as u32).to_le_bytes());
+        Ok(())
+    })();
+    if body.is_err() {
+        out.truncate(frame_start);
+    }
+    body
+}
+
 /// Encodes `msg` as one complete frame (header + payload).
 pub fn encode_frame(msg: &WireMsg) -> EarResult<Vec<u8>> {
-    let mut payload = Vec::with_capacity(96);
-    match msg {
-        WireMsg::Ping { token } | WireMsg::Pong { token } => put_u64(&mut payload, *token),
-        WireMsg::Request(EarlRequest::SetFreqs(f)) => put_freqs(&mut payload, f)?,
-        WireMsg::Request(EarlRequest::ReportSignature(s)) => put_signature(&mut payload, s),
-        WireMsg::Reply(DaemonReply::FreqsApplied {
-            requested,
-            granted,
-            clamped,
-        }) => {
-            put_freqs(&mut payload, requested)?;
-            put_freqs(&mut payload, granted)?;
-            payload.push(u8::from(*clamped));
-        }
-        WireMsg::Reply(DaemonReply::Rejected { requested }) => put_freqs(&mut payload, requested)?,
-        WireMsg::SigAck { count } => put_u64(&mut payload, *count),
-        WireMsg::PollPower { node } => put_u64(&mut payload, *node),
-        WireMsg::Report(r) => {
-            put_u64(&mut payload, r.node as u64);
-            put_f64(&mut payload, r.avg_power_w);
-        }
-        WireMsg::Command(c) => {
-            put_u64(&mut payload, c.node as u64);
-            put_f64(&mut payload, c.cap_w);
-        }
-        WireMsg::CapAck { node, cap_w } => {
-            put_u64(&mut payload, *node);
-            put_f64(&mut payload, *cap_w);
-        }
-        WireMsg::Error { message } => payload.extend_from_slice(message.as_bytes()),
-        WireMsg::Shutdown | WireMsg::ShutdownAck => {}
-    }
-    if payload.len() > MAX_PAYLOAD {
-        return Err(proto(format!(
-            "payload of {} bytes exceeds the {MAX_PAYLOAD}-byte frame limit",
-            payload.len()
-        )));
-    }
-    let mut frame = Vec::with_capacity(HEADER_LEN + payload.len());
-    frame.extend_from_slice(&MAGIC);
-    frame.push(VERSION);
-    frame.push(msg.tag());
-    #[allow(clippy::cast_possible_truncation)]
-    put_u32(&mut frame, payload.len() as u32);
-    frame.extend_from_slice(&payload);
+    let mut frame = Vec::with_capacity(HEADER_LEN + 96);
+    encode_frame_into(&mut frame, msg)?;
     Ok(frame)
 }
 
@@ -506,4 +524,112 @@ pub fn read_frame<R: Read>(r: &mut R) -> EarResult<Option<WireMsg>> {
         return Err(proto("connection closed before the frame payload"));
     }
     Ok(Some(decode_payload(tag, &payload)?))
+}
+
+// ---------------------------------------------------------------------------
+// Zero-copy incremental decoding
+// ---------------------------------------------------------------------------
+
+/// How many bytes [`FrameBuffer::fill_from`] asks the transport for at a
+/// time. One read drains a typical socket buffer's worth of coalesced
+/// frames.
+pub const READ_CHUNK: usize = 16 * 1024;
+
+/// A connection's receive buffer plus an incremental, zero-copy frame
+/// decoder over it.
+///
+/// Bytes arrive in arbitrary splits — one byte at a time, header/payload
+/// straddles, many frames coalesced into one read — and accumulate in one
+/// contiguous buffer. [`FrameBuffer::next_frame`] decodes the next complete
+/// frame *in place* (the payload cursor walks the buffer directly; no
+/// intermediate per-frame `Vec` as the blocking [`read_frame`] path
+/// allocates) and returns `Ok(None)` while the frame is still incomplete.
+/// Consumed bytes are reclaimed by shifting only when the dead prefix has
+/// grown past half the buffer, so steady-state costs are amortised O(1)
+/// per byte.
+///
+/// The window `buf[start..end]` holds the undecoded bytes; `buf` beyond
+/// `end` is initialised spare capacity, so refills never re-zero memory.
+#[derive(Debug, Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+    start: usize,
+    end: usize,
+}
+
+impl FrameBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        FrameBuffer::default()
+    }
+
+    /// Undecoded bytes currently buffered.
+    pub fn buffered(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the buffer holds a partial frame (drives the mid-frame vs
+    /// clean-close distinction when the peer hangs up).
+    pub fn mid_frame(&self) -> bool {
+        self.buffered() > 0
+    }
+
+    /// Reclaims consumed prefix space. Cheap bookkeeping when fully
+    /// drained; a single `copy_within` shift otherwise, done only once the
+    /// dead prefix dominates.
+    fn compact(&mut self) {
+        if self.start == self.end {
+            self.start = 0;
+            self.end = 0;
+        } else if self.start > self.buf.len() / 2 && self.start >= READ_CHUNK {
+            self.buf.copy_within(self.start..self.end, 0);
+            self.end -= self.start;
+            self.start = 0;
+        }
+    }
+
+    /// Appends raw bytes (the in-process delivery path: tests feeding
+    /// adversarial splits, the cluster simulator's wire).
+    pub fn push_bytes(&mut self, bytes: &[u8]) {
+        self.compact();
+        if self.end + bytes.len() > self.buf.len() {
+            self.buf.resize(self.end + bytes.len(), 0);
+        }
+        self.buf[self.end..self.end + bytes.len()].copy_from_slice(bytes);
+        self.end += bytes.len();
+    }
+
+    /// One `read` from the transport into spare capacity. Returns the byte
+    /// count (0 is EOF); `WouldBlock`/`TimedOut` surface as `Err` for the
+    /// caller to classify via [`is_timeout`].
+    pub fn fill_from<R: Read>(&mut self, r: &mut R) -> std::io::Result<usize> {
+        self.compact();
+        if self.buf.len() < self.end + READ_CHUNK {
+            self.buf.resize(self.end + READ_CHUNK, 0);
+        }
+        let n = r.read(&mut self.buf[self.end..])?;
+        self.end += n;
+        Ok(n)
+    }
+
+    /// Decodes the next complete frame straight from the buffer.
+    /// `Ok(None)`: more bytes needed. `Err`: the stream is corrupt at the
+    /// current position (the caller must drop the connection; resync is
+    /// impossible on a length-prefixed stream).
+    pub fn next_frame(&mut self) -> EarResult<Option<WireMsg>> {
+        let avail = &self.buf[self.start..self.end];
+        if avail.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        let mut header = [0u8; HEADER_LEN];
+        header.copy_from_slice(&avail[..HEADER_LEN]);
+        let (tag, len) = decode_header(&header)?;
+        if avail.len() < HEADER_LEN + len {
+            return Ok(None);
+        }
+        let msg = decode_payload(tag, &avail[HEADER_LEN..HEADER_LEN + len])?;
+        self.start += HEADER_LEN + len;
+        self.compact();
+        Ok(Some(msg))
+    }
 }

@@ -2,7 +2,7 @@
 //!
 //! The daemon serves — and the client library dials — three transports
 //! behind one pair of enums: Unix-domain sockets (the production node-local
-//! path), TCP (cross-node EARGM traffic) and the in-memory [`crate::pipe`]
+//! path), TCP (cross-node EARGM traffic) and the in-memory [`crate::pipe`](mod@crate::pipe)
 //! (deterministic tests, transport-floor benchmarks). `earsim serve
 //! --socket` strings map to the first two: an address containing `:` is
 //! TCP, anything else is a Unix socket path.
@@ -12,6 +12,7 @@ use crate::pipe::{MemConnector, MemListener, PipeEnd};
 use ear_errors::{EarError, EarResult};
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
+use std::os::unix::io::{AsRawFd, RawFd};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::time::Duration;
@@ -132,6 +133,57 @@ impl NetListener {
         }
     }
 
+    /// The pollable descriptor of a socket listener (`None` for the
+    /// in-memory transport, which the readiness loop services by
+    /// nonblocking accept instead).
+    pub fn raw_fd(&self) -> Option<RawFd> {
+        match self {
+            NetListener::Tcp(l) => Some(l.as_raw_fd()),
+            NetListener::Unix(l, _) => Some(l.as_raw_fd()),
+            NetListener::Mem(_) => None,
+        }
+    }
+
+    /// Accepts one pending connection without blocking; `Ok(None)` when
+    /// none is queued. Unlike [`NetListener::accept_timeout`] the returned
+    /// connection is left in nonblocking mode — the readiness loop owns
+    /// its scheduling from here on.
+    pub fn accept_nonblocking(&self) -> EarResult<Option<NetConn>> {
+        let got = match self {
+            NetListener::Tcp(l) => match l.accept() {
+                Ok((s, _)) => {
+                    let _ = s.set_nodelay(true);
+                    Ok(Some(NetConn::Tcp(s)))
+                }
+                Err(e) => Err(e),
+            },
+            NetListener::Unix(l, _) => match l.accept() {
+                Ok((s, _)) => Ok(Some(NetConn::Unix(s))),
+                Err(e) => Err(e),
+            },
+            NetListener::Mem(l) => match l.accept_timeout(Duration::ZERO) {
+                Ok(conn) => Ok(conn.map(NetConn::Mem)),
+                Err(e) => Err(e),
+            },
+        };
+        match got {
+            Ok(Some(mut conn)) => {
+                conn.set_nonblocking()?;
+                Ok(Some(conn))
+            }
+            Ok(None) => Ok(None),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::Interrupted
+                ) =>
+            {
+                Ok(None)
+            }
+            Err(e) => Err(codec::io_to_ear("accept", &e)),
+        }
+    }
+
     /// Waits up to `timeout` for one connection; `Ok(None)` on timeout.
     /// Socket transports poll in small slices so a shutdown flag checked
     /// between calls stays responsive.
@@ -223,6 +275,32 @@ impl NetConn {
             NetConn::Mem(_) => Ok(()),
         };
         r.map_err(|e| codec::io_to_ear("set_blocking", &e))
+    }
+
+    /// Puts the connection in nonblocking mode: reads and writes return
+    /// `WouldBlock` (sockets) / `TimedOut` (the in-memory pipe, via a zero
+    /// read deadline) instead of parking the thread.
+    pub fn set_nonblocking(&mut self) -> EarResult<()> {
+        let r = match self {
+            NetConn::Tcp(s) => s.set_nonblocking(true),
+            NetConn::Unix(s) => s.set_nonblocking(true),
+            NetConn::Mem(p) => {
+                p.set_read_timeout(Some(Duration::ZERO));
+                Ok(())
+            }
+        };
+        r.map_err(|e| codec::io_to_ear("set_nonblocking", &e))
+    }
+
+    /// The pollable descriptor (`None` for the in-memory pipe; the
+    /// readiness loop services those by nonblocking reads every
+    /// iteration instead of registering them with the kernel).
+    pub fn raw_fd(&self) -> Option<RawFd> {
+        match self {
+            NetConn::Tcp(s) => Some(s.as_raw_fd()),
+            NetConn::Unix(s) => Some(s.as_raw_fd()),
+            NetConn::Mem(_) => None,
+        }
     }
 
     /// Reads one frame (see [`codec::read_frame`]).

@@ -9,7 +9,7 @@
 //!   `ear-core` protocol types: explicit little-endian fields, `f64`
 //!   bit-pattern round-tripping, a hard frame-size limit and typed decode
 //!   errors (never a panic on hostile bytes).
-//! - [`pipe`] — an in-memory byte-stream transport with real deadline and
+//! - [`pipe`](mod@pipe) — an in-memory byte-stream transport with real deadline and
 //!   EOF semantics, so every networked code path is testable
 //!   deterministically without touching the kernel.
 //! - [`conn`] — Unix-domain, TCP and in-memory transports behind one
@@ -23,25 +23,33 @@
 //!   report aggregation and cap redistribution.
 //! - [`loadgen`] — the closed-loop load generator behind `earsim loadgen`,
 //!   with a fixed-bucket latency histogram.
+//! - [`readiness`] — a dependency-free `poll(2)` wrapper; the one kernel
+//!   primitive the nonblocking server loop needs.
+//! - [`cluster`] — `earsim cluster`: thousands of in-process simulated
+//!   daemons behind an EARGM aggregation tree, all traffic through the
+//!   real codec.
 //! - [`stats`] — process-wide service counters surfaced in the
 //!   `earsim-telemetry` summary.
 
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod cluster;
 pub mod codec;
 pub mod conn;
 pub mod loadgen;
 pub mod pipe;
 pub mod poller;
+pub mod readiness;
 pub mod server;
 pub mod stats;
 
 pub use client::{ClientConfig, NetClient};
-pub use codec::{WireMsg, HEADER_LEN, MAGIC, MAX_PAYLOAD, VERSION};
+pub use cluster::{ClusterConfig, ClusterReport, SimCluster};
+pub use codec::{FrameBuffer, WireMsg, HEADER_LEN, MAGIC, MAX_PAYLOAD, VERSION};
 pub use conn::{Endpoint, NetConn, NetListener};
-pub use loadgen::{LatencyHistogram, LoadReport, LoadgenConfig};
+pub use loadgen::{LoadReport, LoadgenConfig};
 pub use pipe::{mem_channel, pipe, MemConnector, MemListener, PipeEnd};
 pub use poller::{EargmPoller, PollRound};
 pub use server::{EardConfig, EardService, ServerConfig, ServerHandle, ServerReport};
-pub use stats::NetdSnapshot;
+pub use stats::{LatencyHistogram, NetdSnapshot};

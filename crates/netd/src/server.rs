@@ -4,22 +4,27 @@
 //! [`EardService`] is the pure part — one wire message in, one wire message
 //! out, no clocks and no I/O — so the same request stream produces
 //! byte-identical replies whether it arrives over a Unix socket, TCP or the
-//! in-memory pipe. [`Server`] is the transport part: it accepts
-//! connections on any [`NetListener`], spawns a handler per connection on a
-//! bounded pool (saturated servers answer [`WireMsg::Error`] and close),
-//! applies per-connection read/write deadlines, and exits cleanly when it
-//! receives the [`WireMsg::Shutdown`] poison frame or its optional
-//! wall-clock budget runs out. A client dying mid-frame degrades to a
-//! typed, counted, traced error on that one connection — never a server
-//! crash.
+//! in-memory pipe. Two transports wrap it with identical protocol
+//! semantics: the original blocking server ([`run`]; thread per connection
+//! on a bounded pool, kept as the timed reference for the `netd_async_rtt`
+//! bench) and the nonblocking readiness-loop server ([`run_async`]; one
+//! thread, `poll(2)`-driven, per-connection state machines with zero-copy
+//! frame decode and batched reply flushes). Both accept connections on any
+//! [`NetListener`], answer [`WireMsg::Error`] and close when saturated,
+//! apply per-connection read/write deadlines, and exit cleanly on the
+//! [`WireMsg::Shutdown`] poison frame or an optional wall-clock budget. A
+//! client dying mid-frame degrades to a typed, counted, traced error on
+//! that one connection — never a server crash.
 
-use crate::codec::WireMsg;
+use crate::codec::{self, FrameBuffer, WireMsg};
 use crate::conn::{NetConn, NetListener};
+use crate::readiness::{self, PollFd, POLLIN, POLLOUT};
 use crate::stats;
 use ear_core::policy::NodeFreqs;
 use ear_core::protocol::{DaemonReply, EarlRequest, GmReport};
 use ear_errors::EarResult;
 use ear_trace::{self as trace, TraceEvent, TraceRecord};
+use std::io::{self, Write};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
@@ -375,5 +380,309 @@ impl ServerHandle {
 pub fn spawn(listener: NetListener, cfg: ServerConfig) -> ServerHandle {
     ServerHandle {
         thread: std::thread::spawn(move || run(listener, cfg)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The nonblocking readiness-loop server.
+// ---------------------------------------------------------------------------
+
+/// One connection owned by the readiness loop: its transport, the incoming
+/// byte window frames are decoded from in place, and the outgoing byte
+/// queue replies are coalesced into.
+struct AsyncConn {
+    io: NetConn,
+    inbuf: FrameBuffer,
+    out: Vec<u8>,
+    written: usize,
+    frames_queued: u64,
+    last_activity: Instant,
+    /// Peer sent EOF; serve what is buffered, flush, then drop.
+    eof: bool,
+    /// The EOF has been classified (clean close vs mid-frame kill).
+    eof_classified: bool,
+    /// Stop reading; drop once `out` drains (error/shutdown path).
+    closing: bool,
+    /// Remove from the table at the end of this iteration.
+    dead: bool,
+}
+
+impl AsyncConn {
+    fn new(io: NetConn) -> Self {
+        AsyncConn {
+            io,
+            inbuf: FrameBuffer::new(),
+            out: Vec::new(),
+            written: 0,
+            frames_queued: 0,
+            last_activity: Instant::now(),
+            eof: false,
+            eof_classified: false,
+            closing: false,
+            dead: false,
+        }
+    }
+
+    fn pending(&self) -> bool {
+        self.written < self.out.len()
+    }
+}
+
+/// How long the loop sleeps in `poll(2)` when at least one in-memory
+/// connection (no pollable fd) must be serviced by nonblocking reads.
+const MEM_TICK: Duration = Duration::from_millis(1);
+/// How long the loop sleeps when every connection is kernel-pollable.
+const IDLE_TICK: Duration = Duration::from_millis(25);
+
+/// Runs the nonblocking readiness-loop server until the shutdown poison
+/// frame arrives (or the wall-clock budget elapses).
+///
+/// One thread owns the listener, every connection and the (un-mutexed)
+/// [`EardService`]; `poll(2)` (via [`crate::readiness`]) reports which
+/// descriptors are ready, partial reads accumulate in each connection's
+/// [`FrameBuffer`] (frames decode zero-copy from that window), and every
+/// reply produced in one iteration is coalesced into a single `write` per
+/// connection — the batched-flush counter in [`stats`] counts the writes
+/// that carried more than one frame. Protocol semantics match the blocking
+/// [`run`] exactly: same saturation error frame, same idle-collection
+/// deadline, same mid-frame-kill accounting, same poison-frame drain — so
+/// reply streams stay byte-identical across the two servers and all three
+/// transports.
+pub fn run_async(listener: NetListener, cfg: ServerConfig) -> EarResult<ServerReport> {
+    let node = cfg.eard.node;
+    let mut service = EardService::new(cfg.eard.clone());
+    let mut report = ServerReport::default();
+    let mut conns: Vec<AsyncConn> = Vec::new();
+    let mut fds: Vec<PollFd> = Vec::new();
+    let started = Instant::now();
+    let mut shutdown_at: Option<Instant> = None;
+    loop {
+        if let Some(budget) = cfg.max_seconds {
+            if started.elapsed().as_secs_f64() >= budget {
+                break;
+            }
+        }
+        if let Some(at) = shutdown_at {
+            // Poison frame seen: exit once every queued reply (the ack
+            // included) has flushed, or the grace period lapses.
+            if conns.iter().all(|c| !c.pending()) || at.elapsed() >= cfg.write_timeout {
+                report.shutdown_requested = true;
+                break;
+            }
+        }
+
+        // Interest registration: rebuilt every iteration because write
+        // interest flips with buffered output. Index 0 is the listener;
+        // connection `i` lives at `1 + i` (unpollable transports hold an
+        // ignored slot to keep the indices aligned).
+        fds.clear();
+        let mut have_mem = false;
+        match listener.raw_fd() {
+            Some(fd) if shutdown_at.is_none() => fds.push(PollFd::new(fd, POLLIN)),
+            Some(_) => fds.push(PollFd::ignored()),
+            None => {
+                have_mem = true;
+                fds.push(PollFd::ignored());
+            }
+        }
+        for c in &conns {
+            match c.io.raw_fd() {
+                Some(fd) => {
+                    let mut interest = 0i16;
+                    if !c.closing && !c.eof {
+                        interest |= POLLIN;
+                    }
+                    if c.pending() {
+                        interest |= POLLOUT;
+                    }
+                    fds.push(if interest != 0 {
+                        PollFd::new(fd, interest)
+                    } else {
+                        PollFd::ignored()
+                    });
+                }
+                None => {
+                    have_mem = true;
+                    fds.push(PollFd::ignored());
+                }
+            }
+        }
+        let tick = if have_mem { MEM_TICK } else { IDLE_TICK };
+        readiness::poll_fds(&mut fds, Some(tick)).map_err(|e| codec::io_to_ear("poll", &e))?;
+
+        // Accept burst: drain the backlog, rejecting beyond the table cap
+        // with the same saturation error frame the blocking server sends.
+        if shutdown_at.is_none() {
+            while let Some(mut conn) = listener.accept_nonblocking()? {
+                if conns.len() >= cfg.workers {
+                    report.rejected += 1;
+                    stats::conn_rejected();
+                    emit_conn(node, "rejected");
+                    let mut frame = Vec::new();
+                    let _ = codec::encode_frame_into(
+                        &mut frame,
+                        &WireMsg::Error {
+                            message: "server saturated".to_string(),
+                        },
+                    );
+                    // Best-effort: a fresh socket buffer takes one small
+                    // frame without blocking; if not, the close itself
+                    // tells the peer.
+                    let _ = conn.write(&frame);
+                    continue;
+                }
+                report.accepted += 1;
+                stats::conn_accepted();
+                emit_conn(node, "accepted");
+                conns.push(AsyncConn::new(conn));
+            }
+        }
+
+        for (i, c) in conns.iter_mut().enumerate() {
+            let slot = fds.get(1 + i).copied();
+            let is_mem = c.io.raw_fd().is_none();
+
+            // Read: one fill per readiness report (level-triggered poll
+            // re-reports leftover bytes next iteration).
+            if !c.closing && !c.eof && (is_mem || slot.is_some_and(|s| s.readable())) {
+                match c.inbuf.fill_from(&mut c.io) {
+                    Ok(0) => c.eof = true,
+                    Ok(_) => c.last_activity = Instant::now(),
+                    Err(e) if codec::is_timeout(&e) => {}
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        report.conn_errors += 1;
+                        emit_conn(node, "error");
+                        c.dead = true;
+                    }
+                }
+            }
+
+            // Decode + respond: frames decode zero-copy from the buffer
+            // window; every reply is appended to the connection's output
+            // queue (one write flushes them all below).
+            if !c.dead && !c.closing {
+                loop {
+                    match c.inbuf.next_frame() {
+                        Ok(None) => break,
+                        Ok(Some(msg)) => {
+                            let (reply, is_shutdown) = service.respond(&msg);
+                            let ok = !matches!(reply, WireMsg::Error { .. });
+                            report.requests += 1;
+                            stats::request_served();
+                            let req = msg.kind();
+                            trace::emit_with(|| TraceRecord {
+                                time_s: 0.0,
+                                node,
+                                event: TraceEvent::NetRequest {
+                                    req: req.to_string(),
+                                    ok,
+                                },
+                            });
+                            let _ = codec::encode_frame_into(&mut c.out, &reply);
+                            c.frames_queued += 1;
+                            if is_shutdown {
+                                shutdown_at.get_or_insert_with(Instant::now);
+                                c.closing = true;
+                                break;
+                            }
+                        }
+                        Err(e) => {
+                            // Malformed frame: count it, best-effort tell
+                            // the peer, stop reading this connection.
+                            report.conn_errors += 1;
+                            stats::decode_error();
+                            emit_conn(node, "error");
+                            let _ = codec::encode_frame_into(
+                                &mut c.out,
+                                &WireMsg::Error {
+                                    message: e.to_string(),
+                                },
+                            );
+                            c.closing = true;
+                            break;
+                        }
+                    }
+                }
+            }
+
+            // EOF classification, after draining every complete frame:
+            // leftover bytes mean the peer died mid-frame — exactly one
+            // typed, counted error, the blocking server's contract. A
+            // clean close just ends the connection.
+            if !c.dead && c.eof && !c.eof_classified {
+                c.eof_classified = true;
+                if c.inbuf.mid_frame() && !c.closing {
+                    report.conn_errors += 1;
+                    stats::decode_error();
+                    emit_conn(node, "error");
+                    c.dead = true;
+                } else {
+                    emit_conn(node, "closed");
+                }
+            }
+
+            // Flush: one write drains every reply queued this iteration.
+            if !c.dead && c.pending() {
+                loop {
+                    match c.io.write(&c.out[c.written..]) {
+                        Ok(0) => {
+                            report.conn_errors += 1;
+                            emit_conn(node, "error");
+                            c.dead = true;
+                            break;
+                        }
+                        Ok(n) => {
+                            c.written += n;
+                            if !c.pending() {
+                                break;
+                            }
+                        }
+                        Err(e) if codec::is_timeout(&e) => break,
+                        Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                        Err(_) => {
+                            report.conn_errors += 1;
+                            emit_conn(node, "error");
+                            c.dead = true;
+                            break;
+                        }
+                    }
+                }
+                if !c.dead && !c.pending() {
+                    if c.frames_queued > 1 {
+                        stats::batched_flush();
+                    }
+                    c.frames_queued = 0;
+                    c.out.clear();
+                    c.written = 0;
+                    c.last_activity = Instant::now();
+                }
+            }
+
+            // A drained EOF/closing connection is done; an idle one past
+            // its read deadline is collected (client redials on demand).
+            if !c.dead && (c.eof || c.closing) && !c.pending() {
+                c.dead = true;
+            }
+            if !c.dead
+                && !c.eof
+                && !c.closing
+                && !c.pending()
+                && c.last_activity.elapsed() >= cfg.read_timeout
+            {
+                stats::deadline_hit();
+                emit_conn(node, "idle");
+                c.dead = true;
+            }
+        }
+        conns.retain(|c| !c.dead);
+    }
+    Ok(report)
+}
+
+/// Starts [`run_async`] on a background thread.
+pub fn spawn_async(listener: NetListener, cfg: ServerConfig) -> ServerHandle {
+    ServerHandle {
+        thread: std::thread::spawn(move || run_async(listener, cfg)),
     }
 }

@@ -1,10 +1,16 @@
-//! Process-wide service counters.
+//! Process-wide service counters and the shared latency histogram.
 //!
 //! The networked daemon stack counts its traffic in process-global atomics
 //! — same pattern as the experiment engine's cache counters — so the
 //! `earsim-telemetry` summary line can report serve/loadgen activity
 //! without plumbing a stats handle through every layer. All counters are
 //! monotonically increasing; [`reset`] exists for tests.
+//!
+//! [`LatencyHistogram`] lives here (it started in `loadgen`) because both
+//! the load generator and the cluster driver record into it; alongside the
+//! power-of-two buckets it tracks the exact observed minimum and maximum,
+//! so reports can print precise extremes next to bucket-resolution
+//! quantiles.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -14,6 +20,23 @@ static TIMED_OUT: AtomicU64 = AtomicU64::new(0);
 static RETRIED: AtomicU64 = AtomicU64::new(0);
 static REQUESTS: AtomicU64 = AtomicU64::new(0);
 static DECODE_ERRORS: AtomicU64 = AtomicU64::new(0);
+static BATCHED_FLUSHES: AtomicU64 = AtomicU64::new(0);
+
+/// Deepest aggregation tree the cluster counters can describe.
+pub const MAX_TREE_LEVELS: usize = 8;
+
+static CLUSTER_DAEMONS: AtomicU64 = AtomicU64::new(0);
+static CLUSTER_TREE_DEPTH: AtomicU64 = AtomicU64::new(0);
+static CLUSTER_LEVEL_REPORTS: [AtomicU64; MAX_TREE_LEVELS] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+];
 
 /// A point-in-time copy of every netd counter.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -31,6 +54,10 @@ pub struct NetdSnapshot {
     /// Frames that failed to decode (malformed, truncated, mid-frame
     /// close).
     pub decode_errors: u64,
+    /// Write flushes that coalesced more than one reply frame (the
+    /// readiness loop batches every reply queued in one iteration into a
+    /// single `write`).
+    pub batched_flushes: u64,
 }
 
 impl NetdSnapshot {
@@ -42,6 +69,28 @@ impl NetdSnapshot {
             || self.retried != 0
             || self.requests != 0
             || self.decode_errors != 0
+            || self.batched_flushes != 0
+    }
+}
+
+/// A point-in-time copy of the cluster-scenario counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClusterSnapshot {
+    /// Simulated daemons the cluster run instantiated.
+    pub daemons: u64,
+    /// Aggregation-tree depth (aggregator levels above the daemons).
+    pub tree_depth: u64,
+    /// Aggregated reports folded at each tree level, leaf level first.
+    pub level_reports: Vec<u64>,
+    /// Batched reply flushes observed during the run (mirror of the
+    /// process-wide counter, scoped here for the nested telemetry object).
+    pub batched_flushes: u64,
+}
+
+impl ClusterSnapshot {
+    /// Whether a cluster scenario ran (gates the nested telemetry object).
+    pub fn any(&self) -> bool {
+        self.daemons != 0
     }
 }
 
@@ -54,6 +103,22 @@ pub fn snapshot() -> NetdSnapshot {
         retried: RETRIED.load(Ordering::Relaxed),
         requests: REQUESTS.load(Ordering::Relaxed),
         decode_errors: DECODE_ERRORS.load(Ordering::Relaxed),
+        batched_flushes: BATCHED_FLUSHES.load(Ordering::Relaxed),
+    }
+}
+
+/// Reads the cluster counters. `level_reports` is truncated to the
+/// recorded tree depth.
+pub fn cluster_snapshot() -> ClusterSnapshot {
+    let depth = CLUSTER_TREE_DEPTH.load(Ordering::Relaxed) as usize;
+    ClusterSnapshot {
+        daemons: CLUSTER_DAEMONS.load(Ordering::Relaxed),
+        tree_depth: depth as u64,
+        level_reports: CLUSTER_LEVEL_REPORTS[..depth.min(MAX_TREE_LEVELS)]
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect(),
+        batched_flushes: BATCHED_FLUSHES.load(Ordering::Relaxed),
     }
 }
 
@@ -66,7 +131,13 @@ pub fn reset() {
         &RETRIED,
         &REQUESTS,
         &DECODE_ERRORS,
+        &BATCHED_FLUSHES,
+        &CLUSTER_DAEMONS,
+        &CLUSTER_TREE_DEPTH,
     ] {
+        c.store(0, Ordering::Relaxed);
+    }
+    for c in &CLUSTER_LEVEL_REPORTS {
         c.store(0, Ordering::Relaxed);
     }
 }
@@ -91,6 +162,122 @@ pub(crate) fn request_served() {
     REQUESTS.fetch_add(1, Ordering::Relaxed);
 }
 
+pub(crate) fn requests_served_bulk(n: u64) {
+    REQUESTS.fetch_add(n, Ordering::Relaxed);
+}
+
 pub(crate) fn decode_error() {
     DECODE_ERRORS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn decode_errors_bulk(n: u64) {
+    DECODE_ERRORS.fetch_add(n, Ordering::Relaxed);
+}
+
+pub(crate) fn batched_flush() {
+    BATCHED_FLUSHES.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn cluster_started(daemons: u64, tree_depth: u64) {
+    CLUSTER_DAEMONS.fetch_add(daemons, Ordering::Relaxed);
+    CLUSTER_TREE_DEPTH.store(tree_depth.min(MAX_TREE_LEVELS as u64), Ordering::Relaxed);
+}
+
+pub(crate) fn level_reports(level: usize, n: u64) {
+    if level < MAX_TREE_LEVELS {
+        CLUSTER_LEVEL_REPORTS[level].fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Number of power-of-two latency buckets (bucket `i` holds samples in
+/// `[2^i, 2^(i+1))` nanoseconds; 2^63 ns ≈ 292 years caps the range).
+pub const BUCKETS: usize = 64;
+
+/// A fixed-bucket latency histogram over nanoseconds, plus exact observed
+/// extremes.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, nanos: u64) {
+        let idx = 63 - nanos.max(1).leading_zeros() as usize;
+        self.buckets[idx.min(BUCKETS - 1)] += 1;
+        self.count += 1;
+        self.min = self.min.min(nanos);
+        self.max = self.max.max(nanos);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The exact smallest recorded sample (ns); 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// The exact largest recorded sample (ns); 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// The `q`-quantile (0 < q ≤ 1) in nanoseconds, resolved to the upper
+    /// bound of the bucket holding that rank; 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return if i >= 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+            }
+        }
+        u64::MAX
+    }
 }

@@ -208,6 +208,60 @@ fn exhaustive_bit_flip_sweep_never_panics() {
 }
 
 #[test]
+fn exhaustive_bit_flip_sweep_agrees_with_the_zero_copy_decoder() {
+    // The incremental FrameBuffer decoder must classify every single-bit
+    // corruption exactly like the one-shot path: same Ok/Err verdict, same
+    // decoded message when Ok — and never panic. (An Ok whose flipped
+    // length field differs makes the buffer wait for more bytes; that
+    // shows up as Ok(None) here and is the one legitimate divergence.)
+    use ear_netd::codec::FrameBuffer;
+    for msg in all_variants() {
+        let frame = encode_frame(&msg).expect("encode");
+        for byte in 0..frame.len() {
+            for bit in 0..8 {
+                let mut f = frame.clone();
+                f[byte] ^= 1 << bit;
+                let mut fb = FrameBuffer::new();
+                fb.push_bytes(&f);
+                match (decode_frame(&f), fb.next_frame()) {
+                    (Ok((a, consumed)), Ok(Some(b))) => {
+                        // Bit-exact agreement (PartialEq would trip over
+                        // flips that produce NaN): re-encoding both must
+                        // yield identical frames.
+                        assert_eq!(
+                            encode_frame(&a).expect("re-encode"),
+                            encode_frame(&b).expect("re-encode"),
+                            "{}: decoders disagree",
+                            msg.kind()
+                        );
+                        // A flip may shrink the frame to a shorter valid
+                        // one; the stream decoder then keeps the
+                        // remainder buffered as the next frame's prefix.
+                        assert!(consumed <= f.len());
+                        assert_eq!(fb.buffered(), f.len() - consumed);
+                    }
+                    // A flipped length field can make the one-shot path
+                    // reject trailing bytes while the stream path keeps
+                    // waiting for the longer advertised payload (or vice
+                    // versa reject a truncation the buffer still expects).
+                    (Err(_), Ok(None)) | (Err(_), Err(_)) => {}
+                    (Ok(_), Ok(None)) => {
+                        // One-shot decoded a shorter frame; the buffer
+                        // must then also produce it once drained — only a
+                        // length flip shrinking the frame lands here.
+                        assert!((4..8).contains(&byte), "unexpected wait at byte {byte}");
+                    }
+                    (a, b) => panic!(
+                        "{} byte {byte} bit {bit}: one-shot {a:?} vs buffered {b:?}",
+                        msg.kind()
+                    ),
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn seeded_random_corpus_never_panics() {
     let mut rng = 0x0DDB_1A5E_5BAD_5EEDu64;
     for round in 0..2000 {

@@ -313,6 +313,193 @@ fn loadgen_closed_loop_over_the_pipe() {
     assert_eq!(sreport.conn_errors, 0);
 }
 
+// ---------------------------------------------------------------------------
+// The readiness-loop server must honour the exact same contract.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn async_server_replies_are_byte_identical_across_all_transports_and_servers() {
+    const N: u64 = 24;
+
+    // Reference stream: the blocking server over the pipe.
+    let (listener, endpoint) = NetListener::in_memory();
+    let blocking = server::spawn(listener, test_server_cfg(0));
+    let reference = drive(&endpoint, N);
+    NetClient::new(endpoint, fast_client())
+        .shutdown()
+        .expect("blocking shutdown");
+    blocking.join().expect("blocking server");
+
+    // Async over the pipe.
+    let (listener, endpoint) = NetListener::in_memory();
+    let mem = server::spawn_async(listener, test_server_cfg(0));
+    let mem_replies = drive(&endpoint, N);
+    NetClient::new(endpoint, fast_client())
+        .shutdown()
+        .expect("mem shutdown");
+    mem.join().expect("async mem server");
+
+    // Async over a Unix socket.
+    let path = uds_path("async-replay");
+    let listener = NetListener::bind(path.to_str().expect("utf-8 temp path")).expect("bind uds");
+    let uds = server::spawn_async(listener, test_server_cfg(0));
+    let uds_endpoint = Endpoint::Unix(path);
+    let uds_replies = drive(&uds_endpoint, N);
+    NetClient::new(uds_endpoint, fast_client())
+        .shutdown()
+        .expect("uds shutdown");
+    uds.join().expect("async uds server");
+
+    // Async over TCP (ephemeral port, read back from the listener).
+    let listener = NetListener::bind("127.0.0.1:0").expect("bind tcp");
+    let addr = listener
+        .describe()
+        .strip_prefix("tcp:")
+        .expect("tcp listener description")
+        .to_string();
+    let tcp = server::spawn_async(listener, test_server_cfg(0));
+    let tcp_endpoint = Endpoint::Tcp(addr);
+    let tcp_replies = drive(&tcp_endpoint, N);
+    NetClient::new(tcp_endpoint, fast_client())
+        .shutdown()
+        .expect("tcp shutdown");
+    tcp.join().expect("async tcp server");
+
+    for (label, stream) in [
+        ("pipe", &mem_replies),
+        ("uds", &uds_replies),
+        ("tcp", &tcp_replies),
+    ] {
+        assert_eq!(reference.len(), stream.len());
+        for (i, (a, b)) in reference.iter().zip(stream.iter()).enumerate() {
+            assert_eq!(
+                a, b,
+                "reply {i} over {label} differs from the blocking server"
+            );
+        }
+    }
+}
+
+#[test]
+fn async_server_survives_a_mid_frame_kill() {
+    let path = uds_path("async-midframe");
+    let listener = NetListener::bind(path.to_str().expect("utf-8 temp path")).expect("bind");
+    let handle = server::spawn_async(listener, test_server_cfg(0));
+    let endpoint = Endpoint::Unix(path);
+
+    {
+        let mut conn = endpoint.connect(Duration::from_secs(2)).expect("connect");
+        let mut torn = encode_frame(&WireMsg::Ping { token: 1 }).expect("encode");
+        torn[4..8].copy_from_slice(&16u32.to_le_bytes());
+        torn.truncate(8 + 3);
+        use std::io::Write;
+        conn.write_all(&torn).expect("partial write");
+        conn.flush().expect("flush");
+    } // dropped: the peer dies mid-frame
+
+    let mut client = NetClient::new(endpoint, fast_client());
+    client.ping(7).expect("server survived the torn frame");
+    client.shutdown().expect("shutdown");
+
+    let report = handle.join().expect("server exits");
+    assert!(report.shutdown_requested);
+    assert_eq!(
+        report.conn_errors, 1,
+        "the torn connection must be counted as exactly one typed error"
+    );
+}
+
+#[test]
+fn async_saturated_server_rejects_with_an_error_frame() {
+    let (listener, endpoint) = NetListener::in_memory();
+    let mut cfg = test_server_cfg(0);
+    cfg.workers = 0;
+    cfg.max_seconds = Some(2.0);
+    let handle = server::spawn_async(listener, cfg);
+
+    let mut client = NetClient::new(endpoint.clone(), fast_client());
+    client.ping(1).expect_err("saturated server must refuse");
+
+    drop(endpoint);
+    let report = handle.join().expect("server exits on its budget");
+    assert!(report.rejected >= 1);
+    assert_eq!(report.accepted, 0);
+}
+
+#[test]
+fn async_server_coalesces_pipelined_requests_into_batched_flushes() {
+    const PIPELINED: u64 = 10;
+
+    let path = uds_path("async-pipeline");
+    let listener = NetListener::bind(path.to_str().expect("utf-8 temp path")).expect("bind");
+    let handle = server::spawn_async(listener, test_server_cfg(0));
+    let endpoint = Endpoint::Unix(path);
+
+    // Write a burst of frames before reading anything: the readiness loop
+    // decodes them all from one buffer fill and answers with one write.
+    let mut conn = endpoint.connect(Duration::from_secs(2)).expect("connect");
+    use std::io::Write;
+    let mut burst = Vec::new();
+    for token in 0..PIPELINED {
+        burst.extend_from_slice(&encode_frame(&WireMsg::Ping { token }).expect("encode"));
+    }
+    conn.write_all(&burst).expect("burst write");
+    conn.flush().expect("flush");
+    conn.set_io_timeouts(Some(Duration::from_secs(2)), Some(Duration::from_secs(2)))
+        .expect("timeouts");
+    for token in 0..PIPELINED {
+        match conn.read_msg().expect("read reply") {
+            Some(WireMsg::Pong { token: echoed }) => assert_eq!(echoed, token),
+            other => panic!("expected pong {token}, got {other:?}"),
+        }
+    }
+    drop(conn);
+
+    NetClient::new(endpoint, fast_client())
+        .shutdown()
+        .expect("shutdown");
+    let report = handle.join().expect("server exits");
+    assert_eq!(report.requests, PIPELINED + 1);
+    assert_eq!(report.conn_errors, 0);
+    // The global counter is monotone and shared across tests, so only its
+    // floor is assertable: this burst must have produced at least one
+    // multi-frame flush.
+    assert!(
+        ear_netd::stats::snapshot().batched_flushes >= 1,
+        "a pipelined burst must coalesce replies into one write"
+    );
+}
+
+#[test]
+fn async_loadgen_over_uds_reports_dial_excluded_throughput() {
+    let path = uds_path("async-loadgen");
+    let listener = NetListener::bind(path.to_str().expect("utf-8 temp path")).expect("bind");
+    let handle = server::spawn_async(listener, test_server_cfg(0));
+    let endpoint = Endpoint::Unix(path);
+
+    let cfg = loadgen::LoadgenConfig {
+        clients: 4,
+        duration: Duration::from_millis(300),
+        client: fast_client(),
+        shutdown_after: true,
+    };
+    let report = loadgen::run(&endpoint, &cfg).expect("loadgen");
+    assert!(report.requests > 0);
+    assert_eq!(report.errors, 0);
+    assert!(report.active_seconds > 0.0);
+    assert!(
+        report.active_seconds <= report.seconds + 1e-9,
+        "active window excludes dialing, so it can never exceed the wall clock"
+    );
+    assert!(report.histogram.min() > 0);
+    assert!(report.histogram.min() <= report.histogram.quantile(0.5));
+    assert!(report.histogram.max() >= report.histogram.quantile(0.99) / 2);
+
+    let sreport = handle.join().expect("server exits");
+    assert!(sreport.shutdown_requested);
+    assert_eq!(sreport.conn_errors, 0);
+}
+
 #[test]
 fn histogram_quantiles_resolve_to_bucket_upper_bounds() {
     let mut h = loadgen::LatencyHistogram::new();

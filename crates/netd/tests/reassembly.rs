@@ -1,0 +1,254 @@
+//! Partial-frame reassembly: the zero-copy [`FrameBuffer`] decoder must
+//! produce the exact same message stream no matter how adversarially the
+//! transport splits the bytes — 1-byte reads, chunks straddling the
+//! header/payload boundary, many frames coalesced into one read — because
+//! the readiness-loop server sees all of these shapes from real sockets.
+
+use ear_core::protocol::{EarlRequest, GmCommand, GmReport};
+use ear_core::Signature;
+use ear_netd::codec::{decode_frame, encode_frame, FrameBuffer};
+use ear_netd::{WireMsg, HEADER_LEN};
+use std::io::Read;
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// A deterministic message stream mixing every payload shape.
+fn sample_stream() -> Vec<WireMsg> {
+    let mut msgs = Vec::new();
+    for i in 0..40u64 {
+        msgs.push(match i % 5 {
+            0 => WireMsg::Ping { token: i },
+            1 => WireMsg::Request(EarlRequest::ReportSignature(Signature {
+                iterations: i as u32 + 1,
+                window_s: 10.0,
+                cpi: 0.8,
+                tpi: 1.5,
+                gbs: 80.0,
+                vpi: 0.05,
+                dc_power_w: 250.0 + i as f64,
+                pkg_power_w: 180.0,
+                avg_cpu_khz: 2_400_000.0,
+                avg_imc_khz: 2_000_000.0,
+            })),
+            2 => WireMsg::Report(GmReport {
+                node: i as usize,
+                avg_power_w: 100.0 + i as f64,
+            }),
+            3 => WireMsg::Command(GmCommand {
+                node: i as usize,
+                cap_w: 300.0,
+            }),
+            _ => WireMsg::Error {
+                message: format!("message {i}"),
+            },
+        });
+    }
+    msgs
+}
+
+fn encode_stream(msgs: &[WireMsg]) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    for m in msgs {
+        bytes.extend_from_slice(&encode_frame(m).expect("encode"));
+    }
+    bytes
+}
+
+/// The one-shot reference: sequential `decode_frame` over the whole
+/// contiguous byte stream.
+fn decode_one_shot(bytes: &[u8]) -> Vec<WireMsg> {
+    let mut out = Vec::new();
+    let mut pos = 0;
+    while pos < bytes.len() {
+        let (msg, used) = decode_frame(&bytes[pos..]).expect("one-shot decode");
+        out.push(msg);
+        pos += used;
+    }
+    out
+}
+
+/// A transport that delivers its bytes in scripted chunk sizes (cycling
+/// when the script runs out).
+struct ChunkedReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    sizes: &'a [usize],
+    k: usize,
+}
+
+impl<'a> ChunkedReader<'a> {
+    fn new(data: &'a [u8], sizes: &'a [usize]) -> Self {
+        ChunkedReader {
+            data,
+            pos: 0,
+            sizes,
+            k: 0,
+        }
+    }
+}
+
+impl Read for ChunkedReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos >= self.data.len() {
+            return Ok(0);
+        }
+        let want = self.sizes[self.k % self.sizes.len()].max(1);
+        self.k += 1;
+        let n = want.min(buf.len()).min(self.data.len() - self.pos);
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+/// Pulls every message out of a reader through the incremental decoder,
+/// interleaving fills and drains exactly like the server loop does.
+fn decode_through<R: Read>(r: &mut R) -> Vec<WireMsg> {
+    let mut fb = FrameBuffer::new();
+    let mut out = Vec::new();
+    loop {
+        while let Some(msg) = fb.next_frame().expect("incremental decode") {
+            out.push(msg);
+        }
+        if fb.fill_from(r).expect("fill") == 0 {
+            assert!(!fb.mid_frame(), "stream must end at a frame boundary");
+            return out;
+        }
+    }
+}
+
+#[test]
+fn one_byte_reads_reproduce_the_one_shot_stream() {
+    let msgs = sample_stream();
+    let bytes = encode_stream(&msgs);
+    let reference = decode_one_shot(&bytes);
+    assert_eq!(reference, msgs);
+
+    let mut r = ChunkedReader::new(&bytes, &[1]);
+    assert_eq!(decode_through(&mut r), reference);
+}
+
+#[test]
+fn header_and_payload_straddling_chunks_reproduce_the_one_shot_stream() {
+    let msgs = sample_stream();
+    let bytes = encode_stream(&msgs);
+    let reference = decode_one_shot(&bytes);
+
+    // Sizes chosen to land mid-header and mid-payload: 7 splits the
+    // header one byte short, 3 and 5 walk through payloads misaligned,
+    // 11 crosses frame boundaries.
+    for sizes in [
+        &[7usize, 1, 3][..],
+        &[HEADER_LEN - 1, 2][..],
+        &[3, 5, 11][..],
+        &[HEADER_LEN, 1][..],
+    ] {
+        let mut r = ChunkedReader::new(&bytes, sizes);
+        assert_eq!(decode_through(&mut r), reference, "sizes {sizes:?}");
+    }
+}
+
+#[test]
+fn coalesced_frames_in_one_read_reproduce_the_one_shot_stream() {
+    let msgs = sample_stream();
+    let bytes = encode_stream(&msgs);
+    let reference = decode_one_shot(&bytes);
+
+    // Chunks far larger than any frame: many frames arrive per read.
+    for sizes in [&[256usize][..], &[1024][..], &[bytes.len()][..]] {
+        let mut r = ChunkedReader::new(&bytes, sizes);
+        assert_eq!(decode_through(&mut r), reference, "sizes {sizes:?}");
+    }
+}
+
+#[test]
+fn seeded_random_split_corpus_reproduces_the_one_shot_stream() {
+    let msgs = sample_stream();
+    let bytes = encode_stream(&msgs);
+    let reference = decode_one_shot(&bytes);
+
+    let mut rng = 0x5EED_CAFE_0123u64;
+    for round in 0..200 {
+        let mut sizes = Vec::new();
+        for _ in 0..16 {
+            sizes.push(1 + (xorshift(&mut rng) % 61) as usize);
+        }
+        let mut r = ChunkedReader::new(&bytes, &sizes);
+        assert_eq!(decode_through(&mut r), reference, "round {round}");
+    }
+}
+
+#[test]
+fn push_bytes_path_matches_the_reader_path() {
+    let msgs = sample_stream();
+    let bytes = encode_stream(&msgs);
+    let reference = decode_one_shot(&bytes);
+
+    // The in-process delivery path (cluster daemons) must agree with the
+    // reader path (sockets): push in odd chunks, draining between pushes.
+    let mut fb = FrameBuffer::new();
+    let mut out = Vec::new();
+    let mut rng = 0xFEEDu64;
+    let mut pos = 0;
+    while pos < bytes.len() {
+        let n = (1 + (xorshift(&mut rng) % 43) as usize).min(bytes.len() - pos);
+        fb.push_bytes(&bytes[pos..pos + n]);
+        pos += n;
+        while let Some(msg) = fb.next_frame().expect("decode") {
+            out.push(msg);
+        }
+    }
+    assert!(!fb.mid_frame());
+    assert_eq!(out, reference);
+}
+
+#[test]
+fn eof_mid_frame_is_detectable() {
+    let bytes = encode_stream(&sample_stream());
+    let torn = &bytes[..bytes.len() - 3];
+    let mut fb = FrameBuffer::new();
+    let mut r = ChunkedReader::new(torn, &[13]);
+    loop {
+        while fb.next_frame().expect("decode").is_some() {}
+        if fb.fill_from(&mut r).expect("fill") == 0 {
+            break;
+        }
+    }
+    assert!(
+        fb.mid_frame(),
+        "bytes left after EOF must read as a mid-frame death"
+    );
+}
+
+#[test]
+fn a_corrupt_frame_surfaces_as_a_typed_error_mid_stream() {
+    let msgs = sample_stream();
+    let mut bytes = encode_stream(&msgs);
+    // Corrupt the magic of the 4th frame.
+    let mut pos = 0;
+    for _ in 0..3 {
+        let (_, used) = decode_frame(&bytes[pos..]).expect("decode");
+        pos += used;
+    }
+    bytes[pos] = 0x00;
+
+    let mut fb = FrameBuffer::new();
+    fb.push_bytes(&bytes);
+    let mut ok = 0;
+    let err = loop {
+        match fb.next_frame() {
+            Ok(Some(_)) => ok += 1,
+            Ok(None) => panic!("corruption must surface as an error"),
+            Err(e) => break e,
+        }
+    };
+    assert_eq!(ok, 3, "frames before the corruption decode normally");
+    assert!(matches!(err, ear_errors::EarError::Protocol(_)));
+}

@@ -75,8 +75,14 @@ fn usage() -> ! {
          earsim bench --verify-telemetry FILE  validate an earsim-telemetry line\n\
          earsim serve --socket PATH|HOST:PORT [--workers N] [--node N]\n\
          \x20            [--ceiling PSTATE:IMCMAX] [--max-seconds S]\n\
+         \x20            [--blocking]   (thread-per-connection server\n\
+         \x20                           instead of the readiness loop)\n\
          earsim loadgen --socket PATH|HOST:PORT [--clients K]\n\
          \x20            [--duration S] [--shutdown]\n\
+         earsim cluster [--nodes N] [--fanout N] [--duration S]\n\
+         \x20            [--shards N] [--poll-every S] [--batch N]\n\
+         \x20            [--budget W]   in-process daemons behind an EARGM\n\
+         \x20                           aggregation tree, real codec\n\
          \n\
          global: --jobs N     engine worker threads (default: all cores);\n\
          \x20                results are bit-identical for any worker count.\n\
@@ -390,6 +396,7 @@ fn cmd_bench(rest: &[String]) -> Result<(), EarError> {
 fn cmd_serve(rest: &[String]) -> Result<(), EarError> {
     let mut cfg = ear::netd::ServerConfig::default();
     let mut socket: Option<String> = None;
+    let mut blocking = false;
     let mut it = rest.iter();
     while let Some(a) = it.next() {
         let mut value = |key: &str| match it.next() {
@@ -424,6 +431,7 @@ fn cmd_serve(rest: &[String]) -> Result<(), EarError> {
                     imc_max_ratio: parse_num(imc, "ceiling"),
                 });
             }
+            "--blocking" => blocking = true,
             _ => {
                 eprintln!("unknown serve argument '{a}'");
                 usage();
@@ -435,8 +443,20 @@ fn cmd_serve(rest: &[String]) -> Result<(), EarError> {
         usage();
     };
     let listener = ear::netd::NetListener::bind(&socket)?;
-    eprintln!("earsim: serving on {}", listener.describe());
-    let report = ear::netd::server::run(listener, cfg)?;
+    eprintln!(
+        "earsim: serving on {} ({})",
+        listener.describe(),
+        if blocking {
+            "blocking"
+        } else {
+            "readiness loop"
+        }
+    );
+    let report = if blocking {
+        ear::netd::server::run(listener, cfg)?
+    } else {
+        ear::netd::server::run_async(listener, cfg)?
+    };
     println!(
         "accepted {}  rejected {}  requests {}  conn_errors {}  shutdown {}",
         report.accepted,
@@ -493,6 +513,84 @@ fn cmd_loadgen(rest: &[String]) -> Result<(), EarError> {
     let endpoint = ear::netd::Endpoint::parse(&socket);
     let report = ear::netd::loadgen::run(&endpoint, &cfg)?;
     println!("{}", report.render());
+    Ok(())
+}
+
+/// `earsim cluster`: thousands of in-process simulated daemons behind an
+/// EARGM aggregation tree, every byte through the real codec. Exits
+/// nonzero on any protocol or decode error.
+fn cmd_cluster(rest: &[String]) -> Result<(), EarError> {
+    let mut cfg = ear::netd::ClusterConfig::default();
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        let mut value = |key: &str| match it.next() {
+            Some(v) => v.clone(),
+            None => {
+                eprintln!("missing value for --{key}");
+                usage();
+            }
+        };
+        let positive_secs = |v: &str, key: &str| {
+            let s = parse_num::<f64>(v, key);
+            if !s.is_finite() || s <= 0.0 {
+                eprintln!("--{key} expects a positive number of seconds");
+                usage();
+            }
+            std::time::Duration::from_secs_f64(s)
+        };
+        match a.as_str() {
+            "--nodes" => {
+                cfg.nodes = parse_num(&value("nodes"), "nodes");
+                if cfg.nodes == 0 {
+                    eprintln!("--nodes expects a positive integer");
+                    usage();
+                }
+            }
+            "--fanout" => {
+                cfg.fanout = parse_num(&value("fanout"), "fanout");
+                if cfg.fanout < 2 {
+                    eprintln!("--fanout expects an integer >= 2");
+                    usage();
+                }
+            }
+            "--shards" => {
+                let n: usize = parse_num(&value("shards"), "shards");
+                if n == 0 {
+                    eprintln!("--shards expects a positive integer");
+                    usage();
+                }
+                cfg.shards = Some(n);
+            }
+            "--duration" => cfg.duration = positive_secs(&value("duration"), "duration"),
+            "--poll-every" => cfg.poll_every = positive_secs(&value("poll-every"), "poll-every"),
+            "--batch" => {
+                cfg.batch = parse_num(&value("batch"), "batch");
+                if cfg.batch == 0 {
+                    eprintln!("--batch expects a positive integer");
+                    usage();
+                }
+            }
+            "--budget" => cfg.budget_w = Some(parse_num(&value("budget"), "budget")),
+            _ => {
+                eprintln!("unknown cluster argument '{a}'");
+                usage();
+            }
+        }
+    }
+    let mut cluster = ear::netd::SimCluster::new(cfg)?;
+    eprintln!(
+        "earsim: cluster of {} daemons, aggregation tree depth {}",
+        cluster.nodes(),
+        cluster.tree_depth()
+    );
+    let report = cluster.run()?;
+    println!("{}", report.render());
+    if report.errors > 0 {
+        return Err(EarError::Protocol(format!(
+            "cluster run finished with {} protocol/decode errors",
+            report.errors
+        )));
+    }
     Ok(())
 }
 
@@ -555,6 +653,7 @@ fn real_main(args: Vec<String>) -> Result<(), EarError> {
         Some("bench") => cmd_bench(&args[1..])?,
         Some("serve") => cmd_serve(&args[1..])?,
         Some("loadgen") => cmd_loadgen(&args[1..])?,
+        Some("cluster") => cmd_cluster(&args[1..])?,
         _ => usage(),
     }
     Ok(())
