@@ -128,6 +128,12 @@ pub struct NodeConfig {
     pub uncore_min_ratio: u8,
     /// See [`NodeConfig::uncore_min_ratio`].
     pub uncore_max_ratio: u8,
+    /// Uncore frequency domains per socket. Skylake-SP exposes one package
+    /// knob; TPMI parts (Granite Rapids) expose one per compute die. Each
+    /// domain gets its own ratio-limit/perf-status register pair, firmware
+    /// controller and share of the memory controllers. Clamped to
+    /// `1..=`[`crate::msr::MAX_UNCORE_DOMAINS`] at node construction.
+    pub uncore_domains: usize,
     /// Frequency of idle (halted) cores in kHz.
     pub idle_core_khz: u64,
     /// Number of installed GPUs.
@@ -162,6 +168,7 @@ impl NodeConfig {
             pstates: PstateTable::xeon_gold_6148(),
             uncore_min_ratio: 12,
             uncore_max_ratio: 24,
+            uncore_domains: 1,
             idle_core_khz: 1_000_000,
             gpus: 0,
             perf: PerfParams::default(),
@@ -182,6 +189,7 @@ impl NodeConfig {
             pstates: PstateTable::xeon_gold_6142m(),
             uncore_min_ratio: 12,
             uncore_max_ratio: 24,
+            uncore_domains: 1,
             idle_core_khz: 1_000_000,
             gpus: 2,
             perf: PerfParams::default(),
@@ -190,6 +198,13 @@ impl NodeConfig {
             noise_sigma: 0.004,
             fast_forward: false,
         }
+    }
+
+    /// Returns the configuration with `n` uncore domains per socket
+    /// (clamped to the supported range).
+    pub fn with_uncore_domains(mut self, n: usize) -> Self {
+        self.uncore_domains = n.clamp(1, crate::msr::MAX_UNCORE_DOMAINS);
+        self
     }
 
     /// Total core count.

@@ -6,6 +6,7 @@
 //! APERF/MPERF, IMC CAS counts, AVX512 instruction counts, uncore clocks
 //! and the energy accumulators.
 
+use crate::msr::MAX_UNCORE_DOMAINS;
 use crate::time::SimTime;
 
 /// Monotonic counters of one socket.
@@ -23,12 +24,23 @@ pub struct SocketCounters {
     pub cas_transactions: u64,
     /// AVX512 instructions retired (FP_ARITH 512-bit events).
     pub avx512_instructions: u64,
-    /// Uncore clock ticks (U-box fixed counter), in kcycles.
+    /// Uncore clock ticks (U-box fixed counter), in kcycles. On multi-domain
+    /// parts this is the per-domain mean, preserving the legacy single-knob
+    /// reading.
     pub uclk_kcycles: u64,
     /// Exact package energy in µJ (RAPL MSR holds the quantised view).
     pub pkg_energy_uj: u64,
     /// Exact DRAM energy in µJ.
     pub dram_energy_uj: u64,
+    /// Instantiated uncore frequency domains (1 on single-knob parts).
+    pub uncore_domains: u8,
+    /// Per-domain uncore clock ticks (kcycles); entries past
+    /// `uncore_domains` stay zero.
+    pub uclk_dom_kcycles: [u64; MAX_UNCORE_DOMAINS],
+    /// Per-domain IMC CAS transactions; entries past `uncore_domains` stay
+    /// zero. Domain totals are split by the modelled traffic routing, so
+    /// their sum can differ from `cas_transactions` by rounding.
+    pub cas_dom_transactions: [u64; MAX_UNCORE_DOMAINS],
 }
 
 /// Most sockets a simulated node can carry. Generous for the paper's
@@ -146,6 +158,13 @@ pub struct CounterDelta {
     pub dc_energy_j: f64,
     /// Time between the INM publications backing `dc_energy_j` (s).
     pub dc_window_s: f64,
+    /// Uncore frequency domains per socket over the window (at least 1).
+    pub uncore_domains: usize,
+    /// Average uncore frequency of each domain across sockets (kHz);
+    /// entries past `uncore_domains` stay zero.
+    pub imc_dom_khz: [f64; MAX_UNCORE_DOMAINS],
+    /// Per-domain CAS transactions, node total.
+    pub cas_dom_transactions: [f64; MAX_UNCORE_DOMAINS],
 }
 
 impl CounterSnapshot {
@@ -169,10 +188,18 @@ impl CounterSnapshot {
             dram_energy_j: 0.0,
             dc_energy_j: (self.dc_energy_mj.saturating_sub(earlier.dc_energy_mj)) as f64 * 1e-3,
             dc_window_s: self.dc_energy_at - earlier.dc_energy_at,
+            uncore_domains: self
+                .sockets
+                .first()
+                .map_or(1, |s| s.uncore_domains as usize)
+                .max(1),
+            imc_dom_khz: [0.0; MAX_UNCORE_DOMAINS],
+            cas_dom_transactions: [0.0; MAX_UNCORE_DOMAINS],
         };
         let mut aperf = 0.0;
         let mut mperf = 0.0;
         let mut uclk = 0.0;
+        let mut uclk_dom = [0.0; MAX_UNCORE_DOMAINS];
         for (now, was) in self.sockets.iter().zip(earlier.sockets.iter()) {
             d.instructions += (now.instructions - was.instructions) as f64;
             d.core_cycles += (now.core_cycles - was.core_cycles) as f64;
@@ -183,6 +210,11 @@ impl CounterSnapshot {
             uclk += (now.uclk_kcycles - was.uclk_kcycles) as f64;
             d.pkg_energy_j += (now.pkg_energy_uj - was.pkg_energy_uj) as f64 * 1e-6;
             d.dram_energy_j += (now.dram_energy_uj - was.dram_energy_uj) as f64 * 1e-6;
+            for (k, u) in uclk_dom.iter_mut().enumerate().take(d.uncore_domains) {
+                *u += (now.uclk_dom_kcycles[k] - was.uclk_dom_kcycles[k]) as f64;
+                d.cas_dom_transactions[k] +=
+                    (now.cas_dom_transactions[k] - was.cas_dom_transactions[k]) as f64;
+            }
         }
         if seconds > 0.0 {
             // APERF accumulates Σ_cores delivered_khz·dt (idle cores count
@@ -194,6 +226,9 @@ impl CounterSnapshot {
                 d.avg_cpu_khz = aperf / mperf * MPERF_SENTINEL_KHZ;
             }
             d.avg_imc_khz = uclk / seconds / self.sockets.len() as f64;
+            for (k, khz) in d.imc_dom_khz.iter_mut().enumerate().take(d.uncore_domains) {
+                *khz = uclk_dom[k] / seconds / self.sockets.len() as f64;
+            }
         }
         d
     }
@@ -275,6 +310,25 @@ impl CounterDelta {
     /// Average IMC (uncore) frequency in GHz.
     pub fn avg_imc_ghz(&self) -> f64 {
         self.avg_imc_khz * 1e-6
+    }
+
+    /// Average uncore frequency of domain `d` in GHz (0.0 past the
+    /// instantiated domain count).
+    pub fn imc_dom_ghz(&self, d: usize) -> f64 {
+        if d < MAX_UNCORE_DOMAINS {
+            self.imc_dom_khz[d] * 1e-6
+        } else {
+            0.0
+        }
+    }
+
+    /// Main-memory bandwidth routed through domain `d`, in GB/s.
+    pub fn gbs_dom(&self, d: usize) -> f64 {
+        if d < MAX_UNCORE_DOMAINS && self.seconds > 0.0 {
+            self.cas_dom_transactions[d] * 64.0 / self.seconds / 1e9
+        } else {
+            0.0
+        }
     }
 }
 

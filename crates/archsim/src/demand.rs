@@ -38,6 +38,15 @@ pub struct PhaseDemand {
     /// Calibration bias for the opaque firmware uncore heuristic (see
     /// `hwufs`); 0 for a neutral workload.
     pub hw_ufs_bias: f64,
+    /// How the phase's memory traffic routes across the socket's uncore
+    /// frequency domains. `None` (the default) spreads traffic uniformly —
+    /// the single-knob behaviour on a 1-domain part. `Some(fracs)` pins the
+    /// split: entry `d` is the fraction of `mem_bytes` served by domain `d`
+    /// (entries past the node's domain count are ignored; on a 1-domain
+    /// node entry 0 should be 1.0). A GPU-offload host phase routes its
+    /// PCIe/staging traffic to the die fronting the accelerator, leaving
+    /// the other die compute-idle.
+    pub domain_mem_frac: Option<[f64; crate::msr::MAX_UNCORE_DOMAINS]>,
 }
 
 impl Default for PhaseDemand {
@@ -55,6 +64,7 @@ impl Default for PhaseDemand {
             wait_busy: true,
             gpu_power_w: 0.0,
             hw_ufs_bias: 0.0,
+            domain_mem_frac: None,
         }
     }
 }
@@ -71,6 +81,17 @@ impl PhaseDemand {
             self.mem_transactions() / self.instructions
         } else {
             0.0
+        }
+    }
+
+    /// Fraction of memory traffic routed to domain `d` of `nd` instantiated
+    /// domains. Uniform (`1/nd`) unless a split is pinned; on a single
+    /// domain the uniform split multiplies by exactly 1.0.
+    pub fn domain_frac(&self, d: usize, nd: usize) -> f64 {
+        match &self.domain_mem_frac {
+            Some(fr) if d < fr.len() => fr[d],
+            Some(_) => 0.0,
+            None => 1.0 / nd.max(1) as f64,
         }
     }
 
@@ -99,6 +120,18 @@ impl PhaseDemand {
         }
         if self.wait_seconds.is_nan() || self.wait_seconds < 0.0 {
             return Err(format!("negative wait {}", self.wait_seconds));
+        }
+        if let Some(fr) = &self.domain_mem_frac {
+            let mut sum = 0.0;
+            for &f in fr {
+                if !(0.0..=1.0).contains(&f) {
+                    return Err(format!("domain traffic fraction out of range: {f}"));
+                }
+                sum += f;
+            }
+            if self.mem_bytes > 0.0 && (sum - 1.0).abs() > 1e-9 {
+                return Err(format!("domain traffic fractions sum to {sum}, not 1"));
+            }
         }
         Ok(())
     }
@@ -132,6 +165,28 @@ mod tests {
     #[test]
     fn default_validates() {
         assert!(PhaseDemand::default().validate().is_ok());
+    }
+
+    #[test]
+    fn domain_routing_defaults_to_uniform() {
+        let d = PhaseDemand::default();
+        assert_eq!(d.domain_frac(0, 1), 1.0);
+        assert_eq!(d.domain_frac(0, 2), 0.5);
+        assert_eq!(d.domain_frac(1, 2), 0.5);
+        let pinned = PhaseDemand {
+            mem_bytes: 1e9,
+            domain_mem_frac: Some([0.9, 0.1, 0.0, 0.0]),
+            ..Default::default()
+        };
+        assert!(pinned.validate().is_ok());
+        assert_eq!(pinned.domain_frac(0, 2), 0.9);
+        assert_eq!(pinned.domain_frac(1, 2), 0.1);
+        let bad = PhaseDemand {
+            mem_bytes: 1e9,
+            domain_mem_frac: Some([0.9, 0.3, 0.0, 0.0]),
+            ..Default::default()
+        };
+        assert!(bad.validate().is_err());
     }
 
     #[test]

@@ -40,13 +40,14 @@ pub mod perf;
 pub mod power;
 pub mod pstate;
 pub mod rng;
+pub mod stats;
 pub mod time;
 
 pub use cluster::{Cluster, Interconnect};
 pub use config::{HwUfsParams, NodeConfig, PerfParams, PowerParams};
 pub use counters::{CounterDelta, CounterSnapshot, SocketCounters};
 pub use demand::PhaseDemand;
-pub use msr::{MsrError, MsrFile};
+pub use msr::{MsrError, MsrFile, MAX_UNCORE_DOMAINS};
 pub use node::{Node, PhaseOutcome, Socket, SPIN_CPI};
 pub use pstate::{Pstate, PstateTable};
 pub use rng::Xoshiro256;

@@ -34,13 +34,74 @@ pub mod addr {
     pub const MSR_DRAM_ENERGY_STATUS: u32 = 0x619;
     /// `MSR_UNCORE_RATIO_LIMIT` (0x620): max ratio bits 6:0, min ratio bits
     /// 14:8, in units of 100 MHz. Writing min == max pins the uncore.
+    /// On multi-die parts this legacy register aliases uncore domain 0 of
+    /// the TPMI block (see [`tpmi_ratio_limit`]).
     pub const MSR_UNCORE_RATIO_LIMIT: u32 = 0x620;
     /// `MSR_UNCORE_PERF_STATUS` (0x621): current uncore ratio, bits 6:0.
+    /// Aliases uncore domain 0 of the TPMI block ([`tpmi_perf_status`]).
     pub const MSR_UNCORE_PERF_STATUS: u32 = 0x621;
     /// U-box fixed counter control (Skylake-SP uncore).
     pub const MSR_U_PMON_UCLK_FIXED_CTL: u32 = 0x703;
     /// U-box fixed counter: uncore clock ticks.
     pub const MSR_U_PMON_UCLK_FIXED_CTR: u32 = 0x704;
+
+    /// Base of the TPMI-style per-die uncore frequency block (Granite
+    /// Rapids exposes per-domain ratio control through TPMI rather than a
+    /// single package MSR; the simulator models the same shape as a block
+    /// of per-domain register pairs). Domain `d` owns two registers:
+    /// `TPMI_UFS_BASE + 2d` (ratio limit, 0x620 layout) and
+    /// `TPMI_UFS_BASE + 2d + 1` (perf status, 0x621 layout). Domain 0 is
+    /// an alias of the legacy 0x620/0x621 pair — both addresses decode to
+    /// the same storage, so single-knob software and per-domain software
+    /// observe each other's writes exactly as on hardware.
+    pub const TPMI_UFS_BASE: u32 = 0x2000;
+
+    /// TPMI ratio-limit register of uncore domain `d`.
+    pub const fn tpmi_ratio_limit(domain: usize) -> u32 {
+        TPMI_UFS_BASE + 2 * domain as u32
+    }
+
+    /// TPMI perf-status register of uncore domain `d`.
+    pub const fn tpmi_perf_status(domain: usize) -> u32 {
+        TPMI_UFS_BASE + 2 * domain as u32 + 1
+    }
+}
+
+/// Most per-socket uncore frequency domains the model supports. Real parts
+/// expose one (Skylake-SP package knob) to a handful (Granite Rapids
+/// compute dies); four bounds the inline per-domain counter arrays.
+pub const MAX_UNCORE_DOMAINS: usize = 4;
+
+/// If `msr` is a ratio-limit register (legacy 0x620 or a TPMI domain
+/// register), the uncore domain it controls.
+pub const fn uncore_domain_of_ratio_limit(msr: u32) -> Option<usize> {
+    if msr == addr::MSR_UNCORE_RATIO_LIMIT {
+        return Some(0);
+    }
+    let span = 2 * MAX_UNCORE_DOMAINS as u32;
+    if msr >= addr::TPMI_UFS_BASE && msr < addr::TPMI_UFS_BASE + span {
+        let off = msr - addr::TPMI_UFS_BASE;
+        if off.is_multiple_of(2) {
+            return Some((off / 2) as usize);
+        }
+    }
+    None
+}
+
+/// If `msr` is an uncore perf-status register (legacy 0x621 or a TPMI
+/// domain register), the domain it reports.
+pub const fn uncore_domain_of_perf_status(msr: u32) -> Option<usize> {
+    if msr == addr::MSR_UNCORE_PERF_STATUS {
+        return Some(0);
+    }
+    let span = 2 * MAX_UNCORE_DOMAINS as u32;
+    if msr >= addr::TPMI_UFS_BASE && msr < addr::TPMI_UFS_BASE + span {
+        let off = msr - addr::TPMI_UFS_BASE;
+        if off % 2 == 1 {
+            return Some((off / 2) as usize);
+        }
+    }
+    None
 }
 
 /// Error type for MSR access.
@@ -83,14 +144,19 @@ impl From<MsrError> for ear_errors::EarError {
 /// units of 1 / 2^14 J ≈ 61 µJ.
 pub const DEFAULT_ENERGY_UNIT_EXP: u64 = 14;
 
-/// Number of registers in the model (dense storage slots).
-const REG_COUNT: usize = 15;
+/// Number of registers in the model (dense storage slots): the 15 MSRs the
+/// EAR runtime touches plus one ratio-limit/perf-status pair for each TPMI
+/// uncore domain beyond domain 0 (domain 0 shares the legacy 0x620/0x621
+/// slots).
+const REG_COUNT: usize = 15 + 2 * (MAX_UNCORE_DOMAINS - 1);
 
 /// Maps an MSR address to its dense storage slot. The register set is fixed
-/// at the 15 MSRs the EAR runtime touches, so a match (a jump table after
-/// codegen) replaces the former `HashMap` — the register file sits on the
-/// per-quantum hot path of `Node::advance_interval`, where hashing each
-/// address cost more than the modelled work.
+/// (a match compiles to a jump table plus one range test), replacing the
+/// former `HashMap` — the register file sits on the per-quantum hot path of
+/// `Node::advance_interval`, where hashing each address cost more than the
+/// modelled work. TPMI domain-0 registers decode to the SAME slots as the
+/// legacy 0x620/0x621 pair, which is what makes the alias exact: there is
+/// only one storage cell, not a mirrored copy.
 const fn slot(msr: u32) -> Option<usize> {
     match msr {
         addr::IA32_MPERF => Some(0),
@@ -108,7 +174,20 @@ const fn slot(msr: u32) -> Option<usize> {
         addr::MSR_UNCORE_PERF_STATUS => Some(12),
         addr::MSR_U_PMON_UCLK_FIXED_CTL => Some(13),
         addr::MSR_U_PMON_UCLK_FIXED_CTR => Some(14),
-        _ => None,
+        _ => {
+            let span = 2 * MAX_UNCORE_DOMAINS as u32;
+            if msr >= addr::TPMI_UFS_BASE && msr < addr::TPMI_UFS_BASE + span {
+                let off = (msr - addr::TPMI_UFS_BASE) as usize;
+                if off < 2 {
+                    // Domain 0: alias of MSR_UNCORE_RATIO_LIMIT / _PERF_STATUS.
+                    Some(11 + off)
+                } else {
+                    Some(15 + (off - 2))
+                }
+            } else {
+                None
+            }
+        }
     }
 }
 
@@ -120,14 +199,27 @@ const fn slot(msr: u32) -> Option<usize> {
 #[derive(Debug, Clone)]
 pub struct MsrFile {
     regs: [u64; REG_COUNT],
+    /// Instantiated uncore domains. TPMI registers of domains at or beyond
+    /// this count are absent, exactly as undiscovered TPMI features #GP on
+    /// hardware. Always at least 1.
+    domains: u8,
 }
 
 impl MsrFile {
-    /// Creates a register file with Skylake-SP reset values, given the
-    /// platform's uncore ratio range (in 100 MHz units).
+    /// Creates a single-uncore-domain register file with Skylake-SP reset
+    /// values, given the platform's uncore ratio range (in 100 MHz units).
     pub fn new(uncore_min_ratio: u8, uncore_max_ratio: u8) -> Self {
+        Self::with_domains(uncore_min_ratio, uncore_max_ratio, 1)
+    }
+
+    /// Creates a register file exposing `domains` TPMI uncore domains, each
+    /// reset to the same ratio range. `domains` is clamped to
+    /// `1..=MAX_UNCORE_DOMAINS`.
+    pub fn with_domains(uncore_min_ratio: u8, uncore_max_ratio: u8, domains: usize) -> Self {
+        let domains = domains.clamp(1, MAX_UNCORE_DOMAINS);
         let mut m = Self {
             regs: [0; REG_COUNT],
+            domains: domains as u8,
         };
         // EPB resets to 6 ("balanced") on most shipped firmware.
         m.poke(addr::IA32_ENERGY_PERF_BIAS, 6);
@@ -137,40 +229,67 @@ impl MsrFile {
             addr::MSR_RAPL_POWER_UNIT,
             (DEFAULT_ENERGY_UNIT_EXP << 8) | 0x3 | (0xA << 16),
         );
-        m.poke(
-            addr::MSR_UNCORE_RATIO_LIMIT,
-            pack_uncore_ratio_limit(uncore_min_ratio, uncore_max_ratio),
-        );
-        m.poke(addr::MSR_UNCORE_PERF_STATUS, uncore_max_ratio as u64);
+        for d in 0..domains {
+            // Domain 0 lands in the legacy 0x620/0x621 slots via the alias.
+            m.poke(
+                addr::tpmi_ratio_limit(d),
+                pack_uncore_ratio_limit(uncore_min_ratio, uncore_max_ratio),
+            );
+            m.poke(addr::tpmi_perf_status(d), uncore_max_ratio as u64);
+        }
         m
+    }
+
+    /// Number of TPMI uncore domains this register file exposes.
+    pub fn uncore_domains(&self) -> usize {
+        self.domains as usize
+    }
+
+    /// True when `msr` is a TPMI uncore register of a domain this part does
+    /// not instantiate (such accesses #GP like any unimplemented MSR).
+    fn tpmi_absent(&self, msr: u32) -> bool {
+        let span = 2 * MAX_UNCORE_DOMAINS as u32;
+        msr >= addr::TPMI_UFS_BASE
+            && msr < addr::TPMI_UFS_BASE + span
+            && ((msr - addr::TPMI_UFS_BASE) / 2) as usize >= self.domains as usize
     }
 
     /// RDMSR. Errors on unimplemented registers like real hardware (#GP).
     pub fn read(&self, msr: u32) -> Result<u64, MsrError> {
+        if self.tpmi_absent(msr) {
+            return Err(MsrError::Unimplemented(msr));
+        }
         slot(msr)
             .map(|s| self.regs[s])
             .ok_or(MsrError::Unimplemented(msr))
     }
 
     /// WRMSR with the access rules software sees: status registers are
-    /// read-only, the uncore ratio limit is validated.
+    /// read-only, ratio-limit registers (legacy and per-domain TPMI) are
+    /// validated.
     pub fn write(&mut self, msr: u32, value: u64) -> Result<(), MsrError> {
+        if self.tpmi_absent(msr) {
+            return Err(MsrError::Unimplemented(msr));
+        }
         match msr {
             addr::IA32_PERF_STATUS
             | addr::MSR_PKG_ENERGY_STATUS
             | addr::MSR_DRAM_ENERGY_STATUS
-            | addr::MSR_RAPL_POWER_UNIT
-            | addr::MSR_UNCORE_PERF_STATUS => return Err(MsrError::ReadOnly(msr)),
-            addr::MSR_UNCORE_RATIO_LIMIT => {
-                let (min, max) = unpack_uncore_ratio_limit(value);
-                if min > max || max == 0 {
-                    return Err(MsrError::InvalidValue { msr, value });
-                }
-            }
+            | addr::MSR_RAPL_POWER_UNIT => return Err(MsrError::ReadOnly(msr)),
             addr::IA32_ENERGY_PERF_BIAS if value > 0xF => {
                 return Err(MsrError::InvalidValue { msr, value });
             }
-            _ => {}
+            _ => {
+                if uncore_domain_of_perf_status(msr).is_some() {
+                    return Err(MsrError::ReadOnly(msr));
+                }
+                if uncore_domain_of_ratio_limit(msr).is_some() {
+                    let (min, max) = unpack_uncore_ratio_limit(value);
+                    if min > max || max == 0 {
+                        return Err(MsrError::InvalidValue { msr, value });
+                    }
+                }
+            }
         }
         match slot(msr) {
             Some(s) => {
@@ -334,5 +453,103 @@ mod tests {
     fn perf_ctl_ratio_roundtrip() {
         assert_eq!(unpack_perf_ratio(pack_perf_ctl(24)), 24);
         assert_eq!(unpack_perf_ratio(pack_perf_ctl(10)), 10);
+    }
+
+    #[test]
+    fn tpmi_domain0_aliases_legacy_pair() {
+        let mut m = MsrFile::new(12, 24);
+        // Write through the legacy address, read back through TPMI (and
+        // vice versa): one storage cell, two addresses.
+        m.write(
+            addr::MSR_UNCORE_RATIO_LIMIT,
+            pack_uncore_ratio_limit(15, 20),
+        )
+        .unwrap();
+        assert_eq!(
+            m.read(addr::tpmi_ratio_limit(0)).unwrap(),
+            pack_uncore_ratio_limit(15, 20)
+        );
+        m.write(addr::tpmi_ratio_limit(0), pack_uncore_ratio_limit(18, 18))
+            .unwrap();
+        assert_eq!(
+            unpack_uncore_ratio_limit(m.read(addr::MSR_UNCORE_RATIO_LIMIT).unwrap()),
+            (18, 18)
+        );
+        assert_eq!(
+            m.read(addr::tpmi_perf_status(0)).unwrap(),
+            m.read(addr::MSR_UNCORE_PERF_STATUS).unwrap()
+        );
+    }
+
+    #[test]
+    fn tpmi_absent_domains_fault() {
+        let mut one = MsrFile::new(12, 24);
+        assert_eq!(
+            one.read(addr::tpmi_ratio_limit(1)),
+            Err(MsrError::Unimplemented(addr::tpmi_ratio_limit(1)))
+        );
+        assert!(one.write(addr::tpmi_ratio_limit(1), 1).is_err());
+
+        let two = MsrFile::with_domains(12, 24, 2);
+        assert_eq!(two.uncore_domains(), 2);
+        assert_eq!(
+            unpack_uncore_ratio_limit(two.read(addr::tpmi_ratio_limit(1)).unwrap()),
+            (12, 24)
+        );
+        assert_eq!(two.read(addr::tpmi_perf_status(1)).unwrap(), 24);
+        assert_eq!(
+            two.read(addr::tpmi_ratio_limit(2)),
+            Err(MsrError::Unimplemented(addr::tpmi_ratio_limit(2)))
+        );
+    }
+
+    #[test]
+    fn tpmi_perf_status_registers_read_only() {
+        let mut m = MsrFile::with_domains(12, 24, 3);
+        for d in 0..3 {
+            assert_eq!(
+                m.write(addr::tpmi_perf_status(d), 1),
+                Err(MsrError::ReadOnly(addr::tpmi_perf_status(d)))
+            );
+        }
+        // Per-domain ratio limits keep the 0x620 validation rules.
+        assert!(matches!(
+            m.write(addr::tpmi_ratio_limit(2), pack_uncore_ratio_limit(20, 15)),
+            Err(MsrError::InvalidValue { .. })
+        ));
+    }
+
+    #[test]
+    fn domain_decoders_cover_legacy_and_tpmi() {
+        assert_eq!(
+            uncore_domain_of_ratio_limit(addr::MSR_UNCORE_RATIO_LIMIT),
+            Some(0)
+        );
+        assert_eq!(
+            uncore_domain_of_perf_status(addr::MSR_UNCORE_PERF_STATUS),
+            Some(0)
+        );
+        for d in 0..MAX_UNCORE_DOMAINS {
+            assert_eq!(
+                uncore_domain_of_ratio_limit(addr::tpmi_ratio_limit(d)),
+                Some(d)
+            );
+            assert_eq!(
+                uncore_domain_of_perf_status(addr::tpmi_perf_status(d)),
+                Some(d)
+            );
+            assert_eq!(
+                uncore_domain_of_perf_status(addr::tpmi_ratio_limit(d)),
+                None
+            );
+            assert_eq!(
+                uncore_domain_of_ratio_limit(addr::tpmi_perf_status(d)),
+                None
+            );
+        }
+        assert_eq!(
+            uncore_domain_of_ratio_limit(addr::tpmi_ratio_limit(MAX_UNCORE_DOMAINS)),
+            None
+        );
     }
 }

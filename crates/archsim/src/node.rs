@@ -46,10 +46,18 @@ struct SocketAccum {
     uclk_kcycles: f64,
     pkg_energy_uj: f64,
     dram_energy_uj: f64,
+    uclk_dom_kcycles: [f64; msr::MAX_UNCORE_DOMAINS],
+    cas_dom_transactions: [f64; msr::MAX_UNCORE_DOMAINS],
 }
 
 impl SocketAccum {
-    fn to_counters(self) -> SocketCounters {
+    fn to_counters(self, uncore_domains: u8) -> SocketCounters {
+        let mut uclk_dom = [0u64; msr::MAX_UNCORE_DOMAINS];
+        let mut cas_dom = [0u64; msr::MAX_UNCORE_DOMAINS];
+        for d in 0..uncore_domains as usize {
+            uclk_dom[d] = self.uclk_dom_kcycles[d] as u64;
+            cas_dom[d] = self.cas_dom_transactions[d] as u64;
+        }
         SocketCounters {
             instructions: self.instructions as u64,
             core_cycles: self.core_cycles as u64,
@@ -60,15 +68,22 @@ impl SocketAccum {
             uclk_kcycles: self.uclk_kcycles as u64,
             pkg_energy_uj: self.pkg_energy_uj as u64,
             dram_energy_uj: self.dram_energy_uj as u64,
+            uncore_domains,
+            uclk_dom_kcycles: uclk_dom,
+            cas_dom_transactions: cas_dom,
         }
     }
 }
 
-/// One socket: MSR file, firmware UFS controller, counters.
+/// One socket: MSR file, one firmware UFS controller per uncore domain,
+/// counters.
 #[derive(Debug, Clone)]
 pub struct Socket {
     msr: MsrFile,
-    hwufs: HwUfsController,
+    /// Firmware UFS controllers, one per uncore frequency domain. Each
+    /// domain pairs with its own TPMI ratio-limit/perf-status registers in
+    /// `msr` (domain 0 doubling as the legacy 0x620/0x621 pair).
+    domains: Vec<HwUfsController>,
     accum: SocketAccum,
     /// Decoded RAPL energy unit (J/count). `MSR_RAPL_POWER_UNIT` is
     /// read-only fused configuration, so the decode is hoisted out of the
@@ -78,7 +93,8 @@ pub struct Socket {
 
 impl Socket {
     fn new(config: &NodeConfig) -> Self {
-        let mut msr = MsrFile::new(config.uncore_min_ratio, config.uncore_max_ratio);
+        let nd = config.uncore_domains.clamp(1, msr::MAX_UNCORE_DOMAINS);
+        let mut msr = MsrFile::with_domains(config.uncore_min_ratio, config.uncore_max_ratio, nd);
         // Boot at nominal frequency, uncore at the platform maximum.
         msr.poke(
             addr::IA32_PERF_CTL,
@@ -91,20 +107,34 @@ impl Socket {
         let rapl_unit_j = msr::rapl_energy_unit_joules(msr.peek(addr::MSR_RAPL_POWER_UNIT));
         Self {
             msr,
-            hwufs: HwUfsController::new(config.hwufs.clone(), config.uncore_max_ratio),
+            domains: (0..nd)
+                .map(|_| HwUfsController::new(config.hwufs.clone(), config.uncore_max_ratio))
+                .collect(),
             accum: SocketAccum::default(),
             rapl_unit_j,
         }
     }
 
-    /// Current uncore ratio (100 MHz units).
-    pub fn uncore_ratio(&self) -> u8 {
-        self.hwufs.current_ratio()
+    /// Number of uncore frequency domains on this socket.
+    pub fn uncore_domains(&self) -> usize {
+        self.domains.len()
     }
 
-    /// Programmed uncore limits (min, max), in 100 MHz units.
-    pub fn uncore_limits(&self) -> (u8, u8) {
-        msr::unpack_uncore_ratio_limit(self.msr.peek(addr::MSR_UNCORE_RATIO_LIMIT))
+    /// Current uncore ratio of domain 0 (100 MHz units) — the legacy
+    /// single-knob view.
+    pub fn uncore_ratio(&self) -> u8 {
+        self.domains[0].current_ratio()
+    }
+
+    /// Current uncore ratio of domain `d` (100 MHz units).
+    pub fn uncore_ratio_dom(&self, d: usize) -> u8 {
+        self.domains[d].current_ratio()
+    }
+
+    /// Programmed uncore limits (min, max) of domain `domain`, in 100 MHz
+    /// units.
+    pub fn uncore_limits(&self, domain: usize) -> (u8, u8) {
+        msr::unpack_uncore_ratio_limit(self.msr.peek(addr::tpmi_ratio_limit(domain)))
     }
 
     /// Requested CPU ratio from `IA32_PERF_CTL`.
@@ -177,6 +207,7 @@ impl Node {
             "at most {} sockets supported",
             crate::counters::MAX_SOCKETS
         );
+        crate::stats::record_node_domains(config.uncore_domains.clamp(1, msr::MAX_UNCORE_DOMAINS));
         let sockets: Vec<Socket> = (0..config.sockets).map(|_| Socket::new(&config)).collect();
         let boot_ratio = sockets[0].requested_ratio();
         let boot_ps = config.pstates.pstate_for_ratio(boot_ratio);
@@ -222,14 +253,16 @@ impl Node {
         self.sockets[socket].msr.read(msr)
     }
 
-    /// Software MSR write on a socket. Uncore-limit writes take effect on
-    /// the firmware controller immediately (pinning min == max overrides
-    /// the control loop, as the paper's eUFS relies on).
+    /// Software MSR write on a socket. Uncore-limit writes — through the
+    /// legacy 0x620 address or a per-domain TPMI register — take effect on
+    /// the addressed domain's firmware controller immediately (pinning
+    /// min == max overrides the control loop, as the paper's eUFS relies
+    /// on).
     pub fn write_msr(&mut self, socket: usize, msr: u32, value: u64) -> Result<(), MsrError> {
         self.sockets[socket].msr.write(msr, value)?;
-        if msr == addr::MSR_UNCORE_RATIO_LIMIT {
+        if let Some(d) = msr::uncore_domain_of_ratio_limit(msr) {
             let (min, max) = msr::unpack_uncore_ratio_limit(value);
-            self.sockets[socket].hwufs.clamp_to_limits(min, max);
+            self.sockets[socket].domains[d].clamp_to_limits(min, max);
         }
         Ok(())
     }
@@ -251,26 +284,71 @@ impl Node {
         self.cached_pstate_for(self.sockets[0].requested_ratio())
     }
 
-    /// Convenience: programs `MSR_UNCORE_RATIO_LIMIT` on every socket.
+    /// Convenience: programs the same uncore ratio limits into *every*
+    /// domain of every socket — the single-knob semantics EAR's package
+    /// policies assume.
     pub fn set_uncore_limits(&mut self, min_ratio: u8, max_ratio: u8) -> Result<(), MsrError> {
         let v = msr::pack_uncore_ratio_limit(min_ratio, max_ratio);
         for i in 0..self.sockets.len() {
-            self.write_msr(i, addr::MSR_UNCORE_RATIO_LIMIT, v)?;
+            for d in 0..self.sockets[i].domains.len() {
+                self.write_msr(i, addr::tpmi_ratio_limit(d), v)?;
+            }
         }
         Ok(())
     }
 
-    /// Programmed uncore limits (socket 0).
-    pub fn uncore_limits(&self) -> (u8, u8) {
-        self.sockets[0].uncore_limits()
+    /// Programs the ratio limits of one uncore domain on every socket
+    /// (EAR keeps sockets in lock-step; domains are the per-die knob).
+    pub fn set_uncore_limits_dom(
+        &mut self,
+        domain: usize,
+        min_ratio: u8,
+        max_ratio: u8,
+    ) -> Result<(), MsrError> {
+        let v = msr::pack_uncore_ratio_limit(min_ratio, max_ratio);
+        for i in 0..self.sockets.len() {
+            self.write_msr(i, addr::tpmi_ratio_limit(domain), v)?;
+        }
+        Ok(())
     }
 
-    /// Current average uncore frequency across sockets (GHz).
+    /// Programmed uncore limits (min, max) of one `(socket, domain)` pair.
+    /// Both indices are explicit: sockets can diverge if software writes
+    /// them individually, and domains are independent knobs by design, so
+    /// there is no single "node-wide" limit to report.
+    pub fn uncore_limits(&self, socket: usize, domain: usize) -> (u8, u8) {
+        self.sockets[socket].uncore_limits(domain)
+    }
+
+    /// Number of uncore frequency domains per socket.
+    pub fn uncore_domain_count(&self) -> usize {
+        self.sockets[0].domains.len()
+    }
+
+    /// Current average uncore frequency across sockets and domains (GHz) —
+    /// the legacy single-knob reading.
     pub fn current_uncore_ghz(&self) -> f64 {
         let sum: f64 = self
             .sockets
             .iter()
-            .map(|s| s.uncore_ratio() as f64 * 0.1)
+            .map(|s| {
+                let dom_sum: f64 = s
+                    .domains
+                    .iter()
+                    .map(|u| u.current_ratio() as f64 * 0.1)
+                    .sum();
+                dom_sum / s.domains.len() as f64
+            })
+            .sum();
+        sum / self.sockets.len() as f64
+    }
+
+    /// Current average uncore frequency of domain `d` across sockets (GHz).
+    pub fn domain_uncore_ghz(&self, d: usize) -> f64 {
+        let sum: f64 = self
+            .sockets
+            .iter()
+            .map(|s| s.domains[d].current_ratio() as f64 * 0.1)
             .sum();
         sum / self.sockets.len() as f64
     }
@@ -281,7 +359,11 @@ impl Node {
     pub fn snapshot(&self) -> CounterSnapshot {
         CounterSnapshot {
             time: self.clock.now(),
-            sockets: self.sockets.iter().map(|s| s.accum.to_counters()).collect(),
+            sockets: self
+                .sockets
+                .iter()
+                .map(|s| s.accum.to_counters(s.domains.len() as u8))
+                .collect(),
             dc_energy_mj: self.inm.energy_mj(),
             dc_energy_at: self.inm.published_at(),
             dc_energy_exact_j: self.inm.exact_energy_j(),
@@ -316,13 +398,27 @@ impl Node {
         let p_noise = self.rng.noise_factor(self.config.noise_sigma * 0.5);
 
         let quantum = self.config.hwufs.period_s;
+        let nd = self.uncore_domain_count();
+        let mut frac = [0.0f64; msr::MAX_UNCORE_DOMAINS];
+        for (d, f) in frac.iter_mut().enumerate().take(nd) {
+            *f = demand.domain_frac(d, nd);
+        }
         let mut work_s = 0.0;
         if demand.instructions > 0.0 || demand.mem_bytes > 0.0 {
             let mut remaining = 1.0f64;
             while remaining > 1e-12 {
-                let f_u = self.current_uncore_ghz();
-                let t_total = perf::work_time(&self.config.perf, demand, f_eff_khz * 1e3, f_u)
-                    .work_s
+                let mut f_dom = [0.0f64; msr::MAX_UNCORE_DOMAINS];
+                for (d, f) in f_dom.iter_mut().enumerate().take(nd) {
+                    *f = self.domain_uncore_ghz(d);
+                }
+                let t_total = perf::work_time_domains(
+                    &self.config.perf,
+                    demand,
+                    f_eff_khz * 1e3,
+                    &f_dom[..nd],
+                    &frac[..nd],
+                )
+                .work_s
                     * t_noise;
                 if t_total <= 0.0 {
                     break;
@@ -401,9 +497,10 @@ impl Node {
         }
     }
 
-    /// True when every socket's firmware UFS controller is settled for the
-    /// given steady-state inputs: its current ratio already equals the
-    /// target it would keep picking, so further quanta cannot change it.
+    /// True when every firmware UFS controller — each domain of each
+    /// socket — is settled for the given steady-state inputs: its current
+    /// ratio already equals the target it would keep picking, so further
+    /// quanta cannot change it.
     fn ufs_settled(&self, demand: &PhaseDemand, f_eff_khz: f64, gbs: f64, waiting: bool) -> bool {
         let cfg = &self.config;
         let n_sockets = self.sockets.len();
@@ -412,24 +509,30 @@ impl Node {
         } else {
             demand.active_cores
         };
-        let mem_util = (gbs * 1e9 / cfg.perf.bw_peak_bytes).clamp(0.0, 1.0);
         let ps = self.cached_pstate_for(self.sockets[0].requested_ratio());
         let f_spin_khz = cfg.pstates.khz(ps) as f64;
         let f_active_khz = if waiting { f_spin_khz } else { f_eff_khz };
         let requested_khz = cfg.pstates.khz(ps) as f64;
         self.sockets.iter().enumerate().all(|(i, s)| {
             let active = socket_active_cores(total_active, n_sockets, i);
-            let input = make_hwufs_input(
-                cfg,
-                active,
-                f_active_khz,
-                requested_khz,
-                mem_util,
-                s.epb(),
-                demand.hw_ufs_bias,
-            );
-            let (min_r, max_r) = s.uncore_limits();
-            s.hwufs.current_ratio() == s.hwufs.target_ratio(&input, min_r, max_r)
+            let epb = s.epb();
+            let nd = s.domains.len();
+            let peak_dom = cfg.perf.bw_peak_bytes / nd as f64;
+            s.domains.iter().enumerate().all(|(d, ufs)| {
+                let gbs_dom = gbs * demand.domain_frac(d, nd);
+                let mem_util = (gbs_dom * 1e9 / peak_dom).clamp(0.0, 1.0);
+                let input = make_hwufs_input(
+                    cfg,
+                    active,
+                    f_active_khz,
+                    requested_khz,
+                    mem_util,
+                    epb,
+                    demand.hw_ufs_bias,
+                );
+                let (min_r, max_r) = s.uncore_limits(d);
+                ufs.current_ratio() == ufs.target_ratio(&input, min_r, max_r)
+            })
         })
     }
 
@@ -453,7 +556,6 @@ impl Node {
         } else {
             demand.active_cores
         };
-        let mem_util = (gbs * 1e9 / cfg.perf.bw_peak_bytes).clamp(0.0, 1.0);
         let now = self.clock.now();
 
         // Spinning cores run scalar code at the requested (non-AVX) ratio.
@@ -494,21 +596,56 @@ impl Node {
             s.accum.mperf_kcycles +=
                 (active as f64 + idle as f64 * IDLE_HOUSEKEEPING_DUTY) * MPERF_SENTINEL_KHZ * dt;
 
-            // --- Firmware UFS ---
-            let (min_r, max_r) = s.uncore_limits();
-            let input = make_hwufs_input(
-                cfg,
-                active,
-                f_active_khz,
-                requested_khz,
-                mem_util,
-                s.epb(),
-                demand.hw_ufs_bias,
-            );
-            let ratio = s.hwufs.advance(dt, &input, min_r, max_r);
-            s.msr.poke(addr::MSR_UNCORE_PERF_STATUS, ratio as u64);
-            let f_unc_ghz = ratio as f64 * 0.1;
-            s.accum.uclk_kcycles += f_unc_ghz * 1e6 * dt;
+            // --- Firmware UFS, per uncore domain ---
+            let epb = s.epb();
+            let nd = s.domains.len();
+            let nd_f = nd as f64;
+            let peak_dom = cfg.perf.bw_peak_bytes / nd_f;
+            let mut limits = [(0u8, 0u8); msr::MAX_UNCORE_DOMAINS];
+            for (d, l) in limits.iter_mut().enumerate().take(nd) {
+                *l = s.uncore_limits(d);
+            }
+            let mut ghz_sum = 0.0;
+            let mut unc_w_sum = 0.0;
+            let mut mem_util0 = 0.0;
+            let mut f_unc0_ghz = 0.0;
+            for (d, ufs) in s.domains.iter_mut().enumerate() {
+                let fr = demand.domain_frac(d, nd);
+                let gbs_dom = gbs * fr;
+                let mem_util = (gbs_dom * 1e9 / peak_dom).clamp(0.0, 1.0);
+                let input = make_hwufs_input(
+                    cfg,
+                    active,
+                    f_active_khz,
+                    requested_khz,
+                    mem_util,
+                    epb,
+                    demand.hw_ufs_bias,
+                );
+                let (min_r, max_r) = limits[d];
+                let before = ufs.current_ratio();
+                let ratio = ufs.advance(dt, &input, min_r, max_r);
+                if ratio != before {
+                    crate::stats::record_ratio_step(d);
+                }
+                s.msr.poke(addr::tpmi_perf_status(d), ratio as u64);
+                let f_unc_ghz = ratio as f64 * 0.1;
+                ghz_sum += f_unc_ghz;
+                s.accum.uclk_dom_kcycles[d] += f_unc_ghz * 1e6 * dt;
+                if !waiting {
+                    s.accum.cas_dom_transactions[d] +=
+                        demand.mem_transactions() * fr * work_frac * share;
+                }
+                unc_w_sum += power::uncore_domain_power(&cfg.power, nd, f_unc_ghz, mem_util);
+                if d == 0 {
+                    mem_util0 = mem_util;
+                    f_unc0_ghz = f_unc_ghz;
+                }
+            }
+            // Legacy single-knob counter: the per-domain mean, so existing
+            // avg-IMC readings stay meaningful (and bit-identical at N=1).
+            let mean_ghz = ghz_sum / nd_f;
+            s.accum.uclk_kcycles += mean_ghz * 1e6 * dt;
 
             // --- Power ---
             let spin_or_act = if waiting {
@@ -522,10 +659,10 @@ impl Node {
                 f_core_ghz: f_active_khz * 1e-6,
                 activity: spin_or_act,
                 avx512_fraction: if waiting { 0.0 } else { demand.avx512_fraction },
-                f_uncore_ghz: f_unc_ghz,
-                mem_util,
+                f_uncore_ghz: f_unc0_ghz,
+                mem_util: mem_util0,
             };
-            let pkg_w = power::pkg_power(&cfg.power, &pin) * p_noise;
+            let pkg_w = power::pkg_power_with_uncore(&cfg.power, &pin, unc_w_sum) * p_noise;
             node_pkg_w += pkg_w;
             s.accum.pkg_energy_uj += pkg_w * dt * 1e6;
             // RAPL MSR view: exact energy quantised by the unit, 32-bit wrap.
@@ -635,8 +772,74 @@ mod tests {
     fn boots_at_nominal_max_uncore() {
         let n = quiet_node();
         assert_eq!(n.requested_pstate(), 1);
-        assert_eq!(n.uncore_limits(), (12, 24));
+        assert_eq!(n.uncore_limits(0, 0), (12, 24));
+        assert_eq!(n.uncore_limits(1, 0), (12, 24));
+        assert_eq!(n.uncore_domain_count(), 1);
         assert!((n.current_uncore_ghz() - 2.4).abs() < 1e-9);
+    }
+
+    fn dual_domain_node() -> Node {
+        let mut cfg = NodeConfig::sd530_6148().with_uncore_domains(2);
+        cfg.noise_sigma = 0.0;
+        Node::new(cfg, 1)
+    }
+
+    #[test]
+    fn per_domain_limits_are_independent() {
+        let mut n = dual_domain_node();
+        assert_eq!(n.uncore_domain_count(), 2);
+        n.set_uncore_limits_dom(1, 12, 12).unwrap();
+        assert_eq!(n.uncore_limits(0, 0), (12, 24));
+        assert_eq!(n.uncore_limits(0, 1), (12, 12));
+        // The pinned domain drops immediately; domain 0 stays at max.
+        assert_eq!(n.socket(0).uncore_ratio_dom(1), 12);
+        assert_eq!(n.socket(0).uncore_ratio_dom(0), 24);
+        // Legacy 0x620 writes keep addressing domain 0 only.
+        n.write_msr(
+            0,
+            addr::MSR_UNCORE_RATIO_LIMIT,
+            msr::pack_uncore_ratio_limit(18, 18),
+        )
+        .unwrap();
+        assert_eq!(n.uncore_limits(0, 0), (18, 18));
+        assert_eq!(n.uncore_limits(0, 1), (12, 12));
+    }
+
+    #[test]
+    fn idle_domain_down_scales_while_host_domain_stays_high() {
+        let mut n = dual_domain_node();
+        n.set_cpu_pstate(5); // sub-nominal: firmware UFS follows demand
+                             // All memory traffic routed to domain 0 (GPU-offload host feed).
+        let host_feed = PhaseDemand {
+            instructions: 2e11,
+            mem_bytes: 150e9,
+            cpi_core: 0.8,
+            active_cores: 32,
+            mem_overlap: 0.7,
+            domain_mem_frac: Some([1.0, 0.0, 0.0, 0.0]),
+            ..Default::default()
+        };
+        n.run_phase(&host_feed);
+        let busy = n.socket(0).uncore_ratio_dom(0);
+        let idle = n.socket(0).uncore_ratio_dom(1);
+        assert!(busy > idle + 4, "busy {busy} idle {idle}");
+        let snap = n.snapshot();
+        assert_eq!(snap.sockets[0].uncore_domains, 2);
+        // Domain counters reflect the routing: uclk ticks split, CAS does not.
+        assert!(snap.sockets[0].cas_dom_transactions[0] > 0);
+        assert_eq!(snap.sockets[0].cas_dom_transactions[1], 0);
+    }
+
+    #[test]
+    fn single_domain_node_matches_legacy_counters() {
+        // The per-domain accumulators of a 1-domain node must mirror the
+        // legacy scalar counters exactly.
+        let mut n = quiet_node();
+        n.run_phase(&cpu_bound());
+        let s = &n.snapshot().sockets[0];
+        assert_eq!(s.uncore_domains, 1);
+        assert_eq!(s.uclk_dom_kcycles[0], s.uclk_kcycles);
+        assert_eq!(s.cas_dom_transactions[0], s.cas_transactions);
     }
 
     #[test]

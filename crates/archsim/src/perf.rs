@@ -41,6 +41,14 @@ pub fn achievable_bw(params: &PerfParams, f_uncore_ghz: f64) -> f64 {
     params.bw_peak_bytes * scale.max(1e-3)
 }
 
+/// Achievable bandwidth (bytes/s) of a capacity slice — one uncore domain's
+/// share of the memory controllers. Same law as [`achievable_bw`] with the
+/// peak replaced by the slice's capacity.
+pub fn achievable_bw_capacity(peak_bytes: f64, bw_sat_ghz: f64, f_uncore_ghz: f64) -> f64 {
+    let scale = (f_uncore_ghz / bw_sat_ghz).min(1.0);
+    peak_bytes * scale.max(1e-3)
+}
+
 /// Computes the work-time breakdown for `demand` at the given effective core
 /// frequency (Hz, already AVX512-blended) and uncore frequency (GHz).
 pub fn work_time(
@@ -62,6 +70,54 @@ pub fn work_time(
     let uncore_s = demand.mem_transactions() * demand.uncore_lat_cycles / (a * f_uncore_ghz * 1e9);
     let bw = achievable_bw(params, f_uncore_ghz);
     let t_bw = demand.mem_bytes / bw;
+    let exposed_bw = (1.0 - demand.mem_overlap) * t_bw;
+    let serial_path = core_s + uncore_s + exposed_bw;
+    let work_s = serial_path.max(t_bw);
+    TimeBreakdown {
+        core_s,
+        uncore_s,
+        bandwidth_s: work_s - core_s - uncore_s,
+        work_s,
+    }
+}
+
+/// Work-time breakdown with the memory system split across uncore frequency
+/// domains. Domain `d` runs at `f_dom[d]` GHz, carries `frac[d]` of the
+/// phase's memory traffic, and owns `1/f_dom.len()` of the node's peak
+/// bandwidth (each die fronts its own memory controllers). The latency term
+/// sums per-domain contributions; the bandwidth bound is the slowest
+/// domain's (traffic streams concurrently, so the laggard exposes the
+/// stall). With one domain carrying all traffic this reduces bit-exactly to
+/// [`work_time`]: every extra multiply is by 1.0 and every extra add starts
+/// from 0.0, both exact in IEEE-754.
+pub fn work_time_domains(
+    params: &PerfParams,
+    demand: &PhaseDemand,
+    f_core_eff_hz: f64,
+    f_dom: &[f64],
+    frac: &[f64],
+) -> TimeBreakdown {
+    debug_assert_eq!(f_dom.len(), frac.len());
+    if demand.instructions <= 0.0 && demand.mem_bytes <= 0.0 {
+        return TimeBreakdown {
+            core_s: 0.0,
+            uncore_s: 0.0,
+            bandwidth_s: 0.0,
+            work_s: 0.0,
+        };
+    }
+    let a = demand.active_cores.max(1) as f64;
+    let core_s = demand.instructions * demand.cpi_core / (a * f_core_eff_hz);
+    let nd = f_dom.len().max(1) as f64;
+    let peak_dom = params.bw_peak_bytes / nd;
+    let mut uncore_s = 0.0;
+    let mut t_bw: f64 = 0.0;
+    for (&f_u, &fr) in f_dom.iter().zip(frac.iter()) {
+        let m_dom = demand.mem_transactions() * fr;
+        uncore_s += m_dom * demand.uncore_lat_cycles / (a * f_u * 1e9);
+        let bw = achievable_bw_capacity(peak_dom, params.bw_sat_ghz, f_u);
+        t_bw = t_bw.max(demand.mem_bytes * fr / bw);
+    }
     let exposed_bw = (1.0 - demand.mem_overlap) * t_bw;
     let serial_path = core_s + uncore_s + exposed_bw;
     let work_s = serial_path.max(t_bw);
@@ -193,5 +249,49 @@ mod tests {
         let d = memory_bound_demand();
         let t = work_time(&p, &d, 2.2e9, 2.0);
         assert!((t.core_s + t.uncore_s + t.bandwidth_s - t.work_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_domain_is_bit_identical_to_scalar_path() {
+        let p = PerfParams::default();
+        for d in [memory_bound_demand(), compute_bound_demand()] {
+            for f_u in [1.2, 1.7, 2.0, 2.4] {
+                for f_c in [1.2e9, 2.2e9, 2.4e9] {
+                    let scalar = work_time(&p, &d, f_c, f_u);
+                    let vector = work_time_domains(&p, &d, f_c, &[f_u], &[1.0]);
+                    // Bitwise, not approximate: the N=1 reduction is exact.
+                    assert_eq!(scalar, vector);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn down_scaling_the_idle_domain_is_free() {
+        let p = PerfParams::default();
+        let d = memory_bound_demand();
+        // All traffic on domain 0; domain 1 idle.
+        let hi = work_time_domains(&p, &d, 2.4e9, &[2.4, 2.4], &[1.0, 0.0]).work_s;
+        let idle_low = work_time_domains(&p, &d, 2.4e9, &[2.4, 1.2], &[1.0, 0.0]).work_s;
+        let host_low = work_time_domains(&p, &d, 2.4e9, &[1.2, 2.4], &[1.0, 0.0]).work_s;
+        assert_eq!(hi, idle_low, "idle domain frequency must not matter");
+        assert!(host_low > hi * 1.1, "traffic domain must be sensitive");
+    }
+
+    #[test]
+    fn split_traffic_uses_both_capacity_slices() {
+        let p = PerfParams::default();
+        // Pure streaming near node peak, split evenly: feasible at full
+        // frequency, but one saturated slice cannot carry it alone.
+        let d = PhaseDemand {
+            instructions: 1e8,
+            mem_bytes: 200e9,
+            mem_overlap: 1.0,
+            active_cores: 40,
+            ..Default::default()
+        };
+        let even = work_time_domains(&p, &d, 2.4e9, &[2.4, 2.4], &[0.5, 0.5]).work_s;
+        let skewed = work_time_domains(&p, &d, 2.4e9, &[2.4, 2.4], &[1.0, 0.0]).work_s;
+        assert!(skewed > even * 1.5, "skewed {skewed} even {even}");
     }
 }

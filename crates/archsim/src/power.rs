@@ -52,9 +52,30 @@ pub fn uncore_power(p: &PowerParams, f_uncore_ghz: f64, mem_util: f64) -> f64 {
     p.uncore_w * f_uncore_ghz.powf(p.uncore_freq_exp) * act
 }
 
+/// Uncore power of one frequency domain (W): the socket's uncore capacity
+/// `uncore_w` splits evenly across its `domains` dies, each clocking and
+/// gating independently. With `domains == 1` this is bit-identical to
+/// [`uncore_power`] (`uncore_w / 1.0` is exact).
+pub fn uncore_domain_power(
+    p: &PowerParams,
+    domains: usize,
+    f_uncore_ghz: f64,
+    mem_util: f64,
+) -> f64 {
+    let act = p.uncore_base_frac + (1.0 - p.uncore_base_frac) * mem_util.clamp(0.0, 1.0);
+    p.uncore_w / domains.max(1) as f64 * f_uncore_ghz.powf(p.uncore_freq_exp) * act
+}
+
 /// Package (RAPL PKG domain) power of one socket (W).
 pub fn pkg_power(p: &PowerParams, s: &SocketPowerInput) -> f64 {
     p.pkg_static_w + core_power(p, s) + uncore_power(p, s.f_uncore_ghz, s.mem_util)
+}
+
+/// Package power with the uncore term supplied by the caller — used by the
+/// node when it has already summed [`uncore_domain_power`] over domains.
+/// Addition order matches [`pkg_power`] exactly.
+pub fn pkg_power_with_uncore(p: &PowerParams, s: &SocketPowerInput, uncore_w: f64) -> f64 {
+    p.pkg_static_w + core_power(p, s) + uncore_w
 }
 
 /// DRAM power of the node (W) for a given achieved traffic.
@@ -157,5 +178,34 @@ mod tests {
         let busy = uncore_power(&p, 2.4, 1.0);
         assert!(idle > 0.4 * busy);
         assert!(idle < busy);
+    }
+
+    #[test]
+    fn single_domain_uncore_power_is_bit_identical() {
+        let p = PowerParams::default();
+        for f in [1.2, 1.7, 2.4] {
+            for util in [0.0, 0.3, 1.0] {
+                // Bitwise equality, not approximate: N=1 must not perturb
+                // the energy integration.
+                assert_eq!(
+                    uncore_power(&p, f, util),
+                    uncore_domain_power(&p, 1, f, util)
+                );
+            }
+        }
+        let s = socket(2.4, 2.4, 0.3);
+        let unc = uncore_domain_power(&p, 1, s.f_uncore_ghz, s.mem_util);
+        assert_eq!(pkg_power(&p, &s), pkg_power_with_uncore(&p, &s, 0.0 + unc));
+    }
+
+    #[test]
+    fn down_scaling_one_domain_saves_its_share() {
+        let p = PowerParams::default();
+        let both_hi = uncore_domain_power(&p, 2, 2.4, 0.3) + uncore_domain_power(&p, 2, 2.4, 0.3);
+        let one_lo = uncore_domain_power(&p, 2, 2.4, 0.3) + uncore_domain_power(&p, 2, 1.2, 0.0);
+        // Matches the whole-socket figure at equal frequency...
+        assert!((both_hi - uncore_power(&p, 2.4, 0.3)).abs() < 1e-12);
+        // ...and dropping the idle die saves a meaningful slice.
+        assert!(both_hi - one_lo > 5.0, "saving {} W", both_hi - one_lo);
     }
 }

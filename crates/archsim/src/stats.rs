@@ -1,0 +1,94 @@
+//! Process-wide UFS telemetry counters.
+//!
+//! The experiment engine publishes one `earsim-telemetry` JSON line per
+//! process (see `ear-experiments`); these atomics feed its `ufs` object
+//! with per-domain activity: how many quantum boundaries actually moved
+//! each domain's ratio, and the widest domain configuration instantiated.
+//! Recording is off the hot path in the common case — a relaxed `fetch_add`
+//! happens only on the (rare) quanta where a firmware controller changes
+//! its ratio, and the gauge only at node construction.
+
+use crate::msr::MAX_UNCORE_DOMAINS;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+// Const-indexed statics keep `record_ratio_step` branch-free; the explicit
+// initializer pins the array length to the supported domain count.
+static DOMAIN_RATIO_STEPS: [AtomicU64; MAX_UNCORE_DOMAINS] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+];
+static MAX_DOMAINS_SEEN: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot of the process-wide UFS counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UfsStats {
+    /// Widest per-socket domain configuration any node booted with.
+    pub max_domains: u64,
+    /// Ratio transitions observed per domain index, summed over all
+    /// sockets and nodes.
+    pub ratio_steps: [u64; MAX_UNCORE_DOMAINS],
+}
+
+impl UfsStats {
+    /// Total ratio transitions across all domains.
+    pub fn total_steps(&self) -> u64 {
+        self.ratio_steps.iter().sum()
+    }
+}
+
+/// Records that the firmware controller of domain `d` changed its ratio at
+/// a quantum boundary.
+pub fn record_ratio_step(d: usize) {
+    if d < MAX_UNCORE_DOMAINS {
+        DOMAIN_RATIO_STEPS[d].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Records the domain count of a newly booted node (monotonic gauge).
+pub fn record_node_domains(n: usize) {
+    MAX_DOMAINS_SEEN.fetch_max(n as u64, Ordering::Relaxed);
+}
+
+/// Reads the current counters.
+pub fn snapshot() -> UfsStats {
+    let mut ratio_steps = [0u64; MAX_UNCORE_DOMAINS];
+    for (d, out) in ratio_steps.iter_mut().enumerate() {
+        *out = DOMAIN_RATIO_STEPS[d].load(Ordering::Relaxed);
+    }
+    UfsStats {
+        max_domains: MAX_DOMAINS_SEEN.load(Ordering::Relaxed),
+        ratio_steps,
+    }
+}
+
+/// Zeroes all counters (tests).
+pub fn reset() {
+    for c in &DOMAIN_RATIO_STEPS {
+        c.store(0, Ordering::Relaxed);
+    }
+    MAX_DOMAINS_SEEN.store(0, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_domain() {
+        // Node tests in this crate also touch the process-wide counters, so
+        // assert on deltas rather than absolute values.
+        let before = snapshot();
+        record_ratio_step(0);
+        record_ratio_step(1);
+        record_ratio_step(1);
+        record_ratio_step(MAX_UNCORE_DOMAINS); // out of range: ignored
+        record_node_domains(2);
+        let after = snapshot();
+        assert_eq!(after.ratio_steps[0] - before.ratio_steps[0], 1);
+        assert_eq!(after.ratio_steps[1] - before.ratio_steps[1], 2);
+        assert!(after.max_domains >= 2);
+        assert!(after.total_steps() >= before.total_steps() + 3);
+    }
+}

@@ -7,7 +7,7 @@
 use ear_archsim::config::{HwUfsParams, NodeConfig};
 use ear_archsim::hwufs::{HwUfsController, HwUfsInput};
 use ear_archsim::msr::{pack_uncore_ratio_limit, rapl_counter_delta, unpack_uncore_ratio_limit};
-use ear_archsim::perf::work_time;
+use ear_archsim::perf::{work_time, work_time_domains};
 use ear_archsim::power::{pkg_power, SocketPowerInput};
 use ear_archsim::{Node, PerfParams, PhaseDemand, PowerParams};
 use proptest::prelude::*;
@@ -145,6 +145,91 @@ proptest! {
             prop_assert!(now.time >= prev.time);
             prop_assert!(now.dc_energy_exact_j >= prev.dc_energy_exact_j);
             prev = now;
+        }
+    }
+
+    #[test]
+    fn work_time_domains_collapses_to_scalar_at_one_domain(
+        d in arb_demand(),
+        fc in 1.0..2.6f64,
+        fu in 1.2..2.4f64,
+    ) {
+        // The per-domain surface at N=1 must be the pre-refactor scalar
+        // implementation bit for bit — same breakdown, same total — or the
+        // experiment tables' byte-identity claim cannot hold.
+        let p = PerfParams::default();
+        let scalar = work_time(&p, &d, fc * 1e9, fu);
+        let vector = work_time_domains(&p, &d, fc * 1e9, &[fu], &[1.0]);
+        prop_assert_eq!(scalar, vector);
+    }
+
+    #[test]
+    fn single_domain_node_is_bit_identical_across_addressing(
+        seed in any::<u64>(),
+        sweeps in prop::collection::vec(
+            (
+                prop::sample::select(vec![1_200_000u64, 1_900_000, 2_400_000, 2_600_000]),
+                12u8..=24,
+                0u8..=12,
+            ),
+            1..4,
+        ),
+    ) {
+        // On a 1-domain part the TPMI per-domain block is a pure alias of
+        // the legacy scalar path: driving the node through
+        // `set_uncore_limits_dom(0, ..)` with the traffic split pinned to
+        // domain 0 must replay the legacy `set_uncore_limits(..)` run with
+        // uniform routing exactly — event stream, counters and energy all
+        // bit-identical. This is the N=1 compatibility contract of the
+        // domain refactor.
+        let cfg = NodeConfig::sd530_6148();
+        let mut legacy = Node::new(cfg.clone(), seed);
+        let mut tpmi = Node::new(cfg, seed);
+        prop_assert_eq!(legacy.uncore_domain_count(), 1);
+
+        for (khz, min, span) in sweeps {
+            let max = (min + span).min(24);
+            let ps = legacy.config.pstates.pstate_for_khz(khz);
+            let demand = PhaseDemand {
+                instructions: 4e10,
+                mem_bytes: 6e9,
+                active_cores: 40,
+                wait_seconds: 0.05,
+                ..Default::default()
+            };
+
+            legacy.set_cpu_pstate(ps);
+            legacy
+                .set_uncore_limits(min, max)
+                .map_err(|e| format!("legacy write: {e:?}"))?;
+            let out_legacy = legacy.run_phase(&demand);
+
+            tpmi.set_cpu_pstate(ps);
+            tpmi.set_uncore_limits_dom(0, min, max)
+                .map_err(|e| format!("tpmi write: {e:?}"))?;
+            let out_tpmi = tpmi.run_phase(&PhaseDemand {
+                domain_mem_frac: Some([1.0, 0.0, 0.0, 0.0]),
+                ..demand
+            });
+
+            prop_assert_eq!(out_legacy, out_tpmi);
+            // Both read paths observe the same programmed limits.
+            prop_assert_eq!(legacy.uncore_limits(0, 0), (min, max));
+            prop_assert_eq!(tpmi.uncore_limits(0, 0), (min, max));
+        }
+
+        let (a, b) = (legacy.snapshot(), tpmi.snapshot());
+        prop_assert_eq!(a.time, b.time);
+        prop_assert_eq!(a.dc_energy_mj, b.dc_energy_mj);
+        prop_assert_eq!(
+            a.dc_energy_exact_j.to_bits(),
+            b.dc_energy_exact_j.to_bits(),
+            "dc energy diverged: {} vs {}",
+            a.dc_energy_exact_j,
+            b.dc_energy_exact_j
+        );
+        for (sa, sb) in a.sockets.iter().zip(b.sockets.iter()) {
+            prop_assert_eq!(sa, sb);
         }
     }
 

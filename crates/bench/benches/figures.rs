@@ -114,6 +114,7 @@ fn bench_model_ablation(c: &mut Criterion) {
         pkg_power_w: 270.0,
         avg_cpu_khz: 2.2e6,
         avg_imc_khz: 2.0e6,
+        ..Default::default()
     };
     let settings = PolicySettings::default();
     let mut g = c.benchmark_group("ablation/model");
@@ -122,6 +123,7 @@ fn bench_model_ablation(c: &mut Criterion) {
             pstates: &pstates,
             uncore_min_ratio: 12,
             uncore_max_ratio: 24,
+            uncore_domains: 1,
             model: &avx,
             settings: &settings,
         };
@@ -133,6 +135,7 @@ fn bench_model_ablation(c: &mut Criterion) {
             pstates: &pstates,
             uncore_min_ratio: 12,
             uncore_max_ratio: 24,
+            uncore_domains: 1,
             model: inner,
             settings: &settings,
         };

@@ -22,6 +22,7 @@ fn sig(vpi: f64) -> Signature {
         pkg_power_w: 250.0,
         avg_cpu_khz: 2.4e6,
         avg_imc_khz: 2.4e6,
+        ..Default::default()
     }
 }
 

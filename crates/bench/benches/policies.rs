@@ -19,6 +19,7 @@ fn sig() -> Signature {
         pkg_power_w: 215.0,
         avg_cpu_khz: 2.4e6,
         avg_imc_khz: 2.4e6,
+        ..Default::default()
     }
 }
 
@@ -35,6 +36,7 @@ fn bench_node_policy(c: &mut Criterion) {
                 pstates: &pstates,
                 uncore_min_ratio: 12,
                 uncore_max_ratio: 24,
+                uncore_domains: 1,
                 model: &model,
                 settings: &settings,
             };
@@ -60,6 +62,7 @@ fn bench_imc_search_iteration(c: &mut Criterion) {
             pstates: &pstates,
             uncore_min_ratio: 12,
             uncore_max_ratio: 24,
+            uncore_domains: 1,
             model: &model,
             settings: &settings,
         };

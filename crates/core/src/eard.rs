@@ -113,12 +113,8 @@ impl<R> EarDaemon<R> {
             return false;
         };
         // A faster CPU pstate is a *smaller* index; the ceiling is the
-        // fastest allowed.
-        let clamped = NodeFreqs {
-            cpu: current.cpu.max(ceiling.cpu),
-            imc_min_ratio: current.imc_min_ratio.min(ceiling.imc_max_ratio),
-            imc_max_ratio: current.imc_max_ratio.min(ceiling.imc_max_ratio),
-        };
+        // fastest allowed. Per-domain limits are clamped entry-wise.
+        let clamped = current.clamped_under(&ceiling);
         if clamped != current && manager::apply_freqs(node, &clamped).is_ok() {
             self.clamps += 1;
             self.log.push(EarMessage::Enforce {
@@ -188,11 +184,7 @@ impl<R: DaemonEndpoint> EarDaemon<R> {
                 continue;
             };
             let granted = match self.request_ceiling() {
-                Some(ceiling) => NodeFreqs {
-                    cpu: requested.cpu.max(ceiling.cpu),
-                    imc_min_ratio: requested.imc_min_ratio.min(ceiling.imc_max_ratio),
-                    imc_max_ratio: requested.imc_max_ratio.min(ceiling.imc_max_ratio),
-                },
+                Some(ceiling) => requested.clamped_under(&ceiling),
                 None => requested,
             };
             let clamped = granted != requested;

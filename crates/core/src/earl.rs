@@ -70,6 +70,7 @@ struct JobCtx {
     pstates: PstateTable,
     uncore_min_ratio: u8,
     uncore_max_ratio: u8,
+    uncore_domains: usize,
 }
 
 /// The runtime library.
@@ -204,6 +205,14 @@ impl Earl {
             pstates: &job.pstates,
             uncore_min_ratio: job.uncore_min_ratio,
             uncore_max_ratio: job.uncore_max_ratio,
+            // A policy configured single-knob sees one domain even on
+            // per-die hardware; EARD then applies its scalar ceiling
+            // package-wide (see `manager::apply_freqs`).
+            uncore_domains: if self.config.settings.per_domain_ufs {
+                job.uncore_domains
+            } else {
+                1
+            },
             model,
             settings: &self.config.settings,
         };
@@ -292,6 +301,7 @@ impl NodeRuntime for Earl {
             pstates: node.config.pstates.clone(),
             uncore_min_ratio: node.config.uncore_min_ratio,
             uncore_max_ratio: node.config.uncore_max_ratio,
+            uncore_domains: node.uncore_domain_count(),
         });
         self.last_snapshot = Some(node.snapshot());
         self.window_iters = 0;

@@ -43,6 +43,7 @@ pub mod state;
 
 pub use accounting::{AccountingDb, JobRecord, SharedAccounting};
 pub use conf::{parse_ear_conf, render_ear_conf, ConfError};
+pub use ear_archsim::MAX_UNCORE_DOMAINS;
 pub use ear_errors::{EarError, EarResult};
 pub use eard::EarDaemon;
 pub use eargm::{ClusterEnergyManager, GmStep};
@@ -53,8 +54,9 @@ pub use models::{
 };
 pub use monitor::{MonitorSample, MonitorSummary, Monitored};
 pub use policy::{
-    Duf, ImcRange, ImcSearch, MinEnergy, MinEnergyEufs, MinTime, MinTimeEufs, Monitoring,
-    NodeFreqs, PolicyCtx, PolicyRegistry, PolicySettings, PolicyState, PowerPolicy,
+    DomainLimits, DomainSearch, Duf, ImcRange, ImcSearch, MinEnergy, MinEnergyEufs, MinTime,
+    MinTimeEufs, Monitoring, NodeFreqs, PolicyCtx, PolicyRegistry, PolicySettings, PolicyState,
+    PowerPolicy,
 };
 pub use powercap::{distribute_budget, CapAction, PowercapController};
 pub use protocol::{DaemonEndpoint, DaemonReply, EarMessage, EarlRequest, GmCommand, GmReport};

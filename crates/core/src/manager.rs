@@ -4,33 +4,71 @@
 //! on every socket (all cores), the uncore limits to
 //! `MSR_UNCORE_RATIO_LIMIT` — the paper's §IV mechanism. Writes go through
 //! the node's software MSR interface so the same validation real drivers
-//! face (reserved bits, min ≤ max) is exercised.
+//! face (reserved bits, min ≤ max) is exercised. On multi-domain parts a
+//! request carrying a [`DomainLimits`] block addresses each domain's TPMI
+//! ratio-limit register individually; the legacy scalar pair keeps going
+//! through 0x620, which aliases TPMI domain 0.
 
-use crate::policy::api::NodeFreqs;
+use crate::policy::api::{DomainLimits, NodeFreqs};
 use ear_archsim::msr::{self, addr};
 use ear_archsim::{MsrError, Node};
 
-/// Applies `freqs` to every socket of `node`.
+/// Applies `freqs` to every socket of `node`. A per-domain block, when
+/// present, programs each domain's TPMI register pair; otherwise the
+/// single legacy `MSR_UNCORE_RATIO_LIMIT` write is performed (which on
+/// multi-domain hardware reaches domain 0 only — exactly the silent
+/// single-knob assumption this refactor removed from the policies).
 pub fn apply_freqs(node: &mut Node, freqs: &NodeFreqs) -> Result<(), MsrError> {
     let ratio = node.config.pstates.ratio_for(freqs.cpu);
-    let uncore = msr::pack_uncore_ratio_limit(freqs.imc_min_ratio, freqs.imc_max_ratio);
     for s in 0..node.socket_count() {
         node.write_msr(s, addr::IA32_PERF_CTL, msr::pack_perf_ctl(ratio))?;
-        node.write_msr(s, addr::MSR_UNCORE_RATIO_LIMIT, uncore)?;
+        if freqs.imc_dom.is_per_domain() {
+            for d in 0..freqs.imc_dom.count() {
+                let packed =
+                    msr::pack_uncore_ratio_limit(freqs.imc_dom.min[d], freqs.imc_dom.max[d]);
+                node.write_msr(s, addr::tpmi_ratio_limit(d), packed)?;
+            }
+        } else {
+            // A scalar request is package-scope: the legacy register (an
+            // alias of TPMI domain 0) plus every further die, so a
+            // single-knob policy limits the whole package on per-die
+            // hardware exactly as it does on legacy parts. On 1-domain
+            // nodes the loop body never runs and the MSR traffic is
+            // identical to the pre-domain code.
+            let uncore = msr::pack_uncore_ratio_limit(freqs.imc_min_ratio, freqs.imc_max_ratio);
+            node.write_msr(s, addr::MSR_UNCORE_RATIO_LIMIT, uncore)?;
+            for d in 1..node.uncore_domain_count() {
+                node.write_msr(s, addr::tpmi_ratio_limit(d), uncore)?;
+            }
+        }
     }
     Ok(())
 }
 
 /// Reads back the frequencies currently programmed (socket 0; EAR keeps
-/// sockets in lock-step).
+/// sockets in lock-step). On a multi-domain node the per-domain block is
+/// populated from each domain's TPMI register; single-domain nodes report
+/// the legacy scalar view only.
 pub fn read_freqs(node: &Node) -> Result<NodeFreqs, MsrError> {
     let ratio = msr::unpack_perf_ratio(node.read_msr(0, addr::IA32_PERF_CTL)?);
     let (imc_min, imc_max) =
         msr::unpack_uncore_ratio_limit(node.read_msr(0, addr::MSR_UNCORE_RATIO_LIMIT)?);
+    let nd = node.uncore_domain_count();
+    let mut imc_dom = DomainLimits::LEGACY;
+    if nd > 1 {
+        imc_dom.count = nd as u8;
+        for d in 0..nd {
+            let v = node.read_msr(0, addr::tpmi_ratio_limit(d))?;
+            let (min, max) = msr::unpack_uncore_ratio_limit(v);
+            imc_dom.min[d] = min;
+            imc_dom.max[d] = max;
+        }
+    }
     Ok(NodeFreqs {
         cpu: node.config.pstates.pstate_for_ratio(ratio),
         imc_min_ratio: imc_min,
         imc_max_ratio: imc_max,
+        imc_dom,
     })
 }
 
@@ -46,6 +84,7 @@ mod tests {
             cpu: 4,
             imc_min_ratio: 12,
             imc_max_ratio: 18,
+            imc_dom: DomainLimits::LEGACY,
         };
         apply_freqs(&mut node, &f).unwrap();
         assert_eq!(read_freqs(&node).unwrap(), f);
@@ -63,6 +102,7 @@ mod tests {
             cpu: 1,
             imc_min_ratio: 20,
             imc_max_ratio: 15,
+            imc_dom: DomainLimits::LEGACY,
         };
         assert!(apply_freqs(&mut node, &f).is_err());
     }
@@ -74,8 +114,45 @@ mod tests {
             cpu: 1,
             imc_min_ratio: 15,
             imc_max_ratio: 15,
+            imc_dom: DomainLimits::LEGACY,
         };
         apply_freqs(&mut node, &f).unwrap();
         assert!((node.current_uncore_ghz() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_domain_block_programs_each_domain() {
+        let mut node = Node::new(NodeConfig::sd530_6148().with_uncore_domains(2), 1);
+        let mut f = NodeFreqs {
+            cpu: 1,
+            imc_min_ratio: 12,
+            imc_max_ratio: 22,
+            imc_dom: DomainLimits::uniform(2, 12, 22),
+        };
+        f.imc_dom.max[1] = 14;
+        apply_freqs(&mut node, &f).unwrap();
+        let back = read_freqs(&node).unwrap();
+        assert_eq!(back.imc_dom.count(), 2);
+        assert_eq!((back.imc_dom.min[0], back.imc_dom.max[0]), (12, 22));
+        assert_eq!((back.imc_dom.min[1], back.imc_dom.max[1]), (12, 14));
+        // Domain 0's TPMI register aliases the legacy 0x620 pair.
+        assert_eq!((back.imc_min_ratio, back.imc_max_ratio), (12, 22));
+        // Limits are honoured independently by each firmware controller.
+        assert_eq!(node.uncore_limits(0, 0), (12, 22));
+        assert_eq!(node.uncore_limits(0, 1), (12, 14));
+    }
+
+    #[test]
+    fn per_domain_block_faults_on_absent_domains() {
+        let mut node = Node::new(NodeConfig::sd530_6148(), 1);
+        let f = NodeFreqs {
+            cpu: 1,
+            imc_min_ratio: 12,
+            imc_max_ratio: 22,
+            imc_dom: DomainLimits::uniform(2, 12, 22),
+        };
+        // Domain 1 does not exist on a single-domain node: the TPMI write
+        // faults and the whole request is rejected.
+        assert!(apply_freqs(&mut node, &f).is_err());
     }
 }

@@ -89,6 +89,7 @@ mod tests {
             pkg_power_w: 260.0,
             avg_cpu_khz: 2.2e6,
             avg_imc_khz: 2.0e6,
+            ..Default::default()
         }
     }
 

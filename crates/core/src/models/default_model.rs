@@ -146,6 +146,7 @@ mod tests {
             pkg_power_w: 240.0,
             avg_cpu_khz: 2.4e6,
             avg_imc_khz: 2.4e6,
+            ..Default::default()
         }
     }
 
@@ -161,6 +162,7 @@ mod tests {
             pkg_power_w: 250.0,
             avg_cpu_khz: 2.4e6,
             avg_imc_khz: 2.4e6,
+            ..Default::default()
         }
     }
 

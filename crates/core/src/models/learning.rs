@@ -207,6 +207,7 @@ mod tests {
             pstates: &pstates,
             uncore_min_ratio: 12,
             uncore_max_ratio: 24,
+            uncore_domains: 1,
             model: &model,
             settings: &settings,
         };
@@ -222,6 +223,7 @@ mod tests {
             pkg_power_w: 235.0,
             avg_cpu_khz: 2.4e6,
             avg_imc_khz: 2.4e6,
+            ..Default::default()
         };
         assert_eq!(select_min_energy_pstate(&cpu_bound, 1, &ctx), 1);
         // HPCG-like: lowered substantially.

@@ -8,14 +8,62 @@
 
 use crate::models::EnergyModel;
 use crate::signature::Signature;
-use ear_archsim::{Pstate, PstateTable};
+use ear_archsim::{Pstate, PstateTable, MAX_UNCORE_DOMAINS};
 use std::collections::HashMap;
 use std::fmt;
+
+/// Per-domain uncore ratio limits carried alongside the legacy scalar pair
+/// in [`NodeFreqs`]. `count == 0` means "legacy single knob": the scalar
+/// `imc_min_ratio`/`imc_max_ratio` apply through `MSR_UNCORE_RATIO_LIMIT`
+/// and the arrays are ignored. With `count > 0`, entry `d` is programmed
+/// into domain `d`'s TPMI ratio-limit register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DomainLimits {
+    /// Domains explicitly addressed (0 = legacy scalar path).
+    pub count: u8,
+    /// Per-domain minimum ratios (100 MHz units).
+    pub min: [u8; MAX_UNCORE_DOMAINS],
+    /// Per-domain maximum ratios (100 MHz units).
+    pub max: [u8; MAX_UNCORE_DOMAINS],
+}
+
+impl DomainLimits {
+    /// The legacy marker: no per-domain addressing.
+    pub const LEGACY: Self = Self {
+        count: 0,
+        min: [0; MAX_UNCORE_DOMAINS],
+        max: [0; MAX_UNCORE_DOMAINS],
+    };
+
+    /// The same (min, max) pair on each of `count` domains.
+    pub fn uniform(count: usize, min: u8, max: u8) -> Self {
+        let count = count.min(MAX_UNCORE_DOMAINS);
+        let mut l = Self::LEGACY;
+        l.count = count as u8;
+        for d in 0..count {
+            l.min[d] = min;
+            l.max[d] = max;
+        }
+        l
+    }
+
+    /// Whether per-domain addressing is active.
+    pub fn is_per_domain(&self) -> bool {
+        self.count > 0
+    }
+
+    /// Domains explicitly addressed.
+    pub fn count(&self) -> usize {
+        (self.count as usize).min(MAX_UNCORE_DOMAINS)
+    }
+}
 
 /// The frequency settings a policy selects for a node: one CPU pstate
 /// (applied to every core) and the IMC ratio limits written to
 /// `MSR_UNCORE_RATIO_LIMIT` (paper §V-B: eUFS changes the maximum, never
-/// the minimum).
+/// the minimum). On multi-domain parts `imc_dom` addresses each die's
+/// TPMI register pair individually; the scalar pair then mirrors domain 0
+/// for legacy consumers (traces, logs).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NodeFreqs {
     /// CPU pstate for all cores.
@@ -24,6 +72,28 @@ pub struct NodeFreqs {
     pub imc_min_ratio: u8,
     /// Uncore maximum ratio (100 MHz units).
     pub imc_max_ratio: u8,
+    /// Per-domain limits (`DomainLimits::LEGACY` for the scalar path).
+    pub imc_dom: DomainLimits,
+}
+
+impl NodeFreqs {
+    /// Clamps this request under a daemon ceiling: the CPU may not be
+    /// faster than the ceiling's pstate (faster = smaller index) and no
+    /// uncore limit may exceed the ceiling's maximum ratio. The per-domain
+    /// block, when present, is clamped entry-wise.
+    pub fn clamped_under(&self, ceiling: &NodeFreqs) -> NodeFreqs {
+        let mut out = NodeFreqs {
+            cpu: self.cpu.max(ceiling.cpu),
+            imc_min_ratio: self.imc_min_ratio.min(ceiling.imc_max_ratio),
+            imc_max_ratio: self.imc_max_ratio.min(ceiling.imc_max_ratio),
+            imc_dom: self.imc_dom,
+        };
+        for d in 0..out.imc_dom.count() {
+            out.imc_dom.min[d] = out.imc_dom.min[d].min(ceiling.imc_max_ratio);
+            out.imc_dom.max[d] = out.imc_dom.max[d].min(ceiling.imc_max_ratio);
+        }
+        out
+    }
 }
 
 /// What a policy returns to EARL (paper Code 1): `Ready` means the policy
@@ -84,6 +154,12 @@ pub struct PolicySettings {
     /// min_time_to_solution: minimum efficiency gain per 100 MHz that
     /// justifies a faster pstate.
     pub min_time_eff_gain: f64,
+    /// Search each uncore frequency domain independently on multi-domain
+    /// nodes (default). When `false` the policies see a single knob even
+    /// on per-die hardware: the `ImcFreqSel` scalar search runs once and
+    /// EARD applies its ceiling package-wide — the baseline the per-domain
+    /// experiment table compares against. Irrelevant on 1-domain nodes.
+    pub per_domain_ufs: bool,
 }
 
 impl Default for PolicySettings {
@@ -96,6 +172,7 @@ impl Default for PolicySettings {
             sig_change_th: 0.15,
             def_pstate: 1,
             min_time_eff_gain: 0.5,
+            per_domain_ufs: true,
         }
     }
 }
@@ -122,6 +199,9 @@ pub struct PolicyCtx<'a> {
     pub uncore_min_ratio: u8,
     /// Platform uncore maximum ratio.
     pub uncore_max_ratio: u8,
+    /// Uncore frequency domains per socket (1 = the legacy single knob;
+    /// policies search each domain independently above that).
+    pub uncore_domains: usize,
     /// The energy model for projections.
     pub model: &'a dyn EnergyModel,
     /// Policy settings.
@@ -134,12 +214,22 @@ impl<'a> PolicyCtx<'a> {
         (self.uncore_min_ratio, self.uncore_max_ratio)
     }
 
-    /// Default frequencies: default pstate, hardware-managed uncore.
+    /// Default frequencies: default pstate, hardware-managed uncore (all
+    /// domains released to firmware on multi-domain parts).
     pub fn default_freqs(&self) -> NodeFreqs {
         NodeFreqs {
             cpu: self.settings.def_pstate,
             imc_min_ratio: self.uncore_min_ratio,
             imc_max_ratio: self.uncore_max_ratio,
+            imc_dom: if self.uncore_domains > 1 {
+                DomainLimits::uniform(
+                    self.uncore_domains,
+                    self.uncore_min_ratio,
+                    self.uncore_max_ratio,
+                )
+            } else {
+                DomainLimits::LEGACY
+            },
         }
     }
 }
@@ -149,6 +239,7 @@ impl fmt::Debug for PolicyCtx<'_> {
         f.debug_struct("PolicyCtx")
             .field("uncore_min_ratio", &self.uncore_min_ratio)
             .field("uncore_max_ratio", &self.uncore_max_ratio)
+            .field("uncore_domains", &self.uncore_domains)
             .field("settings", &self.settings)
             .finish_non_exhaustive()
     }
@@ -296,6 +387,53 @@ mod tests {
         // Ceiling itself clamps into the platform range.
         assert_eq!(ImcRange::MaxOnly.limits_for(30, 12, 24), (12, 24));
         assert_eq!(ImcRange::Pinned.limits_for(5, 12, 24), (12, 12));
+    }
+
+    #[test]
+    fn domain_limits_legacy_and_uniform() {
+        assert!(!DomainLimits::LEGACY.is_per_domain());
+        assert_eq!(DomainLimits::LEGACY.count(), 0);
+        let u = DomainLimits::uniform(2, 12, 24);
+        assert!(u.is_per_domain());
+        assert_eq!(u.count(), 2);
+        assert_eq!((u.min[0], u.max[0]), (12, 24));
+        assert_eq!((u.min[1], u.max[1]), (12, 24));
+        assert_eq!((u.min[2], u.max[2]), (0, 0), "unused entries stay zero");
+        // Over-wide requests clamp to the supported maximum.
+        assert_eq!(
+            DomainLimits::uniform(99, 12, 24).count(),
+            MAX_UNCORE_DOMAINS
+        );
+    }
+
+    #[test]
+    fn clamping_covers_the_domain_block() {
+        let ceiling = NodeFreqs {
+            cpu: 2,
+            imc_min_ratio: 12,
+            imc_max_ratio: 20,
+            imc_dom: DomainLimits::LEGACY,
+        };
+        let req = NodeFreqs {
+            cpu: 0,
+            imc_min_ratio: 12,
+            imc_max_ratio: 24,
+            imc_dom: DomainLimits::uniform(2, 14, 24),
+        };
+        let got = req.clamped_under(&ceiling);
+        assert_eq!(got.cpu, 2, "cpu clamped to the slower ceiling pstate");
+        assert_eq!(got.imc_max_ratio, 20);
+        assert_eq!(got.imc_dom.count(), 2);
+        assert_eq!((got.imc_dom.min[0], got.imc_dom.max[0]), (14, 20));
+        assert_eq!((got.imc_dom.min[1], got.imc_dom.max[1]), (14, 20));
+        // A request already under the ceiling is untouched.
+        let tame = NodeFreqs {
+            cpu: 3,
+            imc_min_ratio: 12,
+            imc_max_ratio: 18,
+            imc_dom: DomainLimits::LEGACY,
+        };
+        assert_eq!(tame.clamped_under(&ceiling), tame);
     }
 
     #[test]

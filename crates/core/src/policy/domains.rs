@@ -1,0 +1,277 @@
+//! The shared per-domain IMC descent engine.
+//!
+//! On multi-die parts every uncore domain has its own ratio-limit register
+//! and its own memory traffic share, so the eUFS search of §V-B
+//! generalises to N concurrent descents: each domain steps its maximum
+//! down by 0.1 GHz per signature until *its* traffic shows a bandwidth
+//! penalty, while one global CPI gate protects the application as a whole
+//! (CPI cannot be attributed to a single die). The three searching
+//! policies (`min_energy_eufs`, `min_time_eufs`, `duf`) share this engine
+//! so their convergence semantics stay aligned:
+//!
+//! * **per-domain bandwidth gate** — domain `d` reverts its last step and
+//!   freezes when `gbs_dom[d]` falls below `ref · (1 − th)`;
+//! * **global CPI gate** — a CPI excursion beyond `ref · (1 + th)` reverts
+//!   every *traffic-bearing* domain that stepped in the previous round and
+//!   freezes them (the shared convergence gate: among domains that serve
+//!   memory traffic, blame cannot be localised, so every suspect backs
+//!   off; a domain with no reference traffic charges no uncore latency
+//!   and is exonerated);
+//! * the search reports converged only when *all* domains froze or reached
+//!   the platform floor.
+//!
+//! An idle domain (no traffic routed to it) never trips its bandwidth gate
+//! and descends to the floor — exactly the behaviour that makes per-die
+//! scaling pay on GPU-offload hosts where one die fronts the accelerator
+//! and the other runs compute-idle.
+
+use crate::policy::api::{DomainLimits, ImcRange};
+use crate::signature::Signature;
+use ear_archsim::MAX_UNCORE_DOMAINS;
+
+/// One in-flight multi-domain descent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DomainSearch {
+    n: u8,
+    floor: u8,
+    cur_max: [u8; MAX_UNCORE_DOMAINS],
+    start: [u8; MAX_UNCORE_DOMAINS],
+    frozen: [bool; MAX_UNCORE_DOMAINS],
+    /// Domains that stepped down in the previous round (the global CPI
+    /// gate's revert set).
+    stepped: [bool; MAX_UNCORE_DOMAINS],
+}
+
+impl DomainSearch {
+    /// Begins a descent over `n` domains from the per-domain `starts`
+    /// (the hardware's settled ratios under HW-guided search, the platform
+    /// maximum under linear search), bounded below by `floor`.
+    pub fn begin(n: usize, starts: &[u8], floor: u8) -> Self {
+        let n = n.clamp(1, MAX_UNCORE_DOMAINS);
+        let mut s = Self {
+            n: n as u8,
+            floor,
+            cur_max: [0; MAX_UNCORE_DOMAINS],
+            start: [0; MAX_UNCORE_DOMAINS],
+            frozen: [false; MAX_UNCORE_DOMAINS],
+            stepped: [false; MAX_UNCORE_DOMAINS],
+        };
+        for d in 0..n {
+            let at = starts.get(d).copied().unwrap_or(floor).max(floor);
+            s.start[d] = at;
+            s.cur_max[d] = at;
+            s.frozen[d] = at <= floor;
+        }
+        s
+    }
+
+    /// Domains under search.
+    pub fn domain_count(&self) -> usize {
+        self.n as usize
+    }
+
+    /// Whether every domain froze (converged or at the floor).
+    pub fn converged(&self) -> bool {
+        self.frozen[..self.n as usize].iter().all(|&f| f)
+    }
+
+    /// Current per-domain maximum ratios.
+    pub fn current_max(&self) -> &[u8] {
+        &self.cur_max[..self.n as usize]
+    }
+
+    /// The widest current maximum — the scalar ceiling reported through
+    /// the legacy [`PowerPolicy::imc_ceiling`] introspection hook.
+    ///
+    /// [`PowerPolicy::imc_ceiling`]: crate::policy::api::PowerPolicy::imc_ceiling
+    pub fn ceiling(&self) -> u8 {
+        self.cur_max[..self.n as usize]
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(self.floor)
+    }
+
+    /// Takes the descent one signature forward. `reference` is the
+    /// signature captured when the descent started; `th` the uncore
+    /// penalty budget (`unc_policy_th`). Returns true when the search has
+    /// fully converged (the caller then stops re-applying it).
+    pub fn observe(&mut self, sig: &Signature, reference: &Signature, th: f64) -> bool {
+        let n = self.n as usize;
+        // Global CPI gate: revert last round's steps, freeze the steppers.
+        // Blame is bounded by traffic: a domain that served no memory
+        // transactions in the reference window charges no uncore latency,
+        // so it cannot have caused the excursion — idle steppers are
+        // exonerated and keep descending towards the floor.
+        if sig.cpi > reference.cpi * (1.0 + th) {
+            let mut blamed = false;
+            for d in 0..n {
+                let busy = reference.gbs_dom.get(d).copied().unwrap_or(0.0) > 0.0;
+                if self.stepped[d] && !self.frozen[d] && busy {
+                    self.cur_max[d] = (self.cur_max[d] + 1).min(self.start[d]);
+                    self.frozen[d] = true;
+                    blamed = true;
+                }
+            }
+            if blamed {
+                self.stepped = [false; MAX_UNCORE_DOMAINS];
+                return self.converged();
+            }
+            // Only idle domains stepped: the excursion cannot stem from
+            // the descent — fall through to the normal round.
+        }
+        // Per-domain bandwidth gate.
+        for d in 0..n {
+            if self.frozen[d] {
+                continue;
+            }
+            let r = reference.gbs_dom.get(d).copied().unwrap_or(0.0);
+            let got = sig.gbs_dom.get(d).copied().unwrap_or(0.0);
+            if r > 0.0 && got < r * (1.0 - th) {
+                self.cur_max[d] = (self.cur_max[d] + 1).min(self.start[d]);
+                self.frozen[d] = true;
+            }
+        }
+        // Unfrozen domains take their next step.
+        self.stepped = [false; MAX_UNCORE_DOMAINS];
+        for d in 0..n {
+            if self.frozen[d] {
+                continue;
+            }
+            if self.cur_max[d] <= self.floor {
+                self.frozen[d] = true;
+            } else {
+                self.cur_max[d] -= 1;
+                self.stepped[d] = true;
+            }
+        }
+        self.converged()
+    }
+
+    /// Maps the current per-domain ceilings through the configured range
+    /// mode into the [`DomainLimits`] block of a frequency request.
+    pub fn limits(&self, range: ImcRange, platform_min: u8, platform_max: u8) -> DomainLimits {
+        let mut l = DomainLimits::LEGACY;
+        l.count = self.n;
+        for d in 0..self.n as usize {
+            let (min, max) = range.limits_for(self.cur_max[d], platform_min, platform_max);
+            l.min[d] = min;
+            l.max[d] = max;
+        }
+        l
+    }
+}
+
+/// Per-domain search start ratios: the hardware's settled per-domain
+/// frequencies rounded to 100 MHz ratios, clamped into the platform range
+/// (HW-guided); callers pass the platform maximum per domain for linear.
+pub fn hw_guided_starts(
+    sig: &Signature,
+    platform_min: u8,
+    platform_max: u8,
+) -> [u8; MAX_UNCORE_DOMAINS] {
+    let mut starts = [platform_max; MAX_UNCORE_DOMAINS];
+    for (d, out) in starts.iter_mut().enumerate().take(sig.domain_count()) {
+        let ratio = (sig.imc_dom_khz[d] / 100_000.0).round() as u8;
+        *out = ratio.clamp(platform_min, platform_max);
+    }
+    starts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dom_sig(cpi: f64, gbs_dom: [f64; MAX_UNCORE_DOMAINS]) -> Signature {
+        Signature {
+            window_s: 10.0,
+            iterations: 5,
+            cpi,
+            gbs: gbs_dom.iter().sum(),
+            imc_domains: 2,
+            imc_dom_khz: [2.4e6, 2.4e6, 0.0, 0.0],
+            gbs_dom,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn idle_domain_descends_to_floor_while_busy_domain_trips() {
+        let reference = dom_sig(0.5, [40.0, 0.0, 0.0, 0.0]);
+        let mut s = DomainSearch::begin(2, &[24, 24], 12);
+        assert!(!s.converged());
+        let mut sig = reference;
+        let mut rounds = 0;
+        while !s.observe(&sig, &reference, 0.02) {
+            rounds += 1;
+            assert!(rounds < 40, "no convergence");
+            // The busy domain's bandwidth collapses once its max dips
+            // under 20; the idle domain never shows a penalty.
+            sig = if s.current_max()[0] < 20 {
+                dom_sig(0.5, [35.0, 0.0, 0.0, 0.0])
+            } else {
+                reference
+            };
+        }
+        // Busy domain reverted to ~20; idle domain reached the floor.
+        assert!(s.current_max()[0] >= 19, "busy: {:?}", s.current_max());
+        assert_eq!(s.current_max()[1], 12, "idle: {:?}", s.current_max());
+        assert_eq!(s.ceiling(), s.current_max()[0]);
+    }
+
+    #[test]
+    fn global_cpi_gate_reverts_last_steppers_only() {
+        let reference = dom_sig(0.5, [20.0, 20.0, 0.0, 0.0]);
+        let mut s = DomainSearch::begin(2, &[24, 24], 12);
+        // Round 1: both step 24 → 23.
+        assert!(!s.observe(&reference, &reference, 0.02));
+        assert_eq!(s.current_max(), &[23, 23]);
+        // CPI excursion: both stepped last round, both revert and freeze.
+        let hurt = dom_sig(0.6, [20.0, 20.0, 0.0, 0.0]);
+        assert!(s.observe(&hurt, &reference, 0.02));
+        assert_eq!(s.current_max(), &[24, 24]);
+        assert!(s.converged());
+    }
+
+    #[test]
+    fn per_domain_bandwidth_gate_freezes_one_side() {
+        let reference = dom_sig(0.5, [20.0, 20.0, 0.0, 0.0]);
+        let mut s = DomainSearch::begin(2, &[24, 24], 12);
+        s.observe(&reference, &reference, 0.02); // both → 23
+                                                 // Domain 0's bandwidth collapses; domain 1 unaffected.
+        let lop = dom_sig(0.5, [18.0, 20.0, 0.0, 0.0]);
+        assert!(!s.observe(&lop, &reference, 0.02));
+        assert_eq!(s.current_max()[0], 24, "reverted");
+        assert_eq!(s.current_max()[1], 22, "kept stepping");
+    }
+
+    #[test]
+    fn starts_at_floor_converge_immediately() {
+        let s = DomainSearch::begin(2, &[12, 12], 12);
+        assert!(s.converged());
+        assert_eq!(s.current_max(), &[12, 12]);
+    }
+
+    #[test]
+    fn limits_map_through_range_modes() {
+        let s = DomainSearch::begin(2, &[20, 16], 12);
+        let l = s.limits(ImcRange::MaxOnly, 12, 24);
+        assert_eq!(l.count(), 2);
+        assert_eq!((l.min[0], l.max[0]), (12, 20));
+        assert_eq!((l.min[1], l.max[1]), (12, 16));
+        let p = s.limits(ImcRange::Pinned, 12, 24);
+        assert_eq!((p.min[0], p.max[0]), (20, 20));
+        assert_eq!((p.min[1], p.max[1]), (16, 16));
+    }
+
+    #[test]
+    fn hw_guided_starts_read_per_domain_frequencies() {
+        let mut sig = dom_sig(0.5, [20.0, 0.0, 0.0, 0.0]);
+        sig.imc_dom_khz = [2.4e6, 1.53e6, 0.0, 0.0];
+        let starts = hw_guided_starts(&sig, 12, 24);
+        assert_eq!(starts[0], 24);
+        assert_eq!(starts[1], 15);
+        // Entries past the signature's domain count stay at the maximum.
+        assert_eq!(starts[2], 24);
+    }
+}

@@ -13,8 +13,10 @@
 //! ME+eU interesting: EAR gets the DVFS savings on memory-bound codes
 //! that a pure uncore controller cannot see.
 
-use super::api::{NodeFreqs, PolicyCtx, PolicyState, PowerPolicy};
+use super::api::{DomainLimits, ImcRange, NodeFreqs, PolicyCtx, PolicyState, PowerPolicy};
+use super::domains::DomainSearch;
 use crate::signature::Signature;
+use ear_archsim::MAX_UNCORE_DOMAINS;
 
 /// Controller phases.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,6 +34,8 @@ pub struct Duf {
     /// Reference signature captured when descent (re)starts.
     reference: Option<Signature>,
     cur_max_ratio: Option<u8>,
+    /// The multi-domain descent, on >1-domain parts.
+    dom: Option<DomainSearch>,
     /// Signatures to hold between probes.
     hold_signatures: u32,
     /// Tolerated CPI degradation per descent (like DUF's slowdown budget).
@@ -46,6 +50,7 @@ impl Default for Duf {
             mode: Mode::Descending,
             reference: None,
             cur_max_ratio: None,
+            dom: None,
             hold_signatures: 6,
             tolerance: 0.02,
             probes: 0,
@@ -60,10 +65,24 @@ impl Duf {
     }
 
     fn freqs(&self, ctx: &PolicyCtx<'_>) -> NodeFreqs {
+        if let Some(ds) = self.dom.as_ref() {
+            let l = ds.limits(
+                ImcRange::MaxOnly,
+                ctx.uncore_min_ratio,
+                ctx.uncore_max_ratio,
+            );
+            return NodeFreqs {
+                cpu: ctx.settings.def_pstate,
+                imc_min_ratio: l.min[0],
+                imc_max_ratio: l.max[0],
+                imc_dom: l,
+            };
+        }
         NodeFreqs {
             cpu: ctx.settings.def_pstate,
             imc_min_ratio: ctx.uncore_min_ratio,
             imc_max_ratio: self.cur_max_ratio.unwrap_or(ctx.uncore_max_ratio),
+            imc_dom: DomainLimits::LEGACY,
         }
     }
 }
@@ -76,6 +95,29 @@ impl PowerPolicy for Duf {
     fn node_policy(&mut self, sig: &Signature, ctx: &PolicyCtx<'_>) -> (NodeFreqs, PolicyState) {
         match self.mode {
             Mode::Descending => {
+                if ctx.uncore_domains > 1 {
+                    // Per-domain controller: the shared engine descends
+                    // each die independently under DUF's slowdown budget;
+                    // full convergence maps to DUF's hold phase.
+                    if self.reference.is_none() {
+                        self.reference = Some(*sig);
+                        self.probes += 1;
+                    }
+                    let reference = self.reference.unwrap_or(*sig);
+                    let mut ds = self.dom.take().unwrap_or_else(|| {
+                        DomainSearch::begin(
+                            ctx.uncore_domains,
+                            &[ctx.uncore_max_ratio; MAX_UNCORE_DOMAINS],
+                            ctx.uncore_min_ratio,
+                        )
+                    });
+                    let done = ds.observe(sig, &reference, self.tolerance);
+                    self.dom = Some(ds);
+                    if done {
+                        self.mode = Mode::Holding(self.hold_signatures);
+                    }
+                    return (self.freqs(ctx), PolicyState::Continue);
+                }
                 let cur = self.cur_max_ratio.unwrap_or(ctx.uncore_max_ratio);
                 let degraded = self
                     .reference
@@ -104,6 +146,15 @@ impl PowerPolicy for Duf {
                     self.mode = Mode::Descending;
                     self.reference = Some(*sig);
                     self.probes += 1;
+                    if let Some(ds) = self.dom.as_ref() {
+                        // Restart the per-domain descent from the held
+                        // setting with cleared freeze state.
+                        self.dom = Some(DomainSearch::begin(
+                            ds.domain_count(),
+                            ds.current_max(),
+                            ctx.uncore_min_ratio,
+                        ));
+                    }
                 } else {
                     self.mode = Mode::Holding(remaining - 1);
                 }
@@ -118,7 +169,10 @@ impl PowerPolicy for Duf {
     }
 
     fn imc_ceiling(&self) -> Option<u8> {
-        self.cur_max_ratio
+        self.dom
+            .as_ref()
+            .map(DomainSearch::ceiling)
+            .or(self.cur_max_ratio)
     }
 
     fn reset(&mut self) {
@@ -145,6 +199,7 @@ mod tests {
             pkg_power_w: 235.0,
             avg_cpu_khz: 2.4e6,
             avg_imc_khz: 2.4e6,
+            ..Default::default()
         }
     }
 
@@ -156,6 +211,7 @@ mod tests {
             pstates: &pstates,
             uncore_min_ratio: 12,
             uncore_max_ratio: 24,
+            uncore_domains: 1,
             model: &model,
             settings: &settings,
         };
@@ -199,6 +255,7 @@ mod tests {
             pstates: &pstates,
             uncore_min_ratio: 12,
             uncore_max_ratio: 24,
+            uncore_domains: 1,
             model: &model,
             settings: &settings,
         };
@@ -209,5 +266,44 @@ mod tests {
             assert!(f.imc_max_ratio >= 12 && f.imc_max_ratio <= 24);
             assert_eq!(f.cpu, 1, "DUF never touches the CPU");
         }
+    }
+
+    #[test]
+    fn per_domain_controller_descends_and_reprobes() {
+        let pstates = PstateTable::xeon_gold_6148();
+        let model = Avx512Model::for_node(&NodeConfig::sd530_6148());
+        let settings = PolicySettings::default();
+        let ctx = PolicyCtx {
+            pstates: &pstates,
+            uncore_min_ratio: 12,
+            uncore_max_ratio: 24,
+            uncore_domains: 2,
+            model: &model,
+            settings: &settings,
+        };
+        let dual = |cpi: f64| Signature {
+            imc_domains: 2,
+            imc_dom_khz: [2.4e6, 2.4e6, 0.0, 0.0],
+            gbs_dom: [10.0, 0.0, 0.0, 0.0],
+            ..sig(cpi)
+        };
+        let mut p = Duf::default();
+        // Flat CPI: both domains descend, the idle one to the floor; the
+        // controller still never returns Ready.
+        let mut last = None;
+        for _ in 0..25 {
+            let (f, state) = p.node_policy(&dual(0.40), &ctx);
+            assert_eq!(state, PolicyState::Continue);
+            assert!(f.imc_dom.is_per_domain());
+            last = Some(f);
+        }
+        let f = last.unwrap();
+        assert_eq!(
+            f.imc_dom.max[1], 12,
+            "idle domain at floor: {:?}",
+            f.imc_dom
+        );
+        // After the hold expires it re-probes: probe counter advances.
+        assert!(p.probes() >= 2, "probes: {}", p.probes());
     }
 }

@@ -76,6 +76,12 @@ impl PowerPolicy for MinEnergy {
                 cpu: sel,
                 imc_min_ratio: imc_min,
                 imc_max_ratio: imc_max,
+                // Release every domain to firmware on multi-domain parts.
+                imc_dom: if ctx.uncore_domains > 1 {
+                    super::api::DomainLimits::uniform(ctx.uncore_domains, imc_min, imc_max)
+                } else {
+                    super::api::DomainLimits::LEGACY
+                },
             },
             PolicyState::Ready,
         )
@@ -128,6 +134,7 @@ mod tests {
             pstates,
             uncore_min_ratio: 12,
             uncore_max_ratio: 24,
+            uncore_domains: 1,
             model,
             settings,
         }
@@ -145,6 +152,7 @@ mod tests {
             pkg_power_w: 235.0,
             avg_cpu_khz: 2.4e6,
             avg_imc_khz: 2.4e6,
+            ..Default::default()
         }
     }
 
@@ -160,6 +168,7 @@ mod tests {
             pkg_power_w: 250.0,
             avg_cpu_khz: 2.4e6,
             avg_imc_khz: 2.4e6,
+            ..Default::default()
         }
     }
 

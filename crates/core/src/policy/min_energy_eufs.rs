@@ -26,10 +26,11 @@
 //! search runs (an application phase change, not policy-induced drift),
 //! the state machine restarts from CPU_FREQ_SEL (§V-B, last paragraph).
 
-use super::api::{ImcSearch, NodeFreqs, PolicyCtx, PolicyState, PowerPolicy};
+use super::api::{DomainLimits, ImcSearch, NodeFreqs, PolicyCtx, PolicyState, PowerPolicy};
+use super::domains::{hw_guided_starts, DomainSearch};
 use super::min_energy::{measured_pstate, select_min_energy_pstate};
 use crate::signature::Signature;
-use ear_archsim::Pstate;
+use ear_archsim::{Pstate, MAX_UNCORE_DOMAINS};
 
 /// The policy's state (paper Fig. 2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,6 +57,9 @@ pub struct MinEnergyEufs {
     cur_max_ratio: Option<u8>,
     /// Where the search started (reverts cannot exceed it).
     start_ratio: Option<u8>,
+    /// The multi-domain descent, when the platform exposes more than one
+    /// uncore domain (the scalar fields above then stay unused).
+    dom: Option<DomainSearch>,
     /// Signature when the policy last returned Ready (validation ref).
     stable_sig: Option<Signature>,
     /// Counts IMC search steps (exposed for convergence ablations).
@@ -71,6 +75,7 @@ impl Default for MinEnergyEufs {
             imc_ref: None,
             cur_max_ratio: None,
             start_ratio: None,
+            dom: None,
             stable_sig: None,
             imc_steps: 0,
         }
@@ -94,6 +99,21 @@ impl MinEnergyEufs {
     }
 
     fn freqs(&self, ctx: &PolicyCtx<'_>) -> NodeFreqs {
+        if let Some(ds) = self.dom.as_ref() {
+            // Multi-domain: the per-domain block carries the decision; the
+            // scalar pair mirrors domain 0 for legacy consumers.
+            let l = ds.limits(
+                ctx.settings.imc_range,
+                ctx.uncore_min_ratio,
+                ctx.uncore_max_ratio,
+            );
+            return NodeFreqs {
+                cpu: self.selected_cpu.unwrap_or(ctx.settings.def_pstate),
+                imc_min_ratio: l.min[0],
+                imc_max_ratio: l.max[0],
+                imc_dom: l,
+            };
+        }
         let max = self.cur_max_ratio.unwrap_or(ctx.uncore_max_ratio);
         let (imc_min, imc_max) =
             ctx.settings
@@ -103,6 +123,7 @@ impl MinEnergyEufs {
             cpu: self.selected_cpu.unwrap_or(ctx.settings.def_pstate),
             imc_min_ratio: imc_min,
             imc_max_ratio: imc_max,
+            imc_dom: DomainLimits::LEGACY,
         }
     }
 
@@ -126,6 +147,29 @@ impl MinEnergyEufs {
     ) -> (NodeFreqs, PolicyState) {
         self.state = State::ImcFreqSel;
         self.imc_ref = Some(*sig);
+        if ctx.uncore_domains > 1 {
+            // Multi-domain descent: every domain starts from its own
+            // hardware-settled ratio (or the platform maximum under
+            // linear search) and steps independently.
+            let starts = match ctx.settings.imc_search {
+                ImcSearch::HwGuided => {
+                    hw_guided_starts(sig, ctx.uncore_min_ratio, ctx.uncore_max_ratio)
+                }
+                ImcSearch::Linear => [ctx.uncore_max_ratio; MAX_UNCORE_DOMAINS],
+            };
+            let mut ds = DomainSearch::begin(ctx.uncore_domains, &starts, ctx.uncore_min_ratio);
+            if ds.converged() {
+                self.dom = Some(ds);
+                self.stable_sig = Some(*sig);
+                return (self.freqs(ctx), PolicyState::Ready);
+            }
+            // First round: no penalty possible against itself, every
+            // domain takes its first step.
+            ds.observe(sig, sig, ctx.settings.unc_policy_th);
+            self.imc_steps += 1;
+            self.dom = Some(ds);
+            return (self.freqs(ctx), PolicyState::Continue);
+        }
         let start = self.search_start(sig, ctx);
         self.start_ratio = Some(start);
         if start <= ctx.uncore_min_ratio {
@@ -162,6 +206,7 @@ impl PowerPolicy for MinEnergyEufs {
                 self.selected_cpu = Some(sel);
                 self.cpu_sel_sig = Some(*sig);
                 self.cur_max_ratio = None; // uncore back to HW control
+                self.dom = None;
                 if sel == ctx.settings.def_pstate {
                     // Fig. 2: straight to IMC selection; the current
                     // signature is the reference (the CPU frequency is
@@ -188,6 +233,19 @@ impl PowerPolicy for MinEnergyEufs {
                         self.imc_steps = fresh.imc_steps; // preserve the counter
                         return (ctx.default_freqs(), PolicyState::Continue);
                     }
+                }
+                if let Some(mut ds) = self.dom {
+                    // Multi-domain: one engine round per signature; the
+                    // engine holds per-domain revert/freeze state.
+                    let reference = self.imc_ref.unwrap_or(*sig);
+                    let done = ds.observe(sig, &reference, ctx.settings.unc_policy_th);
+                    self.imc_steps += 1;
+                    self.dom = Some(ds);
+                    if done {
+                        self.stable_sig = Some(*sig);
+                        return (self.freqs(ctx), PolicyState::Ready);
+                    }
+                    return (self.freqs(ctx), PolicyState::Continue);
                 }
                 let min = ctx.uncore_min_ratio;
                 let cur = self.cur_max_ratio.unwrap_or(ctx.uncore_max_ratio);
@@ -222,7 +280,10 @@ impl PowerPolicy for MinEnergyEufs {
     }
 
     fn imc_ceiling(&self) -> Option<u8> {
-        self.cur_max_ratio
+        self.dom
+            .as_ref()
+            .map(DomainSearch::ceiling)
+            .or(self.cur_max_ratio)
     }
 
     fn reset(&mut self) {
@@ -253,10 +314,15 @@ mod tests {
         }
 
         fn ctx(&self) -> PolicyCtx<'_> {
+            self.ctx_domains(1)
+        }
+
+        fn ctx_domains(&self, uncore_domains: usize) -> PolicyCtx<'_> {
             PolicyCtx {
                 pstates: &self.pstates,
                 uncore_min_ratio: 12,
                 uncore_max_ratio: 24,
+                uncore_domains,
                 model: &self.model,
                 settings: &self.settings,
             }
@@ -275,6 +341,17 @@ mod tests {
             pkg_power_w: 235.0,
             avg_cpu_khz: 2.4e6,
             avg_imc_khz: imc_khz,
+            ..Default::default()
+        }
+    }
+
+    /// A two-domain signature: all traffic on domain 0, domain 1 idle.
+    fn dual_domain_sig(cpi: f64, gbs: f64, imc_khz: f64) -> Signature {
+        Signature {
+            imc_domains: 2,
+            imc_dom_khz: [imc_khz, imc_khz, 0.0, 0.0],
+            gbs_dom: [gbs, 0.0, 0.0, 0.0],
+            ..cpu_bound_sig(cpi, gbs, imc_khz)
         }
     }
 
@@ -374,6 +451,7 @@ mod tests {
             pkg_power_w: 250.0,
             avg_cpu_khz: 2.4e6,
             avg_imc_khz: 2.4e6,
+            ..Default::default()
         };
         let (freqs, state) = p.node_policy(&mem, &ctx);
         assert!(freqs.cpu > 1, "expected sub-nominal selection");
@@ -447,6 +525,52 @@ mod tests {
         let mut p = MinEnergyEufs::default();
         let (freqs, _) = p.node_policy(&cpu_bound_sig(0.40, 10.0, 2.4e6), &ctx);
         assert_eq!(freqs.imc_max_ratio - freqs.imc_min_ratio, 2);
+    }
+
+    #[test]
+    fn multi_domain_search_frees_the_idle_domain() {
+        let f = Fixture::new(PolicySettings::default());
+        let ctx = f.ctx_domains(2);
+        let mut p = MinEnergyEufs::default();
+        let reference = dual_domain_sig(0.40, 40.0, 2.4e6);
+        let (freqs, state) = p.node_policy(&reference, &ctx);
+        assert_eq!(state, PolicyState::Continue);
+        assert!(freqs.imc_dom.is_per_domain());
+        assert_eq!(freqs.imc_dom.count(), 2);
+        // Both domains stepped once below the hardware's 2.4 GHz.
+        assert_eq!(freqs.imc_dom.max[0], 23);
+        assert_eq!(freqs.imc_dom.max[1], 23);
+        // Feed signatures where domain 0's bandwidth collapses below
+        // 2.0 GHz but domain 1 (idle) never shows a penalty.
+        let mut state = PolicyState::Continue;
+        let mut last = freqs;
+        let mut guard = 0;
+        while state == PolicyState::Continue {
+            let sig = if last.imc_dom.max[0] < 20 {
+                dual_domain_sig(0.40, 36.0, 2.4e6) // 10 % bandwidth loss
+            } else {
+                reference
+            };
+            let (fr, st) = p.node_policy(&sig, &ctx);
+            last = fr;
+            state = st;
+            guard += 1;
+            assert!(guard < 40, "no convergence");
+        }
+        // The busy domain reverted near its trip point; the idle domain
+        // descended to the platform floor.
+        assert!(last.imc_dom.max[0] >= 19, "busy domain: {:?}", last.imc_dom);
+        assert_eq!(last.imc_dom.max[1], 12, "idle domain: {:?}", last.imc_dom);
+        assert_eq!(p.imc_ceiling(), Some(last.imc_dom.max[0]));
+    }
+
+    #[test]
+    fn single_domain_ctx_keeps_the_legacy_scalar_path() {
+        let f = Fixture::new(PolicySettings::default());
+        let ctx = f.ctx();
+        let mut p = MinEnergyEufs::default();
+        let (freqs, _) = p.node_policy(&cpu_bound_sig(0.40, 10.0, 2.4e6), &ctx);
+        assert!(!freqs.imc_dom.is_per_domain(), "no TPMI block at N=1");
     }
 
     #[test]

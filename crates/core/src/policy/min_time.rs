@@ -16,7 +16,8 @@
 //! *minimum* ratio instead, pinning the uncore above the firmware's choice
 //! for communication/latency-sensitive codes.
 
-use super::api::{NodeFreqs, PolicyCtx, PolicyState, PowerPolicy};
+use super::api::{DomainLimits, ImcRange, NodeFreqs, PolicyCtx, PolicyState, PowerPolicy};
+use super::domains::{hw_guided_starts, DomainSearch};
 use super::min_energy::measured_pstate;
 use crate::signature::Signature;
 use ear_archsim::Pstate;
@@ -81,6 +82,13 @@ impl PowerPolicy for MinTime {
                 cpu: sel,
                 imc_min_ratio: imc_min,
                 imc_max_ratio: imc_max,
+                // Release every domain to firmware on multi-domain parts
+                // (the legacy scalar write only reaches domain 0).
+                imc_dom: if ctx.uncore_domains > 1 {
+                    DomainLimits::uniform(ctx.uncore_domains, imc_min, imc_max)
+                } else {
+                    DomainLimits::LEGACY
+                },
             },
             PolicyState::Ready,
         )
@@ -134,6 +142,8 @@ pub struct MinTimeEufs {
     direction: Direction,
     cur_min_ratio: Option<u8>,
     cur_max_ratio: Option<u8>,
+    /// The multi-domain descent (Decrease direction on >1-domain parts).
+    dom: Option<DomainSearch>,
     stable_sig: Option<Signature>,
 }
 
@@ -146,6 +156,7 @@ impl Default for MinTimeEufs {
             direction: Direction::Decrease,
             cur_min_ratio: None,
             cur_max_ratio: None,
+            dom: None,
             stable_sig: None,
         }
     }
@@ -153,10 +164,32 @@ impl Default for MinTimeEufs {
 
 impl MinTimeEufs {
     fn freqs(&self, ctx: &PolicyCtx<'_>) -> NodeFreqs {
+        if let Some(ds) = self.dom.as_ref() {
+            let l = ds.limits(
+                ImcRange::MaxOnly,
+                ctx.uncore_min_ratio,
+                ctx.uncore_max_ratio,
+            );
+            return NodeFreqs {
+                cpu: self.selected_cpu.unwrap_or(ctx.settings.def_pstate),
+                imc_min_ratio: l.min[0],
+                imc_max_ratio: l.max[0],
+                imc_dom: l,
+            };
+        }
+        let imc_min = self.cur_min_ratio.unwrap_or(ctx.uncore_min_ratio);
+        let imc_max = self.cur_max_ratio.unwrap_or(ctx.uncore_max_ratio);
         NodeFreqs {
             cpu: self.selected_cpu.unwrap_or(ctx.settings.def_pstate),
-            imc_min_ratio: self.cur_min_ratio.unwrap_or(ctx.uncore_min_ratio),
-            imc_max_ratio: self.cur_max_ratio.unwrap_or(ctx.uncore_max_ratio),
+            imc_min_ratio: imc_min,
+            imc_max_ratio: imc_max,
+            // The Increase direction raises the minimum on every domain
+            // alike (latency help is wanted everywhere traffic flows).
+            imc_dom: if ctx.uncore_domains > 1 {
+                DomainLimits::uniform(ctx.uncore_domains, imc_min, imc_max)
+            } else {
+                DomainLimits::LEGACY
+            },
         }
     }
 }
@@ -186,8 +219,19 @@ impl PowerPolicy for MinTimeEufs {
                     self.cur_max_ratio = Some(ctx.uncore_max_ratio);
                 } else {
                     self.direction = Direction::Decrease;
-                    self.cur_min_ratio = Some(ctx.uncore_min_ratio);
-                    self.cur_max_ratio = Some(hw_ratio.saturating_sub(1).max(ctx.uncore_min_ratio));
+                    if ctx.uncore_domains > 1 {
+                        // Per-domain descent from each die's settled ratio.
+                        let starts =
+                            hw_guided_starts(sig, ctx.uncore_min_ratio, ctx.uncore_max_ratio);
+                        let mut ds =
+                            DomainSearch::begin(ctx.uncore_domains, &starts, ctx.uncore_min_ratio);
+                        ds.observe(sig, sig, ctx.settings.unc_policy_th);
+                        self.dom = Some(ds);
+                    } else {
+                        self.cur_min_ratio = Some(ctx.uncore_min_ratio);
+                        self.cur_max_ratio =
+                            Some(hw_ratio.saturating_sub(1).max(ctx.uncore_min_ratio));
+                    }
                 }
                 (self.freqs(ctx), PolicyState::Continue)
             }
@@ -202,6 +246,15 @@ impl PowerPolicy for MinTimeEufs {
                 let worse = sig.cpi > r.cpi * (1.0 + th) || sig.gbs < r.gbs * (1.0 - th);
                 match self.direction {
                     Direction::Decrease => {
+                        if let Some(mut ds) = self.dom {
+                            let done = ds.observe(sig, &r, th);
+                            self.dom = Some(ds);
+                            if done {
+                                self.stable_sig = Some(*sig);
+                                return (self.freqs(ctx), PolicyState::Ready);
+                            }
+                            return (self.freqs(ctx), PolicyState::Continue);
+                        }
                         let cur = self.cur_max_ratio.unwrap_or(ctx.uncore_max_ratio);
                         if worse {
                             self.cur_max_ratio = Some((cur + 1).min(ctx.uncore_max_ratio));
@@ -247,7 +300,10 @@ impl PowerPolicy for MinTimeEufs {
     }
 
     fn imc_ceiling(&self) -> Option<u8> {
-        self.cur_max_ratio
+        self.dom
+            .as_ref()
+            .map(DomainSearch::ceiling)
+            .or(self.cur_max_ratio)
     }
 
     fn reset(&mut self) {
@@ -275,6 +331,7 @@ mod tests {
             pstates: p,
             uncore_min_ratio: 12,
             uncore_max_ratio: 24,
+            uncore_domains: 1,
             model: m,
             settings: s,
         }
@@ -292,6 +349,7 @@ mod tests {
             pkg_power_w: 235.0,
             avg_cpu_khz: 2.1e6,
             avg_imc_khz: 2.4e6,
+            ..Default::default()
         }
     }
 
@@ -307,6 +365,7 @@ mod tests {
             pkg_power_w: 250.0,
             avg_cpu_khz: 2.1e6,
             avg_imc_khz: 2.0e6,
+            ..Default::default()
         }
     }
 
@@ -393,6 +452,61 @@ mod tests {
         // Second signature: CPI did not improve — converge.
         let (_, state) = pol.node_policy(&mem_bound(), &c);
         assert_eq!(state, PolicyState::Ready);
+    }
+
+    #[test]
+    fn eufs_decrease_goes_per_domain_on_dual_die_parts() {
+        let (p, m, s) = fixture(PolicySettings {
+            def_pstate: 4,
+            ..Default::default()
+        });
+        let mut c = ctx(&p, &m, &s);
+        c.uncore_domains = 2;
+        let mut pol = MinTimeEufs::default();
+        // CPU-bound with all traffic on domain 0, domain 1 settled low.
+        let sig = Signature {
+            imc_domains: 2,
+            imc_dom_khz: [2.4e6, 1.8e6, 0.0, 0.0],
+            gbs_dom: [8.0, 0.0, 0.0, 0.0],
+            ..cpu_bound()
+        };
+        let (freqs, state) = pol.node_policy(&sig, &c);
+        assert_eq!(state, PolicyState::Continue);
+        assert!(freqs.imc_dom.is_per_domain());
+        // Each domain stepped below its own settled ratio.
+        assert_eq!(freqs.imc_dom.max[0], 23);
+        assert_eq!(freqs.imc_dom.max[1], 17);
+        // With no penalty ever, both descend to the floor and converge.
+        let mut state = state;
+        let mut guard = 0;
+        while state == PolicyState::Continue {
+            state = pol.node_policy(&sig, &c).1;
+            guard += 1;
+            assert!(guard < 40);
+        }
+        assert_eq!(pol.imc_ceiling(), Some(12));
+    }
+
+    #[test]
+    fn eufs_increase_raises_every_domain_alike() {
+        let (p, m, s) = fixture(PolicySettings {
+            def_pstate: 4,
+            ..Default::default()
+        });
+        let mut c = ctx(&p, &m, &s);
+        c.uncore_domains = 2;
+        let mut pol = MinTimeEufs::default();
+        let sig = Signature {
+            imc_domains: 2,
+            imc_dom_khz: [2.0e6, 2.0e6, 0.0, 0.0],
+            gbs_dom: [90.0, 87.0, 0.0, 0.0],
+            ..mem_bound()
+        };
+        let (freqs, _) = pol.node_policy(&sig, &c);
+        assert!(freqs.imc_dom.is_per_domain());
+        assert_eq!(freqs.imc_dom.min[0], 21);
+        assert_eq!(freqs.imc_dom.min[1], 21);
+        assert_eq!(freqs.imc_dom.max[0], 24);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Energy policies and the plugin API.
 
 pub mod api;
+pub mod domains;
 pub mod duf;
 pub mod min_energy;
 pub mod min_energy_eufs;
@@ -8,9 +9,10 @@ pub mod min_time;
 pub mod monitoring;
 
 pub use api::{
-    ImcRange, ImcSearch, NodeFreqs, PolicyCtx, PolicyRegistry, PolicySettings, PolicyState,
-    PowerPolicy,
+    DomainLimits, ImcRange, ImcSearch, NodeFreqs, PolicyCtx, PolicyRegistry, PolicySettings,
+    PolicyState, PowerPolicy,
 };
+pub use domains::DomainSearch;
 pub use duf::Duf;
 pub use min_energy::MinEnergy;
 pub use min_energy_eufs::MinEnergyEufs;

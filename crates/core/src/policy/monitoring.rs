@@ -59,6 +59,7 @@ mod tests {
             pkg_power_w: 240.0,
             avg_cpu_khz: 2.4e6,
             avg_imc_khz: 2.4e6,
+            ..Default::default()
         }
     }
 
@@ -71,6 +72,7 @@ mod tests {
             pstates: &pstates,
             uncore_min_ratio: 12,
             uncore_max_ratio: 24,
+            uncore_domains: 1,
             model: &model,
             settings: &settings,
         };

@@ -62,12 +62,15 @@ impl PowercapController {
         self.cap_w = cap_w;
     }
 
-    /// The frequency ceiling currently imposed.
+    /// The frequency ceiling currently imposed. The ceiling is expressed
+    /// in the legacy scalar form; clamping applies it to every uncore
+    /// domain of a request (see `NodeFreqs::clamped_under`).
     pub fn ceiling(&self) -> NodeFreqs {
         NodeFreqs {
             cpu: self.pstate_floor,
             imc_min_ratio: self.imc_platform_min,
             imc_max_ratio: self.imc_max,
+            imc_dom: crate::policy::api::DomainLimits::LEGACY,
         }
     }
 

@@ -162,6 +162,7 @@ mod tests {
                 cpu: 1,
                 imc_min_ratio: 12,
                 imc_max_ratio: 24,
+                imc_dom: crate::policy::api::DomainLimits::LEGACY,
             },
         });
     }
@@ -172,6 +173,7 @@ mod tests {
             cpu: 1,
             imc_min_ratio: 12,
             imc_max_ratio: 24,
+            imc_dom: crate::policy::api::DomainLimits::LEGACY,
         };
         let g = NodeFreqs {
             imc_max_ratio: 20,

@@ -6,7 +6,7 @@
 //! average DC node power, plus the average CPU/IMC frequencies needed for
 //! model projections and reporting.
 
-use ear_archsim::CounterDelta;
+use ear_archsim::{CounterDelta, MAX_UNCORE_DOMAINS};
 
 /// One measurement window's signature.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -31,11 +31,49 @@ pub struct Signature {
     pub avg_cpu_khz: f64,
     /// Average IMC frequency (kHz).
     pub avg_imc_khz: f64,
+    /// Uncore frequency domains backing the per-domain fields below
+    /// (1 on single-knob parts; the arrays are zero past this count).
+    pub imc_domains: u8,
+    /// Average IMC frequency per uncore domain (kHz). On a 1-domain
+    /// platform entry 0 equals `avg_imc_khz` bit-for-bit.
+    pub imc_dom_khz: [f64; MAX_UNCORE_DOMAINS],
+    /// Main-memory bandwidth served per uncore domain (GB/s). Entries sum
+    /// to `gbs` up to rounding of the per-domain CAS counters.
+    pub gbs_dom: [f64; MAX_UNCORE_DOMAINS],
+}
+
+impl Default for Signature {
+    /// An all-zero single-domain signature; tests and builders complete it
+    /// with functional update syntax.
+    fn default() -> Self {
+        Self {
+            window_s: 0.0,
+            iterations: 1,
+            cpi: 0.0,
+            tpi: 0.0,
+            gbs: 0.0,
+            vpi: 0.0,
+            dc_power_w: 0.0,
+            pkg_power_w: 0.0,
+            avg_cpu_khz: 0.0,
+            avg_imc_khz: 0.0,
+            imc_domains: 1,
+            imc_dom_khz: [0.0; MAX_UNCORE_DOMAINS],
+            gbs_dom: [0.0; MAX_UNCORE_DOMAINS],
+        }
+    }
 }
 
 impl Signature {
     /// Builds a signature from a counter delta.
     pub fn from_delta(d: &CounterDelta, iterations: u32) -> Self {
+        let nd = d.uncore_domains.clamp(1, MAX_UNCORE_DOMAINS);
+        let mut imc_dom_khz = [0.0; MAX_UNCORE_DOMAINS];
+        let mut gbs_dom = [0.0; MAX_UNCORE_DOMAINS];
+        for k in 0..nd {
+            imc_dom_khz[k] = d.imc_dom_khz[k];
+            gbs_dom[k] = d.gbs_dom(k);
+        }
         Self {
             window_s: d.seconds,
             iterations: iterations.max(1),
@@ -47,7 +85,16 @@ impl Signature {
             pkg_power_w: d.pkg_power_w(),
             avg_cpu_khz: d.avg_cpu_khz,
             avg_imc_khz: d.avg_imc_khz,
+            imc_domains: nd as u8,
+            imc_dom_khz,
+            gbs_dom,
         }
+    }
+
+    /// Uncore domain count, never below 1 (a zeroed count reads as the
+    /// legacy single knob).
+    pub fn domain_count(&self) -> usize {
+        (self.imc_domains as usize).clamp(1, MAX_UNCORE_DOMAINS)
     }
 
     /// Per-iteration time (s).
@@ -96,7 +143,19 @@ mod tests {
             pkg_power_w: 240.0,
             avg_cpu_khz: 2.4e6,
             avg_imc_khz: 2.4e6,
+            ..Default::default()
         }
+    }
+
+    #[test]
+    fn default_is_single_domain() {
+        let s = Signature::default();
+        assert_eq!(s.domain_count(), 1);
+        let forced = Signature {
+            imc_domains: 0,
+            ..Default::default()
+        };
+        assert_eq!(forced.domain_count(), 1, "zeroed count reads as legacy");
     }
 
     #[test]

@@ -117,6 +117,7 @@ mod tests {
             pkg_power_w: 235.0,
             avg_cpu_khz: 2.4e6,
             avg_imc_khz: 2.4e6,
+            ..Default::default()
         }
     }
 
@@ -129,6 +130,7 @@ mod tests {
             pstates: &pstates,
             uncore_min_ratio: 12,
             uncore_max_ratio: 24,
+            uncore_domains: 1,
             model: &model,
             settings: &settings,
         };
@@ -151,6 +153,7 @@ mod tests {
             pstates: &pstates,
             uncore_min_ratio: 12,
             uncore_max_ratio: 24,
+            uncore_domains: 1,
             model: &model,
             settings: &settings,
         };
@@ -175,6 +178,7 @@ mod tests {
             pstates: &pstates,
             uncore_min_ratio: 12,
             uncore_max_ratio: 24,
+            uncore_domains: 1,
             model: &model,
             settings: &settings,
         };

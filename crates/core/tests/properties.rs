@@ -30,6 +30,7 @@ fn arb_signature() -> impl Strategy<Value = Signature> {
             pkg_power_w: p * 0.7,
             avg_cpu_khz: fc,
             avg_imc_khz: fu,
+            ..Default::default()
         })
 }
 
@@ -40,6 +41,7 @@ fn with_ctx<T>(settings: &PolicySettings, f: impl FnOnce(&PolicyCtx<'_>) -> T) -
         pstates: &pstates,
         uncore_min_ratio: 12,
         uncore_max_ratio: 24,
+        uncore_domains: 1,
         model: &model,
         settings,
     };

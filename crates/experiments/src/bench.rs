@@ -21,12 +21,13 @@ use std::time::Instant;
 pub const SCHEMA: &str = "earsim-bench-hotpath/v1";
 
 /// Bench names that must appear in a valid artifact.
-pub const REQUIRED_BENCHES: [&str; 14] = [
+pub const REQUIRED_BENCHES: [&str; 15] = [
     "dynais_inloop_per_sample",
     "dynais_aperiodic_per_sample",
     "window_push_recent",
     "snapshot_per_call",
     "run_phase_one_simsec",
+    "uncore_domain_step",
     "trace_emit_per_event",
     "mpi_job_step_parallel",
     "mpi_break_even",
@@ -338,6 +339,52 @@ fn bench_fast_forward(quick: bool) -> BenchEntry {
     BenchEntry {
         name: "run_phase_one_simsec",
         unit: "us/simsec",
+        reference: Some(t_ref * 1e6),
+        optimized: t_opt * 1e6,
+    }
+}
+
+/// Per-die fan-out overhead of the node step. `reference` runs one
+/// simulated second of memory-bound phases on a node whose sockets expose
+/// all four TPMI uncore domains — per-domain firmware UFS, per-domain
+/// ratio-limit checks, per-domain bandwidth and power integration every
+/// interval; `optimized` runs the identical demand on the legacy 1-domain
+/// configuration, where the domain vector collapses to the scalar code the
+/// pre-refactor tree ran. The speedup column therefore reads as "what the
+/// maximum domain fan-out costs per step": the gate asserts the single
+/// knob path never became the slower one, i.e. the refactor's N=1 fast
+/// path really is free.
+fn bench_uncore_domain_step(quick: bool) -> BenchEntry {
+    let n = if quick { 200 } else { 2_000 };
+    // Memory-bound and traffic on every die (uniform split by default), so
+    // the per-domain machinery is exercised — not skipped as idle.
+    let demand = PhaseDemand {
+        instructions: 2e9,
+        mem_bytes: 4e9,
+        active_cores: 40,
+        ..Default::default()
+    };
+
+    let mut fanned = Node::new(
+        NodeConfig::sd530_6148().with_uncore_domains(ear_archsim::MAX_UNCORE_DOMAINS),
+        1,
+    );
+    let t_ref = best_secs(3, || {
+        for _ in 0..n {
+            black_box(fanned.run_phase(&demand));
+        }
+    }) / n as f64;
+
+    let mut single = Node::new(NodeConfig::sd530_6148(), 1);
+    let t_opt = best_secs(3, || {
+        for _ in 0..n {
+            black_box(single.run_phase(&demand));
+        }
+    }) / n as f64;
+
+    BenchEntry {
+        name: "uncore_domain_step",
+        unit: "us/phase",
         reference: Some(t_ref * 1e6),
         optimized: t_opt * 1e6,
     }
@@ -846,6 +893,7 @@ pub fn run(quick: bool) -> BenchReport {
             bench_window(quick),
             bench_snapshot(quick),
             bench_fast_forward(quick),
+            bench_uncore_domain_step(quick),
             bench_trace_emit(quick),
             bench_job_step(quick),
             bench_break_even(),
@@ -1249,11 +1297,16 @@ const TELEMETRY_NETD_COUNTERS: [&str; 7] = [
 /// (besides the `level_reports` array, validated separately).
 const TELEMETRY_CLUSTER_COUNTERS: [&str; 3] = ["daemons", "tree_depth", "batched_flushes"];
 
+/// Entries the `ufs.ratio_steps` array must carry: one per supported
+/// uncore domain index.
+const TELEMETRY_UFS_DOMAINS: usize = 4;
+
 /// Validates one `earsim-telemetry:` JSON payload (the part after the
 /// prefix): well-formed, the right schema tag, the flat engine fields,
 /// every nested netd counter present as a non-negative integer, and the
 /// nested cluster object (all-zero when no cluster scenario ran) with its
-/// per-level report array.
+/// per-level report array, and the nested `ufs` object with its fixed-width
+/// per-domain ratio-step array.
 pub fn validate_telemetry_json(text: &str) -> Result<(), String> {
     let root = Parser::new(text).parse()?;
     match root.get("schema") {
@@ -1307,6 +1360,34 @@ pub fn validate_telemetry_json(text: &str) -> Result<(), String> {
             }
         }
         _ => return Err("cluster: missing array field 'level_reports'".into()),
+    }
+    let ufs = root
+        .get("ufs")
+        .ok_or_else(|| "missing object field 'ufs'".to_string())?;
+    if !matches!(ufs, Json::Obj(_)) {
+        return Err("'ufs' is not an object".into());
+    }
+    counter(ufs, "max_domains").map_err(|e| format!("ufs: {e}"))?;
+    match ufs.get("ratio_steps") {
+        Some(Json::Arr(items)) => {
+            if items.len() != TELEMETRY_UFS_DOMAINS {
+                return Err(format!(
+                    "ufs: ratio_steps must carry {TELEMETRY_UFS_DOMAINS} entries, got {}",
+                    items.len()
+                ));
+            }
+            for (i, v) in items.iter().enumerate() {
+                match v {
+                    Json::Num(n) if n.is_finite() && *n >= 0.0 && n.fract() == 0.0 => {}
+                    _ => {
+                        return Err(format!(
+                            "ufs: ratio_steps[{i}] must be a non-negative integer"
+                        ))
+                    }
+                }
+            }
+        }
+        _ => return Err("ufs: missing array field 'ratio_steps'".into()),
     }
     Ok(())
 }
@@ -1372,7 +1453,7 @@ mod tests {
 
     #[test]
     fn speedup_gate_counts_the_gated_rows() {
-        // 14 required rows minus the 2 null references; the allowlist is
+        // 15 required rows minus the 2 null references; the allowlist is
         // empty, so every row with a reference is gated.
         assert_eq!(
             verify_speedups(&sample_json()),
@@ -1454,7 +1535,8 @@ mod tests {
              \"rejected\":0,\"timed_out\":1,\"retried\":3,\"requests\":10,\
              \"decode_errors\":0,\"batched_flushes\":4}},\
              \"cluster\":{{\"daemons\":64,\"tree_depth\":2,\
-             \"level_reports\":[640,40],\"batched_flushes\":4}}}}",
+             \"level_reports\":[640,40],\"batched_flushes\":4}},\
+             \"ufs\":{{\"max_domains\":2,\"ratio_steps\":[7,3,0,0]}}}}",
             crate::engine::TELEMETRY_SCHEMA
         );
         assert_eq!(validate_telemetry_json(&sample), Ok(()));
@@ -1464,7 +1546,7 @@ mod tests {
         }
         // Rejections: wrong schema, missing netd, non-integer counter,
         // missing cluster object, non-integer level report.
-        assert!(validate_telemetry_json(&sample.replace("/v3", "/v1"))
+        assert!(validate_telemetry_json(&sample.replace("/v4", "/v1"))
             .unwrap_err()
             .contains("wrong schema"));
         assert!(
@@ -1486,6 +1568,16 @@ mod tests {
             validate_telemetry_json(&sample.replace("[640,40]", "[640,40.5]"))
                 .unwrap_err()
                 .contains("level_reports[1]")
+        );
+        assert!(
+            validate_telemetry_json(&sample.replace("\"ufs\"", "\"ufsx\""))
+                .unwrap_err()
+                .contains("ufs")
+        );
+        assert!(
+            validate_telemetry_json(&sample.replace("[7,3,0,0]", "[7,3,0]"))
+                .unwrap_err()
+                .contains("4 entries")
         );
     }
 

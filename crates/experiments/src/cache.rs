@@ -36,7 +36,7 @@ use std::sync::{Mutex, PoisonError};
 
 /// Store schema: the entry file layout **and** the key derivation. Bump on
 /// any change to either; the version check wipes stale stores wholesale.
-pub const CACHE_SCHEMA: &str = "earsim-result-cache/v1";
+pub const CACHE_SCHEMA: &str = "earsim-result-cache/v2";
 
 /// Where results are cached unless `EAR_CACHE_DIR` overrides it.
 pub const DEFAULT_CACHE_DIR: &str = "target/earsim-cache";
@@ -154,8 +154,10 @@ fn entry_path(dir: &Path, key: u64) -> PathBuf {
     dir.join(format!("{key:016x}.entry"))
 }
 
-/// The nine metric fields of a [`RunResult`], in entry-file order.
-const METRIC_FIELDS: [&str; 9] = [
+/// The metric fields of a [`RunResult`], in entry-file order. The domain
+/// count rides along as an exactly-representable f64 so every field shares
+/// the hex-of-bits encoding.
+const METRIC_FIELDS: [&str; 14] = [
     "time_s",
     "dc_power_w",
     "pkg_power_w",
@@ -163,11 +165,16 @@ const METRIC_FIELDS: [&str; 9] = [
     "pkg_energy_j",
     "avg_cpu_ghz",
     "avg_imc_ghz",
+    "imc_domains",
+    "imc_dom0_ghz",
+    "imc_dom1_ghz",
+    "imc_dom2_ghz",
+    "imc_dom3_ghz",
     "cpi",
     "gbs",
 ];
 
-fn metrics(r: &RunResult) -> [f64; 9] {
+fn metrics(r: &RunResult) -> [f64; 14] {
     [
         r.time_s,
         r.dc_power_w,
@@ -176,6 +183,11 @@ fn metrics(r: &RunResult) -> [f64; 9] {
         r.pkg_energy_j,
         r.avg_cpu_ghz,
         r.avg_imc_ghz,
+        r.imc_domains as f64,
+        r.imc_dom_ghz[0],
+        r.imc_dom_ghz[1],
+        r.imc_dom_ghz[2],
+        r.imc_dom_ghz[3],
         r.cpi,
         r.gbs,
     ]
@@ -217,7 +229,7 @@ fn parse_entry(key: u64, text: &str) -> Result<RunResult, EarError> {
         .and_then(|l| l.strip_prefix("label "))
         .ok_or_else(|| parse_err(3, "missing label line".to_string()))?
         .to_string();
-    let mut values = [0.0f64; 9];
+    let mut values = [0.0f64; 14];
     for (i, (name, slot)) in METRIC_FIELDS.iter().zip(values.iter_mut()).enumerate() {
         let lineno = 4 + i;
         let line = lines
@@ -240,8 +252,10 @@ fn parse_entry(key: u64, text: &str) -> Result<RunResult, EarError> {
         pkg_energy_j: values[4],
         avg_cpu_ghz: values[5],
         avg_imc_ghz: values[6],
-        cpi: values[7],
-        gbs: values[8],
+        imc_domains: values[7] as usize,
+        imc_dom_ghz: [values[8], values[9], values[10], values[11]],
+        cpi: values[12],
+        gbs: values[13],
     })
 }
 
@@ -307,6 +321,8 @@ mod tests {
             pkg_energy_j: 30_925.2,
             avg_cpu_ghz: 2.397,
             avg_imc_ghz: 2.4,
+            imc_domains: 2,
+            imc_dom_ghz: [2.4, 1.2, 0.0, 0.0],
             cpi: 0.5123,
             gbs: 21.7,
         }
@@ -329,7 +345,7 @@ mod tests {
         let cut = &good[..good.len() / 2];
         assert!(parse_entry(7, cut).is_err());
         // Wrong schema.
-        let stale = good.replacen(CACHE_SCHEMA, "earsim-result-cache/v0", 1);
+        let stale = good.replacen(CACHE_SCHEMA, "earsim-result-cache/v1", 1);
         assert!(parse_entry(7, &stale).is_err());
         // Key mismatch (entry content addressed under another digest).
         assert!(parse_entry(8, &good).is_err());

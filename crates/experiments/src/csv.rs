@@ -72,6 +72,8 @@ mod tests {
             pkg_energy_j: 23_000.0,
             avg_cpu_ghz: 2.4,
             avg_imc_ghz: 2.0,
+            imc_domains: 1,
+            imc_dom_ghz: [0.0; 4],
             cpi: 0.5,
             gbs: 20.0,
         }

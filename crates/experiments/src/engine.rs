@@ -213,6 +213,8 @@ struct RunSample {
     pkg_energy_j: f64,
     avg_cpu_ghz: f64,
     avg_imc_ghz: f64,
+    imc_domains: usize,
+    imc_dom_ghz: [f64; 4],
     cpi: f64,
     gbs: f64,
 }
@@ -242,6 +244,8 @@ fn run_once(
         pkg_energy_j: report.total_pkg_energy_j(),
         avg_cpu_ghz: report.avg_cpu_ghz(),
         avg_imc_ghz: report.avg_imc_ghz(),
+        imc_domains: report.imc_domains(),
+        imc_dom_ghz: std::array::from_fn(|d| report.imc_dom_ghz(d)),
         cpi: report.cpi(),
         gbs: report.gbs(),
     }
@@ -260,6 +264,8 @@ fn reduce(label: &str, samples: &[RunSample]) -> RunResult {
         pkg_energy_j: 0.0,
         avg_cpu_ghz: 0.0,
         avg_imc_ghz: 0.0,
+        imc_domains: 1,
+        imc_dom_ghz: [0.0; 4],
         cpi: 0.0,
         gbs: 0.0,
     };
@@ -271,6 +277,10 @@ fn reduce(label: &str, samples: &[RunSample]) -> RunResult {
         acc.pkg_energy_j += s.pkg_energy_j;
         acc.avg_cpu_ghz += s.avg_cpu_ghz;
         acc.avg_imc_ghz += s.avg_imc_ghz;
+        acc.imc_domains = acc.imc_domains.max(s.imc_domains);
+        for d in 0..4 {
+            acc.imc_dom_ghz[d] += s.imc_dom_ghz[d];
+        }
         acc.cpi += s.cpi;
         acc.gbs += s.gbs;
     }
@@ -282,6 +292,9 @@ fn reduce(label: &str, samples: &[RunSample]) -> RunResult {
     acc.pkg_energy_j /= n;
     acc.avg_cpu_ghz /= n;
     acc.avg_imc_ghz /= n;
+    for d in 0..4 {
+        acc.imc_dom_ghz[d] /= n;
+    }
     acc.cpi /= n;
     acc.gbs /= n;
     acc
@@ -723,8 +736,10 @@ fn record_process(summary: &EngineSummary) {
 /// Schema tag stamped on the `earsim-telemetry:` stderr JSON line. v2
 /// added the tag itself and the nested `netd` service counters; v3 added
 /// `netd.batched_flushes` and the nested `cluster` object (simulated
-/// daemon count, aggregation-tree depth, per-level aggregated reports).
-pub const TELEMETRY_SCHEMA: &str = "earsim-telemetry/v3";
+/// daemon count, aggregation-tree depth, per-level aggregated reports);
+/// v4 added the nested `ufs` object (widest per-socket uncore domain
+/// configuration booted, firmware ratio transitions per domain index).
+pub const TELEMETRY_SCHEMA: &str = "earsim-telemetry/v4";
 
 /// The process-wide telemetry aggregated over every engine run so far, as
 /// one JSON line — `None` if neither engine work nor networked-daemon
@@ -753,6 +768,8 @@ pub fn process_summary_json() -> Option<String> {
         .iter()
         .map(|n| n.to_string())
         .collect();
+    let ufs = ear_archsim::stats::snapshot();
+    let ratio_steps: Vec<String> = ufs.ratio_steps.iter().map(|n| n.to_string()).collect();
     Some(format!(
         "{{\"schema\":\"{TELEMETRY_SCHEMA}\",\
          \"engine_runs\":{},\"jobs\":{},\"tasks\":{},\"tasks_failed\":{},\
@@ -763,7 +780,8 @@ pub fn process_summary_json() -> Option<String> {
          \"retried\":{},\"requests\":{},\"decode_errors\":{},\
          \"batched_flushes\":{}}},\
          \"cluster\":{{\"daemons\":{},\"tree_depth\":{},\
-         \"level_reports\":[{}],\"batched_flushes\":{}}}}}",
+         \"level_reports\":[{}],\"batched_flushes\":{}}},\
+         \"ufs\":{{\"max_domains\":{},\"ratio_steps\":[{}]}}}}",
         p.engine_runs,
         p.jobs,
         p.tasks,
@@ -787,7 +805,9 @@ pub fn process_summary_json() -> Option<String> {
         cluster.daemons,
         cluster.tree_depth,
         level_reports.join(","),
-        cluster.batched_flushes
+        cluster.batched_flushes,
+        ufs.max_domains,
+        ratio_steps.join(",")
     ))
 }
 

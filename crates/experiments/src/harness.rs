@@ -80,6 +80,22 @@ impl RunKind {
             },
         }
     }
+
+    /// "ME+eU" with the per-domain search disabled: the policy runs one
+    /// scalar `ImcFreqSel` and EARD applies its ceiling package-wide even
+    /// on per-die hardware — the single-knob baseline of the per-domain
+    /// decision table. Identical to [`RunKind::me_eufs`] on 1-domain nodes.
+    pub fn me_eufs_single_knob(cpu_policy_th: f64, unc_policy_th: f64) -> Self {
+        RunKind::Policy {
+            name: "min_energy_eufs".into(),
+            settings: PolicySettings {
+                cpu_policy_th,
+                unc_policy_th,
+                per_domain_ufs: false,
+                ..Default::default()
+            },
+        }
+    }
 }
 
 /// Averaged result of the runs of one (workload, configuration) cell.
@@ -101,6 +117,11 @@ pub struct RunResult {
     pub avg_cpu_ghz: f64,
     /// Average IMC frequency (GHz).
     pub avg_imc_ghz: f64,
+    /// Uncore frequency domains per socket (1 = legacy single knob).
+    pub imc_domains: usize,
+    /// Average per-domain IMC frequency (GHz); entries past
+    /// `imc_domains` stay zero.
+    pub imc_dom_ghz: [f64; 4],
     /// Job CPI.
     pub cpi: f64,
     /// Job memory bandwidth per node (GB/s).
@@ -143,6 +164,7 @@ impl NodeRuntime for Runtime {
                         cpu: *cpu,
                         imc_min_ratio: min,
                         imc_max_ratio: max,
+                        imc_dom: ear_core::DomainLimits::LEGACY,
                     },
                 )
                 .unwrap_or_else(|e| panic!("fixed frequencies invalid: {e}"));
@@ -327,6 +349,8 @@ mod tests {
             pkg_energy_j: 22_000.0,
             avg_cpu_ghz: 2.4,
             avg_imc_ghz: 2.4,
+            imc_domains: 1,
+            imc_dom_ghz: [0.0; 4],
             cpi: 0.5,
             gbs: 20.0,
         };
@@ -339,6 +363,8 @@ mod tests {
             pkg_energy_j: 19_380.0,
             avg_cpu_ghz: 2.4,
             avg_imc_ghz: 1.9,
+            imc_domains: 1,
+            imc_dom_ghz: [0.0; 4],
             cpi: 0.51,
             gbs: 19.6,
         };

@@ -337,3 +337,69 @@ pub fn table7() -> String {
         &rows,
     )
 }
+
+/// Table VIII (per-die extension, not in the paper): the GPU-offload
+/// workload on a two-die node under three configurations — no policy,
+/// ME+eU with the legacy single knob (one `ImcFreqSel`, ceiling applied
+/// package-wide), and ME+eU searching each uncore domain independently.
+/// The per-domain run should keep the host-feed die (domain 0) fast while
+/// flooring the compute-idle die; the single knob cannot separate them.
+///
+/// `EAR_UNCORE_DOMAINS` (when set to 2..=4) overrides the workload's
+/// domain count; `EAR_UNCORE_DOMAINS=1` suppresses the table entirely
+/// (see [`crate::uncore_domains_override`]).
+pub fn table8_data() -> Option<Vec<RunResult>> {
+    let mut t = crate::harness::catalog("BT.CUDA.D (offload)");
+    if let Some(n) = crate::uncore_domains_override() {
+        if n > 1 {
+            t.uncore_domains = n;
+        }
+    }
+    let cells = vec![
+        ("No policy".to_string(), RunKind::NoPolicy),
+        (
+            "ME+eU single-knob".to_string(),
+            RunKind::me_eufs_single_knob(0.05, 0.02),
+        ),
+        ("ME+eU per-domain".to_string(), RunKind::me_eufs(0.05, 0.02)),
+    ];
+    matrix_all(&t, &cells, 108)
+}
+
+/// Renders Table VIII.
+pub fn table8() -> String {
+    let Some(results) = table8_data() else {
+        return "== Table VIII: per-die uncore domains (GPU-offload) ==\n\
+                [skipped: cell failure]\n"
+            .to_string();
+    };
+    let reference = results[0].clone();
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            let c = compare(&reference, r);
+            vec![
+                r.label.clone(),
+                format!("{:.0}", r.time_s),
+                pct(c.time_penalty_pct),
+                f2(r.imc_dom_ghz[0]),
+                f2(r.imc_dom_ghz[1]),
+                format!("{:.0}", r.dc_power_w),
+                pct(c.energy_saving_pct),
+            ]
+        })
+        .collect();
+    format_table(
+        "Table VIII: per-die uncore domains (GPU-offload, 2 domains)",
+        &[
+            "configuration",
+            "Time (s)",
+            "Penalty",
+            "feed dom (GHz)",
+            "idle dom (GHz)",
+            "DC Power (W)",
+            "Energy saving",
+        ],
+        &rows,
+    )
+}

@@ -129,7 +129,7 @@ fn stale_schema_entries_are_dropped() {
 
     for file in entry_files(&dir) {
         let text = std::fs::read_to_string(&file).expect("entry readable");
-        let stale = text.replacen("/v1", "/v0", 1);
+        let stale = text.replacen("/v2", "/v0", 1);
         assert_ne!(stale, text, "schema marker must be present to stale");
         std::fs::write(&file, stale).expect("stale rewrite");
     }

@@ -79,6 +79,7 @@ fn calibration_runs_once_per_workload() {
         uncore_lat_cycles: 4.0,
         hw_ufs_bias: 0.0,
         calib_uncore_ghz: 2.4,
+        uncore_domains: 1,
     };
     let cells = small_cells();
     let run = engine::run_matrix_engine(&targets, &cells, &EngineConfig::new(2, 77).with_jobs(4));

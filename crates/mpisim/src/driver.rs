@@ -71,6 +71,11 @@ pub struct NodeReport {
     pub avg_cpu_ghz: f64,
     /// Average IMC (uncore) frequency over the job (GHz).
     pub avg_imc_ghz: f64,
+    /// Uncore frequency domains instantiated per socket (1 = legacy).
+    pub imc_domains: usize,
+    /// Average per-domain IMC frequency over the job (GHz); entries past
+    /// `imc_domains` stay zero.
+    pub imc_dom_ghz: [f64; ear_archsim::MAX_UNCORE_DOMAINS],
     /// Job-average CPI.
     pub cpi: f64,
     /// Job-average memory bandwidth (GB/s).
@@ -123,6 +128,21 @@ impl JobReport {
     /// Average IMC frequency across nodes (GHz).
     pub fn avg_imc_ghz(&self) -> f64 {
         self.mean(|n| n.avg_imc_ghz)
+    }
+
+    /// Uncore frequency domains per socket (the maximum across nodes; a
+    /// homogeneous cluster reports every node equal).
+    pub fn imc_domains(&self) -> usize {
+        self.nodes.iter().map(|n| n.imc_domains).max().unwrap_or(1)
+    }
+
+    /// Average IMC frequency of domain `d` across nodes (GHz).
+    pub fn imc_dom_ghz(&self, d: usize) -> f64 {
+        if d < ear_archsim::MAX_UNCORE_DOMAINS {
+            self.mean(|n| n.imc_dom_ghz[d])
+        } else {
+            0.0
+        }
     }
 
     /// Average CPI across nodes.
@@ -200,6 +220,8 @@ fn build_report(cluster: &Cluster, job: &JobSpec, starts: &[CounterSnapshot]) ->
             },
             avg_cpu_ghz: d.avg_cpu_ghz(),
             avg_imc_ghz: d.avg_imc_ghz(),
+            imc_domains: d.uncore_domains,
+            imc_dom_ghz: std::array::from_fn(|k| d.imc_dom_ghz(k)),
             cpi: d.cpi(),
             gbs: d.gbs(),
             vpi: d.vpi(),

@@ -20,10 +20,23 @@
 //! [`EarError::Protocol`], never a panic, and a frame longer than
 //! [`MAX_PAYLOAD`] is rejected from the header alone so a hostile peer
 //! cannot make the server allocate unboundedly.
+//!
+//! ## Per-domain uncore frames (tags 15–18)
+//!
+//! Multi-die parts carry per-domain uncore data. Rather than widening the
+//! legacy layouts (which would change the bytes of every single-domain
+//! frame), per-domain variants travel under their own tags: 15
+//! (`set_freqs`), 16 (`report_signature`), 17 (`freqs_applied`), 18
+//! (`rejected`). A message picks the per-domain tag only when it actually
+//! carries domain data, so a single-domain deployment emits byte-identical
+//! frames to the pre-domain protocol. Decoding a legacy frame reconstructs
+//! the single-domain view (`imc_domains = 1`, domain 0 mirrors the scalar
+//! fields) so consumers can treat every decoded value uniformly.
 
-use ear_core::policy::NodeFreqs;
+use ear_core::policy::{DomainLimits, NodeFreqs};
 use ear_core::protocol::{DaemonReply, EarlRequest, GmCommand, GmReport};
 use ear_core::Signature;
+use ear_core::MAX_UNCORE_DOMAINS;
 use ear_errors::{EarError, EarResult};
 use std::io::{Read, Write};
 
@@ -97,15 +110,43 @@ pub enum WireMsg {
 }
 
 impl WireMsg {
-    /// The header tag of this message.
+    /// The header tag of this message. Messages carrying per-domain
+    /// uncore data select the per-domain tag (15–18); everything else
+    /// keeps its legacy tag so single-domain frames stay byte-identical.
     pub fn tag(&self) -> u8 {
         match self {
             WireMsg::Ping { .. } => 1,
             WireMsg::Pong { .. } => 2,
-            WireMsg::Request(EarlRequest::SetFreqs(_)) => 3,
-            WireMsg::Request(EarlRequest::ReportSignature(_)) => 4,
-            WireMsg::Reply(DaemonReply::FreqsApplied { .. }) => 5,
-            WireMsg::Reply(DaemonReply::Rejected { .. }) => 6,
+            WireMsg::Request(EarlRequest::SetFreqs(f)) => {
+                if f.imc_dom.is_per_domain() {
+                    15
+                } else {
+                    3
+                }
+            }
+            WireMsg::Request(EarlRequest::ReportSignature(s)) => {
+                if s.domain_count() > 1 {
+                    16
+                } else {
+                    4
+                }
+            }
+            WireMsg::Reply(DaemonReply::FreqsApplied {
+                requested, granted, ..
+            }) => {
+                if requested.imc_dom.is_per_domain() || granted.imc_dom.is_per_domain() {
+                    17
+                } else {
+                    5
+                }
+            }
+            WireMsg::Reply(DaemonReply::Rejected { requested }) => {
+                if requested.imc_dom.is_per_domain() {
+                    18
+                } else {
+                    6
+                }
+            }
             WireMsg::SigAck { .. } => 7,
             WireMsg::PollPower { .. } => 8,
             WireMsg::Report(_) => 9,
@@ -184,6 +225,33 @@ fn put_signature(out: &mut Vec<u8>, s: &Signature) {
     }
 }
 
+/// Per-domain freqs layout: the legacy fields, then a domain count and
+/// `count` (min, max) ratio pairs.
+fn put_freqs_dom(out: &mut Vec<u8>, f: &NodeFreqs) -> EarResult<()> {
+    put_freqs(out, f)?;
+    let n = f.imc_dom.count();
+    #[allow(clippy::cast_possible_truncation)]
+    out.push(n as u8);
+    for d in 0..n {
+        out.push(f.imc_dom.min[d]);
+        out.push(f.imc_dom.max[d]);
+    }
+    Ok(())
+}
+
+/// Per-domain signature layout: the legacy fields, then a domain count and
+/// `count` (imc_dom_khz, gbs_dom) `f64` pairs.
+fn put_signature_dom(out: &mut Vec<u8>, s: &Signature) {
+    put_signature(out, s);
+    let nd = s.domain_count();
+    #[allow(clippy::cast_possible_truncation)]
+    out.push(nd as u8);
+    for k in 0..nd {
+        put_f64(out, s.imc_dom_khz[k]);
+        put_f64(out, s.gbs_dom[k]);
+    }
+}
+
 /// A cursor over a frame payload; every read is bounds-checked and
 /// reports a typed error naming the missing field.
 struct Cursor<'a> {
@@ -235,10 +303,33 @@ impl<'a> Cursor<'a> {
             cpu: self.u32(what)? as usize,
             imc_min_ratio: self.u8(what)?,
             imc_max_ratio: self.u8(what)?,
+            imc_dom: DomainLimits::LEGACY,
         })
     }
 
-    fn signature(&mut self) -> EarResult<Signature> {
+    fn freqs_dom(&mut self, what: &str) -> EarResult<NodeFreqs> {
+        let mut f = self.freqs(what)?;
+        let n = usize::from(self.u8(what)?);
+        if n > MAX_UNCORE_DOMAINS {
+            return Err(proto(format!(
+                "{what}: {n} uncore domains exceeds the {MAX_UNCORE_DOMAINS}-domain limit"
+            )));
+        }
+        #[allow(clippy::cast_possible_truncation)]
+        let mut dom = DomainLimits {
+            count: n as u8,
+            ..DomainLimits::LEGACY
+        };
+        for d in 0..n {
+            dom.min[d] = self.u8(what)?;
+            dom.max[d] = self.u8(what)?;
+        }
+        f.imc_dom = dom;
+        Ok(f)
+    }
+
+    /// The legacy signature fields; per-domain fields left all-zero.
+    fn signature_base(&mut self) -> EarResult<Signature> {
         let iterations = self.u32("signature.iterations")?;
         Ok(Signature {
             iterations,
@@ -251,7 +342,38 @@ impl<'a> Cursor<'a> {
             pkg_power_w: self.f64("signature.pkg_power_w")?,
             avg_cpu_khz: self.f64("signature.avg_cpu_khz")?,
             avg_imc_khz: self.f64("signature.avg_imc_khz")?,
+            ..Signature::default()
         })
+    }
+
+    /// A legacy (tag 4) signature: reconstructs the single-domain view so
+    /// decoded values always carry consistent per-domain fields.
+    fn signature(&mut self) -> EarResult<Signature> {
+        let mut s = self.signature_base()?;
+        s.imc_domains = 1;
+        s.imc_dom_khz[0] = s.avg_imc_khz;
+        s.gbs_dom[0] = s.gbs;
+        Ok(s)
+    }
+
+    /// A per-domain (tag 16) signature.
+    fn signature_dom(&mut self) -> EarResult<Signature> {
+        let mut s = self.signature_base()?;
+        let nd = usize::from(self.u8("signature.imc_domains")?);
+        if nd == 0 || nd > MAX_UNCORE_DOMAINS {
+            return Err(proto(format!(
+                "signature.imc_domains must be 1..={MAX_UNCORE_DOMAINS}, got {nd}"
+            )));
+        }
+        for k in 0..nd {
+            s.imc_dom_khz[k] = self.f64("signature.imc_dom_khz")?;
+            s.gbs_dom[k] = self.f64("signature.gbs_dom")?;
+        }
+        #[allow(clippy::cast_possible_truncation)]
+        {
+            s.imc_domains = nd as u8;
+        }
+        Ok(s)
     }
 
     fn done(&self, tag: u8) -> EarResult<()> {
@@ -286,18 +408,41 @@ pub fn encode_frame_into(out: &mut Vec<u8>, msg: &WireMsg) -> EarResult<()> {
     let body = (|| -> EarResult<()> {
         match msg {
             WireMsg::Ping { token } | WireMsg::Pong { token } => put_u64(out, *token),
-            WireMsg::Request(EarlRequest::SetFreqs(f)) => put_freqs(out, f)?,
-            WireMsg::Request(EarlRequest::ReportSignature(s)) => put_signature(out, s),
+            WireMsg::Request(EarlRequest::SetFreqs(f)) => {
+                if f.imc_dom.is_per_domain() {
+                    put_freqs_dom(out, f)?;
+                } else {
+                    put_freqs(out, f)?;
+                }
+            }
+            WireMsg::Request(EarlRequest::ReportSignature(s)) => {
+                if s.domain_count() > 1 {
+                    put_signature_dom(out, s);
+                } else {
+                    put_signature(out, s);
+                }
+            }
             WireMsg::Reply(DaemonReply::FreqsApplied {
                 requested,
                 granted,
                 clamped,
             }) => {
-                put_freqs(out, requested)?;
-                put_freqs(out, granted)?;
+                if requested.imc_dom.is_per_domain() || granted.imc_dom.is_per_domain() {
+                    put_freqs_dom(out, requested)?;
+                    put_freqs_dom(out, granted)?;
+                } else {
+                    put_freqs(out, requested)?;
+                    put_freqs(out, granted)?;
+                }
                 out.push(u8::from(*clamped));
             }
-            WireMsg::Reply(DaemonReply::Rejected { requested }) => put_freqs(out, requested)?,
+            WireMsg::Reply(DaemonReply::Rejected { requested }) => {
+                if requested.imc_dom.is_per_domain() {
+                    put_freqs_dom(out, requested)?;
+                } else {
+                    put_freqs(out, requested)?;
+                }
+            }
             WireMsg::SigAck { count } => put_u64(out, *count),
             WireMsg::PollPower { node } => put_u64(out, *node),
             WireMsg::Report(r) => {
@@ -421,6 +566,25 @@ pub fn decode_payload(tag: u8, payload: &[u8]) -> EarResult<WireMsg> {
         }
         13 => WireMsg::Shutdown,
         14 => WireMsg::ShutdownAck,
+        15 => WireMsg::Request(EarlRequest::SetFreqs(c.freqs_dom("set_freqs_dom")?)),
+        16 => WireMsg::Request(EarlRequest::ReportSignature(c.signature_dom()?)),
+        17 => {
+            let requested = c.freqs_dom("freqs_applied_dom.requested")?;
+            let granted = c.freqs_dom("freqs_applied_dom.granted")?;
+            let clamped = match c.u8("freqs_applied_dom.clamped")? {
+                0 => false,
+                1 => true,
+                other => return Err(proto(format!("clamped flag must be 0/1, got {other}"))),
+            };
+            WireMsg::Reply(DaemonReply::FreqsApplied {
+                requested,
+                granted,
+                clamped,
+            })
+        }
+        18 => WireMsg::Reply(DaemonReply::Rejected {
+            requested: c.freqs_dom("rejected_dom.requested")?,
+        }),
         other => return Err(proto(format!("unknown frame tag {other}"))),
     };
     c.done(tag)?;

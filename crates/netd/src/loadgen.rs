@@ -113,6 +113,7 @@ pub fn nth_request(client_id: usize, i: u64) -> WireMsg {
             cpu: (i % 4) as usize,
             imc_min_ratio: 12,
             imc_max_ratio: 18 + (i % 7) as u8,
+            imc_dom: ear_core::DomainLimits::LEGACY,
         })),
         2 => WireMsg::Request(EarlRequest::ReportSignature(Signature {
             iterations: (i % 100) as u32 + 1,
@@ -125,6 +126,7 @@ pub fn nth_request(client_id: usize, i: u64) -> WireMsg {
             pkg_power_w: 180.0,
             avg_cpu_khz: 2_400_000.0,
             avg_imc_khz: 2_000_000.0,
+            ..Signature::default()
         })),
         _ => WireMsg::PollPower {
             node: client_id as u64,

@@ -107,11 +107,7 @@ impl EardService {
             WireMsg::Ping { token } => (WireMsg::Pong { token: *token }, false),
             WireMsg::Request(EarlRequest::SetFreqs(requested)) => {
                 let granted = match self.cfg.ceiling {
-                    Some(ceiling) => NodeFreqs {
-                        cpu: requested.cpu.max(ceiling.cpu),
-                        imc_min_ratio: requested.imc_min_ratio.min(ceiling.imc_max_ratio),
-                        imc_max_ratio: requested.imc_max_ratio.min(ceiling.imc_max_ratio),
-                    },
+                    Some(ceiling) => requested.clamped_under(&ceiling),
                     None => *requested,
                 };
                 self.programmed = Some(granted);

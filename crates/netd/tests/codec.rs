@@ -5,7 +5,7 @@
 
 use ear_core::policy::NodeFreqs;
 use ear_core::protocol::{DaemonReply, EarlRequest, GmCommand, GmReport};
-use ear_core::Signature;
+use ear_core::{DomainLimits, Signature};
 use ear_errors::EarError;
 use ear_netd::codec::{
     decode_frame, encode_frame, io_to_ear, is_deadline_error, read_frame, write_frame,
@@ -22,7 +22,10 @@ fn xorshift(state: &mut u64) -> u64 {
 }
 
 fn sample_signature(bits: u64) -> Signature {
-    Signature {
+    // Legacy (tag 4) frames drop the per-domain arrays and the decoder
+    // mirrors the scalar fields into domain 0; the sample carries that
+    // same view so the round-trip is exact.
+    let mut s = Signature {
         iterations: (bits % 1000) as u32,
         window_s: 10.0,
         cpi: 0.83,
@@ -33,7 +36,22 @@ fn sample_signature(bits: u64) -> Signature {
         pkg_power_w: 180.5,
         avg_cpu_khz: 2_394_117.0,
         avg_imc_khz: 2_000_333.0,
+        ..Signature::default()
+    };
+    s.imc_dom_khz[0] = s.avg_imc_khz;
+    s.gbs_dom[0] = s.gbs;
+    s
+}
+
+/// A multi-die signature (travels under the per-domain tag 16).
+fn sample_signature_dom(bits: u64, domains: u8) -> Signature {
+    let mut s = sample_signature(bits);
+    s.imc_domains = domains;
+    for k in 0..usize::from(domains) {
+        s.imc_dom_khz[k] = 2_400_000.0 - 300_000.0 * k as f64;
+        s.gbs_dom[k] = 90.5 - 25.0 * k as f64;
     }
+    s
 }
 
 fn freqs(cpu: usize, lo: u8, hi: u8) -> NodeFreqs {
@@ -41,7 +59,19 @@ fn freqs(cpu: usize, lo: u8, hi: u8) -> NodeFreqs {
         cpu,
         imc_min_ratio: lo,
         imc_max_ratio: hi,
+        imc_dom: DomainLimits::LEGACY,
     }
+}
+
+/// Per-domain limits with distinct per-die maxima (tags 15/17/18).
+fn freqs_dom(cpu: usize, maxes: &[u8]) -> NodeFreqs {
+    let mut f = freqs(cpu, 12, 24);
+    let mut dom = DomainLimits::uniform(maxes.len(), 12, 24);
+    for (d, &m) in maxes.iter().enumerate().take(dom.count()) {
+        dom.max[d] = m;
+    }
+    f.imc_dom = dom;
+    f
 }
 
 /// One instance of every wire message (the NaN payload case is separate).
@@ -66,6 +96,26 @@ fn all_variants() -> Vec<WireMsg> {
         }),
         WireMsg::Reply(DaemonReply::Rejected {
             requested: freqs(9, 6, 30),
+        }),
+        // Per-domain variants (tags 15–18).
+        WireMsg::Request(EarlRequest::SetFreqs(freqs_dom(2, &[22, 14]))),
+        WireMsg::Request(EarlRequest::SetFreqs(freqs_dom(0, &[24, 24, 18, 12]))),
+        WireMsg::Request(EarlRequest::ReportSignature(sample_signature_dom(11, 2))),
+        WireMsg::Request(EarlRequest::ReportSignature(sample_signature_dom(13, 4))),
+        WireMsg::Reply(DaemonReply::FreqsApplied {
+            requested: freqs_dom(0, &[24, 24]),
+            granted: freqs_dom(1, &[20, 20]),
+            clamped: true,
+        }),
+        // Asymmetric: a per-domain request granted on the legacy path
+        // still travels whole under tag 17.
+        WireMsg::Reply(DaemonReply::FreqsApplied {
+            requested: freqs_dom(1, &[23, 17]),
+            granted: freqs(1, 12, 20),
+            clamped: true,
+        }),
+        WireMsg::Reply(DaemonReply::Rejected {
+            requested: freqs_dom(3, &[30, 6]),
         }),
         WireMsg::SigAck { count: 42 },
         WireMsg::PollPower { node: 17 },
@@ -276,7 +326,7 @@ fn seeded_random_corpus_never_panics() {
             buf[0] = 0xEA;
             buf[1] = 0x5D;
             buf[2] = 1;
-            buf[3] = (xorshift(&mut rng) % 16) as u8;
+            buf[3] = (xorshift(&mut rng) % 20) as u8;
             let plen = (buf.len() - HEADER_LEN) as u32;
             buf[4..8].copy_from_slice(&plen.to_le_bytes());
         }

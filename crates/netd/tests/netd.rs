@@ -29,6 +29,7 @@ fn test_server_cfg(node: u64) -> ServerConfig {
                 cpu: 1,
                 imc_min_ratio: 8,
                 imc_max_ratio: 20,
+                imc_dom: ear_core::DomainLimits::LEGACY,
             }),
             idle_power_w: 120.0,
         },
@@ -72,6 +73,7 @@ fn pipe_end_to_end_with_clamping_and_clean_shutdown() {
         cpu: 0,
         imc_min_ratio: 12,
         imc_max_ratio: 24,
+        imc_dom: ear_core::DomainLimits::LEGACY,
     };
     match client
         .request_with_retry(&WireMsg::Request(EarlRequest::SetFreqs(req)))

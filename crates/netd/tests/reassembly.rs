@@ -5,7 +5,7 @@
 //! the readiness-loop server sees all of these shapes from real sockets.
 
 use ear_core::protocol::{EarlRequest, GmCommand, GmReport};
-use ear_core::Signature;
+use ear_core::{DomainLimits, NodeFreqs, Signature};
 use ear_netd::codec::{decode_frame, encode_frame, FrameBuffer};
 use ear_netd::{WireMsg, HEADER_LEN};
 use std::io::Read;
@@ -19,24 +19,34 @@ fn xorshift(state: &mut u64) -> u64 {
     x
 }
 
-/// A deterministic message stream mixing every payload shape.
+/// A deterministic message stream mixing every payload shape, including
+/// the per-domain variants (tags 15/16).
 fn sample_stream() -> Vec<WireMsg> {
     let mut msgs = Vec::new();
-    for i in 0..40u64 {
-        msgs.push(match i % 5 {
+    for i in 0..42u64 {
+        msgs.push(match i % 7 {
             0 => WireMsg::Ping { token: i },
-            1 => WireMsg::Request(EarlRequest::ReportSignature(Signature {
-                iterations: i as u32 + 1,
-                window_s: 10.0,
-                cpi: 0.8,
-                tpi: 1.5,
-                gbs: 80.0,
-                vpi: 0.05,
-                dc_power_w: 250.0 + i as f64,
-                pkg_power_w: 180.0,
-                avg_cpu_khz: 2_400_000.0,
-                avg_imc_khz: 2_000_000.0,
-            })),
+            1 => {
+                // Legacy (tag 4) frames drop the per-domain arrays; the
+                // decoder mirrors the scalar fields into domain 0, so the
+                // original must carry that same view to round-trip.
+                let mut s = Signature {
+                    iterations: i as u32 + 1,
+                    window_s: 10.0,
+                    cpi: 0.8,
+                    tpi: 1.5,
+                    gbs: 80.0,
+                    vpi: 0.05,
+                    dc_power_w: 250.0 + i as f64,
+                    pkg_power_w: 180.0,
+                    avg_cpu_khz: 2_400_000.0,
+                    avg_imc_khz: 2_000_000.0,
+                    ..Signature::default()
+                };
+                s.imc_dom_khz[0] = s.avg_imc_khz;
+                s.gbs_dom[0] = s.gbs;
+                WireMsg::Request(EarlRequest::ReportSignature(s))
+            }
             2 => WireMsg::Report(GmReport {
                 node: i as usize,
                 avg_power_w: 100.0 + i as f64,
@@ -45,6 +55,33 @@ fn sample_stream() -> Vec<WireMsg> {
                 node: i as usize,
                 cap_w: 300.0,
             }),
+            4 => WireMsg::Request(EarlRequest::SetFreqs(NodeFreqs {
+                cpu: (i % 4) as usize,
+                imc_min_ratio: 12,
+                imc_max_ratio: 24,
+                imc_dom: DomainLimits::uniform(2, 12, 18 + (i % 6) as u8),
+            })),
+            5 => {
+                let mut s = Signature {
+                    iterations: i as u32 + 1,
+                    window_s: 10.0,
+                    cpi: 0.9,
+                    tpi: 1.2,
+                    gbs: 120.0,
+                    vpi: 0.02,
+                    dc_power_w: 280.0,
+                    pkg_power_w: 200.0,
+                    avg_cpu_khz: 2_400_000.0,
+                    avg_imc_khz: 2_100_000.0,
+                    imc_domains: 2,
+                    ..Signature::default()
+                };
+                s.imc_dom_khz[0] = 2_400_000.0;
+                s.imc_dom_khz[1] = 1_800_000.0;
+                s.gbs_dom[0] = 90.0 + i as f64;
+                s.gbs_dom[1] = 30.0;
+                WireMsg::Request(EarlRequest::ReportSignature(s))
+            }
             _ => WireMsg::Error {
                 message: format!("message {i}"),
             },

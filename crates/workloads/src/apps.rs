@@ -26,6 +26,7 @@ pub fn bqcd() -> WorkloadTargets {
         uncore_lat_cycles: 19.0,
         hw_ufs_bias: 0.0,
         calib_uncore_ghz: 2.4,
+        uncore_domains: 1,
     }
 }
 
@@ -49,6 +50,7 @@ pub fn bt_mz_d() -> WorkloadTargets {
         uncore_lat_cycles: 44.0,
         hw_ufs_bias: 0.0,
         calib_uncore_ghz: 2.4,
+        uncore_domains: 1,
     }
 }
 
@@ -74,6 +76,7 @@ pub fn gromacs_i() -> WorkloadTargets {
         // sub-nominal under ME.
         hw_ufs_bias: 0.45,
         calib_uncore_ghz: 2.4,
+        uncore_domains: 1,
     }
 }
 
@@ -99,6 +102,7 @@ pub fn gromacs_ii() -> WorkloadTargets {
         uncore_lat_cycles: 16.0,
         hw_ufs_bias: -0.02,
         calib_uncore_ghz: 2.4,
+        uncore_domains: 1,
     }
 }
 
@@ -122,6 +126,7 @@ pub fn hpcg() -> WorkloadTargets {
         uncore_lat_cycles: 8.0,
         hw_ufs_bias: 0.0,
         calib_uncore_ghz: 2.4,
+        uncore_domains: 1,
     }
 }
 
@@ -145,6 +150,7 @@ pub fn pop() -> WorkloadTargets {
         uncore_lat_cycles: 6.0,
         hw_ufs_bias: 0.0,
         calib_uncore_ghz: 2.4,
+        uncore_domains: 1,
     }
 }
 
@@ -168,6 +174,7 @@ pub fn dumses() -> WorkloadTargets {
         uncore_lat_cycles: 13.0,
         hw_ufs_bias: 0.0,
         calib_uncore_ghz: 2.4,
+        uncore_domains: 1,
     }
 }
 
@@ -191,6 +198,7 @@ pub fn afid() -> WorkloadTargets {
         uncore_lat_cycles: 9.0,
         hw_ufs_bias: 0.0,
         calib_uncore_ghz: 2.4,
+        uncore_domains: 1,
     }
 }
 

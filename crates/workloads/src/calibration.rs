@@ -70,10 +70,14 @@ pub fn calibrate(targets: &WorkloadTargets) -> Result<CalibratedWorkload, Calibr
         reason,
     };
     targets.validate().map_err(|e| err(e.to_string()))?;
-    let cfg = targets.platform.node_config();
+    let cfg = targets
+        .platform
+        .node_config()
+        .with_uncore_domains(targets.uncore_domains);
 
     match targets.class {
         AppClass::Gpu => calibrate_gpu(targets, cfg),
+        AppClass::GpuOffload => calibrate_gpu_offload(targets, cfg),
         _ => calibrate_cpu(targets, cfg),
     }
 }
@@ -191,6 +195,7 @@ fn calibrate_cpu(
         wait_busy: true,
         gpu_power_w: 0.0,
         hw_ufs_bias: t.hw_ufs_bias,
+        domain_mem_frac: None,
     };
     demand.validate().map_err(err)?;
     Ok(CalibratedWorkload {
@@ -253,7 +258,146 @@ fn calibrate_gpu(
         wait_busy: true,
         gpu_power_w,
         hw_ufs_bias: t.hw_ufs_bias,
+        domain_mem_frac: None,
     };
+    Ok(CalibratedWorkload {
+        targets: t.clone(),
+        demand,
+        node_config: cfg,
+    })
+}
+
+/// Core activity of the host-feed streaming loop of a GPU-offload
+/// workload (a copy/pack loop: mostly load/store, some address math).
+const FEED_ACTIVITY: f64 = 0.7;
+
+/// GPU-offload workloads: a few host cores stream staging traffic to the
+/// accelerator (all of it through uncore domain 0, the die fronting the
+/// GPU), then busy-wait on the kernel. The work portion is calibrated like
+/// a CPU workload — so its duration stretches when the host-feed domain's
+/// uncore slows, which is exactly the feed-rate throttling the per-domain
+/// experiments measure — while the accelerator draw is solved residually
+/// from the power target with the feed activity pinned at
+/// [`FEED_ACTIVITY`].
+fn calibrate_gpu_offload(
+    t: &WorkloadTargets,
+    cfg: NodeConfig,
+) -> Result<CalibratedWorkload, CalibrationError> {
+    let err = |reason: String| CalibrationError {
+        workload: t.name,
+        reason,
+    };
+
+    let a = t.active_cores as f64;
+    let nominal_ps = cfg.pstates.nominal();
+    let f_eff = cfg.pstates.effective_khz(nominal_ps, t.vpi) * 1e3; // Hz
+    let f_spin = cfg.pstates.nominal_khz() as f64 * 1e3;
+
+    let t_iter = t.iter_time_s();
+    // comm_fraction is the kernel-synchronisation busy-wait here.
+    let wait_s = t.comm_fraction * t_iter;
+    let t_work = t_iter - wait_s;
+    if t_work <= 0.0 {
+        return Err(err("sync fraction leaves no feed time".into()));
+    }
+
+    let bytes = t.bytes_per_iter();
+    let trans = bytes / 64.0;
+
+    // Instruction budget from the CPI target (identical to the CPU path).
+    let cycles_total = a * f_eff * t_work + a * f_spin * wait_s;
+    let inst_total = cycles_total / t.cpi;
+    let spin_inst = a * f_spin * wait_s / SPIN_CPI;
+    let inst_work = inst_total - spin_inst;
+    if inst_work <= 0.0 {
+        return Err(err(format!(
+            "CPI target {} infeasible: spin instructions alone exceed the budget",
+            t.cpi
+        )));
+    }
+
+    // Time decomposition of the feed portion at the calibration uncore.
+    // All feed traffic streams through domain 0, which owns only 1/nd of
+    // the node's memory-controller capacity (each die fronts its own
+    // controllers), so its bandwidth term is the full-node one scaled by
+    // the domain count.
+    let f_u = t.calib_uncore_ghz;
+    let nd = t.uncore_domains as f64;
+    let t_unc = trans * t.uncore_lat_cycles / (a * f_u * 1e9);
+    let t_bw_raw = bytes * nd / achievable_bw(&cfg.perf, f_u);
+    if t_bw_raw > t_work {
+        return Err(err(format!(
+            "GB/s target {} exceeds what the bandwidth model allows in the feed time",
+            t.gbs
+        )));
+    }
+    let exposed = (1.0 - t.mem_overlap) * t_bw_raw;
+    let t_core = t_work - t_unc - exposed;
+    if t_core <= 0.0 {
+        return Err(err(
+            "uncore latency + exposed bandwidth exceed the feed time".into(),
+        ));
+    }
+    let cpi_core = t_core * a * f_eff / inst_work;
+
+    // Host power with the feed activity pinned; the accelerator draw is
+    // the residual that hits the DC target over the whole iteration.
+    let gbs_work = bytes / t_work / 1e9;
+    let mem_util_work = (bytes / t_work / cfg.perf.bw_peak_bytes).clamp(0.0, 1.0);
+    let socket_active = split_active(t.active_cores, cfg.sockets);
+    let gpu_idle = cfg.gpus as f64 * cfg.power.gpu_idle_w;
+    let mut p_work = cfg.power.platform_w + power::dram_power(&cfg.power, gbs_work) + gpu_idle;
+    let mut p_wait = cfg.power.platform_w + power::dram_power(&cfg.power, 0.0) + gpu_idle;
+    for &active in &socket_active {
+        let feed = SocketPowerInput {
+            active_cores: active,
+            total_cores: cfg.cores_per_socket,
+            f_core_ghz: f_eff * 1e-9,
+            activity: FEED_ACTIVITY,
+            avx512_fraction: t.vpi,
+            f_uncore_ghz: f_u,
+            mem_util: mem_util_work,
+        };
+        p_work += power::pkg_power(&cfg.power, &feed);
+        let spin = SocketPowerInput {
+            active_cores: active,
+            total_cores: cfg.cores_per_socket,
+            f_core_ghz: f_spin * 1e-9,
+            activity: cfg.power.spin_activity,
+            avx512_fraction: 0.0,
+            f_uncore_ghz: f_u,
+            mem_util: 0.0,
+        };
+        p_wait += power::pkg_power(&cfg.power, &spin);
+    }
+    let gpu_power_w = (t.dc_power_w * t_iter - p_work * t_work - p_wait * wait_s) / t_iter;
+    if gpu_power_w < 0.0 {
+        return Err(err(format!(
+            "DC power target {} W is below the host feed's own draw",
+            t.dc_power_w
+        )));
+    }
+
+    // The whole feed stream goes through the die fronting the accelerator.
+    let mut frac = [0.0; ear_archsim::MAX_UNCORE_DOMAINS];
+    frac[0] = 1.0;
+
+    let demand = PhaseDemand {
+        instructions: inst_work,
+        avx512_fraction: t.vpi,
+        mem_bytes: bytes,
+        cpi_core,
+        uncore_lat_cycles: t.uncore_lat_cycles,
+        mem_overlap: t.mem_overlap,
+        active_cores: t.active_cores,
+        activity: FEED_ACTIVITY,
+        wait_seconds: wait_s,
+        wait_busy: true,
+        gpu_power_w,
+        hw_ufs_bias: t.hw_ufs_bias,
+        domain_mem_frac: Some(frac),
+    };
+    demand.validate().map_err(err)?;
     Ok(CalibratedWorkload {
         targets: t.clone(),
         demand,
@@ -293,6 +437,7 @@ mod tests {
             uncore_lat_cycles: 4.0,
             hw_ufs_bias: 0.0,
             calib_uncore_ghz: 2.4,
+            uncore_domains: 1,
         }
     }
 
@@ -353,6 +498,7 @@ mod tests {
             uncore_lat_cycles: 4.0,
             hw_ufs_bias: 0.0,
             calib_uncore_ghz: 2.4,
+            uncore_domains: 1,
         };
         let c = calibrate(&t).expect("calibrates");
         assert!(

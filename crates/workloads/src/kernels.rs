@@ -28,6 +28,7 @@ pub fn bt_mz_omp_c() -> WorkloadTargets {
         uncore_lat_cycles: 11.0,
         hw_ufs_bias: 0.0,
         calib_uncore_ghz: 2.4,
+        uncore_domains: 1,
     }
 }
 
@@ -51,6 +52,7 @@ pub fn sp_mz_omp_c() -> WorkloadTargets {
         uncore_lat_cycles: 6.0,
         hw_ufs_bias: 0.0,
         calib_uncore_ghz: 2.4,
+        uncore_domains: 1,
     }
 }
 
@@ -76,6 +78,7 @@ pub fn bt_cuda_d() -> WorkloadTargets {
         // sub-nominal on the spin core.
         hw_ufs_bias: 0.22,
         calib_uncore_ghz: 2.4,
+        uncore_domains: 1,
     }
 }
 
@@ -99,6 +102,7 @@ pub fn lu_cuda_d() -> WorkloadTargets {
         uncore_lat_cycles: 4.0,
         hw_ufs_bias: 0.22,
         calib_uncore_ghz: 2.4,
+        uncore_domains: 1,
     }
 }
 
@@ -124,6 +128,7 @@ pub fn dgemm() -> WorkloadTargets {
         uncore_lat_cycles: 5.0,
         hw_ufs_bias: -0.35,
         calib_uncore_ghz: 1.98,
+        uncore_domains: 1,
     }
 }
 
@@ -149,6 +154,7 @@ pub fn bt_mz_mpi_c() -> WorkloadTargets {
         uncore_lat_cycles: 28.0,
         hw_ufs_bias: 0.0,
         calib_uncore_ghz: 2.4,
+        uncore_domains: 1,
     }
 }
 
@@ -174,6 +180,37 @@ pub fn lu_mpi_d() -> WorkloadTargets {
         uncore_lat_cycles: 8.0,
         hw_ufs_bias: 0.2,
         calib_uncore_ghz: 2.4,
+        uncore_domains: 1,
+    }
+}
+
+/// BT class D offloaded with an active host feed, on a two-die part: 8
+/// host cores stream staging buffers to the V100 through the uncore
+/// domain fronting it (domain 0) while the second die is compute-idle.
+/// Not a paper workload — the per-die extension's probe case: a single
+/// uncore knob must keep both dies fast to protect the feed rate, a
+/// per-domain policy can floor the idle die for free.
+pub fn bt_cuda_d_offload() -> WorkloadTargets {
+    WorkloadTargets {
+        name: "BT.CUDA.D (offload)",
+        class: AppClass::GpuOffload,
+        platform: Platform::GpuNode,
+        nodes: 1,
+        ranks_per_node: 1,
+        active_cores: 8,
+        time_s: 465.0,
+        iterations: 310,
+        cpi: 0.62,
+        gbs: 22.0,
+        dc_power_w: 340.0,
+        vpi: 0.0,
+        // Kernel-synchronisation busy-wait between feed bursts.
+        comm_fraction: 0.55,
+        mem_overlap: 0.5,
+        uncore_lat_cycles: 9.0,
+        hw_ufs_bias: 0.22,
+        calib_uncore_ghz: 2.4,
+        uncore_domains: 2,
     }
 }
 
@@ -200,6 +237,23 @@ mod tests {
         }
         calibrate(&bt_mz_mpi_c()).unwrap();
         calibrate(&lu_mpi_d()).unwrap();
+    }
+
+    #[test]
+    fn gpu_offload_pins_its_feed_to_domain_zero() {
+        let t = bt_cuda_d_offload();
+        assert_eq!(t.uncore_domains, 2);
+        let c = calibrate(&t).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(c.node_config.uncore_domains, 2);
+        let frac = c.demand.domain_mem_frac.expect("feed must pin traffic");
+        assert_eq!(frac[0], 1.0);
+        assert_eq!(frac[1], 0.0);
+        assert!(
+            c.demand.gpu_power_w > 20.0,
+            "accelerator draw {} implausibly small",
+            c.demand.gpu_power_w
+        );
+        assert!(c.demand.instructions > 0.0 && c.demand.mem_bytes > 0.0);
     }
 
     #[test]

@@ -28,13 +28,15 @@ pub use calibration::{calibrate, CalibratedWorkload, CalibrationError};
 pub use phases::{MultiPhaseApp, PhaseSpec};
 pub use spec::{AppClass, Platform, WorkloadTargets};
 
-/// Every workload in the paper's evaluation: Table II kernels, the Table I
-/// MPI kernels, and the Table V applications.
+/// Every workload in the paper's evaluation — Table II kernels, the
+/// Table I MPI kernels, the Table V applications — plus the per-die
+/// extension's GPU-offload probe workload.
 pub fn full_catalog() -> Vec<WorkloadTargets> {
     let mut v = kernels::table2_kernels();
     v.push(kernels::bt_mz_mpi_c());
     v.push(kernels::lu_mpi_d());
     v.extend(apps::table5_apps());
+    v.push(kernels::bt_cuda_d_offload());
     v
 }
 
@@ -49,8 +51,9 @@ mod tests {
 
     #[test]
     fn catalog_is_complete() {
-        // 5 Table II kernels + 2 Table I MPI kernels + 8 Table V apps.
-        assert_eq!(full_catalog().len(), 15);
+        // 5 Table II kernels + 2 Table I MPI kernels + 8 Table V apps +
+        // the GPU-offload probe workload.
+        assert_eq!(full_catalog().len(), 16);
     }
 
     #[test]

@@ -20,6 +20,14 @@ pub enum AppClass {
     MemoryBound,
     /// GPU kernels: one busy-waiting core, compute on the accelerator.
     Gpu,
+    /// GPU offload with an active host feed: a few host cores stream
+    /// staging traffic through the uncore domain fronting the accelerator
+    /// while the compute runs on the GPU. The feed traffic pins to domain
+    /// 0, so on a multi-die part the other domain is compute-idle — the
+    /// per-domain UFS case the single knob cannot express (down-scaling
+    /// the host-feed domain throttles the feed rate; down-scaling the idle
+    /// domain costs nothing).
+    GpuOffload,
 }
 
 /// Which node model the workload ran on in the paper.
@@ -81,6 +89,10 @@ pub struct WorkloadTargets {
     /// characterisation run — 2.4 for everything except AVX512-capped
     /// DGEMM, where the paper measured 1.98 (Table IV).
     pub calib_uncore_ghz: f64,
+    /// Uncore frequency domains per socket the workload's node exposes
+    /// (1 = the legacy single knob; >1 instantiates TPMI-style per-die
+    /// register pairs and the policies search each domain independently).
+    pub uncore_domains: usize,
 }
 
 impl WorkloadTargets {
@@ -121,6 +133,14 @@ impl WorkloadTargets {
                 self.name
             )));
         }
+        if !(1..=ear_archsim::MAX_UNCORE_DOMAINS).contains(&self.uncore_domains) {
+            return Err(EarError::config(format!(
+                "{}: uncore_domains must be 1..={}, got {}",
+                self.name,
+                ear_archsim::MAX_UNCORE_DOMAINS,
+                self.uncore_domains
+            )));
+        }
         Ok(())
     }
 }
@@ -148,6 +168,7 @@ mod tests {
             uncore_lat_cycles: 4.0,
             hw_ufs_bias: 0.0,
             calib_uncore_ghz: 2.4,
+            uncore_domains: 1,
         }
     }
 

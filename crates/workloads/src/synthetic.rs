@@ -31,6 +31,7 @@ pub fn comm_intensive() -> WorkloadTargets {
         uncore_lat_cycles: 10.0,
         hw_ufs_bias: 0.0,
         calib_uncore_ghz: 2.4,
+        uncore_domains: 1,
     }
 }
 
@@ -61,6 +62,7 @@ pub fn parametric(mem_intensity: f64) -> WorkloadTargets {
         uncore_lat_cycles: 6.0 + 2.0 * m,
         hw_ufs_bias: 0.0,
         calib_uncore_ghz: 2.4,
+        uncore_domains: 1,
     }
 }
 

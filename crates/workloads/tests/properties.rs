@@ -40,6 +40,7 @@ fn arb_targets() -> impl Strategy<Value = WorkloadTargets> {
                 uncore_lat_cycles: lat,
                 hw_ufs_bias: 0.0,
                 calib_uncore_ghz: 2.4,
+                uncore_domains: 1,
             },
         )
 }
@@ -112,6 +113,7 @@ proptest! {
             uncore_lat_cycles: 6.0,
             hw_ufs_bias: 0.0,
             calib_uncore_ghz: 2.4,
+            uncore_domains: 1,
         };
         let _ = calibrate(&t); // Ok or Err, never panic
     }

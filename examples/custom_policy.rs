@@ -47,6 +47,7 @@ impl PowerPolicy for FixedBudget {
             cpu: next,
             imc_min_ratio: ctx.uncore_min_ratio,
             imc_max_ratio: ctx.uncore_max_ratio,
+            imc_dom: ear::core::DomainLimits::LEGACY,
         };
         // Never converges: it keeps tracking the budget (EARL re-invokes
         // every signature because we return Continue).

@@ -59,6 +59,7 @@ fn main() {
             pkg_power_w: power * 0.72,
             avg_cpu_khz: 2.4e6,
             avg_imc_khz: 2.4e6,
+            ..Signature::default()
         };
         let pick = |params: ModelParams| {
             let model = Avx512Model::new(DefaultModel { params });
@@ -66,6 +67,7 @@ fn main() {
                 pstates: &pstates,
                 uncore_min_ratio: cfg.uncore_min_ratio,
                 uncore_max_ratio: cfg.uncore_max_ratio,
+                uncore_domains: 1,
                 model: &model,
                 settings: &settings,
             };

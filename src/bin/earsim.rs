@@ -61,7 +61,7 @@ fn usage() -> ! {
          \x20          [--range maxonly|pinned|band:N]\n\
          earsim run --conf FILE --app NAME   (ear.conf instead of flags)\n\
          earsim sweep --app NAME\n\
-         earsim table <1..7>\n\
+         earsim table <1..8>   (8 = per-die uncore domains)\n\
          earsim fig <1|3..8>\n\
          earsim surface --app NAME\n\
          earsim related\n\
@@ -286,7 +286,8 @@ fn cmd_table(n: &str) -> Result<(), EarError> {
         "5" => tables::table5(),
         "6" => tables::table6(),
         "7" => tables::table7(),
-        _ => return Err(EarError::config(format!("tables are 1..7, got '{n}'"))),
+        "8" => tables::table8(),
+        _ => return Err(EarError::config(format!("tables are 1..8, got '{n}'"))),
     };
     print!("{out}");
     Ok(())
@@ -429,6 +430,7 @@ fn cmd_serve(rest: &[String]) -> Result<(), EarError> {
                     cpu: parse_num(pstate, "ceiling"),
                     imc_min_ratio: parse_num(imc, "ceiling"),
                     imc_max_ratio: parse_num(imc, "ceiling"),
+                    imc_dom: ear::core::DomainLimits::LEGACY,
                 });
             }
             "--blocking" => blocking = true,
