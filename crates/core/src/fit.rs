@@ -1,0 +1,264 @@
+//! Dependency-free least-squares surface fitting for the sweep engine.
+//!
+//! `earsim sweep` measures T(f, u) and P(f, u) over the full
+//! (pstate × uncore-ratio) grid; this module fits each surface with a
+//! bivariate quadratic by solving the normal equations over small, fixed
+//! size matrices — no external linear-algebra crates. The fitted
+//! coefficients feed the one-shot [`fitted`](crate::policy::fitted)
+//! policy, which replaces the iterative `IMC_FREQ_SEL` settle sequence
+//! with two polynomial evaluations per candidate point (Chadha & Gerndt's
+//! "model the grid once, select in one shot" alternative to the paper's
+//! runtime search).
+//!
+//! Both axes are in GHz: `f` is the CPU frequency, `u` the uncore
+//! frequency (ratio × 0.1). The quadratic basis is
+//! `[1, f, u, f², u², f·u]` — six coefficients, so any grid with at least
+//! six distinct (f, u) points and both axes varying is well-posed.
+
+use ear_errors::{EarError, EarResult};
+
+/// Number of terms in the bivariate quadratic basis.
+pub const POLY2_TERMS: usize = 6;
+
+/// A bivariate quadratic `c0 + c1·f + c2·u + c3·f² + c4·u² + c5·f·u`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poly2 {
+    /// Coefficients in basis order `[1, f, u, f², u², f·u]`.
+    pub coeffs: [f64; POLY2_TERMS],
+}
+
+impl Poly2 {
+    /// Evaluates the polynomial at `(f, u)`.
+    pub fn eval(&self, f: f64, u: f64) -> f64 {
+        let c = &self.coeffs;
+        c[0] + c[1] * f + c[2] * u + c[3] * f * f + c[4] * u * u + c[5] * f * u
+    }
+
+    /// The basis row for a sample point.
+    fn basis(f: f64, u: f64) -> [f64; POLY2_TERMS] {
+        [1.0, f, u, f * f, u * u, f * u]
+    }
+}
+
+/// Fit quality against the sample set the surface was fitted from:
+/// relative residuals `|fit − measured| / measured`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FitResidual {
+    /// Largest relative residual over the samples.
+    pub max_rel: f64,
+    /// Mean relative residual over the samples.
+    pub mean_rel: f64,
+}
+
+/// Least-squares fit of [`Poly2`] to `(f, u, value)` samples via the
+/// normal equations `(AᵀA)·c = Aᵀb`, solved by Gaussian elimination with
+/// partial pivoting. Deterministic: same samples in the same order give
+/// bit-identical coefficients.
+pub fn fit_poly2(samples: &[(f64, f64, f64)]) -> EarResult<Poly2> {
+    if samples.len() < POLY2_TERMS {
+        return Err(EarError::Invariant(format!(
+            "fit: {} samples for a {POLY2_TERMS}-term basis",
+            samples.len()
+        )));
+    }
+    let mut ata = [[0.0f64; POLY2_TERMS]; POLY2_TERMS];
+    let mut atb = [0.0f64; POLY2_TERMS];
+    for &(f, u, v) in samples {
+        if !(f.is_finite() && u.is_finite() && v.is_finite()) {
+            return Err(EarError::Invariant(format!(
+                "fit: non-finite sample ({f}, {u}, {v})"
+            )));
+        }
+        let row = Poly2::basis(f, u);
+        for i in 0..POLY2_TERMS {
+            for j in 0..POLY2_TERMS {
+                ata[i][j] += row[i] * row[j];
+            }
+            atb[i] += row[i] * v;
+        }
+    }
+    let coeffs = solve6(&mut ata, &mut atb)?;
+    Ok(Poly2 { coeffs })
+}
+
+/// Solves the 6×6 system in place; errors on a (numerically) singular
+/// matrix — a degenerate grid, e.g. a single uncore ratio.
+fn solve6(
+    a: &mut [[f64; POLY2_TERMS]; POLY2_TERMS],
+    b: &mut [f64; POLY2_TERMS],
+) -> EarResult<[f64; POLY2_TERMS]> {
+    for col in 0..POLY2_TERMS {
+        // Partial pivoting: bring the largest remaining entry up.
+        let mut pivot = col;
+        for row in (col + 1)..POLY2_TERMS {
+            if a[row][col].abs() > a[pivot][col].abs() {
+                pivot = row;
+            }
+        }
+        if a[pivot][col].abs() < 1e-12 {
+            return Err(EarError::Invariant(
+                "fit: singular normal matrix (degenerate sample grid)".into(),
+            ));
+        }
+        if pivot != col {
+            a.swap(pivot, col);
+            b.swap(pivot, col);
+        }
+        let upper = a[col];
+        for row in (col + 1)..POLY2_TERMS {
+            let factor = a[row][col] / upper[col];
+            for (entry, &u) in a[row][col..].iter_mut().zip(&upper[col..]) {
+                *entry -= factor * u;
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    let mut x = [0.0f64; POLY2_TERMS];
+    for col in (0..POLY2_TERMS).rev() {
+        let mut acc = b[col];
+        for k in (col + 1)..POLY2_TERMS {
+            acc -= a[col][k] * x[k];
+        }
+        x[col] = acc / a[col][col];
+    }
+    Ok(x)
+}
+
+/// Relative residuals of a fitted polynomial against its sample set.
+/// Samples with a non-positive measured value are skipped (nothing in the
+/// sweep produces them; guarding keeps the ratio well-defined).
+pub fn residuals(poly: &Poly2, samples: &[(f64, f64, f64)]) -> FitResidual {
+    let mut max_rel = 0.0f64;
+    let mut sum = 0.0f64;
+    let mut n = 0usize;
+    for &(f, u, v) in samples {
+        if v <= 0.0 {
+            continue;
+        }
+        let rel = ((poly.eval(f, u) - v) / v).abs();
+        max_rel = max_rel.max(rel);
+        sum += rel;
+        n += 1;
+    }
+    FitResidual {
+        max_rel,
+        mean_rel: if n == 0 { 0.0 } else { sum / n as f64 },
+    }
+}
+
+/// A fitted (time, power) surface pair over the swept frequency window.
+/// This is what `earsim sweep` produces per workload and what the
+/// `fitted` policy consumes through
+/// [`PolicySettings::fitted`](crate::policy::PolicySettings::fitted).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FittedSurface {
+    /// T̂(f, u): predicted execution time (s).
+    pub time: Poly2,
+    /// P̂(f, u): predicted DC node power (W).
+    pub power: Poly2,
+    /// Swept CPU frequency window (GHz).
+    pub f_range_ghz: (f64, f64),
+    /// Swept uncore frequency window (GHz).
+    pub u_range_ghz: (f64, f64),
+}
+
+impl FittedSurface {
+    /// Predicted execution time at `(f, u)` GHz.
+    pub fn time_s(&self, f: f64, u: f64) -> f64 {
+        self.time.eval(f, u)
+    }
+
+    /// Predicted DC node power at `(f, u)` GHz.
+    pub fn power_w(&self, f: f64, u: f64) -> f64 {
+        self.power.eval(f, u)
+    }
+
+    /// Predicted energy `T̂·P̂` at `(f, u)` GHz.
+    pub fn energy_j(&self, f: f64, u: f64) -> f64 {
+        self.time_s(f, u) * self.power_w(f, u)
+    }
+
+    /// Whether `(f, u)` lies inside the fitted window (with a small slack
+    /// so the window edges themselves always qualify).
+    pub fn covers(&self, f: f64, u: f64) -> bool {
+        let eps = 1e-9;
+        f >= self.f_range_ghz.0 - eps
+            && f <= self.f_range_ghz.1 + eps
+            && u >= self.u_range_ghz.0 - eps
+            && u <= self.u_range_ghz.1 + eps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> Vec<(f64, f64)> {
+        let mut pts = Vec::new();
+        for i in 0..5 {
+            for j in 0..5 {
+                pts.push((1.2 + 0.3 * i as f64, 1.2 + 0.3 * j as f64));
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn recovers_an_exact_quadratic() {
+        let truth = Poly2 {
+            coeffs: [3.0, -1.5, 0.75, 0.2, -0.1, 0.4],
+        };
+        let samples: Vec<_> = grid()
+            .into_iter()
+            .map(|(f, u)| (f, u, truth.eval(f, u)))
+            .collect();
+        let fit = fit_poly2(&samples).unwrap();
+        for (a, b) in fit.coeffs.iter().zip(truth.coeffs.iter()) {
+            assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+        }
+        let r = residuals(&fit, &samples);
+        assert!(r.max_rel < 1e-9, "max_rel {}", r.max_rel);
+    }
+
+    #[test]
+    fn fit_is_bit_deterministic() {
+        let samples: Vec<_> = grid()
+            .into_iter()
+            .map(|(f, u)| (f, u, 2.0 + f / u + 0.3 * f * f))
+            .collect();
+        let a = fit_poly2(&samples).unwrap();
+        let b = fit_poly2(&samples).unwrap();
+        for (x, y) in a.coeffs.iter().zip(b.coeffs.iter()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn rejects_underdetermined_and_degenerate_inputs() {
+        assert!(fit_poly2(&[(1.0, 1.0, 1.0); 5]).is_err(), "too few");
+        // 25 samples all at one uncore point: u-columns are linearly
+        // dependent, the normal matrix is singular.
+        let samples: Vec<_> = (0..25).map(|i| (1.0 + 0.05 * i as f64, 2.4, 1.0)).collect();
+        assert!(fit_poly2(&samples).is_err(), "degenerate");
+    }
+
+    #[test]
+    fn surface_energy_and_coverage() {
+        let s = FittedSurface {
+            time: Poly2 {
+                coeffs: [10.0, -1.0, -0.5, 0.0, 0.0, 0.0],
+            },
+            power: Poly2 {
+                coeffs: [100.0, 20.0, 10.0, 0.0, 0.0, 0.0],
+            },
+            f_range_ghz: (1.2, 2.4),
+            u_range_ghz: (1.2, 2.4),
+        };
+        let t = s.time_s(2.0, 2.0);
+        let p = s.power_w(2.0, 2.0);
+        assert!((s.energy_j(2.0, 2.0) - t * p).abs() < 1e-12);
+        assert!(s.covers(1.2, 2.4));
+        assert!(!s.covers(0.8, 2.0));
+        assert!(!s.covers(2.0, 2.6));
+    }
+}

@@ -32,6 +32,7 @@ pub mod conf;
 pub mod eard;
 pub mod eargm;
 pub mod earl;
+pub mod fit;
 pub mod manager;
 pub mod models;
 pub mod monitor;
@@ -48,15 +49,16 @@ pub use ear_errors::{EarError, EarResult};
 pub use eard::EarDaemon;
 pub use eargm::{ClusterEnergyManager, GmStep};
 pub use earl::{Earl, EarlConfig};
+pub use fit::{fit_poly2, residuals, FitResidual, FittedSurface, Poly2};
 pub use models::{
     learn_model_params, Avx512Model, DefaultModel, EnergyModel, ModelFactory, ModelParams,
     ModelRegistry, Projection,
 };
 pub use monitor::{MonitorSample, MonitorSummary, Monitored};
 pub use policy::{
-    DomainLimits, DomainSearch, Duf, ImcRange, ImcSearch, MinEnergy, MinEnergyEufs, MinTime,
-    MinTimeEufs, Monitoring, NodeFreqs, PolicyCtx, PolicyRegistry, PolicySettings, PolicyState,
-    PowerPolicy,
+    DomainLimits, DomainSearch, Duf, Fitted, ImcRange, ImcSearch, MinEnergy, MinEnergyEufs,
+    MinTime, MinTimeEufs, Monitoring, NodeFreqs, PolicyCtx, PolicyRegistry, PolicySettings,
+    PolicyState, PowerPolicy,
 };
 pub use powercap::{distribute_budget, CapAction, PowercapController};
 pub use protocol::{DaemonEndpoint, DaemonReply, EarMessage, EarlRequest, GmCommand, GmReport};

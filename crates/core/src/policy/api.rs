@@ -160,6 +160,10 @@ pub struct PolicySettings {
     /// EARD applies its ceiling package-wide — the baseline the per-domain
     /// experiment table compares against. Irrelevant on 1-domain nodes.
     pub per_domain_ufs: bool,
+    /// Fitted T/P surfaces for the one-shot `fitted` policy, produced by
+    /// `earsim sweep`. `None` (the default) makes `fitted` hold the
+    /// default frequencies; the other policies ignore this field.
+    pub fitted: Option<crate::fit::FittedSurface>,
 }
 
 impl Default for PolicySettings {
@@ -173,6 +177,7 @@ impl Default for PolicySettings {
             def_pstate: 1,
             min_time_eff_gain: 0.5,
             per_domain_ufs: true,
+            fitted: None,
         }
     }
 }
@@ -312,6 +317,9 @@ impl PolicyRegistry {
         r.register("min_time_eufs", || {
             Box::new(crate::policy::min_time::MinTimeEufs::default())
         });
+        r.register("fitted", || {
+            Box::new(crate::policy::fitted::Fitted::default())
+        });
         r
     }
 
@@ -357,6 +365,7 @@ mod tests {
             "min_time",
             "min_time_eufs",
             "duf",
+            "fitted",
         ] {
             let p = r.create(name).unwrap_or_else(|| panic!("missing {name}"));
             assert_eq!(p.name(), name);

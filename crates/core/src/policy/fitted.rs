@@ -1,0 +1,359 @@
+//! `fitted`: one-shot (pstate, uncore) selection from a swept surface.
+//!
+//! The paper's `min_energy_eufs` searches the frequency space at runtime:
+//! a linear pstate scan followed by the iterative `IMC_FREQ_SEL` settle
+//! sequence, one signature window per 0.1 GHz uncore step. When the
+//! workload has been characterised offline (`earsim sweep` fits T(f, u)
+//! and P(f, u) surfaces — see [`crate::fit`]), the whole search collapses
+//! into a single evaluation: walk every (pstate × ratio) candidate through
+//! the two fitted polynomials and pick the energy minimum subject to the
+//! combined time-penalty budget `cpu_policy_th + unc_policy_th`. No
+//! settling windows, no reverts — the policy is `Ready` on its first
+//! invocation, nanoseconds instead of signature windows.
+//!
+//! The surface arrives through [`super::api::PolicySettings::fitted`]; without one the
+//! policy degrades to monitoring-at-defaults (it never guesses).
+
+use super::api::{DomainLimits, NodeFreqs, PolicyCtx, PolicyState, PowerPolicy};
+use crate::fit::FittedSurface;
+use crate::signature::Signature;
+use ear_archsim::Pstate;
+
+/// Fraction of reference time the surface scan reserves as headroom below
+/// the combined penalty budget. A candidate admitted at *exactly* the
+/// predicted budget overshoots it in measurement about half the time —
+/// fit residual, run-to-run noise and the model-point reference all cut
+/// both ways — so the scan selects against the derated budget and the
+/// measured penalty lands inside the nominal one.
+pub const BUDGET_HEADROOM: f64 = 0.01;
+
+/// Selects the energy-minimal (pstate, max uncore ratio) pair on a fitted
+/// surface, subject to `T̂ ≤ T̂_ref · (1 + cpu_policy_th + unc_policy_th −
+/// BUDGET_HEADROOM)` where `T̂_ref` is the prediction at the default
+/// pstate with the uncore at the platform maximum (the hardware-managed
+/// reference point).
+///
+/// Deterministic: candidates are scanned in (pstate, descending ratio)
+/// order and ties keep the first minimum.
+///
+/// The scan is the whole runtime cost of the policy (the
+/// `fitted_policy_decide` bench races it against the iterative settle
+/// sequence it replaces), so it is structured to keep the inner loop
+/// tiny: the covered ratio window is intersected once up front — the
+/// candidate u values are monotone in the ratio, so coverage is a
+/// contiguous band, not a per-candidate check — and at each pstate the
+/// two bivariate quadratics are partially evaluated at the fixed f,
+/// collapsing to `a + b·u + c·u²` so every ratio candidate costs four
+/// multiplications instead of two full 6-term basis products.
+pub fn select_on_surface(surface: &FittedSurface, ctx: &PolicyCtx<'_>) -> (Pstate, u8) {
+    let def = ctx.settings.def_pstate;
+    let fallback = (def, ctx.uncore_max_ratio);
+    let u_max = f64::from(ctx.uncore_max_ratio) * 0.1;
+    let t_ref = surface.time_s(ctx.pstates.ghz(def), u_max);
+    if !(t_ref.is_finite() && t_ref > 0.0) {
+        return fallback;
+    }
+    let budget = ctx.settings.cpu_policy_th + ctx.settings.unc_policy_th - BUDGET_HEADROOM;
+    let limit = t_ref * (1.0 + budget.max(0.0));
+
+    // The covered ratio band (same 1e-9 slack as `FittedSurface::covers`).
+    let (u_lo, u_hi) = surface.u_range_ghz;
+    let in_u = |r: u8| {
+        let u = f64::from(r) * 0.1;
+        u >= u_lo - 1e-9 && u <= u_hi + 1e-9
+    };
+    let (mut r_lo, mut r_hi) = (None, None);
+    for r in ctx.uncore_min_ratio..=ctx.uncore_max_ratio {
+        if in_u(r) {
+            r_lo = r_lo.or(Some(r));
+            r_hi = Some(r);
+        }
+    }
+    let (Some(r_lo), Some(r_hi)) = (r_lo, r_hi) else {
+        return fallback;
+    };
+
+    let (f_lo, f_hi) = surface.f_range_ghz;
+    let [t0, t1, t2, t3, t4, t5] = surface.time.coeffs;
+    let [p0, p1, p2, p3, p4, p5] = surface.power.coeffs;
+    let mut best = fallback;
+    let mut best_energy = f64::INFINITY;
+    for ps in def..=ctx.pstates.slowest() {
+        let f = ctx.pstates.ghz(ps);
+        if !(f >= f_lo - 1e-9 && f <= f_hi + 1e-9) {
+            continue;
+        }
+        // Partial evaluation at this f (basis [1, f, u, f², u², f·u]).
+        let (ta, tb) = (t0 + t1 * f + t3 * f * f, t2 + t5 * f);
+        let (pa, pb) = (p0 + p1 * f + p3 * f * f, p2 + p5 * f);
+        for ratio in (r_lo..=r_hi).rev() {
+            let u = f64::from(ratio) * 0.1;
+            let t = ta + u * (tb + t4 * u);
+            let p = pa + u * (pb + p4 * u);
+            // Extrapolation guards: a quadratic can dip negative outside
+            // the data; inside the swept window both stay positive.
+            if !(t.is_finite() && p.is_finite() && t > 0.0 && p > 0.0) {
+                continue;
+            }
+            let e = t * p;
+            if t <= limit && e < best_energy {
+                best_energy = e;
+                best = (ps, ratio);
+            }
+        }
+    }
+    best
+}
+
+/// The one-shot fitted-surface policy.
+#[derive(Debug, Default, Clone)]
+pub struct Fitted {
+    /// Signature at selection time (validation reference).
+    ref_sig: Option<Signature>,
+    /// The (pstate, max uncore ratio) pair selected.
+    selected: Option<(Pstate, u8)>,
+    /// First post-convergence validation re-baselines the reference at
+    /// the newly applied frequencies (see `MinEnergy::settled`).
+    settled: bool,
+}
+
+impl Fitted {
+    /// The selection, if converged.
+    pub fn selected(&self) -> Option<(Pstate, u8)> {
+        self.selected
+    }
+
+    fn freqs_for(&self, ratio: u8, cpu: Pstate, ctx: &PolicyCtx<'_>) -> NodeFreqs {
+        let (imc_min, imc_max) =
+            ctx.settings
+                .imc_range
+                .limits_for(ratio, ctx.uncore_min_ratio, ctx.uncore_max_ratio);
+        NodeFreqs {
+            cpu,
+            imc_min_ratio: imc_min,
+            imc_max_ratio: imc_max,
+            // The surface was swept with a uniform ratio across domains,
+            // so the selection applies uniformly to every die.
+            imc_dom: if ctx.uncore_domains > 1 {
+                DomainLimits::uniform(ctx.uncore_domains, imc_min, imc_max)
+            } else {
+                DomainLimits::LEGACY
+            },
+        }
+    }
+}
+
+impl PowerPolicy for Fitted {
+    fn name(&self) -> &'static str {
+        "fitted"
+    }
+
+    fn node_policy(&mut self, sig: &Signature, ctx: &PolicyCtx<'_>) -> (NodeFreqs, PolicyState) {
+        let Some(surface) = ctx.settings.fitted.as_ref() else {
+            // No surface for this workload: hold the defaults rather than
+            // extrapolate from nothing.
+            self.ref_sig = Some(*sig);
+            self.selected = None;
+            self.settled = false;
+            return (ctx.default_freqs(), PolicyState::Ready);
+        };
+        let (cpu, ratio) = select_on_surface(surface, ctx);
+        self.ref_sig = Some(*sig);
+        self.selected = Some((cpu, ratio));
+        self.settled = false;
+        (self.freqs_for(ratio, cpu, ctx), PolicyState::Ready)
+    }
+
+    fn validate(&mut self, sig: &Signature, ctx: &PolicyCtx<'_>) -> bool {
+        if !self.settled {
+            self.ref_sig = Some(*sig);
+            self.settled = true;
+            return true;
+        }
+        match self.ref_sig {
+            Some(ref r) if r.changed_significantly(sig, ctx.settings.sig_change_th) => {
+                self.reset();
+                false
+            }
+            Some(_) => true,
+            None => false,
+        }
+    }
+
+    fn imc_ceiling(&self) -> Option<u8> {
+        self.selected.map(|(_, r)| r)
+    }
+
+    fn reset(&mut self) {
+        self.ref_sig = None;
+        self.selected = None;
+        self.settled = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fit::Poly2;
+    use crate::models::Avx512Model;
+    use crate::policy::api::PolicySettings;
+    use ear_archsim::{NodeConfig, PstateTable};
+
+    /// A surface with a CPU-bound shape: time explodes as f drops, power
+    /// scales with both knobs — the optimum keeps nominal f and sheds
+    /// uncore frequency only while the (flat) time stays in budget.
+    fn cpu_bound_surface() -> FittedSurface {
+        FittedSurface {
+            // T = 60 · (2.4 / f), linearised around the window: steep in
+            // f, flat in u.
+            time: Poly2 {
+                coeffs: [120.0, -25.0, 0.0, 0.0, 0.0, 0.0],
+            },
+            power: Poly2 {
+                coeffs: [100.0, 60.0, 25.0, 0.0, 0.0, 0.0],
+            },
+            f_range_ghz: (1.2, 2.4),
+            u_range_ghz: (1.2, 2.4),
+        }
+    }
+
+    /// A memory-bound shape: time depends on u, barely on f.
+    fn mem_bound_surface() -> FittedSurface {
+        FittedSurface {
+            time: Poly2 {
+                coeffs: [90.0, -2.0, -10.0, 0.0, 2.0, 0.0],
+            },
+            power: Poly2 {
+                coeffs: [80.0, 70.0, 30.0, 0.0, 0.0, 0.0],
+            },
+            f_range_ghz: (1.2, 2.4),
+            u_range_ghz: (1.2, 2.4),
+        }
+    }
+
+    struct Fixture {
+        pstates: PstateTable,
+        model: Avx512Model,
+        settings: PolicySettings,
+    }
+
+    impl Fixture {
+        fn new(surface: Option<FittedSurface>) -> Self {
+            Self {
+                pstates: PstateTable::xeon_gold_6148(),
+                model: Avx512Model::for_node(&NodeConfig::sd530_6148()),
+                settings: PolicySettings {
+                    fitted: surface,
+                    ..Default::default()
+                },
+            }
+        }
+
+        fn ctx(&self, uncore_domains: usize) -> PolicyCtx<'_> {
+            PolicyCtx {
+                pstates: &self.pstates,
+                uncore_min_ratio: 12,
+                uncore_max_ratio: 24,
+                uncore_domains,
+                model: &self.model,
+                settings: &self.settings,
+            }
+        }
+    }
+
+    fn sig() -> Signature {
+        Signature {
+            window_s: 10.0,
+            iterations: 5,
+            cpi: 0.4,
+            tpi: 0.001,
+            gbs: 10.0,
+            dc_power_w: 320.0,
+            pkg_power_w: 235.0,
+            avg_cpu_khz: 2.4e6,
+            avg_imc_khz: 2.4e6,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn one_shot_ready_and_uncore_reduction_on_cpu_bound() {
+        let f = Fixture::new(Some(cpu_bound_surface()));
+        let ctx = f.ctx(1);
+        let mut p = Fitted::default();
+        let (freqs, state) = p.node_policy(&sig(), &ctx);
+        // The defining property: converged on the FIRST invocation.
+        assert_eq!(state, PolicyState::Ready);
+        // CPU-bound: nominal pstate kept, uncore ceiling lowered (time is
+        // flat in u, so every ratio is admissible and lower power wins).
+        assert_eq!(freqs.cpu, 1);
+        assert_eq!(freqs.imc_max_ratio, 12);
+        assert_eq!(freqs.imc_min_ratio, 12, "MaxOnly keeps the floor");
+        assert_eq!(p.imc_ceiling(), Some(12));
+    }
+
+    #[test]
+    fn mem_bound_surface_sheds_cpu_frequency() {
+        let f = Fixture::new(Some(mem_bound_surface()));
+        let ctx = f.ctx(1);
+        let mut p = Fitted::default();
+        let (freqs, state) = p.node_policy(&sig(), &ctx);
+        assert_eq!(state, PolicyState::Ready);
+        assert!(freqs.cpu > 1, "memory-bound: sub-nominal pstate");
+        // Time rises as u drops: the budget stops the descent above the
+        // platform floor.
+        assert!(freqs.imc_max_ratio > 12);
+    }
+
+    #[test]
+    fn selection_respects_the_time_budget() {
+        let f = Fixture::new(Some(mem_bound_surface()));
+        let ctx = f.ctx(1);
+        let surface = f.settings.fitted.as_ref().unwrap();
+        let (ps, ratio) = select_on_surface(surface, &ctx);
+        let t_ref = surface.time_s(f.pstates.ghz(1), 2.4);
+        let t_sel = surface.time_s(f.pstates.ghz(ps), f64::from(ratio) * 0.1);
+        let budget = f.settings.cpu_policy_th + f.settings.unc_policy_th;
+        assert!(t_sel <= t_ref * (1.0 + budget) + 1e-12);
+    }
+
+    #[test]
+    fn no_surface_degrades_to_defaults() {
+        let f = Fixture::new(None);
+        let ctx = f.ctx(1);
+        let mut p = Fitted::default();
+        let (freqs, state) = p.node_policy(&sig(), &ctx);
+        assert_eq!(state, PolicyState::Ready);
+        assert_eq!(freqs, ctx.default_freqs());
+        assert_eq!(p.selected(), None);
+    }
+
+    #[test]
+    fn multi_domain_selection_is_uniform_across_dies() {
+        let f = Fixture::new(Some(cpu_bound_surface()));
+        let ctx = f.ctx(2);
+        let mut p = Fitted::default();
+        let (freqs, _) = p.node_policy(&sig(), &ctx);
+        assert!(freqs.imc_dom.is_per_domain());
+        assert_eq!(freqs.imc_dom.count(), 2);
+        assert_eq!(freqs.imc_dom.max[0], freqs.imc_dom.max[1]);
+        assert_eq!(freqs.imc_dom.max[0], freqs.imc_max_ratio);
+    }
+
+    #[test]
+    fn validation_settles_then_detects_phase_change() {
+        let f = Fixture::new(Some(cpu_bound_surface()));
+        let ctx = f.ctx(1);
+        let mut p = Fitted::default();
+        p.node_policy(&sig(), &ctx);
+        assert!(p.validate(&sig(), &ctx), "first validation settles");
+        assert!(p.validate(&sig(), &ctx));
+        let phase_change = Signature {
+            cpi: 3.0,
+            gbs: 170.0,
+            ..sig()
+        };
+        assert!(!p.validate(&phase_change, &ctx));
+        assert!(p.selected().is_none(), "reset after invalidation");
+    }
+}

@@ -3,6 +3,7 @@
 pub mod api;
 pub mod domains;
 pub mod duf;
+pub mod fitted;
 pub mod min_energy;
 pub mod min_energy_eufs;
 pub mod min_time;
@@ -14,6 +15,7 @@ pub use api::{
 };
 pub use domains::DomainSearch;
 pub use duf::Duf;
+pub use fitted::Fitted;
 pub use min_energy::MinEnergy;
 pub use min_energy_eufs::MinEnergyEufs;
 pub use min_time::{MinTime, MinTimeEufs};

@@ -198,8 +198,11 @@ impl LevelDetector {
         for p in 1..self.run.len() {
             let mut k = 0usize;
             while k + p < n {
-                let a = self.window.recent(k).expect("k < len");
-                let b = self.window.recent(k + p).expect("k + p < len");
+                // Both offsets are < n, so the lookups cannot miss; a miss
+                // would only shorten the reconstructed run, never panic.
+                let (Some(a), Some(b)) = (self.window.recent(k), self.window.recent(k + p)) else {
+                    break;
+                };
                 if a != b {
                     break;
                 }
@@ -221,7 +224,11 @@ impl LevelDetector {
         let first = self.total - n as u64;
         for i in 0..n {
             let idx = first + i as u64;
-            let v = self.window.recent(n - 1 - i).expect("in window");
+            // `n - 1 - i < n`, so the lookup cannot miss; skipping a missed
+            // slot would only thin the rebuilt chains, never panic.
+            let Some(v) = self.window.recent(n - 1 - i) else {
+                continue;
+            };
             let slot = self.slot_of(idx);
             self.occ_prev[slot] = self.occ_last.insert(v, idx).unwrap_or(NO_PREV);
         }

@@ -53,8 +53,12 @@ impl ReferenceLevelDetector {
     /// Feeds one sample and classifies it.
     pub fn sample(&mut self, v: u64) -> LoopEvent {
         self.window.push(v);
-        // Update match runs against each candidate period.
-        let newest = self.window.recent(0).expect("just pushed");
+        // Update match runs against each candidate period. `recent(0)` is
+        // the sample just pushed; an empty window here is unreachable, and
+        // the benign answer is "no structure".
+        let Some(newest) = self.window.recent(0) else {
+            return LoopEvent::NoLoop;
+        };
         for p in 1..self.run.len() {
             match self.window.recent(p) {
                 Some(prev) if prev == newest => self.run[p] = self.run[p].saturating_add(1),

@@ -377,4 +377,26 @@ mod tests {
             "cell salt must key"
         );
     }
+
+    /// Regression for the v2 schema: the key digests the *whole* targets
+    /// Debug rendering, so a per-die run (`uncore_domains > 1`) can never
+    /// collide with the single-knob run of the same workload. A collision
+    /// here would serve a per-die result to a single-knob campaign (or
+    /// vice versa) from a warm store.
+    #[test]
+    fn keys_separate_uncore_domain_counts() {
+        let t1 = ear_workloads::by_name("BQCD").expect("known workload");
+        let mut t2 = t1.clone();
+        t2.uncore_domains = 2;
+        assert!(
+            format!("{t1:?}").contains("uncore_domains"),
+            "targets Debug rendering must expose the domain count the key relies on"
+        );
+        let me = RunKind::me(0.1);
+        assert_ne!(
+            result_key(&t1, "a", &me, None, 3, 1, 0),
+            result_key(&t2, "a", &me, None, 3, 1, 0),
+            "uncore-domain count must key"
+        );
+    }
 }

@@ -318,6 +318,18 @@ pub struct EngineConfig {
     /// same-seed-per-cell derivation (used by the energy surface, where
     /// cells are compared against a same-seed reference).
     pub salt_by_index: bool,
+    /// Tasks a worker claims per queue operation (0 or 1 = one at a
+    /// time). Grid sweeps batch adjacent cells so one worker walks a
+    /// contiguous frequency band: node/MSR setup amortises and the
+    /// archsim quantum fast-forward path stays hot between neighbouring
+    /// cells. Results are bit-identical to unbatched runs — outcomes are
+    /// slot-indexed and seeds depend only on `(base_seed, cell, run)`.
+    pub batch: usize,
+    /// Schedule pending cells in result-cache-key order instead of input
+    /// order. A re-sweep or partial sweep then probes and refills the
+    /// persistent cache in the same order it was written, keeping hits
+    /// contiguous. Outcomes still come back in input order.
+    pub key_order: bool,
 }
 
 impl EngineConfig {
@@ -328,6 +340,8 @@ impl EngineConfig {
             runs,
             base_seed,
             salt_by_index: true,
+            batch: 1,
+            key_order: false,
         }
     }
 
@@ -340,6 +354,18 @@ impl EngineConfig {
     /// Uses the legacy seed derivation (no per-cell salt).
     pub fn legacy_seeds(mut self) -> Self {
         self.salt_by_index = false;
+        self
+    }
+
+    /// Workers claim `batch` consecutive tasks per queue operation.
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Schedules pending cells in result-cache-key order.
+    pub fn key_ordered(mut self) -> Self {
+        self.key_order = true;
         self
     }
 
@@ -554,6 +580,13 @@ pub fn run_matrix_engine(
                     None => pending.push(i),
                 }
             }
+            if config.key_order {
+                // Cache-key order (ties broken by input index so the
+                // schedule is total). Purely a scheduling choice: outcomes
+                // are written back by slot and seeds are salted by the
+                // original index, so results do not change.
+                pending.sort_by_key(|&i| (keys[i], i));
+            }
             if !pending.is_empty() {
                 scheduled_tasks = pending.len() * runs;
                 let job = build_job(cal);
@@ -614,7 +647,8 @@ fn run_cells(
     let n_tasks = pending.len() * runs;
     let next = AtomicUsize::new(0);
     let slots: Vec<OnceLock<TaskOutcome>> = (0..n_tasks).map(|_| OnceLock::new()).collect();
-    let workers = jobs.min(n_tasks).max(1);
+    let batch = config.batch.clamp(1, n_tasks.max(1));
+    let workers = jobs.min(n_tasks.div_ceil(batch)).max(1);
 
     // Nested-parallelism budget: the engine's `--jobs` allowance seeds the
     // shared permit pool; each busy worker holds one permit while it runs
@@ -625,25 +659,30 @@ fn run_cells(
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n_tasks {
+                // Claim `batch` consecutive tasks: adjacent grid cells run
+                // back to back on one worker under one permit, so cluster
+                // setup amortises across a frequency band.
+                let start = next.fetch_add(batch, Ordering::Relaxed);
+                if start >= n_tasks {
                     break;
                 }
                 let held = permits::acquire_guard(1);
-                let cell = pending[i / runs];
-                let run = i % runs;
-                let kind = &cells[cell].1;
-                let salt = if config.salt_by_index { cell as u64 } else { 0 };
-                let seed = run_seed(config.base_seed, salt, run);
-                let t0 = Instant::now();
-                let sample = catch_unwind(AssertUnwindSafe(|| {
-                    run_once(cal, job, kind, targets.nodes, seed)
-                }))
-                .map_err(panic_message);
-                let _ = slots[i].set(TaskOutcome {
-                    sample,
-                    busy_s: t0.elapsed().as_secs_f64(),
-                });
+                for i in start..(start + batch).min(n_tasks) {
+                    let cell = pending[i / runs];
+                    let run = i % runs;
+                    let kind = &cells[cell].1;
+                    let salt = if config.salt_by_index { cell as u64 } else { 0 };
+                    let seed = run_seed(config.base_seed, salt, run);
+                    let t0 = Instant::now();
+                    let sample = catch_unwind(AssertUnwindSafe(|| {
+                        run_once(cal, job, kind, targets.nodes, seed)
+                    }))
+                    .map_err(panic_message);
+                    let _ = slots[i].set(TaskOutcome {
+                        sample,
+                        busy_s: t0.elapsed().as_secs_f64(),
+                    });
+                }
                 drop(held);
             });
         }
@@ -738,8 +777,43 @@ fn record_process(summary: &EngineSummary) {
 /// `netd.batched_flushes` and the nested `cluster` object (simulated
 /// daemon count, aggregation-tree depth, per-level aggregated reports);
 /// v4 added the nested `ufs` object (widest per-socket uncore domain
-/// configuration booted, firmware ratio transitions per domain index).
-pub const TELEMETRY_SCHEMA: &str = "earsim-telemetry/v4";
+/// configuration booted, firmware ratio transitions per domain index);
+/// v5 added the nested `sweep` object (grid cells measured, cells served
+/// from the result cache, worst relative fit residual).
+pub const TELEMETRY_SCHEMA: &str = "earsim-telemetry/v5";
+
+/// Process-wide grid-sweep counters (the nested `sweep` telemetry
+/// object).
+#[derive(Debug, Default)]
+struct SweepTelemetry {
+    cells: u64,
+    cache_hits: u64,
+    fit_residual_max: f64,
+}
+
+static SWEEP: Mutex<SweepTelemetry> = Mutex::new(SweepTelemetry {
+    cells: 0,
+    cache_hits: 0,
+    fit_residual_max: 0.0,
+});
+
+/// Records one workload's sweep: grid cells measured, cells served from
+/// the persistent result cache, and the worst relative residual of its
+/// surface fits. Aggregated into the `sweep` telemetry object.
+pub fn record_sweep(cells: u64, cache_hits: u64, fit_residual_max: f64) {
+    let mut s = SWEEP.lock().unwrap_or_else(PoisonError::into_inner);
+    s.cells += cells;
+    s.cache_hits += cache_hits;
+    if fit_residual_max.is_finite() {
+        s.fit_residual_max = s.fit_residual_max.max(fit_residual_max);
+    }
+}
+
+/// The aggregated sweep counters: `(cells, cache_hits, fit_residual_max)`.
+pub fn sweep_stats() -> (u64, u64, f64) {
+    let s = SWEEP.lock().unwrap_or_else(PoisonError::into_inner);
+    (s.cells, s.cache_hits, s.fit_residual_max)
+}
 
 /// The process-wide telemetry aggregated over every engine run so far, as
 /// one JSON line — `None` if neither engine work nor networked-daemon
@@ -770,6 +844,7 @@ pub fn process_summary_json() -> Option<String> {
         .collect();
     let ufs = ear_archsim::stats::snapshot();
     let ratio_steps: Vec<String> = ufs.ratio_steps.iter().map(|n| n.to_string()).collect();
+    let (sweep_cells, sweep_hits, sweep_residual) = sweep_stats();
     Some(format!(
         "{{\"schema\":\"{TELEMETRY_SCHEMA}\",\
          \"engine_runs\":{},\"jobs\":{},\"tasks\":{},\"tasks_failed\":{},\
@@ -781,7 +856,9 @@ pub fn process_summary_json() -> Option<String> {
          \"batched_flushes\":{}}},\
          \"cluster\":{{\"daemons\":{},\"tree_depth\":{},\
          \"level_reports\":[{}],\"batched_flushes\":{}}},\
-         \"ufs\":{{\"max_domains\":{},\"ratio_steps\":[{}]}}}}",
+         \"ufs\":{{\"max_domains\":{},\"ratio_steps\":[{}]}},\
+         \"sweep\":{{\"cells\":{},\"cache_hits\":{},\
+         \"fit_residual_max\":{:.6}}}}}",
         p.engine_runs,
         p.jobs,
         p.tasks,
@@ -807,7 +884,10 @@ pub fn process_summary_json() -> Option<String> {
         level_reports.join(","),
         cluster.batched_flushes,
         ufs.max_domains,
-        ratio_steps.join(",")
+        ratio_steps.join(","),
+        sweep_cells,
+        sweep_hits,
+        sweep_residual
     ))
 }
 

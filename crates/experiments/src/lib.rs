@@ -29,6 +29,7 @@ pub mod future_work;
 pub mod harness;
 pub mod related_work;
 pub mod surface;
+pub mod sweep;
 pub mod tables;
 
 pub use cache::{default_cache_dir, result_cache_stats, set_result_cache};
@@ -38,6 +39,7 @@ pub use engine::{
     set_default_model, EngineConfig, EngineSummary, MatrixRun,
 };
 pub use harness::{compare, format_table, run_cell, run_matrix, Comparison, RunKind, RunResult};
+pub use sweep::{run_sweep, sweep_app, AppSweep, SweepConfig};
 
 /// The `EAR_UNCORE_DOMAINS` override: `Some(n)` when the variable is set
 /// to a valid domain count. `1` forces the legacy single-knob world —

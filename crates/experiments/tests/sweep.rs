@@ -1,0 +1,78 @@
+//! Sweep determinism: the (pstate × uncore) grid artifact — measured
+//! cells and fitted surface coefficients, rendered down to their bit
+//! patterns — must not depend on the worker count or on whether the
+//! persistent result cache is warm.
+
+use ear_experiments::sweep::{render_artifact, sweep_app, SweepConfig};
+use ear_experiments::{set_default_jobs, set_result_cache};
+use ear_workloads::sweep::SweepSpec;
+use ear_workloads::WorkloadTargets;
+use std::sync::Mutex;
+
+/// The worker-count override and the result cache are process-global;
+/// tests that touch them must not interleave.
+static GLOBALS_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    GLOBALS_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn short_targets() -> WorkloadTargets {
+    let mut t = ear_workloads::by_name("BT-MZ.C (OpenMP)").expect("known workload");
+    // Same per-iteration physics, fewer iterations: determinism does not
+    // depend on workload length and the test stays fast.
+    t.time_s *= 12.0 / t.iterations as f64;
+    t.iterations = 12;
+    t
+}
+
+fn spec() -> SweepSpec {
+    SweepSpec {
+        cpu_pstates: vec![1, 4, 7],
+        imc_ratios: vec![24, 18, 12],
+    }
+}
+
+#[test]
+fn artifact_is_identical_for_any_worker_count() {
+    let _g = lock();
+    set_result_cache(None);
+    let targets = short_targets();
+    let cfg = SweepConfig::default();
+    let mut renders = Vec::new();
+    for jobs in [1usize, 2, 8] {
+        set_default_jobs(jobs);
+        let s = sweep_app(&targets, &spec(), &cfg).expect("sweep succeeds");
+        renders.push(render_artifact(&s));
+    }
+    set_default_jobs(0);
+    assert_eq!(renders[0], renders[1], "jobs=1 vs jobs=2 artifacts differ");
+    assert_eq!(renders[0], renders[2], "jobs=1 vs jobs=8 artifacts differ");
+}
+
+#[test]
+fn warm_cache_rerun_is_byte_identical_and_hits() {
+    let _g = lock();
+    let dir = std::env::temp_dir().join(format!("earsim-sweep-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let targets = short_targets();
+    let cfg = SweepConfig::default();
+
+    set_result_cache(Some(dir.clone()));
+    let cold = sweep_app(&targets, &spec(), &cfg).expect("cold sweep succeeds");
+    assert_eq!(cold.cache_hits, 0, "cold store must not hit");
+
+    let warm = sweep_app(&targets, &spec(), &cfg).expect("warm sweep succeeds");
+    assert_eq!(
+        warm.cache_hits as usize, warm.cells,
+        "warm sweep must serve every cell from disk"
+    );
+    assert_eq!(
+        render_artifact(&cold),
+        render_artifact(&warm),
+        "warm artifact diverged from the cold one"
+    );
+
+    set_result_cache(None);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -21,12 +21,14 @@ pub mod calibration;
 pub mod kernels;
 pub mod phases;
 pub mod spec;
+pub mod sweep;
 pub mod synthetic;
 
 pub use builder::{build_job, build_phase_change_job, event_pattern, is_mpi};
 pub use calibration::{calibrate, CalibratedWorkload, CalibrationError};
 pub use phases::{MultiPhaseApp, PhaseSpec};
 pub use spec::{AppClass, Platform, WorkloadTargets};
+pub use sweep::{quick_spec, sweep_spec, SweepSpec};
 
 /// Every workload in the paper's evaluation — Table II kernels, the
 /// Table I MPI kernels, the Table V applications — plus the per-die

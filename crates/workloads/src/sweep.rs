@@ -1,0 +1,132 @@
+//! Per-workload sweep grids for `earsim sweep`.
+//!
+//! The full characterisation space is (pstate × uncore-ratio); sweeping
+//! it at a uniform resolution for every workload wastes cells — a
+//! CPU-bound kernel's surface is flat along the uncore axis, a
+//! memory-bound one flat along the pstate axis. Each [`AppClass`] gets a
+//! grid dense where its surface curves and coarse where it is flat,
+//! keeping every grid well-posed for the 6-term quadratic fit (both axes
+//! vary, ≥ 6 distinct points) while holding the cold sweep to a tractable
+//! cell count.
+
+use crate::spec::{AppClass, WorkloadTargets};
+
+/// The platform uncore ratio window in 100 MHz units (1.2–2.4 GHz,
+/// paper §II).
+pub const UNCORE_RATIO_MIN: u8 = 12;
+/// See [`UNCORE_RATIO_MIN`].
+pub const UNCORE_RATIO_MAX: u8 = 24;
+
+/// One workload's sweep grid: the pstates and uncore max-ratios whose
+/// cross product `earsim sweep` measures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepSpec {
+    /// CPU pstates to sweep (1 = nominal; turbo is never swept, matching
+    /// the policies' search space).
+    pub cpu_pstates: Vec<usize>,
+    /// Uncore maximum ratios to sweep (100 MHz units), descending — the
+    /// order the iterative `IMC_FREQ_SEL` search walks them.
+    pub imc_ratios: Vec<u8>,
+}
+
+impl SweepSpec {
+    /// Number of grid cells (excluding the reference cell).
+    pub fn cells(&self) -> usize {
+        self.cpu_pstates.len() * self.imc_ratios.len()
+    }
+}
+
+fn descending(from: u8, to: u8, step: u8) -> Vec<u8> {
+    let mut v = Vec::new();
+    let mut r = from;
+    loop {
+        v.push(r);
+        if r < to + step && r >= to {
+            if r != to {
+                v.push(to);
+            }
+            break;
+        }
+        r -= step;
+    }
+    v
+}
+
+/// The sweep grid for a workload, by application class:
+///
+/// * CPU bound — the optimum sits at nominal pstate with a deep uncore
+///   cut: every 0.1 GHz uncore step, coarse pstates.
+/// * Memory bound — the optimum trades pstate against bandwidth: every
+///   pstate, 0.2 GHz uncore steps.
+/// * GPU / GPU-offload — both axes nearly flat for the busy-wait host;
+///   a coarse grid on each.
+pub fn sweep_spec(targets: &WorkloadTargets) -> SweepSpec {
+    match targets.class {
+        AppClass::CpuBound => SweepSpec {
+            cpu_pstates: vec![1, 3, 5, 7],
+            imc_ratios: descending(UNCORE_RATIO_MAX, UNCORE_RATIO_MIN, 1),
+        },
+        AppClass::MemoryBound => SweepSpec {
+            cpu_pstates: vec![1, 2, 3, 4, 5, 6, 7],
+            imc_ratios: descending(UNCORE_RATIO_MAX, UNCORE_RATIO_MIN, 2),
+        },
+        AppClass::Gpu | AppClass::GpuOffload => SweepSpec {
+            cpu_pstates: vec![1, 3, 5, 7],
+            imc_ratios: descending(UNCORE_RATIO_MAX, UNCORE_RATIO_MIN, 3),
+        },
+    }
+}
+
+/// The reduced grid for `earsim sweep --quick` (CI smoke and the
+/// determinism tests): 3 × 3, still well-posed for the quadratic fit.
+pub fn quick_spec(_targets: &WorkloadTargets) -> SweepSpec {
+    SweepSpec {
+        cpu_pstates: vec![1, 4, 7],
+        imc_ratios: vec![24, 18, 12],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::full_catalog;
+
+    #[test]
+    fn every_grid_is_well_posed_for_a_quadratic() {
+        for w in full_catalog() {
+            for spec in [sweep_spec(&w), quick_spec(&w)] {
+                assert!(spec.cpu_pstates.len() >= 2, "{}: pstate axis", w.name);
+                assert!(spec.imc_ratios.len() >= 3, "{}: uncore axis", w.name);
+                assert!(spec.cells() >= 6, "{}: {} cells", w.name, spec.cells());
+            }
+        }
+    }
+
+    #[test]
+    fn ratios_descend_within_the_platform_window() {
+        for w in full_catalog() {
+            let spec = sweep_spec(&w);
+            for pair in spec.imc_ratios.windows(2) {
+                assert!(pair[0] > pair[1], "{}: {:?}", w.name, spec.imc_ratios);
+            }
+            assert_eq!(spec.imc_ratios[0], UNCORE_RATIO_MAX);
+            assert_eq!(
+                *spec.imc_ratios.last().unwrap_or(&0),
+                UNCORE_RATIO_MIN,
+                "{}: sweep reaches the platform floor",
+                w.name
+            );
+        }
+    }
+
+    #[test]
+    fn memory_bound_grids_are_pstate_dense() {
+        let hpcg = crate::by_name("HPCG").map(|w| sweep_spec(&w));
+        let bqcd = crate::by_name("BQCD").map(|w| sweep_spec(&w));
+        let (Some(mem), Some(cpu)) = (hpcg, bqcd) else {
+            panic!("catalog lookup failed");
+        };
+        assert!(mem.cpu_pstates.len() > cpu.cpu_pstates.len());
+        assert!(cpu.imc_ratios.len() > mem.imc_ratios.len());
+    }
+}

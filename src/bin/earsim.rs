@@ -3,7 +3,7 @@
 //! ```text
 //! earsim list                          # the workload catalog
 //! earsim run --app HPCG [options]     # one experiment cell
-//! earsim sweep --app BT-MZ            # fixed-uncore sweep (paper Fig. 1)
+//! earsim sweep [--quick]              # (pstate x uncore) grid + fitted policy
 //! earsim table 3 | earsim fig 7       # regenerate a paper table/figure
 //! earsim future                       # the future-work experiments
 //! earsim surface --app DGEMM          # 2-D CPU x IMC energy surface
@@ -60,7 +60,11 @@ fn usage() -> ! {
          \x20          [--runs N] [--seed N] [--search hw|linear]\n\
          \x20          [--range maxonly|pinned|band:N]\n\
          earsim run --conf FILE --app NAME   (ear.conf instead of flags)\n\
-         earsim sweep --app NAME\n\
+         earsim sweep [--app NAME]... [--quick] [--runs N] [--seed N]\n\
+         \x20            [--out-dir DIR] [--naive] [--max-residual PCT]\n\
+         \x20            full (pstate x uncore) grid characterisation,\n\
+         \x20            T/P surface fit, one-shot fitted policy report\n\
+         earsim sweep --fig1 NAME   fixed-uncore sweep (paper Fig. 1)\n\
          earsim table <1..8>   (8 = per-die uncore domains)\n\
          earsim fig <1|3..8>\n\
          earsim surface --app NAME\n\
@@ -265,15 +269,66 @@ fn cmd_run(flags: HashMap<String, String>) -> Result<(), EarError> {
     Ok(())
 }
 
-fn cmd_sweep(flags: HashMap<String, String>) -> Result<(), EarError> {
-    let Some(app) = flags.get("app") else {
-        eprintln!("sweep needs --app");
-        usage();
-    };
-    if by_name(app).is_none() {
-        return Err(EarError::unknown("workload", app.as_str()));
+/// `earsim sweep`: the grid-scale (pstate × uncore) characterisation
+/// campaign — per-workload surfaces, the quadratic fit, the fitted-policy
+/// comparison. The valueless `--quick`/`--naive` flags force a custom
+/// argument loop. The paper's fixed-uncore Fig. 1 sweep lives under
+/// `earsim fig 1` (and per app via `--fig1 NAME`).
+fn cmd_sweep(rest: &[String]) -> Result<(), EarError> {
+    let mut cfg = ear::experiments::SweepConfig::default();
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        let mut value = |key: &str| match it.next() {
+            Some(v) => v.clone(),
+            None => {
+                eprintln!("missing value for --{key}");
+                usage();
+            }
+        };
+        match a.as_str() {
+            "--app" => {
+                let name = value("app");
+                if by_name(&name).is_none() {
+                    return Err(EarError::unknown("workload", name));
+                }
+                cfg.apps.push(name);
+            }
+            "--fig1" => {
+                // The legacy fixed-uncore sweep (paper Fig. 1) this
+                // subcommand used to render.
+                let name = value("fig1");
+                if by_name(&name).is_none() {
+                    return Err(EarError::unknown("workload", name));
+                }
+                print!("{}", figures::fig1_render(&name)?);
+                return Ok(());
+            }
+            "--quick" => cfg.quick = true,
+            "--naive" => cfg.naive = true,
+            "--out-dir" => cfg.out_dir = Some(std::path::PathBuf::from(value("out-dir"))),
+            "--runs" => {
+                cfg.runs = parse_num(&value("runs"), "runs");
+                if cfg.runs == 0 {
+                    eprintln!("--runs expects a positive integer");
+                    usage();
+                }
+            }
+            "--seed" => cfg.base_seed = parse_num(&value("seed"), "seed"),
+            "--max-residual" => {
+                let pct = parse_num::<f64>(&value("max-residual"), "max-residual");
+                if !pct.is_finite() || pct <= 0.0 {
+                    eprintln!("--max-residual expects a positive percentage");
+                    usage();
+                }
+                cfg.max_residual = Some(pct / 100.0);
+            }
+            _ => {
+                eprintln!("unknown sweep argument '{a}'");
+                usage();
+            }
+        }
     }
-    print!("{}", figures::fig1_render(app)?);
+    print!("{}", ear::experiments::run_sweep(&cfg)?);
     Ok(())
 }
 
@@ -633,7 +688,7 @@ fn real_main(args: Vec<String>) -> Result<(), EarError> {
     match args.first().map(|s| s.as_str()) {
         Some("list") => cmd_list(),
         Some("run") => cmd_run(parse_flags(&args[1..]))?,
-        Some("sweep") => cmd_sweep(parse_flags(&args[1..]))?,
+        Some("sweep") => cmd_sweep(&args[1..])?,
         Some("table") => cmd_table(args.get(1).map_or_else(|| usage(), |s| s.as_str()))?,
         Some("fig") => cmd_fig(args.get(1).map_or_else(|| usage(), |s| s.as_str()))?,
         Some("future") => print!("{}", ear::experiments::future_work::run_all_future_work()),
