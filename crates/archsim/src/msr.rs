@@ -28,6 +28,12 @@ pub mod addr {
     pub const IA32_FIXED_CTR2: u32 = 0x30B;
     /// `MSR_RAPL_POWER_UNIT`: power/energy/time units (energy: bits 12:8).
     pub const MSR_RAPL_POWER_UNIT: u32 = 0x606;
+    /// `MSR_PKG_POWER_LIMIT`: package RAPL PL1. Bits 14:0 power limit in
+    /// power units, bit 15 enable, bit 16 clamp, bits 23:17 time window
+    /// (`2^Y · (1 + Z/4) · time_unit`, Y = bits 21:17, Z = bits 23:22).
+    /// Only the PL1 half (lower 32 bits) is modelled; resets to 0
+    /// (disabled), so an untouched node never throttles.
+    pub const MSR_PKG_POWER_LIMIT: u32 = 0x610;
     /// `MSR_PKG_ENERGY_STATUS`: package energy accumulator (32-bit, wraps).
     pub const MSR_PKG_ENERGY_STATUS: u32 = 0x611;
     /// `MSR_DRAM_ENERGY_STATUS`: DRAM energy accumulator (32-bit, wraps).
@@ -144,11 +150,11 @@ impl From<MsrError> for ear_errors::EarError {
 /// units of 1 / 2^14 J ≈ 61 µJ.
 pub const DEFAULT_ENERGY_UNIT_EXP: u64 = 14;
 
-/// Number of registers in the model (dense storage slots): the 15 MSRs the
+/// Number of registers in the model (dense storage slots): the 16 MSRs the
 /// EAR runtime touches plus one ratio-limit/perf-status pair for each TPMI
 /// uncore domain beyond domain 0 (domain 0 shares the legacy 0x620/0x621
 /// slots).
-const REG_COUNT: usize = 15 + 2 * (MAX_UNCORE_DOMAINS - 1);
+const REG_COUNT: usize = 16 + 2 * (MAX_UNCORE_DOMAINS - 1);
 
 /// Maps an MSR address to its dense storage slot. The register set is fixed
 /// (a match compiles to a jump table plus one range test), replacing the
@@ -174,6 +180,8 @@ const fn slot(msr: u32) -> Option<usize> {
         addr::MSR_UNCORE_PERF_STATUS => Some(12),
         addr::MSR_U_PMON_UCLK_FIXED_CTL => Some(13),
         addr::MSR_U_PMON_UCLK_FIXED_CTR => Some(14),
+        // Appended after the original 15 so the TPMI block keeps its slots.
+        addr::MSR_PKG_POWER_LIMIT => Some(15 + 2 * (MAX_UNCORE_DOMAINS - 1)),
         _ => {
             let span = 2 * MAX_UNCORE_DOMAINS as u32;
             if msr >= addr::TPMI_UFS_BASE && msr < addr::TPMI_UFS_BASE + span {
@@ -279,6 +287,13 @@ impl MsrFile {
             addr::IA32_ENERGY_PERF_BIAS if value > 0xF => {
                 return Err(MsrError::InvalidValue { msr, value });
             }
+            // Enabling PL1 with a zero limit field would command 0 W —
+            // firmware rejects the write rather than halting the package.
+            addr::MSR_PKG_POWER_LIMIT
+                if value & PKG_POWER_LIMIT_ENABLE != 0 && value & 0x7FFF == 0 =>
+            {
+                return Err(MsrError::InvalidValue { msr, value });
+            }
             _ => {
                 if uncore_domain_of_perf_status(msr).is_some() {
                     return Err(MsrError::ReadOnly(msr));
@@ -359,6 +374,61 @@ pub fn unpack_perf_ratio(value: u64) -> u8 {
 pub fn rapl_energy_unit_joules(power_unit_msr: u64) -> f64 {
     let exp = (power_unit_msr >> 8) & 0x1F;
     1.0 / (1u64 << exp) as f64
+}
+
+/// Decodes the RAPL power unit (watts per count, bits 3:0) from
+/// `MSR_RAPL_POWER_UNIT`. The Skylake reset value 0x3 gives 1/8 W.
+pub fn rapl_power_unit_watts(power_unit_msr: u64) -> f64 {
+    1.0 / (1u64 << (power_unit_msr & 0xF)) as f64
+}
+
+/// Decodes the RAPL time unit (seconds per count, bits 19:16) from
+/// `MSR_RAPL_POWER_UNIT`. The Skylake reset value 0xA gives 1/1024 s.
+pub fn rapl_time_unit_seconds(power_unit_msr: u64) -> f64 {
+    1.0 / (1u64 << ((power_unit_msr >> 16) & 0xF)) as f64
+}
+
+/// PL1 enable bit in `MSR_PKG_POWER_LIMIT`.
+pub const PKG_POWER_LIMIT_ENABLE: u64 = 1 << 15;
+
+/// PL1 clamp bit in `MSR_PKG_POWER_LIMIT` (allow the limiter to go below
+/// the OS-requested pstate — the simulator always clamps, but the bit is
+/// kept in the encoding so software sees the SDM layout).
+pub const PKG_POWER_LIMIT_CLAMP: u64 = 1 << 16;
+
+/// Encodes a PL1 power limit (W) and averaging window (s) into the
+/// `MSR_PKG_POWER_LIMIT` layout, with enable + clamp set. The limit is
+/// rounded to the nearest power-unit count (floor 1 count); the window to
+/// the nearest representable `2^Y · (1 + Z/4) · time_unit` value, scanning
+/// (Y, Z) in a fixed order so the encoding is deterministic.
+pub fn pack_pkg_power_limit(limit_w: f64, window_s: f64, power_unit_msr: u64) -> u64 {
+    let pu = rapl_power_unit_watts(power_unit_msr);
+    let counts = ((limit_w / pu).round() as u64).clamp(1, 0x7FFF);
+    let tu = rapl_time_unit_seconds(power_unit_msr);
+    let mut best = (0u64, 0u64);
+    let mut best_err = f64::INFINITY;
+    for y in 0..32u64 {
+        for z in 0..4u64 {
+            let w = (1u64 << y) as f64 * (1.0 + z as f64 / 4.0) * tu;
+            let err = (w - window_s).abs();
+            if err < best_err {
+                best_err = err;
+                best = (y, z);
+            }
+        }
+    }
+    counts | PKG_POWER_LIMIT_ENABLE | PKG_POWER_LIMIT_CLAMP | (best.0 << 17) | (best.1 << 22)
+}
+
+/// Decodes `MSR_PKG_POWER_LIMIT` into (limit watts, window seconds,
+/// enabled) using the units programmed in `MSR_RAPL_POWER_UNIT`.
+pub fn unpack_pkg_power_limit(value: u64, power_unit_msr: u64) -> (f64, f64, bool) {
+    let limit_w = (value & 0x7FFF) as f64 * rapl_power_unit_watts(power_unit_msr);
+    let y = (value >> 17) & 0x1F;
+    let z = (value >> 22) & 0x3;
+    let window_s =
+        (1u64 << y) as f64 * (1.0 + z as f64 / 4.0) * rapl_time_unit_seconds(power_unit_msr);
+    (limit_w, window_s, value & PKG_POWER_LIMIT_ENABLE != 0)
 }
 
 /// Computes the wrap-safe delta between two reads of a 32-bit RAPL energy
@@ -447,6 +517,49 @@ mod tests {
     fn rapl_delta_handles_wrap() {
         assert_eq!(rapl_counter_delta(100, 250), 150);
         assert_eq!(rapl_counter_delta((1 << 32) - 5, 10), 15);
+    }
+
+    #[test]
+    fn pkg_power_limit_resets_disabled_and_roundtrips() {
+        let mut m = MsrFile::new(12, 24);
+        let unit = m.read(addr::MSR_RAPL_POWER_UNIT).unwrap();
+        // Reset state: disabled, so an untouched node never throttles.
+        let (_, _, enabled) =
+            unpack_pkg_power_limit(m.read(addr::MSR_PKG_POWER_LIMIT).unwrap(), unit);
+        assert!(!enabled);
+        // 140 W over a 1 s window round-trips exactly: 140/0.125 = 1120
+        // counts, 1 s = 2^10 time units (Y=10, Z=0).
+        let v = pack_pkg_power_limit(140.0, 1.0, unit);
+        m.write(addr::MSR_PKG_POWER_LIMIT, v).unwrap();
+        let (w, s, en) = unpack_pkg_power_limit(m.read(addr::MSR_PKG_POWER_LIMIT).unwrap(), unit);
+        assert!((w - 140.0).abs() < 1e-9, "{w}");
+        assert!((s - 1.0).abs() < 1e-9, "{s}");
+        assert!(en);
+        // Fractional windows hit the 1+Z/4 mantissa: 2.5 s = 2^1 · 1.25.
+        let (_, s, _) = unpack_pkg_power_limit(pack_pkg_power_limit(100.0, 2.5, unit), unit);
+        assert!((s - 2.5).abs() < 1e-9, "{s}");
+    }
+
+    #[test]
+    fn pkg_power_limit_enable_with_zero_limit_rejected() {
+        let mut m = MsrFile::new(12, 24);
+        assert!(matches!(
+            m.write(addr::MSR_PKG_POWER_LIMIT, PKG_POWER_LIMIT_ENABLE),
+            Err(MsrError::InvalidValue { .. })
+        ));
+        // Disabled writes (any limit field) and enabled non-zero limits pass.
+        assert!(m.write(addr::MSR_PKG_POWER_LIMIT, 0).is_ok());
+        assert!(m
+            .write(addr::MSR_PKG_POWER_LIMIT, PKG_POWER_LIMIT_ENABLE | 1)
+            .is_ok());
+    }
+
+    #[test]
+    fn rapl_unit_decoders_match_reset_values() {
+        let m = MsrFile::new(12, 24);
+        let unit = m.read(addr::MSR_RAPL_POWER_UNIT).unwrap();
+        assert!((rapl_power_unit_watts(unit) - 0.125).abs() < 1e-12);
+        assert!((rapl_time_unit_seconds(unit) - 1.0 / 1024.0).abs() < 1e-15);
     }
 
     #[test]

@@ -34,6 +34,11 @@ const IDLE_HOUSEKEEPING_DUTY: f64 = 0.02;
 /// when inverting the CPI target.
 pub const SPIN_CPI: f64 = 0.5;
 
+/// RAPL PL1 hysteresis: the limiter releases one throttle step only once
+/// the running average has fallen below this fraction of the limit, so the
+/// effective pstate does not chatter around the cap.
+const RAPL_LIFT_FRACTION: f64 = 0.98;
+
 /// Floating-point accumulators behind a socket's integer counters.
 #[derive(Debug, Clone, Copy, Default)]
 struct SocketAccum {
@@ -89,6 +94,21 @@ pub struct Socket {
     /// read-only fused configuration, so the decode is hoisted out of the
     /// per-quantum loop.
     rapl_unit_j: f64,
+    /// Decoded PL1 state, refreshed on every `MSR_PKG_POWER_LIMIT` write so
+    /// the per-quantum limiter never re-parses the register. Resets to
+    /// disabled: an untouched socket never throttles.
+    rapl_enabled: bool,
+    /// PL1 power limit (W). Valid only while `rapl_enabled`.
+    rapl_limit_w: f64,
+    /// PL1 averaging window (s). Valid only while `rapl_enabled`.
+    rapl_window_s: f64,
+    /// Running-average package power (W) over the PL1 window — an
+    /// exponential average with time constant `rapl_window_s`, the same
+    /// shape real RAPL firmware uses for its sliding estimate.
+    rapl_avg_w: f64,
+    /// Throttle depth: how many pstates below the OS request the limiter
+    /// is currently clamping this socket.
+    rapl_throttle: u8,
 }
 
 impl Socket {
@@ -112,7 +132,38 @@ impl Socket {
                 .collect(),
             accum: SocketAccum::default(),
             rapl_unit_j,
+            rapl_enabled: false,
+            rapl_limit_w: 0.0,
+            rapl_window_s: 1.0,
+            rapl_avg_w: 0.0,
+            rapl_throttle: 0,
         }
+    }
+
+    /// Re-decodes the cached PL1 state from `MSR_PKG_POWER_LIMIT`.
+    /// Disabling the limit clears the window estimate and releases any
+    /// throttle, exactly as clearing the enable bit does on hardware.
+    fn refresh_rapl_cache(&mut self) {
+        let unit = self.msr.peek(addr::MSR_RAPL_POWER_UNIT);
+        let (limit_w, window_s, enabled) =
+            msr::unpack_pkg_power_limit(self.msr.peek(addr::MSR_PKG_POWER_LIMIT), unit);
+        self.rapl_enabled = enabled;
+        self.rapl_limit_w = limit_w;
+        self.rapl_window_s = window_s.max(1e-3);
+        if !enabled {
+            self.rapl_avg_w = 0.0;
+            self.rapl_throttle = 0;
+        }
+    }
+
+    /// The limiter's current running-average package power estimate (W).
+    pub fn rapl_avg_power_w(&self) -> f64 {
+        self.rapl_avg_w
+    }
+
+    /// How many pstates below the OS request PL1 is currently clamping.
+    pub fn rapl_throttle_steps(&self) -> u8 {
+        self.rapl_throttle
     }
 
     /// Number of uncore frequency domains on this socket.
@@ -264,7 +315,58 @@ impl Node {
             let (min, max) = msr::unpack_uncore_ratio_limit(value);
             self.sockets[socket].domains[d].clamp_to_limits(min, max);
         }
+        if msr == addr::MSR_PKG_POWER_LIMIT {
+            self.sockets[socket].refresh_rapl_cache();
+        }
         Ok(())
+    }
+
+    /// Convenience: programs a PL1 package power limit (`pkg_limit_w` watts
+    /// per socket, averaged over `window_s` seconds) on every socket,
+    /// through the same `MSR_PKG_POWER_LIMIT` write path software uses.
+    pub fn set_rapl_limit_w(&mut self, pkg_limit_w: f64, window_s: f64) -> Result<(), MsrError> {
+        for i in 0..self.sockets.len() {
+            let unit = self.sockets[i].msr.peek(addr::MSR_RAPL_POWER_UNIT);
+            let v = msr::pack_pkg_power_limit(pkg_limit_w, window_s, unit);
+            self.write_msr(i, addr::MSR_PKG_POWER_LIMIT, v)?;
+        }
+        Ok(())
+    }
+
+    /// Clears PL1 on every socket: the limiter disables, releases any
+    /// throttle and forgets its window estimate.
+    pub fn clear_rapl_limit(&mut self) {
+        for i in 0..self.sockets.len() {
+            // A disabled write is always valid.
+            let _ = self.write_msr(i, addr::MSR_PKG_POWER_LIMIT, 0);
+        }
+    }
+
+    /// True when any socket has PL1 enabled.
+    pub fn rapl_enabled(&self) -> bool {
+        self.sockets.iter().any(|s| s.rapl_enabled)
+    }
+
+    /// Deepest PL1 throttle across sockets (pstates below the OS request).
+    pub fn rapl_throttle_steps(&self) -> u8 {
+        self.sockets
+            .iter()
+            .map(|s| s.rapl_throttle)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The pstate the cores actually run at: the OS request plus any RAPL
+    /// PL1 throttle, saturating at the slowest pstate. Equals
+    /// [`Node::requested_pstate`] whenever no limiter is engaged.
+    pub fn effective_pstate(&self) -> Pstate {
+        let ps = self.requested_pstate();
+        let throttle = self.rapl_throttle_steps() as usize;
+        if throttle == 0 {
+            ps
+        } else {
+            (ps + throttle).min(self.config.pstates.slowest())
+        }
     }
 
     /// Convenience: sets the CPU pstate on every core of every socket
@@ -387,11 +489,17 @@ impl Node {
         debug_assert!(demand.validate().is_ok(), "{:?}", demand.validate());
         let start = self.clock.now();
         let ps = self.requested_pstate();
-        let f_eff_khz = self.config.pstates.effective_khz_active(
+        let f_eff_req_khz = self.config.pstates.effective_khz_active(
             ps,
             demand.avx512_fraction,
             demand.active_cores,
         );
+        // With a PL1 limiter armed the effective pstate can change at any
+        // quantum boundary, so the effective frequency is re-derived per
+        // quantum and fast-forward (which assumes steady state) is off.
+        // Unarmed, both collapse to exactly the pre-RAPL computation.
+        let rapl_on = self.rapl_enabled();
+        let ff = self.config.fast_forward && !rapl_on;
         // One multiplicative noise draw per phase: run-to-run variation,
         // not within-run jitter (the paper averages three runs).
         let t_noise = self.rng.noise_factor(self.config.noise_sigma);
@@ -407,6 +515,15 @@ impl Node {
         if demand.instructions > 0.0 || demand.mem_bytes > 0.0 {
             let mut remaining = 1.0f64;
             while remaining > 1e-12 {
+                let f_eff_khz = if rapl_on {
+                    self.config.pstates.effective_khz_active(
+                        self.effective_pstate(),
+                        demand.avx512_fraction,
+                        demand.active_cores,
+                    )
+                } else {
+                    f_eff_req_khz
+                };
                 let mut f_dom = [0.0f64; msr::MAX_UNCORE_DOMAINS];
                 for (d, f) in f_dom.iter_mut().enumerate().take(nd) {
                     *f = self.domain_uncore_ghz(d);
@@ -429,10 +546,7 @@ impl Node {
                 // hence t_total and all rates, are constant to the end of
                 // the phase. Integrate the remainder in one step.
                 let rest = remaining * t_total;
-                if self.config.fast_forward
-                    && rest > quantum
-                    && self.ufs_settled(demand, f_eff_khz, gbs, false)
-                {
+                if ff && rest > quantum && self.ufs_settled(demand, f_eff_khz, gbs, false) {
                     self.advance_interval(rest, demand, f_eff_khz, remaining, gbs, p_noise, false);
                     work_s += rest;
                     break;
@@ -448,16 +562,13 @@ impl Node {
         let mut wait_s = 0.0;
         while wait_s < demand.wait_seconds {
             let rest = demand.wait_seconds - wait_s;
-            if self.config.fast_forward
-                && rest > quantum
-                && self.ufs_settled(demand, f_eff_khz, 0.0, true)
-            {
-                self.advance_interval(rest, demand, f_eff_khz, 0.0, 0.0, p_noise, true);
+            if ff && rest > quantum && self.ufs_settled(demand, f_eff_req_khz, 0.0, true) {
+                self.advance_interval(rest, demand, f_eff_req_khz, 0.0, 0.0, p_noise, true);
                 wait_s += rest;
                 break;
             }
             let dt = rest.min(quantum);
-            self.advance_interval(dt, demand, f_eff_khz, 0.0, 0.0, p_noise, true);
+            self.advance_interval(dt, demand, f_eff_req_khz, 0.0, 0.0, p_noise, true);
             wait_s += dt;
         }
 
@@ -481,13 +592,11 @@ impl Node {
         };
         let quantum = self.config.hwufs.period_s;
         let f_khz = self.config.pstates.nominal_khz() as f64;
+        let ff = self.config.fast_forward && !self.rapl_enabled();
         let mut done = 0.0;
         while done < seconds {
             let rest = seconds - done;
-            if self.config.fast_forward
-                && rest > quantum
-                && self.ufs_settled(&idle, f_khz, 0.0, true)
-            {
+            if ff && rest > quantum && self.ufs_settled(&idle, f_khz, 0.0, true) {
                 self.advance_interval(rest, &idle, f_khz, 0.0, 0.0, 1.0, true);
                 break;
             }
@@ -558,8 +667,24 @@ impl Node {
         };
         let now = self.clock.now();
 
-        // Spinning cores run scalar code at the requested (non-AVX) ratio.
-        let ps = self.cached_pstate_for(self.sockets[0].requested_ratio());
+        // Spinning cores run scalar code at the delivered (non-AVX) ratio:
+        // the OS request plus any PL1 throttle. With no limiter engaged the
+        // throttle is zero and this is exactly the requested pstate.
+        let ps_req = self.cached_pstate_for(self.sockets[0].requested_ratio());
+        let slowest = cfg.pstates.slowest();
+        let throttle = self
+            .sockets
+            .iter()
+            .map(|s| s.rapl_throttle)
+            .max()
+            .unwrap_or(0) as usize;
+        let ps = if throttle == 0 {
+            ps_req
+        } else {
+            (ps_req + throttle).min(slowest)
+        };
+        // Deepest throttle the limiter can apply below the OS request.
+        let rapl_headroom = slowest - ps_req;
         let f_spin_khz = cfg.pstates.khz(ps) as f64;
         let f_active_khz = if waiting { f_spin_khz } else { f_eff_khz };
         let requested_khz = cfg.pstates.khz(ps) as f64;
@@ -664,6 +789,32 @@ impl Node {
             };
             let pkg_w = power::pkg_power_with_uncore(&cfg.power, &pin, unc_w_sum) * p_noise;
             node_pkg_w += pkg_w;
+
+            // --- RAPL PL1 limiter ---
+            // Running average over the programmed window (exponential, time
+            // constant = window), one throttle/relax step per quantum with
+            // hysteresis. Entirely skipped while PL1 is disabled, so the
+            // uncapped configuration computes bit-identical results.
+            if s.rapl_enabled {
+                let alpha = (dt / s.rapl_window_s).min(1.0);
+                s.rapl_avg_w += alpha * (pkg_w - s.rapl_avg_w);
+                if s.rapl_avg_w > s.rapl_limit_w {
+                    if (s.rapl_throttle as usize) < rapl_headroom {
+                        s.rapl_throttle += 1;
+                        crate::stats::record_rapl_throttle();
+                    }
+                } else if s.rapl_avg_w < s.rapl_limit_w * RAPL_LIFT_FRACTION && s.rapl_throttle > 0
+                {
+                    s.rapl_throttle -= 1;
+                }
+                // Surface the delivered ratio where software reads it.
+                let eff = (ps_req + s.rapl_throttle as usize).min(slowest);
+                s.msr.poke(
+                    addr::IA32_PERF_STATUS,
+                    msr::pack_perf_ctl(cfg.pstates.ratio_for(eff)),
+                );
+            }
+
             s.accum.pkg_energy_uj += pkg_w * dt * 1e6;
             // RAPL MSR view: exact energy quantised by the unit, 32-bit wrap.
             let unit_j = s.rapl_unit_j;
@@ -974,6 +1125,114 @@ mod tests {
             (msr_j - exact_j).abs() < 0.01 * exact_j + 1.0,
             "{msr_j} vs {exact_j}"
         );
+    }
+
+    #[test]
+    fn rapl_disabled_and_loose_limit_are_bit_identical_to_no_limit() {
+        // The acceptance contract for this subsystem: a node with no PL1
+        // programmed and a node with PL1 armed but never binding (a limit
+        // far above peak package power) must produce bit-identical
+        // trajectories — enforcement adds state, not drift. Exercised with
+        // noise on and several seeds so both RNG paths are covered.
+        for seed in [1u64, 7, 42] {
+            let run = |limit: Option<f64>| {
+                let mut n = Node::new(NodeConfig::sd530_6148(), seed);
+                if let Some(w) = limit {
+                    n.set_rapl_limit_w(w, 1.0).unwrap();
+                }
+                n.run_phase(&cpu_bound());
+                n.run_idle(1.0);
+                (n.now(), n.dc_energy_exact_j(), n.snapshot().sockets[0])
+            };
+            let (t_none, e_none, s_none) = run(None);
+            let (t_loose, e_loose, s_loose) = run(Some(4000.0));
+            assert_eq!(t_none, t_loose);
+            assert_eq!(e_none.to_bits(), e_loose.to_bits());
+            assert_eq!(s_none.pkg_energy_uj, s_loose.pkg_energy_uj);
+            assert_eq!(s_none.aperf_kcycles, s_loose.aperf_kcycles);
+        }
+    }
+
+    #[test]
+    fn rapl_binding_limit_throttles_and_caps_window_average() {
+        let events_before = crate::stats::rapl_throttle_events();
+        let mut n = quiet_node();
+        // Per-socket package power of the cpu-bound phase is ~119 W at
+        // nominal; 110 W is a binding PL1. The limiter settles into a
+        // narrow limit cycle around the cap (one pstate step moves power
+        // more than the 2 % hysteresis band), so assert on the throttle
+        // event counter and the window average, not the end-of-phase
+        // throttle depth.
+        n.set_rapl_limit_w(110.0, 0.5).unwrap();
+        let d = cpu_bound();
+        n.run_phase(&d);
+        n.run_phase(&d);
+        assert!(
+            crate::stats::rapl_throttle_events() > events_before,
+            "limiter never engaged"
+        );
+        for i in 0..n.socket_count() {
+            let avg = n.socket(i).rapl_avg_power_w();
+            assert!(avg <= 110.0 * 1.02, "socket {i} window avg {avg} W");
+        }
+        // The delivered ratio stays visible where software reads it, never
+        // above the requested nominal ratio.
+        let status = msr::unpack_perf_ratio(n.read_msr(0, addr::IA32_PERF_STATUS).unwrap());
+        assert!(status <= n.config.pstates.ratio_for(1), "status {status}");
+        assert_eq!(
+            n.effective_pstate(),
+            n.requested_pstate() + n.rapl_throttle_steps() as usize
+        );
+    }
+
+    #[test]
+    fn rapl_throttle_slows_and_saves_energy() {
+        let run = |limit: Option<f64>| {
+            let mut n = quiet_node();
+            if let Some(w) = limit {
+                n.set_rapl_limit_w(w, 0.5).unwrap();
+            }
+            let before = n.dc_energy_exact_j();
+            let out = n.run_phase(&cpu_bound());
+            (out.work_s, n.dc_energy_exact_j() - before)
+        };
+        let (t_free, e_free) = run(None);
+        let (t_cap, _) = run(Some(100.0));
+        assert!(t_cap > t_free * 1.05, "{t_cap} vs {t_free}");
+        // Power drops harder than runtime grows under a deep cap.
+        let p_free = e_free / t_free;
+        let (t2, e2) = run(Some(100.0));
+        assert!(e2 / t2 < p_free * 0.95, "{} vs {p_free}", e2 / t2);
+    }
+
+    #[test]
+    fn rapl_clear_releases_the_throttle() {
+        let events_before = crate::stats::rapl_throttle_events();
+        let mut n = quiet_node();
+        n.set_rapl_limit_w(100.0, 0.5).unwrap();
+        n.run_phase(&cpu_bound());
+        assert!(crate::stats::rapl_throttle_events() > events_before);
+        n.clear_rapl_limit();
+        assert!(!n.rapl_enabled());
+        assert_eq!(n.rapl_throttle_steps(), 0);
+        assert_eq!(n.effective_pstate(), n.requested_pstate());
+        assert_eq!(n.socket(0).rapl_avg_power_w(), 0.0);
+    }
+
+    #[test]
+    fn rapl_enforces_under_fast_forward_config() {
+        // fast_forward skips quantum stepping when the UFS settles; the
+        // limiter must still see every quantum, so it disables the shortcut
+        // while armed.
+        let mut cfg = NodeConfig::sd530_6148();
+        cfg.noise_sigma = 0.0;
+        cfg.fast_forward = true;
+        let events_before = crate::stats::rapl_throttle_events();
+        let mut n = Node::new(cfg, 1);
+        n.set_rapl_limit_w(110.0, 0.5).unwrap();
+        n.run_phase(&cpu_bound());
+        assert!(crate::stats::rapl_throttle_events() > events_before);
+        assert!(n.socket(0).rapl_avg_power_w() <= 110.0 * 1.02);
     }
 
     #[test]

@@ -20,6 +20,7 @@ static DOMAIN_RATIO_STEPS: [AtomicU64; MAX_UNCORE_DOMAINS] = [
     AtomicU64::new(0),
 ];
 static MAX_DOMAINS_SEEN: AtomicU64 = AtomicU64::new(0);
+static RAPL_THROTTLE_EVENTS: AtomicU64 = AtomicU64::new(0);
 
 /// Snapshot of the process-wide UFS counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -51,6 +52,18 @@ pub fn record_node_domains(n: usize) {
     MAX_DOMAINS_SEEN.fetch_max(n as u64, Ordering::Relaxed);
 }
 
+/// Records one RAPL PL1 throttle step (a socket's power limiter stepping
+/// the effective pstate down at a quantum boundary). Feeds the telemetry
+/// `powercap.throttle_events` counter.
+pub fn record_rapl_throttle() {
+    RAPL_THROTTLE_EVENTS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Total RAPL PL1 throttle steps recorded process-wide.
+pub fn rapl_throttle_events() -> u64 {
+    RAPL_THROTTLE_EVENTS.load(Ordering::Relaxed)
+}
+
 /// Reads the current counters.
 pub fn snapshot() -> UfsStats {
     let mut ratio_steps = [0u64; MAX_UNCORE_DOMAINS];
@@ -69,6 +82,7 @@ pub fn reset() {
         c.store(0, Ordering::Relaxed);
     }
     MAX_DOMAINS_SEEN.store(0, Ordering::Relaxed);
+    RAPL_THROTTLE_EVENTS.store(0, Ordering::Relaxed);
 }
 
 #[cfg(test)]

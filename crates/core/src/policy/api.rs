@@ -164,6 +164,10 @@ pub struct PolicySettings {
     /// `earsim sweep`. `None` (the default) makes `fitted` hold the
     /// default frequencies; the other policies ignore this field.
     pub fitted: Option<crate::fit::FittedSurface>,
+    /// Node DC power cap (W) for the `powercap` policy: the budget share
+    /// EARGM granted this node. `None` (the default) means uncapped; the
+    /// optimisation policies ignore this field.
+    pub cap_w: Option<f64>,
 }
 
 impl Default for PolicySettings {
@@ -178,6 +182,7 @@ impl Default for PolicySettings {
             min_time_eff_gain: 0.5,
             per_domain_ufs: true,
             fitted: None,
+            cap_w: None,
         }
     }
 }
@@ -320,6 +325,12 @@ impl PolicyRegistry {
         r.register("fitted", || {
             Box::new(crate::policy::fitted::Fitted::default())
         });
+        r.register("powercap", || {
+            Box::new(crate::policy::powercap::Powercap::default())
+        });
+        r.register("powercap_pstate", || {
+            Box::new(crate::policy::powercap::Powercap::pstate_only())
+        });
         r
     }
 
@@ -366,6 +377,8 @@ mod tests {
             "min_time_eufs",
             "duf",
             "fitted",
+            "powercap",
+            "powercap_pstate",
         ] {
             let p = r.create(name).unwrap_or_else(|| panic!("missing {name}"));
             assert_eq!(p.name(), name);

@@ -8,6 +8,7 @@ pub mod min_energy;
 pub mod min_energy_eufs;
 pub mod min_time;
 pub mod monitoring;
+pub mod powercap;
 
 pub use api::{
     DomainLimits, ImcRange, ImcSearch, NodeFreqs, PolicyCtx, PolicyRegistry, PolicySettings,
@@ -20,3 +21,4 @@ pub use min_energy::MinEnergy;
 pub use min_energy_eufs::MinEnergyEufs;
 pub use min_time::{MinTime, MinTimeEufs};
 pub use monitoring::Monitoring;
+pub use powercap::{warm_start_under_cap, Powercap};

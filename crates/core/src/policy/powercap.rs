@@ -1,0 +1,520 @@
+//! `powercap`: online dual-knob (pstate, uncore-max) search under a cap.
+//!
+//! The open-loop pstate-floor throttle in [`crate::powercap`] reacts to a
+//! cap by walking a fixed priority ladder; it never *optimises* under the
+//! cap. Cuttlefish (PAPERS.md) shows where the money is: under low power
+//! caps, searching core and uncore frequency **concurrently** online finds
+//! operating points with the same power but materially better throughput,
+//! because the two knobs buy back watts at very different performance
+//! prices per application.
+//!
+//! This policy is that search, grounded in the machinery this repo already
+//! has: the fitted T̂/P̂ surfaces from `earsim sweep` provide a warm-start
+//! point (time-minimal subject to `P̂ ≤ cap`), and a measured hill-climb
+//! refines it against live signatures — step down the cheaper knob while
+//! over the cap, climb back toward the reference while the next step's
+//! estimated cost fits the headroom. The node's RAPL PL1 limiter remains
+//! the hard backstop underneath; this policy's job is to keep PL1 asleep
+//! by operating the node *at* the cap rather than bouncing off it.
+
+use super::api::{DomainLimits, NodeFreqs, PolicyCtx, PolicyState, PowerPolicy};
+use crate::fit::FittedSurface;
+use crate::signature::Signature;
+use ear_archsim::Pstate;
+
+/// Approximate watts one uncore ratio step is worth on the calibrated
+/// platform (matches the open-loop controller's constant).
+const UNCORE_STEP_W: f64 = 3.0;
+
+/// Approximate watts one pstate step is worth near nominal. Climb steps
+/// are only taken when their estimated cost fits the measured headroom,
+/// so the search converges as close to the cap as the actuators'
+/// granularity allows instead of stranding watts below it.
+const PSTATE_STEP_W: f64 = 15.0;
+
+/// Model headroom for the warm start: the surface carries fit residual,
+/// so the predicted-power constraint is derated to land measurements
+/// under the cap, not astride it.
+const CAP_MODEL_HEADROOM: f64 = 0.02;
+
+/// Most down-steps applied on one over-cap evaluation (mirrors the
+/// open-loop controller: chasing a 30 W deficit one ratio step per
+/// signature window would take minutes).
+const MAX_STEPS: u32 = 6;
+
+/// Selects the time-minimal (pstate, max uncore ratio) pair on a fitted
+/// surface subject to `P̂(f, u) ≤ cap · (1 − CAP_MODEL_HEADROOM)`.
+///
+/// Scan order matches [`super::fitted::select_on_surface`] — (pstate,
+/// descending ratio), first minimum wins — and uses the same partial
+/// evaluation of the two quadratics, so the whole warm start costs a few
+/// hundred fused multiply-adds. When no candidate satisfies the cap the
+/// fully-throttled corner (slowest pstate, platform-minimum uncore) is
+/// returned: the measured hill-climb cannot do better than the floor.
+pub fn warm_start_under_cap(
+    surface: &FittedSurface,
+    ctx: &PolicyCtx<'_>,
+    cap_w: f64,
+) -> (Pstate, u8) {
+    let def = ctx.settings.def_pstate;
+    let floor = (ctx.pstates.slowest(), ctx.uncore_min_ratio);
+    let p_limit = cap_w * (1.0 - CAP_MODEL_HEADROOM);
+
+    let (u_lo, u_hi) = surface.u_range_ghz;
+    let in_u = |r: u8| {
+        let u = f64::from(r) * 0.1;
+        u >= u_lo - 1e-9 && u <= u_hi + 1e-9
+    };
+    let (mut r_lo, mut r_hi) = (None, None);
+    for r in ctx.uncore_min_ratio..=ctx.uncore_max_ratio {
+        if in_u(r) {
+            r_lo = r_lo.or(Some(r));
+            r_hi = Some(r);
+        }
+    }
+    let (Some(r_lo), Some(r_hi)) = (r_lo, r_hi) else {
+        return floor;
+    };
+
+    let (f_lo, f_hi) = surface.f_range_ghz;
+    let [t0, t1, t2, t3, t4, t5] = surface.time.coeffs;
+    let [p0, p1, p2, p3, p4, p5] = surface.power.coeffs;
+    let mut best = floor;
+    let mut best_time = f64::INFINITY;
+    for ps in def..=ctx.pstates.slowest() {
+        let f = ctx.pstates.ghz(ps);
+        if !(f >= f_lo - 1e-9 && f <= f_hi + 1e-9) {
+            continue;
+        }
+        let (ta, tb) = (t0 + t1 * f + t3 * f * f, t2 + t5 * f);
+        let (pa, pb) = (p0 + p1 * f + p3 * f * f, p2 + p5 * f);
+        for ratio in (r_lo..=r_hi).rev() {
+            let u = f64::from(ratio) * 0.1;
+            let t = ta + u * (tb + t4 * u);
+            let p = pa + u * (pb + p4 * u);
+            if !(t.is_finite() && p.is_finite() && t > 0.0 && p > 0.0) {
+                continue;
+            }
+            if p <= p_limit && t < best_time {
+                best_time = t;
+                best = (ps, ratio);
+            }
+        }
+    }
+    best
+}
+
+/// The Cuttlefish-style online powercap policy.
+#[derive(Debug, Clone)]
+pub struct Powercap {
+    /// Current operating point (None until the warm start is applied).
+    sel: Option<(Pstate, u8)>,
+    /// Signature at convergence (validation reference).
+    ref_sig: Option<Signature>,
+    /// First post-convergence validation re-baselines the reference.
+    settled: bool,
+    /// Set when an up-step immediately pushed the node back over the cap:
+    /// the climb found the frontier, stop probing it every window.
+    climb_blocked: bool,
+    /// Whether the previous evaluation stepped up (to detect overshoot).
+    last_step_up: bool,
+    /// Search both knobs (the policy proper) or the pstate only (the
+    /// throttle baseline the frontier tables compare against).
+    dual_knob: bool,
+}
+
+impl Default for Powercap {
+    fn default() -> Self {
+        Self {
+            sel: None,
+            ref_sig: None,
+            settled: false,
+            climb_blocked: false,
+            last_step_up: false,
+            dual_knob: true,
+        }
+    }
+}
+
+impl Powercap {
+    /// The pstate-only throttle baseline: identical control loop, uncore
+    /// ceiling held at the platform maximum (hardware UFS keeps floating
+    /// underneath). Exists so the cap-vs-throughput frontier isolates
+    /// exactly the second knob's contribution.
+    pub fn pstate_only() -> Self {
+        Self {
+            dual_knob: false,
+            ..Self::default()
+        }
+    }
+
+    /// The current operating point, if the search has started.
+    pub fn selected(&self) -> Option<(Pstate, u8)> {
+        self.sel
+    }
+
+    fn freqs_for(&self, cpu: Pstate, ratio: u8, ctx: &PolicyCtx<'_>) -> NodeFreqs {
+        let (imc_min, imc_max) =
+            ctx.settings
+                .imc_range
+                .limits_for(ratio, ctx.uncore_min_ratio, ctx.uncore_max_ratio);
+        NodeFreqs {
+            cpu,
+            imc_min_ratio: imc_min,
+            imc_max_ratio: imc_max,
+            imc_dom: if ctx.uncore_domains > 1 {
+                DomainLimits::uniform(ctx.uncore_domains, imc_min, imc_max)
+            } else {
+                DomainLimits::LEGACY
+            },
+        }
+    }
+
+    fn warm_point(&self, ctx: &PolicyCtx<'_>, cap_w: f64) -> (Pstate, u8) {
+        match ctx.settings.fitted.as_ref() {
+            Some(surface) if self.dual_knob => warm_start_under_cap(surface, ctx, cap_w),
+            // No surface (or single-knob baseline): start from the
+            // defaults and let the measured loop walk down.
+            _ => (ctx.settings.def_pstate, ctx.uncore_max_ratio),
+        }
+    }
+}
+
+impl PowerPolicy for Powercap {
+    fn name(&self) -> &'static str {
+        if self.dual_knob {
+            "powercap"
+        } else {
+            "powercap_pstate"
+        }
+    }
+
+    fn node_policy(&mut self, sig: &Signature, ctx: &PolicyCtx<'_>) -> (NodeFreqs, PolicyState) {
+        let Some(cap_w) = ctx.settings.cap_w.filter(|c| c.is_finite()) else {
+            // Uncapped: nothing to control. Hold the defaults.
+            self.ref_sig = Some(*sig);
+            self.sel = None;
+            self.settled = false;
+            return (ctx.default_freqs(), PolicyState::Ready);
+        };
+
+        let Some((mut ps, mut ratio)) = self.sel else {
+            // First invocation: apply the warm start and ask for a
+            // measurement there before settling.
+            let start = self.warm_point(ctx, cap_w);
+            self.sel = Some(start);
+            self.ref_sig = Some(*sig);
+            self.settled = false;
+            return (self.freqs_for(start.0, start.1, ctx), PolicyState::Continue);
+        };
+
+        let p = sig.dc_power_w;
+        let slowest = ctx.pstates.slowest();
+        let state = if p > cap_w {
+            // Over the cap: shed the cheaper knob first, proportionally to
+            // the overshoot. An up-step that landed here found the
+            // frontier — stop re-probing it.
+            if self.last_step_up {
+                self.climb_blocked = true;
+            }
+            self.last_step_up = false;
+            let steps = ((p - cap_w) / UNCORE_STEP_W)
+                .ceil()
+                .clamp(1.0, MAX_STEPS as f64) as u32;
+            for _ in 0..steps {
+                if self.dual_knob && ratio > ctx.uncore_min_ratio {
+                    ratio -= 1;
+                } else if ps < slowest {
+                    ps += 1;
+                } else {
+                    break;
+                }
+            }
+            PolicyState::Continue
+        } else if self.climb_blocked {
+            // A previous climb found the frontier: hold.
+            self.last_step_up = false;
+            PolicyState::Ready
+        } else if cap_w - p > PSTATE_STEP_W && ps > ctx.settings.def_pstate {
+            // Headroom fits a pstate step — the knob whose throughput is
+            // worth most per watt comes back first.
+            self.last_step_up = true;
+            ps -= 1;
+            PolicyState::Continue
+        } else if self.dual_knob && cap_w - p > UNCORE_STEP_W && ratio < ctx.uncore_max_ratio {
+            // What remains fits an uncore step: fill toward the cap.
+            self.last_step_up = true;
+            ratio += 1;
+            PolicyState::Continue
+        } else {
+            // Headroom smaller than the cheapest step (or already at the
+            // reference point): converged.
+            self.last_step_up = false;
+            PolicyState::Ready
+        };
+
+        self.sel = Some((ps, ratio));
+        self.ref_sig = Some(*sig);
+        if state == PolicyState::Ready {
+            self.settled = false; // validation re-baselines next window
+        }
+        (self.freqs_for(ps, ratio, ctx), state)
+    }
+
+    fn validate(&mut self, sig: &Signature, ctx: &PolicyCtx<'_>) -> bool {
+        if !self.settled {
+            self.ref_sig = Some(*sig);
+            self.settled = true;
+            return true;
+        }
+        // A converged point that drifts back over the cap is invalid no
+        // matter how stable the signature looks.
+        if let Some(cap_w) = ctx.settings.cap_w {
+            if sig.dc_power_w > cap_w {
+                self.reset();
+                return false;
+            }
+        }
+        match self.ref_sig {
+            Some(ref r) if r.changed_significantly(sig, ctx.settings.sig_change_th) => {
+                self.reset();
+                false
+            }
+            Some(_) => true,
+            None => false,
+        }
+    }
+
+    fn imc_ceiling(&self) -> Option<u8> {
+        self.sel.map(|(_, r)| r)
+    }
+
+    fn reset(&mut self) {
+        self.sel = None;
+        self.ref_sig = None;
+        self.settled = false;
+        self.climb_blocked = false;
+        self.last_step_up = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fit::Poly2;
+    use crate::models::Avx512Model;
+    use crate::policy::api::PolicySettings;
+    use ear_archsim::{NodeConfig, PstateTable};
+
+    /// Power rises with both knobs; time is steep in f, flat in u — the
+    /// cap is cheapest to meet by shedding uncore.
+    fn surface() -> FittedSurface {
+        FittedSurface {
+            time: Poly2 {
+                coeffs: [120.0, -25.0, 0.0, 0.0, 0.0, 0.0],
+            },
+            power: Poly2 {
+                coeffs: [100.0, 60.0, 25.0, 0.0, 0.0, 0.0],
+            },
+            f_range_ghz: (1.2, 2.4),
+            u_range_ghz: (1.2, 2.4),
+        }
+    }
+
+    struct Fixture {
+        pstates: PstateTable,
+        model: Avx512Model,
+        settings: PolicySettings,
+    }
+
+    impl Fixture {
+        fn new(cap_w: Option<f64>, fitted: Option<FittedSurface>) -> Self {
+            Self {
+                pstates: PstateTable::xeon_gold_6148(),
+                model: Avx512Model::for_node(&NodeConfig::sd530_6148()),
+                settings: PolicySettings {
+                    cap_w,
+                    fitted,
+                    ..Default::default()
+                },
+            }
+        }
+
+        fn ctx(&self) -> PolicyCtx<'_> {
+            PolicyCtx {
+                pstates: &self.pstates,
+                uncore_min_ratio: 12,
+                uncore_max_ratio: 24,
+                uncore_domains: 1,
+                model: &self.model,
+                settings: &self.settings,
+            }
+        }
+    }
+
+    fn sig(dc_power_w: f64) -> Signature {
+        Signature {
+            window_s: 10.0,
+            iterations: 5,
+            cpi: 0.4,
+            tpi: 0.001,
+            gbs: 10.0,
+            dc_power_w,
+            pkg_power_w: dc_power_w * 0.7,
+            avg_cpu_khz: 2.4e6,
+            avg_imc_khz: 2.4e6,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn uncapped_holds_defaults() {
+        let f = Fixture::new(None, None);
+        let ctx = f.ctx();
+        let mut p = Powercap::default();
+        let (freqs, state) = p.node_policy(&sig(300.0), &ctx);
+        assert_eq!(state, PolicyState::Ready);
+        assert_eq!(freqs, ctx.default_freqs());
+        let f_inf = Fixture::new(Some(f64::INFINITY), None);
+        let ctx = f_inf.ctx();
+        let (freqs, state) = Powercap::default().node_policy(&sig(300.0), &ctx);
+        assert_eq!(state, PolicyState::Ready);
+        assert_eq!(freqs, ctx.default_freqs());
+    }
+
+    #[test]
+    fn warm_start_respects_predicted_cap() {
+        let f = Fixture::new(Some(280.0), Some(surface()));
+        let ctx = f.ctx();
+        let s = surface();
+        let (ps, ratio) = warm_start_under_cap(&s, &ctx, 280.0);
+        let p_hat = s.power_w(f.pstates.ghz(ps), f64::from(ratio) * 0.1);
+        assert!(
+            p_hat <= 280.0 * (1.0 - CAP_MODEL_HEADROOM) + 1e-9,
+            "{p_hat}"
+        );
+        // Time-minimal: a faster admissible point must not exist. At the
+        // cap the surface admits nominal f only with a lowered uncore.
+        assert_eq!(ps, 1, "keeps nominal pstate, sheds uncore instead");
+        assert!(ratio < 24);
+    }
+
+    #[test]
+    fn warm_start_without_any_admissible_point_floors() {
+        let f = Fixture::new(Some(50.0), Some(surface()));
+        let ctx = f.ctx();
+        let (ps, ratio) = warm_start_under_cap(&surface(), &ctx, 50.0);
+        assert_eq!(ps, f.pstates.slowest());
+        assert_eq!(ratio, 12);
+    }
+
+    #[test]
+    fn over_cap_sheds_uncore_first_then_pstate() {
+        let f = Fixture::new(Some(300.0), None);
+        let ctx = f.ctx();
+        let mut p = Powercap::default();
+        // First call applies the warm start (defaults without a surface).
+        let (_, state) = p.node_policy(&sig(340.0), &ctx);
+        assert_eq!(state, PolicyState::Continue);
+        assert_eq!(p.selected(), Some((1, 24)));
+        // 40 W over: several uncore steps at once, pstate untouched.
+        let (freqs, state) = p.node_policy(&sig(340.0), &ctx);
+        assert_eq!(state, PolicyState::Continue);
+        assert_eq!(freqs.cpu, 1);
+        assert_eq!(freqs.imc_max_ratio, 18);
+        // Sustained overload eventually reaches the pstate.
+        for _ in 0..4 {
+            p.node_policy(&sig(340.0), &ctx);
+        }
+        let (ps, ratio) = p.selected().unwrap_or((0, 0));
+        assert_eq!(ratio, 12);
+        assert!(ps > 1);
+    }
+
+    #[test]
+    fn pstate_only_baseline_never_touches_uncore() {
+        let f = Fixture::new(Some(300.0), None);
+        let ctx = f.ctx();
+        let mut p = Powercap::pstate_only();
+        p.node_policy(&sig(340.0), &ctx);
+        for _ in 0..5 {
+            let (freqs, _) = p.node_policy(&sig(340.0), &ctx);
+            assert_eq!(freqs.imc_max_ratio, 24);
+            assert_eq!(freqs.imc_min_ratio, 12);
+        }
+        let (ps, _) = p.selected().unwrap_or((0, 0));
+        assert!(ps > 1, "all shedding went to the pstate");
+    }
+
+    #[test]
+    fn headroom_climbs_then_blocks_after_overshoot() {
+        let f = Fixture::new(Some(300.0), None);
+        let ctx = f.ctx();
+        let mut p = Powercap::default();
+        p.node_policy(&sig(340.0), &ctx); // warm start
+        for _ in 0..3 {
+            p.node_policy(&sig(340.0), &ctx); // walk down
+        }
+        let (ps_down, _) = p.selected().unwrap_or((0, 0));
+        assert!(ps_down > 1);
+        // Deep headroom: climbs the pstate one step per window.
+        p.node_policy(&sig(250.0), &ctx);
+        let (ps_up, _) = p.selected().unwrap_or((0, 0));
+        assert_eq!(ps_up, ps_down - 1);
+        // The climb overshoots: down-step and stop probing.
+        p.node_policy(&sig(310.0), &ctx);
+        let before = p.selected();
+        let (_, state) = p.node_policy(&sig(250.0), &ctx);
+        assert_eq!(state, PolicyState::Ready, "climb blocked after overshoot");
+        assert_eq!(p.selected(), before);
+    }
+
+    #[test]
+    fn in_band_converges_ready() {
+        let f = Fixture::new(Some(300.0), None);
+        let ctx = f.ctx();
+        let mut p = Powercap::default();
+        p.node_policy(&sig(290.0), &ctx); // warm start: already at reference
+        let (_, state) = p.node_policy(&sig(290.0), &ctx);
+        assert_eq!(
+            state,
+            PolicyState::Ready,
+            "under cap at the reference holds"
+        );
+    }
+
+    #[test]
+    fn small_headroom_climbs_uncore_not_pstate() {
+        // 10 W under the cap: a pstate step (~15 W) would overshoot but an
+        // uncore step (~3 W) fits — the climb must fill the gap with the
+        // cheap knob instead of stranding the headroom.
+        let f = Fixture::new(Some(300.0), None);
+        let ctx = f.ctx();
+        let mut p = Powercap::default();
+        p.node_policy(&sig(340.0), &ctx); // warm start at (def, max)
+        p.node_policy(&sig(340.0), &ctx); // sheds uncore
+        let (_, r_down) = p.selected().unwrap_or((0, 0));
+        assert!(r_down < 24);
+        let (_, state) = p.node_policy(&sig(290.0), &ctx);
+        assert_eq!(state, PolicyState::Continue);
+        let (ps, r_up) = p.selected().unwrap_or((0, 0));
+        assert_eq!(ps, 1, "pstate already at the reference");
+        assert_eq!(r_up, r_down + 1, "uncore climbs one step");
+        // 2 W under the cap: smaller than any step — converged.
+        let (_, state) = p.node_policy(&sig(298.0), &ctx);
+        assert_eq!(state, PolicyState::Ready);
+    }
+
+    #[test]
+    fn validation_rejects_over_cap_drift() {
+        let f = Fixture::new(Some(300.0), None);
+        let ctx = f.ctx();
+        let mut p = Powercap::default();
+        p.node_policy(&sig(290.0), &ctx);
+        p.node_policy(&sig(290.0), &ctx); // Ready
+        assert!(p.validate(&sig(290.0), &ctx), "first validation settles");
+        assert!(p.validate(&sig(295.0), &ctx));
+        assert!(!p.validate(&sig(320.0), &ctx), "over-cap drift invalidates");
+        assert_eq!(p.selected(), None, "reset restarts from the warm point");
+    }
+}

@@ -228,6 +228,20 @@ fn run_once(
     seed: u64,
 ) -> RunSample {
     let mut cluster = ear_archsim::Cluster::new(cal.node_config.clone(), nodes, seed);
+    // Capped cells run exactly as the fleet deploys them: the RAPL PL1
+    // backstop armed at the cap underneath the policy, so an over-cap
+    // search transient is throttled by the hardware instead of spending
+    // watts the cap forbids. Uncapped cells never touch PL1 and stay
+    // bit-identical to the historical runs.
+    if let RunKind::Policy { settings, .. } = kind {
+        if let Some(cap_w) = settings.cap_w.filter(|c| c.is_finite()) {
+            let pkg_w = ear_jobstream::rapl_pkg_limit_w(&cal.node_config, cap_w);
+            for node in cluster.nodes_mut() {
+                node.set_rapl_limit_w(pkg_w, 1.0)
+                    .unwrap_or_else(|e| panic!("arming the PL1 backstop failed: {e}"));
+            }
+        }
+    }
     let mut rts: Vec<Runtime> = (0..nodes)
         .map(|i| {
             let mut rt = make_runtime(kind);
@@ -779,8 +793,10 @@ fn record_process(summary: &EngineSummary) {
 /// v4 added the nested `ufs` object (widest per-socket uncore domain
 /// configuration booted, firmware ratio transitions per domain index);
 /// v5 added the nested `sweep` object (grid cells measured, cells served
-/// from the result cache, worst relative fit residual).
-pub const TELEMETRY_SCHEMA: &str = "earsim-telemetry/v5";
+/// from the result cache, worst relative fit residual); v6 added the
+/// nested `powercap` object (cap commands pushed, RAPL PL1 throttle
+/// events, budget rebalances, job-stream admissions/completions).
+pub const TELEMETRY_SCHEMA: &str = "earsim-telemetry/v6";
 
 /// Process-wide grid-sweep counters (the nested `sweep` telemetry
 /// object).
@@ -821,7 +837,8 @@ pub fn sweep_stats() -> (u64, u64, f64) {
 pub fn process_summary_json() -> Option<String> {
     let p = process().lock().unwrap_or_else(PoisonError::into_inner);
     let netd = ear_netd::stats::snapshot();
-    if p.engine_runs == 0 && !netd.any() {
+    let stream = ear_jobstream::stats::snapshot();
+    if p.engine_runs == 0 && !netd.any() && stream == ear_jobstream::stats::StreamStats::default() {
         return None;
     }
     let (hits, misses) = calibration_stats();
@@ -858,7 +875,9 @@ pub fn process_summary_json() -> Option<String> {
          \"level_reports\":[{}],\"batched_flushes\":{}}},\
          \"ufs\":{{\"max_domains\":{},\"ratio_steps\":[{}]}},\
          \"sweep\":{{\"cells\":{},\"cache_hits\":{},\
-         \"fit_residual_max\":{:.6}}}}}",
+         \"fit_residual_max\":{:.6}}},\
+         \"powercap\":{{\"caps_pushed\":{},\"throttle_events\":{},\
+         \"rebalances\":{},\"jobs_admitted\":{},\"jobs_completed\":{}}}}}",
         p.engine_runs,
         p.jobs,
         p.tasks,
@@ -887,7 +906,12 @@ pub fn process_summary_json() -> Option<String> {
         ratio_steps.join(","),
         sweep_cells,
         sweep_hits,
-        sweep_residual
+        sweep_residual,
+        stream.caps_pushed,
+        ear_archsim::stats::rapl_throttle_events(),
+        stream.rebalances,
+        stream.jobs_admitted,
+        stream.jobs_completed
     ))
 }
 

@@ -23,6 +23,10 @@ pub(crate) fn catalog(name: &str) -> WorkloadTargets {
 }
 
 /// How a run is driven.
+// `Policy` dwarfs the other variants since `PolicySettings` grew the
+// warm-start surface; cells are built once per run, never stored in bulk,
+// so the size gap costs nothing worth boxing for.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum RunKind {
     /// Nominal frequency, hardware UFS — the paper's "No policy".

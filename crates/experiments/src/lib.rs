@@ -27,6 +27,7 @@ pub mod engine;
 pub mod figures;
 pub mod future_work;
 pub mod harness;
+pub mod powercap;
 pub mod related_work;
 pub mod surface;
 pub mod sweep;
@@ -39,6 +40,7 @@ pub use engine::{
     set_default_model, EngineConfig, EngineSummary, MatrixRun,
 };
 pub use harness::{compare, format_table, run_cell, run_matrix, Comparison, RunKind, RunResult};
+pub use powercap::run_powercap;
 pub use sweep::{run_sweep, sweep_app, AppSweep, SweepConfig};
 
 /// The `EAR_UNCORE_DOMAINS` override: `Some(n)` when the variable is set

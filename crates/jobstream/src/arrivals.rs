@@ -1,0 +1,149 @@
+//! Seeded Poisson arrival plans over the workload catalog.
+//!
+//! The plan is drawn *entirely up front* from one [`Xoshiro256`] stream:
+//! inter-arrival gap, application, node count, iteration count — in that
+//! fixed order per job. Nothing about how the stream is later executed
+//! (worker threads, transport, warm caches) touches the generator, so a
+//! seed pins the whole workload mix byte-for-byte.
+
+use ear_archsim::Xoshiro256;
+use ear_workloads::apps::table5_apps;
+use ear_workloads::WorkloadTargets;
+
+/// What to draw the plan from.
+#[derive(Debug, Clone)]
+pub struct ArrivalConfig {
+    /// Seed for the arrival stream.
+    pub seed: u64,
+    /// Mean arrival rate (jobs per hour of virtual time).
+    pub rate_per_hour: f64,
+    /// How many arrivals to generate.
+    pub max_jobs: usize,
+    /// Fleet size; sampled node counts never exceed it.
+    pub fleet_nodes: usize,
+    /// Short jobs (few iterations) for smoke runs.
+    pub quick: bool,
+}
+
+impl Default for ArrivalConfig {
+    fn default() -> Self {
+        ArrivalConfig {
+            seed: 0xEA12_57EA,
+            rate_per_hour: 60.0,
+            max_jobs: 12,
+            fleet_nodes: 8,
+            quick: false,
+        }
+    }
+}
+
+/// One planned job arrival.
+#[derive(Debug, Clone)]
+pub struct Arrival {
+    /// Arrival order (also the stream-wide job id).
+    pub seq: usize,
+    /// Virtual submit time (µs since stream start).
+    pub at_us: u64,
+    /// The sampled workload, node/iteration overrides applied.
+    pub targets: WorkloadTargets,
+}
+
+/// Largest node count a sampled job may request (bounded further by the
+/// fleet size). Streams are about *contention*, not single hero jobs, so
+/// arrivals stay small and several run side by side.
+const MAX_JOB_NODES: u64 = 4;
+
+/// Draws a complete arrival plan. Sampled per job, in order: exponential
+/// gap, application index, node count, iteration count. The sampled
+/// workload keeps its published per-iteration time (`time_s` scales with
+/// the iteration override), and per-node calibration makes the node-count
+/// override safe.
+pub fn generate_plan(cfg: &ArrivalConfig) -> Vec<Arrival> {
+    let pool = table5_apps();
+    let mut rng = Xoshiro256::seed_from_u64(cfg.seed);
+    let rate_per_s = (cfg.rate_per_hour / 3600.0).max(1e-9);
+    let mut t_s = 0.0f64;
+    let mut plan = Vec::with_capacity(cfg.max_jobs);
+    for seq in 0..cfg.max_jobs {
+        // Exponential inter-arrival gap: -ln(1-u)/λ, u ∈ [0, 1).
+        let u = rng.next_f64();
+        t_s += -(1.0 - u).ln() / rate_per_s;
+        let mut targets = pool[rng.below(pool.len() as u64) as usize].clone();
+        let nodes = 1 + rng.below(MAX_JOB_NODES.min(cfg.fleet_nodes as u64)) as usize;
+        let iterations = if cfg.quick {
+            3 + rng.below(3) as usize
+        } else {
+            8 + rng.below(8) as usize
+        };
+        let iter_time_s = targets.time_s / targets.iterations as f64;
+        targets.nodes = nodes;
+        targets.iterations = iterations;
+        targets.time_s = iter_time_s * iterations as f64;
+        plan.push(Arrival {
+            seq,
+            at_us: (t_s * 1e6).round() as u64,
+            targets,
+        });
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_is_deterministic_and_ordered() {
+        let cfg = ArrivalConfig::default();
+        let a = generate_plan(&cfg);
+        let b = generate_plan(&cfg);
+        assert_eq!(a.len(), cfg.max_jobs);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.at_us, y.at_us);
+            assert_eq!(x.targets.name, y.targets.name);
+            assert_eq!(x.targets.nodes, y.targets.nodes);
+            assert_eq!(x.targets.iterations, y.targets.iterations);
+        }
+        assert!(a.windows(2).all(|w| w[0].at_us <= w[1].at_us));
+    }
+
+    #[test]
+    fn different_seeds_give_different_streams() {
+        let a = generate_plan(&ArrivalConfig::default());
+        let b = generate_plan(&ArrivalConfig {
+            seed: 1,
+            ..ArrivalConfig::default()
+        });
+        assert!(
+            a.iter()
+                .zip(&b)
+                .any(|(x, y)| x.at_us != y.at_us || x.targets.name != y.targets.name),
+            "seed must matter"
+        );
+    }
+
+    #[test]
+    fn node_counts_respect_the_fleet() {
+        let cfg = ArrivalConfig {
+            fleet_nodes: 2,
+            max_jobs: 40,
+            ..ArrivalConfig::default()
+        };
+        for a in generate_plan(&cfg) {
+            assert!(a.targets.nodes >= 1 && a.targets.nodes <= 2);
+        }
+    }
+
+    #[test]
+    fn iteration_override_preserves_per_iteration_time() {
+        for a in generate_plan(&ArrivalConfig::default()) {
+            let orig = table5_apps()
+                .into_iter()
+                .find(|t| t.name == a.targets.name)
+                .expect("sampled from the pool");
+            let orig_iter = orig.time_s / orig.iterations as f64;
+            let new_iter = a.targets.time_s / a.targets.iterations as f64;
+            assert!((orig_iter - new_iter).abs() < 1e-9 * orig_iter.max(1.0));
+        }
+    }
+}

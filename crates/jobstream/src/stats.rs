@@ -1,0 +1,88 @@
+//! Process-wide job-stream telemetry counters.
+//!
+//! The experiment engine publishes one `earsim-telemetry` JSON line per
+//! process; these atomics feed its `powercap` object. The stream updates
+//! them as it runs (a relaxed `fetch_add` per manager action — far off
+//! any hot path); `throttle_events` is *not* here because the RAPL
+//! limiter lives in `ear-archsim` and already counts its own steps
+//! (`ear_archsim::stats::rapl_throttle_events`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static CAPS_PUSHED: AtomicU64 = AtomicU64::new(0);
+static REBALANCES: AtomicU64 = AtomicU64::new(0);
+static JOBS_ADMITTED: AtomicU64 = AtomicU64::new(0);
+static JOBS_COMPLETED: AtomicU64 = AtomicU64::new(0);
+
+/// Snapshot of the stream counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Cap commands acknowledged by daemons.
+    pub caps_pushed: u64,
+    /// Full poll-and-redistribute rounds the manager ran.
+    pub rebalances: u64,
+    /// Jobs admitted onto the fleet.
+    pub jobs_admitted: u64,
+    /// Jobs that ran to completion.
+    pub jobs_completed: u64,
+}
+
+/// Records `n` acknowledged cap commands.
+pub fn record_caps_pushed(n: u64) {
+    CAPS_PUSHED.fetch_add(n, Ordering::Relaxed);
+}
+
+/// Records one completed rebalance round.
+pub fn record_rebalance() {
+    REBALANCES.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one job admission.
+pub fn record_admitted() {
+    JOBS_ADMITTED.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one job completion.
+pub fn record_completed() {
+    JOBS_COMPLETED.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Reads the current counters.
+pub fn snapshot() -> StreamStats {
+    StreamStats {
+        caps_pushed: CAPS_PUSHED.load(Ordering::Relaxed),
+        rebalances: REBALANCES.load(Ordering::Relaxed),
+        jobs_admitted: JOBS_ADMITTED.load(Ordering::Relaxed),
+        jobs_completed: JOBS_COMPLETED.load(Ordering::Relaxed),
+    }
+}
+
+/// Zeroes all counters (tests).
+pub fn reset() {
+    CAPS_PUSHED.store(0, Ordering::Relaxed);
+    REBALANCES.store(0, Ordering::Relaxed);
+    JOBS_ADMITTED.store(0, Ordering::Relaxed);
+    JOBS_COMPLETED.store(0, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        reset();
+        record_caps_pushed(4);
+        record_rebalance();
+        record_admitted();
+        record_admitted();
+        record_completed();
+        let s = snapshot();
+        assert_eq!(s.caps_pushed, 4);
+        assert_eq!(s.rebalances, 1);
+        assert_eq!(s.jobs_admitted, 2);
+        assert_eq!(s.jobs_completed, 1);
+        reset();
+        assert_eq!(snapshot(), StreamStats::default());
+    }
+}

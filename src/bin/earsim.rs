@@ -87,6 +87,13 @@ fn usage() -> ! {
          \x20            [--shards N] [--poll-every S] [--batch N]\n\
          \x20            [--budget W]   in-process daemons behind an EARGM\n\
          \x20                           aggregation tree, real codec\n\
+         earsim jobstream [--nodes N] [--budget W] [--arrival-rate J/H]\n\
+         \x20            [--seed N] [--max-jobs N] [--quick] [--uds DIR]\n\
+         \x20            [--pstate-only]   Poisson job arrivals over a\n\
+         \x20                           powercapped fleet: FCFS queue,\n\
+         \x20                           EARGM budget rebalancing, RAPL PL1\n\
+         earsim powercap   cap sweep, cap-vs-throughput frontier, and the\n\
+         \x20                           oversubscribed-budget stress scenario\n\
          \n\
          global: --jobs N     engine worker threads (default: all cores);\n\
          \x20                results are bit-identical for any worker count.\n\
@@ -651,6 +658,82 @@ fn cmd_cluster(rest: &[String]) -> Result<(), EarError> {
     Ok(())
 }
 
+/// `earsim jobstream`: a seeded Poisson job stream over a powercapped
+/// fleet — arrivals queue FCFS, the manager polls demand and
+/// redistributes the datacenter budget as jobs enter and leave, every
+/// node runs the dual-knob `powercap` policy with RAPL PL1 armed as the
+/// hard backstop. `--uds DIR` moves every manager↔daemon exchange onto
+/// real unix sockets through the async netd stack.
+fn cmd_jobstream(rest: &[String]) -> Result<(), EarError> {
+    let mut cfg = ear::jobstream::StreamConfig::default();
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        let mut value = |key: &str| match it.next() {
+            Some(v) => v.clone(),
+            None => {
+                eprintln!("missing value for --{key}");
+                usage();
+            }
+        };
+        match a.as_str() {
+            "--nodes" => {
+                cfg.fleet_nodes = parse_num(&value("nodes"), "nodes");
+                if cfg.fleet_nodes == 0 {
+                    eprintln!("--nodes expects a positive integer");
+                    usage();
+                }
+            }
+            "--budget" => {
+                cfg.budget_w = parse_num(&value("budget"), "budget");
+                if !cfg.budget_w.is_finite() || cfg.budget_w <= 0.0 {
+                    eprintln!("--budget expects a positive number of watts");
+                    usage();
+                }
+            }
+            "--arrival-rate" => {
+                cfg.arrival_rate_per_hour = parse_num(&value("arrival-rate"), "arrival-rate");
+                if !cfg.arrival_rate_per_hour.is_finite() || cfg.arrival_rate_per_hour <= 0.0 {
+                    eprintln!("--arrival-rate expects a positive jobs/hour rate");
+                    usage();
+                }
+            }
+            "--seed" => cfg.seed = parse_num(&value("seed"), "seed"),
+            "--max-jobs" => {
+                cfg.max_jobs = parse_num(&value("max-jobs"), "max-jobs");
+                if cfg.max_jobs == 0 {
+                    eprintln!("--max-jobs expects a positive integer");
+                    usage();
+                }
+            }
+            "--quick" => cfg.quick = true,
+            "--pstate-only" => cfg.pstate_only = true,
+            "--uds" => {
+                let dir = std::path::PathBuf::from(value("uds"));
+                // The daemons bind their sockets inside the directory;
+                // create it up front so a fresh path just works.
+                std::fs::create_dir_all(&dir).map_err(|e| EarError::Io {
+                    path: dir.display().to_string(),
+                    message: e.to_string(),
+                })?;
+                cfg.wire = ear::jobstream::Wire::Uds { dir };
+            }
+            _ => {
+                eprintln!("unknown jobstream argument '{a}'");
+                usage();
+            }
+        }
+    }
+    let report = ear::jobstream::run_stream(cfg)?;
+    print!("{}", report.render());
+    if report.protocol_errors > 0 {
+        return Err(EarError::Protocol(format!(
+            "job stream finished with {} protocol errors",
+            report.protocol_errors
+        )));
+    }
+    Ok(())
+}
+
 /// Parses a numeric flag value or dies with usage.
 fn parse_num<T: std::str::FromStr>(v: &str, key: &str) -> T {
     v.parse().unwrap_or_else(|_| {
@@ -711,6 +794,8 @@ fn real_main(args: Vec<String>) -> Result<(), EarError> {
         Some("serve") => cmd_serve(&args[1..])?,
         Some("loadgen") => cmd_loadgen(&args[1..])?,
         Some("cluster") => cmd_cluster(&args[1..])?,
+        Some("jobstream") => cmd_jobstream(&args[1..])?,
+        Some("powercap") => print!("{}", ear::experiments::run_powercap()),
         _ => usage(),
     }
     Ok(())

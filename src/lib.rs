@@ -17,6 +17,9 @@
 //! * [`trace`] — the ring-buffered structured trace bus (`earsim --trace`).
 //! * [`netd`] — the networked daemon stack: wire codec, EARD server,
 //!   EARGM poller and the `earsim serve`/`loadgen` load generator.
+//! * [`jobstream`] — seeded Poisson job arrivals over a powercapped
+//!   fleet (`earsim jobstream`): FCFS queue, EARGM budget rebalancing,
+//!   RAPL PL1 backstop.
 //!
 //! Start with `examples/quickstart.rs`.
 
@@ -25,6 +28,7 @@ pub use ear_core as core;
 pub use ear_dynais as dynais;
 pub use ear_errors as errors;
 pub use ear_experiments as experiments;
+pub use ear_jobstream as jobstream;
 pub use ear_mpisim as mpisim;
 pub use ear_netd as netd;
 pub use ear_sched as sched;
